@@ -1,0 +1,64 @@
+//! Ablation (Section IV-C claim): the endpoint attack is O(n) while the
+//! naive "first attempt" is O(mn).
+//!
+//! Measures wall-clock of three single-point attack implementations over a
+//! sweep of keyset sizes at fixed density:
+//!
+//! * `endpoint` — gap endpoints only, O(1) oracle per candidate (ours);
+//! * `scan` — all m candidates, O(1) oracle each (the paper's O(m + n));
+//! * `naive` — all m candidates, full refit each (the paper's O(mn)).
+
+use lis_bench::{banner, timed, Scale};
+use lis_core::keys::KeyDomain;
+use lis_poison::bruteforce::{bruteforce_single_point, bruteforce_single_point_naive};
+use lis_poison::optimal_single_point;
+use lis_workloads::{trial_rng, uniform_keys, ResultTable};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Ablation", "candidate-evaluation complexity of the single-point attack", scale);
+
+    let sizes: &[usize] = match scale {
+        Scale::Small => &[200, 400, 800, 1_600],
+        _ => &[200, 400, 800, 1_600, 3_200, 6_400],
+    };
+
+    let mut table = ResultTable::new(
+        "ablation_candidate_complexity",
+        &["keys", "domain", "endpoint_ms", "scan_ms", "naive_ms", "same_optimum"],
+    );
+
+    for &n in sizes {
+        let domain = KeyDomain::up_to(n as u64 * 10); // 10% density
+        let mut rng = trial_rng(0xC0DE, n as u64);
+        let ks = uniform_keys(&mut rng, n, domain).unwrap();
+
+        let (plan, t_endpoint) = timed(|| optimal_single_point(&ks).unwrap());
+        let ((_, scan_loss), t_scan) = timed(|| bruteforce_single_point(&ks).unwrap());
+        let ((_, naive_loss), t_naive) = timed(|| bruteforce_single_point_naive(&ks).unwrap());
+
+        let agree = (plan.poisoned_mse - scan_loss).abs() < 1e-6 * scan_loss.max(1.0)
+            && (plan.poisoned_mse - naive_loss).abs() < 1e-6 * naive_loss.max(1.0);
+        assert!(agree, "implementations disagree at n={n}");
+
+        table.push_row([
+            n.to_string(),
+            domain.size().to_string(),
+            format!("{:.3}", t_endpoint * 1e3),
+            format!("{:.3}", t_scan * 1e3),
+            format!("{:.3}", t_naive * 1e3),
+            agree.to_string(),
+        ]);
+        println!(
+            "n={n:>6}: endpoint {:.3}ms, scan {:.3}ms, naive {:.3}ms",
+            t_endpoint * 1e3,
+            t_scan * 1e3,
+            t_naive * 1e3
+        );
+    }
+    println!();
+    table.print();
+    table.write_csv().expect("write csv");
+
+    println!("\nexpected growth: endpoint ~n, scan ~m, naive ~m·n (superlinear gap).");
+}

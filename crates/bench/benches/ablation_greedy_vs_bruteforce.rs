@@ -1,0 +1,63 @@
+//! Ablation (Section IV-D claim): the greedy multi-point attack matches
+//! exhaustive brute force on small keysets.
+//!
+//! The paper: "we experimentally observed that our approach matched the
+//! performance of the brute-force attack in every tested dataset." This
+//! bench reruns that comparison over a grid of random keysets and budgets.
+
+use lis_bench::{banner, Scale};
+use lis_core::keys::KeyDomain;
+use lis_poison::bruteforce::bruteforce_multi_point;
+use lis_poison::{greedy_poison, PoisonBudget};
+use lis_workloads::{trial_rng, uniform_keys, ResultTable};
+
+fn main() {
+    banner("Ablation", "greedy vs exhaustive multi-point poisoning", Scale::from_env());
+
+    let mut table = ResultTable::new(
+        "ablation_greedy_vs_bruteforce",
+        &["trial", "keys", "domain", "p", "greedy_mse", "bruteforce_mse", "greedy/bruteforce"],
+    );
+
+    let mut worst = f64::INFINITY;
+    let mut fractions = Vec::new();
+    for trial in 0..12u64 {
+        let n = 8 + (trial as usize % 4) * 2; // 8..14 keys
+        let domain = KeyDomain::up_to(n as u64 * 4);
+        let mut rng = trial_rng(0xAB1A, trial);
+        let ks = uniform_keys(&mut rng, n, domain).unwrap();
+        for p in [1usize, 2, 3] {
+            let greedy = greedy_poison(&ks, PoisonBudget::keys(p)).unwrap();
+            let Ok((_, bf_mse)) = bruteforce_multi_point(&ks, p, 5_000_000) else {
+                continue;
+            };
+            let frac = greedy.final_mse() / bf_mse;
+            worst = worst.min(frac);
+            fractions.push(frac);
+            table.push_row([
+                trial.to_string(),
+                n.to_string(),
+                domain.size().to_string(),
+                p.to_string(),
+                format!("{:.4}", greedy.final_mse()),
+                format!("{bf_mse:.4}"),
+                format!("{frac:.4}"),
+            ]);
+        }
+    }
+    table.print();
+    table.write_csv().expect("write csv");
+
+    let exact = fractions.iter().filter(|&&f| f > 0.9999).count();
+    let mean = fractions.iter().sum::<f64>() / fractions.len() as f64;
+    println!(
+        "\nexact matches: {exact}/{} cells; mean fraction {mean:.4}; worst {worst:.4}",
+        fractions.len()
+    );
+    println!("(the paper reports greedy matched brute force on every tested dataset; on");
+    println!(" adversarially tiny keysets greedy can fall a few percent short — see worst)");
+    assert!(
+        worst > 0.80 && mean > 0.97,
+        "greedy strayed too far from exhaustive search: worst {worst:.4}, mean {mean:.4}"
+    );
+}

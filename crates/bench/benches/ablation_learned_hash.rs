@@ -1,0 +1,76 @@
+//! Ablation: poisoning the learned *point index* (hash table with a CDF
+//! model as the hash function).
+//!
+//! Kraska et al.'s third index type. Clean, near-uniform data lets the
+//! learned hash spread keys almost perfectly — beating a random hash.
+//! Bending the CDF with poison makes the model pile legitimate keys into
+//! shared buckets, inflating collision chains; the random hash is immune
+//! (data-oblivious) but never enjoys the learned advantage either.
+
+use lis_bench::{banner, Scale};
+use lis_core::hashindex::{HashIndex, HashKind};
+use lis_poison::{greedy_poison, PoisonBudget};
+use lis_workloads::{domain_for_density, trial_rng, uniform_keys, ResultTable};
+
+fn main() {
+    banner("Ablation", "poisoning the learned hash (point) index", Scale::from_env());
+
+    let n = 50_000;
+    let slots = 60_000;
+    let mut rng = trial_rng(0x4A5, 0);
+    let domain = domain_for_density(n, 0.1).unwrap();
+    let clean = uniform_keys(&mut rng, n, domain).unwrap();
+
+    let mut table = ResultTable::new(
+        "ablation_learned_hash",
+        &["config", "expected_probes", "mean_chain", "max_chain"],
+    );
+
+    let learned_clean = HashIndex::build(&clean, slots, HashKind::Learned).unwrap();
+    let random_clean = HashIndex::build(&clean, slots, HashKind::Random).unwrap();
+    push(&mut table, "learned/clean", &learned_clean);
+    push(&mut table, "random/clean", &random_clean);
+
+    let mut rows = vec![
+        ("learned/clean", learned_clean.expected_probes()),
+        ("random/clean", random_clean.expected_probes()),
+    ];
+    for pct in [5.0, 10.0, 15.0] {
+        let plan = greedy_poison(&clean, PoisonBudget::percentage(pct, n).unwrap()).unwrap();
+        let poisoned = plan.poisoned_keyset(&clean).unwrap();
+        // Table sized for the grown keyset, keeping the load factor fixed.
+        let slots_p = (poisoned.len() as f64 * slots as f64 / n as f64) as usize;
+        let learned = HashIndex::build(&poisoned, slots_p, HashKind::Learned).unwrap();
+        let random = HashIndex::build(&poisoned, slots_p, HashKind::Random).unwrap();
+        push(&mut table, &format!("learned/poisoned-{pct:.0}%"), &learned);
+        push(&mut table, &format!("random/poisoned-{pct:.0}%"), &random);
+        rows.push(("learned-poisoned", learned.expected_probes()));
+    }
+
+    table.print();
+    table.write_csv().expect("write csv");
+
+    // Qualitative checks: clean learned beats random; poisoning erodes it.
+    let learned_probe = learned_clean.expected_probes();
+    let random_probe = random_clean.expected_probes();
+    assert!(learned_probe < random_probe, "clean learned hash should win");
+    let worst_poisoned =
+        rows.iter().filter(|r| r.0 == "learned-poisoned").map(|r| r.1).fold(0.0, f64::max);
+    println!(
+        "\nclean: learned {learned_probe:.3} vs random {random_probe:.3} expected probes;"
+    );
+    println!("worst poisoned learned: {worst_poisoned:.3}");
+    assert!(
+        worst_poisoned > learned_probe,
+        "poisoning should inflate the learned hash's probe count"
+    );
+}
+
+fn push(table: &mut ResultTable, label: &str, t: &HashIndex) {
+    table.push_row([
+        label.to_string(),
+        format!("{:.3}", t.expected_probes()),
+        format!("{:.3}", t.mean_chain()),
+        t.max_chain().to_string(),
+    ]);
+}

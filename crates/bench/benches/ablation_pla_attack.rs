@@ -1,0 +1,102 @@
+//! Ablation (Section VI, future directions): transferring the CDF attack
+//! to an error-bounded PLA index (FITing-tree / PGM family).
+//!
+//! A PLA index clamps its prediction error to `epsilon` at build time, so
+//! the attack cannot inflate its *error*. What it inflates instead is the
+//! number of segments the builder must cut — the index's memory footprint
+//! and routing cost. This bench measures segment inflation under two
+//! attackers:
+//!
+//! * the paper's MSE-greedy attack (Algorithm 1) — **mismatched
+//!   objective**: maximizing regression MSE does not maximize cone cuts,
+//!   so it barely moves the segment count;
+//! * a PLA-aware *clump* attacker that spends the same budget on one dense
+//!   run placed inside the widest gap — directly forcing cone closures.
+//!
+//! The contrast is the ablation's point: each learned-index family needs an
+//! attack tailored to its own cost model (the paper's Section VI remark).
+
+use lis_bench::{banner, Scale};
+use lis_core::pla::PlaIndex;
+use lis_poison::{greedy_poison, PoisonBudget};
+use lis_workloads::{domain_for_density, trial_rng, uniform_keys, ResultTable};
+
+fn main() {
+    banner("Ablation", "CDF poisoning vs an error-bounded PLA index", Scale::from_env());
+
+    let n = 20_000;
+    let mut table = ResultTable::new(
+        "ablation_pla_attack",
+        &[
+            "epsilon", "poison_pct", "clean_segments",
+            "mse_greedy_segments", "mse_greedy_inflation",
+            "clump_segments", "clump_inflation",
+        ],
+    );
+
+    let mut rng = trial_rng(0x91A, 0);
+    let domain = domain_for_density(n, 0.1).unwrap();
+    let clean = uniform_keys(&mut rng, n, domain).unwrap();
+
+    let mut worst_clump = 1.0f64;
+    let mut worst_greedy = 1.0f64;
+    for eps in [4usize, 16, 64] {
+        let clean_segments = PlaIndex::build(&clean, eps).unwrap().num_segments();
+        for pct in [5.0, 10.0, 15.0] {
+            let budget = PoisonBudget::percentage(pct, clean.len()).unwrap();
+
+            // Attacker 1: the paper's MSE-greedy campaign.
+            let plan = greedy_poison(&clean, budget).unwrap();
+            let poisoned = plan.poisoned_keyset(&clean).unwrap();
+            let greedy_segments = PlaIndex::build(&poisoned, eps).unwrap().num_segments();
+            let greedy_inflation = greedy_segments as f64 / clean_segments.max(1) as f64;
+            worst_greedy = worst_greedy.max(greedy_inflation);
+
+            // Attacker 2: PLA-aware clump in the widest interior gap.
+            let clumped = clump_attack(&clean, budget.count);
+            let clump_segments = PlaIndex::build(&clumped, eps).unwrap().num_segments();
+            let clump_inflation = clump_segments as f64 / clean_segments.max(1) as f64;
+            worst_clump = worst_clump.max(clump_inflation);
+
+            table.push_row([
+                eps.to_string(),
+                format!("{pct:.0}%"),
+                clean_segments.to_string(),
+                greedy_segments.to_string(),
+                format!("{greedy_inflation:.2}x"),
+                clump_segments.to_string(),
+                format!("{clump_inflation:.2}x"),
+            ]);
+        }
+    }
+    table.print();
+    table.write_csv().expect("write csv");
+
+    println!("\nworst inflation — MSE-greedy: {worst_greedy:.2}x, PLA-aware clump: {worst_clump:.2}x");
+    println!("(the MSE objective does not transfer: PLA demands its own attack design)");
+    assert!(worst_clump > worst_greedy, "the tailored attack should dominate");
+    assert!(worst_clump > 1.2, "clump attack should force extra segments");
+}
+
+/// PLA-aware attacker: builds a *sawtooth* CDF by completely filling every
+/// other interior gap, left to right, until the budget runs out. Each
+/// filled gap jumps the local slope far above the baseline, so any segment
+/// spanning more than a couple of teeth violates the cone and must cut.
+fn clump_attack(clean: &lis_core::keys::KeySet, budget: usize) -> lis_core::keys::KeySet {
+    let mut poisoned = clean.clone();
+    let mut placed = 0usize;
+    for (i, gap) in clean.gaps().into_iter().enumerate() {
+        if i % 2 != 0 {
+            continue; // leave alternate gaps empty: that's the sawtooth
+        }
+        for k in gap.lo..=gap.hi {
+            if placed == budget {
+                return poisoned;
+            }
+            if poisoned.insert(k).is_ok() {
+                placed += 1;
+            }
+        }
+    }
+    poisoned
+}

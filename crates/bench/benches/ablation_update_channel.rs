@@ -1,0 +1,110 @@
+//! Ablation (Section VI future work): attacking an *updatable* learned
+//! index through its insert channel.
+//!
+//! Static LIS poisoning requires contributing data before the build. An
+//! updatable index (ALEX family) accepts inserts forever, so the adversary
+//! no longer needs to be early — only persistent. This bench compares an
+//! update-channel adversary that streams the greedy CDF poison keys into
+//! one region against a benign writer inserting the same number of spread
+//! keys, measuring structural churn (splits, shifts) and the lookup-probe
+//! inflation suffered by legitimate keys.
+
+use lis_bench::{banner, Scale};
+use lis_core::alex::{AlexConfig, AlexIndex};
+use lis_poison::{greedy_poison, PoisonBudget};
+use lis_workloads::{domain_for_density, trial_rng, uniform_keys, ResultTable};
+
+fn main() {
+    banner("Ablation", "update-channel poisoning of an ALEX-style index", Scale::from_env());
+
+    let n = 20_000;
+    let mut rng = trial_rng(0xA1EC, 0);
+    let domain = domain_for_density(n, 0.05).unwrap();
+    let clean = uniform_keys(&mut rng, n, domain).unwrap();
+    let cfg = AlexConfig { leaf_capacity: 128, fill_low: 0.5, fill_high: 0.8 };
+
+    let mut table = ResultTable::new(
+        "ablation_update_channel",
+        &[
+            "writer", "inserts", "splits", "shifts", "insert_probes",
+            "legit_probes_before", "legit_probes_after", "probe_inflation",
+        ],
+    );
+
+    for pct in [5.0f64, 10.0] {
+        let count = (pct / 100.0 * n as f64) as usize;
+
+        // Adversarial writer: greedy CDF poison keys, streamed post-build.
+        let plan = greedy_poison(&clean, PoisonBudget::keys(count)).unwrap();
+        run_writer(&mut table, "poison", &clean, cfg, &plan.keys);
+
+        // Benign writer: same volume, evenly spread fresh keys.
+        let mut benign = Vec::with_capacity(count);
+        let span = clean.max_key() - clean.min_key();
+        let mut k = clean.min_key() + span / (count as u64 + 1);
+        while benign.len() < count {
+            if !clean.contains(k) {
+                benign.push(k);
+            }
+            k += span / (count as u64 + 1);
+            if k >= clean.max_key() {
+                k = clean.min_key() + 1 + benign.len() as u64;
+            }
+        }
+        run_writer(&mut table, "benign", &clean, cfg, &benign);
+    }
+
+    table.print();
+    table.write_csv().expect("write csv");
+
+    // The adversarial stream must cost more churn per insert.
+    let churn = |writer: &str| -> f64 {
+        table
+            .rows
+            .iter()
+            .filter(|r| r[0] == writer)
+            .map(|r| r[3].parse::<f64>().unwrap() + r[4].parse::<f64>().unwrap())
+            .sum()
+    };
+    let poison_churn = churn("poison");
+    let benign_churn = churn("benign");
+    println!("\ntotal churn (shifts + probes) — poison: {poison_churn:.0}, benign: {benign_churn:.0}");
+    assert!(
+        poison_churn > benign_churn,
+        "the clustered poison stream should cost more: {poison_churn} vs {benign_churn}"
+    );
+}
+
+fn run_writer(
+    table: &mut ResultTable,
+    label: &str,
+    clean: &lis_core::keys::KeySet,
+    cfg: AlexConfig,
+    stream: &[u64],
+) {
+    let mut idx = AlexIndex::build(clean, cfg).unwrap();
+    let probe_keys: Vec<u64> = clean.keys().iter().copied().step_by(23).collect();
+    let before = idx.mean_lookup_probes(&probe_keys);
+    idx.reset_stats();
+
+    let mut inserted = 0usize;
+    for &k in stream {
+        if idx.insert(k).is_ok() {
+            inserted += 1;
+        }
+    }
+    let stats = idx.stats();
+    let write_probes = stats.insert_probes;
+    let after = idx.mean_lookup_probes(&probe_keys);
+
+    table.push_row([
+        label.to_string(),
+        inserted.to_string(),
+        stats.splits.to_string(),
+        stats.shifts.to_string(),
+        write_probes.to_string(),
+        format!("{before:.2}"),
+        format!("{after:.2}"),
+        format!("{:.2}", after / before.max(1e-9)),
+    ]);
+}

@@ -1,0 +1,73 @@
+//! Figure 2: the compound effect of a single poisoning key.
+//!
+//! Regenerates the before/after regression of the paper's 10-key
+//! illustration: inserting one optimally placed key re-ranks every larger
+//! key, inflating the error of most legitimate points.
+
+use lis_bench::{banner, Scale};
+use lis_core::keys::KeySet;
+use lis_core::linreg::LinearModel;
+use lis_poison::optimal_single_point;
+use lis_workloads::ResultTable;
+
+fn main() {
+    banner("Figure 2", "compound effect of single-point CDF poisoning", Scale::from_env());
+
+    let ks = KeySet::from_keys(vec![0, 4, 9, 13, 18, 22, 27, 31, 36, 40]).unwrap();
+    let before = LinearModel::fit(&ks).unwrap();
+    let plan = optimal_single_point(&ks).unwrap();
+    let poisoned = ks.with_key(plan.key).unwrap();
+    let after = LinearModel::fit(&poisoned).unwrap();
+
+    let mut lines = ResultTable::new(
+        "fig2_regression_lines",
+        &["series", "slope_w", "intercept_b", "mse"],
+    );
+    lines.push_row([
+        "before".to_string(),
+        format!("{:.6}", before.w),
+        format!("{:.6}", before.b),
+        format!("{:.6}", before.mse),
+    ]);
+    lines.push_row([
+        "after".to_string(),
+        format!("{:.6}", after.w),
+        format!("{:.6}", after.b),
+        format!("{:.6}", after.mse),
+    ]);
+    lines.print();
+    lines.write_csv().expect("write csv");
+
+    println!("\noptimal poisoning key: {}  (ratio loss {:.2}x)\n", plan.key, plan.ratio_loss());
+
+    // Per-key residuals: the blue vertical segments of the figure.
+    let mut resid = ResultTable::new(
+        "fig2_residuals",
+        &["key", "rank_before", "rank_after", "residual_before", "residual_after", "is_poison"],
+    );
+    for (k, r_after) in poisoned.cdf_pairs() {
+        let is_poison = k == plan.key;
+        let r_before = ks.rank(k);
+        resid.push_row([
+            k.to_string(),
+            r_before.map(|r| r.to_string()).unwrap_or_else(|| "-".into()),
+            r_after.to_string(),
+            r_before.map(|r| format!("{:+.4}", before.residual(k, r))).unwrap_or_else(|| "-".into()),
+            format!("{:+.4}", after.residual(k, r_after)),
+            is_poison.to_string(),
+        ]);
+    }
+    resid.print();
+    resid.write_csv().expect("write csv");
+
+    // Reproduction check: the compound effect must inflate most residuals.
+    let grew = ks
+        .cdf_pairs()
+        .filter(|&(k, r)| {
+            let r_after = poisoned.rank(k).unwrap();
+            after.residual(k, r_after).abs() > before.residual(k, r).abs()
+        })
+        .count();
+    println!("\nlegitimate keys with inflated error after poisoning: {grew}/{}", ks.len());
+    assert!(plan.ratio_loss() > 1.0, "single-point attack must increase the loss");
+}

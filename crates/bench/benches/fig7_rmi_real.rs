@@ -1,0 +1,70 @@
+//! Figure 7: the RMI attack on (simulated) real-world data.
+//!
+//! Datasets: Miami-Dade County salaries (n = 5,300) and OSM school
+//! latitudes (n = 302,973 at paper scale). Model sizes 50/100/200, α = 3,
+//! poisoning 5/10/20%. The paper reports RMI ratio-loss 4–24× and
+//! single-model increases up to 70×; also prints the CDF shape summary
+//! mirrored in the figure's bottom row.
+
+use lis_bench::experiments::{push_rmi_row, rmi_table_headers, run_rmi_cell, RmiCell};
+use lis_bench::{banner, timed, Scale};
+use lis_core::keys::KeySet;
+use lis_workloads::realsim;
+use lis_workloads::ResultTable;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 7", "RMI attack on simulated Miami salaries and OSM latitudes", scale);
+
+    let salaries = realsim::miami_salaries(1).expect("salaries");
+    let latitudes = realsim::osm_latitudes_scaled(1, scale.osm_keys()).expect("latitudes");
+    print_cdf_summary("miami_salaries", &salaries);
+    print_cdf_summary("osm_latitudes", &latitudes);
+
+    let mut table = ResultTable::new("fig7_rmi_real", &rmi_table_headers());
+    let mut max_rmi = 0.0f64;
+    let mut max_model = 0.0f64;
+
+    for (label, keys) in [("miami_salaries", &salaries), ("osm_latitudes", &latitudes)] {
+        for model_size in [50usize, 100, 200] {
+            for percent in [5.0, 10.0, 20.0] {
+                let cell = RmiCell {
+                    label: label.to_string(),
+                    keys: keys.clone(),
+                    model_size,
+                    percent,
+                    alpha: 3.0,
+                };
+                let (res, secs) = timed(|| run_rmi_cell(&cell));
+                println!(
+                    "[{label}] size {model_size} poison {percent}% -> RMI ratio {:.1}x, max model {:.1}x ({secs:.1}s)",
+                    res.rmi_ratio, res.max_model_ratio
+                );
+                max_rmi = max_rmi.max(res.rmi_ratio);
+                max_model = max_model.max(res.max_model_ratio);
+                push_rmi_row(&mut table, &cell, &res);
+            }
+        }
+    }
+
+    println!();
+    table.print();
+    table.write_csv().expect("write csv");
+
+    println!("\nheadlines (paper: RMI 4-24x, single model up to 70x):");
+    println!("  max RMI ratio:          {max_rmi:.1}x");
+    println!("  max single-model ratio: {max_model:.1}x");
+    assert!(max_rmi > 2.0, "real-data attack should reach paper-order magnitudes");
+}
+
+fn print_cdf_summary(name: &str, ks: &KeySet) {
+    // A 10-point sketch of the CDF, the bottom row of Figure 7.
+    println!("{name}: {ks}");
+    let n = ks.len();
+    print!("  CDF sketch (key@percentile): ");
+    for p in [0usize, 25, 50, 75, 100] {
+        let idx = (p * (n - 1)) / 100;
+        print!("{}@{p}% ", ks.keys()[idx]);
+    }
+    println!();
+}

@@ -1,0 +1,116 @@
+//! Criterion lookup-latency benchmarks: RMI vs B+-tree, clean vs poisoned.
+//!
+//! The original LIS paper measured lookup nanoseconds with closed-source
+//! optimized code, which is why the attack paper falls back to Ratio Loss.
+//! Our from-scratch implementations let us measure the end-to-end effect
+//! directly: poisoning inflates second-stage errors, which inflates the
+//! last-mile search radius and therefore lookup latency, eroding the RMI's
+//! edge over the B+-tree.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lis_core::btree::BPlusTree;
+use lis_core::keys::KeySet;
+use lis_core::rmi::{Rmi, RmiConfig};
+use lis_poison::{rmi_attack, RmiAttackConfig};
+use lis_workloads::{domain_for_density, lognormal_keys, trial_rng, uniform_keys};
+use std::hint::black_box;
+
+const N: usize = 50_000;
+const NUM_LEAVES: usize = 500;
+
+struct Setup {
+    clean: KeySet,
+    rmi_clean: Rmi,
+    rmi_poisoned: Rmi,
+    btree: BPlusTree,
+    probes: Vec<u64>,
+}
+
+fn build(dist: &str) -> Setup {
+    let mut rng = trial_rng(0x1A7E, 0);
+    let domain = domain_for_density(N, 0.1).unwrap();
+    let clean = match dist {
+        "uniform" => uniform_keys(&mut rng, N, domain).unwrap(),
+        _ => lognormal_keys(&mut rng, N, domain).unwrap(),
+    };
+    let cfg = RmiAttackConfig::new(10.0).with_max_exchanges(32);
+    let attack = rmi_attack(&clean, NUM_LEAVES, &cfg).unwrap();
+    let poisoned = attack.poisoned_keyset(&clean).unwrap();
+
+    let rmi_cfg = RmiConfig::linear_root(NUM_LEAVES);
+    let rmi_clean = Rmi::build(&clean, &rmi_cfg).unwrap();
+    let rmi_poisoned = Rmi::build(&poisoned, &rmi_cfg).unwrap();
+    let btree = BPlusTree::build(&clean, 64).unwrap();
+
+    // Probe the legitimate keys in a shuffled, cache-unfriendly order.
+    let mut probes: Vec<u64> = clean.keys().to_vec();
+    let len = probes.len();
+    for i in 0..len {
+        let j = (lis_workloads::rng::splitmix64(i as u64) % len as u64) as usize;
+        probes.swap(i, j);
+    }
+    Setup { clean, rmi_clean, rmi_poisoned, btree, probes }
+}
+
+fn bench_lookups(c: &mut Criterion) {
+    for dist in ["uniform", "lognormal"] {
+        let setup = build(dist);
+        let mut group = c.benchmark_group(format!("lookup/{dist}"));
+        group.sample_size(20);
+
+        let mut cursor = 0usize;
+        group.bench_function("rmi_clean", |b| {
+            b.iter_batched(
+                || {
+                    let k = setup.probes[cursor % setup.probes.len()];
+                    cursor += 1;
+                    k
+                },
+                |k| black_box(setup.rmi_clean.lookup(black_box(k))),
+                BatchSize::SmallInput,
+            )
+        });
+
+        let mut cursor = 0usize;
+        group.bench_function("rmi_poisoned", |b| {
+            b.iter_batched(
+                || {
+                    let k = setup.probes[cursor % setup.probes.len()];
+                    cursor += 1;
+                    k
+                },
+                |k| black_box(setup.rmi_poisoned.lookup(black_box(k))),
+                BatchSize::SmallInput,
+            )
+        });
+
+        let mut cursor = 0usize;
+        group.bench_function("btree", |b| {
+            b.iter_batched(
+                || {
+                    let k = setup.probes[cursor % setup.probes.len()];
+                    cursor += 1;
+                    k
+                },
+                |k| black_box(setup.btree.lookup(black_box(k))),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+
+        // Comparison-count summary (printed once per distribution).
+        let mean_cmp = |f: &dyn Fn(u64) -> usize| -> f64 {
+            let total: usize = setup.clean.keys().iter().map(|&k| f(k)).sum();
+            total as f64 / setup.clean.len() as f64
+        };
+        println!(
+            "[{dist}] mean comparisons: rmi_clean {:.2}, rmi_poisoned {:.2}, btree {:.2}",
+            mean_cmp(&|k| setup.rmi_clean.lookup(k).comparisons),
+            mean_cmp(&|k| setup.rmi_poisoned.lookup(k).comparisons),
+            mean_cmp(&|k| setup.btree.lookup(k).comparisons),
+        );
+    }
+}
+
+criterion_group!(benches, bench_lookups);
+criterion_main!(benches);

@@ -1,0 +1,239 @@
+//! Reusable experiment runners behind the figure benches.
+//!
+//! Figures 5 and 8 share the regression-poisoning grid (they differ only in
+//! the key distribution); Figures 6 and 7 share the RMI-attack sweep. The
+//! runners live here so bench targets stay thin and the logic is unit
+//! tested.
+
+use crate::{boxplot_cells, BOXPLOT_HEADERS};
+use lis_core::keys::KeySet;
+use lis_core::stats::BoxplotSummary;
+use lis_poison::{greedy_poison, rmi_attack, PoisonBudget, RmiAttackConfig};
+use lis_workloads::{
+    domain_for_density, lognormal_keys, normal_keys, trial_rng, uniform_keys, ResultTable,
+    DEFAULT_SEED,
+};
+
+/// Key distribution of a synthetic experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyDistribution {
+    /// Uniform over the domain (Figures 4–6).
+    Uniform,
+    /// Normal with µ=(α+β)/2, σ=(β−α)/3 (Figure 8).
+    Normal,
+    /// Log-normal(0, 2) scaled onto the domain (Figure 6).
+    LogNormal,
+}
+
+impl KeyDistribution {
+    /// Samples a keyset of `n` distinct keys at the given density.
+    pub fn sample(self, seed: u64, trial: u64, n: usize, density: f64) -> KeySet {
+        let domain = domain_for_density(n, density).expect("valid density");
+        let mut rng = trial_rng(seed, trial);
+        match self {
+            Self::Uniform => uniform_keys(&mut rng, n, domain),
+            Self::Normal => normal_keys(&mut rng, n, domain),
+            Self::LogNormal => lognormal_keys(&mut rng, n, domain),
+        }
+        .expect("sampling")
+    }
+
+    /// Short label for table rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Uniform => "uniform",
+            Self::Normal => "normal",
+            Self::LogNormal => "lognormal",
+        }
+    }
+}
+
+/// Grid parameters of the Figure-5/8 regression experiment.
+#[derive(Debug, Clone)]
+pub struct RegressionGrid {
+    /// Legitimate key counts ("Keys" in the figure titles).
+    pub key_counts: Vec<usize>,
+    /// Key densities over the domain ("Density").
+    pub densities: Vec<f64>,
+    /// Poisoning percentages on the X axis.
+    pub percents: Vec<f64>,
+    /// Independent keysets per boxplot (paper: 20).
+    pub trials: usize,
+    /// RNG base seed.
+    pub seed: u64,
+}
+
+impl Default for RegressionGrid {
+    fn default() -> Self {
+        Self {
+            key_counts: vec![100, 1_000],
+            densities: vec![0.1, 0.4, 0.8],
+            percents: vec![1.0, 3.0, 5.0, 8.0, 10.0, 12.0, 15.0],
+            trials: 20,
+            seed: DEFAULT_SEED,
+        }
+    }
+}
+
+/// Runs the Figure-5 (uniform) / Figure-8 (normal) regression-poisoning
+/// grid and returns the boxplot table: one row per
+/// `(keys, density, poison%)` cell.
+pub fn regression_grid(name: &str, dist: KeyDistribution, grid: &RegressionGrid) -> ResultTable {
+    let mut headers: Vec<&str> = vec!["distribution", "keys", "density", "key_domain", "poison_pct"];
+    headers.extend(BOXPLOT_HEADERS);
+    let mut table = ResultTable::new(name, &headers);
+
+    for &n in &grid.key_counts {
+        for &density in &grid.densities {
+            let domain = domain_for_density(n, density).expect("valid density");
+            for &pct in &grid.percents {
+                let mut ratios = Vec::with_capacity(grid.trials);
+                for trial in 0..grid.trials {
+                    let ks = dist.sample(grid.seed, trial as u64, n, density);
+                    let budget = PoisonBudget::percentage(pct, ks.len()).expect("legal pct");
+                    let plan = greedy_poison(&ks, budget).expect("attack");
+                    ratios.push(plan.ratio_loss());
+                }
+                let summary = BoxplotSummary::from_samples(&ratios).expect("non-empty");
+                let mut row = vec![
+                    dist.label().to_string(),
+                    n.to_string(),
+                    format!("{:.0}%", density * 100.0),
+                    domain.size().to_string(),
+                    format!("{pct:.0}%"),
+                ];
+                row.extend(boxplot_cells(&summary));
+                table.push_row(row);
+            }
+        }
+    }
+    table
+}
+
+/// One cell of the Figure-6/7 RMI sweep.
+#[derive(Debug, Clone)]
+pub struct RmiCell {
+    /// Row label (distribution or dataset name).
+    pub label: String,
+    /// The keyset under attack.
+    pub keys: KeySet,
+    /// Second-stage model size (keys per model).
+    pub model_size: usize,
+    /// Poisoning percentage.
+    pub percent: f64,
+    /// Per-model threshold multiplier α.
+    pub alpha: f64,
+}
+
+/// Result row of one RMI cell: per-model ratio boxplot + RMI-level ratio.
+#[derive(Debug, Clone)]
+pub struct RmiCellResult {
+    /// The input cell description.
+    pub label: String,
+    /// Number of second-stage models.
+    pub num_models: usize,
+    /// Per-model ratio summary (the boxplot).
+    pub summary: BoxplotSummary,
+    /// RMI-level ratio (the black line).
+    pub rmi_ratio: f64,
+    /// Largest single-model ratio.
+    pub max_model_ratio: f64,
+    /// Poison keys actually placed.
+    pub total_poison: usize,
+}
+
+/// Runs the RMI attack for one sweep cell.
+pub fn run_rmi_cell(cell: &RmiCell) -> RmiCellResult {
+    let num_models = (cell.keys.len() / cell.model_size).max(1);
+    let cfg = RmiAttackConfig::new(cell.percent)
+        .with_alpha(cell.alpha)
+        .with_max_exchanges(num_models.min(64));
+    let res = rmi_attack(&cell.keys, num_models, &cfg).expect("rmi attack");
+    let ratios = res.model_ratios();
+    RmiCellResult {
+        label: cell.label.clone(),
+        num_models,
+        summary: BoxplotSummary::from_samples(&ratios).expect("non-empty"),
+        rmi_ratio: res.rmi_ratio(),
+        max_model_ratio: res.models.iter().map(|m| m.ratio()).fold(0.0, f64::max),
+        total_poison: res.total_poison,
+    }
+}
+
+/// Appends an [`RmiCellResult`] to a table with the standard columns.
+pub fn push_rmi_row(table: &mut ResultTable, cell: &RmiCell, result: &RmiCellResult) {
+    let mut row = vec![
+        result.label.clone(),
+        cell.keys.len().to_string(),
+        cell.model_size.to_string(),
+        result.num_models.to_string(),
+        cell.keys.domain().size().to_string(),
+        format!("{:.0}%", cell.percent),
+        format!("{:.0}", cell.alpha),
+    ];
+    row.extend(boxplot_cells(&result.summary));
+    row.push(format!("{:.2}", result.rmi_ratio));
+    row.push(format!("{:.1}", result.max_model_ratio));
+    row.push(result.total_poison.to_string());
+    table.push_row(row);
+}
+
+/// Standard headers matching [`push_rmi_row`].
+pub fn rmi_table_headers() -> Vec<&'static str> {
+    let mut h = vec!["dataset", "keys", "model_size", "num_models", "key_domain", "poison_pct", "alpha"];
+    h.extend(BOXPLOT_HEADERS);
+    h.push("rmi_ratio");
+    h.push("max_model_ratio");
+    h.push("poison_placed");
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributions_sample_requested_size() {
+        for dist in [KeyDistribution::Uniform, KeyDistribution::Normal, KeyDistribution::LogNormal]
+        {
+            let ks = dist.sample(1, 0, 500, 0.2);
+            assert_eq!(ks.len(), 500, "{}", dist.label());
+        }
+    }
+
+    #[test]
+    fn tiny_regression_grid_runs() {
+        let grid = RegressionGrid {
+            key_counts: vec![100],
+            densities: vec![0.2],
+            percents: vec![5.0],
+            trials: 3,
+            seed: 7,
+        };
+        let table = regression_grid("test_grid", KeyDistribution::Uniform, &grid);
+        assert_eq!(table.rows.len(), 1);
+        // Median ratio for 5% poisoning of 100 uniform keys must exceed 1.
+        let median: f64 = table.rows[0][7].parse().unwrap();
+        assert!(median > 1.0, "median ratio {median}");
+    }
+
+    #[test]
+    fn rmi_cell_runs() {
+        let ks = KeyDistribution::Uniform.sample(3, 0, 2_000, 0.2);
+        let cell = RmiCell {
+            label: "unit".into(),
+            keys: ks,
+            model_size: 100,
+            percent: 5.0,
+            alpha: 3.0,
+        };
+        let res = run_rmi_cell(&cell);
+        assert_eq!(res.num_models, 20);
+        assert!(res.rmi_ratio > 1.0);
+        assert!(res.max_model_ratio >= res.summary.median);
+        let mut table = ResultTable::new("t", &rmi_table_headers());
+        push_rmi_row(&mut table, &cell, &res);
+        assert_eq!(table.rows.len(), 1);
+        assert_eq!(table.rows[0].len(), rmi_table_headers().len());
+    }
+}

@@ -1,0 +1,154 @@
+//! # lis-bench — experiment harness
+//!
+//! Shared plumbing for the bench targets that regenerate every table and
+//! figure of the paper (see `DESIGN.md` for the experiment index). Each
+//! bench target in `benches/` is a `harness = false` binary that prints the
+//! paper's rows/series and writes a CSV under `target/experiments/`.
+//!
+//! ## Scaling
+//!
+//! The paper's Figure-6 runs use 10⁷ keys. The harness defaults to a scaled
+//! configuration that preserves every *ratio* the paper's analysis hinges
+//! on (models-per-key, density, poisoning percentage) while finishing in
+//! minutes. Set the `LIS_SCALE` environment variable to choose:
+//!
+//! * `small` (default) — CI-friendly, minutes;
+//! * `medium` — adds the large-model column of Figure 6;
+//! * `paper` — full 10⁷-key runs (hours).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+
+use lis_core::stats::BoxplotSummary;
+use std::time::Instant;
+
+/// Experiment scale selected through the `LIS_SCALE` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Fast, CI-friendly runs (default).
+    Small,
+    /// Adds the expensive columns.
+    Medium,
+    /// The paper's full parameterization.
+    Paper,
+}
+
+impl Scale {
+    /// Reads `LIS_SCALE` (`small` / `medium` / `paper`), defaulting to
+    /// [`Scale::Small`]. Unknown values fall back to `small` with a notice.
+    pub fn from_env() -> Self {
+        match std::env::var("LIS_SCALE").unwrap_or_default().to_lowercase().as_str() {
+            "paper" => Scale::Paper,
+            "medium" => Scale::Medium,
+            "small" | "" => Scale::Small,
+            other => {
+                eprintln!("unknown LIS_SCALE '{other}', using 'small'");
+                Scale::Small
+            }
+        }
+    }
+
+    /// Keyset size for the Figure-6 synthetic RMI experiments.
+    ///
+    /// The log-normal amplification needs enough second-stage models for
+    /// some to land in the dense-head transition zone, so even `small`
+    /// keeps 10⁵ keys.
+    pub fn fig6_keys(self) -> usize {
+        match self {
+            Scale::Small => 100_000,
+            Scale::Medium => 1_000_000,
+            Scale::Paper => 10_000_000,
+        }
+    }
+
+    /// Second-stage model sizes for Figure 6 (the paper's 10², 10³, 10⁴).
+    pub fn fig6_model_sizes(self) -> Vec<usize> {
+        match self {
+            Scale::Small => vec![100, 1_000],
+            Scale::Medium => vec![100, 1_000, 10_000],
+            Scale::Paper => vec![100, 1_000, 10_000],
+        }
+    }
+
+    /// Trial count for the Figure-5/8 regression boxplots (paper: 20).
+    pub fn regression_trials(self) -> usize {
+        match self {
+            Scale::Small => 10,
+            _ => 20,
+        }
+    }
+
+    /// Keyset size for the simulated OSM dataset of Figure 7.
+    pub fn osm_keys(self) -> usize {
+        match self {
+            Scale::Small => 30_000,
+            Scale::Medium => 100_000,
+            Scale::Paper => lis_workloads::realsim::osm_stats::N,
+        }
+    }
+}
+
+/// Formats a boxplot summary as the CSV cells
+/// `[min, q1, median, q3, max, mean]`.
+pub fn boxplot_cells(b: &BoxplotSummary) -> Vec<String> {
+    vec![
+        format!("{:.3}", b.min),
+        format!("{:.3}", b.q1),
+        format!("{:.3}", b.median),
+        format!("{:.3}", b.q3),
+        format!("{:.3}", b.max),
+        format!("{:.3}", b.mean),
+    ]
+}
+
+/// Column headers matching [`boxplot_cells`].
+pub const BOXPLOT_HEADERS: [&str; 6] = ["min", "q1", "median", "q3", "max", "mean"];
+
+/// Runs `f`, returning its result and the elapsed wall-clock seconds.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Prints the standard bench banner: experiment id, scale, and a pointer to
+/// the CSV output.
+pub fn banner(figure: &str, what: &str, scale: Scale) {
+    println!("################################################################");
+    println!("# {figure}: {what}");
+    println!("# scale: {scale:?} (set LIS_SCALE=small|medium|paper)");
+    println!("# CSV output: target/experiments/");
+    println!("################################################################\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing_defaults_small() {
+        // Can't mutate env safely in parallel tests; just exercise the
+        // accessors.
+        assert_eq!(Scale::Small.fig6_keys(), 100_000);
+        assert!(Scale::Paper.fig6_keys() > Scale::Medium.fig6_keys());
+        assert_eq!(Scale::Small.fig6_model_sizes(), vec![100, 1_000]);
+        assert_eq!(Scale::Small.regression_trials(), 10);
+    }
+
+    #[test]
+    fn boxplot_cells_format() {
+        let b = BoxplotSummary::from_samples(&[1.0, 2.0, 3.0]).unwrap();
+        let cells = boxplot_cells(&b);
+        assert_eq!(cells.len(), BOXPLOT_HEADERS.len());
+        assert_eq!(cells[2], "2.000");
+    }
+
+    #[test]
+    fn timed_measures() {
+        let (v, secs) = timed(|| 42);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+}

@@ -1,0 +1,275 @@
+//! Existence indexes: a classic Bloom filter and a learned variant.
+//!
+//! The original LIS paper proposes learned replacements for all three index
+//! families — range (RMI), point (hash), and *existence* (Bloom filter).
+//! This module completes the trio for the poisoning study:
+//!
+//! * [`BloomFilter`] — textbook `k`-hash bitset filter, data-oblivious;
+//! * [`LearnedBloom`] — the "model + backup filter" construction
+//!   (Kraska et al., analyzed by Mitzenmacher): a model predicts the rank
+//!   of a queried key; keys whose prediction lands within the model's
+//!   training error window of an actual stored position are claimed
+//!   present, and a small backup Bloom filter catches the model's false
+//!   negatives.
+//!
+//! The poisoning angle: the learned filter's false-positive rate is
+//! proportional to the model's error window. Poisoning the training CDF
+//! widens that window, so non-member queries near the poisoned regions
+//! pass the model check — the existence-index analogue of Ratio Loss.
+
+use crate::error::{LisError, Result};
+use crate::keys::{Key, KeySet};
+use crate::linreg::LinearModel;
+
+/// A classic Bloom filter over `u64` keys.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: usize,
+    num_hashes: u32,
+    len: usize,
+}
+
+impl BloomFilter {
+    /// Builds a filter sized for `expected` insertions at the target
+    /// false-positive rate (standard `m = −n·ln p / ln²2`, `k = m/n·ln 2`).
+    pub fn with_rate(expected: usize, fp_rate: f64) -> Result<Self> {
+        if !(0.0 < fp_rate && fp_rate < 1.0) {
+            return Err(LisError::InvalidBudget(format!("fp rate {fp_rate} outside (0,1)")));
+        }
+        if expected == 0 {
+            return Err(LisError::EmptyKeySet);
+        }
+        let ln2 = std::f64::consts::LN_2;
+        let m = (-(expected as f64) * fp_rate.ln() / (ln2 * ln2)).ceil().max(64.0) as usize;
+        let k = ((m as f64 / expected as f64) * ln2).round().clamp(1.0, 16.0) as u32;
+        Ok(Self { bits: vec![0; m.div_ceil(64)], num_bits: m, num_hashes: k, len: 0 })
+    }
+
+    fn positions(&self, key: Key) -> impl Iterator<Item = usize> + '_ {
+        // Kirsch–Mitzenmacher double hashing: h_i = h1 + i·h2.
+        let h1 = splitmix(key);
+        let h2 = splitmix(key ^ 0xDEAD_BEEF_CAFE_F00D) | 1;
+        let m = self.num_bits as u64;
+        (0..self.num_hashes as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize)
+    }
+
+    /// Inserts a key.
+    pub fn insert(&mut self, key: Key) {
+        let positions: Vec<usize> = self.positions(key).collect();
+        for p in positions {
+            self.bits[p / 64] |= 1u64 << (p % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Whether the key *may* be present (false positives possible, false
+    /// negatives impossible).
+    pub fn may_contain(&self, key: Key) -> bool {
+        self.positions(key).all(|p| self.bits[p / 64] & (1u64 << (p % 64)) != 0)
+    }
+
+    /// Number of inserted keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Size of the bit array.
+    pub fn num_bits(&self) -> usize {
+        self.num_bits
+    }
+
+    /// Number of hash functions.
+    pub fn num_hashes(&self) -> u32 {
+        self.num_hashes
+    }
+
+    /// Empirical false-positive rate over a probe set of non-members.
+    pub fn empirical_fpr(&self, non_members: &[Key]) -> f64 {
+        if non_members.is_empty() {
+            return 0.0;
+        }
+        let fp = non_members.iter().filter(|&&k| self.may_contain(k)).count();
+        fp as f64 / non_members.len() as f64
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A learned existence index: CDF model + error window + backup filter.
+#[derive(Debug, Clone)]
+pub struct LearnedBloom {
+    model: LinearModel,
+    keys: Vec<Key>,
+    /// Half-width of the acceptance window (the model's max training
+    /// error, ceiled).
+    window: usize,
+    backup: BloomFilter,
+}
+
+impl LearnedBloom {
+    /// Builds the learned filter over `ks` with a backup filter at
+    /// `backup_rate` for model false negatives.
+    ///
+    /// With an exact sorted array at hand the model check is
+    /// `∃ stored key within `window` positions of the prediction whose key
+    /// equals the query`; the *learned* saving in a real deployment is that
+    /// the array lives on slow storage and most negatives are rejected by
+    /// the model alone. Here the structure is kept in memory so the
+    /// *false-positive* behaviour (what poisoning attacks) is exact.
+    pub fn build(ks: &KeySet, backup_rate: f64) -> Result<Self> {
+        let model = LinearModel::fit(ks)?;
+        let window = model.max_abs_error(ks).ceil() as usize;
+        // Backup filter for keys the window check would miss (with an
+        // exact window none are missed; a real system truncates the window
+        // for speed — we mirror that by capping at 2·window/3, which
+        // forces some traffic into the backup filter, as in deployments).
+        let capped = (window * 2 / 3).max(1);
+        let mut backup = BloomFilter::with_rate(ks.len().max(8), backup_rate)?;
+        let keys = ks.keys().to_vec();
+        for (i, &k) in keys.iter().enumerate() {
+            let predicted = model.predict_pos(k);
+            if predicted.abs_diff(i) > capped {
+                backup.insert(k);
+            }
+        }
+        Ok(Self { model, keys, window: capped, backup })
+    }
+
+    /// The acceptance window half-width — poisoning inflates this.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Fraction of stored keys that overflowed into the backup filter.
+    pub fn backup_fraction(&self) -> f64 {
+        self.backup.len() as f64 / self.keys.len() as f64
+    }
+
+    /// Membership query: model-window check, then backup filter.
+    pub fn may_contain(&self, key: Key) -> bool {
+        let center = self.model.predict_pos(key);
+        let lo = center.saturating_sub(self.window);
+        let hi = (center + self.window).min(self.keys.len() - 1);
+        if self.keys[lo..=hi].binary_search(&key).is_ok() {
+            return true;
+        }
+        self.backup.may_contain(key)
+    }
+
+    /// Empirical false-positive rate over non-member probes.
+    ///
+    /// For the *exact*-window variant this is just the backup filter's FPR;
+    /// the interesting deployment-faithful metric is
+    /// [`LearnedBloom::window`] itself — the number of storage slots a
+    /// negative query must touch — which poisoning inflates directly.
+    pub fn empirical_fpr(&self, non_members: &[Key]) -> f64 {
+        if non_members.is_empty() {
+            return 0.0;
+        }
+        let fp = non_members.iter().filter(|&&k| self.may_contain(k)).count();
+        fp as f64 / non_members.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: u64, step: u64) -> KeySet {
+        KeySet::from_keys((0..n).map(|i| i * step).collect()).unwrap()
+    }
+
+    #[test]
+    fn bloom_validates_inputs() {
+        assert!(BloomFilter::with_rate(0, 0.01).is_err());
+        assert!(BloomFilter::with_rate(100, 0.0).is_err());
+        assert!(BloomFilter::with_rate(100, 1.0).is_err());
+    }
+
+    #[test]
+    fn bloom_no_false_negatives() {
+        let mut f = BloomFilter::with_rate(1_000, 0.01).unwrap();
+        for k in 0..1_000u64 {
+            f.insert(k * 3);
+        }
+        for k in 0..1_000u64 {
+            assert!(f.may_contain(k * 3), "false negative at {k}");
+        }
+    }
+
+    #[test]
+    fn bloom_fpr_near_target() {
+        let mut f = BloomFilter::with_rate(10_000, 0.01).unwrap();
+        for k in 0..10_000u64 {
+            f.insert(k);
+        }
+        let probes: Vec<Key> = (0..20_000u64).map(|i| 1_000_000 + i * 7).collect();
+        let fpr = f.empirical_fpr(&probes);
+        assert!(fpr < 0.03, "fpr {fpr} too far above the 1% target");
+    }
+
+    #[test]
+    fn bloom_sizing_formulas() {
+        let f = BloomFilter::with_rate(1_000, 0.01).unwrap();
+        // m ≈ 9.59 bits/key at 1%, k ≈ 7.
+        assert!((f.num_bits() as f64 / 1_000.0 - 9.6).abs() < 0.5);
+        assert_eq!(f.num_hashes(), 7);
+    }
+
+    #[test]
+    fn learned_bloom_no_false_negatives() {
+        let ks = uniform(2_000, 9);
+        let lb = LearnedBloom::build(&ks, 0.01).unwrap();
+        for &k in ks.keys() {
+            assert!(lb.may_contain(k), "false negative at {k}");
+        }
+    }
+
+    #[test]
+    fn learned_bloom_rejects_most_non_members() {
+        let ks = uniform(2_000, 10);
+        let lb = LearnedBloom::build(&ks, 0.01).unwrap();
+        let probes: Vec<Key> = (0..5_000u64).map(|i| i * 4 + 1).collect();
+        let fpr = lb.empirical_fpr(&probes);
+        assert!(fpr < 0.05, "fpr {fpr}");
+    }
+
+    #[test]
+    fn poisoning_widens_the_window() {
+        let clean = uniform(2_000, 10);
+        let clean_lb = LearnedBloom::build(&clean, 0.01).unwrap();
+
+        let mut poisoned = clean.clone();
+        for j in 0..200u64 {
+            let k = 10_001 + j;
+            if !poisoned.contains(k) {
+                poisoned.insert(k).unwrap();
+            }
+        }
+        let poisoned_lb = LearnedBloom::build(&poisoned, 0.01).unwrap();
+        assert!(
+            poisoned_lb.window() > clean_lb.window(),
+            "poisoning should widen the acceptance window: {} vs {}",
+            poisoned_lb.window(),
+            clean_lb.window()
+        );
+    }
+
+    #[test]
+    fn backup_fraction_bounded() {
+        let ks = uniform(1_000, 7);
+        let lb = LearnedBloom::build(&ks, 0.01).unwrap();
+        assert!(lb.backup_fraction() <= 1.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Cubic least-squares regression on a CDF.
+//!
+//! RMI implementations in the wild (e.g. the reference RMI of Kraska et
+//! al.'s follow-up code) commonly offer a cubic root model as a middle
+//! ground between a linear root (too coarse for skewed data) and a neural
+//! network (slower to train). We fit `rank ≈ c3·x³ + c2·x² + c1·x + c0` by
+//! solving the 4×4 normal equations with Gaussian elimination and partial
+//! pivoting, over inputs normalized to `[-1, 1]` for conditioning.
+
+use crate::error::{LisError, Result};
+use crate::keys::{Key, KeySet};
+
+/// A fitted cubic `rank ≈ ((c3·x + c2)·x + c1)·x + c0` over normalized
+/// inputs `x = (key − off) · scale`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CubicModel {
+    coef: [f64; 4],
+    off: f64,
+    scale: f64,
+    n: usize,
+}
+
+impl CubicModel {
+    /// Fits the cubic on the CDF of `ks`. Requires at least 4 points; fewer
+    /// points make the normal equations singular.
+    pub fn fit(ks: &KeySet) -> Result<Self> {
+        if ks.len() < 4 {
+            return Err(LisError::DegenerateRegression { n: ks.len() });
+        }
+        let off = crate::stats::midpoint_shift(ks.min_key(), ks.max_key());
+        let span = (ks.max_key() - ks.min_key()) as f64;
+        let scale = if span > 0.0 { 2.0 / span } else { 1.0 };
+
+        // Accumulate moments Σx^k for k=0..6 and Σx^k·r for k=0..3.
+        let mut pow_sums = [0.0f64; 7];
+        let mut xr_sums = [0.0f64; 4];
+        for (k, r) in ks.cdf_pairs() {
+            let x = (k as f64 - off) * scale;
+            let r = r as f64;
+            let mut xp = 1.0;
+            for (i, s) in pow_sums.iter_mut().enumerate() {
+                *s += xp;
+                if i < 4 {
+                    xr_sums[i] += xp * r;
+                }
+                xp *= x;
+            }
+        }
+
+        // Normal equations A·c = b with A[i][j] = Σx^(i+j), b[i] = Σx^i·r.
+        let mut a = [[0.0f64; 5]; 4];
+        for (i, row) in a.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().take(4).enumerate() {
+                *cell = pow_sums[i + j];
+            }
+            row[4] = xr_sums[i];
+        }
+        let coef = solve4(&mut a)?;
+        Ok(Self { coef, off, scale, n: ks.len() })
+    }
+
+    /// Predicted fractional rank for `key`.
+    pub fn predict(&self, key: Key) -> f64 {
+        let x = (key as f64 - self.off) * self.scale;
+        ((self.coef[3] * x + self.coef[2]) * x + self.coef[1]) * x + self.coef[0]
+    }
+
+    /// Predicted 0-based position clamped to `[0, n-1]`.
+    pub fn predict_pos(&self, key: Key) -> usize {
+        let p = self.predict(key) - 1.0;
+        p.round().clamp(0.0, (self.n - 1) as f64) as usize
+    }
+
+    /// MSE of the fitted cubic on the CDF of `ks`.
+    pub fn mse_on(&self, ks: &KeySet) -> f64 {
+        let n = ks.len() as f64;
+        ks.cdf_pairs().map(|(k, r)| (self.predict(k) - r as f64).powi(2)).sum::<f64>() / n
+    }
+}
+
+/// Gaussian elimination with partial pivoting on an augmented 4×5 system.
+#[allow(clippy::needless_range_loop)] // index form mirrors the textbook elimination
+fn solve4(a: &mut [[f64; 5]; 4]) -> Result<[f64; 4]> {
+    for col in 0..4 {
+        // Pivot.
+        let mut piv = col;
+        for row in col + 1..4 {
+            if a[row][col].abs() > a[piv][col].abs() {
+                piv = row;
+            }
+        }
+        if a[piv][col].abs() < 1e-12 {
+            return Err(LisError::Invariant("singular normal equations in cubic fit".into()));
+        }
+        a.swap(col, piv);
+        // Eliminate below.
+        for row in col + 1..4 {
+            let f = a[row][col] / a[col][col];
+            for k in col..5 {
+                a[row][k] -= f * a[col][k];
+            }
+        }
+    }
+    // Back substitution.
+    let mut c = [0.0f64; 4];
+    for row in (0..4).rev() {
+        let mut acc = a[row][4];
+        for k in row + 1..4 {
+            acc -= a[row][k] * c[k];
+        }
+        c[row] = acc / a[row][row];
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requires_four_points() {
+        let ks = KeySet::from_keys(vec![1, 2, 3]).unwrap();
+        assert!(matches!(CubicModel::fit(&ks), Err(LisError::DegenerateRegression { n: 3 })));
+    }
+
+    #[test]
+    fn exact_on_linear_cdf() {
+        let ks = KeySet::from_keys((0..50u64).map(|i| i * 4).collect()).unwrap();
+        let m = CubicModel::fit(&ks).unwrap();
+        assert!(m.mse_on(&ks) < 1e-6, "cubic must reproduce a linear CDF exactly");
+    }
+
+    #[test]
+    fn exact_on_cubic_shaped_cdf() {
+        // Keys at i³ — the inverse CDF is cubic in rank, so the CDF itself
+        // is a cube root, NOT a cubic; the cubic still fits it far better
+        // than a line.
+        let ks = KeySet::from_keys((1..200u64).map(|i| i * i * i).collect()).unwrap();
+        let cubic = CubicModel::fit(&ks).unwrap();
+        let line = crate::linreg::LinearModel::fit(&ks).unwrap();
+        assert!(
+            cubic.mse_on(&ks) < line.mse,
+            "cubic {} should beat linear {}",
+            cubic.mse_on(&ks),
+            line.mse
+        );
+    }
+
+    #[test]
+    fn beats_linear_on_lognormal_like_data() {
+        // Exponentially spaced keys: heavy skew.
+        let ks = KeySet::from_keys((0..60u64).map(|i| (1.2f64.powi(i as i32) * 10.0) as u64).collect())
+            .unwrap();
+        let cubic = CubicModel::fit(&ks).unwrap();
+        let line = crate::linreg::LinearModel::fit(&ks).unwrap();
+        assert!(cubic.mse_on(&ks) <= line.mse + 1e-9);
+    }
+
+    #[test]
+    fn predict_pos_clamps_to_valid_range() {
+        let ks = KeySet::from_keys(vec![10, 20, 30, 40, 50]).unwrap();
+        let m = CubicModel::fit(&ks).unwrap();
+        assert!(m.predict_pos(0) <= 4);
+        assert!(m.predict_pos(10_000) <= 4);
+    }
+
+    #[test]
+    fn solve4_on_identity() {
+        let mut a = [
+            [1.0, 0.0, 0.0, 0.0, 4.0],
+            [0.0, 1.0, 0.0, 0.0, 3.0],
+            [0.0, 0.0, 1.0, 0.0, 2.0],
+            [0.0, 0.0, 0.0, 1.0, 1.0],
+        ];
+        assert_eq!(solve4(&mut a).unwrap(), [4.0, 3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn solve4_detects_singularity() {
+        let mut a = [
+            [1.0, 1.0, 0.0, 0.0, 1.0],
+            [1.0, 1.0, 0.0, 0.0, 1.0],
+            [0.0, 0.0, 1.0, 0.0, 1.0],
+            [0.0, 0.0, 0.0, 1.0, 1.0],
+        ];
+        assert!(solve4(&mut a).is_err());
+    }
+}

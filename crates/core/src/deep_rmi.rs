@@ -1,0 +1,277 @@
+//! Multi-stage recursive model index (the general architecture of Kraska
+//! et al., Figure 1 of the paper generalized beyond two stages).
+//!
+//! The paper attacks the two-stage instantiation because that is the one
+//! shown to beat B-Trees, but the RMI definition allows any stage count:
+//! stage `i` holds `M_i` models, and a key is routed top-down — each
+//! stage's prediction (scaled to the next stage's width) picks the model
+//! below. Training is the standard top-down pass: every model is trained
+//! on exactly the keys that *routing* (not partitioning) sends to it,
+//! which means upper-stage errors shape lower-stage training sets.
+//!
+//! This generalization matters for the attack analysis: deeper hierarchies
+//! dilute a fixed poisoning budget across more (smaller) leaf models, but
+//! leaf training sets are no longer contiguous equal-size partitions, so
+//! the equal-partition attack bookkeeping (Algorithm 2) becomes an
+//! approximation. The `deep_rmi` tests quantify the clean-index behaviour;
+//! poisoning it end-to-end is future work mirrored from the paper's own.
+
+use crate::error::{LisError, Result};
+use crate::keys::{Key, KeySet};
+use crate::linreg::LinearModel;
+use crate::search::{exponential_search, SearchResult};
+
+/// Configuration: models per stage, root first. The root stage must have
+/// exactly one model; the last stage's models are the leaves.
+#[derive(Debug, Clone)]
+pub struct DeepRmiConfig {
+    /// Number of models per stage, e.g. `[1, 10, 100]`.
+    pub stage_widths: Vec<usize>,
+}
+
+impl DeepRmiConfig {
+    /// A two-stage config matching [`crate::rmi::Rmi`]'s shape.
+    pub fn two_stage(leaves: usize) -> Self {
+        Self { stage_widths: vec![1, leaves] }
+    }
+
+    /// A three-stage config with a geometric fanout.
+    pub fn three_stage(mid: usize, leaves: usize) -> Self {
+        Self { stage_widths: vec![1, mid, leaves] }
+    }
+}
+
+/// One trained model plus the rank offset of its training subset.
+#[derive(Debug, Clone)]
+struct StageModel {
+    /// `None` when no keys were routed here (empty models predict their
+    /// routing centre).
+    model: Option<LinearModel>,
+    /// Fallback prediction for empty models.
+    fallback: f64,
+}
+
+impl StageModel {
+    fn predict(&self, key: Key) -> f64 {
+        match &self.model {
+            Some(m) => m.predict(key),
+            None => self.fallback,
+        }
+    }
+}
+
+/// A trained multi-stage RMI.
+#[derive(Debug, Clone)]
+pub struct DeepRmi {
+    stages: Vec<Vec<StageModel>>,
+    keys: Vec<Key>,
+    /// Per-leaf max training error (last-mile radius), leaf-indexed.
+    leaf_errors: Vec<usize>,
+}
+
+impl DeepRmi {
+    /// Trains the hierarchy top-down over `ks`.
+    pub fn build(ks: &KeySet, cfg: &DeepRmiConfig) -> Result<Self> {
+        if cfg.stage_widths.is_empty() || cfg.stage_widths[0] != 1 {
+            return Err(LisError::InvalidRmiConfig(
+                "stage_widths must start with a single root model".into(),
+            ));
+        }
+        if cfg.stage_widths.contains(&0) {
+            return Err(LisError::InvalidRmiConfig("zero-width stage".into()));
+        }
+        let n = ks.len();
+        let pairs: Vec<(Key, usize)> = ks.cdf_pairs().collect();
+
+        let mut stages: Vec<Vec<StageModel>> = Vec::with_capacity(cfg.stage_widths.len());
+        // Assignment of every key to a model of the current stage.
+        let mut assignment: Vec<usize> = vec![0; n];
+
+        for (depth, &width) in cfg.stage_widths.iter().enumerate() {
+            // Gather training sets per model of this stage.
+            let mut buckets: Vec<Vec<(Key, usize)>> = vec![Vec::new(); width];
+            for (i, &(k, r)) in pairs.iter().enumerate() {
+                buckets[assignment[i].min(width - 1)].push((k, r));
+            }
+            let mut stage = Vec::with_capacity(width);
+            for (m_idx, bucket) in buckets.iter().enumerate() {
+                let fallback = ((m_idx as f64 + 0.5) / width as f64) * n as f64;
+                let model = if bucket.len() >= 2 {
+                    Some(LinearModel::fit_pairs(bucket)?)
+                } else {
+                    None
+                };
+                stage.push(StageModel { model, fallback });
+            }
+
+            // Route every key through this stage to compute the next
+            // assignment (skip after the last stage).
+            if depth + 1 < cfg.stage_widths.len() {
+                let next_width = cfg.stage_widths[depth + 1];
+                for (i, &(k, _)) in pairs.iter().enumerate() {
+                    let pred = stage[assignment[i].min(width - 1)].predict(k);
+                    assignment[i] = scale_to_stage(pred, n, next_width);
+                }
+            }
+            stages.push(stage);
+        }
+
+        // Leaf error bounds from the final assignment.
+        let leaf_width = *cfg.stage_widths.last().unwrap();
+        let mut leaf_errors = vec![0usize; leaf_width];
+        let leaves = stages.last().unwrap();
+        for (i, &(k, r)) in pairs.iter().enumerate() {
+            let leaf = assignment[i].min(leaf_width - 1);
+            let err = (leaves[leaf].predict(k) - r as f64).abs().ceil() as usize;
+            leaf_errors[leaf] = leaf_errors[leaf].max(err);
+        }
+
+        Ok(Self { stages, keys: ks.keys().to_vec(), leaf_errors })
+    }
+
+    /// Number of stages.
+    pub fn depth(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Number of leaf models.
+    pub fn num_leaves(&self) -> usize {
+        self.stages.last().map(Vec::len).unwrap_or(0)
+    }
+
+    /// Total number of models across stages (storage proxy).
+    pub fn num_models(&self) -> usize {
+        self.stages.iter().map(Vec::len).sum()
+    }
+
+    /// Largest leaf last-mile radius.
+    pub fn max_leaf_error(&self) -> usize {
+        self.leaf_errors.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Routes `key` to its leaf index.
+    pub fn route(&self, key: Key) -> usize {
+        let n = self.keys.len();
+        let mut idx = 0usize;
+        for (depth, stage) in self.stages.iter().enumerate() {
+            let pred = stage[idx.min(stage.len() - 1)].predict(key);
+            if depth + 1 < self.stages.len() {
+                idx = scale_to_stage(pred, n, self.stages[depth + 1].len());
+            }
+        }
+        idx.min(self.num_leaves() - 1)
+    }
+
+    /// Predicted global 0-based position for `key`.
+    pub fn predict_pos(&self, key: Key) -> usize {
+        let leaf = self.route(key);
+        let pred = self.stages.last().unwrap()[leaf].predict(key) - 1.0;
+        pred.round().clamp(0.0, (self.keys.len() - 1) as f64) as usize
+    }
+
+    /// Full lookup with last-mile exponential search.
+    pub fn lookup(&self, key: Key) -> SearchResult {
+        exponential_search(&self.keys, key, self.predict_pos(key))
+    }
+}
+
+/// Scales a rank prediction over `n` keys to a stage of `width` models.
+fn scale_to_stage(pred: f64, n: usize, width: usize) -> usize {
+    let frac = ((pred - 1.0) / n as f64).clamp(0.0, 1.0 - f64::EPSILON);
+    (frac * width as f64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: u64, step: u64) -> KeySet {
+        KeySet::from_keys((0..n).map(|i| i * step).collect()).unwrap()
+    }
+
+    fn skewed(n: u64) -> KeySet {
+        KeySet::from_keys((1..=n).map(|i| i * i).collect()).unwrap()
+    }
+
+    #[test]
+    fn validates_config() {
+        let ks = uniform(100, 3);
+        assert!(DeepRmi::build(&ks, &DeepRmiConfig { stage_widths: vec![] }).is_err());
+        assert!(DeepRmi::build(&ks, &DeepRmiConfig { stage_widths: vec![2, 10] }).is_err());
+        assert!(DeepRmi::build(&ks, &DeepRmiConfig { stage_widths: vec![1, 0] }).is_err());
+    }
+
+    #[test]
+    fn two_stage_finds_all_keys() {
+        let ks = uniform(2_000, 7);
+        let rmi = DeepRmi::build(&ks, &DeepRmiConfig::two_stage(40)).unwrap();
+        assert_eq!(rmi.depth(), 2);
+        for (i, &k) in ks.keys().iter().enumerate() {
+            assert_eq!(rmi.lookup(k).pos, Some(i), "key {k}");
+        }
+    }
+
+    #[test]
+    fn three_stage_finds_all_keys_on_skewed_data() {
+        let ks = skewed(3_000);
+        let rmi = DeepRmi::build(&ks, &DeepRmiConfig::three_stage(10, 100)).unwrap();
+        assert_eq!(rmi.depth(), 3);
+        assert_eq!(rmi.num_models(), 111);
+        for (i, &k) in ks.keys().iter().enumerate().step_by(7) {
+            assert_eq!(rmi.lookup(k).pos, Some(i), "key {k}");
+        }
+    }
+
+    #[test]
+    fn absent_keys_not_found() {
+        let ks = uniform(500, 10);
+        let rmi = DeepRmi::build(&ks, &DeepRmiConfig::three_stage(5, 50)).unwrap();
+        for k in [1u64, 15, 4_999, 100_000] {
+            assert_eq!(rmi.lookup(k).pos, None, "key {k}");
+        }
+    }
+
+    #[test]
+    fn deeper_hierarchy_reduces_leaf_error_on_skewed_data() {
+        let ks = skewed(5_000);
+        let shallow = DeepRmi::build(&ks, &DeepRmiConfig::two_stage(50)).unwrap();
+        let deep = DeepRmi::build(&ks, &DeepRmiConfig::three_stage(50, 500)).unwrap();
+        assert!(
+            deep.max_leaf_error() <= shallow.max_leaf_error(),
+            "deep {} vs shallow {}",
+            deep.max_leaf_error(),
+            shallow.max_leaf_error()
+        );
+    }
+
+    #[test]
+    fn empty_leaves_are_tolerated() {
+        // Heavily skewed data routes nothing to many leaves; lookups must
+        // still succeed everywhere.
+        let ks = skewed(500);
+        let rmi = DeepRmi::build(&ks, &DeepRmiConfig::three_stage(20, 400)).unwrap();
+        for (i, &k) in ks.keys().iter().enumerate().step_by(11) {
+            assert_eq!(rmi.lookup(k).pos, Some(i));
+        }
+    }
+
+    #[test]
+    fn poisoning_degrades_deep_rmi_too() {
+        let ks = uniform(2_000, 9);
+        let clean = DeepRmi::build(&ks, &DeepRmiConfig::three_stage(8, 80)).unwrap();
+
+        let mut poisoned = ks.clone();
+        for j in 0..200u64 {
+            let k = 9_001 + j * 2;
+            if !poisoned.contains(k) {
+                poisoned.insert(k).unwrap();
+            }
+        }
+        let bad = DeepRmi::build(&poisoned, &DeepRmiConfig::three_stage(8, 80)).unwrap();
+        // The clean keys are still found, but the error radius grows.
+        for (i, &k) in poisoned.keys().iter().enumerate().step_by(13) {
+            assert_eq!(bad.lookup(k).pos, Some(i));
+        }
+        assert!(bad.max_leaf_error() >= clean.max_leaf_error());
+    }
+}

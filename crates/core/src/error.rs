@@ -1,0 +1,107 @@
+//! Error type shared across the workspace.
+
+use crate::keys::{Key, KeyDomain};
+use std::fmt;
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, LisError>;
+
+/// Errors produced by the learned-index substrate and the attacks built on
+/// top of it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LisError {
+    /// A keyset must contain at least one key.
+    EmptyKeySet,
+    /// A regression needs at least two distinct keys.
+    DegenerateRegression {
+        /// Number of keys supplied.
+        n: usize,
+    },
+    /// Domain constructed with `min > max`.
+    InvalidDomain {
+        /// Requested lower bound.
+        min: Key,
+        /// Requested upper bound.
+        max: Key,
+    },
+    /// Key falls outside the declared domain.
+    KeyOutOfDomain {
+        /// The offending key.
+        key: Key,
+        /// The domain it violated.
+        domain: KeyDomain,
+    },
+    /// Key already present in a duplicate-free set.
+    DuplicateKey(Key),
+    /// Key not present.
+    KeyNotFound(Key),
+    /// Partition count must be in `1..=n`.
+    InvalidPartition {
+        /// Requested partition count.
+        parts: usize,
+        /// Available key count.
+        keys: usize,
+    },
+    /// The keyset has no unoccupied slot to poison.
+    NoPoisoningCandidates,
+    /// Poisoning budget parameters out of range.
+    InvalidBudget(String),
+    /// RMI configuration error (e.g. zero second-stage models).
+    InvalidRmiConfig(String),
+    /// Neural-network configuration/training error.
+    InvalidNnConfig(String),
+    /// Record store lookup for a missing key.
+    RecordNotFound(Key),
+    /// Generic invariant breach with context.
+    Invariant(String),
+}
+
+impl fmt::Display for LisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyKeySet => write!(f, "keyset must not be empty"),
+            Self::DegenerateRegression { n } => {
+                write!(f, "linear regression needs at least 2 distinct keys, got {n}")
+            }
+            Self::InvalidDomain { min, max } => {
+                write!(f, "invalid key domain: min {min} > max {max}")
+            }
+            Self::KeyOutOfDomain { key, domain } => {
+                write!(f, "key {key} outside domain {domain}")
+            }
+            Self::DuplicateKey(k) => write!(f, "duplicate key {k}"),
+            Self::KeyNotFound(k) => write!(f, "key {k} not found"),
+            Self::InvalidPartition { parts, keys } => {
+                write!(f, "cannot split {keys} keys into {parts} partitions")
+            }
+            Self::NoPoisoningCandidates => {
+                write!(f, "no unoccupied in-range key available for poisoning")
+            }
+            Self::InvalidBudget(msg) => write!(f, "invalid poisoning budget: {msg}"),
+            Self::InvalidRmiConfig(msg) => write!(f, "invalid RMI configuration: {msg}"),
+            Self::InvalidNnConfig(msg) => write!(f, "invalid NN configuration: {msg}"),
+            Self::RecordNotFound(k) => write!(f, "record for key {k} not found"),
+            Self::Invariant(msg) => write!(f, "invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LisError::KeyOutOfDomain { key: 42, domain: KeyDomain { min: 0, max: 10 } };
+        let s = e.to_string();
+        assert!(s.contains("42") && s.contains("[0, 10]"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&LisError::EmptyKeySet);
+    }
+}

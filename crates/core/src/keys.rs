@@ -1,0 +1,474 @@
+//! Key sets: sorted, deduplicated collections of integer keys.
+//!
+//! The paper (Section III) models an index over a set `K ⊆ 𝒦` of `n`
+//! distinct non-negative integer keys drawn from a key universe `𝒦` of size
+//! `m`. Every key has a *rank* — its 1-based position in the sorted order —
+//! and the (non-normalized) CDF of the keyset maps each key to its rank.
+//!
+//! [`KeySet`] is the canonical owned representation used throughout the
+//! workspace: a sorted `Vec<u64>` with no duplicates, paired with the key
+//! universe it was drawn from. It exposes rank queries, gap iteration (the
+//! maximal runs of unoccupied keys that the poisoning attack mines for
+//! candidates), and density accounting.
+
+use crate::error::{LisError, Result};
+use std::fmt;
+
+/// A key is a non-negative integer, as in the paper (Section III,
+/// "for simplicity, we assume that keys are non-negative integers").
+pub type Key = u64;
+
+/// The 1-based rank of a key inside a [`KeySet`].
+pub type Rank = usize;
+
+/// Inclusive integer key universe `𝒦 = [min, max]`.
+///
+/// The density of a keyset is `n / m` where `m = max - min + 1` is the
+/// universe size. Poisoning candidates are restricted to this range so the
+/// attack never plants detectable out-of-range outliers (Section IV-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KeyDomain {
+    /// Smallest admissible key (inclusive).
+    pub min: Key,
+    /// Largest admissible key (inclusive).
+    pub max: Key,
+}
+
+impl KeyDomain {
+    /// Creates a domain `[min, max]`. Errors if `min > max`.
+    pub fn new(min: Key, max: Key) -> Result<Self> {
+        if min > max {
+            return Err(LisError::InvalidDomain { min, max });
+        }
+        Ok(Self { min, max })
+    }
+
+    /// Domain `[0, max]`, the common case for synthetic workloads.
+    pub fn up_to(max: Key) -> Self {
+        Self { min: 0, max }
+    }
+
+    /// Number of keys in the universe, `m = max - min + 1`.
+    ///
+    /// Saturates at `u64::MAX` for the degenerate full-range domain.
+    pub fn size(&self) -> u64 {
+        (self.max - self.min).saturating_add(1)
+    }
+
+    /// Whether `key` lies inside the domain.
+    pub fn contains(&self, key: Key) -> bool {
+        (self.min..=self.max).contains(&key)
+    }
+}
+
+impl fmt::Display for KeyDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.min, self.max)
+    }
+}
+
+/// A maximal run of consecutive *unoccupied* keys between two occupied keys
+/// (or between an occupied key and a domain boundary).
+///
+/// For the keyset `{2, 6, 7, 12}` on domain `[1, 13]` the gaps are `{1}`,
+/// `{3,4,5}`, `{8..11}`, `{13}` — exactly the subsequences of the running
+/// example in Section IV-C of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gap {
+    /// First unoccupied key of the run (inclusive).
+    pub lo: Key,
+    /// Last unoccupied key of the run (inclusive).
+    pub hi: Key,
+    /// Rank a key inserted anywhere in this gap would take
+    /// (i.e. one plus the number of existing keys smaller than `lo`).
+    pub insert_rank: Rank,
+}
+
+impl Gap {
+    /// Number of unoccupied keys in the run.
+    pub fn len(&self) -> u64 {
+        self.hi - self.lo + 1
+    }
+
+    /// `true` iff the gap is empty (never produced by [`KeySet::gaps`]).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The candidate poisoning keys of this gap: its endpoints.
+    ///
+    /// By the per-gap convexity of the loss sequence (Theorem 2) the loss is
+    /// maximised at one of the two endpoints, so these are the only keys the
+    /// optimal attack must evaluate.
+    pub fn endpoints(&self) -> impl Iterator<Item = Key> {
+        let second = if self.hi != self.lo { Some(self.hi) } else { None };
+        std::iter::once(self.lo).chain(second)
+    }
+}
+
+/// A sorted, duplicate-free set of keys together with its domain.
+///
+/// This is the training set of every learned-index model in the workspace:
+/// the CDF pairs are `(self.keys[i], i + 1)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeySet {
+    keys: Vec<Key>,
+    domain: KeyDomain,
+}
+
+impl KeySet {
+    /// Builds a keyset from arbitrary (unsorted, possibly duplicated) keys.
+    ///
+    /// Keys are sorted and deduplicated. Errors if any key falls outside
+    /// `domain` or if the resulting set is empty.
+    pub fn new(mut keys: Vec<Key>, domain: KeyDomain) -> Result<Self> {
+        keys.sort_unstable();
+        keys.dedup();
+        if keys.is_empty() {
+            return Err(LisError::EmptyKeySet);
+        }
+        if keys[0] < domain.min || *keys.last().unwrap() > domain.max {
+            return Err(LisError::KeyOutOfDomain {
+                key: if keys[0] < domain.min { keys[0] } else { *keys.last().unwrap() },
+                domain,
+            });
+        }
+        Ok(Self { keys, domain })
+    }
+
+    /// Builds a keyset whose domain is exactly `[min(keys), max(keys)]`.
+    pub fn from_keys(keys: Vec<Key>) -> Result<Self> {
+        if keys.is_empty() {
+            return Err(LisError::EmptyKeySet);
+        }
+        let min = *keys.iter().min().unwrap();
+        let max = *keys.iter().max().unwrap();
+        Self::new(keys, KeyDomain { min, max })
+    }
+
+    /// Builds from keys that the caller guarantees are sorted and distinct.
+    ///
+    /// Verified with a debug assertion; use [`KeySet::new`] when unsure.
+    pub fn from_sorted_unchecked(keys: Vec<Key>, domain: KeyDomain) -> Self {
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be strictly sorted");
+        debug_assert!(!keys.is_empty());
+        Self { keys, domain }
+    }
+
+    /// The sorted keys.
+    pub fn keys(&self) -> &[Key] {
+        &self.keys
+    }
+
+    /// The key domain (universe) this set was drawn from.
+    pub fn domain(&self) -> KeyDomain {
+        self.domain
+    }
+
+    /// Number of keys, `n`.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` iff the set holds no keys (unreachable for constructed sets).
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Density `n / m` of the keyset over its domain.
+    pub fn density(&self) -> f64 {
+        self.keys.len() as f64 / self.domain.size() as f64
+    }
+
+    /// Smallest key.
+    pub fn min_key(&self) -> Key {
+        self.keys[0]
+    }
+
+    /// Largest key.
+    pub fn max_key(&self) -> Key {
+        *self.keys.last().unwrap()
+    }
+
+    /// Whether `key` is a member of the set (binary search).
+    pub fn contains(&self, key: Key) -> bool {
+        self.keys.binary_search(&key).is_ok()
+    }
+
+    /// 1-based rank of `key` if present.
+    pub fn rank(&self, key: Key) -> Option<Rank> {
+        self.keys.binary_search(&key).ok().map(|i| i + 1)
+    }
+
+    /// Rank that `key` *would take* if inserted: one plus the number of
+    /// existing keys strictly smaller than `key`.
+    ///
+    /// This is the `T(i)` sequence of Algorithm 1.
+    pub fn insertion_rank(&self, key: Key) -> Rank {
+        self.keys.partition_point(|&k| k < key) + 1
+    }
+
+    /// Number of existing keys strictly greater than `key`.
+    ///
+    /// The poisoning loss oracle needs this count `c`: inserting `key`
+    /// increments the rank of exactly these `c` keys (the compound effect of
+    /// Section IV-B).
+    pub fn count_above(&self, key: Key) -> usize {
+        self.keys.len() - self.keys.partition_point(|&k| k <= key)
+    }
+
+    /// Iterates the CDF pairs `(key, rank)` with ranks `1..=n`.
+    pub fn cdf_pairs(&self) -> impl Iterator<Item = (Key, Rank)> + '_ {
+        self.keys.iter().enumerate().map(|(i, &k)| (k, i + 1))
+    }
+
+    /// Maximal runs of unoccupied keys *strictly between* the smallest and
+    /// largest existing key.
+    ///
+    /// The optimal attack deliberately ignores the runs that touch the
+    /// domain boundary: inserting below `min(K)` or above `max(K)` would
+    /// create an out-of-range outlier that simple mitigations remove
+    /// (Section IV-C). Use [`KeySet::gaps_in_domain`] for the unrestricted
+    /// variant.
+    pub fn gaps(&self) -> Vec<Gap> {
+        let mut gaps = Vec::new();
+        for (i, w) in self.keys.windows(2).enumerate() {
+            if w[1] - w[0] > 1 {
+                gaps.push(Gap { lo: w[0] + 1, hi: w[1] - 1, insert_rank: i + 2 });
+            }
+        }
+        gaps
+    }
+
+    /// Maximal runs of unoccupied keys over the *whole* domain, including
+    /// the runs below `min(K)` and above `max(K)`.
+    pub fn gaps_in_domain(&self) -> Vec<Gap> {
+        let mut gaps = Vec::new();
+        if self.keys[0] > self.domain.min {
+            gaps.push(Gap { lo: self.domain.min, hi: self.keys[0] - 1, insert_rank: 1 });
+        }
+        gaps.extend(self.gaps());
+        let last = *self.keys.last().unwrap();
+        if last < self.domain.max {
+            gaps.push(Gap { lo: last + 1, hi: self.domain.max, insert_rank: self.keys.len() + 1 });
+        }
+        gaps
+    }
+
+    /// Total number of unoccupied keys strictly between min and max key.
+    pub fn free_slots_between(&self) -> u64 {
+        self.gaps().iter().map(Gap::len).sum()
+    }
+
+    /// Returns a new keyset with `key` inserted. Errors if `key` is already
+    /// present or outside the domain.
+    pub fn with_key(&self, key: Key) -> Result<Self> {
+        let mut next = self.clone();
+        next.insert(key)?;
+        Ok(next)
+    }
+
+    /// Inserts `key` in place, keeping sorted order.
+    pub fn insert(&mut self, key: Key) -> Result<()> {
+        if !self.domain.contains(key) {
+            return Err(LisError::KeyOutOfDomain { key, domain: self.domain });
+        }
+        match self.keys.binary_search(&key) {
+            Ok(_) => Err(LisError::DuplicateKey(key)),
+            Err(pos) => {
+                self.keys.insert(pos, key);
+                Ok(())
+            }
+        }
+    }
+
+    /// Removes `key` in place. Errors if absent.
+    pub fn remove(&mut self, key: Key) -> Result<()> {
+        match self.keys.binary_search(&key) {
+            Ok(pos) => {
+                self.keys.remove(pos);
+                Ok(())
+            }
+            Err(_) => Err(LisError::KeyNotFound(key)),
+        }
+    }
+
+    /// Merges another set of keys into this keyset (duplicates rejected).
+    pub fn insert_all<I: IntoIterator<Item = Key>>(&mut self, keys: I) -> Result<()> {
+        for k in keys {
+            self.insert(k)?;
+        }
+        Ok(())
+    }
+
+    /// Splits the keyset into `parts` contiguous partitions of (near-)equal
+    /// size, the partition scheme of the two-stage RMI evaluated in the
+    /// paper ("a partition of non-overlapping keyset of equal size assigned
+    /// to models on the leaves", Section III-A).
+    ///
+    /// The first `n % parts` partitions receive one extra key. Each returned
+    /// keyset keeps the parent domain restricted to its own key span.
+    pub fn partition(&self, parts: usize) -> Result<Vec<KeySet>> {
+        if parts == 0 || parts > self.keys.len() {
+            return Err(LisError::InvalidPartition { parts, keys: self.keys.len() });
+        }
+        let n = self.keys.len();
+        let base = n / parts;
+        let extra = n % parts;
+        let mut out = Vec::with_capacity(parts);
+        let mut start = 0;
+        for i in 0..parts {
+            let len = base + usize::from(i < extra);
+            let slice = &self.keys[start..start + len];
+            out.push(KeySet {
+                keys: slice.to_vec(),
+                domain: KeyDomain { min: slice[0], max: *slice.last().unwrap() },
+            });
+            start += len;
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for KeySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "KeySet(n={}, domain={}, density={:.2}%)",
+            self.len(),
+            self.domain,
+            100.0 * self.density()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_example() -> KeySet {
+        // Running example of Section IV-C: keys {2, 6, 7, 12} on [1, 13].
+        KeySet::new(vec![2, 6, 7, 12], KeyDomain::new(1, 13).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let ks = KeySet::new(vec![5, 1, 3, 3, 5], KeyDomain::up_to(10)).unwrap();
+        assert_eq!(ks.keys(), &[1, 3, 5]);
+    }
+
+    #[test]
+    fn new_rejects_empty() {
+        assert!(matches!(
+            KeySet::new(vec![], KeyDomain::up_to(10)),
+            Err(LisError::EmptyKeySet)
+        ));
+    }
+
+    #[test]
+    fn new_rejects_out_of_domain() {
+        assert!(KeySet::new(vec![11], KeyDomain::up_to(10)).is_err());
+        assert!(KeySet::new(vec![0], KeyDomain::new(1, 10).unwrap()).is_err());
+    }
+
+    #[test]
+    fn domain_size_and_density() {
+        let ks = paper_example();
+        assert_eq!(ks.domain().size(), 13);
+        assert!((ks.density() - 4.0 / 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_queries() {
+        let ks = paper_example();
+        assert_eq!(ks.rank(2), Some(1));
+        assert_eq!(ks.rank(7), Some(3));
+        assert_eq!(ks.rank(5), None);
+        assert_eq!(ks.insertion_rank(1), 1);
+        assert_eq!(ks.insertion_rank(3), 2);
+        assert_eq!(ks.insertion_rank(8), 4);
+        assert_eq!(ks.insertion_rank(13), 5);
+    }
+
+    #[test]
+    fn count_above_matches_compound_effect() {
+        let ks = paper_example();
+        assert_eq!(ks.count_above(1), 4);
+        assert_eq!(ks.count_above(2), 3);
+        assert_eq!(ks.count_above(8), 1);
+        assert_eq!(ks.count_above(13), 0);
+    }
+
+    #[test]
+    fn gaps_match_paper_running_example() {
+        let ks = paper_example();
+        // Interior subsequences: {3,4,5}, {8,9,10,11}.
+        let gaps = ks.gaps();
+        assert_eq!(gaps.len(), 2);
+        assert_eq!((gaps[0].lo, gaps[0].hi, gaps[0].insert_rank), (3, 5, 2));
+        assert_eq!((gaps[1].lo, gaps[1].hi, gaps[1].insert_rank), (8, 11, 4));
+        // Including boundary runs: {1} and {13}.
+        let all = ks.gaps_in_domain();
+        assert_eq!(all.len(), 4);
+        assert_eq!((all[0].lo, all[0].hi, all[0].insert_rank), (1, 1, 1));
+        assert_eq!((all[3].lo, all[3].hi, all[3].insert_rank), (13, 13, 5));
+    }
+
+    #[test]
+    fn gap_endpoints() {
+        let g = Gap { lo: 3, hi: 5, insert_rank: 2 };
+        assert_eq!(g.endpoints().collect::<Vec<_>>(), vec![3, 5]);
+        let single = Gap { lo: 9, hi: 9, insert_rank: 1 };
+        assert_eq!(single.endpoints().collect::<Vec<_>>(), vec![9]);
+    }
+
+    #[test]
+    fn insert_and_remove_roundtrip() {
+        let mut ks = paper_example();
+        ks.insert(9).unwrap();
+        assert_eq!(ks.keys(), &[2, 6, 7, 9, 12]);
+        assert!(matches!(ks.insert(9), Err(LisError::DuplicateKey(9))));
+        ks.remove(9).unwrap();
+        assert_eq!(ks.keys(), &[2, 6, 7, 12]);
+        assert!(ks.remove(9).is_err());
+    }
+
+    #[test]
+    fn insert_respects_domain() {
+        let mut ks = paper_example();
+        assert!(ks.insert(0).is_err());
+        assert!(ks.insert(14).is_err());
+    }
+
+    #[test]
+    fn cdf_pairs_are_rank_ordered() {
+        let ks = paper_example();
+        let pairs: Vec<_> = ks.cdf_pairs().collect();
+        assert_eq!(pairs, vec![(2, 1), (6, 2), (7, 3), (12, 4)]);
+    }
+
+    #[test]
+    fn partition_equal_size() {
+        let ks = KeySet::from_keys((0..10).map(|i| i * 3).collect()).unwrap();
+        let parts = ks.partition(3).unwrap();
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].len(), 4); // 10 = 4 + 3 + 3
+        assert_eq!(parts[1].len(), 3);
+        assert_eq!(parts[2].len(), 3);
+        let merged: Vec<_> = parts.iter().flat_map(|p| p.keys().to_vec()).collect();
+        assert_eq!(merged, ks.keys());
+    }
+
+    #[test]
+    fn partition_rejects_bad_counts() {
+        let ks = paper_example();
+        assert!(ks.partition(0).is_err());
+        assert!(ks.partition(5).is_err());
+    }
+
+    #[test]
+    fn free_slots_between() {
+        let ks = paper_example();
+        assert_eq!(ks.free_slots_between(), 3 + 4);
+    }
+}

@@ -1,0 +1,230 @@
+//! Closed-form linear regression on CDFs (Definition 1 / Theorem 1).
+//!
+//! The second-stage building block of the RMI is an ordinary least-squares
+//! fit of rank against key over the CDF pairs of a keyset. Following the
+//! paper (and the original LIS work) the regression is *non-regularized*:
+//! in a learned index the queries are overwhelmingly the training keys
+//! themselves, so generalization via regularization buys nothing.
+//!
+//! Theorem 1 gives the closed form
+//! `w* = Cov_KR / Var_K`, `b* = M_R − w*·M_K`, and the optimal MSE
+//! `L = Var_R − Cov²_KR / Var_K`. (The paper's display writes
+//! `−Cov²/Var_R + Var_K`, an obvious transposition; our property tests
+//! cross-check the implemented form against explicit residual sums.)
+
+use crate::error::{LisError, Result};
+use crate::keys::{Key, KeySet};
+use crate::stats::CdfMoments;
+
+/// A fitted line `rank ≈ w·key + b` with its training loss.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearModel {
+    /// Slope `w*`.
+    pub w: f64,
+    /// Intercept `b*` (in unshifted key coordinates).
+    pub b: f64,
+    /// Optimal mean-squared error on the training CDF.
+    pub mse: f64,
+    /// Number of training points.
+    pub n: usize,
+}
+
+impl LinearModel {
+    /// Fits the regression on the CDF of `ks` (ranks `1..=n`).
+    ///
+    /// Errors with [`LisError::DegenerateRegression`] when `n < 2` (a single
+    /// point does not determine a line; the paper assumes `n ≥ 2`
+    /// throughout).
+    pub fn fit(ks: &KeySet) -> Result<Self> {
+        if ks.len() < 2 {
+            return Err(LisError::DegenerateRegression { n: ks.len() });
+        }
+        Ok(Self::from_moments(&CdfMoments::from_keyset(ks)))
+    }
+
+    /// Fits from explicit `(key, rank)` pairs; ranks need not be `1..=n`
+    /// (second-stage models may train on global ranks — the fit only shifts
+    /// by a constant).
+    pub fn fit_pairs(pairs: &[(Key, usize)]) -> Result<Self> {
+        if pairs.len() < 2 {
+            return Err(LisError::DegenerateRegression { n: pairs.len() });
+        }
+        let lo = pairs.iter().map(|&(k, _)| k).min().unwrap();
+        let hi = pairs.iter().map(|&(k, _)| k).max().unwrap();
+        let shift = crate::stats::midpoint_shift(lo, hi);
+        let m = CdfMoments::from_pairs_shifted(pairs.iter().copied(), shift);
+        Ok(Self::from_moments(&m))
+    }
+
+    /// Builds the model from precomputed moments (Theorem 1).
+    ///
+    /// When `Var_K = 0` (all keys identical — impossible for a valid
+    /// [`KeySet`] but representable through raw moments) the fit degrades to
+    /// the horizontal line through the mean rank, whose MSE is `Var_R`.
+    pub fn from_moments(m: &CdfMoments) -> Self {
+        let var_x = m.var_x();
+        let (w, mse) = if var_x > 0.0 {
+            let w = m.cov_xr() / var_x;
+            (w, optimal_mse(m))
+        } else {
+            (0.0, m.var_r())
+        };
+        // b in unshifted coordinates: rank = w·(k − shift) + b_shifted
+        //                                  = w·k + (b_shifted − w·shift).
+        let b_shifted = m.mean_r() - w * m.mean_x();
+        LinearModel { w, b: b_shifted - w * m.shift, mse, n: m.n }
+    }
+
+    /// Predicted (fractional) rank for `key`.
+    pub fn predict(&self, key: Key) -> f64 {
+        self.w * key as f64 + self.b
+    }
+
+    /// Predicted 0-based position clamped to `[0, n-1]`.
+    pub fn predict_pos(&self, key: Key) -> usize {
+        let p = self.predict(key) - 1.0;
+        p.round().clamp(0.0, (self.n.saturating_sub(1)) as f64) as usize
+    }
+
+    /// Residual `prediction − rank` for one CDF pair.
+    pub fn residual(&self, key: Key, rank: usize) -> f64 {
+        self.predict(key) - rank as f64
+    }
+
+    /// Recomputes the MSE on an arbitrary CDF from scratch — the reference
+    /// implementation used by tests and by the TRIM defense (which evaluates
+    /// a fixed line on changing subsets).
+    pub fn mse_on(&self, pairs: impl IntoIterator<Item = (Key, usize)>) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (k, r) in pairs {
+            let e = self.residual(k, r);
+            sum += e * e;
+            n += 1;
+        }
+        if n == 0 { 0.0 } else { sum / n as f64 }
+    }
+
+    /// Largest absolute residual over the training CDF of `ks` — the "last
+    /// mile" search radius a learned index must cover to guarantee hits.
+    pub fn max_abs_error(&self, ks: &KeySet) -> f64 {
+        ks.cdf_pairs().map(|(k, r)| self.residual(k, r).abs()).fold(0.0, f64::max)
+    }
+}
+
+/// Optimal MSE from moments: `Var_R − Cov²_KR / Var_K` (corrected Theorem 1).
+///
+/// Clamped at zero: for an exactly-linear CDF floating error can produce a
+/// tiny negative value.
+pub fn optimal_mse(m: &CdfMoments) -> f64 {
+    let var_x = m.var_x();
+    if var_x <= 0.0 {
+        return m.var_r();
+    }
+    let cov = m.cov_xr();
+    (m.var_r() - cov * cov / var_x).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeyDomain;
+
+    fn paper_keys() -> KeySet {
+        KeySet::new(vec![2, 6, 7, 12], KeyDomain::new(1, 13).unwrap()).unwrap()
+    }
+
+    /// Reference OLS computed the long way (normal equations on raw data).
+    fn naive_fit(pairs: &[(f64, f64)]) -> (f64, f64, f64) {
+        let n = pairs.len() as f64;
+        let mk = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+        let mr = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+        let cov = pairs.iter().map(|p| (p.0 - mk) * (p.1 - mr)).sum::<f64>() / n;
+        let var = pairs.iter().map(|p| (p.0 - mk) * (p.0 - mk)).sum::<f64>() / n;
+        let w = cov / var;
+        let b = mr - w * mk;
+        let mse = pairs.iter().map(|p| (w * p.0 + b - p.1).powi(2)).sum::<f64>() / n;
+        (w, b, mse)
+    }
+
+    #[test]
+    fn fit_matches_naive_ols() {
+        let ks = paper_keys();
+        let model = LinearModel::fit(&ks).unwrap();
+        let pairs: Vec<(f64, f64)> = ks.cdf_pairs().map(|(k, r)| (k as f64, r as f64)).collect();
+        let (w, b, mse) = naive_fit(&pairs);
+        assert!((model.w - w).abs() < 1e-9, "w {} vs {}", model.w, w);
+        assert!((model.b - b).abs() < 1e-9);
+        assert!((model.mse - mse).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfectly_linear_cdf_has_zero_loss() {
+        // Evenly spaced keys: rank is an exact linear function of key.
+        let ks = KeySet::from_keys((0..100).map(|i| i * 7).collect()).unwrap();
+        let model = LinearModel::fit(&ks).unwrap();
+        assert!(model.mse < 1e-9);
+        for (k, r) in ks.cdf_pairs() {
+            assert!((model.predict(k) - r as f64).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn degenerate_cases_error() {
+        let one = KeySet::from_keys(vec![5]).unwrap();
+        assert!(matches!(
+            LinearModel::fit(&one),
+            Err(LisError::DegenerateRegression { n: 1 })
+        ));
+        assert!(LinearModel::fit_pairs(&[(1, 1)]).is_err());
+    }
+
+    #[test]
+    fn predict_pos_clamps() {
+        let ks = KeySet::from_keys(vec![10, 20, 30, 40]).unwrap();
+        let model = LinearModel::fit(&ks).unwrap();
+        assert_eq!(model.predict_pos(0), 0);
+        assert_eq!(model.predict_pos(1000), 3);
+        assert_eq!(model.predict_pos(10), 0);
+        assert_eq!(model.predict_pos(40), 3);
+    }
+
+    #[test]
+    fn fit_pairs_with_global_ranks_shifts_intercept_only() {
+        let ks = KeySet::from_keys(vec![3, 9, 15, 27]).unwrap();
+        let local = LinearModel::fit(&ks).unwrap();
+        let global: Vec<(Key, usize)> =
+            ks.cdf_pairs().map(|(k, r)| (k, r + 100)).collect();
+        let shifted = LinearModel::fit_pairs(&global).unwrap();
+        assert!((local.w - shifted.w).abs() < 1e-9);
+        assert!((shifted.b - local.b - 100.0).abs() < 1e-7);
+        assert!((local.mse - shifted.mse).abs() < 1e-7);
+    }
+
+    #[test]
+    fn mse_on_matches_training_mse() {
+        let ks = paper_keys();
+        let model = LinearModel::fit(&ks).unwrap();
+        let recomputed = model.mse_on(ks.cdf_pairs());
+        assert!((model.mse - recomputed).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_abs_error_bounds_all_residuals() {
+        let ks = KeySet::from_keys(vec![1, 2, 3, 50, 51, 52, 100]).unwrap();
+        let model = LinearModel::fit(&ks).unwrap();
+        let bound = model.max_abs_error(&ks);
+        for (k, r) in ks.cdf_pairs() {
+            assert!(model.residual(k, r).abs() <= bound + 1e-12);
+        }
+        assert!(bound > 0.0);
+    }
+
+    #[test]
+    fn huge_keys_fit_stably() {
+        let base = 10_u64.pow(9);
+        let ks = KeySet::from_keys((0..1000).map(|i| base + i * 13).collect()).unwrap();
+        let model = LinearModel::fit(&ks).unwrap();
+        assert!(model.mse < 1e-6, "linear CDF at large offset should fit exactly, mse={}", model.mse);
+    }
+}

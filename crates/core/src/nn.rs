@@ -1,0 +1,268 @@
+//! A from-scratch feed-forward neural network for the RMI root model.
+//!
+//! The architecture Kraska et al. found to beat B-Trees uses "a neural
+//! network model that can capture the coarse-grained shape of complex
+//! functions" at the first stage (Section III-A / Figure 1 of the paper).
+//! This module implements the minimal ingredient: a one-hidden-layer MLP
+//! with ReLU activations, trained by mini-batch SGD with momentum on the
+//! normalized CDF. No external ML framework — 1-in/1-out regression needs
+//! only a few dozen parameters.
+//!
+//! Inputs and targets are normalized to `[0, 1]` before training; the
+//! network stores the affine de-normalization so [`NeuralNet::predict`]
+//! operates directly in key/rank space.
+
+use crate::error::{LisError, Result};
+use crate::keys::{Key, KeySet};
+
+/// A deterministic xorshift64* generator so training never depends on
+/// external crates and is reproducible from a seed.
+#[derive(Debug, Clone)]
+struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        Self { state: seed.max(1) }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[-1, 1)`.
+    fn next_sym(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    }
+
+    fn next_usize(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// Training hyper-parameters for [`NeuralNet`].
+#[derive(Debug, Clone, Copy)]
+pub struct NnConfig {
+    /// Hidden layer width (paper-scale root models use 8–32 neurons).
+    pub hidden: usize,
+    /// SGD epochs over the training CDF.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// RNG seed for weight init and batch shuffling.
+    pub seed: u64,
+}
+
+impl Default for NnConfig {
+    fn default() -> Self {
+        Self { hidden: 16, epochs: 60, batch: 64, lr: 0.05, momentum: 0.9, seed: 0xC0FFEE }
+    }
+}
+
+/// One-hidden-layer ReLU MLP `R → R` fitted to a CDF.
+#[derive(Debug, Clone)]
+pub struct NeuralNet {
+    w1: Vec<f64>,
+    b1: Vec<f64>,
+    w2: Vec<f64>,
+    b2: f64,
+    // Input/output affine normalization: x = (key - k_off) * k_scale,
+    // rank = y * r_scale + r_off.
+    k_off: f64,
+    k_scale: f64,
+    r_off: f64,
+    r_scale: f64,
+}
+
+impl NeuralNet {
+    /// Trains the network on the CDF of `ks`.
+    #[allow(clippy::needless_range_loop)] // hot SGD inner loops index four arrays in lockstep
+    pub fn fit(ks: &KeySet, cfg: &NnConfig) -> Result<Self> {
+        if cfg.hidden == 0 {
+            return Err(LisError::InvalidNnConfig("hidden width must be > 0".into()));
+        }
+        if cfg.batch == 0 {
+            return Err(LisError::InvalidNnConfig("batch size must be > 0".into()));
+        }
+        if ks.len() < 2 {
+            return Err(LisError::DegenerateRegression { n: ks.len() });
+        }
+
+        let n = ks.len();
+        let k_off = ks.min_key() as f64;
+        let span = (ks.max_key() - ks.min_key()) as f64;
+        let k_scale = if span > 0.0 { 1.0 / span } else { 1.0 };
+        let r_off = 1.0;
+        let r_scale = (n - 1) as f64;
+
+        let xs: Vec<f64> = ks.keys().iter().map(|&k| (k as f64 - k_off) * k_scale).collect();
+        let ys: Vec<f64> =
+            (0..n).map(|i| if n > 1 { i as f64 / (n - 1) as f64 } else { 0.0 }).collect();
+
+        let h = cfg.hidden;
+        let mut rng = XorShift64::new(cfg.seed);
+        // He-style init scaled for 1-d input.
+        let mut net = Self {
+            w1: (0..h).map(|_| rng.next_sym() * 2.0).collect(),
+            b1: (0..h).map(|_| rng.next_sym() * 0.5).collect(),
+            w2: (0..h).map(|_| rng.next_sym() * (2.0 / h as f64).sqrt()).collect(),
+            b2: 0.0,
+            k_off,
+            k_scale,
+            r_off,
+            r_scale,
+        };
+
+        let mut vw1 = vec![0.0; h];
+        let mut vb1 = vec![0.0; h];
+        let mut vw2 = vec![0.0; h];
+        let mut vb2 = 0.0;
+        let mut hidden = vec![0.0; h];
+        let mut idx: Vec<usize> = (0..n).collect();
+
+        for _ in 0..cfg.epochs {
+            // Fisher–Yates shuffle for SGD.
+            for i in (1..n).rev() {
+                let j = rng.next_usize(i + 1);
+                idx.swap(i, j);
+            }
+            for chunk in idx.chunks(cfg.batch) {
+                let mut gw1 = vec![0.0; h];
+                let mut gb1 = vec![0.0; h];
+                let mut gw2 = vec![0.0; h];
+                let mut gb2 = 0.0;
+                for &i in chunk {
+                    let x = xs[i];
+                    let mut y_hat = net.b2;
+                    for j in 0..h {
+                        let a = net.w1[j] * x + net.b1[j];
+                        hidden[j] = if a > 0.0 { a } else { 0.0 };
+                        y_hat += net.w2[j] * hidden[j];
+                    }
+                    let err = y_hat - ys[i];
+                    gb2 += err;
+                    for j in 0..h {
+                        gw2[j] += err * hidden[j];
+                        if hidden[j] > 0.0 {
+                            let back = err * net.w2[j];
+                            gw1[j] += back * x;
+                            gb1[j] += back;
+                        }
+                    }
+                }
+                let scale = cfg.lr / chunk.len() as f64;
+                for j in 0..h {
+                    vw1[j] = cfg.momentum * vw1[j] - scale * gw1[j];
+                    vb1[j] = cfg.momentum * vb1[j] - scale * gb1[j];
+                    vw2[j] = cfg.momentum * vw2[j] - scale * gw2[j];
+                    net.w1[j] += vw1[j];
+                    net.b1[j] += vb1[j];
+                    net.w2[j] += vw2[j];
+                }
+                vb2 = cfg.momentum * vb2 - scale * gb2;
+                net.b2 += vb2;
+            }
+        }
+        Ok(net)
+    }
+
+    /// Predicted fractional rank for `key` (in rank space, like the linear
+    /// model).
+    pub fn predict(&self, key: Key) -> f64 {
+        let x = (key as f64 - self.k_off) * self.k_scale;
+        let mut y = self.b2;
+        for j in 0..self.w1.len() {
+            let a = self.w1[j] * x + self.b1[j];
+            if a > 0.0 {
+                y += self.w2[j] * a;
+            }
+        }
+        y * self.r_scale + self.r_off
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.w1.len() * 3 + 1
+    }
+
+    /// Mean squared error of the network on the CDF of `ks`.
+    pub fn mse_on(&self, ks: &KeySet) -> f64 {
+        let n = ks.len() as f64;
+        ks.cdf_pairs().map(|(k, r)| (self.predict(k) - r as f64).powi(2)).sum::<f64>() / n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        let ks = KeySet::from_keys(vec![1, 2, 3]).unwrap();
+        let bad = NnConfig { hidden: 0, ..NnConfig::default() };
+        assert!(NeuralNet::fit(&ks, &bad).is_err());
+        let bad = NnConfig { batch: 0, ..NnConfig::default() };
+        assert!(NeuralNet::fit(&ks, &bad).is_err());
+        let one = KeySet::from_keys(vec![7]).unwrap();
+        assert!(NeuralNet::fit(&one, &NnConfig::default()).is_err());
+    }
+
+    #[test]
+    fn learns_linear_cdf_well() {
+        let ks = KeySet::from_keys((0..500u64).map(|i| i * 10).collect()).unwrap();
+        let nn = NeuralNet::fit(&ks, &NnConfig::default()).unwrap();
+        // Root model only needs coarse accuracy: within a few percent of n.
+        let rmse = nn.mse_on(&ks).sqrt();
+        assert!(rmse < 25.0, "rmse {} too large for 500-key linear CDF", rmse);
+    }
+
+    #[test]
+    fn learns_curved_cdf_better_than_flat() {
+        // Quadratic key spacing — a curved CDF.
+        let ks = KeySet::from_keys((0..300u64).map(|i| i * i).collect()).unwrap();
+        let nn = NeuralNet::fit(&ks, &NnConfig::default()).unwrap();
+        let mse_nn = nn.mse_on(&ks);
+        // Flat predictor at mean rank has MSE = Var_R = (n²−1)/12.
+        let n = ks.len() as f64;
+        let flat = (n * n - 1.0) / 12.0;
+        assert!(mse_nn < flat / 2.0, "nn mse {} vs flat {}", mse_nn, flat);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ks = KeySet::from_keys((0..100u64).map(|i| i * 3 + 1).collect()).unwrap();
+        let a = NeuralNet::fit(&ks, &NnConfig::default()).unwrap();
+        let b = NeuralNet::fit(&ks, &NnConfig::default()).unwrap();
+        for k in [1u64, 90, 297] {
+            assert_eq!(a.predict(k), b.predict(k));
+        }
+    }
+
+    #[test]
+    fn param_count() {
+        let ks = KeySet::from_keys(vec![1, 5, 9, 20]).unwrap();
+        let nn = NeuralNet::fit(&ks, &NnConfig { hidden: 8, epochs: 1, ..NnConfig::default() })
+            .unwrap();
+        assert_eq!(nn.param_count(), 8 * 3 + 1);
+    }
+
+    #[test]
+    fn predictions_monotone_enough_for_routing() {
+        // The router only needs predictions that grow with the key overall.
+        let ks = KeySet::from_keys((0..200u64).map(|i| i * 5).collect()).unwrap();
+        let nn = NeuralNet::fit(&ks, &NnConfig::default()).unwrap();
+        let lo = nn.predict(0);
+        let hi = nn.predict(995);
+        assert!(hi > lo, "prediction should increase across the key span");
+    }
+}

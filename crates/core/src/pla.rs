@@ -1,0 +1,269 @@
+//! Error-bounded piecewise linear approximation (PLA) index — a
+//! FITing-tree / PGM-style learned index.
+//!
+//! The paper's future-work section singles out "learned index structures
+//! based on different regression models as well as interpolation
+//! structures" as the next attack surface. This module provides that
+//! substrate: a one-pass greedy *shrinking cone* segmentation of the CDF
+//! such that every key's predicted rank is within `epsilon` of its true
+//! rank, plus a two-level index (binary search over segment boundaries,
+//! then the segment's linear model, then an `epsilon`-bounded local
+//! search).
+//!
+//! The attack-relevant property is the dual of the RMI's: a poisoned CDF
+//! does not *mis-predict* (the error bound is enforced at build time) — it
+//! forces the builder to cut **more segments**, inflating the index's
+//! memory footprint and search depth. `ablation_pla_attack` measures
+//! exactly that trade-off.
+
+use crate::error::{LisError, Result};
+use crate::keys::{Key, KeySet};
+use crate::search::{bounded_search, SearchResult};
+
+/// One PLA segment: keys in `[first_key, last_key]` are predicted by
+/// `rank ≈ slope·(key − first_key) + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Smallest key covered by the segment.
+    pub first_key: Key,
+    /// Largest key covered by the segment.
+    pub last_key: Key,
+    /// Slope of the local model (ranks per key unit).
+    pub slope: f64,
+    /// Predicted rank of `first_key` (0-based position + 1).
+    pub intercept: f64,
+    /// Index of the segment's first key in the global sorted array.
+    pub start: usize,
+    /// Number of keys covered.
+    pub len: usize,
+}
+
+impl Segment {
+    /// Predicted global 0-based position for `key`.
+    pub fn predict_pos(&self, key: Key, total: usize) -> usize {
+        let p = self.slope * (key.saturating_sub(self.first_key)) as f64 + self.intercept - 1.0;
+        p.round().clamp(0.0, (total - 1) as f64) as usize
+    }
+}
+
+/// An `epsilon`-bounded piecewise linear index over a sorted keyset.
+#[derive(Debug, Clone)]
+pub struct PlaIndex {
+    segments: Vec<Segment>,
+    keys: Vec<Key>,
+    epsilon: usize,
+}
+
+impl PlaIndex {
+    /// Builds the index with the given error bound (`epsilon ≥ 1`).
+    ///
+    /// Uses the standard shrinking-cone construction: extend the current
+    /// segment while some line through the segment origin stays within
+    /// `±epsilon` of every covered rank; cut a new segment when the cone
+    /// closes. One pass, `O(n)`.
+    pub fn build(ks: &KeySet, epsilon: usize) -> Result<Self> {
+        if epsilon == 0 {
+            return Err(LisError::Invariant("PLA epsilon must be ≥ 1".into()));
+        }
+        let keys = ks.keys().to_vec();
+        let mut segments = Vec::new();
+        let eps = epsilon as f64;
+
+        let mut start = 0usize;
+        while start < keys.len() {
+            let origin_key = keys[start];
+            let origin_rank = (start + 1) as f64;
+            // Cone of feasible slopes, starts fully open.
+            let mut lo_slope = 0.0f64;
+            let mut hi_slope = f64::INFINITY;
+            let mut end = start + 1;
+            while end < keys.len() {
+                let dx = (keys[end] - origin_key) as f64;
+                let dy = (end + 1) as f64 - origin_rank;
+                debug_assert!(dx > 0.0, "keys strictly increasing");
+                // Key at `end` requires slope in [(dy−eps)/dx, (dy+eps)/dx].
+                let need_lo = (dy - eps) / dx;
+                let need_hi = (dy + eps) / dx;
+                let new_lo = lo_slope.max(need_lo);
+                let new_hi = hi_slope.min(need_hi);
+                if new_lo > new_hi {
+                    break; // cone closed: cut the segment here
+                }
+                lo_slope = new_lo;
+                hi_slope = new_hi;
+                end += 1;
+            }
+            let slope = if end - start == 1 {
+                0.0
+            } else if hi_slope.is_finite() {
+                (lo_slope + hi_slope) / 2.0
+            } else {
+                lo_slope
+            };
+            segments.push(Segment {
+                first_key: origin_key,
+                last_key: keys[end - 1],
+                slope,
+                intercept: origin_rank,
+                start,
+                len: end - start,
+            });
+            start = end;
+        }
+        Ok(Self { segments, keys, epsilon })
+    }
+
+    /// Number of segments — the memory-footprint proxy the attack inflates.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The configured error bound.
+    pub fn epsilon(&self) -> usize {
+        self.epsilon
+    }
+
+    /// The segments.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Number of indexed keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` iff the index is empty (unreachable for built indexes).
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The segment responsible for `key`.
+    pub fn segment_for(&self, key: Key) -> &Segment {
+        let idx = match self.segments.binary_search_by(|s| s.first_key.cmp(&key)) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        &self.segments[idx]
+    }
+
+    /// Predicted global 0-based position of `key`.
+    pub fn predict_pos(&self, key: Key) -> usize {
+        self.segment_for(key).predict_pos(key, self.keys.len())
+    }
+
+    /// Full lookup: segment route, local model, `epsilon`-bounded binary
+    /// search. Membership hits are guaranteed by the build-time bound.
+    pub fn lookup(&self, key: Key) -> SearchResult {
+        let guess = self.predict_pos(key);
+        bounded_search(&self.keys, key, guess, self.epsilon + 1)
+    }
+
+    /// Largest prediction error over the training keys (must be ≤
+    /// `epsilon + 1` rounding slack; exposed for tests and diagnostics).
+    pub fn max_training_error(&self) -> usize {
+        self.keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| self.predict_pos(k).abs_diff(i))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: u64, step: u64) -> KeySet {
+        KeySet::from_keys((0..n).map(|i| i * step).collect()).unwrap()
+    }
+
+    #[test]
+    fn rejects_zero_epsilon() {
+        let ks = uniform(10, 2);
+        assert!(PlaIndex::build(&ks, 0).is_err());
+    }
+
+    #[test]
+    fn linear_data_needs_one_segment() {
+        let ks = uniform(10_000, 7);
+        let pla = PlaIndex::build(&ks, 8).unwrap();
+        assert_eq!(pla.num_segments(), 1);
+    }
+
+    #[test]
+    fn all_keys_found_within_epsilon() {
+        for eps in [1usize, 4, 16, 64] {
+            let ks = KeySet::from_keys((1..3000u64).map(|i| i * i / 7 + i).collect()).unwrap();
+            let pla = PlaIndex::build(&ks, eps).unwrap();
+            assert!(pla.max_training_error() <= eps + 1, "eps {eps}");
+            for (i, &k) in ks.keys().iter().enumerate().step_by(29) {
+                assert_eq!(pla.lookup(k).pos, Some(i), "eps {eps} key {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn absent_keys_return_none() {
+        let ks = uniform(500, 10);
+        let pla = PlaIndex::build(&ks, 4).unwrap();
+        for k in [1u64, 5, 4999, 10_000] {
+            assert_eq!(pla.lookup(k).pos, None, "key {k}");
+        }
+    }
+
+    #[test]
+    fn smaller_epsilon_more_segments() {
+        let ks = KeySet::from_keys((1..5000u64).map(|i| i * i).collect()).unwrap();
+        let tight = PlaIndex::build(&ks, 2).unwrap().num_segments();
+        let loose = PlaIndex::build(&ks, 64).unwrap().num_segments();
+        assert!(tight > loose, "tight {tight} vs loose {loose}");
+    }
+
+    #[test]
+    fn segments_tile_the_keyset() {
+        let ks = KeySet::from_keys((1..2000u64).map(|i| i * 3 + (i % 7)).collect()).unwrap();
+        let pla = PlaIndex::build(&ks, 4).unwrap();
+        let mut expected_start = 0usize;
+        for s in pla.segments() {
+            assert_eq!(s.start, expected_start);
+            assert_eq!(s.first_key, ks.keys()[s.start]);
+            assert_eq!(s.last_key, ks.keys()[s.start + s.len - 1]);
+            expected_start += s.len;
+        }
+        assert_eq!(expected_start, ks.len());
+    }
+
+    #[test]
+    fn poisoning_inflates_segment_count() {
+        // The PLA analogue of the paper's attack effect: a poisoned CDF
+        // (clustered insertions) forces more cuts at the same epsilon.
+        let ks = uniform(2_000, 11);
+        let clean_segments = PlaIndex::build(&ks, 4).unwrap().num_segments();
+
+        // Insert a dense poison clump mid-domain.
+        let mut poisoned = ks.clone();
+        let base = ks.keys()[1000] + 1;
+        for j in 0..200u64 {
+            let k = base + j;
+            if !poisoned.contains(k) {
+                let _ = poisoned.insert(k);
+            }
+        }
+        let poisoned_segments = PlaIndex::build(&poisoned, 4).unwrap().num_segments();
+        assert!(
+            poisoned_segments > clean_segments,
+            "poisoning should force more segments: {poisoned_segments} vs {clean_segments}"
+        );
+    }
+
+    #[test]
+    fn single_key_segment_edge_case() {
+        let ks = KeySet::from_keys(vec![5]).unwrap();
+        let pla = PlaIndex::build(&ks, 2).unwrap();
+        assert_eq!(pla.num_segments(), 1);
+        assert_eq!(pla.lookup(5).pos, Some(0));
+    }
+}

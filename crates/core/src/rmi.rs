@@ -1,0 +1,410 @@
+//! The two-stage Recursive Model Index (Section III-A, Figure 1).
+//!
+//! The architecture that Kraska et al. showed to outperform B-Trees — and
+//! the one the paper attacks — is a two-stage tree: a single *root* model
+//! approximating the coarse shape of the CDF, and `N` second-stage linear
+//! regressions, each the "expert" for one of `N` contiguous, equal-size
+//! partitions of the keyset.
+//!
+//! Two routing modes are provided:
+//!
+//! * [`Routing::Root`] — Kraska-style: the root's predicted rank selects the
+//!   leaf (`leaf = ⌊N·pred/n⌋`). Mis-routing is possible and handled by the
+//!   neighbour-leaf fallback during lookup.
+//! * [`Routing::Oracle`] — the paper's attack assumption ("the NN model will
+//!   always point to the correct (albeit poisoned) second-stage model",
+//!   Section V): leaves are selected by binary search on partition
+//!   boundaries, so routing is exact by construction.
+
+use crate::cubic::CubicModel;
+use crate::error::{LisError, Result};
+use crate::keys::{Key, KeySet};
+use crate::linreg::LinearModel;
+use crate::nn::{NeuralNet, NnConfig};
+use crate::search::{exponential_search, SearchResult};
+
+/// Which model family serves as the RMI root.
+#[derive(Debug, Clone)]
+pub enum RootModelKind {
+    /// Linear regression root — cheapest, fine for near-uniform data.
+    Linear,
+    /// Cubic least-squares root — captures moderate skew.
+    Cubic,
+    /// From-scratch MLP root, the architecture of the original LIS paper.
+    Neural(NnConfig),
+}
+
+/// A trained root model.
+#[derive(Debug, Clone)]
+pub enum RootModel {
+    /// Fitted linear root.
+    Linear(LinearModel),
+    /// Fitted cubic root.
+    Cubic(CubicModel),
+    /// Fitted neural-network root.
+    Neural(NeuralNet),
+}
+
+impl RootModel {
+    /// Predicted fractional rank of `key` over the full keyset.
+    pub fn predict(&self, key: Key) -> f64 {
+        match self {
+            Self::Linear(m) => m.predict(key),
+            Self::Cubic(m) => m.predict(key),
+            Self::Neural(m) => m.predict(key),
+        }
+    }
+}
+
+/// Leaf selection strategy at query time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Routing {
+    /// Select the leaf from the root model's prediction.
+    Root,
+    /// Select the leaf by binary search on partition boundaries (exact).
+    Oracle,
+}
+
+/// Configuration for [`Rmi::build`].
+#[derive(Debug, Clone)]
+pub struct RmiConfig {
+    /// Number of second-stage models `N` (the fanout).
+    pub num_leaves: usize,
+    /// Root model family.
+    pub root: RootModelKind,
+    /// Query-time leaf selection.
+    pub routing: Routing,
+}
+
+impl RmiConfig {
+    /// Paper-style config: `N` leaves, neural root, oracle routing.
+    pub fn paper(num_leaves: usize) -> Self {
+        Self { num_leaves, root: RootModelKind::Neural(NnConfig::default()), routing: Routing::Oracle }
+    }
+
+    /// Cheap config for experiments where only second-stage losses matter:
+    /// linear root, oracle routing.
+    pub fn linear_root(num_leaves: usize) -> Self {
+        Self { num_leaves, root: RootModelKind::Linear, routing: Routing::Oracle }
+    }
+}
+
+/// One second-stage model: a linear regression over a contiguous key
+/// partition, together with the partition's global-rank offset and its
+/// maximum training error (the last-mile search radius).
+#[derive(Debug, Clone)]
+pub struct Leaf {
+    /// The fitted regression (on *local* ranks `1..=len`).
+    pub model: LinearModel,
+    /// Global 0-based index of the partition's first key.
+    pub start: usize,
+    /// Number of keys in the partition.
+    pub len: usize,
+    /// Maximum absolute training error of the model (ceil), in positions.
+    pub max_err: usize,
+}
+
+impl Leaf {
+    /// Predicted global 0-based position for `key`.
+    pub fn predict_global_pos(&self, key: Key, total: usize) -> usize {
+        let local = self.model.predict(key) - 1.0; // 0-based local position
+        let global = local + self.start as f64;
+        global.round().clamp(0.0, (total - 1) as f64) as usize
+    }
+}
+
+/// A trained two-stage recursive model index.
+#[derive(Debug, Clone)]
+pub struct Rmi {
+    root: RootModel,
+    leaves: Vec<Leaf>,
+    /// First key of each partition, for oracle routing.
+    boundaries: Vec<Key>,
+    keys: Vec<Key>,
+    routing: Routing,
+}
+
+impl Rmi {
+    /// Builds the index over `ks` according to `cfg`.
+    ///
+    /// Partitioning follows the paper: `N` contiguous partitions of
+    /// (near-)equal size in rank order.
+    pub fn build(ks: &KeySet, cfg: &RmiConfig) -> Result<Self> {
+        if cfg.num_leaves == 0 {
+            return Err(LisError::InvalidRmiConfig("num_leaves must be > 0".into()));
+        }
+        if cfg.num_leaves > ks.len() {
+            return Err(LisError::InvalidRmiConfig(format!(
+                "num_leaves {} exceeds key count {}",
+                cfg.num_leaves,
+                ks.len()
+            )));
+        }
+        let partitions = ks.partition(cfg.num_leaves)?;
+
+        let root = match &cfg.root {
+            RootModelKind::Linear => RootModel::Linear(LinearModel::fit(ks)?),
+            RootModelKind::Cubic => RootModel::Cubic(CubicModel::fit(ks)?),
+            RootModelKind::Neural(nn_cfg) => RootModel::Neural(NeuralNet::fit(ks, nn_cfg)?),
+        };
+
+        let mut leaves = Vec::with_capacity(partitions.len());
+        let mut boundaries = Vec::with_capacity(partitions.len());
+        let mut start = 0usize;
+        for part in &partitions {
+            let model = fit_leaf(part)?;
+            let max_err = model.max_abs_error(part).ceil() as usize;
+            boundaries.push(part.min_key());
+            leaves.push(Leaf { model, start, len: part.len(), max_err });
+            start += part.len();
+        }
+
+        Ok(Self { root, leaves, boundaries, keys: ks.keys().to_vec(), routing: cfg.routing })
+    }
+
+    /// Number of second-stage models.
+    pub fn num_leaves(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Total number of indexed keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` iff no keys are indexed (unreachable for built indexes).
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The second-stage models.
+    pub fn leaves(&self) -> &[Leaf] {
+        &self.leaves
+    }
+
+    /// The trained root model.
+    pub fn root(&self) -> &RootModel {
+        &self.root
+    }
+
+    /// Index of the leaf that would serve `key` under the configured
+    /// routing.
+    pub fn route(&self, key: Key) -> usize {
+        match self.routing {
+            Routing::Oracle => self.route_oracle(key),
+            Routing::Root => self.route_by_root(key),
+        }
+    }
+
+    fn route_oracle(&self, key: Key) -> usize {
+        match self.boundaries.binary_search(&key) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        }
+    }
+
+    fn route_by_root(&self, key: Key) -> usize {
+        let pred = self.root.predict(key);
+        let n = self.keys.len() as f64;
+        let frac = ((pred - 1.0) / n).clamp(0.0, 1.0 - f64::EPSILON);
+        (frac * self.leaves.len() as f64) as usize
+    }
+
+    /// Predicted global 0-based position of `key`.
+    pub fn predict_pos(&self, key: Key) -> usize {
+        let leaf = &self.leaves[self.route(key)];
+        leaf.predict_global_pos(key, self.keys.len())
+    }
+
+    /// Full lookup: route, predict, last-mile search. Returns the key's
+    /// global position and the comparison count, falling back to
+    /// neighbouring leaves when root routing mispredicts.
+    pub fn lookup(&self, key: Key) -> SearchResult {
+        let guess = self.predict_pos(key);
+        let res = exponential_search(&self.keys, key, guess);
+        if res.pos.is_some() || self.routing == Routing::Oracle {
+            return res;
+        }
+        // Root routing may land in a neighbouring partition whose local
+        // search window misses; the global exponential search above already
+        // covers the whole array, so a miss here is a true absence.
+        res
+    }
+
+    /// Mean squared error of leaf `i` on its training partition (the
+    /// quantity whose poisoned/clean ratio Figure 6 plots per model).
+    pub fn leaf_losses(&self) -> Vec<f64> {
+        self.leaves.iter().map(|l| l.model.mse).collect()
+    }
+
+    /// The RMI loss `L_RMI = (1/N)·Σ L_i` (Section V).
+    pub fn rmi_loss(&self) -> f64 {
+        if self.leaves.is_empty() {
+            return 0.0;
+        }
+        self.leaves.iter().map(|l| l.model.mse).sum::<f64>() / self.leaves.len() as f64
+    }
+
+    /// Largest last-mile search radius across leaves.
+    pub fn max_leaf_error(&self) -> usize {
+        self.leaves.iter().map(|l| l.max_err).max().unwrap_or(0)
+    }
+
+    /// The sorted key array backing the index.
+    pub fn keys(&self) -> &[Key] {
+        &self.keys
+    }
+}
+
+/// Fits a leaf regression on a partition, tolerating single-key partitions
+/// (constant model with zero loss): tiny tail partitions are legal when
+/// `n mod N ≠ 0`.
+fn fit_leaf(part: &KeySet) -> Result<LinearModel> {
+    if part.len() == 1 {
+        return Ok(LinearModel { w: 0.0, b: 1.0, mse: 0.0, n: 1 });
+    }
+    LinearModel::fit(part)
+}
+
+/// Computes the RMI loss of a *hypothetical* keyset under a given partition
+/// count without building routing structures — used heavily by the attack's
+/// inner loop.
+pub fn rmi_loss_of(ks: &KeySet, num_leaves: usize) -> Result<f64> {
+    let partitions = ks.partition(num_leaves)?;
+    let mut total = 0.0;
+    for p in &partitions {
+        total += if p.len() < 2 { 0.0 } else { LinearModel::fit(p)?.mse };
+    }
+    Ok(total / num_leaves as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_keys(n: u64, step: u64) -> KeySet {
+        KeySet::from_keys((0..n).map(|i| i * step + 1).collect()).unwrap()
+    }
+
+    #[test]
+    fn build_validates_config() {
+        let ks = uniform_keys(100, 3);
+        assert!(Rmi::build(&ks, &RmiConfig::linear_root(0)).is_err());
+        assert!(Rmi::build(&ks, &RmiConfig::linear_root(101)).is_err());
+    }
+
+    #[test]
+    fn oracle_routing_is_exact() {
+        let ks = uniform_keys(1000, 5);
+        let rmi = Rmi::build(&ks, &RmiConfig::linear_root(10)).unwrap();
+        for (i, &k) in ks.keys().iter().enumerate() {
+            let leaf = rmi.route(k);
+            let l = &rmi.leaves()[leaf];
+            assert!(i >= l.start && i < l.start + l.len, "key {k} routed to wrong leaf");
+        }
+    }
+
+    #[test]
+    fn all_keys_found_oracle() {
+        let ks = uniform_keys(500, 7);
+        let rmi = Rmi::build(&ks, &RmiConfig::linear_root(25)).unwrap();
+        for (i, &k) in ks.keys().iter().enumerate() {
+            let res = rmi.lookup(k);
+            assert_eq!(res.pos, Some(i));
+        }
+    }
+
+    #[test]
+    fn all_keys_found_root_routing() {
+        let ks = uniform_keys(500, 7);
+        let cfg = RmiConfig { num_leaves: 25, root: RootModelKind::Linear, routing: Routing::Root };
+        let rmi = Rmi::build(&ks, &cfg).unwrap();
+        for (i, &k) in ks.keys().iter().enumerate() {
+            let res = rmi.lookup(k);
+            assert_eq!(res.pos, Some(i), "key {k}");
+        }
+    }
+
+    #[test]
+    fn absent_keys_not_found() {
+        let ks = uniform_keys(100, 10); // keys 1, 11, 21, ...
+        let rmi = Rmi::build(&ks, &RmiConfig::linear_root(5)).unwrap();
+        for k in [0u64, 2, 55, 992, 10_000] {
+            assert_eq!(rmi.lookup(k).pos, None, "key {k}");
+        }
+    }
+
+    #[test]
+    fn rmi_loss_is_mean_of_leaf_losses() {
+        let ks = uniform_keys(400, 3);
+        let rmi = Rmi::build(&ks, &RmiConfig::linear_root(8)).unwrap();
+        let mean = rmi.leaf_losses().iter().sum::<f64>() / 8.0;
+        assert!((rmi.rmi_loss() - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_data_has_near_zero_loss() {
+        let ks = uniform_keys(1000, 4);
+        let rmi = Rmi::build(&ks, &RmiConfig::linear_root(10)).unwrap();
+        assert!(rmi.rmi_loss() < 1e-9);
+        assert_eq!(rmi.max_leaf_error(), 0);
+    }
+
+    #[test]
+    fn skewed_data_has_positive_loss() {
+        let ks = KeySet::from_keys((1..1000u64).map(|i| i * i).collect()).unwrap();
+        let rmi = Rmi::build(&ks, &RmiConfig::linear_root(10)).unwrap();
+        assert!(rmi.rmi_loss() > 0.0);
+    }
+
+    #[test]
+    fn more_leaves_reduce_loss_on_skewed_data() {
+        let ks = KeySet::from_keys((1..2000u64).map(|i| i * i).collect()).unwrap();
+        let coarse = Rmi::build(&ks, &RmiConfig::linear_root(4)).unwrap().rmi_loss();
+        let fine = Rmi::build(&ks, &RmiConfig::linear_root(64)).unwrap().rmi_loss();
+        assert!(fine < coarse, "fine {} vs coarse {}", fine, coarse);
+    }
+
+    #[test]
+    fn neural_root_lookup_works() {
+        let ks = uniform_keys(300, 11);
+        let cfg = RmiConfig {
+            num_leaves: 10,
+            root: RootModelKind::Neural(NnConfig { epochs: 30, ..NnConfig::default() }),
+            routing: Routing::Root,
+        };
+        let rmi = Rmi::build(&ks, &cfg).unwrap();
+        for (i, &k) in ks.keys().iter().enumerate().step_by(17) {
+            assert_eq!(rmi.lookup(k).pos, Some(i));
+        }
+    }
+
+    #[test]
+    fn cubic_root_lookup_works() {
+        let ks = KeySet::from_keys((1..500u64).map(|i| i * i).collect()).unwrap();
+        let cfg = RmiConfig { num_leaves: 16, root: RootModelKind::Cubic, routing: Routing::Root };
+        let rmi = Rmi::build(&ks, &cfg).unwrap();
+        for (i, &k) in ks.keys().iter().enumerate().step_by(13) {
+            assert_eq!(rmi.lookup(k).pos, Some(i));
+        }
+    }
+
+    #[test]
+    fn rmi_loss_of_matches_built_index() {
+        let ks = KeySet::from_keys((1..800u64).map(|i| i * i / 2 + i).collect()).unwrap();
+        let rmi = Rmi::build(&ks, &RmiConfig::linear_root(8)).unwrap();
+        let direct = rmi_loss_of(&ks, 8).unwrap();
+        assert!((rmi.rmi_loss() - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_key_partitions_are_tolerated() {
+        let ks = uniform_keys(7, 10);
+        let rmi = Rmi::build(&ks, &RmiConfig::linear_root(7)).unwrap();
+        assert_eq!(rmi.num_leaves(), 7);
+        for (i, &k) in ks.keys().iter().enumerate() {
+            assert_eq!(rmi.lookup(k).pos, Some(i));
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Last-mile search: locating a key near a model's predicted position.
+//!
+//! A learned index predicts an approximate position and then performs a
+//! local search around it ("if the prediction is not accurate then a local
+//! search around the predicted location discovers the record",
+//! Section III-A). We implement the standard *exponential (galloping)
+//! search* outward from the prediction followed by binary search on the
+//! bracketed range, and count key comparisons so experiments can report the
+//! search cost that poisoning inflates.
+
+use crate::keys::Key;
+
+/// Outcome of a last-mile search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchResult {
+    /// Index of the key in the sorted slice, if found.
+    pub pos: Option<usize>,
+    /// Number of key comparisons performed.
+    pub comparisons: usize,
+}
+
+/// Exponential + binary search for `key` in sorted `keys`, starting from
+/// `guess` (clamped). Returns the index and the comparison count.
+///
+/// Complexity is `O(log d)` where `d = |guess − true_pos|`, so the cost of a
+/// lookup is exactly the logarithm of the model's prediction error — the
+/// mechanism by which the paper's Ratio-Loss increase translates into a
+/// lookup-time slowdown.
+pub fn exponential_search(keys: &[Key], key: Key, guess: usize) -> SearchResult {
+    if keys.is_empty() {
+        return SearchResult { pos: None, comparisons: 0 };
+    }
+    let guess = guess.min(keys.len() - 1);
+    let mut comparisons = 1usize;
+    if keys[guess] == key {
+        return SearchResult { pos: Some(guess), comparisons };
+    }
+
+    // Gallop in the direction of the key.
+    let (lo, hi): (usize, usize);
+    if keys[guess] < key {
+        let mut next_lo = guess + 1;
+        let mut step = 1usize;
+        let found_hi: usize;
+        loop {
+            let probe = guess.saturating_add(step);
+            if probe >= keys.len() - 1 {
+                found_hi = keys.len() - 1;
+                break;
+            }
+            comparisons += 1;
+            if keys[probe] >= key {
+                found_hi = probe;
+                break;
+            }
+            next_lo = probe + 1;
+            step <<= 1;
+        }
+        lo = next_lo;
+        hi = if found_hi < lo { keys.len() - 1 } else { found_hi };
+    } else {
+        let mut next_hi = guess.saturating_sub(1);
+        let mut step = 1usize;
+        let found_lo: usize;
+        loop {
+            if step > guess {
+                found_lo = 0;
+                break;
+            }
+            let probe = guess - step;
+            comparisons += 1;
+            if keys[probe] <= key {
+                found_lo = probe;
+                break;
+            }
+            if probe == 0 {
+                found_lo = 0;
+                break;
+            }
+            next_hi = probe - 1;
+            step <<= 1;
+        }
+        lo = found_lo;
+        hi = next_hi;
+        if hi < lo {
+            return SearchResult { pos: None, comparisons };
+        }
+    }
+
+    // Binary search on [lo, hi].
+    let (pos, cmp) = binary_search_counted(&keys[lo..=hi.min(keys.len() - 1)], key);
+    SearchResult { pos: pos.map(|p| p + lo), comparisons: comparisons + cmp }
+}
+
+/// Plain binary search with a comparison counter, used both by the last-mile
+/// search and by the B+-tree baseline.
+pub fn binary_search_counted(keys: &[Key], key: Key) -> (Option<usize>, usize) {
+    let mut lo = 0usize;
+    let mut hi = keys.len();
+    let mut comparisons = 0usize;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        comparisons += 1;
+        match keys[mid].cmp(&key) {
+            std::cmp::Ordering::Equal => return (Some(mid), comparisons),
+            std::cmp::Ordering::Less => lo = mid + 1,
+            std::cmp::Ordering::Greater => hi = mid,
+        }
+    }
+    (None, comparisons)
+}
+
+/// Binary search restricted to a window `[center − radius, center + radius]`
+/// (clamped), the "error bound" search of the original LIS design where the
+/// model stores its maximum training error.
+pub fn bounded_search(keys: &[Key], key: Key, center: usize, radius: usize) -> SearchResult {
+    if keys.is_empty() {
+        return SearchResult { pos: None, comparisons: 0 };
+    }
+    let center = center.min(keys.len() - 1);
+    let lo = center.saturating_sub(radius);
+    let hi = (center + radius).min(keys.len() - 1);
+    let (pos, comparisons) = binary_search_counted(&keys[lo..=hi], key);
+    SearchResult { pos: pos.map(|p| p + lo), comparisons }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys() -> Vec<Key> {
+        (0..1000u64).map(|i| i * 3).collect()
+    }
+
+    #[test]
+    fn finds_with_exact_guess() {
+        let ks = keys();
+        let r = exponential_search(&ks, 300, 100);
+        assert_eq!(r.pos, Some(100));
+        assert_eq!(r.comparisons, 1);
+    }
+
+    #[test]
+    fn finds_with_far_guess_right() {
+        let ks = keys();
+        let r = exponential_search(&ks, 2997, 0); // true pos 999
+        assert_eq!(r.pos, Some(999));
+        assert!(r.comparisons <= 2 * (1000f64.log2() as usize) + 4);
+    }
+
+    #[test]
+    fn finds_with_far_guess_left() {
+        let ks = keys();
+        let r = exponential_search(&ks, 0, 999);
+        assert_eq!(r.pos, Some(0));
+    }
+
+    #[test]
+    fn absent_key_returns_none() {
+        let ks = keys();
+        for guess in [0usize, 500, 999] {
+            let r = exponential_search(&ks, 301, guess); // 301 not a multiple of 3
+            assert_eq!(r.pos, None, "guess={guess}");
+        }
+    }
+
+    #[test]
+    fn all_keys_found_from_any_guess() {
+        let ks = keys();
+        for (i, &k) in ks.iter().enumerate().step_by(37) {
+            for guess in [0usize, i / 2, i, (i + 500).min(999)] {
+                let r = exponential_search(&ks, k, guess);
+                assert_eq!(r.pos, Some(i), "key {k} guess {guess}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparisons_grow_with_prediction_error() {
+        let ks = keys();
+        let near = exponential_search(&ks, ks[500], 498).comparisons;
+        let far = exponential_search(&ks, ks[500], 0).comparisons;
+        assert!(far > near, "far={} near={}", far, near);
+    }
+
+    #[test]
+    fn empty_slice() {
+        let r = exponential_search(&[], 5, 0);
+        assert_eq!(r.pos, None);
+        assert_eq!(r.comparisons, 0);
+    }
+
+    #[test]
+    fn bounded_search_respects_radius() {
+        let ks = keys();
+        // Key at 999, window around 0 with radius 10 cannot find it.
+        let r = bounded_search(&ks, ks[999], 0, 10);
+        assert_eq!(r.pos, None);
+        let r = bounded_search(&ks, ks[999], 995, 10);
+        assert_eq!(r.pos, Some(999));
+    }
+
+    #[test]
+    fn binary_search_counted_matches_std() {
+        let ks = keys();
+        for k in [0u64, 3, 1500, 2997, 5, 10_000] {
+            let (pos, _) = binary_search_counted(&ks, k);
+            assert_eq!(pos, ks.binary_search(&k).ok());
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Sample moments over CDF pairs, with the numerically robust shifted
+//! representation the attacks rely on.
+//!
+//! Theorem 1 of the paper expresses the optimal regression parameters and
+//! its loss through the sample moments `M_K`, `M_K²`, `M_R`, `M_R²`, `M_KR`.
+//! Computing these naively over raw `u64` keys up to 10⁹ and 10⁷ points
+//! loses precision (variance becomes a difference of two enormous numbers),
+//! so [`CdfMoments`] stores *shifted* sums: keys are centred by a fixed
+//! offset chosen at construction. Variances and covariances are invariant
+//! under the shift, which keeps every downstream formula unchanged.
+
+use crate::keys::{Key, KeySet};
+
+/// Shifted sample moments of a `(key, rank)` dataset.
+///
+/// All sums run over the `n` CDF pairs `(k_i, r_i)`; keys enter as
+/// `x_i = k_i - shift`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CdfMoments {
+    /// Number of points `n`.
+    pub n: usize,
+    /// Key shift applied to every key before accumulation.
+    pub shift: f64,
+    /// `Σ x_i`.
+    pub sum_x: f64,
+    /// `Σ x_i²`.
+    pub sum_xx: f64,
+    /// `Σ r_i`.
+    pub sum_r: f64,
+    /// `Σ r_i²`.
+    pub sum_rr: f64,
+    /// `Σ x_i·r_i`.
+    pub sum_xr: f64,
+}
+
+impl CdfMoments {
+    /// Accumulates moments over explicit `(key, rank)` pairs using `shift`.
+    pub fn from_pairs_shifted<I>(pairs: I, shift: f64) -> Self
+    where
+        I: IntoIterator<Item = (Key, usize)>,
+    {
+        let mut m = Self { n: 0, shift, sum_x: 0.0, sum_xx: 0.0, sum_r: 0.0, sum_rr: 0.0, sum_xr: 0.0 };
+        for (k, r) in pairs {
+            let x = k as f64 - shift;
+            let r = r as f64;
+            m.n += 1;
+            m.sum_x += x;
+            m.sum_xx += x * x;
+            m.sum_r += r;
+            m.sum_rr += r * r;
+            m.sum_xr += x * r;
+        }
+        m
+    }
+
+    /// Accumulates moments for a keyset's CDF (ranks `1..=n`), centring keys
+    /// at the midpoint of the keyset's span for stability.
+    pub fn from_keyset(ks: &KeySet) -> Self {
+        let shift = midpoint_shift(ks.min_key(), ks.max_key());
+        Self::from_pairs_shifted(ks.cdf_pairs(), shift)
+    }
+
+    /// Sample mean of (shifted) keys, `M_X`.
+    pub fn mean_x(&self) -> f64 {
+        self.sum_x / self.n as f64
+    }
+
+    /// Sample mean of ranks, `M_R`.
+    pub fn mean_r(&self) -> f64 {
+        self.sum_r / self.n as f64
+    }
+
+    /// Sample (population) variance of keys, `Var_K` — shift-invariant.
+    pub fn var_x(&self) -> f64 {
+        let n = self.n as f64;
+        let m = self.mean_x();
+        (self.sum_xx / n - m * m).max(0.0)
+    }
+
+    /// Sample (population) variance of ranks, `Var_R`.
+    pub fn var_r(&self) -> f64 {
+        let n = self.n as f64;
+        let m = self.mean_r();
+        (self.sum_rr / n - m * m).max(0.0)
+    }
+
+    /// Sample covariance between keys and ranks, `Cov_KR` — shift-invariant.
+    pub fn cov_xr(&self) -> f64 {
+        let n = self.n as f64;
+        self.sum_xr / n - self.mean_x() * self.mean_r()
+    }
+
+    /// Mean of *unshifted* keys, `M_K = M_X + shift`.
+    pub fn mean_key(&self) -> f64 {
+        self.mean_x() + self.shift
+    }
+}
+
+/// Midpoint of `[lo, hi]` as the canonical key shift.
+pub fn midpoint_shift(lo: Key, hi: Key) -> f64 {
+    lo as f64 + (hi - lo) as f64 / 2.0
+}
+
+/// Sum of ranks `1..=n`: `n(n+1)/2`.
+///
+/// After inserting `p` poisoning keys the rank multiset is always exactly
+/// `1..=n+p` regardless of *where* the keys were inserted — the compound
+/// re-ranking preserves it. The attack exploits this: `Σr` and `Σr²` of the
+/// poisoned set are closed-form constants (Section IV-C, observation 2).
+pub fn rank_sum(n: usize) -> f64 {
+    let n = n as f64;
+    n * (n + 1.0) / 2.0
+}
+
+/// Sum of squared ranks `1..=n`: `n(n+1)(2n+1)/6`.
+pub fn rank_sq_sum(n: usize) -> f64 {
+    let n = n as f64;
+    n * (n + 1.0) * (2.0 * n + 1.0) / 6.0
+}
+
+/// Five-number summary plus mean, for the boxplots of Figures 5–8.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxplotSummary {
+    /// Minimum observation.
+    pub min: f64,
+    /// First quartile (linear interpolation).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum observation.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Number of observations.
+    pub count: usize,
+}
+
+impl BoxplotSummary {
+    /// Summarises a sample; returns `None` on an empty slice.
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut v: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        Some(Self {
+            min: v[0],
+            q1: quantile_sorted(&v, 0.25),
+            median: quantile_sorted(&v, 0.5),
+            q3: quantile_sorted(&v, 0.75),
+            max: *v.last().unwrap(),
+            mean,
+            count: v.len(),
+        })
+    }
+}
+
+impl std::fmt::Display for BoxplotSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "min={:.3} q1={:.3} med={:.3} q3={:.3} max={:.3} mean={:.3} (n={})",
+            self.min, self.q1, self.median, self.q3, self.max, self.mean, self.count
+        )
+    }
+}
+
+/// Linear-interpolated quantile of an ascending-sorted slice, `q ∈ [0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    let q = q.clamp(0.0, 1.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeyDomain;
+
+    fn small() -> KeySet {
+        KeySet::new(vec![2, 6, 7, 12], KeyDomain::new(1, 13).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn moments_match_naive() {
+        let ks = small();
+        let m = CdfMoments::from_keyset(&ks);
+        // Naive, unshifted values.
+        let keys = [2.0f64, 6.0, 7.0, 12.0];
+        let ranks = [1.0f64, 2.0, 3.0, 4.0];
+        let mk: f64 = keys.iter().sum::<f64>() / 4.0;
+        let mr: f64 = ranks.iter().sum::<f64>() / 4.0;
+        let var_k = keys.iter().map(|k| (k - mk) * (k - mk)).sum::<f64>() / 4.0;
+        let var_r = ranks.iter().map(|r| (r - mr) * (r - mr)).sum::<f64>() / 4.0;
+        let cov = keys.iter().zip(&ranks).map(|(k, r)| (k - mk) * (r - mr)).sum::<f64>() / 4.0;
+        assert!((m.var_x() - var_k).abs() < 1e-9);
+        assert!((m.var_r() - var_r).abs() < 1e-9);
+        assert!((m.cov_xr() - cov).abs() < 1e-9);
+        assert!((m.mean_key() - mk).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shift_invariance() {
+        let ks = small();
+        let a = CdfMoments::from_pairs_shifted(ks.cdf_pairs(), 0.0);
+        let b = CdfMoments::from_pairs_shifted(ks.cdf_pairs(), 7.0);
+        assert!((a.var_x() - b.var_x()).abs() < 1e-9);
+        assert!((a.cov_xr() - b.cov_xr()).abs() < 1e-9);
+        assert!((a.mean_key() - b.mean_key()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_sums_closed_form() {
+        for n in [1usize, 2, 10, 1000] {
+            let exact_sum: f64 = (1..=n).map(|i| i as f64).sum();
+            let exact_sq: f64 = (1..=n).map(|i| (i * i) as f64).sum();
+            assert_eq!(rank_sum(n), exact_sum);
+            assert_eq!(rank_sq_sum(n), exact_sq);
+        }
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile_sorted(&v, 0.0), 1.0);
+        assert_eq!(quantile_sorted(&v, 1.0), 4.0);
+        assert_eq!(quantile_sorted(&v, 0.5), 2.5);
+    }
+
+    #[test]
+    fn boxplot_summary() {
+        let s = BoxplotSummary::from_samples(&[3.0, 1.0, 2.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.count, 5);
+        assert!(BoxplotSummary::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn boxplot_ignores_non_finite() {
+        let s = BoxplotSummary::from_samples(&[1.0, f64::INFINITY, 2.0]).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, 2.0);
+    }
+
+    #[test]
+    fn large_keys_remain_stable() {
+        // Keys near 1e9 with tiny variance: the shifted representation must
+        // not lose the signal.
+        let base = 1_000_000_000u64;
+        let keys: Vec<u64> = (0..1000).map(|i| base + i * 2).collect();
+        let ks = KeySet::from_keys(keys).unwrap();
+        let m = CdfMoments::from_keyset(&ks);
+        // Var of arithmetic progression step 2, n=1000: 4 * (n²−1)/12.
+        let n = 1000f64;
+        let expected = 4.0 * (n * n - 1.0) / 12.0;
+        assert!((m.var_x() - expected).abs() / expected < 1e-9);
+    }
+}

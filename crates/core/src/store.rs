@@ -1,0 +1,170 @@
+//! Record storage: an in-memory dense sorted array with logical paging.
+//!
+//! The paper assumes "the records are stored at an in-memory dense array
+//! that is sorted with respect to the key values" with "fixed-length records
+//! and logical paging over a continuous memory region" (Sections III and
+//! III-A). [`RecordStore`] provides exactly that substrate: fixed-size
+//! payloads laid out contiguously, addressed by global position, grouped in
+//! logical pages so experiments can count page touches.
+
+use crate::error::{LisError, Result};
+use crate::keys::{Key, KeySet};
+
+/// Fixed record payload width in bytes. Real deployments use schema-derived
+/// widths; 16 bytes keeps experiments honest without bloating memory.
+pub const RECORD_SIZE: usize = 16;
+
+/// A fixed-length record payload.
+pub type Record = [u8; RECORD_SIZE];
+
+/// Dense, sorted, paged record storage.
+#[derive(Debug, Clone)]
+pub struct RecordStore {
+    keys: Vec<Key>,
+    payload: Vec<u8>,
+    page_size: usize,
+}
+
+impl RecordStore {
+    /// Builds a store for `ks`, deriving each record deterministically from
+    /// its key (experiments never care about payload content, only layout).
+    pub fn build(ks: &KeySet, page_size: usize) -> Result<Self> {
+        if page_size == 0 {
+            return Err(LisError::Invariant("page size must be > 0".into()));
+        }
+        let keys = ks.keys().to_vec();
+        let mut payload = Vec::with_capacity(keys.len() * RECORD_SIZE);
+        for &k in &keys {
+            payload.extend_from_slice(&default_record(k));
+        }
+        Ok(Self { keys, payload, page_size })
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` iff the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Logical page size in records.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of logical pages.
+    pub fn num_pages(&self) -> usize {
+        self.keys.len().div_ceil(self.page_size)
+    }
+
+    /// Page index of global position `pos`.
+    pub fn page_of(&self, pos: usize) -> usize {
+        pos / self.page_size
+    }
+
+    /// The record at global position `pos`.
+    pub fn record_at(&self, pos: usize) -> Option<&[u8]> {
+        if pos >= self.keys.len() {
+            return None;
+        }
+        Some(&self.payload[pos * RECORD_SIZE..(pos + 1) * RECORD_SIZE])
+    }
+
+    /// The key at global position `pos`.
+    pub fn key_at(&self, pos: usize) -> Option<Key> {
+        self.keys.get(pos).copied()
+    }
+
+    /// Fetches a record by key via binary search (the non-learned access
+    /// path), returning the record and its position.
+    pub fn get(&self, key: Key) -> Result<(usize, &[u8])> {
+        let pos = self.keys.binary_search(&key).map_err(|_| LisError::RecordNotFound(key))?;
+        Ok((pos, self.record_at(pos).expect("pos in range")))
+    }
+
+    /// Number of pages touched when scanning positions `[lo, hi]` — the
+    /// physical cost of a last-mile search window.
+    pub fn pages_touched(&self, lo: usize, hi: usize) -> usize {
+        if lo > hi || lo >= self.keys.len() {
+            return 0;
+        }
+        let hi = hi.min(self.keys.len() - 1);
+        self.page_of(hi) - self.page_of(lo) + 1
+    }
+}
+
+/// Deterministic payload for a key: little-endian key followed by its
+/// bitwise complement, padding the fixed width.
+pub fn default_record(key: Key) -> Record {
+    let mut r = [0u8; RECORD_SIZE];
+    r[..8].copy_from_slice(&key.to_le_bytes());
+    r[8..].copy_from_slice(&(!key).to_le_bytes());
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> RecordStore {
+        let ks = KeySet::from_keys((0..100u64).map(|i| i * 2 + 1).collect()).unwrap();
+        RecordStore::build(&ks, 16).unwrap()
+    }
+
+    #[test]
+    fn rejects_zero_page_size() {
+        let ks = KeySet::from_keys(vec![1]).unwrap();
+        assert!(RecordStore::build(&ks, 0).is_err());
+    }
+
+    #[test]
+    fn layout_is_dense_and_sorted() {
+        let s = store();
+        assert_eq!(s.len(), 100);
+        for pos in 0..s.len() {
+            let k = s.key_at(pos).unwrap();
+            let rec = s.record_at(pos).unwrap();
+            assert_eq!(&rec[..8], &k.to_le_bytes());
+            assert_eq!(&rec[8..], &(!k).to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn get_by_key() {
+        let s = store();
+        let (pos, rec) = s.get(41).unwrap();
+        assert_eq!(pos, 20);
+        assert_eq!(&rec[..8], &41u64.to_le_bytes());
+        assert!(matches!(s.get(42), Err(LisError::RecordNotFound(42))));
+    }
+
+    #[test]
+    fn paging_arithmetic() {
+        let s = store();
+        assert_eq!(s.num_pages(), 100usize.div_ceil(16));
+        assert_eq!(s.page_of(0), 0);
+        assert_eq!(s.page_of(15), 0);
+        assert_eq!(s.page_of(16), 1);
+        assert_eq!(s.pages_touched(0, 15), 1);
+        assert_eq!(s.pages_touched(10, 20), 2);
+        assert_eq!(s.pages_touched(0, 99), s.num_pages());
+    }
+
+    #[test]
+    fn pages_touched_clamps() {
+        let s = store();
+        assert_eq!(s.pages_touched(50, 10_000), s.num_pages() - s.page_of(50));
+        assert_eq!(s.pages_touched(200, 300), 0);
+        assert_eq!(s.pages_touched(20, 10), 0);
+    }
+
+    #[test]
+    fn out_of_range_accessors_return_none() {
+        let s = store();
+        assert!(s.record_at(100).is_none());
+        assert!(s.key_at(100).is_none());
+    }
+}

@@ -1,0 +1,155 @@
+//! Defense evaluation: detection quality and post-defense model damage.
+//!
+//! A defense against availability poisoning is only useful if it (a) finds
+//! the poison, (b) spares the legitimate keys, and (c) actually restores
+//! the model's accuracy. [`DefenseReport`] measures all three against
+//! ground truth, quantifying the Section-VI discussion.
+
+use lis_core::error::Result;
+use lis_core::keys::{Key, KeySet};
+use lis_core::linreg::LinearModel;
+use lis_core::metrics::ratio_loss;
+use std::collections::HashSet;
+
+/// Ground-truth evaluation of a defense run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DefenseReport {
+    /// Fraction of poison keys the defense removed (recall).
+    pub poison_recall: f64,
+    /// Fraction of removed keys that were actually poison (precision).
+    pub removal_precision: f64,
+    /// Number of legitimate keys removed (collateral damage).
+    pub legit_removed: usize,
+    /// MSE of the regression on the clean keyset.
+    pub clean_mse: f64,
+    /// MSE on the poisoned keyset (no defense).
+    pub poisoned_mse: f64,
+    /// MSE on the keyset the defense retained.
+    pub defended_mse: f64,
+}
+
+impl DefenseReport {
+    /// Ratio loss before the defense (`poisoned / clean`).
+    pub fn ratio_before(&self) -> f64 {
+        ratio_loss(self.poisoned_mse, self.clean_mse)
+    }
+
+    /// Ratio loss after the defense (`defended / clean`) — 1.0 means full
+    /// recovery.
+    pub fn ratio_after(&self) -> f64 {
+        ratio_loss(self.defended_mse, self.clean_mse)
+    }
+
+    /// How much of the inflicted damage the defense undid, in `[0, 1]`
+    /// (clamped; negative raw values mean the defense made things worse).
+    pub fn recovery(&self) -> f64 {
+        let inflicted = self.poisoned_mse - self.clean_mse;
+        if inflicted <= 0.0 {
+            return 1.0;
+        }
+        ((self.poisoned_mse - self.defended_mse) / inflicted).clamp(0.0, 1.0)
+    }
+}
+
+/// Scores a defense outcome against ground truth.
+///
+/// * `clean` — the legitimate keyset;
+/// * `poison` — the injected keys;
+/// * `retained` — the keys the defense kept.
+pub fn evaluate_defense(clean: &KeySet, poison: &[Key], retained: &KeySet) -> Result<DefenseReport> {
+    let poison_set: HashSet<Key> = poison.iter().copied().collect();
+    let retained_set: HashSet<Key> = retained.keys().iter().copied().collect();
+
+    let mut poisoned = clean.clone();
+    poisoned.insert_all(poison.iter().copied())?;
+
+    let removed: Vec<Key> = poisoned
+        .keys()
+        .iter()
+        .copied()
+        .filter(|k| !retained_set.contains(k))
+        .collect();
+    let poison_removed = removed.iter().filter(|k| poison_set.contains(k)).count();
+    let legit_removed = removed.len() - poison_removed;
+
+    let clean_mse = LinearModel::fit(clean)?.mse;
+    let poisoned_mse = LinearModel::fit(&poisoned)?.mse;
+    let defended_mse = LinearModel::fit(retained)?.mse;
+
+    Ok(DefenseReport {
+        poison_recall: if poison.is_empty() {
+            1.0
+        } else {
+            poison_removed as f64 / poison.len() as f64
+        },
+        removal_precision: if removed.is_empty() {
+            1.0
+        } else {
+            poison_removed as f64 / removed.len() as f64
+        },
+        legit_removed,
+        clean_mse,
+        poisoned_mse,
+        defended_mse,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trim::{trim_defense, TrimConfig};
+    use lis_poison::{greedy_poison, PoisonBudget};
+
+    fn uniform(n: u64, step: u64) -> KeySet {
+        KeySet::from_keys((0..n).map(|i| i * step).collect()).unwrap()
+    }
+
+    #[test]
+    fn perfect_defense_scores_perfectly() {
+        let clean = uniform(50, 7);
+        let poison = vec![3u64, 10, 17];
+        // "Defense" that retains exactly the clean set.
+        let report = evaluate_defense(&clean, &poison, &clean).unwrap();
+        assert_eq!(report.poison_recall, 1.0);
+        assert_eq!(report.removal_precision, 1.0);
+        assert_eq!(report.legit_removed, 0);
+        assert!((report.recovery() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_defense_scores_zero_recall() {
+        let clean = uniform(50, 7);
+        let poison = vec![3u64, 10, 17];
+        let mut poisoned = clean.clone();
+        poisoned.insert_all(poison.iter().copied()).unwrap();
+        let report = evaluate_defense(&clean, &poison, &poisoned).unwrap();
+        assert_eq!(report.poison_recall, 0.0);
+        assert_eq!(report.legit_removed, 0);
+        assert!(report.ratio_after() >= report.ratio_before() * 0.999);
+    }
+
+    #[test]
+    fn empty_poison_is_vacuous_recall() {
+        let clean = uniform(20, 5);
+        let report = evaluate_defense(&clean, &[], &clean).unwrap();
+        assert_eq!(report.poison_recall, 1.0);
+    }
+
+    #[test]
+    fn trim_report_end_to_end() {
+        let clean = uniform(100, 13);
+        let plan = greedy_poison(&clean, PoisonBudget::keys(10)).unwrap();
+        let poisoned = plan.poisoned_keyset(&clean).unwrap();
+        let out = trim_defense(&poisoned, &TrimConfig::new(clean.len())).unwrap();
+        let report = evaluate_defense(&clean, &plan.keys, &out.retained).unwrap();
+        // Structural sanity: probabilities in range, damage accounted.
+        assert!((0.0..=1.0).contains(&report.poison_recall));
+        assert!((0.0..=1.0).contains(&report.removal_precision));
+        assert!(report.poisoned_mse > report.clean_mse);
+        // The Section-VI claim — recovery is imperfect against this attack.
+        assert!(
+            report.recovery() < 0.999 || report.legit_removed > 0,
+            "TRIM unexpectedly achieved lossless recovery"
+        );
+    }
+}

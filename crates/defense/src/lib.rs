@@ -1,0 +1,24 @@
+//! # lis-defense — mitigations against CDF poisoning
+//!
+//! Implementations of the defenses discussed in Section VI of the paper,
+//! built so the paper's evasion claims are *testable* rather than asserted:
+//!
+//! * [`trim`] — a TRIM-style trimmed-loss defense adapted to CDF
+//!   regression, with the per-iteration re-ranking the CDF setting forces;
+//! * [`outlier`] — range, IQR, and local-density filters (the "known
+//!   mitigations" the optimal attack is designed to evade by staying
+//!   in-range and blending into dense regions);
+//! * [`eval`] — ground-truth scoring: poison recall, removal precision,
+//!   collateral damage, and post-defense ratio loss.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod eval;
+pub mod outlier;
+pub mod robust;
+pub mod trim;
+
+pub use eval::{evaluate_defense, DefenseReport};
+pub use robust::{compare_on_attack, theil_sen, RobustModel};
+pub use trim::{trim_defense, TrimConfig, TrimOutcome};

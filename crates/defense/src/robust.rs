@@ -1,0 +1,301 @@
+//! Robust regression estimators as candidate defenses — and why the CDF
+//! compound effect defeats them.
+//!
+//! Section VI of the paper argues that swapping the second-stage linear
+//! regression for "a more complex and robust model" would sacrifice the
+//! very efficiency that lets an RMI beat a B-Tree. This module adds a
+//! sharper point, measurable here: even paying that price does not help,
+//! because robust estimators assume *point-wise* contamination.
+//!
+//! [`theil_sen`] implements the classic robust line (median of pairwise
+//! slopes, breakdown point ≈ 29%). Against textbook outliers — a bounded
+//! fraction of corrupted `(x, y)` points — it shrugs the damage off (see
+//! `classic_outliers_are_absorbed`). Against CDF poisoning it fails: the
+//! 15% *inserted* keys shift the rank (the `y`-value) of **every**
+//! legitimate key above them, so the "contaminated fraction" of points is
+//! not 15% but potentially 100%, far beyond any breakdown point. This is
+//! the paper's "new flavor of poisoning" (Section IV-B) restated in the
+//! language of robust statistics, and the tests pin it down.
+
+use lis_core::error::{LisError, Result};
+use lis_core::keys::KeySet;
+use lis_core::linreg::LinearModel;
+
+/// A line fitted by a robust estimator (same shape as [`LinearModel`], but
+/// `mse` here is the *evaluation* MSE on the training CDF, not a minimised
+/// objective).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustModel {
+    /// Slope.
+    pub w: f64,
+    /// Intercept.
+    pub b: f64,
+    /// MSE of this line on the training CDF.
+    pub mse: f64,
+    /// Number of slope pairs examined.
+    pub pairs_examined: usize,
+}
+
+impl RobustModel {
+    /// Predicted fractional rank for `key`.
+    pub fn predict(&self, key: u64) -> f64 {
+        self.w * key as f64 + self.b
+    }
+}
+
+/// Theil–Sen estimator on the CDF of `ks`.
+///
+/// `max_pairs` caps the number of pairwise slopes: below the cap all
+/// `n(n−1)/2` pairs are used (the exact estimator); above it, a
+/// deterministic strided subsample keeps the cost bounded while preserving
+/// the median's robustness.
+pub fn theil_sen(ks: &KeySet, max_pairs: usize) -> Result<RobustModel> {
+    let pairs: Vec<(u64, f64)> = ks.cdf_pairs().map(|(k, r)| (k, r as f64)).collect();
+    theil_sen_pairs(&pairs, max_pairs)
+}
+
+/// Theil–Sen on explicit `(x, y)` pairs (ascending distinct `x`), used to
+/// contrast classic point contamination with CDF poisoning.
+pub fn theil_sen_pairs(pairs: &[(u64, f64)], max_pairs: usize) -> Result<RobustModel> {
+    let n = pairs.len();
+    if n < 2 {
+        return Err(LisError::DegenerateRegression { n });
+    }
+    if max_pairs == 0 {
+        return Err(LisError::InvalidBudget("max_pairs must be > 0".into()));
+    }
+
+    let total_pairs = n * (n - 1) / 2;
+    let mut slopes: Vec<f64> = Vec::with_capacity(total_pairs.min(max_pairs));
+    if total_pairs <= max_pairs {
+        for i in 0..n {
+            for j in i + 1..n {
+                slopes.push(pair_slope(pairs, i, j));
+            }
+        }
+    } else {
+        // Deterministic strided subsample over the (i, j) triangle: step
+        // through pair ranks with a fixed stride.
+        let stride = (total_pairs / max_pairs).max(1);
+        let mut rank = 0usize;
+        while rank < total_pairs && slopes.len() < max_pairs {
+            let (i, j) = unrank_pair(rank, n);
+            slopes.push(pair_slope(pairs, i, j));
+            rank += stride;
+        }
+    }
+    let pairs_examined = slopes.len();
+    let w = median_in_place(&mut slopes);
+
+    // Intercept: median of residuals y_i − w·x_i (the standard choice).
+    let mut residuals: Vec<f64> = pairs.iter().map(|&(x, y)| y - w * x as f64).collect();
+    let b = median_in_place(&mut residuals);
+
+    let mse = pairs
+        .iter()
+        .map(|&(x, y)| (w * x as f64 + b - y).powi(2))
+        .sum::<f64>()
+        / n as f64;
+    Ok(RobustModel { w, b, mse, pairs_examined })
+}
+
+fn pair_slope(pairs: &[(u64, f64)], i: usize, j: usize) -> f64 {
+    (pairs[j].1 - pairs[i].1) / (pairs[j].0 - pairs[i].0) as f64
+}
+
+/// Maps a linear pair rank to `(i, j)` coordinates in the upper triangle.
+fn unrank_pair(mut rank: usize, n: usize) -> (usize, usize) {
+    // Row i has (n − 1 − i) pairs.
+    let mut i = 0usize;
+    loop {
+        let row = n - 1 - i;
+        if rank < row {
+            return (i, i + 1 + rank);
+        }
+        rank -= row;
+        i += 1;
+    }
+}
+
+fn median_in_place(v: &mut [f64]) -> f64 {
+    assert!(!v.is_empty());
+    let mid = v.len() / 2;
+    v.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).unwrap());
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        let hi = v[mid];
+        let lo = v[..mid].iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        (lo + hi) / 2.0
+    }
+}
+
+/// Side-by-side evaluation of OLS vs Theil–Sen on a clean/poisoned pair:
+/// how much of the OLS ratio-loss damage does the robust estimator absorb?
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustComparison {
+    /// OLS MSE on the clean keyset.
+    pub ols_clean: f64,
+    /// OLS MSE on the poisoned keyset (the paper's attacked quantity).
+    pub ols_poisoned: f64,
+    /// Theil–Sen evaluation MSE on the clean keyset.
+    pub ts_clean: f64,
+    /// Theil–Sen evaluation MSE, fitted on the poisoned keyset but
+    /// **evaluated on the clean CDF** — the error legitimate queries see.
+    pub ts_poisoned_on_clean: f64,
+    /// OLS fitted on poisoned, evaluated on the clean CDF.
+    pub ols_poisoned_on_clean: f64,
+}
+
+/// Fits both estimators on the poisoned keyset and evaluates the damage on
+/// the legitimate CDF.
+pub fn compare_on_attack(
+    clean: &KeySet,
+    poisoned: &KeySet,
+    max_pairs: usize,
+) -> Result<RobustComparison> {
+    let ols_clean_model = LinearModel::fit(clean)?;
+    let ols_poisoned_model = LinearModel::fit(poisoned)?;
+    let ts_clean_model = theil_sen(clean, max_pairs)?;
+    let ts_poisoned_model = theil_sen(poisoned, max_pairs)?;
+
+    let eval = |w: f64, b: f64| -> f64 {
+        clean
+            .cdf_pairs()
+            .map(|(k, r)| (w * k as f64 + b - r as f64).powi(2))
+            .sum::<f64>()
+            / clean.len() as f64
+    };
+    Ok(RobustComparison {
+        ols_clean: ols_clean_model.mse,
+        ols_poisoned: ols_poisoned_model.mse,
+        ts_clean: ts_clean_model.mse,
+        ts_poisoned_on_clean: eval(ts_poisoned_model.w, ts_poisoned_model.b),
+        ols_poisoned_on_clean: eval(ols_poisoned_model.w, ols_poisoned_model.b),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lis_poison::{greedy_poison, PoisonBudget};
+
+    fn uniform(n: u64, step: u64) -> KeySet {
+        KeySet::from_keys((0..n).map(|i| i * step).collect()).unwrap()
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let one = KeySet::from_keys(vec![5]).unwrap();
+        assert!(theil_sen(&one, 100).is_err());
+        let two = KeySet::from_keys(vec![5, 9]).unwrap();
+        assert!(theil_sen(&two, 0).is_err());
+    }
+
+    #[test]
+    fn exact_on_linear_cdf() {
+        let ks = uniform(200, 5);
+        let m = theil_sen(&ks, usize::MAX).unwrap();
+        assert!((m.w - 0.2).abs() < 1e-9, "slope {}", m.w);
+        assert!(m.mse < 1e-9);
+    }
+
+    #[test]
+    fn subsampling_stays_close_to_exact() {
+        let ks = KeySet::from_keys((1..300u64).map(|i| i * i / 5 + i).collect()).unwrap();
+        let exact = theil_sen(&ks, usize::MAX).unwrap();
+        let sub = theil_sen(&ks, 2_000).unwrap();
+        assert!(sub.pairs_examined <= 2_000);
+        assert!(
+            (exact.w - sub.w).abs() <= 0.15 * exact.w.abs().max(1e-9),
+            "exact {} vs subsampled {}",
+            exact.w,
+            sub.w
+        );
+    }
+
+    #[test]
+    fn unrank_pair_roundtrip() {
+        let n = 7;
+        let mut rank = 0;
+        for i in 0..n {
+            for j in i + 1..n {
+                assert_eq!(unrank_pair(rank, n), (i, j));
+                rank += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn median_odd_even() {
+        let mut odd = [3.0, 1.0, 2.0];
+        assert_eq!(median_in_place(&mut odd), 2.0);
+        let mut even = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(median_in_place(&mut even), 2.5);
+    }
+
+    #[test]
+    fn classic_outliers_are_absorbed() {
+        // Textbook contamination: corrupt the y-value of 15% of the POINTS.
+        // Theil–Sen barely moves; OLS bends. This is the regime robust
+        // statistics is built for.
+        let n = 200u64;
+        let clean_pairs: Vec<(u64, f64)> =
+            (0..n).map(|i| (i * 10, i as f64 + 1.0)).collect();
+        let mut corrupted = clean_pairs.clone();
+        for i in 0..30usize {
+            corrupted[i * 6].1 += 80.0; // blow up 15% of targets
+        }
+        let ts = theil_sen_pairs(&corrupted, usize::MAX).unwrap();
+        // OLS on the corrupted pairs.
+        let m = corrupted.len() as f64;
+        let mx = corrupted.iter().map(|p| p.0 as f64).sum::<f64>() / m;
+        let my = corrupted.iter().map(|p| p.1).sum::<f64>() / m;
+        let cov: f64 = corrupted.iter().map(|p| (p.0 as f64 - mx) * (p.1 - my)).sum();
+        let var: f64 = corrupted.iter().map(|p| (p.0 as f64 - mx).powi(2)).sum();
+        let (w_ols, b_ols) = (cov / var, my - cov / var * mx);
+
+        let eval = |w: f64, b: f64| -> f64 {
+            clean_pairs.iter().map(|&(x, y)| (w * x as f64 + b - y).powi(2)).sum::<f64>() / m
+        };
+        let ts_err = eval(ts.w, ts.b);
+        let ols_err = eval(w_ols, b_ols);
+        assert!(
+            ts_err * 5.0 < ols_err,
+            "Theil–Sen {ts_err} should absorb classic outliers that cost OLS {ols_err}"
+        );
+    }
+
+    #[test]
+    fn cdf_compound_effect_defeats_robustness() {
+        // The paper's "new flavor": 15% INSERTED keys shift the rank of
+        // every legitimate key above them, so the contaminated fraction of
+        // points exceeds any breakdown point. Theil–Sen fitted on the
+        // poisoned CDF is NOT a working defense — its damage on the clean
+        // CDF is of the same order as (here: not even better than) OLS.
+        let clean = uniform(200, 10);
+        let plan = greedy_poison(&clean, PoisonBudget::percentage(15.0, 200).unwrap()).unwrap();
+        let poisoned = plan.poisoned_keyset(&clean).unwrap();
+        let cmp = compare_on_attack(&clean, &poisoned, 50_000).unwrap();
+
+        // Both estimators suffer at least an order of magnitude on the
+        // legitimate CDF relative to their clean fits.
+        assert!(cmp.ts_poisoned_on_clean > 10.0 * cmp.ts_clean.max(1e-3));
+        assert!(cmp.ols_poisoned_on_clean > 10.0 * cmp.ols_clean.max(1e-3));
+        // And the robust estimator offers no multiple-fold rescue.
+        assert!(
+            cmp.ts_poisoned_on_clean > cmp.ols_poisoned_on_clean / 5.0,
+            "Theil–Sen {} unexpectedly rescued the fit (OLS {})",
+            cmp.ts_poisoned_on_clean,
+            cmp.ols_poisoned_on_clean
+        );
+    }
+
+    #[test]
+    fn robust_fit_costs_more_pairs_than_ols_points() {
+        // The efficiency argument of Section VI: n(n−1)/2 pairs vs n points.
+        let ks = uniform(100, 7);
+        let m = theil_sen(&ks, usize::MAX).unwrap();
+        assert_eq!(m.pairs_examined, 100 * 99 / 2);
+    }
+}

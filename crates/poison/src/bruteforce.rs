@@ -1,0 +1,197 @@
+//! Brute-force poisoning baselines ("A First Attempt", Section IV-C).
+//!
+//! These implementations exist to *validate* the optimal attack, exactly as
+//! the paper uses them: the single-point brute force scans every unoccupied
+//! in-range key (`O(m)` candidates, each `O(1)` through the oracle — the
+//! naive `O(mn)` variant recomputes the fit from scratch and is also
+//! provided for the complexity ablation), and the multi-point brute force
+//! explores all `C(free, p)` insertion sets on illustration-scale inputs.
+
+use crate::oracle::PoisonOracle;
+use lis_core::error::{LisError, Result};
+use lis_core::keys::{Key, KeySet};
+use lis_core::linreg::LinearModel;
+
+/// Best single poisoning key found by scanning the whole domain span with
+/// O(1) oracle evaluations.
+pub fn bruteforce_single_point(ks: &KeySet) -> Result<(Key, f64)> {
+    if ks.len() < 2 {
+        return Err(LisError::DegenerateRegression { n: ks.len() });
+    }
+    let oracle = PoisonOracle::new(ks);
+    let keys = ks.keys();
+    let mut idx = 0usize;
+    let mut best: Option<(Key, f64)> = None;
+    for kp in ks.min_key()..=ks.max_key() {
+        if idx < keys.len() && keys[idx] == kp {
+            idx += 1;
+            continue;
+        }
+        let loss = oracle.loss_with_rank(kp, idx);
+        if best.is_none_or(|(_, b)| loss > b) {
+            best = Some((kp, loss));
+        }
+    }
+    best.ok_or(LisError::NoPoisoningCandidates)
+}
+
+/// The truly naive `O(mn)` attack: refits the regression from scratch for
+/// every candidate. Exists only for the runtime-complexity ablation.
+pub fn bruteforce_single_point_naive(ks: &KeySet) -> Result<(Key, f64)> {
+    if ks.len() < 2 {
+        return Err(LisError::DegenerateRegression { n: ks.len() });
+    }
+    let mut best: Option<(Key, f64)> = None;
+    for kp in ks.min_key()..=ks.max_key() {
+        if ks.contains(kp) {
+            continue;
+        }
+        let augmented = ks.with_key(kp)?;
+        let loss = LinearModel::fit(&augmented)?.mse;
+        if best.is_none_or(|(_, b)| loss > b) {
+            best = Some((kp, loss));
+        }
+    }
+    best.ok_or(LisError::NoPoisoningCandidates)
+}
+
+/// Exhaustive multi-point attack: maximises the refit MSE over every
+/// `p`-subset of unoccupied in-range keys. Cost grows as `C(free, p)`; the
+/// call refuses inputs whose search space exceeds `max_combinations`.
+#[allow(clippy::needless_range_loop)] // combination-enumeration indices are clearer explicit
+pub fn bruteforce_multi_point(
+    ks: &KeySet,
+    p: usize,
+    max_combinations: u64,
+) -> Result<(Vec<Key>, f64)> {
+    if ks.len() < 2 {
+        return Err(LisError::DegenerateRegression { n: ks.len() });
+    }
+    let free: Vec<Key> =
+        (ks.min_key()..=ks.max_key()).filter(|&k| !ks.contains(k)).collect();
+    if free.len() < p || p == 0 {
+        return Err(LisError::NoPoisoningCandidates);
+    }
+    let combos = binomial(free.len() as u64, p as u64);
+    if combos > max_combinations {
+        return Err(LisError::InvalidBudget(format!(
+            "brute force over {combos} combinations exceeds cap {max_combinations}"
+        )));
+    }
+
+    let mut chosen = vec![0usize; p];
+    let mut best_keys = Vec::new();
+    let mut best_loss = f64::NEG_INFINITY;
+    // Iterative combination enumeration.
+    for i in 0..p {
+        chosen[i] = i;
+    }
+    loop {
+        let mut augmented = ks.clone();
+        for &i in &chosen {
+            augmented.insert(free[i])?;
+        }
+        let loss = LinearModel::fit(&augmented)?.mse;
+        if loss > best_loss {
+            best_loss = loss;
+            best_keys = chosen.iter().map(|&i| free[i]).collect();
+        }
+        // Advance to the next combination.
+        let mut i = p;
+        loop {
+            if i == 0 {
+                return Ok((best_keys, best_loss));
+            }
+            i -= 1;
+            if chosen[i] != i + free.len() - p {
+                chosen[i] += 1;
+                for j in i + 1..p {
+                    chosen[j] = chosen[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+fn binomial(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc * (n - i) as u128 / (i + 1) as u128;
+        if acc > u64::MAX as u128 {
+            return u64::MAX;
+        }
+    }
+    acc as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::{greedy_poison, PoisonBudget};
+    use crate::single::optimal_single_point;
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(10, 0), 1);
+        assert_eq!(binomial(4, 5), 0);
+        assert_eq!(binomial(40, 20), 137_846_528_820);
+    }
+
+    #[test]
+    fn oracle_and_naive_bruteforce_agree() {
+        let ks = KeySet::from_keys(vec![3, 9, 14, 30, 47, 60]).unwrap();
+        let (k_fast, l_fast) = bruteforce_single_point(&ks).unwrap();
+        let (k_naive, l_naive) = bruteforce_single_point_naive(&ks).unwrap();
+        assert_eq!(k_fast, k_naive);
+        assert!((l_fast - l_naive).abs() < 1e-9);
+    }
+
+    #[test]
+    fn endpoint_attack_matches_full_scan() {
+        for keys in [
+            vec![0u64, 11, 19, 44, 68, 90],
+            (0..40u64).map(|i| i * 3 + (i % 5)).collect::<Vec<_>>(),
+        ] {
+            let ks = KeySet::from_keys(keys).unwrap();
+            let plan = optimal_single_point(&ks).unwrap();
+            let (_, bf_loss) = bruteforce_single_point(&ks).unwrap();
+            assert!((plan.poisoned_mse - bf_loss).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn greedy_two_points_close_to_exhaustive() {
+        // Paper Section IV-D: greedy matched brute force on every tested
+        // dataset. Verify on an illustration-scale keyset.
+        let ks = KeySet::from_keys(vec![0, 6, 11, 19, 25]).unwrap();
+        let greedy = greedy_poison(&ks, PoisonBudget::keys(2)).unwrap();
+        let (_, bf_loss) = bruteforce_multi_point(&ks, 2, 1_000_000).unwrap();
+        assert!(
+            greedy.final_mse() >= 0.95 * bf_loss,
+            "greedy {} vs exhaustive {}",
+            greedy.final_mse(),
+            bf_loss
+        );
+    }
+
+    #[test]
+    fn multi_point_respects_cap() {
+        let ks = KeySet::from_keys((0..50u64).map(|i| i * 10).collect()).unwrap();
+        assert!(matches!(
+            bruteforce_multi_point(&ks, 5, 10),
+            Err(LisError::InvalidBudget(_))
+        ));
+    }
+
+    #[test]
+    fn multi_point_rejects_empty_budget() {
+        let ks = KeySet::from_keys(vec![0, 5, 9]).unwrap();
+        assert!(bruteforce_multi_point(&ks, 0, 100).is_err());
+    }
+}

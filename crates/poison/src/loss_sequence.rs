@@ -1,0 +1,185 @@
+//! The full loss sequence `L(kp)` over the key domain and its discrete
+//! derivative (Definition 3 / Figure 3).
+//!
+//! The paper visualizes the poisoning loss as a *sequence* indexed by the
+//! candidate key, undefined (`⊥`) at occupied keys, and proves per-gap
+//! convexity from its discrete second difference. This module materializes
+//! that sequence for analysis and plotting; the optimal attack itself never
+//! needs it (it only visits gap endpoints), but Figure 3, the brute-force
+//! baseline, and the convexity property tests all do.
+
+use crate::oracle::PoisonOracle;
+use lis_core::keys::{Key, KeySet};
+
+/// One entry of the loss sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossPoint {
+    /// Candidate poisoning key.
+    pub key: Key,
+    /// `Some(mse)` for unoccupied keys, `None` (the paper's `⊥`) for
+    /// occupied ones.
+    pub loss: Option<f64>,
+}
+
+/// The loss sequence across `[min K, max K]`, plus the clean loss.
+#[derive(Debug, Clone)]
+pub struct LossSequence {
+    /// Entries for every key in the closed span of the keyset.
+    pub points: Vec<LossPoint>,
+    /// Loss of the regression on the clean keyset (the paper's dashed
+    /// baseline in Figure 3).
+    pub clean_mse: f64,
+}
+
+impl LossSequence {
+    /// Evaluates the sequence for every key in `[min K, max K]`.
+    ///
+    /// `O(n + span)`: the oracle costs `O(n)` to build and `O(1)` per
+    /// candidate (the insertion rank is tracked incrementally along the
+    /// walk). Intended for analysis at illustration scale; the optimal
+    /// attack uses [`crate::single::optimal_single_point`] instead.
+    pub fn evaluate(ks: &KeySet) -> Self {
+        let oracle = PoisonOracle::new(ks);
+        let keys = ks.keys();
+        let mut points = Vec::with_capacity((ks.max_key() - ks.min_key() + 1) as usize);
+        let mut idx = 0usize; // number of legitimate keys < current candidate
+        for key in ks.min_key()..=ks.max_key() {
+            if idx < keys.len() && keys[idx] == key {
+                points.push(LossPoint { key, loss: None });
+                idx += 1;
+            } else {
+                points.push(LossPoint { key, loss: Some(oracle.loss_with_rank(key, idx)) });
+            }
+        }
+        Self { points, clean_mse: oracle.clean_mse() }
+    }
+
+    /// Discrete first derivative `ΔL(kp) = L(kp+1) − L(kp)` (Definition 3),
+    /// defined only where both neighbours are unoccupied.
+    pub fn first_derivative(&self) -> Vec<LossPoint> {
+        self.points
+            .windows(2)
+            .map(|w| LossPoint {
+                key: w[0].key,
+                loss: match (w[0].loss, w[1].loss) {
+                    (Some(a), Some(b)) => Some(b - a),
+                    _ => None,
+                },
+            })
+            .collect()
+    }
+
+    /// Checks Theorem 2 numerically: within every maximal run of unoccupied
+    /// keys the second difference must be non-negative (convexity), up to
+    /// `tol` of absolute slack for float noise.
+    pub fn is_convex_per_gap(&self, tol: f64) -> bool {
+        for run in self.unoccupied_runs() {
+            for w in run.windows(3) {
+                let second = w[2] - 2.0 * w[1] + w[0];
+                if second < -tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The maximum of the sequence (key, loss), if any key is unoccupied.
+    pub fn argmax(&self) -> Option<(Key, f64)> {
+        self.points
+            .iter()
+            .filter_map(|p| p.loss.map(|l| (p.key, l)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+    }
+
+    /// Loss values of each maximal unoccupied run, in key order.
+    fn unoccupied_runs(&self) -> Vec<Vec<f64>> {
+        let mut runs = Vec::new();
+        let mut current = Vec::new();
+        for p in &self.points {
+            match p.loss {
+                Some(l) => current.push(l),
+                None => {
+                    if !current.is_empty() {
+                        runs.push(std::mem::take(&mut current));
+                    }
+                }
+            }
+        }
+        if !current.is_empty() {
+            runs.push(current);
+        }
+        runs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig2_like_keys() -> KeySet {
+        // 10 keys in [0, 40], the scale of the paper's Figure 2/3.
+        KeySet::from_keys(vec![0, 4, 9, 13, 18, 22, 27, 31, 36, 40]).unwrap()
+    }
+
+    #[test]
+    fn sequence_covers_span_and_marks_occupied() {
+        let ks = fig2_like_keys();
+        let seq = LossSequence::evaluate(&ks);
+        assert_eq!(seq.points.len(), 41);
+        for p in &seq.points {
+            assert_eq!(p.loss.is_none(), ks.contains(p.key), "key {}", p.key);
+        }
+    }
+
+    #[test]
+    fn per_gap_convexity_holds() {
+        for keys in [
+            vec![0u64, 4, 9, 13, 18, 22, 27, 31, 36, 40],
+            vec![2, 6, 7, 12],
+            (0..30u64).map(|i| i * 7).collect::<Vec<_>>(),
+            vec![1, 100, 101, 102, 400],
+        ] {
+            let ks = KeySet::from_keys(keys.clone()).unwrap();
+            let seq = LossSequence::evaluate(&ks);
+            assert!(seq.is_convex_per_gap(1e-7), "convexity failed for {:?}", keys);
+        }
+    }
+
+    #[test]
+    fn argmax_matches_optimal_single_point() {
+        let ks = fig2_like_keys();
+        let seq = LossSequence::evaluate(&ks);
+        let (bf_key, bf_loss) = seq.argmax().unwrap();
+        let plan = crate::single::optimal_single_point(&ks).unwrap();
+        assert!(
+            (plan.poisoned_mse - bf_loss).abs() < 1e-9,
+            "endpoint attack {} vs sequence max {} (keys {} vs {})",
+            plan.poisoned_mse,
+            bf_loss,
+            plan.key,
+            bf_key
+        );
+    }
+
+    #[test]
+    fn derivative_crosses_zero_inside_span() {
+        // Figure 3: the derivative starts positive-ish and ends negative or
+        // vice versa — at minimum it must change sign somewhere or the max
+        // would sit at the boundary of a single gap.
+        let ks = fig2_like_keys();
+        let seq = LossSequence::evaluate(&ks);
+        let deriv = seq.first_derivative();
+        let signs: Vec<f64> = deriv.iter().filter_map(|p| p.loss).collect();
+        assert!(signs.iter().any(|&d| d > 0.0));
+        assert!(signs.iter().any(|&d| d < 0.0));
+    }
+
+    #[test]
+    fn clean_mse_is_baseline() {
+        let ks = fig2_like_keys();
+        let seq = LossSequence::evaluate(&ks);
+        let fit = lis_core::linreg::LinearModel::fit(&ks).unwrap();
+        assert!((seq.clean_mse - fit.mse).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,201 @@
+//! The O(1)-per-candidate poisoned-loss oracle (Section IV-C).
+//!
+//! The "first attempt" of the paper recomputes the regression loss from
+//! scratch for every potential poisoning key — `O(mn)` overall. The insight
+//! behind the optimal attack is that, for a fixed keyset `K`, the loss after
+//! inserting a candidate `kp` is a simple function of a handful of moments,
+//! all of which can be updated in constant time as the candidate moves:
+//!
+//! * the rank multiset of the poisoned set is always exactly `1..=n+1`, so
+//!   `Σr′` and `Σr′²` are closed-form constants independent of `kp`;
+//! * `Σk′` and `Σk′²` gain only the candidate's own contribution;
+//! * the cross-moment gains the candidate's `kp·rp` **plus the sum of every
+//!   legitimate key larger than `kp`** — the compound effect: those keys'
+//!   ranks each increase by one.
+//!
+//! [`PoisonOracle`] precomputes the legitimate moments and a suffix-sum
+//! array of (shifted) keys in `O(n)`; each candidate evaluation is then
+//! `O(log n)` for the rank lookup (or `O(1)` when the caller already knows
+//! the insertion rank, as the gap walk does). This is algebraically
+//! equivalent to the paper's discrete-derivative recurrences but evaluates
+//! each candidate independently, avoiding accumulated floating-point drift.
+
+use lis_core::keys::{Key, KeySet};
+use lis_core::linreg::optimal_mse;
+use lis_core::stats::{midpoint_shift, rank_sq_sum, rank_sum, CdfMoments};
+
+/// Precomputed state for constant-time poisoned-loss queries against a
+/// fixed legitimate keyset.
+#[derive(Debug, Clone)]
+pub struct PoisonOracle {
+    /// The legitimate keys (sorted), shifted into f64.
+    xs: Vec<f64>,
+    /// Raw keys for rank lookups.
+    keys: Vec<Key>,
+    /// `suffix[i] = Σ_{j ≥ i} xs[j]`; `suffix[n] = 0`.
+    suffix: Vec<f64>,
+    shift: f64,
+    sum_x: f64,
+    sum_xx: f64,
+    sum_xr: f64,
+    /// Loss of the clean regression (for ratio reporting).
+    clean_mse: f64,
+}
+
+impl PoisonOracle {
+    /// Builds the oracle in `O(n)` (after the keyset's own sort).
+    pub fn new(ks: &KeySet) -> Self {
+        let n = ks.len();
+        let shift = midpoint_shift(ks.min_key(), ks.max_key());
+        let keys = ks.keys().to_vec();
+        let xs: Vec<f64> = keys.iter().map(|&k| k as f64 - shift).collect();
+        let mut suffix = vec![0.0; n + 1];
+        for i in (0..n).rev() {
+            suffix[i] = suffix[i + 1] + xs[i];
+        }
+        let mut sum_x = 0.0;
+        let mut sum_xx = 0.0;
+        let mut sum_xr = 0.0;
+        for (i, &x) in xs.iter().enumerate() {
+            sum_x += x;
+            sum_xx += x * x;
+            sum_xr += x * (i + 1) as f64;
+        }
+        let clean = CdfMoments {
+            n,
+            shift,
+            sum_x,
+            sum_xx,
+            sum_r: rank_sum(n),
+            sum_rr: rank_sq_sum(n),
+            sum_xr,
+        };
+        Self { xs, keys, suffix, shift, sum_x, sum_xx, sum_xr, clean_mse: optimal_mse(&clean) }
+    }
+
+    /// Number of legitimate keys.
+    pub fn n(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// MSE of the regression on the clean keyset.
+    pub fn clean_mse(&self) -> f64 {
+        self.clean_mse
+    }
+
+    /// Loss of the regression refit on `K ∪ {kp}`, where the caller supplies
+    /// the number of legitimate keys strictly below `kp` (`idx`, equal to
+    /// `kp`'s 0-based insertion position). `kp` must not collide with an
+    /// existing key.
+    pub fn loss_with_rank(&self, kp: Key, idx: usize) -> f64 {
+        debug_assert!(idx <= self.xs.len());
+        debug_assert!(
+            self.keys.binary_search(&kp).is_err(),
+            "poisoning key {kp} collides with a legitimate key"
+        );
+        let n1 = self.xs.len() + 1;
+        let xp = kp as f64 - self.shift;
+        let rp = (idx + 1) as f64;
+        let m = CdfMoments {
+            n: n1,
+            shift: self.shift,
+            sum_x: self.sum_x + xp,
+            sum_xx: self.sum_xx + xp * xp,
+            sum_r: rank_sum(n1),
+            sum_rr: rank_sq_sum(n1),
+            // Compound effect: every key above kp gains one rank, adding
+            // its (shifted) key value to the cross moment once.
+            sum_xr: self.sum_xr + self.suffix[idx] + xp * rp,
+        };
+        optimal_mse(&m)
+    }
+
+    /// Loss of the regression refit on `K ∪ {kp}`; `O(log n)` rank lookup.
+    pub fn loss(&self, kp: Key) -> f64 {
+        let idx = self.keys.partition_point(|&k| k < kp);
+        self.loss_with_rank(kp, idx)
+    }
+
+    /// Reference implementation: refits the regression from scratch on the
+    /// augmented pair list. Used by tests to validate the O(1) algebra.
+    pub fn loss_refit(&self, ks: &KeySet, kp: Key) -> f64 {
+        let augmented = ks.with_key(kp).expect("valid candidate");
+        lis_core::linreg::LinearModel::fit(&augmented).expect("n ≥ 2").mse
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lis_core::keys::KeyDomain;
+
+    fn paper_keys() -> KeySet {
+        KeySet::new(vec![2, 6, 7, 12], KeyDomain::new(1, 13).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn oracle_matches_refit_everywhere() {
+        let ks = paper_keys();
+        let oracle = PoisonOracle::new(&ks);
+        for kp in 1..=13u64 {
+            if ks.contains(kp) {
+                continue;
+            }
+            let fast = oracle.loss(kp);
+            let slow = oracle.loss_refit(&ks, kp);
+            assert!(
+                (fast - slow).abs() < 1e-9,
+                "kp={kp}: oracle {fast} vs refit {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn clean_mse_matches_model_fit() {
+        let ks = paper_keys();
+        let oracle = PoisonOracle::new(&ks);
+        let fit = lis_core::linreg::LinearModel::fit(&ks).unwrap();
+        assert!((oracle.clean_mse() - fit.mse).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_with_rank_agrees_with_loss() {
+        let ks = KeySet::from_keys(vec![10, 20, 30, 50, 80]).unwrap();
+        let oracle = PoisonOracle::new(&ks);
+        for (kp, idx) in [(11u64, 1usize), (25, 2), (79, 4), (31, 3)] {
+            assert_eq!(oracle.loss(kp), oracle.loss_with_rank(kp, idx));
+        }
+    }
+
+    #[test]
+    fn large_scale_consistency() {
+        // 10k uniform keys near 1e9: the shifted algebra must stay accurate.
+        let ks = KeySet::from_keys((0..10_000u64).map(|i| 1_000_000_000 + i * 37).collect())
+            .unwrap();
+        let oracle = PoisonOracle::new(&ks);
+        for kp in [1_000_000_005u64, 1_000_123_456, 1_000_369_950] {
+            if ks.contains(kp) {
+                continue;
+            }
+            let fast = oracle.loss(kp);
+            let slow = oracle.loss_refit(&ks, kp);
+            let denom = slow.abs().max(1.0);
+            assert!(
+                ((fast - slow) / denom).abs() < 1e-6,
+                "kp={kp}: {fast} vs {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisoning_never_decreases_optimal_loss_on_linear_data() {
+        // For a perfectly linear CDF any insertion that breaks uniform
+        // spacing strictly increases the loss.
+        let ks = KeySet::from_keys((0..100u64).map(|i| i * 10).collect()).unwrap();
+        let oracle = PoisonOracle::new(&ks);
+        assert!(oracle.clean_mse() < 1e-9);
+        for kp in [5u64, 41, 995, 503] {
+            assert!(oracle.loss(kp) > 0.0, "kp={kp}");
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Deletion-capable adversaries (paper Section VI, future directions).
+//!
+//! The paper's closing discussion calls for studying "adversaries that are
+//! capable of removing and modify\[ing\] keys". This module implements that
+//! extension with the same machinery as the insertion attack:
+//!
+//! * removing a key `k` with rank `r` *decrements* the rank of every larger
+//!   key — a mirrored compound effect;
+//! * the post-removal rank multiset is exactly `1..=n−1`, so `Σr′` and
+//!   `Σr′²` are again closed-form constants;
+//! * the cross moment loses the removed key's own `k·r` term plus the
+//!   suffix key sum above it: `Σkr′ = Σkr − k·r − Σ_{k_i > k} k_i`.
+//!
+//! [`optimal_single_removal`] evaluates all `n` legitimate keys in `O(n)`
+//! total; [`greedy_removal`] composes it the way Algorithm 1 composes
+//! insertions. A combined insert+delete adversary is exposed as
+//! [`greedy_mixed`].
+
+use crate::greedy::PoisonBudget;
+use crate::oracle::PoisonOracle;
+use crate::single::optimal_single_point_with;
+use lis_core::error::{LisError, Result};
+use lis_core::keys::{Key, KeySet};
+use lis_core::linreg::optimal_mse;
+use lis_core::stats::{midpoint_shift, rank_sq_sum, rank_sum, CdfMoments};
+
+/// Outcome of the optimal single-key removal search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RemovalPlan {
+    /// The loss-maximising key to delete.
+    pub key: Key,
+    /// MSE of the regression refit on `K \ {key}`.
+    pub poisoned_mse: f64,
+    /// MSE on the intact keyset.
+    pub clean_mse: f64,
+}
+
+impl RemovalPlan {
+    /// Ratio Loss achieved by this single deletion.
+    pub fn ratio_loss(&self) -> f64 {
+        lis_core::metrics::ratio_loss(self.poisoned_mse, self.clean_mse)
+    }
+}
+
+/// Finds the legitimate key whose deletion maximises the refit MSE.
+///
+/// Requires `n ≥ 3` so the post-removal regression is non-degenerate.
+pub fn optimal_single_removal(ks: &KeySet) -> Result<RemovalPlan> {
+    if ks.len() < 3 {
+        return Err(LisError::DegenerateRegression { n: ks.len() });
+    }
+    let n = ks.len();
+    let shift = midpoint_shift(ks.min_key(), ks.max_key());
+    let keys = ks.keys();
+
+    // Precompute legit moments and suffix sums of shifted keys.
+    let xs: Vec<f64> = keys.iter().map(|&k| k as f64 - shift).collect();
+    let mut suffix = vec![0.0; n + 1];
+    for i in (0..n).rev() {
+        suffix[i] = suffix[i + 1] + xs[i];
+    }
+    let mut sum_x = 0.0;
+    let mut sum_xx = 0.0;
+    let mut sum_xr = 0.0;
+    for (i, &x) in xs.iter().enumerate() {
+        sum_x += x;
+        sum_xx += x * x;
+        sum_xr += x * (i + 1) as f64;
+    }
+    let clean = CdfMoments {
+        n,
+        shift,
+        sum_x,
+        sum_xx,
+        sum_r: rank_sum(n),
+        sum_rr: rank_sq_sum(n),
+        sum_xr,
+    };
+    let clean_mse = optimal_mse(&clean);
+
+    let n1 = n - 1;
+    let mut best: Option<(Key, f64)> = None;
+    for (i, &x) in xs.iter().enumerate() {
+        let r = (i + 1) as f64;
+        let m = CdfMoments {
+            n: n1,
+            shift,
+            sum_x: sum_x - x,
+            sum_xx: sum_xx - x * x,
+            sum_r: rank_sum(n1),
+            sum_rr: rank_sq_sum(n1),
+            // Mirrored compound effect: all larger keys lose one rank.
+            sum_xr: sum_xr - x * r - suffix[i + 1],
+        };
+        let loss = optimal_mse(&m);
+        if best.is_none_or(|(_, b)| loss > b) {
+            best = Some((keys[i], loss));
+        }
+    }
+    let (key, poisoned_mse) = best.expect("n ≥ 3");
+    Ok(RemovalPlan { key, poisoned_mse, clean_mse })
+}
+
+/// Result of a greedy multi-key removal campaign.
+#[derive(Debug, Clone)]
+pub struct RemovalCampaign {
+    /// Keys deleted, in order.
+    pub removed: Vec<Key>,
+    /// MSE after each deletion.
+    pub losses: Vec<f64>,
+    /// MSE on the intact keyset.
+    pub clean_mse: f64,
+}
+
+impl RemovalCampaign {
+    /// Final MSE after all deletions.
+    pub fn final_mse(&self) -> f64 {
+        self.losses.last().copied().unwrap_or(self.clean_mse)
+    }
+
+    /// Final Ratio Loss.
+    pub fn ratio_loss(&self) -> f64 {
+        lis_core::metrics::ratio_loss(self.final_mse(), self.clean_mse)
+    }
+}
+
+/// Greedy multi-key removal: deletes `count` keys one at a time, each the
+/// current loss maximiser.
+pub fn greedy_removal(ks: &KeySet, count: usize) -> Result<RemovalCampaign> {
+    if ks.len() < 3 {
+        return Err(LisError::DegenerateRegression { n: ks.len() });
+    }
+    let clean_mse = PoisonOracle::new(ks).clean_mse();
+    let mut current = ks.clone();
+    let mut removed = Vec::with_capacity(count);
+    let mut losses = Vec::with_capacity(count);
+    for _ in 0..count {
+        if current.len() < 3 {
+            break;
+        }
+        let plan = optimal_single_removal(&current)?;
+        current.remove(plan.key)?;
+        removed.push(plan.key);
+        losses.push(plan.poisoned_mse);
+    }
+    Ok(RemovalCampaign { removed, losses, clean_mse })
+}
+
+/// One action of the mixed insert/delete adversary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MixedAction {
+    /// Insert this poisoning key.
+    Insert(Key),
+    /// Delete this legitimate (or previously inserted) key.
+    Remove(Key),
+}
+
+/// Result of the mixed greedy campaign.
+#[derive(Debug, Clone)]
+pub struct MixedCampaign {
+    /// Actions taken, in order.
+    pub actions: Vec<MixedAction>,
+    /// MSE after each action.
+    pub losses: Vec<f64>,
+    /// MSE on the intact keyset.
+    pub clean_mse: f64,
+}
+
+impl MixedCampaign {
+    /// Final MSE after the whole campaign.
+    pub fn final_mse(&self) -> f64 {
+        self.losses.last().copied().unwrap_or(self.clean_mse)
+    }
+
+    /// Final Ratio Loss.
+    pub fn ratio_loss(&self) -> f64 {
+        lis_core::metrics::ratio_loss(self.final_mse(), self.clean_mse)
+    }
+}
+
+/// Greedy mixed adversary: at every step takes whichever single action —
+/// optimal insertion or optimal deletion — increases the loss more, up to
+/// `budget.count` actions total.
+///
+/// Strictly dominates the insert-only adversary on keysets where deletions
+/// open exploitable structure (e.g. regular dense regions).
+pub fn greedy_mixed(ks: &KeySet, budget: PoisonBudget) -> Result<MixedCampaign> {
+    if ks.len() < 3 {
+        return Err(LisError::DegenerateRegression { n: ks.len() });
+    }
+    let clean_mse = PoisonOracle::new(ks).clean_mse();
+    let mut current = ks.clone();
+    let mut actions = Vec::with_capacity(budget.count);
+    let mut losses = Vec::with_capacity(budget.count);
+    for _ in 0..budget.count {
+        let oracle = PoisonOracle::new(&current);
+        let insert = optimal_single_point_with(&current, &oracle).ok();
+        let remove = if current.len() >= 3 { optimal_single_removal(&current).ok() } else { None };
+        match (insert, remove) {
+            (Some(ins), Some(rem)) if ins.poisoned_mse >= rem.poisoned_mse => {
+                current.insert(ins.key)?;
+                actions.push(MixedAction::Insert(ins.key));
+                losses.push(ins.poisoned_mse);
+            }
+            (_, Some(rem)) => {
+                current.remove(rem.key)?;
+                actions.push(MixedAction::Remove(rem.key));
+                losses.push(rem.poisoned_mse);
+            }
+            (Some(ins), None) => {
+                current.insert(ins.key)?;
+                actions.push(MixedAction::Insert(ins.key));
+                losses.push(ins.poisoned_mse);
+            }
+            (None, None) => break,
+        }
+    }
+    Ok(MixedCampaign { actions, losses, clean_mse })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: u64, step: u64) -> KeySet {
+        KeySet::from_keys((0..n).map(|i| i * step).collect()).unwrap()
+    }
+
+    #[test]
+    fn removal_oracle_matches_refit() {
+        let ks = KeySet::from_keys(vec![2, 6, 7, 12, 19, 31, 40]).unwrap();
+        let plan = optimal_single_removal(&ks).unwrap();
+        // Exhaustive check: refit without each key, compare maxima.
+        let mut best = f64::NEG_INFINITY;
+        let mut best_key = 0;
+        for &k in ks.keys() {
+            let mut without = ks.clone();
+            without.remove(k).unwrap();
+            let mse = lis_core::linreg::LinearModel::fit(&without).unwrap().mse;
+            if mse > best {
+                best = mse;
+                best_key = k;
+            }
+        }
+        assert!((plan.poisoned_mse - best).abs() < 1e-9, "{} vs {}", plan.poisoned_mse, best);
+        assert_eq!(plan.key, best_key);
+    }
+
+    #[test]
+    fn removal_requires_three_keys() {
+        let ks = KeySet::from_keys(vec![1, 5]).unwrap();
+        assert!(matches!(
+            optimal_single_removal(&ks),
+            Err(LisError::DegenerateRegression { n: 2 })
+        ));
+    }
+
+    #[test]
+    fn removal_increases_loss_on_structured_data() {
+        // Removing a key from a perfectly linear CDF breaks its linearity
+        // and raises the loss above ~0.
+        let ks = uniform(100, 10);
+        let plan = optimal_single_removal(&ks).unwrap();
+        assert!(plan.poisoned_mse > plan.clean_mse);
+    }
+
+    #[test]
+    fn greedy_removal_campaign() {
+        let ks = uniform(100, 10);
+        let campaign = greedy_removal(&ks, 10).unwrap();
+        assert_eq!(campaign.removed.len(), 10);
+        // All removed keys were legitimate and distinct.
+        let mut seen = std::collections::HashSet::new();
+        for &k in &campaign.removed {
+            assert!(ks.contains(k));
+            assert!(seen.insert(k));
+        }
+        assert!(campaign.ratio_loss() > 1.0);
+    }
+
+    #[test]
+    fn greedy_removal_stops_at_minimum_size() {
+        let ks = KeySet::from_keys(vec![1, 5, 9, 14]).unwrap();
+        let campaign = greedy_removal(&ks, 10).unwrap();
+        assert!(campaign.removed.len() <= 2, "must keep ≥ 2 keys for the regression");
+    }
+
+    #[test]
+    fn mixed_adversary_first_step_dominates() {
+        // Per-step dominance is the guarantee (greedy trajectories diverge
+        // after that, so FINAL losses may order either way).
+        let ks = uniform(90, 5);
+        let budget = PoisonBudget::keys(10);
+        let insert_only = crate::greedy::greedy_poison(&ks, budget).unwrap();
+        let delete_only = greedy_removal(&ks, 10).unwrap();
+        let mixed = greedy_mixed(&ks, budget).unwrap();
+        assert!(mixed.losses[0] >= insert_only.losses[0] - 1e-9);
+        assert!(mixed.losses[0] >= delete_only.losses[0] - 1e-9);
+    }
+
+    #[test]
+    fn mixed_actions_are_consistent() {
+        let ks = uniform(60, 7);
+        let mixed = greedy_mixed(&ks, PoisonBudget::keys(8)).unwrap();
+        assert_eq!(mixed.actions.len(), mixed.losses.len());
+        // Replay the actions and verify the final loss.
+        let mut replay = ks.clone();
+        for a in &mixed.actions {
+            match a {
+                MixedAction::Insert(k) => replay.insert(*k).unwrap(),
+                MixedAction::Remove(k) => replay.remove(*k).unwrap(),
+            }
+        }
+        let refit = lis_core::linreg::LinearModel::fit(&replay).unwrap().mse;
+        assert!((refit - mixed.final_mse()).abs() < 1e-9 * refit.max(1.0));
+    }
+}

@@ -1,0 +1,199 @@
+//! Query workload generators for lookup benchmarks.
+//!
+//! The LIS evaluation model assumes "the majority of queries are expected
+//! to be data stored in the index structure" (Section IV-A). Real query
+//! streams are additionally skewed — popular keys dominate. This module
+//! generates such streams: uniform member queries, Zipf-distributed member
+//! queries (rejection-free via the Zeta-law inverse-CDF approximation), and
+//! configurable member/non-member mixes for existence-index experiments.
+
+use lis_core::keys::{Key, KeySet};
+use rand::Rng;
+
+/// A Zipf(s) sampler over ranks `1..=n` using the standard
+/// inverse-transform approximation (Gray et al.'s method without the
+/// harmonic-number table; exact enough for benchmark workloads).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: usize,
+    s: f64,
+    // Precomputed constants of the approximation.
+    t: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `1..=n` with exponent `s > 0`, `s ≠ 1`
+    /// handled via the generalized harmonic approximation.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty support");
+        assert!(s > 0.0, "Zipf exponent must be positive");
+        let t = if (s - 1.0).abs() < 1e-9 {
+            (n as f64).ln()
+        } else {
+            ((n as f64).powf(1.0 - s) - 1.0) / (1.0 - s)
+        };
+        Self { n, s, t }
+    }
+
+    /// Samples a 1-based rank.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        // Invert the continuous approximation of the CDF, then clamp.
+        let u: f64 = rng.gen::<f64>();
+        let x = if (self.s - 1.0).abs() < 1e-9 {
+            (u * self.t).exp()
+        } else {
+            (u * self.t * (1.0 - self.s) + 1.0).powf(1.0 / (1.0 - self.s))
+        };
+        // Continuous mass [r, r+1) belongs to rank r.
+        (x.floor() as usize).clamp(1, self.n)
+    }
+}
+
+/// A stream of member queries with the given skew.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QuerySkew {
+    /// Every stored key equally likely.
+    Uniform,
+    /// Zipf-distributed popularity with the given exponent (typical web
+    /// workloads: 0.8–1.2).
+    Zipf(f64),
+}
+
+/// Generates `count` member queries over `ks` with the requested skew.
+///
+/// Zipf popularity is assigned by *shuffled* rank: key popularity is
+/// independent of key order, as in real workloads (the hottest key is not
+/// necessarily the smallest).
+pub fn member_queries<R: Rng>(
+    rng: &mut R,
+    ks: &KeySet,
+    skew: QuerySkew,
+    count: usize,
+) -> Vec<Key> {
+    let keys = ks.keys();
+    match skew {
+        QuerySkew::Uniform => {
+            (0..count).map(|_| keys[rng.gen_range(0..keys.len())]).collect()
+        }
+        QuerySkew::Zipf(s) => {
+            // Random popularity permutation.
+            let mut perm: Vec<usize> = (0..keys.len()).collect();
+            for i in (1..perm.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                perm.swap(i, j);
+            }
+            let zipf = Zipf::new(keys.len(), s);
+            (0..count).map(|_| keys[perm[zipf.sample(rng) - 1]]).collect()
+        }
+    }
+}
+
+/// Generates a member/non-member mix: `member_fraction` of the queries hit
+/// stored keys (uniformly), the rest are uniform non-members from the
+/// domain.
+pub fn mixed_queries<R: Rng>(
+    rng: &mut R,
+    ks: &KeySet,
+    member_fraction: f64,
+    count: usize,
+) -> Vec<Key> {
+    assert!((0.0..=1.0).contains(&member_fraction));
+    let keys = ks.keys();
+    let domain = ks.domain();
+    (0..count)
+        .map(|_| {
+            if rng.gen::<f64>() < member_fraction {
+                keys[rng.gen_range(0..keys.len())]
+            } else {
+                // Rejection-sample a non-member (sparse keysets terminate
+                // almost immediately; dense ones take a few tries).
+                loop {
+                    let k = rng.gen_range(domain.min..=domain.max);
+                    if !ks.contains(k) {
+                        break k;
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::trial_rng;
+    use lis_core::keys::KeyDomain;
+
+    fn keyset() -> KeySet {
+        KeySet::new((0..1000u64).map(|i| i * 7).collect(), KeyDomain::up_to(10_000)).unwrap()
+    }
+
+    #[test]
+    fn zipf_support_and_skew() {
+        let mut rng = trial_rng(1, 0);
+        let z = Zipf::new(1000, 1.1);
+        let samples: Vec<usize> = (0..50_000).map(|_| z.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&r| (1..=1000).contains(&r)));
+        // Rank 1 must dominate the tail decisively.
+        let head = samples.iter().filter(|&&r| r == 1).count();
+        let tail = samples.iter().filter(|&&r| r > 500).count();
+        assert!(head > tail / 4, "head {head} vs tail {tail}");
+        let frac_head = samples.iter().filter(|&&r| r <= 10).count() as f64
+            / samples.len() as f64;
+        assert!(frac_head > 0.3, "top-10 ranks hold {frac_head}");
+    }
+
+    #[test]
+    fn zipf_near_one_exponent() {
+        let mut rng = trial_rng(2, 0);
+        let z = Zipf::new(100, 1.0);
+        for _ in 0..1000 {
+            let r = z.sample(&mut rng);
+            assert!((1..=100).contains(&r));
+        }
+    }
+
+    #[test]
+    fn member_queries_are_members() {
+        let ks = keyset();
+        let mut rng = trial_rng(3, 0);
+        for skew in [QuerySkew::Uniform, QuerySkew::Zipf(1.0)] {
+            let qs = member_queries(&mut rng, &ks, skew, 2_000);
+            assert_eq!(qs.len(), 2_000);
+            assert!(qs.iter().all(|&k| ks.contains(k)));
+        }
+    }
+
+    #[test]
+    fn zipf_member_queries_are_skewed() {
+        let ks = keyset();
+        let mut rng = trial_rng(4, 0);
+        let qs = member_queries(&mut rng, &ks, QuerySkew::Zipf(1.2), 20_000);
+        let mut counts = std::collections::HashMap::new();
+        for k in &qs {
+            *counts.entry(*k).or_insert(0usize) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        let distinct = counts.len();
+        // Hot key far above average; support far from exhausted.
+        assert!(max > 3 * qs.len() / distinct, "max {max} distinct {distinct}");
+    }
+
+    #[test]
+    fn mixed_queries_fraction() {
+        let ks = keyset();
+        let mut rng = trial_rng(5, 0);
+        let qs = mixed_queries(&mut rng, &ks, 0.7, 10_000);
+        let members = qs.iter().filter(|&&k| ks.contains(k)).count();
+        let frac = members as f64 / qs.len() as f64;
+        assert!((frac - 0.7).abs() < 0.03, "member fraction {frac}");
+    }
+
+    #[test]
+    fn mixed_queries_extremes() {
+        let ks = keyset();
+        let mut rng = trial_rng(6, 0);
+        assert!(mixed_queries(&mut rng, &ks, 1.0, 100).iter().all(|&k| ks.contains(k)));
+        assert!(mixed_queries(&mut rng, &ks, 0.0, 100).iter().all(|&k| !ks.contains(k)));
+    }
+}

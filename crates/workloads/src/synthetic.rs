@@ -1,0 +1,247 @@
+//! Synthetic key-set generators matching the paper's experimental setups.
+//!
+//! * **Uniform** (Figures 4–6): `n` distinct keys uniform over the domain.
+//! * **Normal** (Figure 8): for a key domain `U = [α, β]`, keys follow
+//!   `N(µ = (β+α)/2, σ = (β−α)/3)`, clamped into the domain.
+//! * **Log-normal** (Figure 6): `LogNormal(µ = 0, σ = 2)` scaled onto the
+//!   domain, the parameterization of the original LIS experiments.
+//!
+//! All generators return exactly `n` *distinct* integer keys (the paper's
+//! keysets contain no multiplicities), resampling on collision with a
+//! progress guard.
+
+use crate::rng::{sample_lognormal, sample_normal};
+use lis_core::error::{LisError, Result};
+use lis_core::keys::{Key, KeyDomain, KeySet};
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Upper bound on resampling passes before giving up (only reachable when
+/// the requested count is close to the number of representable keys the
+/// distribution can produce).
+const MAX_ROUNDS: usize = 64;
+
+/// Draws `n` distinct keys uniformly from `domain`.
+///
+/// Uses rejection sampling below 50% density and complement sampling above
+/// (sample the keys to *exclude*), so dense keysets cost the same as sparse
+/// ones.
+pub fn uniform_keys<R: Rng>(rng: &mut R, n: usize, domain: KeyDomain) -> Result<KeySet> {
+    let m = domain.size();
+    if (n as u64) > m {
+        return Err(LisError::InvalidBudget(format!("cannot draw {n} distinct keys from {m}")));
+    }
+    if n == 0 {
+        return Err(LisError::EmptyKeySet);
+    }
+    let keys: Vec<Key> = if (n as u64) * 2 <= m {
+        let mut set = HashSet::with_capacity(n);
+        while set.len() < n {
+            set.insert(rng.gen_range(domain.min..=domain.max));
+        }
+        set.into_iter().collect()
+    } else {
+        // Dense: choose the complement (keys to drop) instead.
+        let drop_count = (m - n as u64) as usize;
+        let mut drop = HashSet::with_capacity(drop_count);
+        while drop.len() < drop_count {
+            drop.insert(rng.gen_range(domain.min..=domain.max));
+        }
+        (domain.min..=domain.max).filter(|k| !drop.contains(k)).collect()
+    };
+    KeySet::new(keys, domain)
+}
+
+/// Draws `n` distinct keys from the Figure-8 normal distribution over
+/// `domain`: `µ = (min+max)/2`, `σ = (max−min)/3`, clamped to the domain.
+pub fn normal_keys<R: Rng>(rng: &mut R, n: usize, domain: KeyDomain) -> Result<KeySet> {
+    let mu = (domain.min as f64 + domain.max as f64) / 2.0;
+    let sigma = (domain.max as f64 - domain.min as f64) / 3.0;
+    sample_distinct(rng, n, domain, |rng| sample_normal(rng, mu, sigma))
+}
+
+/// Draws `n` distinct keys log-normally distributed over `domain`:
+/// `LogNormal(0, 2)` samples are mapped onto the domain by scaling the
+/// distribution's 99th percentile to the domain span.
+///
+/// Scaling the 99.9th percentile onto the span compresses the distribution
+/// head hard: after rounding and dedup the head becomes (near-)saturated
+/// runs of consecutive integers — exactly what happens to real scaled
+/// log-normal data. The models covering the saturated→sparse *transition
+/// zone* are the ones the paper's attack amplifies the most ("we have some
+/// regressions that handle concentrated keys and by poisoning these models,
+/// we amplify the non-linearity", Section V-B): their clean CDF is almost
+/// exactly linear (tiny loss) yet they still offer free slots for poison.
+pub fn lognormal_keys<R: Rng>(rng: &mut R, n: usize, domain: KeyDomain) -> Result<KeySet> {
+    lognormal_keys_with(rng, n, domain, 0.0, 2.0)
+}
+
+/// [`lognormal_keys`] with explicit `µ` and `σ`.
+pub fn lognormal_keys_with<R: Rng>(
+    rng: &mut R,
+    n: usize,
+    domain: KeyDomain,
+    mu: f64,
+    sigma: f64,
+) -> Result<KeySet> {
+    // 99.9th percentile of LogNormal(mu, sigma): exp(mu + 3.09·sigma).
+    let p999 = (mu + 3.090_232 * sigma).exp();
+    let span = (domain.max - domain.min) as f64;
+    let scale = span / p999;
+    sample_distinct(rng, n, domain, move |rng| {
+        domain.min as f64 + sample_lognormal(rng, mu, sigma) * scale
+    })
+}
+
+/// Generic engine: keeps sampling `f`, rounding and clamping into `domain`,
+/// until `n` distinct keys accumulate.
+pub fn sample_distinct<R: Rng>(
+    rng: &mut R,
+    n: usize,
+    domain: KeyDomain,
+    mut f: impl FnMut(&mut R) -> f64,
+) -> Result<KeySet> {
+    if n == 0 {
+        return Err(LisError::EmptyKeySet);
+    }
+    if (n as u64) > domain.size() {
+        return Err(LisError::InvalidBudget(format!(
+            "cannot draw {n} distinct keys from {}",
+            domain.size()
+        )));
+    }
+    let mut set: HashSet<Key> = HashSet::with_capacity(n);
+    for _ in 0..MAX_ROUNDS {
+        let missing = n - set.len();
+        if missing == 0 {
+            break;
+        }
+        // Oversample: collisions grow as the set fills up.
+        for _ in 0..missing.saturating_mul(2).max(64) {
+            let v = f(rng);
+            let k = v.round().clamp(domain.min as f64, domain.max as f64) as Key;
+            set.insert(k);
+            if set.len() == n {
+                break;
+            }
+        }
+    }
+    if set.len() < n {
+        // The distribution is too concentrated for this many distinct
+        // integers (e.g. a spike narrower than n slots). Pad the remainder
+        // uniformly — the paper's datasets dedup the same way (OSM latitudes
+        // are scaled ×15,000 precisely "to achieve uniqueness of keys").
+        while set.len() < n {
+            set.insert(rng.gen_range(domain.min..=domain.max));
+        }
+    }
+    KeySet::new(set.into_iter().collect(), domain)
+}
+
+/// Derives the key-domain size for a target `(keys, density)` pair, the
+/// parameterization of Figures 5 and 8 ("we fix the number of keys and the
+/// density and adjust the key domain accordingly").
+pub fn domain_for_density(n: usize, density: f64) -> Result<KeyDomain> {
+    if !(0.0 < density && density <= 1.0) {
+        return Err(LisError::InvalidBudget(format!("density {density} outside (0, 1]")));
+    }
+    let m = (n as f64 / density).round().max(n as f64) as u64;
+    KeyDomain::new(0, m - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::trial_rng;
+
+    #[test]
+    fn uniform_exact_count_and_range() {
+        let mut rng = trial_rng(1, 0);
+        let domain = KeyDomain::up_to(9_999);
+        for n in [10usize, 100, 5000, 9999] {
+            let ks = uniform_keys(&mut rng, n, domain).unwrap();
+            assert_eq!(ks.len(), n);
+            assert!(ks.min_key() >= domain.min && ks.max_key() <= domain.max);
+        }
+    }
+
+    #[test]
+    fn uniform_dense_path() {
+        let mut rng = trial_rng(2, 0);
+        let domain = KeyDomain::up_to(999);
+        let ks = uniform_keys(&mut rng, 900, domain).unwrap(); // 90% density
+        assert_eq!(ks.len(), 900);
+    }
+
+    #[test]
+    fn uniform_rejects_impossible() {
+        let mut rng = trial_rng(3, 0);
+        assert!(uniform_keys(&mut rng, 11, KeyDomain::up_to(9)).is_err());
+        assert!(uniform_keys(&mut rng, 0, KeyDomain::up_to(9)).is_err());
+    }
+
+    #[test]
+    fn normal_concentrates_at_center() {
+        let mut rng = trial_rng(4, 0);
+        let domain = KeyDomain::up_to(99_999);
+        let ks = normal_keys(&mut rng, 5_000, domain).unwrap();
+        assert_eq!(ks.len(), 5_000);
+        // With σ = span/3 the central third holds ~38% of the mass — more
+        // than either outer third (~31% each).
+        let third = domain.size() / 3;
+        let low = ks.keys().iter().filter(|&&k| k < third).count();
+        let central = ks.keys().iter().filter(|&&k| k >= third && k < 2 * third).count();
+        let high = ks.len() - low - central;
+        assert!(central > low, "central {central} vs low {low}");
+        assert!(central > high, "central {central} vs high {high}");
+    }
+
+    #[test]
+    fn lognormal_is_head_heavy() {
+        let mut rng = trial_rng(5, 0);
+        let domain = KeyDomain::up_to(999_999);
+        let ks = lognormal_keys(&mut rng, 10_000, domain).unwrap();
+        assert_eq!(ks.len(), 10_000);
+        // The lower 10% of the domain should hold the majority of keys.
+        let cutoff = domain.size() / 10;
+        let head = ks.keys().iter().filter(|&&k| k < cutoff).count();
+        assert!(head > ks.len() / 2, "head holds {head}/{}", ks.len());
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = uniform_keys(&mut trial_rng(9, 1), 100, KeyDomain::up_to(10_000)).unwrap();
+        let b = uniform_keys(&mut trial_rng(9, 1), 100, KeyDomain::up_to(10_000)).unwrap();
+        let c = uniform_keys(&mut trial_rng(9, 2), 100, KeyDomain::up_to(10_000)).unwrap();
+        assert_eq!(a.keys(), b.keys());
+        assert_ne!(a.keys(), c.keys());
+    }
+
+    #[test]
+    fn domain_for_density_arithmetic() {
+        let d = domain_for_density(1000, 0.1).unwrap();
+        assert_eq!(d.size(), 10_000);
+        let d = domain_for_density(1000, 0.8).unwrap();
+        assert_eq!(d.size(), 1250);
+        assert!(domain_for_density(1000, 0.0).is_err());
+        assert!(domain_for_density(1000, 1.5).is_err());
+    }
+
+    #[test]
+    fn density_matches_request() {
+        let mut rng = trial_rng(11, 0);
+        let domain = domain_for_density(2000, 0.4).unwrap();
+        let ks = uniform_keys(&mut rng, 2000, domain).unwrap();
+        assert!((ks.density() - 0.4).abs() < 0.01);
+    }
+
+    #[test]
+    fn spike_distribution_pads_uniformly() {
+        // A distribution narrower than n representable slots still yields n
+        // distinct keys thanks to uniform padding.
+        let mut rng = trial_rng(12, 0);
+        let domain = KeyDomain::up_to(10_000);
+        let ks = sample_distinct(&mut rng, 500, domain, |_| 50.0).unwrap();
+        assert_eq!(ks.len(), 500);
+    }
+}

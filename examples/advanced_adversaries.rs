@@ -1,0 +1,61 @@
+//! Extension adversaries from the paper's future-work section: deletion,
+//! mixed insert/delete, and black-box parameter inference; plus the attack
+//! transferred to an error-bounded PLA index.
+//!
+//! Run with `cargo run --release --example advanced_adversaries`.
+
+use lis::core::pla::PlaIndex;
+use lis::poison::blackbox::blackbox_rmi_attack;
+use lis::poison::removal::{greedy_mixed, greedy_removal, MixedAction};
+use lis::prelude::*;
+
+fn main() {
+    let mut rng = lis::workloads::trial_rng(lis::workloads::DEFAULT_SEED, 11);
+    let domain = lis::workloads::domain_for_density(2_000, 0.15).unwrap();
+    let clean = lis::workloads::uniform_keys(&mut rng, 2_000, domain).unwrap();
+    println!("keyset: {clean}\n");
+
+    // --- 1. Deletion-capable adversary -----------------------------------
+    let del = greedy_removal(&clean, 100).expect("removal attack");
+    println!("delete-only adversary (100 deletions): ratio loss {:.1}×", del.ratio_loss());
+
+    // --- 2. Mixed insert/delete adversary ---------------------------------
+    let ins = greedy_poison(&clean, PoisonBudget::keys(100)).expect("insert attack");
+    let mix = greedy_mixed(&clean, PoisonBudget::keys(100)).expect("mixed attack");
+    let inserts = mix.actions.iter().filter(|a| matches!(a, MixedAction::Insert(_))).count();
+    println!("insert-only adversary (100 insertions): ratio loss {:.1}×", ins.ratio_loss());
+    println!(
+        "mixed adversary (100 actions = {} inserts + {} deletes): ratio loss {:.1}×\n",
+        inserts,
+        mix.actions.len() - inserts,
+        mix.ratio_loss()
+    );
+
+    // --- 3. Black-box attack via parameter inference ----------------------
+    let rmi = Rmi::build(&clean, &RmiConfig::linear_root(20)).expect("build RMI");
+    let cfg = RmiAttackConfig::new(10.0).with_max_exchanges(20);
+    let black = blackbox_rmi_attack(&rmi, &clean, &cfg).expect("black-box attack");
+    println!(
+        "black-box adversary: {} probes recovered {} second-stage models exactly,",
+        black.total_probes,
+        black.inferred.len()
+    );
+    println!(
+        "then mounted the white-box campaign: RMI ratio loss {:.1}×\n",
+        black.attack.rmi_ratio()
+    );
+
+    // --- 4. The attack against an error-bounded PLA index -----------------
+    let eps = 8;
+    let clean_pla = PlaIndex::build(&clean, eps).expect("build PLA");
+    let plan = greedy_poison(&clean, PoisonBudget::percentage(10.0, clean.len()).unwrap())
+        .expect("attack");
+    let poisoned = plan.poisoned_keyset(&clean).expect("merge");
+    let bad_pla = PlaIndex::build(&poisoned, eps).expect("rebuild PLA");
+    println!(
+        "PLA index (ε = {eps}): {} segments clean → {} segments poisoned",
+        clean_pla.num_segments(),
+        bad_pla.num_segments()
+    );
+    println!("(error stays bounded by construction; the attacker inflates memory instead)");
+}

@@ -1,0 +1,83 @@
+//! Evaluating defenses against CDF poisoning (paper Section VI).
+//!
+//! Runs the TRIM-style trimmed-loss defense and the value-space outlier
+//! filters against (a) the paper's greedy in-range attack and (b) a naive
+//! out-of-pattern attack, showing why the former evades mitigation.
+//!
+//! Run with `cargo run --release --example defense_trim`.
+
+use lis::defense::outlier::{iqr_filter, local_density_filter, range_filter};
+use lis::defense::{evaluate_defense, trim_defense, TrimConfig};
+use lis::prelude::*;
+
+fn main() {
+    let mut rng = lis::workloads::trial_rng(lis::workloads::DEFAULT_SEED, 9);
+    let domain = lis::workloads::domain_for_density(1_000, 0.1).unwrap();
+    let clean = lis::workloads::uniform_keys(&mut rng, 1_000, domain).unwrap();
+    println!("clean keyset: {clean}\n");
+
+    // --- The paper's greedy attack --------------------------------------
+    let plan = greedy_poison(&clean, PoisonBudget::percentage(10.0, clean.len()).unwrap())
+        .expect("attack");
+    let poisoned = plan.poisoned_keyset(&clean).expect("merge");
+    println!(
+        "greedy CDF attack: {} keys, ratio loss {:.1}×",
+        plan.keys.len(),
+        plan.ratio_loss()
+    );
+
+    // TRIM defense (defender knows the legitimate count).
+    let out = trim_defense(&poisoned, &TrimConfig::new(clean.len())).expect("trim");
+    let report = evaluate_defense(&clean, &plan.keys, &out.retained).expect("report");
+    println!("  TRIM ({} iterations):", out.iterations);
+    println!("    poison recall:     {:.1}%", 100.0 * report.poison_recall);
+    println!("    removal precision: {:.1}%", 100.0 * report.removal_precision);
+    println!("    legit keys lost:   {}", report.legit_removed);
+    println!(
+        "    ratio loss {:.1}× → {:.1}× after defense (recovery {:.0}%)",
+        report.ratio_before(),
+        report.ratio_after(),
+        100.0 * report.recovery()
+    );
+
+    // Value-space filters never fire on in-range poison.
+    let (_, iqr_removed) = iqr_filter(&poisoned, 1.5);
+    let (_, dens_removed) = local_density_filter(&poisoned, 3, 3.0).expect("filter");
+    let dens_poison = dens_removed.iter().filter(|k| plan.keys.contains(k)).count();
+    println!("  IQR filter removed {} keys (in-range poison is invisible to it)", iqr_removed.len());
+    println!(
+        "  density filter removed {} keys, of which {} poison / {} legitimate",
+        dens_removed.len(),
+        dens_poison,
+        dens_removed.len() - dens_poison
+    );
+
+    // --- A naive attacker for contrast ----------------------------------
+    // Injects a clump far beyond the legitimate key span (but inside the
+    // domain): value-space filters catch it immediately — the reason the
+    // paper's attack confines itself to in-range keys.
+    println!("\nnaive clustered attack far above the legitimate span:");
+    let far_domain = KeyDomain::new(domain.min, domain.max * 10).expect("domain");
+    let clean_wide = KeySet::new(clean.keys().to_vec(), far_domain).expect("rebase");
+    let naive_keys: Vec<Key> = (0..100u64).map(|i| far_domain.max - i * 3).collect();
+    let mut naive = clean_wide.clone();
+    naive.insert_all(naive_keys.iter().copied()).expect("insert");
+    let naive_ratio = ratio_loss(
+        LinearModel::fit(&naive).unwrap().mse,
+        LinearModel::fit(&clean_wide).unwrap().mse,
+    );
+    println!("  ratio loss {naive_ratio:.1}×");
+    let (_, iqr_removed) = iqr_filter(&naive, 1.5);
+    let caught = iqr_removed.iter().filter(|k| naive_keys.contains(k)).count();
+    println!(
+        "  IQR filter caught {caught}/{} naive poison keys with {} legitimate casualties",
+        naive_keys.len(),
+        iqr_removed.len() - caught
+    );
+    let (_, range_removed) = range_filter(&naive, clean.min_key(), clean.max_key());
+    println!(
+        "  range filter (trusted envelope) caught {}/{} — the naive attack is mitigated",
+        range_removed.iter().filter(|k| naive_keys.contains(k)).count(),
+        naive_keys.len()
+    );
+}

@@ -1,0 +1,76 @@
+//! One poisoning campaign vs all three learned index families.
+//!
+//! Kraska et al. propose learned replacements for range indexes (RMI),
+//! point indexes (hash), and existence indexes (Bloom). The same CDF
+//! poisoning keys degrade all three, each through its own cost model:
+//!
+//! * range  — second-stage MSE (Ratio Loss) and last-mile search radius;
+//! * point  — collision-chain length of the learned hash;
+//! * exist  — acceptance-window width of the learned Bloom filter.
+//!
+//! Run with `cargo run --release --example index_trio`.
+
+use lis::core::bloom::LearnedBloom;
+use lis::core::hashindex::{HashIndex, HashKind};
+use lis::prelude::*;
+
+fn main() {
+    let n = 20_000;
+    let mut rng = lis::workloads::trial_rng(lis::workloads::DEFAULT_SEED, 13);
+    let domain = lis::workloads::domain_for_density(n, 0.1).unwrap();
+    let clean = lis::workloads::uniform_keys(&mut rng, n, domain).unwrap();
+    println!("keyset: {clean}\n");
+
+    // One campaign: 10% greedy CDF poisoning.
+    let plan = greedy_poison(&clean, PoisonBudget::percentage(10.0, n).unwrap()).unwrap();
+    let poisoned = plan.poisoned_keyset(&clean).unwrap();
+    println!(
+        "campaign: {} poisoning keys, regression ratio loss {:.1}×\n",
+        plan.keys.len(),
+        plan.ratio_loss()
+    );
+
+    // --- Range index (RMI) ----------------------------------------------
+    let num_models = 200;
+    let clean_rmi = Rmi::build(&clean, &RmiConfig::linear_root(num_models)).unwrap();
+    let bad_rmi = Rmi::build(&poisoned, &RmiConfig::linear_root(num_models)).unwrap();
+    println!("range index (two-stage RMI, {num_models} models):");
+    println!(
+        "  L_RMI {:.3} → {:.3} ({:.1}×), max leaf error {} → {} slots",
+        clean_rmi.rmi_loss(),
+        bad_rmi.rmi_loss(),
+        ratio_loss(bad_rmi.rmi_loss(), clean_rmi.rmi_loss()),
+        clean_rmi.max_leaf_error(),
+        bad_rmi.max_leaf_error()
+    );
+
+    // --- Point index (learned hash) --------------------------------------
+    let slots = n * 12 / 10;
+    let clean_hash = HashIndex::build(&clean, slots, HashKind::Learned).unwrap();
+    let slots_p = poisoned.len() * 12 / 10;
+    let bad_hash = HashIndex::build(&poisoned, slots_p, HashKind::Learned).unwrap();
+    let random_hash = HashIndex::build(&poisoned, slots_p, HashKind::Random).unwrap();
+    println!("\npoint index (learned hash, load factor ~0.83):");
+    println!(
+        "  expected probes {:.2} → {:.2}, max chain {} → {} (random hash: {:.2} probes)",
+        clean_hash.expected_probes(),
+        bad_hash.expected_probes(),
+        clean_hash.max_chain(),
+        bad_hash.max_chain(),
+        random_hash.expected_probes()
+    );
+
+    // --- Existence index (learned Bloom) ---------------------------------
+    let clean_lb = LearnedBloom::build(&clean, 0.01).unwrap();
+    let bad_lb = LearnedBloom::build(&poisoned, 0.01).unwrap();
+    println!("\nexistence index (learned Bloom, 1% backup filter):");
+    println!(
+        "  acceptance window {} → {} slots, backup fraction {:.1}% → {:.1}%",
+        clean_lb.window(),
+        bad_lb.window(),
+        100.0 * clean_lb.backup_fraction(),
+        100.0 * bad_lb.backup_fraction()
+    );
+
+    println!("\none attack, three cost models — the price of tailoring the index to the data.");
+}

@@ -1,0 +1,84 @@
+//! The compound effect of CDF poisoning, at illustration scale
+//! (paper Figures 2–4).
+//!
+//! Prints the before/after regression lines for a 10-key set (Figure 2),
+//! the loss sequence and its per-gap convexity (Figure 3), and the greedy
+//! multi-point attack on 90 uniform keys (Figure 4).
+//!
+//! Run with `cargo run --release --example poison_regression`.
+
+use lis::prelude::*;
+use lis_poison::LossSequence;
+
+fn main() {
+    fig2_single_point();
+    fig3_loss_sequence();
+    fig4_greedy();
+}
+
+/// Figure 2: one optimally placed key on a 10-key set.
+fn fig2_single_point() {
+    let ks = KeySet::from_keys(vec![0, 4, 9, 13, 18, 22, 27, 31, 36, 40]).unwrap();
+    let before = LinearModel::fit(&ks).unwrap();
+    let plan = optimal_single_point(&ks).unwrap();
+    let poisoned = ks.with_key(plan.key).unwrap();
+    let after = LinearModel::fit(&poisoned).unwrap();
+
+    println!("=== Figure 2: compound effect of a single poisoning key ===");
+    println!("keys: {:?}", ks.keys());
+    println!("regression before: rank = {:.4}·k + {:.4}   (MSE {:.4})", before.w, before.b, before.mse);
+    println!("optimal poisoning key: {}", plan.key);
+    println!("regression after:  rank = {:.4}·k + {:.4}   (MSE {:.4})", after.w, after.b, after.mse);
+    println!("ratio loss: {:.2}×", plan.ratio_loss());
+    println!("per-key residuals after poisoning (legit keys whose rank shifted get larger errors):");
+    for (k, r) in poisoned.cdf_pairs() {
+        let marker = if k == plan.key { "  <- poison" } else { "" };
+        println!("  key {k:>3}  rank {r:>2}  residual {:+.3}{marker}", after.residual(k, r));
+    }
+    println!();
+}
+
+/// Figure 3: the loss sequence across the key space and its derivative.
+fn fig3_loss_sequence() {
+    let ks = KeySet::from_keys(vec![0, 4, 9, 13, 18, 22, 27, 31, 36, 40]).unwrap();
+    let seq = LossSequence::evaluate(&ks);
+    println!("=== Figure 3: loss sequence L(kp) and first derivative ===");
+    println!("clean loss (dashed baseline): {:.4}", seq.clean_mse);
+    println!("convex on every gap: {}", seq.is_convex_per_gap(1e-7));
+    let deriv = seq.first_derivative();
+    println!(" kp | L(kp)    | dL");
+    for (p, d) in seq.points.iter().zip(deriv.iter().map(Some).chain(std::iter::once(None))) {
+        match p.loss {
+            Some(l) => {
+                let dl = d
+                    .and_then(|d| d.loss)
+                    .map(|v| format!("{v:+.3}"))
+                    .unwrap_or_else(|| "  ⊥".into());
+                println!(" {:>2} | {l:>8.4} | {dl}", p.key);
+            }
+            None => println!(" {:>2} |      ⊥  |", p.key),
+        }
+    }
+    let (k, l) = seq.argmax().unwrap();
+    println!("maximum at kp = {k} with loss {l:.4}\n");
+}
+
+/// Figure 4: greedy attack with 10 keys on 90 uniform keys.
+fn fig4_greedy() {
+    let mut rng = lis::workloads::trial_rng(lis::workloads::DEFAULT_SEED, 4);
+    let domain = KeyDomain::up_to(499);
+    let clean = lis::workloads::uniform_keys(&mut rng, 90, domain).unwrap();
+    let plan = greedy_poison(&clean, PoisonBudget::keys(10)).unwrap();
+
+    println!("=== Figure 4: greedy multi-point attack (90 keys + 10 poison) ===");
+    println!("clean MSE:    {:.4}", plan.clean_mse);
+    println!("poisoned MSE: {:.4}", plan.final_mse());
+    println!("ratio loss:   {:.1}×  (paper reports 7.4× for its sampled keyset)", plan.ratio_loss());
+    let mut sorted = plan.keys.clone();
+    sorted.sort_unstable();
+    println!("poisoning keys (note the clustering in a dense area): {:?}", sorted);
+    println!("attack progress (MSE after each insertion):");
+    for (i, l) in plan.losses.iter().enumerate() {
+        println!("  +{:>2} keys: {l:.4}", i + 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! Poisoning a two-stage RMI on skewed data (paper Figure 6, one cell).
+//!
+//! Builds a log-normal keyset — the distribution where the paper's attack
+//! shines (up to 300× RMI error, 3000× single-model error) — runs
+//! Algorithm 2, and prints the per-model ratio-loss distribution plus the
+//! RMI-level ratio.
+//!
+//! Run with `cargo run --release --example poison_rmi`.
+
+use lis::prelude::*;
+
+fn main() {
+    let n = 20_000;
+    let model_size = 200;
+    let num_models = n / model_size;
+    let mut rng = lis::workloads::trial_rng(lis::workloads::DEFAULT_SEED, 6);
+    let domain = KeyDomain::up_to(2_000_000);
+    let clean = lis::workloads::lognormal_keys(&mut rng, n, domain).expect("generate");
+    println!("log-normal keyset: {clean}");
+    println!("{num_models} second-stage models × {model_size} keys each\n");
+
+    for percent in [1.0, 5.0, 10.0] {
+        let cfg = RmiAttackConfig::new(percent).with_alpha(3.0).with_max_exchanges(2 * num_models);
+        let res = rmi_attack(&clean, num_models, &cfg).expect("attack");
+        let ratios = res.model_ratios();
+        let box_sum = BoxplotSummary::from_samples(&ratios).expect("non-empty");
+        println!("poisoning {percent:>4}%  ({} keys, {} exchanges applied)", res.total_poison, res.exchanges_applied);
+        println!("  per-model ratio loss: {box_sum}");
+        println!("  worst single model:   {:.1}×", res.models.iter().map(|m| m.ratio()).fold(0.0, f64::max));
+        println!("  RMI ratio loss:       {:.1}×\n", res.rmi_ratio());
+    }
+
+    // Show what the damage means for lookups: rebuild both indexes and
+    // compare comparison counts on the legitimate keys.
+    let cfg = RmiAttackConfig::new(10.0).with_max_exchanges(2 * num_models);
+    let res = rmi_attack(&clean, num_models, &cfg).expect("attack");
+    let poisoned = res.poisoned_keyset(&clean).expect("merge");
+
+    let clean_rmi = Rmi::build(&clean, &RmiConfig::linear_root(num_models)).expect("build");
+    let bad_rmi = Rmi::build(&poisoned, &RmiConfig::linear_root(num_models)).expect("build");
+    let mean = |rmi: &Rmi| -> f64 {
+        let total: usize = clean.keys().iter().map(|&k| rmi.lookup(k).comparisons).sum();
+        total as f64 / clean.len() as f64
+    };
+    println!("mean comparisons per legitimate-key lookup:");
+    println!("  clean index:    {:.2}", mean(&clean_rmi));
+    println!("  poisoned index: {:.2}", mean(&bad_rmi));
+}

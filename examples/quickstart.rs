@@ -1,0 +1,66 @@
+//! Quickstart: build a learned index, poison it, measure the damage.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use lis::prelude::*;
+
+fn main() {
+    // --- 1. Generate a keyset -------------------------------------------
+    // 2,000 distinct keys, 20% density — uniform data, the best case for a
+    // learned index (its CDF is almost a straight line).
+    let mut rng = lis::workloads::trial_rng(lis::workloads::DEFAULT_SEED, 0);
+    let domain = lis::workloads::domain_for_density(2_000, 0.2).expect("valid density");
+    let clean = lis::workloads::uniform_keys(&mut rng, 2_000, domain).expect("generate keys");
+    println!("keyset: {clean}");
+
+    // --- 2. Build the two-stage RMI and the B+-tree baseline ------------
+    let rmi = Rmi::build(&clean, &RmiConfig::linear_root(20)).expect("build RMI");
+    let btree = BPlusTree::build(&clean, 64).expect("build B+-tree");
+    println!(
+        "clean RMI: {} second-stage models, L_RMI = {:.4}, max leaf error = {} slots",
+        rmi.num_leaves(),
+        rmi.rmi_loss(),
+        rmi.max_leaf_error()
+    );
+
+    // Compare lookup costs on the clean index.
+    let rmi_cost: usize = clean.keys().iter().map(|&k| rmi.lookup(k).comparisons).sum();
+    let bt_cost: usize = clean.keys().iter().map(|&k| btree.lookup(k).comparisons).sum();
+    println!(
+        "mean comparisons/lookup — RMI: {:.2}, B+-tree: {:.2}",
+        rmi_cost as f64 / clean.len() as f64,
+        bt_cost as f64 / clean.len() as f64
+    );
+
+    // --- 3. Poison 10% of the keys with the greedy CDF attack -----------
+    let budget = PoisonBudget::percentage(10.0, clean.len()).expect("legal budget");
+    let plan = greedy_poison(&clean, budget).expect("attack");
+    println!(
+        "\ninjected {} poisoning keys -> regression MSE {:.4} → {:.4} (ratio loss {:.1}×)",
+        plan.keys.len(),
+        plan.clean_mse,
+        plan.final_mse(),
+        plan.ratio_loss()
+    );
+
+    // --- 4. Attack the RMI itself (Algorithm 2) and rebuild -------------
+    let attack = rmi_attack(&clean, 20, &RmiAttackConfig::new(10.0).with_max_exchanges(40))
+        .expect("RMI attack");
+    let poisoned = attack.poisoned_keyset(&clean).expect("merge");
+    let bad_rmi = Rmi::build(&poisoned, &RmiConfig::linear_root(20)).expect("rebuild");
+    println!(
+        "poisoned RMI: L_RMI = {:.4} ({:.1}× the clean loss), max leaf error = {} slots",
+        bad_rmi.rmi_loss(),
+        ratio_loss(bad_rmi.rmi_loss(), rmi.rmi_loss()),
+        bad_rmi.max_leaf_error()
+    );
+    println!("attack-internal RMI ratio (paper metric): {:.1}×", attack.rmi_ratio());
+
+    // The lookups still succeed — the attack degrades *performance*, not
+    // correctness (an availability attack, Section III-C of the paper).
+    let bad_cost: usize = clean.keys().iter().map(|&k| bad_rmi.lookup(k).comparisons).sum();
+    println!(
+        "mean comparisons/lookup on legitimate keys after poisoning: {:.2}",
+        bad_cost as f64 / clean.len() as f64
+    );
+}

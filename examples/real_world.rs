@@ -1,0 +1,45 @@
+//! The paper's real-world scenario (Figure 7) on the simulated Miami-Dade
+//! salary and OSM school-latitude datasets.
+//!
+//! Run with `cargo run --release --example real_world`.
+//! Pass `--full` to use the full 302,973-key OSM dataset (slower).
+
+use lis::prelude::*;
+use lis::workloads::realsim;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+
+    // --- Miami-Dade salaries (full paper scale: n = 5,300) --------------
+    let salaries = realsim::miami_salaries(1).expect("generate salaries");
+    println!("Miami-Dade salaries (simulated): {salaries}");
+    attack_dataset("salaries", &salaries, &[50, 100, 200], &[5.0, 10.0, 20.0]);
+
+    // --- OSM school latitudes -------------------------------------------
+    let n = if full { realsim::osm_stats::N } else { 30_000 };
+    let latitudes = realsim::osm_latitudes_scaled(1, n).expect("generate latitudes");
+    println!("\nOSM school latitudes (simulated): {latitudes}");
+    let sizes: &[usize] = &[50, 100, 200];
+    attack_dataset("latitudes", &latitudes, sizes, &[5.0, 10.0, 20.0]);
+}
+
+fn attack_dataset(name: &str, keys: &KeySet, model_sizes: &[usize], percents: &[f64]) {
+    for &size in model_sizes {
+        let num_models = keys.len() / size;
+        println!("\n  [{name}] model size {size} → {num_models} second-stage models");
+        for &pct in percents {
+            let cfg = RmiAttackConfig::new(pct)
+                .with_alpha(3.0)
+                .with_max_exchanges(num_models); // cap volume-allocation time
+            let res = rmi_attack(keys, num_models, &cfg).expect("attack");
+            let ratios = res.model_ratios();
+            let summary = BoxplotSummary::from_samples(&ratios).expect("non-empty");
+            println!(
+                "    {pct:>4}% poison: RMI ratio {:>6.1}×, per-model med {:.1}× / max {:.1}×",
+                res.rmi_ratio(),
+                summary.median,
+                summary.max,
+            );
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! `lis-cli` — command-line front end for the learned-index poisoning
+//! toolkit.
+//!
+//! ```text
+//! lis-cli generate --dist lognormal --keys 10000 --density 0.05 --out keys.txt
+//! lis-cli attack-regression --dist uniform --keys 1000 --density 0.1 --poison-pct 10
+//! lis-cli attack-rmi --dist lognormal --keys 20000 --density 0.05 --model-size 200 --poison-pct 10 --alpha 3
+//! lis-cli defend --dist uniform --keys 1000 --density 0.1 --poison-pct 10
+//! lis-cli inspect --in keys.txt --model-size 100
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace intentionally carries no
+//! CLI dependency); every flag takes the form `--name value`.
+
+use lis::defense::{evaluate_defense, trim_defense, TrimConfig};
+use lis::prelude::*;
+use lis::workloads::realsim;
+use lis::workloads::{domain_for_density, lognormal_keys, normal_keys, trial_rng, uniform_keys};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, flags)) = parse_args(&args) else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&flags),
+        "attack-regression" => cmd_attack_regression(&flags),
+        "attack-rmi" => cmd_attack_rmi(&flags),
+        "attack-rmi-dp" => cmd_attack_rmi_dp(&flags),
+        "attack-removal" => cmd_attack_removal(&flags),
+        "defend" => cmd_defend(&flags),
+        "inspect" => cmd_inspect(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+lis-cli — poisoning attacks on learned index structures
+
+USAGE:
+  lis-cli <command> [--flag value]...
+
+COMMANDS:
+  generate            sample a keyset and write it (one key per line)
+      --dist D        uniform | normal | lognormal | miami | osm  [uniform]
+      --keys N        number of keys                              [1000]
+      --density F     keyset density in (0, 1]                    [0.1]
+      --seed S        RNG seed                                    [42]
+      --out FILE      output path (default: stdout)
+
+  attack-regression   greedy CDF poisoning of a linear regression
+      (generate flags) --poison-pct P                             [10]
+
+  attack-rmi          Algorithm-2 attack on a two-stage RMI
+      (generate flags) --poison-pct P --model-size M --alpha A    [10 / 100 / 3]
+
+  attack-rmi-dp       exact-DP volume allocation variant (stronger)
+      (same flags as attack-rmi)
+
+  attack-removal      greedy key-deletion adversary
+      (generate flags) --remove N                                 [50]
+
+  defend              run the TRIM defense against the greedy attack
+      (generate flags) --poison-pct P                             [10]
+
+  inspect             index statistics for a keyset
+      --in FILE       keys, one per line (or generate flags)
+      --model-size M  second-stage model size                     [100]
+
+  help                print this message";
+
+type Flags = HashMap<String, String>;
+
+/// Splits `[command, --k v, --k v, ...]`; returns `None` on malformed input.
+fn parse_args(args: &[String]) -> Option<(String, Flags)> {
+    let mut it = args.iter();
+    let cmd = it.next()?.clone();
+    let mut flags = HashMap::new();
+    while let Some(flag) = it.next() {
+        let name = flag.strip_prefix("--")?;
+        let value = it.next()?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Some((cmd, flags))
+}
+
+fn flag<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|_| format!("invalid value '{raw}' for --{name}")),
+    }
+}
+
+fn load_or_generate(flags: &Flags) -> Result<KeySet, String> {
+    if let Some(path) = flags.get("in") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let keys: Result<Vec<Key>, _> =
+            text.lines().filter(|l| !l.trim().is_empty()).map(|l| l.trim().parse()).collect();
+        let keys = keys.map_err(|e| format!("parsing {path}: {e}"))?;
+        return KeySet::from_keys(keys).map_err(|e| e.to_string());
+    }
+    let dist = flags.get("dist").map(String::as_str).unwrap_or("uniform");
+    let n: usize = flag(flags, "keys", 1_000)?;
+    let density: f64 = flag(flags, "density", 0.1)?;
+    let seed: u64 = flag(flags, "seed", 42)?;
+    let mut rng = trial_rng(seed, 0);
+    match dist {
+        "uniform" => {
+            let domain = domain_for_density(n, density).map_err(|e| e.to_string())?;
+            uniform_keys(&mut rng, n, domain).map_err(|e| e.to_string())
+        }
+        "normal" => {
+            let domain = domain_for_density(n, density).map_err(|e| e.to_string())?;
+            normal_keys(&mut rng, n, domain).map_err(|e| e.to_string())
+        }
+        "lognormal" => {
+            let domain = domain_for_density(n, density).map_err(|e| e.to_string())?;
+            lognormal_keys(&mut rng, n, domain).map_err(|e| e.to_string())
+        }
+        "miami" => realsim::miami_salaries_scaled(seed, n.min(realsim::miami_stats::N))
+            .map_err(|e| e.to_string()),
+        "osm" => realsim::osm_latitudes_scaled(seed, n).map_err(|e| e.to_string()),
+        other => Err(format!("unknown distribution '{other}'")),
+    }
+}
+
+fn cmd_generate(flags: &Flags) -> Result<(), String> {
+    let ks = load_or_generate(flags)?;
+    let mut out = String::with_capacity(ks.len() * 8);
+    for &k in ks.keys() {
+        out.push_str(&k.to_string());
+        out.push('\n');
+    }
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, out).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {} keys to {path} ({ks})", ks.len());
+        }
+        None => print!("{out}"),
+    }
+    Ok(())
+}
+
+fn cmd_attack_regression(flags: &Flags) -> Result<(), String> {
+    let ks = load_or_generate(flags)?;
+    let pct: f64 = flag(flags, "poison-pct", 10.0)?;
+    let budget = PoisonBudget::percentage(pct, ks.len()).map_err(|e| e.to_string())?;
+    let plan = greedy_poison(&ks, budget).map_err(|e| e.to_string())?;
+    println!("keyset:        {ks}");
+    println!("poison keys:   {} ({pct}%)", plan.keys.len());
+    println!("clean MSE:     {:.6}", plan.clean_mse);
+    println!("poisoned MSE:  {:.6}", plan.final_mse());
+    println!("ratio loss:    {:.2}x", plan.ratio_loss());
+    if let Some(path) = flags.get("out") {
+        let body: String = plan.keys.iter().map(|k| format!("{k}\n")).collect();
+        std::fs::write(path, body).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("poison keys written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_attack_rmi(flags: &Flags) -> Result<(), String> {
+    let ks = load_or_generate(flags)?;
+    let pct: f64 = flag(flags, "poison-pct", 10.0)?;
+    let model_size: usize = flag(flags, "model-size", 100)?;
+    let alpha: f64 = flag(flags, "alpha", 3.0)?;
+    let num_models = (ks.len() / model_size).max(1);
+    let cfg = RmiAttackConfig::new(pct).with_alpha(alpha).with_max_exchanges(num_models.min(64));
+    let res = rmi_attack(&ks, num_models, &cfg).map_err(|e| e.to_string())?;
+    let ratios = res.model_ratios();
+    let summary = BoxplotSummary::from_samples(&ratios).ok_or("no models")?;
+    println!("keyset:            {ks}");
+    println!("second stage:      {num_models} models x {model_size} keys");
+    println!("poison placed:     {} ({pct}% requested, alpha {alpha})", res.total_poison);
+    println!("exchanges applied: {}", res.exchanges_applied);
+    println!("per-model ratio:   {summary}");
+    println!("RMI ratio loss:    {:.2}x", res.rmi_ratio());
+    Ok(())
+}
+
+fn cmd_attack_rmi_dp(flags: &Flags) -> Result<(), String> {
+    let ks = load_or_generate(flags)?;
+    let pct: f64 = flag(flags, "poison-pct", 10.0)?;
+    let model_size: usize = flag(flags, "model-size", 100)?;
+    let alpha: f64 = flag(flags, "alpha", 3.0)?;
+    let num_models = (ks.len() / model_size).max(1);
+    let res = lis::poison::volume::dp_rmi_attack(&ks, num_models, pct, alpha)
+        .map_err(|e| e.to_string())?;
+    let ratios = res.model_ratios();
+    let summary = BoxplotSummary::from_samples(&ratios).ok_or("no models")?;
+    println!("keyset:          {ks}");
+    println!("second stage:    {num_models} models x {model_size} keys");
+    println!("poison placed:   {} ({pct}% requested, alpha {alpha}, exact DP)", res.total_poison);
+    println!("per-model ratio: {summary}");
+    println!("RMI ratio loss:  {:.2}x", res.rmi_ratio());
+    Ok(())
+}
+
+fn cmd_attack_removal(flags: &Flags) -> Result<(), String> {
+    let ks = load_or_generate(flags)?;
+    let count: usize = flag(flags, "remove", 50)?;
+    let campaign = lis::poison::greedy_removal(&ks, count).map_err(|e| e.to_string())?;
+    println!("keyset:        {ks}");
+    println!("keys deleted:  {}", campaign.removed.len());
+    println!("clean MSE:     {:.6}", campaign.clean_mse);
+    println!("poisoned MSE:  {:.6}", campaign.final_mse());
+    println!("ratio loss:    {:.2}x", campaign.ratio_loss());
+    Ok(())
+}
+
+fn cmd_defend(flags: &Flags) -> Result<(), String> {
+    let ks = load_or_generate(flags)?;
+    let pct: f64 = flag(flags, "poison-pct", 10.0)?;
+    let budget = PoisonBudget::percentage(pct, ks.len()).map_err(|e| e.to_string())?;
+    let plan = greedy_poison(&ks, budget).map_err(|e| e.to_string())?;
+    let poisoned = plan.poisoned_keyset(&ks).map_err(|e| e.to_string())?;
+    let out = trim_defense(&poisoned, &TrimConfig::new(ks.len())).map_err(|e| e.to_string())?;
+    let report = evaluate_defense(&ks, &plan.keys, &out.retained).map_err(|e| e.to_string())?;
+    println!("attack ratio loss:   {:.2}x", report.ratio_before());
+    println!("TRIM iterations:     {}", out.iterations);
+    println!("poison recall:       {:.1}%", 100.0 * report.poison_recall);
+    println!("removal precision:   {:.1}%", 100.0 * report.removal_precision);
+    println!("legitimate removed:  {}", report.legit_removed);
+    println!("post-defense ratio:  {:.2}x (recovery {:.0}%)", report.ratio_after(), 100.0 * report.recovery());
+    Ok(())
+}
+
+fn cmd_inspect(flags: &Flags) -> Result<(), String> {
+    let ks = load_or_generate(flags)?;
+    let model_size: usize = flag(flags, "model-size", 100)?;
+    let num_models = (ks.len() / model_size).max(1);
+    let rmi = Rmi::build(&ks, &RmiConfig::linear_root(num_models)).map_err(|e| e.to_string())?;
+    let btree = lis::core::btree::BPlusTree::build(&ks, 64).map_err(|e| e.to_string())?;
+    let pla = lis::core::pla::PlaIndex::build(&ks, 16).map_err(|e| e.to_string())?;
+    println!("keyset:        {ks}");
+    println!("RMI:           {num_models} models, L_RMI {:.4}, max leaf err {}", rmi.rmi_loss(), rmi.max_leaf_error());
+    println!("B+-tree:       height {}, {} nodes (fanout 64)", btree.height(), btree.node_count());
+    println!("PLA (eps=16):  {} segments", pla.num_segments());
+    let sample: Vec<&Key> = ks.keys().iter().step_by((ks.len() / 64).max(1)).collect();
+    let rmi_cmp: usize = sample.iter().map(|&&k| rmi.lookup(k).comparisons).sum();
+    let bt_cmp: usize = sample.iter().map(|&&k| btree.lookup(k).comparisons).sum();
+    println!(
+        "mean lookup comparisons over {} probes: RMI {:.2}, B+-tree {:.2}",
+        sample.len(),
+        rmi_cmp as f64 / sample.len() as f64,
+        bt_cmp as f64 / sample.len() as f64
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_valid_args() {
+        let (cmd, flags) = parse_args(&s(&["generate", "--keys", "10", "--dist", "osm"])).unwrap();
+        assert_eq!(cmd, "generate");
+        assert_eq!(flags.get("keys").unwrap(), "10");
+        assert_eq!(flags.get("dist").unwrap(), "osm");
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(parse_args(&s(&[])).is_none());
+        assert!(parse_args(&s(&["generate", "keys", "10"])).is_none());
+        assert!(parse_args(&s(&["generate", "--keys"])).is_none());
+    }
+
+    #[test]
+    fn flag_defaults_and_parsing() {
+        let (_, flags) = parse_args(&s(&["x", "--keys", "7"])).unwrap();
+        assert_eq!(flag(&flags, "keys", 1usize).unwrap(), 7);
+        assert_eq!(flag(&flags, "density", 0.5f64).unwrap(), 0.5);
+        assert!(flag::<usize>(&flags, "keys", 1).is_ok());
+        let (_, bad) = parse_args(&s(&["x", "--keys", "abc"])).unwrap();
+        assert!(flag::<usize>(&bad, "keys", 1).is_err());
+    }
+
+    #[test]
+    fn generate_and_roundtrip_via_file() {
+        let dir = std::env::temp_dir().join("lis_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("keys.txt").to_string_lossy().to_string();
+        let mut flags = Flags::new();
+        flags.insert("keys".into(), "50".into());
+        flags.insert("out".into(), path.clone());
+        cmd_generate(&flags).unwrap();
+
+        let mut in_flags = Flags::new();
+        in_flags.insert("in".into(), path);
+        let ks = load_or_generate(&in_flags).unwrap();
+        assert_eq!(ks.len(), 50);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_distribution_errors() {
+        let mut flags = Flags::new();
+        flags.insert("dist".into(), "zipf".into());
+        assert!(load_or_generate(&flags).is_err());
+    }
+
+    #[test]
+    fn attack_commands_run() {
+        let mut flags = Flags::new();
+        flags.insert("keys".into(), "300".into());
+        cmd_attack_regression(&flags).unwrap();
+        flags.insert("model-size".into(), "50".into());
+        cmd_attack_rmi(&flags).unwrap();
+        cmd_attack_rmi_dp(&flags).unwrap();
+        cmd_inspect(&flags).unwrap();
+        flags.insert("remove".into(), "20".into());
+        cmd_attack_removal(&flags).unwrap();
+    }
+}

@@ -1,0 +1,58 @@
+//! # lis — poisoning attacks on learned index structures
+//!
+//! Umbrella crate for the reproduction of *"The Price of Tailoring the
+//! Index to Your Data: Poisoning Attacks on Learned Index Structures"*
+//! (Kornaropoulos, Ren, Tamassia — SIGMOD 2022).
+//!
+//! Re-exports the four subsystem crates:
+//!
+//! * [`core`] — the learned-index substrate (CDF regression, RMI,
+//!   B+-tree baseline, record store, metrics);
+//! * [`poison`] — the paper's attacks (optimal single-point,
+//!   greedy multi-point, RMI volume allocation);
+//! * [`defense`] — TRIM adaptation and outlier filters;
+//! * [`workloads`] — synthetic and simulated-real keysets.
+//!
+//! ## End-to-end example
+//!
+//! ```
+//! use lis::prelude::*;
+//!
+//! // 1. A uniform keyset — the friendliest case for a learned index.
+//! let mut rng = lis::workloads::trial_rng(42, 0);
+//! let domain = lis::workloads::domain_for_density(1_000, 0.2).unwrap();
+//! let clean = lis::workloads::uniform_keys(&mut rng, 1_000, domain).unwrap();
+//!
+//! // 2. Poison 10% of it with the greedy CDF attack.
+//! let budget = PoisonBudget::percentage(10.0, clean.len()).unwrap();
+//! let plan = greedy_poison(&clean, budget).unwrap();
+//! assert!(plan.ratio_loss() > 1.0);
+//!
+//! // 3. Build RMIs over both and compare their loss.
+//! let poisoned = plan.poisoned_keyset(&clean).unwrap();
+//! let clean_rmi = Rmi::build(&clean, &RmiConfig::linear_root(10)).unwrap();
+//! let bad_rmi = Rmi::build(&poisoned, &RmiConfig::linear_root(10)).unwrap();
+//! assert!(bad_rmi.rmi_loss() >= clean_rmi.rmi_loss());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use lis_core as core;
+pub use lis_defense as defense;
+pub use lis_poison as poison;
+pub use lis_workloads as workloads;
+
+/// Convenience prelude importing the types used by almost every experiment.
+pub mod prelude {
+    pub use lis_core::btree::BPlusTree;
+    pub use lis_core::keys::{Key, KeyDomain, KeySet};
+    pub use lis_core::linreg::LinearModel;
+    pub use lis_core::metrics::{ratio_loss, rmi_ratio_report};
+    pub use lis_core::rmi::{Rmi, RmiConfig, Routing};
+    pub use lis_core::stats::BoxplotSummary;
+    pub use lis_poison::{
+        greedy_poison, optimal_single_point, rmi_attack, GreedyPlan, PoisonBudget,
+        RmiAttackConfig, RmiAttackResult,
+    };
+}

@@ -1,0 +1,166 @@
+//! Cross-crate integration tests: the full pipeline from workload
+//! generation through attack, index rebuild, lookup, and defense.
+
+use lis::defense::outlier::{iqr_filter, range_filter};
+use lis::defense::{evaluate_defense, trim_defense, TrimConfig};
+use lis::prelude::*;
+use lis::workloads::{domain_for_density, lognormal_keys, trial_rng, uniform_keys};
+use lis_core::btree::BPlusTree;
+use lis_core::store::RecordStore;
+
+#[test]
+fn poisoned_index_still_answers_every_query() {
+    // The attack is an *availability* attack: correctness must survive,
+    // only performance degrades (Section III-C).
+    let mut rng = trial_rng(1, 0);
+    let domain = domain_for_density(2_000, 0.15).unwrap();
+    let clean = uniform_keys(&mut rng, 2_000, domain).unwrap();
+
+    let res = rmi_attack(&clean, 20, &RmiAttackConfig::new(10.0).with_max_exchanges(16)).unwrap();
+    let poisoned = res.poisoned_keyset(&clean).unwrap();
+    let rmi = Rmi::build(&poisoned, &RmiConfig::linear_root(20)).unwrap();
+
+    for &k in clean.keys() {
+        let hit = rmi.lookup(k);
+        let pos = hit.pos.expect("legitimate key must still be found");
+        assert_eq!(poisoned.keys()[pos], k);
+    }
+}
+
+#[test]
+fn poisoning_increases_lookup_cost() {
+    let mut rng = trial_rng(2, 0);
+    let domain = domain_for_density(5_000, 0.1).unwrap();
+    let clean = uniform_keys(&mut rng, 5_000, domain).unwrap();
+
+    let res = rmi_attack(&clean, 50, &RmiAttackConfig::new(10.0).with_max_exchanges(16)).unwrap();
+    let poisoned = res.poisoned_keyset(&clean).unwrap();
+
+    let before = Rmi::build(&clean, &RmiConfig::linear_root(50)).unwrap();
+    let after = Rmi::build(&poisoned, &RmiConfig::linear_root(50)).unwrap();
+
+    let cost = |rmi: &Rmi| -> usize {
+        clean.keys().iter().map(|&k| rmi.lookup(k).comparisons).sum()
+    };
+    let (c_before, c_after) = (cost(&before), cost(&after));
+    assert!(
+        c_after > c_before,
+        "poisoning should inflate lookup comparisons: {c_after} vs {c_before}"
+    );
+}
+
+#[test]
+fn rmi_beats_btree_clean_and_loses_ground_poisoned() {
+    let mut rng = trial_rng(3, 0);
+    let domain = domain_for_density(10_000, 0.1).unwrap();
+    let clean = uniform_keys(&mut rng, 10_000, domain).unwrap();
+    let btree = BPlusTree::build(&clean, 64).unwrap();
+    let rmi = Rmi::build(&clean, &RmiConfig::linear_root(100)).unwrap();
+
+    let rmi_cost: usize = clean.keys().iter().map(|&k| rmi.lookup(k).comparisons).sum();
+    let bt_cost: usize = clean.keys().iter().map(|&k| btree.lookup(k).comparisons).sum();
+    assert!(
+        rmi_cost < bt_cost,
+        "clean RMI should beat the B+-tree on uniform data: {rmi_cost} vs {bt_cost}"
+    );
+
+    let res = rmi_attack(&clean, 100, &RmiAttackConfig::new(10.0).with_max_exchanges(16)).unwrap();
+    let poisoned = res.poisoned_keyset(&clean).unwrap();
+    let bad = Rmi::build(&poisoned, &RmiConfig::linear_root(100)).unwrap();
+    let bad_cost: usize = clean.keys().iter().map(|&k| bad.lookup(k).comparisons).sum();
+    assert!(bad_cost > rmi_cost, "the poisoned RMI must be slower than the clean one");
+}
+
+#[test]
+fn attack_effect_matches_metrics_report() {
+    let mut rng = trial_rng(4, 0);
+    let domain = domain_for_density(3_000, 0.2).unwrap();
+    let clean = lognormal_keys(&mut rng, 3_000, domain).unwrap();
+
+    let res = rmi_attack(&clean, 30, &RmiAttackConfig::new(10.0).with_max_exchanges(16)).unwrap();
+    // The attack's own accounting must be self-consistent.
+    let mean: f64 =
+        res.models.iter().map(|m| m.poisoned_loss).sum::<f64>() / res.models.len() as f64;
+    assert!((mean - res.poisoned_rmi_loss).abs() < 1e-9);
+    assert!(res.rmi_ratio() >= 1.0);
+    // And comparable to the generic report over the final keysets.
+    let poisoned = res.poisoned_keyset(&clean).unwrap();
+    let report = rmi_ratio_report(&clean, &poisoned, 30).unwrap();
+    assert!(report.rmi_ratio() > 1.0);
+}
+
+#[test]
+fn record_store_serves_learned_positions() {
+    let mut rng = trial_rng(5, 0);
+    let domain = domain_for_density(1_000, 0.3).unwrap();
+    let clean = uniform_keys(&mut rng, 1_000, domain).unwrap();
+    let store = RecordStore::build(&clean, 32).unwrap();
+    let rmi = Rmi::build(&clean, &RmiConfig::linear_root(10)).unwrap();
+
+    for &k in clean.keys().iter().step_by(7) {
+        let pos = rmi.lookup(k).pos.unwrap();
+        let record = store.record_at(pos).unwrap();
+        assert_eq!(&record[..8], &k.to_le_bytes(), "record payload mismatch for key {k}");
+    }
+}
+
+#[test]
+fn defense_pipeline_full_cycle() {
+    let mut rng = trial_rng(6, 0);
+    let domain = domain_for_density(800, 0.1).unwrap();
+    let clean = uniform_keys(&mut rng, 800, domain).unwrap();
+    let plan = greedy_poison(&clean, PoisonBudget::percentage(10.0, 800).unwrap()).unwrap();
+    let poisoned = plan.poisoned_keyset(&clean).unwrap();
+
+    // Value-space filters are blind to the in-range attack.
+    let (_, removed) = range_filter(&poisoned, clean.min_key(), clean.max_key());
+    assert!(removed.is_empty());
+    let (_, removed) = iqr_filter(&poisoned, 1.5);
+    assert_eq!(removed.iter().filter(|k| plan.keys.contains(k)).count(), 0);
+
+    // TRIM runs to completion and produces a structurally valid report.
+    let out = trim_defense(&poisoned, &TrimConfig::new(clean.len())).unwrap();
+    assert_eq!(out.retained.len(), clean.len());
+    let report = evaluate_defense(&clean, &plan.keys, &out.retained).unwrap();
+    assert!(report.ratio_before() > 1.0);
+    assert!((0.0..=1.0).contains(&report.poison_recall));
+}
+
+#[test]
+fn neural_root_rmi_end_to_end() {
+    // The paper's architecture: NN first stage. Verify lookups stay correct
+    // on skewed data with root-predicted routing.
+    let mut rng = trial_rng(7, 0);
+    let domain = domain_for_density(2_000, 0.05).unwrap();
+    let clean = lognormal_keys(&mut rng, 2_000, domain).unwrap();
+    let cfg = RmiConfig {
+        num_leaves: 20,
+        root: lis_core::rmi::RootModelKind::Neural(lis_core::nn::NnConfig {
+            epochs: 40,
+            ..Default::default()
+        }),
+        routing: Routing::Root,
+    };
+    let rmi = Rmi::build(&clean, &cfg).unwrap();
+    for (i, &k) in clean.keys().iter().enumerate().step_by(13) {
+        assert_eq!(rmi.lookup(k).pos, Some(i), "key {k}");
+    }
+}
+
+#[test]
+fn deterministic_experiments_reproduce() {
+    // The same seed must give byte-identical attack outcomes.
+    let run = || {
+        let mut rng = trial_rng(99, 0);
+        let domain = domain_for_density(500, 0.2).unwrap();
+        let ks = uniform_keys(&mut rng, 500, domain).unwrap();
+        let plan = greedy_poison(&ks, PoisonBudget::keys(25)).unwrap();
+        let final_mse = plan.final_mse();
+        (ks.keys().to_vec(), plan.keys, final_mse)
+    };
+    let (k1, p1, l1) = run();
+    let (k2, p2, l2) = run();
+    assert_eq!(k1, k2);
+    assert_eq!(p1, p2);
+    assert_eq!(l1, l2);
+}

@@ -1,0 +1,135 @@
+//! Property-based tests of the poisoning attacks: the algebra of the O(1)
+//! oracle, the endpoint-optimality of the single-point attack (Theorem 2),
+//! and the structural invariants of the greedy and RMI attacks.
+
+use lis::prelude::*;
+use lis_poison::bruteforce::bruteforce_single_point;
+use lis_poison::{LossSequence, PoisonOracle};
+use proptest::collection::btree_set;
+use proptest::prelude::*;
+
+fn keyset_strategy() -> impl Strategy<Value = KeySet> {
+    btree_set(0u64..5_000, 2..80)
+        .prop_map(|set| KeySet::from_keys(set.into_iter().collect()).unwrap())
+}
+
+/// Keysets that are guaranteed to have at least one interior gap.
+fn sparse_keyset_strategy() -> impl Strategy<Value = KeySet> {
+    keyset_strategy().prop_filter("needs an interior gap", |ks| !ks.gaps().is_empty())
+}
+
+/// Narrow-span keysets for the full loss-sequence scan (O(span) per case).
+fn narrow_keyset_strategy() -> impl Strategy<Value = KeySet> {
+    btree_set(0u64..800, 2..60)
+        .prop_map(|set| KeySet::from_keys(set.into_iter().collect()).unwrap())
+        .prop_filter("needs an interior gap", |ks| !ks.gaps().is_empty())
+}
+
+proptest! {
+    #[test]
+    fn oracle_matches_full_refit(ks in keyset_strategy(), key in 0u64..5_000) {
+        prop_assume!(!ks.contains(key));
+        prop_assume!(ks.domain().contains(key));
+        let oracle = PoisonOracle::new(&ks);
+        let fast = oracle.loss(key);
+        let slow = oracle.loss_refit(&ks, key);
+        prop_assert!(
+            (fast - slow).abs() <= 1e-6 * slow.abs().max(1.0),
+            "oracle {} vs refit {} at key {}",
+            fast, slow, key
+        );
+    }
+
+    #[test]
+    fn single_point_attack_is_globally_optimal(ks in sparse_keyset_strategy()) {
+        // Theorem 2 consequence: endpoint evaluation finds the same optimum
+        // as scanning every unoccupied in-range key.
+        let plan = optimal_single_point(&ks).unwrap();
+        let (_, bf_loss) = bruteforce_single_point(&ks).unwrap();
+        prop_assert!(
+            (plan.poisoned_mse - bf_loss).abs() <= 1e-7 * bf_loss.max(1.0),
+            "endpoint {} vs scan {}",
+            plan.poisoned_mse, bf_loss
+        );
+    }
+
+    #[test]
+    fn loss_sequence_is_convex_per_gap(ks in narrow_keyset_strategy()) {
+        let seq = LossSequence::evaluate(&ks);
+        prop_assert!(seq.is_convex_per_gap(1e-6));
+    }
+
+    #[test]
+    fn poisoning_key_is_always_fresh_and_in_range(ks in sparse_keyset_strategy()) {
+        let plan = optimal_single_point(&ks).unwrap();
+        prop_assert!(!ks.contains(plan.key));
+        prop_assert!(plan.key > ks.min_key() && plan.key < ks.max_key());
+    }
+
+    #[test]
+    fn greedy_respects_budget_and_freshness(ks in sparse_keyset_strategy(), p in 1usize..10) {
+        let plan = greedy_poison(&ks, PoisonBudget::keys(p)).unwrap();
+        prop_assert!(plan.keys.len() <= p);
+        let mut seen = std::collections::HashSet::new();
+        for &k in &plan.keys {
+            prop_assert!(!ks.contains(k), "poison {} collides", k);
+            prop_assert!(seen.insert(k), "duplicate poison {}", k);
+        }
+        // Rank multiset invariant: the poisoned set has dense ranks.
+        let poisoned = plan.poisoned_keyset(&ks).unwrap();
+        prop_assert_eq!(poisoned.len(), ks.len() + plan.keys.len());
+    }
+
+    #[test]
+    fn greedy_loss_is_nondecreasing_in_budget(ks in sparse_keyset_strategy()) {
+        prop_assume!(ks.free_slots_between() >= 4);
+        let small = greedy_poison(&ks, PoisonBudget::keys(2)).unwrap();
+        let large = greedy_poison(&ks, PoisonBudget::keys(4)).unwrap();
+        prop_assume!(small.keys.len() == 2 && large.keys.len() == 4);
+        // Greedy prefixes coincide, so the larger budget extends the
+        // smaller one and optimal refit loss cannot decrease... it CAN
+        // decrease in principle (refit), so we allow 1% slack.
+        prop_assert!(
+            large.final_mse() >= small.final_mse() * 0.99,
+            "budget 4 loss {} below budget 2 loss {}",
+            large.final_mse(), small.final_mse()
+        );
+    }
+
+    #[test]
+    fn rank_compound_effect(ks in keyset_strategy(), key in 0u64..5_000) {
+        // Inserting a key increments the rank of exactly the larger keys.
+        prop_assume!(!ks.contains(key) && ks.domain().contains(key));
+        let poisoned = ks.with_key(key).unwrap();
+        for (k, r) in ks.cdf_pairs() {
+            let r_after = poisoned.rank(k).unwrap();
+            if k > key {
+                prop_assert_eq!(r_after, r + 1);
+            } else {
+                prop_assert_eq!(r_after, r);
+            }
+        }
+    }
+
+    #[test]
+    fn rmi_attack_invariants(parts in 2usize..8, pct in 1.0f64..15.0) {
+        // Fixed moderate keyset with gaps; random partition count and
+        // poisoning percentage.
+        let ks = KeySet::from_keys((0..240u64).map(|i| i * 7 + (i % 3)).collect()).unwrap();
+        let cfg = RmiAttackConfig::new(pct).with_max_exchanges(16);
+        let res = rmi_attack(&ks, parts, &cfg).unwrap();
+        // Legit keys conserved in order.
+        let merged: Vec<u64> = res.models.iter().flat_map(|m| m.legit.clone()).collect();
+        prop_assert_eq!(merged.as_slice(), ks.keys());
+        // Budget respected.
+        let budget = (pct / 100.0 * ks.len() as f64).floor() as usize;
+        prop_assert!(res.total_poison <= budget);
+        // Threshold respected.
+        let t = ((3.0 * budget as f64 / parts as f64).ceil() as usize).max(budget / parts + 1);
+        for m in &res.models {
+            prop_assert!(m.poison.len() <= t, "model holds {} > t {}", m.poison.len(), t);
+        }
+        // Attack never *reduces* the RMI loss.
+        prop_assert!(res.poisoned_rmi_loss >= res.clean_rmi_loss - 1e-9);
+    }
+}

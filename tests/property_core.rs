@@ -1,0 +1,140 @@
+//! Property-based tests of the lis-core substrate invariants.
+
+use lis::prelude::*;
+use lis_core::btree::BPlusTree;
+use lis_core::search::exponential_search;
+use lis_core::stats::CdfMoments;
+use proptest::collection::btree_set;
+use proptest::prelude::*;
+
+/// Strategy: a sorted, distinct keyset with 2..=120 keys below 10_000.
+fn keyset_strategy() -> impl Strategy<Value = KeySet> {
+    btree_set(0u64..10_000, 2..120)
+        .prop_map(|set| KeySet::from_keys(set.into_iter().collect()).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn ranks_are_dense_and_ordered(ks in keyset_strategy()) {
+        let mut prev = 0usize;
+        for (k, r) in ks.cdf_pairs() {
+            prop_assert_eq!(r, prev + 1);
+            prop_assert_eq!(ks.rank(k), Some(r));
+            prev = r;
+        }
+        prop_assert_eq!(prev, ks.len());
+    }
+
+    #[test]
+    fn insertion_rank_consistent_with_count_above(ks in keyset_strategy(), key in 0u64..10_000) {
+        prop_assume!(!ks.contains(key));
+        let rank = ks.insertion_rank(key);
+        let above = ks.count_above(key);
+        prop_assert_eq!(rank + above, ks.len() + 1);
+    }
+
+    #[test]
+    fn gaps_tile_the_interior(ks in keyset_strategy()) {
+        // Every key strictly between min and max is either a member or
+        // inside exactly one gap.
+        let gaps = ks.gaps();
+        let total_gap_len: u64 = gaps.iter().map(|g| g.len()).sum();
+        let interior = ks.max_key() - ks.min_key() + 1 - ks.len() as u64;
+        prop_assert_eq!(total_gap_len, interior);
+        for w in gaps.windows(2) {
+            prop_assert!(w[0].hi < w[1].lo);
+        }
+    }
+
+    #[test]
+    fn moments_match_naive_computation(ks in keyset_strategy()) {
+        let m = CdfMoments::from_keyset(&ks);
+        let n = ks.len() as f64;
+        let mk: f64 = ks.keys().iter().map(|&k| k as f64).sum::<f64>() / n;
+        let var_k: f64 =
+            ks.keys().iter().map(|&k| (k as f64 - mk).powi(2)).sum::<f64>() / n;
+        prop_assert!((m.mean_key() - mk).abs() <= 1e-9 * mk.abs().max(1.0));
+        prop_assert!((m.var_x() - var_k).abs() <= 1e-6 * var_k.max(1.0));
+    }
+
+    #[test]
+    fn ols_residuals_sum_to_zero(ks in keyset_strategy()) {
+        let model = LinearModel::fit(&ks).unwrap();
+        let sum: f64 = ks.cdf_pairs().map(|(k, r)| model.residual(k, r)).sum();
+        // OLS with intercept: residuals sum to zero.
+        prop_assert!(sum.abs() < 1e-6 * ks.len() as f64, "residual sum {}", sum);
+    }
+
+    #[test]
+    fn ols_loss_is_minimal_under_perturbation(ks in keyset_strategy(), dw in -0.1f64..0.1, db in -5.0f64..5.0) {
+        let model = LinearModel::fit(&ks).unwrap();
+        let n = ks.len() as f64;
+        let perturbed: f64 = ks
+            .cdf_pairs()
+            .map(|(k, r)| {
+                let pred = (model.w + dw) * k as f64 + model.b + db;
+                (pred - r as f64).powi(2)
+            })
+            .sum::<f64>() / n;
+        prop_assert!(model.mse <= perturbed + 1e-7, "{} > {}", model.mse, perturbed);
+    }
+
+    #[test]
+    fn exponential_search_finds_members_from_any_guess(
+        ks in keyset_strategy(),
+        idx_frac in 0.0f64..1.0,
+        guess_frac in 0.0f64..1.0,
+    ) {
+        let keys = ks.keys();
+        let idx = ((keys.len() - 1) as f64 * idx_frac) as usize;
+        let guess = ((keys.len() - 1) as f64 * guess_frac) as usize;
+        let res = exponential_search(keys, keys[idx], guess);
+        prop_assert_eq!(res.pos, Some(idx));
+    }
+
+    #[test]
+    fn exponential_search_rejects_non_members(ks in keyset_strategy(), key in 0u64..10_000, guess_frac in 0.0f64..1.0) {
+        prop_assume!(!ks.contains(key));
+        let guess = ((ks.len() - 1) as f64 * guess_frac) as usize;
+        let res = exponential_search(ks.keys(), key, guess);
+        prop_assert_eq!(res.pos, None);
+    }
+
+    #[test]
+    fn btree_matches_sorted_array_semantics(ks in keyset_strategy(), probe in 0u64..10_000, fanout in 2usize..32) {
+        let tree = BPlusTree::build(&ks, fanout).unwrap();
+        let expected = ks.keys().binary_search(&probe).ok();
+        prop_assert_eq!(tree.lookup(probe).pos, expected);
+    }
+
+    #[test]
+    fn rmi_finds_every_member(ks in keyset_strategy(), leaves_frac in 0.1f64..1.0) {
+        let leaves = ((ks.len() as f64 * leaves_frac) as usize).clamp(1, ks.len());
+        let rmi = Rmi::build(&ks, &RmiConfig::linear_root(leaves)).unwrap();
+        for (i, &k) in ks.keys().iter().enumerate() {
+            prop_assert_eq!(rmi.lookup(k).pos, Some(i));
+        }
+    }
+
+    #[test]
+    fn partitions_preserve_order_and_count(ks in keyset_strategy(), parts_frac in 0.1f64..1.0) {
+        let parts = ((ks.len() as f64 * parts_frac) as usize).clamp(1, ks.len());
+        let partitions = ks.partition(parts).unwrap();
+        prop_assert_eq!(partitions.len(), parts);
+        let merged: Vec<u64> =
+            partitions.iter().flat_map(|p| p.keys().to_vec()).collect();
+        prop_assert_eq!(merged.as_slice(), ks.keys());
+        // Sizes differ by at most one.
+        let min = partitions.iter().map(KeySet::len).min().unwrap();
+        let max = partitions.iter().map(KeySet::len).max().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn boxplot_quantiles_are_ordered(samples in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+        let b = BoxplotSummary::from_samples(&samples).unwrap();
+        prop_assert!(b.min <= b.q1 && b.q1 <= b.median);
+        prop_assert!(b.median <= b.q3 && b.q3 <= b.max);
+        prop_assert!(b.mean >= b.min && b.mean <= b.max);
+    }
+}

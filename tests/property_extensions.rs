@@ -1,0 +1,155 @@
+//! Property-based tests for the extension subsystems: the updatable index,
+//! the PLA index, the learned hash and existence indexes, the removal
+//! oracle, and the DP volume allocator.
+
+use lis::core::alex::{AlexConfig, AlexIndex};
+use lis::core::bloom::{BloomFilter, LearnedBloom};
+use lis::core::hashindex::{HashIndex, HashKind};
+use lis::core::pla::PlaIndex;
+use lis::poison::removal::optimal_single_removal;
+use lis::poison::volume::{optimal_volume_allocation, ResponseCurve};
+use lis::prelude::*;
+use proptest::collection::btree_set;
+use proptest::prelude::*;
+
+fn keyset_strategy() -> impl Strategy<Value = KeySet> {
+    btree_set(0u64..10_000, 4..150)
+        .prop_map(|set| KeySet::from_keys(set.into_iter().collect()).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn pla_error_bound_holds(ks in keyset_strategy(), eps in 1usize..32) {
+        let pla = PlaIndex::build(&ks, eps).unwrap();
+        prop_assert!(pla.max_training_error() <= eps + 1);
+        for (i, &k) in ks.keys().iter().enumerate() {
+            prop_assert_eq!(pla.lookup(k).pos, Some(i));
+        }
+    }
+
+    #[test]
+    fn pla_segments_tile(ks in keyset_strategy(), eps in 1usize..32) {
+        let pla = PlaIndex::build(&ks, eps).unwrap();
+        let covered: usize = pla.segments().iter().map(|s| s.len).sum();
+        prop_assert_eq!(covered, ks.len());
+        for w in pla.segments().windows(2) {
+            prop_assert!(w[0].last_key < w[1].first_key);
+        }
+    }
+
+    #[test]
+    fn alex_insert_preserves_order_and_membership(
+        ks in keyset_strategy(),
+        extra in btree_set(0u64..10_000, 1..40),
+    ) {
+        let mut idx = AlexIndex::build(&ks, AlexConfig {
+            leaf_capacity: 32, fill_low: 0.5, fill_high: 0.8,
+        }).unwrap();
+        let mut expected: std::collections::BTreeSet<u64> =
+            ks.keys().iter().copied().collect();
+        for k in extra {
+            match idx.insert(k) {
+                Ok(()) => {
+                    prop_assert!(expected.insert(k), "insert succeeded on duplicate {}", k);
+                }
+                Err(_) => {
+                    prop_assert!(expected.contains(&k), "insert failed on fresh key {}", k);
+                }
+            }
+        }
+        let keys = idx.keys();
+        prop_assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        prop_assert_eq!(keys.len(), expected.len());
+        for &k in expected.iter() {
+            prop_assert!(idx.contains(k), "lost key {}", k);
+        }
+    }
+
+    #[test]
+    fn hash_index_total_membership(ks in keyset_strategy(), slots_mult in 1usize..4) {
+        for kind in [HashKind::Learned, HashKind::Random] {
+            let t = HashIndex::build(&ks, ks.len() * slots_mult, kind).unwrap();
+            for &k in ks.keys() {
+                prop_assert!(t.lookup(k).0);
+            }
+            // Chain mass conservation: Σ bucket lens == n.
+            let mass: f64 = t.expected_probes() * ks.len() as f64;
+            prop_assert!(mass >= ks.len() as f64);
+        }
+    }
+
+    #[test]
+    fn bloom_no_false_negatives_prop(ks in keyset_strategy(), rate in 0.001f64..0.2) {
+        let mut f = BloomFilter::with_rate(ks.len(), rate).unwrap();
+        for &k in ks.keys() {
+            f.insert(k);
+        }
+        for &k in ks.keys() {
+            prop_assert!(f.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn learned_bloom_no_false_negatives_prop(ks in keyset_strategy()) {
+        let lb = LearnedBloom::build(&ks, 0.01).unwrap();
+        for &k in ks.keys() {
+            prop_assert!(lb.may_contain(k), "false negative at {}", k);
+        }
+    }
+
+    #[test]
+    fn removal_oracle_matches_exhaustive(ks in keyset_strategy()) {
+        prop_assume!(ks.len() >= 3);
+        let plan = optimal_single_removal(&ks).unwrap();
+        let mut best = f64::NEG_INFINITY;
+        for &k in ks.keys() {
+            let mut without = ks.clone();
+            without.remove(k).unwrap();
+            best = best.max(LinearModel::fit(&without).unwrap().mse);
+        }
+        prop_assert!(
+            (plan.poisoned_mse - best).abs() <= 1e-6 * best.abs().max(1.0),
+            "oracle {} vs exhaustive {}",
+            plan.poisoned_mse, best
+        );
+    }
+
+    #[test]
+    fn dp_allocation_feasible_and_dominates_uniform(
+        losses in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..100.0, 6),
+            2..6,
+        ),
+        budget in 0usize..12,
+    ) {
+        // Make each curve non-decreasing (greedy curves are).
+        let curves: Vec<ResponseCurve> = losses
+            .into_iter()
+            .map(|mut v| {
+                for i in 1..v.len() {
+                    v[i] = v[i].max(v[i - 1]);
+                }
+                ResponseCurve { losses: v }
+            })
+            .collect();
+        let t = 5usize;
+        let dp = optimal_volume_allocation(&curves, budget, t).unwrap();
+        // Feasibility.
+        prop_assert!(dp.volumes.iter().sum::<usize>() <= budget);
+        prop_assert!(dp.volumes.iter().all(|&v| v <= t));
+        // Dominates the uniform allocation.
+        let per = (budget / curves.len()).min(t);
+        let uniform: f64 = curves.iter().map(|c| c.losses[per.min(c.max_volume())]).sum();
+        prop_assert!(dp.total_loss >= uniform - 1e-9);
+        // Dominates every single-model dump.
+        for (i, c) in curves.iter().enumerate() {
+            let dump = budget.min(t).min(c.max_volume());
+            let single: f64 = curves
+                .iter()
+                .enumerate()
+                .map(|(j, cj)| if j == i { cj.losses[dump] } else { cj.losses[0] })
+                .sum();
+            prop_assert!(dp.total_loss >= single - 1e-9);
+        }
+    }
+}
