@@ -16,7 +16,11 @@ use lis_workloads::{trial_rng, uniform_keys, ResultTable};
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Ablation", "candidate-evaluation complexity of the single-point attack", scale);
+    banner(
+        "Ablation",
+        "candidate-evaluation complexity of the single-point attack",
+        scale,
+    );
 
     let sizes: &[usize] = match scale {
         Scale::Small => &[200, 400, 800, 1_600],
@@ -25,7 +29,14 @@ fn main() {
 
     let mut table = ResultTable::new(
         "ablation_candidate_complexity",
-        &["keys", "domain", "endpoint_ms", "scan_ms", "naive_ms", "same_optimum"],
+        &[
+            "keys",
+            "domain",
+            "endpoint_ms",
+            "scan_ms",
+            "naive_ms",
+            "same_optimum",
+        ],
     );
 
     for &n in sizes {

@@ -12,11 +12,23 @@ use lis_poison::{greedy_poison, PoisonBudget};
 use lis_workloads::{trial_rng, uniform_keys, ResultTable};
 
 fn main() {
-    banner("Ablation", "greedy vs exhaustive multi-point poisoning", Scale::from_env());
+    banner(
+        "Ablation",
+        "greedy vs exhaustive multi-point poisoning",
+        Scale::from_env(),
+    );
 
     let mut table = ResultTable::new(
         "ablation_greedy_vs_bruteforce",
-        &["trial", "keys", "domain", "p", "greedy_mse", "bruteforce_mse", "greedy/bruteforce"],
+        &[
+            "trial",
+            "keys",
+            "domain",
+            "p",
+            "greedy_mse",
+            "bruteforce_mse",
+            "greedy/bruteforce",
+        ],
     );
 
     let mut worst = f64::INFINITY;

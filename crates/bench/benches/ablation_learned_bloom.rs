@@ -13,7 +13,11 @@ use lis_poison::{greedy_poison, PoisonBudget};
 use lis_workloads::{domain_for_density, trial_rng, uniform_keys, ResultTable};
 
 fn main() {
-    banner("Ablation", "poisoning the learned existence index", Scale::from_env());
+    banner(
+        "Ablation",
+        "poisoning the learned existence index",
+        Scale::from_env(),
+    );
 
     let n = 20_000;
     let mut rng = trial_rng(0xB100, 0);
@@ -21,8 +25,10 @@ fn main() {
     let clean = uniform_keys(&mut rng, n, domain).unwrap();
 
     // Non-member probes spread over the domain.
-    let probes: Vec<Key> =
-        (0..50_000u64).map(|i| i * domain.size() / 50_000).filter(|k| !clean.contains(*k)).collect();
+    let probes: Vec<Key> = (0..50_000u64)
+        .map(|i| i * domain.size() / 50_000)
+        .filter(|k| !clean.contains(*k))
+        .collect();
 
     let mut table = ResultTable::new(
         "ablation_learned_bloom",

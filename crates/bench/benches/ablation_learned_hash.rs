@@ -13,7 +13,11 @@ use lis_poison::{greedy_poison, PoisonBudget};
 use lis_workloads::{domain_for_density, trial_rng, uniform_keys, ResultTable};
 
 fn main() {
-    banner("Ablation", "poisoning the learned hash (point) index", Scale::from_env());
+    banner(
+        "Ablation",
+        "poisoning the learned hash (point) index",
+        Scale::from_env(),
+    );
 
     let n = 50_000;
     let slots = 60_000;
@@ -53,12 +57,16 @@ fn main() {
     // Qualitative checks: clean learned beats random; poisoning erodes it.
     let learned_probe = learned_clean.expected_probes();
     let random_probe = random_clean.expected_probes();
-    assert!(learned_probe < random_probe, "clean learned hash should win");
-    let worst_poisoned =
-        rows.iter().filter(|r| r.0 == "learned-poisoned").map(|r| r.1).fold(0.0, f64::max);
-    println!(
-        "\nclean: learned {learned_probe:.3} vs random {random_probe:.3} expected probes;"
+    assert!(
+        learned_probe < random_probe,
+        "clean learned hash should win"
     );
+    let worst_poisoned = rows
+        .iter()
+        .filter(|r| r.0 == "learned-poisoned")
+        .map(|r| r.1)
+        .fold(0.0, f64::max);
+    println!("\nclean: learned {learned_probe:.3} vs random {random_probe:.3} expected probes;");
     println!("worst poisoned learned: {worst_poisoned:.3}");
     assert!(
         worst_poisoned > learned_probe,

@@ -22,15 +22,23 @@ use lis_poison::{greedy_poison, PoisonBudget};
 use lis_workloads::{domain_for_density, trial_rng, uniform_keys, ResultTable};
 
 fn main() {
-    banner("Ablation", "CDF poisoning vs an error-bounded PLA index", Scale::from_env());
+    banner(
+        "Ablation",
+        "CDF poisoning vs an error-bounded PLA index",
+        Scale::from_env(),
+    );
 
     let n = 20_000;
     let mut table = ResultTable::new(
         "ablation_pla_attack",
         &[
-            "epsilon", "poison_pct", "clean_segments",
-            "mse_greedy_segments", "mse_greedy_inflation",
-            "clump_segments", "clump_inflation",
+            "epsilon",
+            "poison_pct",
+            "clean_segments",
+            "mse_greedy_segments",
+            "mse_greedy_inflation",
+            "clump_segments",
+            "clump_inflation",
         ],
     );
 
@@ -72,10 +80,18 @@ fn main() {
     table.print();
     table.write_csv().expect("write csv");
 
-    println!("\nworst inflation — MSE-greedy: {worst_greedy:.2}x, PLA-aware clump: {worst_clump:.2}x");
+    println!(
+        "\nworst inflation — MSE-greedy: {worst_greedy:.2}x, PLA-aware clump: {worst_clump:.2}x"
+    );
     println!("(the MSE objective does not transfer: PLA demands its own attack design)");
-    assert!(worst_clump > worst_greedy, "the tailored attack should dominate");
-    assert!(worst_clump > 1.2, "clump attack should force extra segments");
+    assert!(
+        worst_clump > worst_greedy,
+        "the tailored attack should dominate"
+    );
+    assert!(
+        worst_clump > 1.2,
+        "clump attack should force extra segments"
+    );
 }
 
 /// PLA-aware attacker: builds a *sawtooth* CDF by completely filling every

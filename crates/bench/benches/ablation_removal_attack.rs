@@ -11,11 +11,23 @@ use lis_poison::{greedy_poison, PoisonBudget};
 use lis_workloads::{domain_for_density, trial_rng, uniform_keys, ResultTable};
 
 fn main() {
-    banner("Ablation", "insert-only vs delete-only vs mixed adversaries", Scale::from_env());
+    banner(
+        "Ablation",
+        "insert-only vs delete-only vs mixed adversaries",
+        Scale::from_env(),
+    );
 
     let mut table = ResultTable::new(
         "ablation_removal_attack",
-        &["trial", "budget", "insert_ratio", "delete_ratio", "mixed_ratio", "mixed_inserts", "mixed_deletes"],
+        &[
+            "trial",
+            "budget",
+            "insert_ratio",
+            "delete_ratio",
+            "mixed_ratio",
+            "mixed_inserts",
+            "mixed_deletes",
+        ],
     );
 
     let n = 600;
@@ -28,8 +40,11 @@ fn main() {
             let ins = greedy_poison(&clean, budget).unwrap();
             let del = greedy_removal(&clean, budget_keys).unwrap();
             let mix = greedy_mixed(&clean, budget).unwrap();
-            let inserts =
-                mix.actions.iter().filter(|a| matches!(a, MixedAction::Insert(_))).count();
+            let inserts = mix
+                .actions
+                .iter()
+                .filter(|a| matches!(a, MixedAction::Insert(_)))
+                .count();
             table.push_row([
                 trial.to_string(),
                 budget_keys.to_string(),

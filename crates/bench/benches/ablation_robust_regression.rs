@@ -15,14 +15,21 @@ use lis_poison::{greedy_poison, PoisonBudget};
 use lis_workloads::{domain_for_density, trial_rng, uniform_keys, ResultTable};
 
 fn main() {
-    banner("Ablation", "robust regression (Theil–Sen) vs CDF poisoning", Scale::from_env());
+    banner(
+        "Ablation",
+        "robust regression (Theil–Sen) vs CDF poisoning",
+        Scale::from_env(),
+    );
 
     let mut table = ResultTable::new(
         "ablation_robust_regression",
         &[
-            "keys", "poison_pct",
-            "ols_clean", "ts_clean",
-            "ols_poisoned_on_clean", "ts_poisoned_on_clean",
+            "keys",
+            "poison_pct",
+            "ols_clean",
+            "ts_clean",
+            "ols_poisoned_on_clean",
+            "ts_poisoned_on_clean",
             "ts_rescue_factor",
         ],
     );
@@ -32,8 +39,7 @@ fn main() {
         let domain = domain_for_density(n, 0.1).unwrap();
         let clean = uniform_keys(&mut rng, n, domain).unwrap();
         for pct in [5.0, 10.0, 15.0] {
-            let plan =
-                greedy_poison(&clean, PoisonBudget::percentage(pct, n).unwrap()).unwrap();
+            let plan = greedy_poison(&clean, PoisonBudget::percentage(pct, n).unwrap()).unwrap();
             let poisoned = plan.poisoned_keyset(&clean).unwrap();
             let cmp = compare_on_attack(&clean, &poisoned, 200_000).unwrap();
             let rescue = cmp.ols_poisoned_on_clean / cmp.ts_poisoned_on_clean.max(1e-12);
@@ -63,5 +69,8 @@ fn main() {
         ts_secs * 1e3
     );
     println!("rescue factors near 1 mean robustness buys nothing against the compound effect");
-    assert!(ts_secs > ols_secs * 10.0, "Theil–Sen should be dramatically slower");
+    assert!(
+        ts_secs > ols_secs * 10.0,
+        "Theil–Sen should be dramatically slower"
+    );
 }

@@ -14,13 +14,23 @@ use lis_poison::{greedy_poison, PoisonBudget};
 use lis_workloads::{domain_for_density, trial_rng, uniform_keys, ResultTable};
 
 fn main() {
-    banner("Ablation", "TRIM defense vs CDF poisoning", Scale::from_env());
+    banner(
+        "Ablation",
+        "TRIM defense vs CDF poisoning",
+        Scale::from_env(),
+    );
 
     let mut table = ResultTable::new(
         "ablation_trim_defense",
         &[
-            "attacker", "poison_pct", "recall", "precision", "legit_removed",
-            "ratio_before", "ratio_after", "recovery",
+            "attacker",
+            "poison_pct",
+            "recall",
+            "precision",
+            "legit_removed",
+            "ratio_before",
+            "ratio_after",
+            "recovery",
         ],
     );
 

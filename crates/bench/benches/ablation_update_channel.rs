@@ -15,19 +15,33 @@ use lis_poison::{greedy_poison, PoisonBudget};
 use lis_workloads::{domain_for_density, trial_rng, uniform_keys, ResultTable};
 
 fn main() {
-    banner("Ablation", "update-channel poisoning of an ALEX-style index", Scale::from_env());
+    banner(
+        "Ablation",
+        "update-channel poisoning of an ALEX-style index",
+        Scale::from_env(),
+    );
 
     let n = 20_000;
     let mut rng = trial_rng(0xA1EC, 0);
     let domain = domain_for_density(n, 0.05).unwrap();
     let clean = uniform_keys(&mut rng, n, domain).unwrap();
-    let cfg = AlexConfig { leaf_capacity: 128, fill_low: 0.5, fill_high: 0.8 };
+    let cfg = AlexConfig {
+        leaf_capacity: 128,
+        fill_low: 0.5,
+        fill_high: 0.8,
+    };
 
     let mut table = ResultTable::new(
         "ablation_update_channel",
         &[
-            "writer", "inserts", "splits", "shifts", "insert_probes",
-            "legit_probes_before", "legit_probes_after", "probe_inflation",
+            "writer",
+            "inserts",
+            "splits",
+            "shifts",
+            "insert_probes",
+            "legit_probes_before",
+            "legit_probes_after",
+            "probe_inflation",
         ],
     );
 
@@ -68,7 +82,9 @@ fn main() {
     };
     let poison_churn = churn("poison");
     let benign_churn = churn("benign");
-    println!("\ntotal churn (shifts + probes) — poison: {poison_churn:.0}, benign: {benign_churn:.0}");
+    println!(
+        "\ntotal churn (shifts + probes) — poison: {poison_churn:.0}, benign: {benign_churn:.0}"
+    );
     assert!(
         poison_churn > benign_churn,
         "the clustered poison stream should cost more: {poison_churn} vs {benign_churn}"

@@ -15,14 +15,24 @@ use lis_poison::{rmi_attack, RmiAttackConfig};
 use lis_workloads::ResultTable;
 
 fn main() {
-    banner("Ablation", "greedy (Algorithm 2) vs exact DP volume allocation", Scale::from_env());
+    banner(
+        "Ablation",
+        "greedy (Algorithm 2) vs exact DP volume allocation",
+        Scale::from_env(),
+    );
 
     let mut table = ResultTable::new(
         "ablation_volume_allocation",
         &[
-            "distribution", "keys", "models", "poison_pct",
-            "greedy_rmi_loss", "dp_rmi_loss", "dp/greedy",
-            "greedy_secs", "dp_secs",
+            "distribution",
+            "keys",
+            "models",
+            "poison_pct",
+            "greedy_rmi_loss",
+            "dp_rmi_loss",
+            "dp/greedy",
+            "greedy_secs",
+            "dp_secs",
         ],
     );
 
@@ -66,5 +76,8 @@ fn main() {
         .fold(f64::INFINITY, f64::min);
     println!("\nminimum dp/greedy gain: {min_gain:.3}");
     println!("(values ≥ 1 mean the DP attack dominates; the paper's greedy is a lower bound)");
-    assert!(min_gain > 0.95, "DP should never fall materially below greedy");
+    assert!(
+        min_gain > 0.95,
+        "DP should never fall materially below greedy"
+    );
 }

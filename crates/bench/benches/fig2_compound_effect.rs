@@ -11,7 +11,11 @@ use lis_poison::optimal_single_point;
 use lis_workloads::ResultTable;
 
 fn main() {
-    banner("Figure 2", "compound effect of single-point CDF poisoning", Scale::from_env());
+    banner(
+        "Figure 2",
+        "compound effect of single-point CDF poisoning",
+        Scale::from_env(),
+    );
 
     let ks = KeySet::from_keys(vec![0, 4, 9, 13, 18, 22, 27, 31, 36, 40]).unwrap();
     let before = LinearModel::fit(&ks).unwrap();
@@ -38,21 +42,36 @@ fn main() {
     lines.print();
     lines.write_csv().expect("write csv");
 
-    println!("\noptimal poisoning key: {}  (ratio loss {:.2}x)\n", plan.key, plan.ratio_loss());
+    println!(
+        "\noptimal poisoning key: {}  (ratio loss {:.2}x)\n",
+        plan.key,
+        plan.ratio_loss()
+    );
 
     // Per-key residuals: the blue vertical segments of the figure.
     let mut resid = ResultTable::new(
         "fig2_residuals",
-        &["key", "rank_before", "rank_after", "residual_before", "residual_after", "is_poison"],
+        &[
+            "key",
+            "rank_before",
+            "rank_after",
+            "residual_before",
+            "residual_after",
+            "is_poison",
+        ],
     );
     for (k, r_after) in poisoned.cdf_pairs() {
         let is_poison = k == plan.key;
         let r_before = ks.rank(k);
         resid.push_row([
             k.to_string(),
-            r_before.map(|r| r.to_string()).unwrap_or_else(|| "-".into()),
+            r_before
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "-".into()),
             r_after.to_string(),
-            r_before.map(|r| format!("{:+.4}", before.residual(k, r))).unwrap_or_else(|| "-".into()),
+            r_before
+                .map(|r| format!("{:+.4}", before.residual(k, r)))
+                .unwrap_or_else(|| "-".into()),
             format!("{:+.4}", after.residual(k, r_after)),
             is_poison.to_string(),
         ]);
@@ -68,6 +87,12 @@ fn main() {
             after.residual(k, r_after).abs() > before.residual(k, r).abs()
         })
         .count();
-    println!("\nlegitimate keys with inflated error after poisoning: {grew}/{}", ks.len());
-    assert!(plan.ratio_loss() > 1.0, "single-point attack must increase the loss");
+    println!(
+        "\nlegitimate keys with inflated error after poisoning: {grew}/{}",
+        ks.len()
+    );
+    assert!(
+        plan.ratio_loss() > 1.0,
+        "single-point attack must increase the loss"
+    );
 }

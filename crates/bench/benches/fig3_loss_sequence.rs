@@ -7,7 +7,11 @@ use lis_poison::LossSequence;
 use lis_workloads::ResultTable;
 
 fn main() {
-    banner("Figure 3", "loss sequence and first derivative (Theorem 2)", Scale::from_env());
+    banner(
+        "Figure 3",
+        "loss sequence and first derivative (Theorem 2)",
+        Scale::from_env(),
+    );
 
     let ks = KeySet::from_keys(vec![0, 4, 9, 13, 18, 22, 27, 31, 36, 40]).unwrap();
     let seq = LossSequence::evaluate(&ks);
@@ -15,12 +19,19 @@ fn main() {
 
     let mut table = ResultTable::new(
         "fig3_loss_sequence",
-        &["kp", "loss_after_poisoning", "loss_before", "first_derivative"],
+        &[
+            "kp",
+            "loss_after_poisoning",
+            "loss_before",
+            "first_derivative",
+        ],
     );
     for (i, p) in seq.points.iter().enumerate() {
         table.push_row([
             p.key.to_string(),
-            p.loss.map(|l| format!("{l:.4}")).unwrap_or_else(|| "⊥".into()),
+            p.loss
+                .map(|l| format!("{l:.4}"))
+                .unwrap_or_else(|| "⊥".into()),
             format!("{:.4}", seq.clean_mse),
             deriv
                 .get(i)
@@ -33,7 +44,13 @@ fn main() {
     table.write_csv().expect("write csv");
 
     let (k, l) = seq.argmax().expect("sparse keyset");
-    println!("\nsequence maximum: kp = {k}, L = {l:.4} (clean loss {:.4})", seq.clean_mse);
+    println!(
+        "\nsequence maximum: kp = {k}, L = {l:.4} (clean loss {:.4})",
+        seq.clean_mse
+    );
     println!("convex within every gap: {}", seq.is_convex_per_gap(1e-7));
-    assert!(seq.is_convex_per_gap(1e-7), "Theorem 2 violated numerically");
+    assert!(
+        seq.is_convex_per_gap(1e-7),
+        "Theorem 2 violated numerically"
+    );
 }

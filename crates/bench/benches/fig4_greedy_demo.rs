@@ -8,11 +8,21 @@ use lis_poison::{greedy_poison, PoisonBudget};
 use lis_workloads::{trial_rng, uniform_keys, ResultTable, DEFAULT_SEED};
 
 fn main() {
-    banner("Figure 4", "greedy multi-point attack: 90 uniform keys + 10 poison", Scale::from_env());
+    banner(
+        "Figure 4",
+        "greedy multi-point attack: 90 uniform keys + 10 poison",
+        Scale::from_env(),
+    );
 
     let mut table = ResultTable::new(
         "fig4_greedy_demo",
-        &["trial", "clean_mse", "poisoned_mse", "ratio_loss", "poison_span_fraction"],
+        &[
+            "trial",
+            "clean_mse",
+            "poisoned_mse",
+            "ratio_loss",
+            "poison_span_fraction",
+        ],
     );
     let mut ratios = Vec::new();
     for trial in 0..10u64 {
@@ -36,5 +46,8 @@ fn main() {
 
     let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
     println!("\nmean ratio loss over trials: {mean:.2}x (paper's sampled keyset: 7.4x)");
-    assert!(mean > 4.0, "greedy attack should reach Figure-4 magnitude, got {mean:.2}x");
+    assert!(
+        mean > 4.0,
+        "greedy attack should reach Figure-4 magnitude, got {mean:.2}x"
+    );
 }

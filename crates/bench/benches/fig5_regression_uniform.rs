@@ -12,10 +12,18 @@ use lis_bench::{banner, timed, Scale};
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 5", "greedy poisoning of regression on CDF (uniform keys)", scale);
+    banner(
+        "Figure 5",
+        "greedy poisoning of regression on CDF (uniform keys)",
+        scale,
+    );
 
-    let grid = RegressionGrid { trials: scale.regression_trials(), ..RegressionGrid::default() };
-    let (table, secs) = timed(|| regression_grid("fig5_regression_uniform", KeyDistribution::Uniform, &grid));
+    let grid = RegressionGrid {
+        trials: scale.regression_trials(),
+        ..RegressionGrid::default()
+    };
+    let (table, secs) =
+        timed(|| regression_grid("fig5_regression_uniform", KeyDistribution::Uniform, &grid));
     table.print();
     table.write_csv().expect("write csv");
     println!("\ncompleted in {secs:.1}s");
@@ -38,7 +46,10 @@ fn main() {
         .filter(|r| pct(r) == "15%" && density(r) == "10%")
         .map(&ratio)
         .sum();
-    assert!(high > low, "ratio must grow with poisoning percentage: {high} vs {low}");
+    assert!(
+        high > low,
+        "ratio must grow with poisoning percentage: {high} vs {low}"
+    );
 
     // (2) Lower density (more free slots) allows a larger error increase.
     let sparse: f64 = table

@@ -10,13 +10,19 @@
 //!
 //! Scaled by `LIS_SCALE` (see `lis-bench` docs); ratios are preserved.
 
-use lis_bench::experiments::{push_rmi_row, rmi_table_headers, run_rmi_cell, KeyDistribution, RmiCell};
+use lis_bench::experiments::{
+    push_rmi_row, rmi_table_headers, run_rmi_cell, KeyDistribution, RmiCell,
+};
 use lis_bench::{banner, timed, Scale};
 use lis_workloads::ResultTable;
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 6", "RMI attack on uniform and log-normal synthetic data", scale);
+    banner(
+        "Figure 6",
+        "RMI attack on uniform and log-normal synthetic data",
+        scale,
+    );
 
     let n = scale.fig6_keys();
     let model_sizes = scale.fig6_model_sizes();
@@ -77,5 +83,8 @@ fn main() {
         lognormal_max_rmi > uniform_max_rmi * 0.8,
         "log-normal should be at least comparable to uniform (paper: ~2x larger)"
     );
-    assert!(lognormal_max_model >= lognormal_max_rmi, "single-model max bounds the mean");
+    assert!(
+        lognormal_max_model >= lognormal_max_rmi,
+        "single-model max bounds the mean"
+    );
 }

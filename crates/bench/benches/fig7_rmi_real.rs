@@ -14,7 +14,11 @@ use lis_workloads::ResultTable;
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 7", "RMI attack on simulated Miami salaries and OSM latitudes", scale);
+    banner(
+        "Figure 7",
+        "RMI attack on simulated Miami salaries and OSM latitudes",
+        scale,
+    );
 
     let salaries = realsim::miami_salaries(1).expect("salaries");
     let latitudes = realsim::osm_latitudes_scaled(1, scale.osm_keys()).expect("latitudes");
@@ -54,7 +58,10 @@ fn main() {
     println!("\nheadlines (paper: RMI 4-24x, single model up to 70x):");
     println!("  max RMI ratio:          {max_rmi:.1}x");
     println!("  max single-model ratio: {max_model:.1}x");
-    assert!(max_rmi > 2.0, "real-data attack should reach paper-order magnitudes");
+    assert!(
+        max_rmi > 2.0,
+        "real-data attack should reach paper-order magnitudes"
+    );
 }
 
 fn print_cdf_summary(name: &str, ks: &KeySet) {

@@ -8,9 +8,16 @@ use lis_bench::{banner, timed, Scale};
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 8", "greedy poisoning of regression on CDF (normal keys)", scale);
+    banner(
+        "Figure 8",
+        "greedy poisoning of regression on CDF (normal keys)",
+        scale,
+    );
 
-    let grid = RegressionGrid { trials: scale.regression_trials(), ..RegressionGrid::default() };
+    let grid = RegressionGrid {
+        trials: scale.regression_trials(),
+        ..RegressionGrid::default()
+    };
     let (table, secs) =
         timed(|| regression_grid("fig8_regression_normal", KeyDistribution::Normal, &grid));
     table.print();
@@ -19,7 +26,11 @@ fn main() {
 
     // Qualitative checks: the attack still works, but multipliers sit well
     // below the uniform case because the baseline loss is already high.
-    let max_ratio: f64 = table.rows.iter().map(|r| r[10].parse::<f64>().unwrap()).fold(0.0, f64::max);
+    let max_ratio: f64 = table
+        .rows
+        .iter()
+        .map(|r| r[10].parse::<f64>().unwrap())
+        .fold(0.0, f64::max);
     let median_at_15: f64 = table
         .rows
         .iter()
@@ -27,7 +38,10 @@ fn main() {
         .map(|r| r[7].parse::<f64>().unwrap())
         .fold(0.0, f64::max);
     println!("max observed ratio: {max_ratio:.1}x; best median at 15%: {median_at_15:.1}x");
-    assert!(median_at_15 > 1.0, "attack must still beat the clean loss on normal data");
+    assert!(
+        median_at_15 > 1.0,
+        "attack must still beat the clean loss on normal data"
+    );
     assert!(
         max_ratio < 100.0,
         "normal-data ratios should stay far below the uniform-data extremes"

@@ -1,35 +1,39 @@
-//! Criterion lookup-latency benchmarks: RMI vs B+-tree, clean vs poisoned.
+//! Lookup-latency benchmark: RMI vs B+-tree, clean vs poisoned, without
+//! external harness dependencies (plain wall-clock timing over shuffled
+//! probe streams).
 //!
 //! The original LIS paper measured lookup nanoseconds with closed-source
 //! optimized code, which is why the attack paper falls back to Ratio Loss.
 //! Our from-scratch implementations let us measure the end-to-end effect
 //! directly: poisoning inflates second-stage errors, which inflates the
 //! last-mile search radius and therefore lookup latency, eroding the RMI's
-//! edge over the B+-tree.
+//! edge over the B+-tree. Batches run through the unified
+//! `LearnedIndex::lookup_batch` hot path.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use lis_core::btree::BPlusTree;
-use lis_core::keys::KeySet;
+use lis_core::index::LearnedIndex;
+use lis_core::keys::{Key, KeySet};
 use lis_core::rmi::{Rmi, RmiConfig};
 use lis_poison::{rmi_attack, RmiAttackConfig};
-use lis_workloads::{domain_for_density, lognormal_keys, trial_rng, uniform_keys};
+use lis_workloads::{domain_for_density, lognormal_keys, trial_rng, uniform_keys, ResultTable};
 use std::hint::black_box;
+use std::time::Instant;
 
 const N: usize = 50_000;
 const NUM_LEAVES: usize = 500;
+const ROUNDS: usize = 5;
 
 struct Setup {
-    clean: KeySet,
     rmi_clean: Rmi,
     rmi_poisoned: Rmi,
     btree: BPlusTree,
-    probes: Vec<u64>,
+    probes: Vec<Key>,
 }
 
 fn build(dist: &str) -> Setup {
     let mut rng = trial_rng(0x1A7E, 0);
     let domain = domain_for_density(N, 0.1).unwrap();
-    let clean = match dist {
+    let clean: KeySet = match dist {
         "uniform" => uniform_keys(&mut rng, N, domain).unwrap(),
         _ => lognormal_keys(&mut rng, N, domain).unwrap(),
     };
@@ -43,74 +47,79 @@ fn build(dist: &str) -> Setup {
     let btree = BPlusTree::build(&clean, 64).unwrap();
 
     // Probe the legitimate keys in a shuffled, cache-unfriendly order.
-    let mut probes: Vec<u64> = clean.keys().to_vec();
+    let mut probes: Vec<Key> = clean.keys().to_vec();
     let len = probes.len();
     for i in 0..len {
         let j = (lis_workloads::rng::splitmix64(i as u64) % len as u64) as usize;
         probes.swap(i, j);
     }
-    Setup { clean, rmi_clean, rmi_poisoned, btree, probes }
-}
-
-fn bench_lookups(c: &mut Criterion) {
-    for dist in ["uniform", "lognormal"] {
-        let setup = build(dist);
-        let mut group = c.benchmark_group(format!("lookup/{dist}"));
-        group.sample_size(20);
-
-        let mut cursor = 0usize;
-        group.bench_function("rmi_clean", |b| {
-            b.iter_batched(
-                || {
-                    let k = setup.probes[cursor % setup.probes.len()];
-                    cursor += 1;
-                    k
-                },
-                |k| black_box(setup.rmi_clean.lookup(black_box(k))),
-                BatchSize::SmallInput,
-            )
-        });
-
-        let mut cursor = 0usize;
-        group.bench_function("rmi_poisoned", |b| {
-            b.iter_batched(
-                || {
-                    let k = setup.probes[cursor % setup.probes.len()];
-                    cursor += 1;
-                    k
-                },
-                |k| black_box(setup.rmi_poisoned.lookup(black_box(k))),
-                BatchSize::SmallInput,
-            )
-        });
-
-        let mut cursor = 0usize;
-        group.bench_function("btree", |b| {
-            b.iter_batched(
-                || {
-                    let k = setup.probes[cursor % setup.probes.len()];
-                    cursor += 1;
-                    k
-                },
-                |k| black_box(setup.btree.lookup(black_box(k))),
-                BatchSize::SmallInput,
-            )
-        });
-        group.finish();
-
-        // Comparison-count summary (printed once per distribution).
-        let mean_cmp = |f: &dyn Fn(u64) -> usize| -> f64 {
-            let total: usize = setup.clean.keys().iter().map(|&k| f(k)).sum();
-            total as f64 / setup.clean.len() as f64
-        };
-        println!(
-            "[{dist}] mean comparisons: rmi_clean {:.2}, rmi_poisoned {:.2}, btree {:.2}",
-            mean_cmp(&|k| setup.rmi_clean.lookup(k).comparisons),
-            mean_cmp(&|k| setup.rmi_poisoned.lookup(k).comparisons),
-            mean_cmp(&|k| setup.btree.lookup(k).comparisons),
-        );
+    Setup {
+        rmi_clean,
+        rmi_poisoned,
+        btree,
+        probes,
     }
 }
 
-criterion_group!(benches, bench_lookups);
-criterion_main!(benches);
+/// Times `lookup_batch` over the probe stream, best of `ROUNDS`, returning
+/// (nanoseconds per lookup, mean cost units per lookup).
+fn measure<I: LearnedIndex>(index: &I, probes: &[Key]) -> (f64, f64) {
+    let mut best_ns = f64::INFINITY;
+    let mut total_cost = 0usize;
+    for _ in 0..ROUNDS {
+        let start = Instant::now();
+        let results = black_box(index.lookup_batch(black_box(probes)));
+        let elapsed = start.elapsed().as_nanos() as f64;
+        best_ns = best_ns.min(elapsed / probes.len() as f64);
+        total_cost = results.iter().map(|r| r.cost).sum();
+        assert!(results.iter().all(|r| r.found), "member probe missed");
+    }
+    (best_ns, total_cost as f64 / probes.len() as f64)
+}
+
+fn main() {
+    println!("lookup latency (best of {ROUNDS} rounds over {N} shuffled member probes)\n");
+    let mut table = ResultTable::new(
+        "latency_lookup",
+        &["distribution", "index", "ns_per_lookup", "mean_cost"],
+    );
+
+    for dist in ["uniform", "lognormal"] {
+        let setup = build(dist);
+        let cases: [(&str, f64, f64); 3] = [
+            {
+                let (ns, cost) = measure(&setup.rmi_clean, &setup.probes);
+                ("rmi_clean", ns, cost)
+            },
+            {
+                let (ns, cost) = measure(&setup.rmi_poisoned, &setup.probes);
+                ("rmi_poisoned", ns, cost)
+            },
+            {
+                let (ns, cost) = measure(&setup.btree, &setup.probes);
+                ("btree", ns, cost)
+            },
+        ];
+        for (name, ns, cost) in cases {
+            table.push_row([
+                dist.to_string(),
+                name.to_string(),
+                format!("{ns:.1}"),
+                format!("{cost:.2}"),
+            ]);
+        }
+
+        // The attack's punchline must reproduce in comparison counts (the
+        // hardware-independent cost): poisoned RMI does more work per
+        // lookup than the clean RMI.
+        let clean_cost = cases[0].2;
+        let poisoned_cost = cases[1].2;
+        assert!(
+            poisoned_cost > clean_cost,
+            "[{dist}] poisoning should inflate lookup cost: {poisoned_cost:.2} vs {clean_cost:.2}"
+        );
+    }
+
+    table.print();
+    table.write_csv().expect("write csv");
+}

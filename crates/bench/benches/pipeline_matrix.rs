@@ -1,0 +1,102 @@
+//! The full scenario cross-product through the `lis::pipeline` builder:
+//! every registered victim structure × every workload shape, under the
+//! greedy CDF attack — the composition the unified API exists for.
+//!
+//! Prints one table per workload (loss ratio, lookup-cost ratio, memory
+//! ratio, membership correctness per index) and writes CSVs under
+//! `target/experiments/`.
+
+use lis::pipeline::{Pipeline, WorkloadSpec};
+use lis::poison::{GreedyCdfAttack, PoisonBudget};
+use lis::prelude::*;
+use lis_bench::{banner, timed, Scale};
+use lis_workloads::ResultTable;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Pipeline",
+        "all registered indexes x all workloads, 10% greedy poison",
+        scale,
+    );
+
+    let n = match scale {
+        Scale::Small => 10_000,
+        Scale::Medium => 50_000,
+        Scale::Paper => 200_000,
+    };
+    let workloads = [
+        WorkloadSpec::Uniform { n, density: 0.1 },
+        WorkloadSpec::Normal { n, density: 0.1 },
+        WorkloadSpec::LogNormal { n, density: 0.1 },
+    ];
+    let index_names: Vec<String> = {
+        let registry = IndexRegistry::with_defaults();
+        registry.names().iter().map(|s| s.to_string()).collect()
+    };
+
+    for workload in workloads {
+        let label = workload.label();
+        let (report, secs) = timed(|| {
+            Pipeline::new(workload.clone())
+                .attack(GreedyCdfAttack {
+                    budget: PoisonBudget::percentage(10.0, n).expect("legal pct"),
+                })
+                .indexes(index_names.iter().map(String::as_str))
+                .queries(5_000)
+                .run()
+                .expect("pipeline")
+        });
+
+        println!(
+            "[{label}] n = {n}, attack ratio loss {:.1}x, {secs:.1}s",
+            report.attack.as_ref().expect("attack ran").ratio_loss()
+        );
+        let mut table = ResultTable::new(
+            format!("pipeline_matrix_{label}"),
+            &[
+                "index",
+                "loss_ratio",
+                "cost_ratio",
+                "mem_ratio",
+                "members_ok",
+            ],
+        );
+        for idx in &report.indexes {
+            table.push_row([
+                idx.name.clone(),
+                format!("{:.2}", idx.loss_ratio()),
+                format!("{:.2}", idx.cost_ratio()),
+                format!("{:.2}", idx.memory_ratio()),
+                idx.all_members_found.to_string(),
+            ]);
+        }
+        table.print();
+        table.write_csv().expect("write csv");
+        println!();
+
+        // Invariants the scenario matrix must uphold: availability attacks
+        // never break correctness, and the learned range index suffers
+        // while the structural baseline shrugs.
+        for idx in &report.indexes {
+            assert!(
+                idx.all_members_found,
+                "{} lost a member under poisoning",
+                idx.name
+            );
+        }
+        let rmi = report.index("rmi").expect("rmi in fleet");
+        let btree = report.index("btree").expect("btree in fleet");
+        assert!(
+            rmi.loss_ratio() > 1.0,
+            "[{label}] poisoning should inflate RMI loss, got {:.2}",
+            rmi.loss_ratio()
+        );
+        assert!(
+            (btree.cost_ratio() - 1.0).abs() < 0.05,
+            "[{label}] the B+-tree baseline should be unaffected, got {:.2}",
+            btree.cost_ratio()
+        );
+    }
+    println!("pipeline matrix complete.");
+}

@@ -8,7 +8,7 @@
 use crate::{boxplot_cells, BOXPLOT_HEADERS};
 use lis_core::keys::KeySet;
 use lis_core::stats::BoxplotSummary;
-use lis_poison::{greedy_poison, rmi_attack, PoisonBudget, RmiAttackConfig};
+use lis_poison::{rmi_attack, Attack, GreedyCdfAttack, PoisonBudget, RmiAttackConfig};
 use lis_workloads::{
     domain_for_density, lognormal_keys, normal_keys, trial_rng, uniform_keys, ResultTable,
     DEFAULT_SEED,
@@ -79,7 +79,13 @@ impl Default for RegressionGrid {
 /// grid and returns the boxplot table: one row per
 /// `(keys, density, poison%)` cell.
 pub fn regression_grid(name: &str, dist: KeyDistribution, grid: &RegressionGrid) -> ResultTable {
-    let mut headers: Vec<&str> = vec!["distribution", "keys", "density", "key_domain", "poison_pct"];
+    let mut headers: Vec<&str> = vec![
+        "distribution",
+        "keys",
+        "density",
+        "key_domain",
+        "poison_pct",
+    ];
     headers.extend(BOXPLOT_HEADERS);
     let mut table = ResultTable::new(name, &headers);
 
@@ -90,9 +96,10 @@ pub fn regression_grid(name: &str, dist: KeyDistribution, grid: &RegressionGrid)
                 let mut ratios = Vec::with_capacity(grid.trials);
                 for trial in 0..grid.trials {
                     let ks = dist.sample(grid.seed, trial as u64, n, density);
-                    let budget = PoisonBudget::percentage(pct, ks.len()).expect("legal pct");
-                    let plan = greedy_poison(&ks, budget).expect("attack");
-                    ratios.push(plan.ratio_loss());
+                    let attack = GreedyCdfAttack {
+                        budget: PoisonBudget::percentage(pct, ks.len()).expect("legal pct"),
+                    };
+                    ratios.push(attack.run(&ks).expect("attack").ratio_loss());
                 }
                 let summary = BoxplotSummary::from_samples(&ratios).expect("non-empty");
                 let mut row = vec![
@@ -180,7 +187,15 @@ pub fn push_rmi_row(table: &mut ResultTable, cell: &RmiCell, result: &RmiCellRes
 
 /// Standard headers matching [`push_rmi_row`].
 pub fn rmi_table_headers() -> Vec<&'static str> {
-    let mut h = vec!["dataset", "keys", "model_size", "num_models", "key_domain", "poison_pct", "alpha"];
+    let mut h = vec![
+        "dataset",
+        "keys",
+        "model_size",
+        "num_models",
+        "key_domain",
+        "poison_pct",
+        "alpha",
+    ];
     h.extend(BOXPLOT_HEADERS);
     h.push("rmi_ratio");
     h.push("max_model_ratio");
@@ -194,8 +209,11 @@ mod tests {
 
     #[test]
     fn distributions_sample_requested_size() {
-        for dist in [KeyDistribution::Uniform, KeyDistribution::Normal, KeyDistribution::LogNormal]
-        {
+        for dist in [
+            KeyDistribution::Uniform,
+            KeyDistribution::Normal,
+            KeyDistribution::LogNormal,
+        ] {
             let ks = dist.sample(1, 0, 500, 0.2);
             assert_eq!(ks.len(), 500, "{}", dist.label());
         }

@@ -39,7 +39,11 @@ impl Scale {
     /// Reads `LIS_SCALE` (`small` / `medium` / `paper`), defaulting to
     /// [`Scale::Small`]. Unknown values fall back to `small` with a notice.
     pub fn from_env() -> Self {
-        match std::env::var("LIS_SCALE").unwrap_or_default().to_lowercase().as_str() {
+        match std::env::var("LIS_SCALE")
+            .unwrap_or_default()
+            .to_lowercase()
+            .as_str()
+        {
             "paper" => Scale::Paper,
             "medium" => Scale::Medium,
             "small" | "" => Scale::Small,

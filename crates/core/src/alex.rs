@@ -19,6 +19,7 @@
 //! exposed so the `ablation_update_channel` bench can price the attack.
 
 use crate::error::{LisError, Result};
+use crate::index::{LearnedIndex, Lookup};
 use crate::keys::{Key, KeySet};
 
 /// Configuration of the updatable index.
@@ -34,16 +35,23 @@ pub struct AlexConfig {
 
 impl Default for AlexConfig {
     fn default() -> Self {
-        Self { leaf_capacity: 256, fill_low: 0.5, fill_high: 0.8 }
+        Self {
+            leaf_capacity: 256,
+            fill_low: 0.5,
+            fill_high: 0.8,
+        }
     }
 }
 
-/// Mutable cost counters, cumulative over the index lifetime.
+/// Write-side cost counters, cumulative over the index lifetime.
+///
+/// Lookups are pure reads (`&self`) and report their probe cost on each
+/// returned [`Lookup`] instead of mutating shared counters — the read and
+/// write paths are deliberately split so read-side stats never require
+/// `&mut self`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AlexStats {
-    /// Slots probed during lookups.
-    pub lookup_probes: u64,
-    /// Slots probed during inserts (placement search).
+    /// Slots probed during inserts (duplicate check + placement search).
     pub insert_probes: u64,
     /// Elements shifted to open a gap.
     pub shifts: u64,
@@ -78,7 +86,10 @@ impl LeafModel {
             .filter_map(|(i, k)| k.map(|k| (k as f64, i as f64)))
             .collect();
         if pts.len() < 2 {
-            return Self { w: 0.0, b: pts.first().map(|p| p.1).unwrap_or(0.0) };
+            return Self {
+                w: 0.0,
+                b: pts.first().map(|p| p.1).unwrap_or(0.0),
+            };
         }
         let n = pts.len() as f64;
         let mx = pts.iter().map(|p| p.0).sum::<f64>() / n;
@@ -93,7 +104,9 @@ impl LeafModel {
     }
 
     fn predict(&self, key: Key, capacity: usize) -> usize {
-        (self.w * key as f64 + self.b).round().clamp(0.0, (capacity - 1) as f64) as usize
+        (self.w * key as f64 + self.b)
+            .round()
+            .clamp(0.0, (capacity - 1) as f64) as usize
     }
 }
 
@@ -115,7 +128,9 @@ impl AlexIndex {
             return Err(LisError::Invariant("leaf capacity must be ≥ 4".into()));
         }
         if !(0.0 < cfg.fill_low && cfg.fill_low < cfg.fill_high && cfg.fill_high <= 1.0) {
-            return Err(LisError::Invariant("need 0 < fill_low < fill_high ≤ 1".into()));
+            return Err(LisError::Invariant(
+                "need 0 < fill_low < fill_high ≤ 1".into(),
+            ));
         }
         let per_leaf = ((cfg.leaf_capacity as f64 * cfg.fill_low) as usize).max(1);
         let mut leaves = Vec::new();
@@ -124,7 +139,13 @@ impl AlexIndex {
             boundaries.push(chunk[0]);
             leaves.push(Leaf::from_sorted(chunk, cfg.leaf_capacity));
         }
-        Ok(Self { cfg, boundaries, leaves, stats: AlexStats::default(), len: ks.len() })
+        Ok(Self {
+            cfg,
+            boundaries,
+            leaves,
+            stats: AlexStats::default(),
+            len: ks.len(),
+        })
     }
 
     /// Number of stored keys.
@@ -160,14 +181,16 @@ impl AlexIndex {
         }
     }
 
-    /// Looks up `key`; returns whether it is present. Probe cost is added
-    /// to the stats (interior mutability avoided: `&mut self`).
-    pub fn contains(&mut self, key: Key) -> bool {
-        let leaf_idx = self.route(key);
-        let leaf = &self.leaves[leaf_idx];
+    /// Looks up `key`, reporting membership and the slot-probe cost.
+    pub fn lookup(&self, key: Key) -> Lookup {
+        let leaf = &self.leaves[self.route(key)];
         let (found, probes) = leaf.find(key);
-        self.stats.lookup_probes += probes;
-        found
+        Lookup::membership(found, probes as usize)
+    }
+
+    /// Whether `key` is present (pure read).
+    pub fn contains(&self, key: Key) -> bool {
+        self.lookup(key).found
     }
 
     /// Inserts `key`; errors on duplicates.
@@ -176,7 +199,7 @@ impl AlexIndex {
         {
             let leaf = &mut self.leaves[leaf_idx];
             let (found, probes) = leaf.find(key);
-            self.stats.lookup_probes += probes;
+            self.stats.insert_probes += probes;
             if found {
                 return Err(LisError::DuplicateKey(key));
             }
@@ -190,8 +213,7 @@ impl AlexIndex {
             self.boundaries[leaf_idx] = key;
         }
         // Split when over the fill bound.
-        let occupancy =
-            self.leaves[leaf_idx].len as f64 / self.cfg.leaf_capacity as f64;
+        let occupancy = self.leaves[leaf_idx].len as f64 / self.cfg.leaf_capacity as f64;
         if occupancy > self.cfg.fill_high {
             self.split(leaf_idx);
         }
@@ -216,13 +238,44 @@ impl AlexIndex {
         self.leaves.iter().flat_map(|l| l.occupied()).collect()
     }
 
-    /// Mean lookup probes over the given keys (resets nothing).
-    pub fn mean_lookup_probes(&mut self, keys: &[Key]) -> f64 {
-        let before = self.stats.lookup_probes;
-        for &k in keys {
-            self.contains(k);
-        }
-        (self.stats.lookup_probes - before) as f64 / keys.len().max(1) as f64
+    /// Mean lookup probes over the given keys (a pure read: per-call costs
+    /// are summed from the returned [`Lookup`]s, not from shared counters).
+    pub fn mean_lookup_probes(&self, keys: &[Key]) -> f64 {
+        let total: usize = keys.iter().map(|&k| self.lookup(k).cost).sum();
+        total as f64 / keys.len().max(1) as f64
+    }
+}
+
+impl LearnedIndex for AlexIndex {
+    type Config = AlexConfig;
+
+    fn build(ks: &KeySet, cfg: &Self::Config) -> Result<Self> {
+        AlexIndex::build(ks, *cfg)
+    }
+
+    fn lookup(&self, key: Key) -> Lookup {
+        AlexIndex::lookup(self, key)
+    }
+
+    /// The gapped-array leaves track no regression loss; zero by definition.
+    fn loss(&self) -> f64 {
+        0.0
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.boundaries.len() * std::mem::size_of::<Key>()
+            + self
+                .leaves
+                .iter()
+                .map(|l| {
+                    std::mem::size_of::<Leaf>() + l.slots.len() * std::mem::size_of::<Option<Key>>()
+                })
+                .sum::<usize>()
+    }
+
+    fn len(&self) -> usize {
+        self.len
     }
 }
 
@@ -238,7 +291,11 @@ impl Leaf {
             slots[slot] = Some(k);
         }
         let model = LeafModel::fit(&slots);
-        Self { slots, len: n, model }
+        Self {
+            slots,
+            len: n,
+            model,
+        }
     }
 
     /// Occupied keys in order.
@@ -370,11 +427,21 @@ mod tests {
     #[test]
     fn build_validates_config() {
         let ks = uniform(100, 3);
-        assert!(AlexIndex::build(&ks, AlexConfig { leaf_capacity: 2, ..Default::default() })
-            .is_err());
         assert!(AlexIndex::build(
             &ks,
-            AlexConfig { fill_low: 0.9, fill_high: 0.5, ..Default::default() }
+            AlexConfig {
+                leaf_capacity: 2,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(AlexIndex::build(
+            &ks,
+            AlexConfig {
+                fill_low: 0.9,
+                fill_high: 0.5,
+                ..Default::default()
+            }
         )
         .is_err());
     }
@@ -382,7 +449,7 @@ mod tests {
     #[test]
     fn build_and_find_all() {
         let ks = uniform(1_000, 7);
-        let mut idx = AlexIndex::build(&ks, AlexConfig::default()).unwrap();
+        let idx = AlexIndex::build(&ks, AlexConfig::default()).unwrap();
         for &k in ks.keys() {
             assert!(idx.contains(k), "key {k}");
         }
@@ -416,7 +483,11 @@ mod tests {
     #[test]
     fn heavy_inserts_trigger_splits() {
         let ks = uniform(500, 100);
-        let cfg = AlexConfig { leaf_capacity: 64, fill_low: 0.5, fill_high: 0.8 };
+        let cfg = AlexConfig {
+            leaf_capacity: 64,
+            fill_low: 0.5,
+            fill_high: 0.8,
+        };
         let mut idx = AlexIndex::build(&ks, cfg).unwrap();
         let leaves_before = idx.num_leaves();
         // Hammer one region with inserts (the update-channel attack shape).
@@ -468,16 +539,33 @@ mod tests {
     fn stats_accumulate_and_reset() {
         let ks = uniform(100, 5);
         let mut idx = AlexIndex::build(&ks, AlexConfig::default()).unwrap();
-        idx.contains(1);
-        assert!(idx.stats().lookup_probes > 0);
+        idx.insert(2).unwrap();
+        assert!(idx.stats().insert_probes > 0);
         idx.reset_stats();
         assert_eq!(idx.stats(), AlexStats::default());
     }
 
     #[test]
+    fn lookups_are_pure_reads() {
+        let ks = uniform(200, 9);
+        let idx = AlexIndex::build(&ks, AlexConfig::default()).unwrap();
+        let before = idx.stats();
+        for &k in ks.keys() {
+            let hit = idx.lookup(k);
+            assert!(hit.found);
+            assert!(hit.cost > 0, "every lookup probes at least one slot");
+        }
+        assert_eq!(
+            idx.stats(),
+            before,
+            "read path must not touch write-side counters"
+        );
+    }
+
+    #[test]
     fn mean_lookup_probes_reflects_model_quality() {
         let ks = uniform(1_000, 11);
-        let mut idx = AlexIndex::build(&ks, AlexConfig::default()).unwrap();
+        let idx = AlexIndex::build(&ks, AlexConfig::default()).unwrap();
         let probes = idx.mean_lookup_probes(ks.keys());
         // Near-linear data: the leaf models place keys accurately.
         assert!(probes < 8.0, "mean probes {probes}");

@@ -35,15 +35,26 @@ impl BloomFilter {
     /// false-positive rate (standard `m = −n·ln p / ln²2`, `k = m/n·ln 2`).
     pub fn with_rate(expected: usize, fp_rate: f64) -> Result<Self> {
         if !(0.0 < fp_rate && fp_rate < 1.0) {
-            return Err(LisError::InvalidBudget(format!("fp rate {fp_rate} outside (0,1)")));
+            return Err(LisError::InvalidBudget(format!(
+                "fp rate {fp_rate} outside (0,1)"
+            )));
         }
         if expected == 0 {
             return Err(LisError::EmptyKeySet);
         }
         let ln2 = std::f64::consts::LN_2;
-        let m = (-(expected as f64) * fp_rate.ln() / (ln2 * ln2)).ceil().max(64.0) as usize;
-        let k = ((m as f64 / expected as f64) * ln2).round().clamp(1.0, 16.0) as u32;
-        Ok(Self { bits: vec![0; m.div_ceil(64)], num_bits: m, num_hashes: k, len: 0 })
+        let m = (-(expected as f64) * fp_rate.ln() / (ln2 * ln2))
+            .ceil()
+            .max(64.0) as usize;
+        let k = ((m as f64 / expected as f64) * ln2)
+            .round()
+            .clamp(1.0, 16.0) as u32;
+        Ok(Self {
+            bits: vec![0; m.div_ceil(64)],
+            num_bits: m,
+            num_hashes: k,
+            len: 0,
+        })
     }
 
     fn positions(&self, key: Key) -> impl Iterator<Item = usize> + '_ {
@@ -66,7 +77,8 @@ impl BloomFilter {
     /// Whether the key *may* be present (false positives possible, false
     /// negatives impossible).
     pub fn may_contain(&self, key: Key) -> bool {
-        self.positions(key).all(|p| self.bits[p / 64] & (1u64 << (p % 64)) != 0)
+        self.positions(key)
+            .all(|p| self.bits[p / 64] & (1u64 << (p % 64)) != 0)
     }
 
     /// Number of inserted keys.
@@ -143,7 +155,12 @@ impl LearnedBloom {
                 backup.insert(k);
             }
         }
-        Ok(Self { model, keys, window: capped, backup })
+        Ok(Self {
+            model,
+            keys,
+            window: capped,
+            backup,
+        })
     }
 
     /// The acceptance window half-width — poisoning inflates this.

@@ -56,7 +56,12 @@ impl CubicModel {
             row[4] = xr_sums[i];
         }
         let coef = solve4(&mut a)?;
-        Ok(Self { coef, off, scale, n: ks.len() })
+        Ok(Self {
+            coef,
+            off,
+            scale,
+            n: ks.len(),
+        })
     }
 
     /// Predicted fractional rank for `key`.
@@ -74,7 +79,10 @@ impl CubicModel {
     /// MSE of the fitted cubic on the CDF of `ks`.
     pub fn mse_on(&self, ks: &KeySet) -> f64 {
         let n = ks.len() as f64;
-        ks.cdf_pairs().map(|(k, r)| (self.predict(k) - r as f64).powi(2)).sum::<f64>() / n
+        ks.cdf_pairs()
+            .map(|(k, r)| (self.predict(k) - r as f64).powi(2))
+            .sum::<f64>()
+            / n
     }
 }
 
@@ -90,7 +98,9 @@ fn solve4(a: &mut [[f64; 5]; 4]) -> Result<[f64; 4]> {
             }
         }
         if a[piv][col].abs() < 1e-12 {
-            return Err(LisError::Invariant("singular normal equations in cubic fit".into()));
+            return Err(LisError::Invariant(
+                "singular normal equations in cubic fit".into(),
+            ));
         }
         a.swap(col, piv);
         // Eliminate below.
@@ -120,14 +130,20 @@ mod tests {
     #[test]
     fn requires_four_points() {
         let ks = KeySet::from_keys(vec![1, 2, 3]).unwrap();
-        assert!(matches!(CubicModel::fit(&ks), Err(LisError::DegenerateRegression { n: 3 })));
+        assert!(matches!(
+            CubicModel::fit(&ks),
+            Err(LisError::DegenerateRegression { n: 3 })
+        ));
     }
 
     #[test]
     fn exact_on_linear_cdf() {
         let ks = KeySet::from_keys((0..50u64).map(|i| i * 4).collect()).unwrap();
         let m = CubicModel::fit(&ks).unwrap();
-        assert!(m.mse_on(&ks) < 1e-6, "cubic must reproduce a linear CDF exactly");
+        assert!(
+            m.mse_on(&ks) < 1e-6,
+            "cubic must reproduce a linear CDF exactly"
+        );
     }
 
     #[test]
@@ -149,8 +165,12 @@ mod tests {
     #[test]
     fn beats_linear_on_lognormal_like_data() {
         // Exponentially spaced keys: heavy skew.
-        let ks = KeySet::from_keys((0..60u64).map(|i| (1.2f64.powi(i as i32) * 10.0) as u64).collect())
-            .unwrap();
+        let ks = KeySet::from_keys(
+            (0..60u64)
+                .map(|i| (1.2f64.powi(i as i32) * 10.0) as u64)
+                .collect(),
+        )
+        .unwrap();
         let cubic = CubicModel::fit(&ks).unwrap();
         let line = crate::linreg::LinearModel::fit(&ks).unwrap();
         assert!(cubic.mse_on(&ks) <= line.mse + 1e-9);

@@ -17,9 +17,10 @@
 //! poisoning it end-to-end is future work mirrored from the paper's own.
 
 use crate::error::{LisError, Result};
+use crate::index::{LearnedIndex, Lookup};
 use crate::keys::{Key, KeySet};
 use crate::linreg::LinearModel;
-use crate::search::{exponential_search, SearchResult};
+use crate::search::exponential_search;
 
 /// Configuration: models per stage, root first. The root stage must have
 /// exactly one model; the last stage's models are the leaves.
@@ -32,12 +33,16 @@ pub struct DeepRmiConfig {
 impl DeepRmiConfig {
     /// A two-stage config matching [`crate::rmi::Rmi`]'s shape.
     pub fn two_stage(leaves: usize) -> Self {
-        Self { stage_widths: vec![1, leaves] }
+        Self {
+            stage_widths: vec![1, leaves],
+        }
     }
 
     /// A three-stage config with a geometric fanout.
     pub fn three_stage(mid: usize, leaves: usize) -> Self {
-        Self { stage_widths: vec![1, mid, leaves] }
+        Self {
+            stage_widths: vec![1, mid, leaves],
+        }
     }
 }
 
@@ -126,7 +131,11 @@ impl DeepRmi {
             leaf_errors[leaf] = leaf_errors[leaf].max(err);
         }
 
-        Ok(Self { stages, keys: ks.keys().to_vec(), leaf_errors })
+        Ok(Self {
+            stages,
+            keys: ks.keys().to_vec(),
+            leaf_errors,
+        })
     }
 
     /// Number of stages.
@@ -170,8 +179,50 @@ impl DeepRmi {
     }
 
     /// Full lookup with last-mile exponential search.
-    pub fn lookup(&self, key: Key) -> SearchResult {
-        exponential_search(&self.keys, key, self.predict_pos(key))
+    pub fn lookup(&self, key: Key) -> Lookup {
+        exponential_search(&self.keys, key, self.predict_pos(key)).into()
+    }
+
+    /// Mean MSE over the trained leaf models (untrained leaves excluded) —
+    /// the multi-stage analogue of [`crate::rmi::Rmi::rmi_loss`].
+    pub fn leaf_loss(&self) -> f64 {
+        let leaves = self.stages.last().expect("built index has stages");
+        let (sum, count) = leaves
+            .iter()
+            .filter_map(|m| m.model.as_ref().map(|m| m.mse))
+            .fold((0.0, 0usize), |(s, c), mse| (s + mse, c + 1));
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
+}
+
+impl LearnedIndex for DeepRmi {
+    type Config = DeepRmiConfig;
+
+    fn build(ks: &KeySet, cfg: &Self::Config) -> Result<Self> {
+        DeepRmi::build(ks, cfg)
+    }
+
+    fn lookup(&self, key: Key) -> Lookup {
+        DeepRmi::lookup(self, key)
+    }
+
+    fn loss(&self) -> f64 {
+        self.leaf_loss()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.num_models() * std::mem::size_of::<StageModel>()
+            + self.keys.len() * std::mem::size_of::<Key>()
+            + self.leaf_errors.len() * std::mem::size_of::<usize>()
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
     }
 }
 
@@ -196,9 +247,27 @@ mod tests {
     #[test]
     fn validates_config() {
         let ks = uniform(100, 3);
-        assert!(DeepRmi::build(&ks, &DeepRmiConfig { stage_widths: vec![] }).is_err());
-        assert!(DeepRmi::build(&ks, &DeepRmiConfig { stage_widths: vec![2, 10] }).is_err());
-        assert!(DeepRmi::build(&ks, &DeepRmiConfig { stage_widths: vec![1, 0] }).is_err());
+        assert!(DeepRmi::build(
+            &ks,
+            &DeepRmiConfig {
+                stage_widths: vec![]
+            }
+        )
+        .is_err());
+        assert!(DeepRmi::build(
+            &ks,
+            &DeepRmiConfig {
+                stage_widths: vec![2, 10]
+            }
+        )
+        .is_err());
+        assert!(DeepRmi::build(
+            &ks,
+            &DeepRmiConfig {
+                stage_widths: vec![1, 0]
+            }
+        )
+        .is_err());
     }
 
     #[test]

@@ -52,6 +52,13 @@ pub enum LisError {
     InvalidNnConfig(String),
     /// Record store lookup for a missing key.
     RecordNotFound(Key),
+    /// No index registered under the requested name.
+    UnknownIndex {
+        /// The name that failed to resolve.
+        name: String,
+        /// Comma-separated list of registered names.
+        available: String,
+    },
     /// Generic invariant breach with context.
     Invariant(String),
 }
@@ -61,7 +68,10 @@ impl fmt::Display for LisError {
         match self {
             Self::EmptyKeySet => write!(f, "keyset must not be empty"),
             Self::DegenerateRegression { n } => {
-                write!(f, "linear regression needs at least 2 distinct keys, got {n}")
+                write!(
+                    f,
+                    "linear regression needs at least 2 distinct keys, got {n}"
+                )
             }
             Self::InvalidDomain { min, max } => {
                 write!(f, "invalid key domain: min {min} > max {max}")
@@ -81,6 +91,9 @@ impl fmt::Display for LisError {
             Self::InvalidRmiConfig(msg) => write!(f, "invalid RMI configuration: {msg}"),
             Self::InvalidNnConfig(msg) => write!(f, "invalid NN configuration: {msg}"),
             Self::RecordNotFound(k) => write!(f, "record for key {k} not found"),
+            Self::UnknownIndex { name, available } => {
+                write!(f, "unknown index '{name}' (available: {available})")
+            }
             Self::Invariant(msg) => write!(f, "invariant violated: {msg}"),
         }
     }
@@ -94,7 +107,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = LisError::KeyOutOfDomain { key: 42, domain: KeyDomain { min: 0, max: 10 } };
+        let e = LisError::KeyOutOfDomain {
+            key: 42,
+            domain: KeyDomain { min: 0, max: 10 },
+        };
         let s = e.to_string();
         assert!(s.contains("42") && s.contains("[0, 10]"));
     }

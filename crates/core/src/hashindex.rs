@@ -14,8 +14,29 @@
 //! and a multiplicative-random baseline hash.
 
 use crate::error::{LisError, Result};
+use crate::index::{LearnedIndex, Lookup};
 use crate::keys::{Key, KeySet};
 use crate::linreg::LinearModel;
+
+/// Build configuration for [`HashIndex`] under the [`LearnedIndex`] API:
+/// the table is sized relative to the keyset (`slots = ⌈n · slots_per_key⌉`)
+/// so one config serves any workload scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HashIndexConfig {
+    /// Buckets per stored key (the inverse load factor), > 0.
+    pub slots_per_key: f64,
+    /// Slot-assignment policy.
+    pub kind: HashKind,
+}
+
+impl Default for HashIndexConfig {
+    fn default() -> Self {
+        Self {
+            slots_per_key: 1.25,
+            kind: HashKind::Learned,
+        }
+    }
+}
 
 /// Slot-assignment policy for [`HashIndex`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,13 +65,20 @@ impl HashIndex {
     /// legitimate keys.
     pub fn build(ks: &KeySet, slots: usize, kind: HashKind) -> Result<Self> {
         if slots == 0 {
-            return Err(LisError::Invariant("hash table needs at least one slot".into()));
+            return Err(LisError::Invariant(
+                "hash table needs at least one slot".into(),
+            ));
         }
         let model = match kind {
             HashKind::Learned => Some(LinearModel::fit(ks)?),
             HashKind::Random => None,
         };
-        let mut table = Self { kind, model, buckets: vec![Vec::new(); slots], len: 0 };
+        let mut table = Self {
+            kind,
+            model,
+            buckets: vec![Vec::new(); slots],
+            len: 0,
+        };
         for &k in ks.keys() {
             let slot = table.slot(k);
             table.buckets[slot].push(k);
@@ -66,7 +94,8 @@ impl HashIndex {
             HashKind::Learned => {
                 let model = self.model.as_ref().expect("learned table has a model");
                 // Normalized predicted rank ∈ [0, 1) scaled to the table.
-                let frac = ((model.predict(key) - 1.0) / model.n as f64).clamp(0.0, 1.0 - f64::EPSILON);
+                let frac =
+                    ((model.predict(key) - 1.0) / model.n as f64).clamp(0.0, 1.0 - f64::EPSILON);
                 (frac * m as f64) as usize
             }
             HashKind::Random => {
@@ -96,22 +125,25 @@ impl HashIndex {
         self.buckets.len()
     }
 
-    /// Looks up `key`, returning whether it is present and the number of
-    /// chain elements inspected.
-    pub fn lookup(&self, key: Key) -> (bool, usize) {
+    /// Looks up `key`; `cost` counts the chain elements inspected.
+    pub fn lookup(&self, key: Key) -> Lookup {
         let bucket = &self.buckets[self.slot(key)];
         for (i, &k) in bucket.iter().enumerate() {
             if k == key {
-                return (true, i + 1);
+                return Lookup::membership(true, i + 1);
             }
         }
-        (false, bucket.len())
+        Lookup::membership(false, bucket.len())
     }
 
     /// Mean chain length over occupied buckets.
     pub fn mean_chain(&self) -> f64 {
-        let occupied: Vec<usize> =
-            self.buckets.iter().map(Vec::len).filter(|&l| l > 0).collect();
+        let occupied: Vec<usize> = self
+            .buckets
+            .iter()
+            .map(Vec::len)
+            .filter(|&l| l > 0)
+            .collect();
         if occupied.is_empty() {
             return 0.0;
         }
@@ -129,9 +161,43 @@ impl HashIndex {
         if self.len == 0 {
             return 0.0;
         }
-        let total: f64 =
-            self.buckets.iter().map(|b| b.len() as f64 * (b.len() as f64 + 1.0) / 2.0).sum();
+        let total: f64 = self
+            .buckets
+            .iter()
+            .map(|b| b.len() as f64 * (b.len() as f64 + 1.0) / 2.0)
+            .sum();
         total / self.len as f64
+    }
+}
+
+impl LearnedIndex for HashIndex {
+    type Config = HashIndexConfig;
+
+    fn build(ks: &KeySet, cfg: &Self::Config) -> Result<Self> {
+        if cfg.slots_per_key <= 0.0 || cfg.slots_per_key.is_nan() {
+            return Err(LisError::Invariant("hash slots_per_key must be > 0".into()));
+        }
+        let slots = ((ks.len() as f64 * cfg.slots_per_key).ceil() as usize).max(1);
+        HashIndex::build(ks, slots, cfg.kind)
+    }
+
+    fn lookup(&self, key: Key) -> Lookup {
+        HashIndex::lookup(self, key)
+    }
+
+    /// MSE of the learned CDF model; `0.0` for the random-hash baseline.
+    fn loss(&self) -> f64 {
+        self.model.as_ref().map(|m| m.mse).unwrap_or(0.0)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.buckets.len() * std::mem::size_of::<Vec<Key>>()
+            + self.len * std::mem::size_of::<Key>()
+    }
+
+    fn len(&self) -> usize {
+        self.len
     }
 }
 
@@ -155,9 +221,9 @@ mod tests {
         for kind in [HashKind::Learned, HashKind::Random] {
             let t = HashIndex::build(&ks, 2_000, kind).unwrap();
             for &k in ks.keys() {
-                assert!(t.lookup(k).0, "{kind:?} key {k}");
+                assert!(t.lookup(k).found, "{kind:?} key {k}");
             }
-            assert!(!t.lookup(3).0);
+            assert!(!t.lookup(3).found);
             assert_eq!(t.len(), 1_000);
         }
     }
@@ -186,7 +252,10 @@ mod tests {
         let skewed = KeySet::from_keys((1..=5_000u64).map(|i| i * i).collect()).unwrap();
         let b = HashIndex::build(&skewed, 5_000, HashKind::Random).unwrap();
         let diff = (a.expected_probes() - b.expected_probes()).abs();
-        assert!(diff < 0.2, "random hash should not care about the CDF: {diff}");
+        assert!(
+            diff < 0.2,
+            "random hash should not care about the CDF: {diff}"
+        );
     }
 
     #[test]

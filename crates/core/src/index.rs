@@ -1,0 +1,518 @@
+//! The unified index API: one trait, one lookup result, one registry.
+//!
+//! The paper mounts the *same* poisoning campaign against many victim
+//! structures — regression CDF models, two-stage and multi-stage RMIs,
+//! updatable ALEX-style indexes, error-bounded PLA indexes, learned hash
+//! tables, and the B+-tree baseline. Composing *any* workload × attack ×
+//! defense × victim requires every victim to speak the same language:
+//!
+//! * [`Lookup`] — the shared query result (position, membership, cost);
+//! * [`LearnedIndex`] — the typed build/query trait every structure
+//!   implements;
+//! * [`DynIndex`] / [`ErasedIndex`] — the object-safe form, so harnesses
+//!   can hold a heterogeneous fleet of victims;
+//! * [`IndexRegistry`] — string-keyed construction (`"rmi"`, `"btree"`,
+//!   `"pla"`, ...) for CLIs and experiment configs.
+//!
+//! ## Example
+//!
+//! ```
+//! use lis_core::index::{IndexRegistry, LearnedIndex};
+//! use lis_core::keys::KeySet;
+//!
+//! let ks = KeySet::from_keys((0..500u64).map(|i| i * 3).collect()).unwrap();
+//! let registry = IndexRegistry::with_defaults();
+//! for name in registry.names() {
+//!     let index = registry.build(name, &ks).unwrap();
+//!     let hit = index.lookup(ks.keys()[123]);
+//!     assert!(hit.found, "{name} lost a member key");
+//! }
+//! ```
+
+use crate::error::{LisError, Result};
+use crate::keys::{Key, KeySet};
+use crate::search::SearchResult;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The outcome of a single index lookup, shared by every structure in the
+/// workspace (replacing the former per-structure result types).
+///
+/// Positional indexes (RMI, PLA, B+-tree) report the key's global position
+/// in the sorted array; membership-only structures (ALEX leaves, hash
+/// tables) report `found` with `pos = None`. `cost` is the structure's
+/// native unit of query work — key comparisons for search-based indexes,
+/// slot or chain probes for the others — the quantity poisoning inflates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lookup {
+    /// Global 0-based position of the key, when the structure tracks one.
+    pub pos: Option<usize>,
+    /// Whether the key is present.
+    pub found: bool,
+    /// Units of work spent answering (comparisons or probes).
+    pub cost: usize,
+}
+
+impl Lookup {
+    /// A positional result: `found` follows from `pos`.
+    pub fn position(pos: Option<usize>, cost: usize) -> Self {
+        Self {
+            pos,
+            found: pos.is_some(),
+            cost,
+        }
+    }
+
+    /// A membership-only result (no position tracked).
+    pub fn membership(found: bool, cost: usize) -> Self {
+        Self {
+            pos: None,
+            found,
+            cost,
+        }
+    }
+}
+
+impl From<SearchResult> for Lookup {
+    fn from(r: SearchResult) -> Self {
+        Self::position(r.pos, r.comparisons)
+    }
+}
+
+/// The unified build-and-query interface of every index structure.
+///
+/// `loss` is the structure's training-quality scalar — the MSE of its
+/// fitted model(s) where one exists, `0.0` for purely structural indexes
+/// (B+-tree, ALEX gapped arrays) — i.e. the numerator/denominator of the
+/// paper's Ratio Loss. `memory_bytes` is an estimate of the resident size,
+/// the footprint the PLA attack inflates.
+pub trait LearnedIndex: Sized {
+    /// Build-time configuration.
+    type Config;
+
+    /// Builds the index over a keyset.
+    fn build(ks: &KeySet, cfg: &Self::Config) -> Result<Self>;
+
+    /// Looks up one key.
+    fn lookup(&self, key: Key) -> Lookup;
+
+    /// Looks up a batch of keys.
+    ///
+    /// The default loops over [`LearnedIndex::lookup`]; implementations
+    /// with per-call overhead worth amortizing (and [`DynIndex`], which
+    /// saves a virtual dispatch per key) override or inherit this as the
+    /// hot path for experiment harnesses.
+    fn lookup_batch(&self, keys: &[Key]) -> Vec<Lookup> {
+        let mut out = Vec::with_capacity(keys.len());
+        out.extend(keys.iter().map(|&k| self.lookup(k)));
+        out
+    }
+
+    /// Training loss of the structure's model(s); `0.0` when model-free.
+    fn loss(&self) -> f64;
+
+    /// Estimated resident memory in bytes.
+    fn memory_bytes(&self) -> usize;
+
+    /// Number of indexed keys.
+    fn len(&self) -> usize;
+
+    /// `true` iff no keys are indexed.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Object-safe mirror of [`LearnedIndex`], blanket-implemented for every
+/// implementor, so harnesses can hold `Box<dyn ErasedIndex>` fleets.
+pub trait ErasedIndex: Send + Sync {
+    /// Looks up one key.
+    fn lookup(&self, key: Key) -> Lookup;
+    /// Looks up a batch of keys (one virtual dispatch for the whole batch).
+    fn lookup_batch(&self, keys: &[Key]) -> Vec<Lookup>;
+    /// Training loss of the structure's model(s).
+    fn loss(&self) -> f64;
+    /// Estimated resident memory in bytes.
+    fn memory_bytes(&self) -> usize;
+    /// Number of indexed keys.
+    fn len(&self) -> usize;
+    /// `true` iff no keys are indexed.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T: LearnedIndex + Send + Sync> ErasedIndex for T {
+    fn lookup(&self, key: Key) -> Lookup {
+        LearnedIndex::lookup(self, key)
+    }
+
+    fn lookup_batch(&self, keys: &[Key]) -> Vec<Lookup> {
+        LearnedIndex::lookup_batch(self, keys)
+    }
+
+    fn loss(&self) -> f64 {
+        LearnedIndex::loss(self)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        LearnedIndex::memory_bytes(self)
+    }
+
+    fn len(&self) -> usize {
+        LearnedIndex::len(self)
+    }
+}
+
+/// A named, type-erased index — what [`IndexRegistry::build`] hands out.
+pub struct DynIndex {
+    name: String,
+    inner: Box<dyn ErasedIndex>,
+}
+
+impl DynIndex {
+    /// Wraps a concrete index under a display name.
+    pub fn new(name: impl Into<String>, index: impl ErasedIndex + 'static) -> Self {
+        Self {
+            name: name.into(),
+            inner: Box::new(index),
+        }
+    }
+
+    /// The registry name (or caller-chosen label) of the wrapped index.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Looks up one key.
+    pub fn lookup(&self, key: Key) -> Lookup {
+        self.inner.lookup(key)
+    }
+
+    /// Looks up a batch of keys through a single virtual dispatch.
+    pub fn lookup_batch(&self, keys: &[Key]) -> Vec<Lookup> {
+        self.inner.lookup_batch(keys)
+    }
+
+    /// Training loss of the wrapped index.
+    pub fn loss(&self) -> f64 {
+        self.inner.loss()
+    }
+
+    /// Estimated resident memory in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.inner.memory_bytes()
+    }
+
+    /// Number of indexed keys.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// `true` iff no keys are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.inner.len() == 0
+    }
+}
+
+impl fmt::Debug for DynIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DynIndex")
+            .field("name", &self.name)
+            .field("len", &self.inner.len())
+            .field("loss", &self.inner.loss())
+            .field("memory_bytes", &self.inner.memory_bytes())
+            .finish()
+    }
+}
+
+/// Constructor registered under a name.
+pub type IndexBuilder = Box<dyn Fn(&KeySet) -> Result<DynIndex> + Send + Sync>;
+
+struct RegistryEntry {
+    description: String,
+    builder: IndexBuilder,
+}
+
+/// String-keyed index construction: the bridge from CLI flags and
+/// experiment configs to concrete structures.
+///
+/// [`IndexRegistry::with_defaults`] registers every structure in the
+/// workspace under its canonical name; callers can add their own entries
+/// (custom configs, new structures) with [`IndexRegistry::register`].
+#[derive(Default)]
+pub struct IndexRegistry {
+    entries: BTreeMap<String, RegistryEntry>,
+}
+
+impl IndexRegistry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        Self {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Registers `builder` under `name`, replacing any previous entry.
+    pub fn register<F>(&mut self, name: &str, description: &str, builder: F)
+    where
+        F: Fn(&KeySet) -> Result<DynIndex> + Send + Sync + 'static,
+    {
+        self.entries.insert(
+            name.to_string(),
+            RegistryEntry {
+                description: description.to_string(),
+                builder: Box::new(builder),
+            },
+        );
+    }
+
+    /// Builds the index registered under `name` over `ks`.
+    pub fn build(&self, name: &str, ks: &KeySet) -> Result<DynIndex> {
+        match self.entries.get(name) {
+            Some(entry) => (entry.builder)(ks),
+            None => Err(LisError::UnknownIndex {
+                name: name.to_string(),
+                available: self.names().join(", "),
+            }),
+        }
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.keys().map(String::as_str).collect()
+    }
+
+    /// The description of a registered entry.
+    pub fn description(&self, name: &str) -> Option<&str> {
+        self.entries.get(name).map(|e| e.description.as_str())
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    /// Number of registered entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The workspace's standard victim fleet.
+    ///
+    /// Size-dependent parameters (RMI fanout, hash slots) scale with the
+    /// keyset so one registry serves every workload:
+    ///
+    /// | name          | structure                                       |
+    /// |---------------|-------------------------------------------------|
+    /// | `rmi`         | two-stage RMI, linear root, oracle routing      |
+    /// | `rmi-root`    | two-stage RMI, root-predicted routing           |
+    /// | `deep-rmi`    | three-stage RMI                                 |
+    /// | `btree`       | bulk-loaded B+-tree, fanout 64                  |
+    /// | `alex`        | updatable gapped-array index                    |
+    /// | `pla`         | error-bounded PLA index, ε = 16                 |
+    /// | `hash`        | learned hash table (CDF model as hash)          |
+    /// | `hash-random` | classic hash table baseline                     |
+    pub fn with_defaults() -> Self {
+        use crate::alex::{AlexConfig, AlexIndex};
+        use crate::btree::{BPlusTree, BTreeConfig};
+        use crate::deep_rmi::{DeepRmi, DeepRmiConfig};
+        use crate::hashindex::{HashIndex, HashIndexConfig, HashKind};
+        use crate::pla::{PlaConfig, PlaIndex};
+        use crate::rmi::{Rmi, RmiConfig, RootModelKind, Routing};
+
+        /// Second-stage model count for ~100 keys per model.
+        fn leaves_for(ks: &KeySet) -> usize {
+            (ks.len() / 100).clamp(1, ks.len())
+        }
+
+        let mut reg = Self::empty();
+        reg.register("rmi", "two-stage RMI (linear root, oracle routing)", |ks| {
+            let rmi = Rmi::build(ks, &RmiConfig::linear_root(leaves_for(ks)))?;
+            Ok(DynIndex::new("rmi", rmi))
+        });
+        reg.register(
+            "rmi-root",
+            "two-stage RMI (linear root, root-predicted routing)",
+            |ks| {
+                let cfg = RmiConfig {
+                    num_leaves: leaves_for(ks),
+                    root: RootModelKind::Linear,
+                    routing: Routing::Root,
+                };
+                Ok(DynIndex::new("rmi-root", Rmi::build(ks, &cfg)?))
+            },
+        );
+        reg.register(
+            "deep-rmi",
+            "three-stage RMI (generalized hierarchy)",
+            |ks| {
+                let leaves = leaves_for(ks);
+                let mid = (leaves / 10).max(2);
+                let cfg = DeepRmiConfig::three_stage(mid, leaves.max(4));
+                Ok(DynIndex::new("deep-rmi", DeepRmi::build(ks, &cfg)?))
+            },
+        );
+        reg.register("btree", "bulk-loaded B+-tree baseline (fanout 64)", |ks| {
+            Ok(DynIndex::new(
+                "btree",
+                BPlusTree::build(ks, BTreeConfig::default().fanout)?,
+            ))
+        });
+        reg.register("alex", "updatable adaptive index (gapped arrays)", |ks| {
+            Ok(DynIndex::new(
+                "alex",
+                AlexIndex::build(ks, AlexConfig::default())?,
+            ))
+        });
+        reg.register(
+            "pla",
+            "error-bounded piecewise-linear index (eps = 16)",
+            |ks| {
+                Ok(DynIndex::new(
+                    "pla",
+                    PlaIndex::build(ks, PlaConfig::default().epsilon)?,
+                ))
+            },
+        );
+        reg.register(
+            "hash",
+            "learned hash table (CDF model as hash function)",
+            |ks| {
+                let cfg = HashIndexConfig::default();
+                Ok(DynIndex::new(
+                    "hash",
+                    <HashIndex as LearnedIndex>::build(ks, &cfg)?,
+                ))
+            },
+        );
+        reg.register(
+            "hash-random",
+            "classic hash table baseline (SplitMix64)",
+            |ks| {
+                let cfg = HashIndexConfig {
+                    kind: HashKind::Random,
+                    ..Default::default()
+                };
+                Ok(DynIndex::new(
+                    "hash-random",
+                    <HashIndex as LearnedIndex>::build(ks, &cfg)?,
+                ))
+            },
+        );
+        reg
+    }
+}
+
+impl fmt::Debug for IndexRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IndexRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keyset(n: u64) -> KeySet {
+        KeySet::from_keys((0..n).map(|i| i * 7 + 3).collect()).unwrap()
+    }
+
+    #[test]
+    fn lookup_constructors() {
+        let p = Lookup::position(Some(4), 2);
+        assert!(p.found);
+        let miss = Lookup::position(None, 5);
+        assert!(!miss.found);
+        let m = Lookup::membership(true, 1);
+        assert_eq!(m.pos, None);
+        assert!(m.found);
+    }
+
+    #[test]
+    fn defaults_cover_all_structures() {
+        let reg = IndexRegistry::with_defaults();
+        let names = reg.names();
+        for expected in [
+            "rmi",
+            "rmi-root",
+            "deep-rmi",
+            "btree",
+            "alex",
+            "pla",
+            "hash",
+            "hash-random",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+            assert!(reg.description(expected).is_some());
+        }
+    }
+
+    #[test]
+    fn every_default_index_answers_membership() {
+        let ks = keyset(600);
+        let reg = IndexRegistry::with_defaults();
+        for name in reg.names() {
+            let idx = reg.build(name, &ks).unwrap();
+            assert_eq!(idx.len(), ks.len(), "{name}");
+            assert_eq!(idx.name(), name);
+            for &k in ks.keys().iter().step_by(41) {
+                let hit = idx.lookup(k);
+                assert!(hit.found, "{name} lost key {k}");
+                if let Some(pos) = hit.pos {
+                    assert_eq!(ks.keys()[pos], k, "{name} position wrong");
+                }
+            }
+            assert!(!idx.lookup(1).found, "{name} invented key 1");
+            assert!(idx.memory_bytes() > 0, "{name} reports zero memory");
+        }
+    }
+
+    #[test]
+    fn lookup_batch_matches_single_lookups() {
+        let ks = keyset(400);
+        let reg = IndexRegistry::with_defaults();
+        let probes: Vec<Key> = ks
+            .keys()
+            .iter()
+            .step_by(7)
+            .copied()
+            .chain([1, 2, 10_000])
+            .collect();
+        for name in reg.names() {
+            let idx = reg.build(name, &ks).unwrap();
+            let batch = idx.lookup_batch(&probes);
+            assert_eq!(batch.len(), probes.len());
+            for (&k, &b) in probes.iter().zip(&batch) {
+                assert_eq!(b, idx.lookup(k), "{name} key {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_index_is_a_helpful_error() {
+        let reg = IndexRegistry::with_defaults();
+        let err = reg.build("skiplist", &keyset(10)).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("skiplist") && msg.contains("btree"), "{msg}");
+    }
+
+    #[test]
+    fn custom_registration_overrides() {
+        use crate::btree::BPlusTree;
+        let mut reg = IndexRegistry::empty();
+        reg.register("btree", "tiny fanout", |ks| {
+            Ok(DynIndex::new("btree", BPlusTree::build(ks, 4)?))
+        });
+        assert_eq!(reg.len(), 1);
+        let idx = reg.build("btree", &keyset(100)).unwrap();
+        assert!(idx.lookup(3).found);
+    }
+}

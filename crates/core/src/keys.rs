@@ -101,7 +101,11 @@ impl Gap {
     /// maximised at one of the two endpoints, so these are the only keys the
     /// optimal attack must evaluate.
     pub fn endpoints(&self) -> impl Iterator<Item = Key> {
-        let second = if self.hi != self.lo { Some(self.hi) } else { None };
+        let second = if self.hi != self.lo {
+            Some(self.hi)
+        } else {
+            None
+        };
         std::iter::once(self.lo).chain(second)
     }
 }
@@ -129,7 +133,11 @@ impl KeySet {
         }
         if keys[0] < domain.min || *keys.last().unwrap() > domain.max {
             return Err(LisError::KeyOutOfDomain {
-                key: if keys[0] < domain.min { keys[0] } else { *keys.last().unwrap() },
+                key: if keys[0] < domain.min {
+                    keys[0]
+                } else {
+                    *keys.last().unwrap()
+                },
                 domain,
             });
         }
@@ -150,7 +158,10 @@ impl KeySet {
     ///
     /// Verified with a debug assertion; use [`KeySet::new`] when unsure.
     pub fn from_sorted_unchecked(keys: Vec<Key>, domain: KeyDomain) -> Self {
-        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be strictly sorted");
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "keys must be strictly sorted"
+        );
         debug_assert!(!keys.is_empty());
         Self { keys, domain }
     }
@@ -234,7 +245,11 @@ impl KeySet {
         let mut gaps = Vec::new();
         for (i, w) in self.keys.windows(2).enumerate() {
             if w[1] - w[0] > 1 {
-                gaps.push(Gap { lo: w[0] + 1, hi: w[1] - 1, insert_rank: i + 2 });
+                gaps.push(Gap {
+                    lo: w[0] + 1,
+                    hi: w[1] - 1,
+                    insert_rank: i + 2,
+                });
             }
         }
         gaps
@@ -245,12 +260,20 @@ impl KeySet {
     pub fn gaps_in_domain(&self) -> Vec<Gap> {
         let mut gaps = Vec::new();
         if self.keys[0] > self.domain.min {
-            gaps.push(Gap { lo: self.domain.min, hi: self.keys[0] - 1, insert_rank: 1 });
+            gaps.push(Gap {
+                lo: self.domain.min,
+                hi: self.keys[0] - 1,
+                insert_rank: 1,
+            });
         }
         gaps.extend(self.gaps());
         let last = *self.keys.last().unwrap();
         if last < self.domain.max {
-            gaps.push(Gap { lo: last + 1, hi: self.domain.max, insert_rank: self.keys.len() + 1 });
+            gaps.push(Gap {
+                lo: last + 1,
+                hi: self.domain.max,
+                insert_rank: self.keys.len() + 1,
+            });
         }
         gaps
     }
@@ -271,7 +294,10 @@ impl KeySet {
     /// Inserts `key` in place, keeping sorted order.
     pub fn insert(&mut self, key: Key) -> Result<()> {
         if !self.domain.contains(key) {
-            return Err(LisError::KeyOutOfDomain { key, domain: self.domain });
+            return Err(LisError::KeyOutOfDomain {
+                key,
+                domain: self.domain,
+            });
         }
         match self.keys.binary_search(&key) {
             Ok(_) => Err(LisError::DuplicateKey(key)),
@@ -310,7 +336,10 @@ impl KeySet {
     /// keyset keeps the parent domain restricted to its own key span.
     pub fn partition(&self, parts: usize) -> Result<Vec<KeySet>> {
         if parts == 0 || parts > self.keys.len() {
-            return Err(LisError::InvalidPartition { parts, keys: self.keys.len() });
+            return Err(LisError::InvalidPartition {
+                parts,
+                keys: self.keys.len(),
+            });
         }
         let n = self.keys.len();
         let base = n / parts;
@@ -322,7 +351,10 @@ impl KeySet {
             let slice = &self.keys[start..start + len];
             out.push(KeySet {
                 keys: slice.to_vec(),
-                domain: KeyDomain { min: slice[0], max: *slice.last().unwrap() },
+                domain: KeyDomain {
+                    min: slice[0],
+                    max: *slice.last().unwrap(),
+                },
             });
             start += len;
         }
@@ -416,9 +448,17 @@ mod tests {
 
     #[test]
     fn gap_endpoints() {
-        let g = Gap { lo: 3, hi: 5, insert_rank: 2 };
+        let g = Gap {
+            lo: 3,
+            hi: 5,
+            insert_rank: 2,
+        };
         assert_eq!(g.endpoints().collect::<Vec<_>>(), vec![3, 5]);
-        let single = Gap { lo: 9, hi: 9, insert_rank: 1 };
+        let single = Gap {
+            lo: 9,
+            hi: 9,
+            insert_rank: 1,
+        };
         assert_eq!(single.endpoints().collect::<Vec<_>>(), vec![9]);
     }
 

@@ -15,6 +15,9 @@
 //!   from-scratch MLP);
 //! * [`rmi`] — the two-stage Recursive Model Index with equal-size
 //!   partitions, oracle or root-predicted routing, and last-mile search;
+//! * [`index`] — the unified [`LearnedIndex`] trait, the shared [`Lookup`]
+//!   result, the object-safe [`DynIndex`] wrapper, and the string-keyed
+//!   [`IndexRegistry`] every harness builds victims through;
 //! * [`search`] — exponential/binary local search with comparison counting;
 //! * [`btree`] — a bulk-loaded B+-tree baseline for lookup comparisons;
 //! * [`store`] — the dense sorted record array with logical paging;
@@ -43,6 +46,7 @@ pub mod cubic;
 pub mod deep_rmi;
 pub mod error;
 pub mod hashindex;
+pub mod index;
 pub mod keys;
 pub mod linreg;
 pub mod metrics;
@@ -54,6 +58,7 @@ pub mod stats;
 pub mod store;
 
 pub use error::{LisError, Result};
+pub use index::{DynIndex, ErasedIndex, IndexRegistry, LearnedIndex, Lookup};
 pub use keys::{Gap, Key, KeyDomain, KeySet, Rank};
 pub use linreg::LinearModel;
 pub use rmi::{Rmi, RmiConfig, Routing};

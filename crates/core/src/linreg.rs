@@ -72,7 +72,12 @@ impl LinearModel {
         // b in unshifted coordinates: rank = w·(k − shift) + b_shifted
         //                                  = w·k + (b_shifted − w·shift).
         let b_shifted = m.mean_r() - w * m.mean_x();
-        LinearModel { w, b: b_shifted - w * m.shift, mse, n: m.n }
+        LinearModel {
+            w,
+            b: b_shifted - w * m.shift,
+            mse,
+            n: m.n,
+        }
     }
 
     /// Predicted (fractional) rank for `key`.
@@ -102,13 +107,19 @@ impl LinearModel {
             sum += e * e;
             n += 1;
         }
-        if n == 0 { 0.0 } else { sum / n as f64 }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
     }
 
     /// Largest absolute residual over the training CDF of `ks` — the "last
     /// mile" search radius a learned index must cover to guarantee hits.
     pub fn max_abs_error(&self, ks: &KeySet) -> f64 {
-        ks.cdf_pairs().map(|(k, r)| self.residual(k, r).abs()).fold(0.0, f64::max)
+        ks.cdf_pairs()
+            .map(|(k, r)| self.residual(k, r).abs())
+            .fold(0.0, f64::max)
     }
 }
 
@@ -143,7 +154,11 @@ mod tests {
         let var = pairs.iter().map(|p| (p.0 - mk) * (p.0 - mk)).sum::<f64>() / n;
         let w = cov / var;
         let b = mr - w * mk;
-        let mse = pairs.iter().map(|p| (w * p.0 + b - p.1).powi(2)).sum::<f64>() / n;
+        let mse = pairs
+            .iter()
+            .map(|p| (w * p.0 + b - p.1).powi(2))
+            .sum::<f64>()
+            / n;
         (w, b, mse)
     }
 
@@ -193,8 +208,7 @@ mod tests {
     fn fit_pairs_with_global_ranks_shifts_intercept_only() {
         let ks = KeySet::from_keys(vec![3, 9, 15, 27]).unwrap();
         let local = LinearModel::fit(&ks).unwrap();
-        let global: Vec<(Key, usize)> =
-            ks.cdf_pairs().map(|(k, r)| (k, r + 100)).collect();
+        let global: Vec<(Key, usize)> = ks.cdf_pairs().map(|(k, r)| (k, r + 100)).collect();
         let shifted = LinearModel::fit_pairs(&global).unwrap();
         assert!((local.w - shifted.w).abs() < 1e-9);
         assert!((shifted.b - local.b - 100.0).abs() < 1e-7);
@@ -225,6 +239,10 @@ mod tests {
         let base = 10_u64.pow(9);
         let ks = KeySet::from_keys((0..1000).map(|i| base + i * 13).collect()).unwrap();
         let model = LinearModel::fit(&ks).unwrap();
-        assert!(model.mse < 1e-6, "linear CDF at large offset should fit exactly, mse={}", model.mse);
+        assert!(
+            model.mse < 1e-6,
+            "linear CDF at large offset should fit exactly, mse={}",
+            model.mse
+        );
     }
 }

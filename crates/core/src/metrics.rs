@@ -23,7 +23,10 @@ pub fn ratio_loss(poisoned: f64, clean: f64) -> f64 {
 
 /// Fits linear regressions on both keysets and returns
 /// `(clean_mse, poisoned_mse, ratio)`.
-pub fn regression_ratio_loss(clean: &KeySet, poisoned: &KeySet) -> crate::error::Result<(f64, f64, f64)> {
+pub fn regression_ratio_loss(
+    clean: &KeySet,
+    poisoned: &KeySet,
+) -> crate::error::Result<(f64, f64, f64)> {
     let clean_mse = LinearModel::fit(clean)?.mse;
     let poisoned_mse = LinearModel::fit(poisoned)?.mse;
     Ok((clean_mse, poisoned_mse, ratio_loss(poisoned_mse, clean_mse)))
@@ -74,8 +77,16 @@ pub fn rmi_ratio_report(
     let poisoned_parts = poisoned.partition(num_leaves)?;
     let mut per_model = Vec::with_capacity(num_leaves);
     for (c, p) in clean_parts.iter().zip(&poisoned_parts) {
-        let lc = if c.len() < 2 { 0.0 } else { LinearModel::fit(c)?.mse };
-        let lp = if p.len() < 2 { 0.0 } else { LinearModel::fit(p)?.mse };
+        let lc = if c.len() < 2 {
+            0.0
+        } else {
+            LinearModel::fit(c)?.mse
+        };
+        let lp = if p.len() < 2 {
+            0.0
+        } else {
+            LinearModel::fit(p)?.mse
+        };
         per_model.push(ratio_loss(lp, lc));
     }
     Ok(RmiRatioReport {

@@ -65,7 +65,14 @@ pub struct NnConfig {
 
 impl Default for NnConfig {
     fn default() -> Self {
-        Self { hidden: 16, epochs: 60, batch: 64, lr: 0.05, momentum: 0.9, seed: 0xC0FFEE }
+        Self {
+            hidden: 16,
+            epochs: 60,
+            batch: 64,
+            lr: 0.05,
+            momentum: 0.9,
+            seed: 0xC0FFEE,
+        }
     }
 }
 
@@ -105,9 +112,20 @@ impl NeuralNet {
         let r_off = 1.0;
         let r_scale = (n - 1) as f64;
 
-        let xs: Vec<f64> = ks.keys().iter().map(|&k| (k as f64 - k_off) * k_scale).collect();
-        let ys: Vec<f64> =
-            (0..n).map(|i| if n > 1 { i as f64 / (n - 1) as f64 } else { 0.0 }).collect();
+        let xs: Vec<f64> = ks
+            .keys()
+            .iter()
+            .map(|&k| (k as f64 - k_off) * k_scale)
+            .collect();
+        let ys: Vec<f64> = (0..n)
+            .map(|i| {
+                if n > 1 {
+                    i as f64 / (n - 1) as f64
+                } else {
+                    0.0
+                }
+            })
+            .collect();
 
         let h = cfg.hidden;
         let mut rng = XorShift64::new(cfg.seed);
@@ -115,7 +133,9 @@ impl NeuralNet {
         let mut net = Self {
             w1: (0..h).map(|_| rng.next_sym() * 2.0).collect(),
             b1: (0..h).map(|_| rng.next_sym() * 0.5).collect(),
-            w2: (0..h).map(|_| rng.next_sym() * (2.0 / h as f64).sqrt()).collect(),
+            w2: (0..h)
+                .map(|_| rng.next_sym() * (2.0 / h as f64).sqrt())
+                .collect(),
             b2: 0.0,
             k_off,
             k_scale,
@@ -198,7 +218,10 @@ impl NeuralNet {
     /// Mean squared error of the network on the CDF of `ks`.
     pub fn mse_on(&self, ks: &KeySet) -> f64 {
         let n = ks.len() as f64;
-        ks.cdf_pairs().map(|(k, r)| (self.predict(k) - r as f64).powi(2)).sum::<f64>() / n
+        ks.cdf_pairs()
+            .map(|(k, r)| (self.predict(k) - r as f64).powi(2))
+            .sum::<f64>()
+            / n
     }
 }
 
@@ -209,9 +232,15 @@ mod tests {
     #[test]
     fn config_validation() {
         let ks = KeySet::from_keys(vec![1, 2, 3]).unwrap();
-        let bad = NnConfig { hidden: 0, ..NnConfig::default() };
+        let bad = NnConfig {
+            hidden: 0,
+            ..NnConfig::default()
+        };
         assert!(NeuralNet::fit(&ks, &bad).is_err());
-        let bad = NnConfig { batch: 0, ..NnConfig::default() };
+        let bad = NnConfig {
+            batch: 0,
+            ..NnConfig::default()
+        };
         assert!(NeuralNet::fit(&ks, &bad).is_err());
         let one = KeySet::from_keys(vec![7]).unwrap();
         assert!(NeuralNet::fit(&one, &NnConfig::default()).is_err());
@@ -223,7 +252,11 @@ mod tests {
         let nn = NeuralNet::fit(&ks, &NnConfig::default()).unwrap();
         // Root model only needs coarse accuracy: within a few percent of n.
         let rmse = nn.mse_on(&ks).sqrt();
-        assert!(rmse < 25.0, "rmse {} too large for 500-key linear CDF", rmse);
+        assert!(
+            rmse < 25.0,
+            "rmse {} too large for 500-key linear CDF",
+            rmse
+        );
     }
 
     #[test]
@@ -251,8 +284,15 @@ mod tests {
     #[test]
     fn param_count() {
         let ks = KeySet::from_keys(vec![1, 5, 9, 20]).unwrap();
-        let nn = NeuralNet::fit(&ks, &NnConfig { hidden: 8, epochs: 1, ..NnConfig::default() })
-            .unwrap();
+        let nn = NeuralNet::fit(
+            &ks,
+            &NnConfig {
+                hidden: 8,
+                epochs: 1,
+                ..NnConfig::default()
+            },
+        )
+        .unwrap();
         assert_eq!(nn.param_count(), 8 * 3 + 1);
     }
 

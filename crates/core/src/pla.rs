@@ -17,8 +17,22 @@
 //! exactly that trade-off.
 
 use crate::error::{LisError, Result};
+use crate::index::{LearnedIndex, Lookup};
 use crate::keys::{Key, KeySet};
-use crate::search::{bounded_search, SearchResult};
+use crate::search::bounded_search;
+
+/// Build configuration for [`PlaIndex`] under the [`LearnedIndex`] API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlaConfig {
+    /// The maximum prediction error `epsilon ≥ 1`, in positions.
+    pub epsilon: usize,
+}
+
+impl Default for PlaConfig {
+    fn default() -> Self {
+        Self { epsilon: 16 }
+    }
+}
 
 /// One PLA segment: keys in `[first_key, last_key]` are predicted by
 /// `rank ≈ slope·(key − first_key) + intercept`.
@@ -110,7 +124,11 @@ impl PlaIndex {
             });
             start = end;
         }
-        Ok(Self { segments, keys, epsilon })
+        Ok(Self {
+            segments,
+            keys,
+            epsilon,
+        })
     }
 
     /// Number of segments — the memory-footprint proxy the attack inflates.
@@ -155,9 +173,9 @@ impl PlaIndex {
 
     /// Full lookup: segment route, local model, `epsilon`-bounded binary
     /// search. Membership hits are guaranteed by the build-time bound.
-    pub fn lookup(&self, key: Key) -> SearchResult {
+    pub fn lookup(&self, key: Key) -> Lookup {
         let guess = self.predict_pos(key);
-        bounded_search(&self.keys, key, guess, self.epsilon + 1)
+        bounded_search(&self.keys, key, guess, self.epsilon + 1).into()
     }
 
     /// Largest prediction error over the training keys (must be ≤
@@ -169,6 +187,47 @@ impl PlaIndex {
             .map(|(i, &k)| self.predict_pos(k).abs_diff(i))
             .max()
             .unwrap_or(0)
+    }
+}
+
+impl LearnedIndex for PlaIndex {
+    type Config = PlaConfig;
+
+    fn build(ks: &KeySet, cfg: &Self::Config) -> Result<Self> {
+        PlaIndex::build(ks, cfg.epsilon)
+    }
+
+    fn lookup(&self, key: Key) -> Lookup {
+        PlaIndex::lookup(self, key)
+    }
+
+    /// Mean squared prediction error over the training keys. Bounded by
+    /// `epsilon²` at build time — poisoning a PLA shows up in
+    /// [`LearnedIndex::memory_bytes`] (segment count), not here.
+    fn loss(&self) -> f64 {
+        if self.keys.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| {
+                let e = self.predict_pos(k).abs_diff(i) as f64;
+                e * e
+            })
+            .sum();
+        sum / self.keys.len() as f64
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.segments.len() * std::mem::size_of::<Segment>()
+            + self.keys.len() * std::mem::size_of::<Key>()
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
     }
 }
 

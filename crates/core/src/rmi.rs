@@ -18,10 +18,11 @@
 
 use crate::cubic::CubicModel;
 use crate::error::{LisError, Result};
+use crate::index::{LearnedIndex, Lookup};
 use crate::keys::{Key, KeySet};
 use crate::linreg::LinearModel;
 use crate::nn::{NeuralNet, NnConfig};
-use crate::search::{exponential_search, SearchResult};
+use crate::search::exponential_search;
 
 /// Which model family serves as the RMI root.
 #[derive(Debug, Clone)]
@@ -79,13 +80,21 @@ pub struct RmiConfig {
 impl RmiConfig {
     /// Paper-style config: `N` leaves, neural root, oracle routing.
     pub fn paper(num_leaves: usize) -> Self {
-        Self { num_leaves, root: RootModelKind::Neural(NnConfig::default()), routing: Routing::Oracle }
+        Self {
+            num_leaves,
+            root: RootModelKind::Neural(NnConfig::default()),
+            routing: Routing::Oracle,
+        }
     }
 
     /// Cheap config for experiments where only second-stage losses matter:
     /// linear root, oracle routing.
     pub fn linear_root(num_leaves: usize) -> Self {
-        Self { num_leaves, root: RootModelKind::Linear, routing: Routing::Oracle }
+        Self {
+            num_leaves,
+            root: RootModelKind::Linear,
+            routing: Routing::Oracle,
+        }
     }
 }
 
@@ -155,11 +164,22 @@ impl Rmi {
             let model = fit_leaf(part)?;
             let max_err = model.max_abs_error(part).ceil() as usize;
             boundaries.push(part.min_key());
-            leaves.push(Leaf { model, start, len: part.len(), max_err });
+            leaves.push(Leaf {
+                model,
+                start,
+                len: part.len(),
+                max_err,
+            });
             start += part.len();
         }
 
-        Ok(Self { root, leaves, boundaries, keys: ks.keys().to_vec(), routing: cfg.routing })
+        Ok(Self {
+            root,
+            leaves,
+            boundaries,
+            keys: ks.keys().to_vec(),
+            routing: cfg.routing,
+        })
     }
 
     /// Number of second-stage models.
@@ -220,16 +240,12 @@ impl Rmi {
     /// Full lookup: route, predict, last-mile search. Returns the key's
     /// global position and the comparison count, falling back to
     /// neighbouring leaves when root routing mispredicts.
-    pub fn lookup(&self, key: Key) -> SearchResult {
+    pub fn lookup(&self, key: Key) -> Lookup {
         let guess = self.predict_pos(key);
-        let res = exponential_search(&self.keys, key, guess);
-        if res.pos.is_some() || self.routing == Routing::Oracle {
-            return res;
-        }
-        // Root routing may land in a neighbouring partition whose local
-        // search window misses; the global exponential search above already
-        // covers the whole array, so a miss here is a true absence.
-        res
+        // Root routing may land in a neighbouring partition, but the global
+        // exponential search covers the whole array, so a miss here is a
+        // true absence under either routing mode.
+        exponential_search(&self.keys, key, guess).into()
     }
 
     /// Mean squared error of leaf `i` on its training partition (the
@@ -257,12 +273,44 @@ impl Rmi {
     }
 }
 
+impl LearnedIndex for Rmi {
+    type Config = RmiConfig;
+
+    fn build(ks: &KeySet, cfg: &Self::Config) -> Result<Self> {
+        Rmi::build(ks, cfg)
+    }
+
+    fn lookup(&self, key: Key) -> Lookup {
+        Rmi::lookup(self, key)
+    }
+
+    fn loss(&self) -> f64 {
+        self.rmi_loss()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.keys.len() * std::mem::size_of::<Key>()
+            + self.boundaries.len() * std::mem::size_of::<Key>()
+            + self.leaves.len() * std::mem::size_of::<Leaf>()
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+}
+
 /// Fits a leaf regression on a partition, tolerating single-key partitions
 /// (constant model with zero loss): tiny tail partitions are legal when
 /// `n mod N ≠ 0`.
 fn fit_leaf(part: &KeySet) -> Result<LinearModel> {
     if part.len() == 1 {
-        return Ok(LinearModel { w: 0.0, b: 1.0, mse: 0.0, n: 1 });
+        return Ok(LinearModel {
+            w: 0.0,
+            b: 1.0,
+            mse: 0.0,
+            n: 1,
+        });
     }
     LinearModel::fit(part)
 }
@@ -274,7 +322,11 @@ pub fn rmi_loss_of(ks: &KeySet, num_leaves: usize) -> Result<f64> {
     let partitions = ks.partition(num_leaves)?;
     let mut total = 0.0;
     for p in &partitions {
-        total += if p.len() < 2 { 0.0 } else { LinearModel::fit(p)?.mse };
+        total += if p.len() < 2 {
+            0.0
+        } else {
+            LinearModel::fit(p)?.mse
+        };
     }
     Ok(total / num_leaves as f64)
 }
@@ -301,7 +353,10 @@ mod tests {
         for (i, &k) in ks.keys().iter().enumerate() {
             let leaf = rmi.route(k);
             let l = &rmi.leaves()[leaf];
-            assert!(i >= l.start && i < l.start + l.len, "key {k} routed to wrong leaf");
+            assert!(
+                i >= l.start && i < l.start + l.len,
+                "key {k} routed to wrong leaf"
+            );
         }
     }
 
@@ -318,7 +373,11 @@ mod tests {
     #[test]
     fn all_keys_found_root_routing() {
         let ks = uniform_keys(500, 7);
-        let cfg = RmiConfig { num_leaves: 25, root: RootModelKind::Linear, routing: Routing::Root };
+        let cfg = RmiConfig {
+            num_leaves: 25,
+            root: RootModelKind::Linear,
+            routing: Routing::Root,
+        };
         let rmi = Rmi::build(&ks, &cfg).unwrap();
         for (i, &k) in ks.keys().iter().enumerate() {
             let res = rmi.lookup(k);
@@ -361,8 +420,12 @@ mod tests {
     #[test]
     fn more_leaves_reduce_loss_on_skewed_data() {
         let ks = KeySet::from_keys((1..2000u64).map(|i| i * i).collect()).unwrap();
-        let coarse = Rmi::build(&ks, &RmiConfig::linear_root(4)).unwrap().rmi_loss();
-        let fine = Rmi::build(&ks, &RmiConfig::linear_root(64)).unwrap().rmi_loss();
+        let coarse = Rmi::build(&ks, &RmiConfig::linear_root(4))
+            .unwrap()
+            .rmi_loss();
+        let fine = Rmi::build(&ks, &RmiConfig::linear_root(64))
+            .unwrap()
+            .rmi_loss();
         assert!(fine < coarse, "fine {} vs coarse {}", fine, coarse);
     }
 
@@ -371,7 +434,10 @@ mod tests {
         let ks = uniform_keys(300, 11);
         let cfg = RmiConfig {
             num_leaves: 10,
-            root: RootModelKind::Neural(NnConfig { epochs: 30, ..NnConfig::default() }),
+            root: RootModelKind::Neural(NnConfig {
+                epochs: 30,
+                ..NnConfig::default()
+            }),
             routing: Routing::Root,
         };
         let rmi = Rmi::build(&ks, &cfg).unwrap();
@@ -383,7 +449,11 @@ mod tests {
     #[test]
     fn cubic_root_lookup_works() {
         let ks = KeySet::from_keys((1..500u64).map(|i| i * i).collect()).unwrap();
-        let cfg = RmiConfig { num_leaves: 16, root: RootModelKind::Cubic, routing: Routing::Root };
+        let cfg = RmiConfig {
+            num_leaves: 16,
+            root: RootModelKind::Cubic,
+            routing: Routing::Root,
+        };
         let rmi = Rmi::build(&ks, &cfg).unwrap();
         for (i, &k) in ks.keys().iter().enumerate().step_by(13) {
             assert_eq!(rmi.lookup(k).pos, Some(i));

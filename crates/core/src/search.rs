@@ -28,12 +28,18 @@ pub struct SearchResult {
 /// lookup-time slowdown.
 pub fn exponential_search(keys: &[Key], key: Key, guess: usize) -> SearchResult {
     if keys.is_empty() {
-        return SearchResult { pos: None, comparisons: 0 };
+        return SearchResult {
+            pos: None,
+            comparisons: 0,
+        };
     }
     let guess = guess.min(keys.len() - 1);
     let mut comparisons = 1usize;
     if keys[guess] == key {
-        return SearchResult { pos: Some(guess), comparisons };
+        return SearchResult {
+            pos: Some(guess),
+            comparisons,
+        };
     }
 
     // Gallop in the direction of the key.
@@ -57,7 +63,11 @@ pub fn exponential_search(keys: &[Key], key: Key, guess: usize) -> SearchResult 
             step <<= 1;
         }
         lo = next_lo;
-        hi = if found_hi < lo { keys.len() - 1 } else { found_hi };
+        hi = if found_hi < lo {
+            keys.len() - 1
+        } else {
+            found_hi
+        };
     } else {
         let mut next_hi = guess.saturating_sub(1);
         let mut step = 1usize;
@@ -83,13 +93,19 @@ pub fn exponential_search(keys: &[Key], key: Key, guess: usize) -> SearchResult 
         lo = found_lo;
         hi = next_hi;
         if hi < lo {
-            return SearchResult { pos: None, comparisons };
+            return SearchResult {
+                pos: None,
+                comparisons,
+            };
         }
     }
 
     // Binary search on [lo, hi].
     let (pos, cmp) = binary_search_counted(&keys[lo..=hi.min(keys.len() - 1)], key);
-    SearchResult { pos: pos.map(|p| p + lo), comparisons: comparisons + cmp }
+    SearchResult {
+        pos: pos.map(|p| p + lo),
+        comparisons: comparisons + cmp,
+    }
 }
 
 /// Plain binary search with a comparison counter, used both by the last-mile
@@ -115,13 +131,19 @@ pub fn binary_search_counted(keys: &[Key], key: Key) -> (Option<usize>, usize) {
 /// model stores its maximum training error.
 pub fn bounded_search(keys: &[Key], key: Key, center: usize, radius: usize) -> SearchResult {
     if keys.is_empty() {
-        return SearchResult { pos: None, comparisons: 0 };
+        return SearchResult {
+            pos: None,
+            comparisons: 0,
+        };
     }
     let center = center.min(keys.len() - 1);
     let lo = center.saturating_sub(radius);
     let hi = (center + radius).min(keys.len() - 1);
     let (pos, comparisons) = binary_search_counted(&keys[lo..=hi], key);
-    SearchResult { pos: pos.map(|p| p + lo), comparisons }
+    SearchResult {
+        pos: pos.map(|p| p + lo),
+        comparisons,
+    }
 }
 
 #[cfg(test)]

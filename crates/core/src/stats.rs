@@ -39,7 +39,15 @@ impl CdfMoments {
     where
         I: IntoIterator<Item = (Key, usize)>,
     {
-        let mut m = Self { n: 0, shift, sum_x: 0.0, sum_xx: 0.0, sum_r: 0.0, sum_rr: 0.0, sum_xr: 0.0 };
+        let mut m = Self {
+            n: 0,
+            shift,
+            sum_x: 0.0,
+            sum_xx: 0.0,
+            sum_r: 0.0,
+            sum_rr: 0.0,
+            sum_xr: 0.0,
+        };
         for (k, r) in pairs {
             let x = k as f64 - shift;
             let r = r as f64;
@@ -205,7 +213,12 @@ mod tests {
         let mr: f64 = ranks.iter().sum::<f64>() / 4.0;
         let var_k = keys.iter().map(|k| (k - mk) * (k - mk)).sum::<f64>() / 4.0;
         let var_r = ranks.iter().map(|r| (r - mr) * (r - mr)).sum::<f64>() / 4.0;
-        let cov = keys.iter().zip(&ranks).map(|(k, r)| (k - mk) * (r - mr)).sum::<f64>() / 4.0;
+        let cov = keys
+            .iter()
+            .zip(&ranks)
+            .map(|(k, r)| (k - mk) * (r - mr))
+            .sum::<f64>()
+            / 4.0;
         assert!((m.var_x() - var_k).abs() < 1e-9);
         assert!((m.var_r() - var_r).abs() < 1e-9);
         assert!((m.cov_xr() - cov).abs() < 1e-9);

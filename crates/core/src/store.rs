@@ -37,7 +37,11 @@ impl RecordStore {
         for &k in &keys {
             payload.extend_from_slice(&default_record(k));
         }
-        Ok(Self { keys, payload, page_size })
+        Ok(Self {
+            keys,
+            payload,
+            page_size,
+        })
     }
 
     /// Number of stored records.
@@ -81,7 +85,10 @@ impl RecordStore {
     /// Fetches a record by key via binary search (the non-learned access
     /// path), returning the record and its position.
     pub fn get(&self, key: Key) -> Result<(usize, &[u8])> {
-        let pos = self.keys.binary_search(&key).map_err(|_| LisError::RecordNotFound(key))?;
+        let pos = self
+            .keys
+            .binary_search(&key)
+            .map_err(|_| LisError::RecordNotFound(key))?;
         Ok((pos, self.record_at(pos).expect("pos in range")))
     }
 

@@ -56,7 +56,11 @@ impl DefenseReport {
 /// * `clean` — the legitimate keyset;
 /// * `poison` — the injected keys;
 /// * `retained` — the keys the defense kept.
-pub fn evaluate_defense(clean: &KeySet, poison: &[Key], retained: &KeySet) -> Result<DefenseReport> {
+pub fn evaluate_defense(
+    clean: &KeySet,
+    poison: &[Key],
+    retained: &KeySet,
+) -> Result<DefenseReport> {
     let poison_set: HashSet<Key> = poison.iter().copied().collect();
     let retained_set: HashSet<Key> = retained.keys().iter().copied().collect();
 

@@ -9,7 +9,9 @@
 //!   mitigations" the optimal attack is designed to evade by staying
 //!   in-range and blending into dense regions);
 //! * [`eval`] — ground-truth scoring: poison recall, removal precision,
-//!   collateral damage, and post-defense ratio loss.
+//!   collateral damage, and post-defense ratio loss;
+//! * [`strategy`] — the unified [`Defense`] trait and wrappers, the
+//!   counterpart of `lis_poison::attack::Attack`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -17,8 +19,13 @@
 pub mod eval;
 pub mod outlier;
 pub mod robust;
+pub mod strategy;
 pub mod trim;
 
 pub use eval::{evaluate_defense, DefenseReport};
 pub use robust::{compare_on_attack, theil_sen, RobustModel};
+pub use strategy::{
+    Defense, DefenseOutcome, DensityDefense, IqrDefense, NoDefense, RangeDefense, TrimBudget,
+    TrimDefense,
+};
 pub use trim::{trim_defense, TrimConfig, TrimOutcome};

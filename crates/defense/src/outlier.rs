@@ -119,7 +119,10 @@ mod tests {
 
         let (_, removed) = iqr_filter(&poisoned, 1.5);
         let poison_caught = removed.iter().filter(|k| plan.keys.contains(k)).count();
-        assert_eq!(poison_caught, 0, "IQR filter should not catch in-range poison");
+        assert_eq!(
+            poison_caught, 0,
+            "IQR filter should not catch in-range poison"
+        );
     }
 
     #[test]
@@ -132,7 +135,10 @@ mod tests {
         let poisoned = plan.poisoned_keyset(&clean).unwrap();
         let (_, removed) = local_density_filter(&poisoned, 3, 3.0).unwrap();
         let caught = removed.iter().filter(|k| plan.keys.contains(k)).count();
-        assert!(caught > 0, "clustered poison should trip the density filter");
+        assert!(
+            caught > 0,
+            "clustered poison should trip the density filter"
+        );
     }
 
     #[test]

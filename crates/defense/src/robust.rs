@@ -96,7 +96,12 @@ pub fn theil_sen_pairs(pairs: &[(u64, f64)], max_pairs: usize) -> Result<RobustM
         .map(|&(x, y)| (w * x as f64 + b - y).powi(2))
         .sum::<f64>()
         / n as f64;
-    Ok(RobustModel { w, b, mse, pairs_examined })
+    Ok(RobustModel {
+        w,
+        b,
+        mse,
+        pairs_examined,
+    })
 }
 
 fn pair_slope(pairs: &[(u64, f64)], i: usize, j: usize) -> f64 {
@@ -240,8 +245,7 @@ mod tests {
         // Theil–Sen barely moves; OLS bends. This is the regime robust
         // statistics is built for.
         let n = 200u64;
-        let clean_pairs: Vec<(u64, f64)> =
-            (0..n).map(|i| (i * 10, i as f64 + 1.0)).collect();
+        let clean_pairs: Vec<(u64, f64)> = (0..n).map(|i| (i * 10, i as f64 + 1.0)).collect();
         let mut corrupted = clean_pairs.clone();
         for i in 0..30usize {
             corrupted[i * 6].1 += 80.0; // blow up 15% of targets
@@ -251,12 +255,19 @@ mod tests {
         let m = corrupted.len() as f64;
         let mx = corrupted.iter().map(|p| p.0 as f64).sum::<f64>() / m;
         let my = corrupted.iter().map(|p| p.1).sum::<f64>() / m;
-        let cov: f64 = corrupted.iter().map(|p| (p.0 as f64 - mx) * (p.1 - my)).sum();
+        let cov: f64 = corrupted
+            .iter()
+            .map(|p| (p.0 as f64 - mx) * (p.1 - my))
+            .sum();
         let var: f64 = corrupted.iter().map(|p| (p.0 as f64 - mx).powi(2)).sum();
         let (w_ols, b_ols) = (cov / var, my - cov / var * mx);
 
         let eval = |w: f64, b: f64| -> f64 {
-            clean_pairs.iter().map(|&(x, y)| (w * x as f64 + b - y).powi(2)).sum::<f64>() / m
+            clean_pairs
+                .iter()
+                .map(|&(x, y)| (w * x as f64 + b - y).powi(2))
+                .sum::<f64>()
+                / m
         };
         let ts_err = eval(ts.w, ts.b);
         let ols_err = eval(w_ols, b_ols);

@@ -36,7 +36,11 @@ pub struct TrimConfig {
 impl TrimConfig {
     /// Standard configuration: retain `n`, up to 50 iterations.
     pub fn new(retain: usize) -> Self {
-        Self { retain, max_iters: 50, tol: 1e-9 }
+        Self {
+            retain,
+            max_iters: 50,
+            tol: 1e-9,
+        }
     }
 }
 
@@ -65,7 +69,9 @@ pub struct TrimOutcome {
 pub fn trim_defense(poisoned: &KeySet, cfg: &TrimConfig) -> Result<TrimOutcome> {
     let total = poisoned.len();
     if cfg.retain < 2 {
-        return Err(LisError::InvalidBudget("TRIM must retain at least 2 keys".into()));
+        return Err(LisError::InvalidBudget(
+            "TRIM must retain at least 2 keys".into(),
+        ));
     }
     if cfg.retain > total {
         return Err(LisError::InvalidBudget(format!(
@@ -111,9 +117,18 @@ pub fn trim_defense(poisoned: &KeySet, cfg: &TrimConfig) -> Result<TrimOutcome> 
     }
 
     let retained_set = KeySet::new(retained.clone(), poisoned.domain())?;
-    let removed: Vec<Key> =
-        all_keys.iter().copied().filter(|k| !retained_set.contains(*k)).collect();
-    Ok(TrimOutcome { retained: retained_set, removed, model, loss_trace, iterations })
+    let removed: Vec<Key> = all_keys
+        .iter()
+        .copied()
+        .filter(|k| !retained_set.contains(*k))
+        .collect();
+    Ok(TrimOutcome {
+        retained: retained_set,
+        removed,
+        model,
+        loss_trace,
+        iterations,
+    })
 }
 
 /// Rank `key` would hold inside sorted `subset` (1-based; its own position
@@ -125,7 +140,10 @@ fn hypothetical_rank(subset: &[Key], key: Key) -> usize {
 fn fit_on(keys: &[Key]) -> Result<LinearModel> {
     let ks = KeySet::from_sorted_unchecked(
         keys.to_vec(),
-        lis_core::keys::KeyDomain { min: keys[0], max: keys[keys.len() - 1] },
+        lis_core::keys::KeyDomain {
+            min: keys[0],
+            max: keys[keys.len() - 1],
+        },
     );
     LinearModel::fit(&ks)
 }
@@ -180,11 +198,16 @@ mod tests {
         let mut poisoned = clean.clone();
         // Manually extend domain to permit the naive out-of-pattern clump.
         let mut keys = poisoned.keys().to_vec();
-        keys.extend([4_951u64, 4_952, 4_953, 4_954, 4_955, 4_956, 4_957, 4_958, 4_959, 4_960]);
+        keys.extend([
+            4_951u64, 4_952, 4_953, 4_954, 4_955, 4_956, 4_957, 4_958, 4_959, 4_960,
+        ]);
         poisoned = KeySet::from_keys(keys).unwrap();
         let out = trim_defense(&poisoned, &TrimConfig::new(100)).unwrap();
-        let removed_poison =
-            out.removed.iter().filter(|&&k| (4_951..=4_960).contains(&k)).count();
+        let removed_poison = out
+            .removed
+            .iter()
+            .filter(|&&k| (4_951..=4_960).contains(&k))
+            .count();
         assert!(
             removed_poison >= 5,
             "TRIM should remove most of the naive clump, removed {removed_poison}/10"

@@ -70,7 +70,11 @@ pub fn infer_leaf_models<P: PredictionProbe>(
         let lo = part.min_key();
         let hi = part.max_key();
         if hi == lo {
-            out.push(InferredLeaf { w: 0.0, b: index.probe(lo) as f64 + 1.0, probes: 1 });
+            out.push(InferredLeaf {
+                w: 0.0,
+                b: index.probe(lo) as f64 + 1.0,
+                probes: 1,
+            });
             continue;
         }
         // The predicted positions are rounded to integers; probing the two
@@ -110,7 +114,11 @@ pub fn blackbox_rmi_attack(
     let inferred = infer_leaf_models(rmi, &partitions)?;
     let total_probes = inferred.iter().map(|l| l.probes).sum();
     let attack = rmi_attack(keys, rmi.num_leaves(), cfg)?;
-    Ok(BlackboxOutcome { inferred, total_probes, attack })
+    Ok(BlackboxOutcome {
+        inferred,
+        total_probes,
+        attack,
+    })
 }
 
 #[cfg(test)]

@@ -67,8 +67,9 @@ pub fn bruteforce_multi_point(
     if ks.len() < 2 {
         return Err(LisError::DegenerateRegression { n: ks.len() });
     }
-    let free: Vec<Key> =
-        (ks.min_key()..=ks.max_key()).filter(|&k| !ks.contains(k)).collect();
+    let free: Vec<Key> = (ks.min_key()..=ks.max_key())
+        .filter(|&k| !ks.contains(k))
+        .collect();
     if free.len() < p || p == 0 {
         return Err(LisError::NoPoisoningCandidates);
     }

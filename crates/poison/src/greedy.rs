@@ -40,7 +40,9 @@ impl PoisonBudget {
                 "poisoning percentage {percent} outside [0, 20]"
             )));
         }
-        Ok(Self { count: (percent / 100.0 * n as f64).floor() as usize })
+        Ok(Self {
+            count: (percent / 100.0 * n as f64).floor() as usize,
+        })
     }
 }
 
@@ -100,7 +102,11 @@ pub fn greedy_poison(ks: &KeySet, budget: PoisonBudget) -> Result<GreedyPlan> {
             Err(e) => return Err(e),
         }
     }
-    Ok(GreedyPlan { keys, losses, clean_mse })
+    Ok(GreedyPlan {
+        keys,
+        losses,
+        clean_mse,
+    })
 }
 
 #[cfg(test)]

@@ -10,6 +10,8 @@
 //! rank of every larger key — a single insertion perturbs a large fraction
 //! of the training set (the "compound effect", Section IV-B).
 //!
+//! * [`attack`] — the unified [`Attack`] trait and wrappers, so harnesses
+//!   sweep every adversary through one interface;
 //! * [`oracle`] — O(1)-per-candidate poisoned-loss evaluation;
 //! * [`single`] — the optimal single-point attack (gap endpoints, O(n));
 //! * [`loss_sequence`] — the full `L(kp)` sequence and its discrete
@@ -35,6 +37,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod attack;
 pub mod blackbox;
 pub mod bruteforce;
 pub mod greedy;
@@ -45,6 +48,10 @@ pub mod rmi_attack;
 pub mod single;
 pub mod volume;
 
+pub use attack::{
+    Attack, AttackOutcome, DpRmiPoisonAttack, GreedyCdfAttack, MixedAttack, NullAttack,
+    RemovalAttack, RmiPoisonAttack,
+};
 pub use blackbox::{blackbox_rmi_attack, infer_leaf_models, BlackboxOutcome};
 pub use greedy::{greedy_poison, GreedyPlan, PoisonBudget};
 pub use loss_sequence::LossSequence;

@@ -48,10 +48,16 @@ impl LossSequence {
                 points.push(LossPoint { key, loss: None });
                 idx += 1;
             } else {
-                points.push(LossPoint { key, loss: Some(oracle.loss_with_rank(key, idx)) });
+                points.push(LossPoint {
+                    key,
+                    loss: Some(oracle.loss_with_rank(key, idx)),
+                });
             }
         }
-        Self { points, clean_mse: oracle.clean_mse() }
+        Self {
+            points,
+            clean_mse: oracle.clean_mse(),
+        }
     }
 
     /// Discrete first derivative `ΔL(kp) = L(kp+1) − L(kp)` (Definition 3),
@@ -142,7 +148,11 @@ mod tests {
         ] {
             let ks = KeySet::from_keys(keys.clone()).unwrap();
             let seq = LossSequence::evaluate(&ks);
-            assert!(seq.is_convex_per_gap(1e-7), "convexity failed for {:?}", keys);
+            assert!(
+                seq.is_convex_per_gap(1e-7),
+                "convexity failed for {:?}",
+                keys
+            );
         }
     }
 

@@ -70,7 +70,16 @@ impl PoisonOracle {
             sum_rr: rank_sq_sum(n),
             sum_xr,
         };
-        Self { xs, keys, suffix, shift, sum_x, sum_xx, sum_xr, clean_mse: optimal_mse(&clean) }
+        Self {
+            xs,
+            keys,
+            suffix,
+            shift,
+            sum_x,
+            sum_xx,
+            sum_xr,
+            clean_mse: optimal_mse(&clean),
+        }
     }
 
     /// Number of legitimate keys.
@@ -120,7 +129,9 @@ impl PoisonOracle {
     /// augmented pair list. Used by tests to validate the O(1) algebra.
     pub fn loss_refit(&self, ks: &KeySet, kp: Key) -> f64 {
         let augmented = ks.with_key(kp).expect("valid candidate");
-        lis_core::linreg::LinearModel::fit(&augmented).expect("n ≥ 2").mse
+        lis_core::linreg::LinearModel::fit(&augmented)
+            .expect("n ≥ 2")
+            .mse
     }
 }
 
@@ -170,8 +181,8 @@ mod tests {
     #[test]
     fn large_scale_consistency() {
         // 10k uniform keys near 1e9: the shifted algebra must stay accurate.
-        let ks = KeySet::from_keys((0..10_000u64).map(|i| 1_000_000_000 + i * 37).collect())
-            .unwrap();
+        let ks =
+            KeySet::from_keys((0..10_000u64).map(|i| 1_000_000_000 + i * 37).collect()).unwrap();
         let oracle = PoisonOracle::new(&ks);
         for kp in [1_000_000_005u64, 1_000_123_456, 1_000_369_950] {
             if ks.contains(kp) {

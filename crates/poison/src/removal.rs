@@ -98,7 +98,11 @@ pub fn optimal_single_removal(ks: &KeySet) -> Result<RemovalPlan> {
         }
     }
     let (key, poisoned_mse) = best.expect("n ≥ 3");
-    Ok(RemovalPlan { key, poisoned_mse, clean_mse })
+    Ok(RemovalPlan {
+        key,
+        poisoned_mse,
+        clean_mse,
+    })
 }
 
 /// Result of a greedy multi-key removal campaign.
@@ -143,7 +147,11 @@ pub fn greedy_removal(ks: &KeySet, count: usize) -> Result<RemovalCampaign> {
         removed.push(plan.key);
         losses.push(plan.poisoned_mse);
     }
-    Ok(RemovalCampaign { removed, losses, clean_mse })
+    Ok(RemovalCampaign {
+        removed,
+        losses,
+        clean_mse,
+    })
 }
 
 /// One action of the mixed insert/delete adversary.
@@ -195,7 +203,11 @@ pub fn greedy_mixed(ks: &KeySet, budget: PoisonBudget) -> Result<MixedCampaign> 
     for _ in 0..budget.count {
         let oracle = PoisonOracle::new(&current);
         let insert = optimal_single_point_with(&current, &oracle).ok();
-        let remove = if current.len() >= 3 { optimal_single_removal(&current).ok() } else { None };
+        let remove = if current.len() >= 3 {
+            optimal_single_removal(&current).ok()
+        } else {
+            None
+        };
         match (insert, remove) {
             (Some(ins), Some(rem)) if ins.poisoned_mse >= rem.poisoned_mse => {
                 current.insert(ins.key)?;
@@ -215,7 +227,11 @@ pub fn greedy_mixed(ks: &KeySet, budget: PoisonBudget) -> Result<MixedCampaign> 
             (None, None) => break,
         }
     }
-    Ok(MixedCampaign { actions, losses, clean_mse })
+    Ok(MixedCampaign {
+        actions,
+        losses,
+        clean_mse,
+    })
 }
 
 #[cfg(test)]
@@ -242,7 +258,12 @@ mod tests {
                 best_key = k;
             }
         }
-        assert!((plan.poisoned_mse - best).abs() < 1e-9, "{} vs {}", plan.poisoned_mse, best);
+        assert!(
+            (plan.poisoned_mse - best).abs() < 1e-9,
+            "{} vs {}",
+            plan.poisoned_mse,
+            best
+        );
         assert_eq!(plan.key, best_key);
     }
 
@@ -282,7 +303,10 @@ mod tests {
     fn greedy_removal_stops_at_minimum_size() {
         let ks = KeySet::from_keys(vec![1, 5, 9, 14]).unwrap();
         let campaign = greedy_removal(&ks, 10).unwrap();
-        assert!(campaign.removed.len() <= 2, "must keep ≥ 2 keys for the regression");
+        assert!(
+            campaign.removed.len() <= 2,
+            "must keep ≥ 2 keys for the regression"
+        );
     }
 
     #[test]

@@ -43,7 +43,12 @@ impl RmiAttackConfig {
     /// Paper-style defaults: `α = 3`, `ε` proportional to nothing in
     /// particular — a tiny absolute improvement bound.
     pub fn new(poison_percent: f64) -> Self {
-        Self { poison_percent, alpha: 3.0, epsilon: 1e-9, max_exchanges: usize::MAX }
+        Self {
+            poison_percent,
+            alpha: 3.0,
+            epsilon: 1e-9,
+            max_exchanges: usize::MAX,
+        }
     }
 
     /// Sets `α`.
@@ -110,7 +115,10 @@ impl RmiAttackResult {
 
     /// All poisoning keys across models.
     pub fn poison_keys(&self) -> Vec<Key> {
-        self.models.iter().flat_map(|m| m.poison.iter().copied()).collect()
+        self.models
+            .iter()
+            .flat_map(|m| m.poison.iter().copied())
+            .collect()
     }
 
     /// The poisoned keyset `K ∪ P`.
@@ -150,9 +158,16 @@ struct ExchangeEval {
 /// Runs Algorithm 2 against `ks` partitioned into `num_models` equal-size
 /// second-stage models.
 #[allow(clippy::needless_range_loop)] // CHANGELOSS updates index neighbouring table entries
-pub fn rmi_attack(ks: &KeySet, num_models: usize, cfg: &RmiAttackConfig) -> Result<RmiAttackResult> {
+pub fn rmi_attack(
+    ks: &KeySet,
+    num_models: usize,
+    cfg: &RmiAttackConfig,
+) -> Result<RmiAttackResult> {
     if num_models == 0 || num_models > ks.len() {
-        return Err(LisError::InvalidPartition { parts: num_models, keys: ks.len() });
+        return Err(LisError::InvalidPartition {
+            parts: num_models,
+            keys: ks.len(),
+        });
     }
     if !(0.0..=20.0).contains(&cfg.poison_percent) {
         return Err(LisError::InvalidBudget(format!(
@@ -161,7 +176,10 @@ pub fn rmi_attack(ks: &KeySet, num_models: usize, cfg: &RmiAttackConfig) -> Resu
         )));
     }
     if cfg.alpha < 1.0 {
-        return Err(LisError::InvalidBudget(format!("alpha {} must be ≥ 1", cfg.alpha)));
+        return Err(LisError::InvalidBudget(format!(
+            "alpha {} must be ≥ 1",
+            cfg.alpha
+        )));
     }
 
     let keys = ks.keys();
@@ -185,14 +203,21 @@ pub fn rmi_attack(ks: &KeySet, num_models: usize, cfg: &RmiAttackConfig) -> Resu
         clean_losses.push(slice_loss(&keys[start..end]));
         let volume = per_model + usize::from(i < remainder);
         let (loss, poison) = eval_model(&keys[start..end], volume)?;
-        states.push(ModelState { start, end, volume, loss, poison });
+        states.push(ModelState {
+            start,
+            end,
+            volume,
+            loss,
+            poison,
+        });
         start = end;
     }
     let clean_rmi_loss = clean_losses.iter().sum::<f64>() / num_models as f64;
 
     // CHANGELOSS table: entry (i, dir) with dir 0 = "poison slot moves
     // i → i+1" and dir 1 = "poison slot moves i+1 → i".
-    let mut table: Vec<[Option<ExchangeEval>; 2]> = vec![[None, None]; num_models.saturating_sub(1)];
+    let mut table: Vec<[Option<ExchangeEval>; 2]> =
+        vec![[None, None]; num_models.saturating_sub(1)];
     for i in 0..num_models.saturating_sub(1) {
         table[i][0] = eval_exchange(keys, &states, i, true, threshold)?;
         table[i][1] = eval_exchange(keys, &states, i, false, threshold)?;
@@ -287,7 +312,10 @@ fn slice_loss(slice: &[Key]) -> f64 {
     }
     let ks = KeySet::from_sorted_unchecked(
         slice.to_vec(),
-        lis_core::keys::KeyDomain { min: slice[0], max: slice[slice.len() - 1] },
+        lis_core::keys::KeyDomain {
+            min: slice[0],
+            max: slice[slice.len() - 1],
+        },
     );
     LinearModel::fit(&ks).map(|m| m.mse).unwrap_or(0.0)
 }
@@ -300,7 +328,10 @@ fn eval_model(slice: &[Key], volume: usize) -> Result<(f64, Vec<Key>)> {
     }
     let ks = KeySet::from_sorted_unchecked(
         slice.to_vec(),
-        lis_core::keys::KeyDomain { min: slice[0], max: slice[slice.len() - 1] },
+        lis_core::keys::KeyDomain {
+            min: slice[0],
+            max: slice[slice.len() - 1],
+        },
     );
     if volume == 0 {
         return Ok((LinearModel::fit(&ks)?.mse, Vec::new()));
@@ -358,7 +389,13 @@ fn eval_exchange(
     } else {
         (loss_b, loss_a, poison_b, poison_a)
     };
-    Ok(Some(ExchangeEval { delta, new_loss_src, new_loss_dst, new_poison_src, new_poison_dst }))
+    Ok(Some(ExchangeEval {
+        delta,
+        new_loss_src,
+        new_loss_dst,
+        new_poison_src,
+        new_poison_dst,
+    }))
 }
 
 #[cfg(test)]
@@ -402,7 +439,11 @@ mod tests {
         assert_eq!(res.total_poison, budget);
         // Per-model threshold t = ceil(α·φn/N) = ceil(3·40/8) = 15.
         for m in &res.models {
-            assert!(m.poison.len() <= 15, "model over threshold: {}", m.poison.len());
+            assert!(
+                m.poison.len() <= 15,
+                "model over threshold: {}",
+                m.poison.len()
+            );
         }
     }
 
@@ -416,7 +457,10 @@ mod tests {
             let lo = *m.legit.first().unwrap();
             let hi = *m.legit.last().unwrap();
             for &p in &m.poison {
-                assert!(p > lo && p < hi, "poison {p} outside model span [{lo}, {hi}]");
+                assert!(
+                    p > lo && p < hi,
+                    "poison {p} outside model span [{lo}, {hi}]"
+                );
                 assert!(!ks.contains(p));
             }
         }
@@ -427,8 +471,8 @@ mod tests {
         // The greedy exchange loop only applies strictly-improving moves,
         // so the final loss must be ≥ the uniform-allocation loss.
         let ks = skewed(400);
-        let uniform_alloc = rmi_attack(&ks, 8, &RmiAttackConfig::new(10.0).with_max_exchanges(0))
-            .unwrap();
+        let uniform_alloc =
+            rmi_attack(&ks, 8, &RmiAttackConfig::new(10.0).with_max_exchanges(0)).unwrap();
         let exchanged = rmi_attack(&ks, 8, &RmiAttackConfig::new(10.0)).unwrap();
         assert!(
             exchanged.poisoned_rmi_loss >= uniform_alloc.poisoned_rmi_loss - 1e-9,

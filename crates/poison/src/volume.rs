@@ -50,13 +50,14 @@ pub struct VolumeAllocation {
 /// Tabulates `L_i(v)` for every model partition by running the greedy key
 /// allocator once at `max_volume` and reading intermediate losses — the
 /// greedy prefix property makes one run per model sufficient.
-pub fn response_curves(
-    partitions: &[KeySet],
-    max_volume: usize,
-) -> Result<Vec<ResponseCurve>> {
+pub fn response_curves(partitions: &[KeySet], max_volume: usize) -> Result<Vec<ResponseCurve>> {
     let mut curves = Vec::with_capacity(partitions.len());
     for part in partitions {
-        let clean = if part.len() < 2 { 0.0 } else { LinearModel::fit(part)?.mse };
+        let clean = if part.len() < 2 {
+            0.0
+        } else {
+            LinearModel::fit(part)?.mse
+        };
         let mut losses = Vec::with_capacity(max_volume + 1);
         losses.push(clean);
         if part.len() >= 2 && max_volume > 0 {
@@ -87,7 +88,13 @@ pub fn optimal_volume_allocation(
     if curves.is_empty() {
         return Err(LisError::InvalidRmiConfig("no response curves".into()));
     }
-    let t = threshold.min(curves.iter().map(ResponseCurve::max_volume).max().unwrap_or(0));
+    let t = threshold.min(
+        curves
+            .iter()
+            .map(ResponseCurve::max_volume)
+            .max()
+            .unwrap_or(0),
+    );
     let n_models = curves.len();
 
     // dp[i][b] = best Σ loss using models 0..i with total volume exactly ≤ b.
@@ -127,7 +134,11 @@ pub fn optimal_volume_allocation(
         b -= v;
     }
 
-    Ok(VolumeAllocation { volumes, total_loss, rmi_loss: total_loss / n_models as f64 })
+    Ok(VolumeAllocation {
+        volumes,
+        total_loss,
+        rmi_loss: total_loss / n_models as f64,
+    })
 }
 
 /// Convenience wrapper: partitions `ks`, tabulates curves, and solves the
@@ -170,9 +181,7 @@ pub fn dp_rmi_attack(
     let mut total_poison = 0usize;
     let mut poisoned_sum = 0.0;
     let mut clean_sum = 0.0;
-    for (part, (&volume, curve)) in
-        partitions.iter().zip(alloc.volumes.iter().zip(&curves))
-    {
+    for (part, (&volume, curve)) in partitions.iter().zip(alloc.volumes.iter().zip(&curves)) {
         let clean_loss = curve.losses[0];
         let (loss, poison) = if volume == 0 || part.len() < 2 {
             (clean_loss, Vec::new())
@@ -234,7 +243,12 @@ mod tests {
         let curves = response_curves(&parts, threshold).unwrap();
         let dp = optimal_volume_allocation(&curves, budget, threshold).unwrap();
         let uniform: f64 = curves.iter().map(|c| c.losses[budget / 8]).sum();
-        assert!(dp.total_loss >= uniform - 1e-9, "dp {} vs uniform {}", dp.total_loss, uniform);
+        assert!(
+            dp.total_loss >= uniform - 1e-9,
+            "dp {} vs uniform {}",
+            dp.total_loss,
+            uniform
+        );
         assert!(dp.volumes.iter().sum::<usize>() <= budget);
         assert!(dp.volumes.iter().all(|&v| v <= threshold));
     }
@@ -243,8 +257,12 @@ mod tests {
     fn dp_is_exact_on_tiny_instance() {
         // 2 models, budget 3, threshold 2 — enumerate by hand.
         let curves = vec![
-            ResponseCurve { losses: vec![0.0, 5.0, 6.0] },
-            ResponseCurve { losses: vec![0.0, 1.0, 8.0] },
+            ResponseCurve {
+                losses: vec![0.0, 5.0, 6.0],
+            },
+            ResponseCurve {
+                losses: vec![0.0, 1.0, 8.0],
+            },
         ];
         let dp = optimal_volume_allocation(&curves, 3, 2).unwrap();
         // Best: v = (1, 2) → 5 + 8 = 13.
@@ -255,8 +273,12 @@ mod tests {
     #[test]
     fn dp_respects_budget_strictly() {
         let curves = vec![
-            ResponseCurve { losses: vec![0.0, 10.0] },
-            ResponseCurve { losses: vec![0.0, 10.0] },
+            ResponseCurve {
+                losses: vec![0.0, 10.0],
+            },
+            ResponseCurve {
+                losses: vec![0.0, 10.0],
+            },
         ];
         let dp = optimal_volume_allocation(&curves, 1, 1).unwrap();
         assert_eq!(dp.volumes.iter().sum::<usize>(), 1);
@@ -286,7 +308,9 @@ mod tests {
 
     #[test]
     fn zero_budget_allocation() {
-        let curves = vec![ResponseCurve { losses: vec![2.0, 9.0] }];
+        let curves = vec![ResponseCurve {
+            losses: vec![2.0, 9.0],
+        }];
         let dp = optimal_volume_allocation(&curves, 0, 5).unwrap();
         assert_eq!(dp.volumes, vec![0]);
         assert!((dp.total_loss - 2.0).abs() < 1e-12);

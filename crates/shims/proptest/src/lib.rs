@@ -1,0 +1,449 @@
+//! A dependency-free, offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this path
+//! dependency implements the subset of proptest the workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map` / `prop_filter`,
+//! range and collection strategies, and the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Semantics match upstream where the tests can observe them: each
+//! `proptest!` test runs many generated cases (default 32, override with
+//! `PROPTEST_CASES`), `prop_assume!` discards a case without counting it,
+//! and a failing assertion panics with the offending values. Shrinking is
+//! intentionally not implemented — failures report the raw
+//! counter-example instead.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Deterministic per-case generator handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates the generator for one test case.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: mix(seed ^ 0xA076_1D64_78BD_642F),
+        }
+    }
+
+    /// Next 64 random bits (SplitMix64 stream).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix(self.state)
+    }
+
+    /// Uniform draw from `[0, span)`; `span` must be non-zero.
+    pub fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        let mut m = (self.next_u64() as u128) * (span as u128);
+        let mut lo = m as u64;
+        if lo < span {
+            let threshold = span.wrapping_neg() % span;
+            while lo < threshold {
+                m = (self.next_u64() as u128) * (span as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Why a generated case did not count as a pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; generate a fresh case.
+    Skip,
+    /// A `prop_assert!`-family assertion failed.
+    Fail(String),
+}
+
+/// A value generator, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects generated values failing `pred`, retrying with fresh draws.
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+}
+
+/// Strategy adapter created by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy adapter created by [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter exhausted 1000 attempts: {}", self.reason);
+    }
+}
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// A collection size specification: an exact count or a range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        if self.hi <= self.lo {
+            self.lo
+        } else {
+            self.lo + rng.below((self.hi - self.lo) as u64) as usize
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+    use std::collections::BTreeSet;
+
+    /// Strategy producing `BTreeSet`s of distinct elements.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Generates sets with sizes drawn from `size`. Panics when the element
+    /// strategy cannot produce enough distinct values.
+    pub fn btree_set<S>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target {
+                set.insert(self.elem.generate(rng));
+                attempts += 1;
+                assert!(
+                    attempts < 100 * target + 1_000,
+                    "btree_set strategy could not reach {target} distinct elements"
+                );
+            }
+            set
+        }
+    }
+
+    /// Strategy producing `Vec`s.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors with lengths drawn from `size` (a fixed `usize` or
+    /// a `Range<usize>`).
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            (0..target).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Number of passing cases each property must accumulate.
+fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32)
+}
+
+/// FNV-1a over the test name, the per-test seed base.
+fn name_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drives one property: generates cases until enough pass, panicking on the
+/// first failure. Used by the `proptest!` macro expansion.
+pub fn run_cases<F>(name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let cases = case_count();
+    let base = name_seed(name);
+    let mut passed = 0u64;
+    let mut attempt = 0u64;
+    while passed < cases {
+        attempt += 1;
+        assert!(
+            attempt <= cases.saturating_mul(50),
+            "property '{name}': too many rejected cases ({passed}/{cases} passed after {} attempts)",
+            attempt - 1
+        );
+        let mut rng = TestRng::new(base.wrapping_add(attempt.wrapping_mul(0x9E37_79B9)));
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Skip) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property '{name}' failed on attempt {attempt}:\n{msg}")
+            }
+        }
+    }
+}
+
+/// The `proptest!` block: each `#[test] fn name(arg in strategy, ...)` body
+/// runs over many generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |__pt_rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __pt_rng);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                });
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not the
+/// whole process) so the runner can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Discards the current case when its inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Skip);
+        }
+    };
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{Strategy, TestCaseError, TestRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::collection::{btree_set, vec};
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u64..50, y in 2usize..9, f in -1.0f64..1.0) {
+            prop_assert!((5..50).contains(&x));
+            prop_assert!((2..9).contains(&y));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn btree_set_sizes_and_distinctness(s in btree_set(0u64..1_000, 3..20)) {
+            prop_assert!((3..20).contains(&s.len()));
+        }
+
+        #[test]
+        fn vec_fixed_size(v in vec(0.0f64..10.0, 6)) {
+            prop_assert_eq!(v.len(), 6);
+        }
+
+        #[test]
+        fn filter_and_map_compose(x in (0u64..100).prop_filter("even", |x| x % 2 == 0).prop_map(|x| x + 1)) {
+            prop_assert!(x % 2 == 1);
+        }
+
+        #[test]
+        fn assume_skips(x in 0u64..10) {
+            prop_assume!(x != 3);
+            prop_assert!(x != 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed on attempt")]
+    fn failing_property_panics() {
+        super::run_cases("always_fails", |_| {
+            Err(super::TestCaseError::Fail("nope".into()))
+        });
+    }
+}

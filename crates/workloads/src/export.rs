@@ -41,7 +41,10 @@ impl ResultTable {
 
     /// Renders the table with aligned columns.
     pub fn render(&self) -> String {
-        let cols = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; cols];
         for (i, h) in self.headers.iter().enumerate() {
             widths[i] = widths[i].max(h.len());
@@ -60,11 +63,19 @@ impl ResultTable {
             .map(|(i, h)| format!("{:<w$}", h, w = widths[i]))
             .collect();
         let _ = writeln!(out, "{}", header_line.join("  "));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             let line: Vec<String> = (0..cols)
                 .map(|i| {
-                    format!("{:<w$}", row.get(i).map(String::as_str).unwrap_or(""), w = widths[i])
+                    format!(
+                        "{:<w$}",
+                        row.get(i).map(String::as_str).unwrap_or(""),
+                        w = widths[i]
+                    )
                 })
                 .collect();
             let _ = writeln!(out, "{}", line.join("  "));
@@ -81,9 +92,24 @@ impl ResultTable {
     /// cells containing separators).
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.headers.iter().map(|c| csv_cell(c)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers
+                .iter()
+                .map(|c| csv_cell(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
         for row in &self.rows {
-            let _ = writeln!(out, "{}", row.iter().map(|c| csv_cell(c)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter()
+                    .map(|c| csv_cell(c))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            );
         }
         out
     }
@@ -111,7 +137,15 @@ fn csv_cell(cell: &str) -> String {
 }
 
 fn sanitize(name: &str) -> String {
-    name.chars().map(|c| if c.is_alphanumeric() || c == '-' || c == '_' { c } else { '_' }).collect()
+    name.chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]

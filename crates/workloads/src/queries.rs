@@ -64,17 +64,12 @@ pub enum QuerySkew {
 /// Zipf popularity is assigned by *shuffled* rank: key popularity is
 /// independent of key order, as in real workloads (the hottest key is not
 /// necessarily the smallest).
-pub fn member_queries<R: Rng>(
-    rng: &mut R,
-    ks: &KeySet,
-    skew: QuerySkew,
-    count: usize,
-) -> Vec<Key> {
+pub fn member_queries<R: Rng>(rng: &mut R, ks: &KeySet, skew: QuerySkew, count: usize) -> Vec<Key> {
     let keys = ks.keys();
     match skew {
-        QuerySkew::Uniform => {
-            (0..count).map(|_| keys[rng.gen_range(0..keys.len())]).collect()
-        }
+        QuerySkew::Uniform => (0..count)
+            .map(|_| keys[rng.gen_range(0..keys.len())])
+            .collect(),
         QuerySkew::Zipf(s) => {
             // Random popularity permutation.
             let mut perm: Vec<usize> = (0..keys.len()).collect();
@@ -83,7 +78,9 @@ pub fn member_queries<R: Rng>(
                 perm.swap(i, j);
             }
             let zipf = Zipf::new(keys.len(), s);
-            (0..count).map(|_| keys[perm[zipf.sample(rng) - 1]]).collect()
+            (0..count)
+                .map(|_| keys[perm[zipf.sample(rng) - 1]])
+                .collect()
         }
     }
 }
@@ -125,7 +122,11 @@ mod tests {
     use lis_core::keys::KeyDomain;
 
     fn keyset() -> KeySet {
-        KeySet::new((0..1000u64).map(|i| i * 7).collect(), KeyDomain::up_to(10_000)).unwrap()
+        KeySet::new(
+            (0..1000u64).map(|i| i * 7).collect(),
+            KeyDomain::up_to(10_000),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -138,8 +139,7 @@ mod tests {
         let head = samples.iter().filter(|&&r| r == 1).count();
         let tail = samples.iter().filter(|&&r| r > 500).count();
         assert!(head > tail / 4, "head {head} vs tail {tail}");
-        let frac_head = samples.iter().filter(|&&r| r <= 10).count() as f64
-            / samples.len() as f64;
+        let frac_head = samples.iter().filter(|&&r| r <= 10).count() as f64 / samples.len() as f64;
         assert!(frac_head > 0.3, "top-10 ranks hold {frac_head}");
     }
 
@@ -176,7 +176,10 @@ mod tests {
         let max = counts.values().copied().max().unwrap();
         let distinct = counts.len();
         // Hot key far above average; support far from exhausted.
-        assert!(max > 3 * qs.len() / distinct, "max {max} distinct {distinct}");
+        assert!(
+            max > 3 * qs.len() / distinct,
+            "max {max} distinct {distinct}"
+        );
     }
 
     #[test]
@@ -193,7 +196,11 @@ mod tests {
     fn mixed_queries_extremes() {
         let ks = keyset();
         let mut rng = trial_rng(6, 0);
-        assert!(mixed_queries(&mut rng, &ks, 1.0, 100).iter().all(|&k| ks.contains(k)));
-        assert!(mixed_queries(&mut rng, &ks, 0.0, 100).iter().all(|&k| !ks.contains(k)));
+        assert!(mixed_queries(&mut rng, &ks, 1.0, 100)
+            .iter()
+            .all(|&k| ks.contains(k)));
+        assert!(mixed_queries(&mut rng, &ks, 0.0, 100)
+            .iter()
+            .all(|&k| !ks.contains(k)));
     }
 }

@@ -136,7 +136,11 @@ mod tests {
         let ks = osm_latitudes_scaled(3, 50_000).unwrap();
         // Band around 40°N (scaled: (40+30)·15000 = 1,050,000 ± 90,000)
         // should be denser than the band around −25° (scaled 75,000).
-        let north = ks.keys().iter().filter(|&&k| (960_000..1_140_000).contains(&k)).count();
+        let north = ks
+            .keys()
+            .iter()
+            .filter(|&&k| (960_000..1_140_000).contains(&k))
+            .count();
         let south = ks.keys().iter().filter(|&&k| k < 150_000).count();
         assert!(north > south, "north {north} vs south {south}");
     }

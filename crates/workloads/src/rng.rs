@@ -17,7 +17,9 @@ pub const DEFAULT_SEED: u64 = 0x5EED_CAFE_F00D_0001;
 /// Uses SplitMix64 over `seed ⊕ f(trial)` so that nearby trial indices
 /// produce decorrelated streams.
 pub fn trial_rng(seed: u64, trial: u64) -> StdRng {
-    StdRng::seed_from_u64(splitmix64(seed ^ splitmix64(trial.wrapping_add(0x9E37_79B9_7F4A_7C15))))
+    StdRng::seed_from_u64(splitmix64(
+        seed ^ splitmix64(trial.wrapping_add(0x9E37_79B9_7F4A_7C15)),
+    ))
 }
 
 /// One round of SplitMix64 — a cheap, well-mixed u64 → u64 permutation.
@@ -86,7 +88,9 @@ mod tests {
     #[test]
     fn lognormal_is_positive_and_skewed() {
         let mut rng = trial_rng(7, 3);
-        let samples: Vec<f64> = (0..10_000).map(|_| sample_lognormal(&mut rng, 0.0, 2.0)).collect();
+        let samples: Vec<f64> = (0..10_000)
+            .map(|_| sample_lognormal(&mut rng, 0.0, 2.0))
+            .collect();
         assert!(samples.iter().all(|&x| x > 0.0));
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         let mut sorted = samples.clone();

@@ -29,7 +29,9 @@ const MAX_ROUNDS: usize = 64;
 pub fn uniform_keys<R: Rng>(rng: &mut R, n: usize, domain: KeyDomain) -> Result<KeySet> {
     let m = domain.size();
     if (n as u64) > m {
-        return Err(LisError::InvalidBudget(format!("cannot draw {n} distinct keys from {m}")));
+        return Err(LisError::InvalidBudget(format!(
+            "cannot draw {n} distinct keys from {m}"
+        )));
     }
     if n == 0 {
         return Err(LisError::EmptyKeySet);
@@ -47,7 +49,9 @@ pub fn uniform_keys<R: Rng>(rng: &mut R, n: usize, domain: KeyDomain) -> Result<
         while drop.len() < drop_count {
             drop.insert(rng.gen_range(domain.min..=domain.max));
         }
-        (domain.min..=domain.max).filter(|k| !drop.contains(k)).collect()
+        (domain.min..=domain.max)
+            .filter(|k| !drop.contains(k))
+            .collect()
     };
     KeySet::new(keys, domain)
 }
@@ -143,7 +147,9 @@ pub fn sample_distinct<R: Rng>(
 /// density and adjust the key domain accordingly").
 pub fn domain_for_density(n: usize, density: f64) -> Result<KeyDomain> {
     if !(0.0 < density && density <= 1.0) {
-        return Err(LisError::InvalidBudget(format!("density {density} outside (0, 1]")));
+        return Err(LisError::InvalidBudget(format!(
+            "density {density} outside (0, 1]"
+        )));
     }
     let m = (n as f64 / density).round().max(n as f64) as u64;
     KeyDomain::new(0, m - 1)
@@ -190,7 +196,11 @@ mod tests {
         // than either outer third (~31% each).
         let third = domain.size() / 3;
         let low = ks.keys().iter().filter(|&&k| k < third).count();
-        let central = ks.keys().iter().filter(|&&k| k >= third && k < 2 * third).count();
+        let central = ks
+            .keys()
+            .iter()
+            .filter(|&&k| k >= third && k < 2 * third)
+            .count();
         let high = ks.len() - low - central;
         assert!(central > low, "central {central} vs low {low}");
         assert!(central > high, "central {central} vs high {high}");

@@ -6,7 +6,7 @@
 
 use lis::core::pla::PlaIndex;
 use lis::poison::blackbox::blackbox_rmi_attack;
-use lis::poison::removal::{greedy_mixed, greedy_removal, MixedAction};
+use lis::poison::{GreedyCdfAttack, MixedAttack, RemovalAttack};
 use lis::prelude::*;
 
 fn main() {
@@ -15,21 +15,29 @@ fn main() {
     let clean = lis::workloads::uniform_keys(&mut rng, 2_000, domain).unwrap();
     println!("keyset: {clean}\n");
 
-    // --- 1. Deletion-capable adversary -----------------------------------
-    let del = greedy_removal(&clean, 100).expect("removal attack");
-    println!("delete-only adversary (100 deletions): ratio loss {:.1}×", del.ratio_loss());
-
-    // --- 2. Mixed insert/delete adversary ---------------------------------
-    let ins = greedy_poison(&clean, PoisonBudget::keys(100)).expect("insert attack");
-    let mix = greedy_mixed(&clean, PoisonBudget::keys(100)).expect("mixed attack");
-    let inserts = mix.actions.iter().filter(|a| matches!(a, MixedAction::Insert(_))).count();
-    println!("insert-only adversary (100 insertions): ratio loss {:.1}×", ins.ratio_loss());
-    println!(
-        "mixed adversary (100 actions = {} inserts + {} deletes): ratio loss {:.1}×\n",
-        inserts,
-        mix.actions.len() - inserts,
-        mix.ratio_loss()
-    );
+    // --- 1 & 2. The adversary fleet behind the unified Attack trait ------
+    // Insert-only, delete-only, and the combined adversary run through the
+    // same interface; the outcome carries per-campaign ground truth.
+    let fleet: Vec<Box<dyn Attack>> = vec![
+        Box::new(GreedyCdfAttack {
+            budget: PoisonBudget::keys(100),
+        }),
+        Box::new(RemovalAttack { count: 100 }),
+        Box::new(MixedAttack {
+            budget: PoisonBudget::keys(100),
+        }),
+    ];
+    for attack in &fleet {
+        let out = attack.run(&clean).expect("attack");
+        println!(
+            "{:<15} {:>3} inserts + {:>3} deletes: ratio loss {:.1}×",
+            attack.name(),
+            out.inserted.len(),
+            out.removed.len(),
+            out.ratio_loss()
+        );
+    }
+    println!();
 
     // --- 3. Black-box attack via parameter inference ----------------------
     let rmi = Rmi::build(&clean, &RmiConfig::linear_root(20)).expect("build RMI");

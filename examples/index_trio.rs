@@ -21,13 +21,16 @@ fn main() {
     let clean = lis::workloads::uniform_keys(&mut rng, n, domain).unwrap();
     println!("keyset: {clean}\n");
 
-    // One campaign: 10% greedy CDF poisoning.
-    let plan = greedy_poison(&clean, PoisonBudget::percentage(10.0, n).unwrap()).unwrap();
-    let poisoned = plan.poisoned_keyset(&clean).unwrap();
+    // One campaign: 10% greedy CDF poisoning, via the unified Attack trait.
+    let attack = lis::poison::GreedyCdfAttack {
+        budget: PoisonBudget::percentage(10.0, n).unwrap(),
+    };
+    let out = attack.run(&clean).unwrap();
+    let poisoned = out.poisoned.clone();
     println!(
         "campaign: {} poisoning keys, regression ratio loss {:.1}×\n",
-        plan.keys.len(),
-        plan.ratio_loss()
+        out.inserted.len(),
+        out.ratio_loss()
     );
 
     // --- Range index (RMI) ----------------------------------------------

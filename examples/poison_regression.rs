@@ -26,14 +26,25 @@ fn fig2_single_point() {
 
     println!("=== Figure 2: compound effect of a single poisoning key ===");
     println!("keys: {:?}", ks.keys());
-    println!("regression before: rank = {:.4}·k + {:.4}   (MSE {:.4})", before.w, before.b, before.mse);
+    println!(
+        "regression before: rank = {:.4}·k + {:.4}   (MSE {:.4})",
+        before.w, before.b, before.mse
+    );
     println!("optimal poisoning key: {}", plan.key);
-    println!("regression after:  rank = {:.4}·k + {:.4}   (MSE {:.4})", after.w, after.b, after.mse);
+    println!(
+        "regression after:  rank = {:.4}·k + {:.4}   (MSE {:.4})",
+        after.w, after.b, after.mse
+    );
     println!("ratio loss: {:.2}×", plan.ratio_loss());
-    println!("per-key residuals after poisoning (legit keys whose rank shifted get larger errors):");
+    println!(
+        "per-key residuals after poisoning (legit keys whose rank shifted get larger errors):"
+    );
     for (k, r) in poisoned.cdf_pairs() {
         let marker = if k == plan.key { "  <- poison" } else { "" };
-        println!("  key {k:>3}  rank {r:>2}  residual {:+.3}{marker}", after.residual(k, r));
+        println!(
+            "  key {k:>3}  rank {r:>2}  residual {:+.3}{marker}",
+            after.residual(k, r)
+        );
     }
     println!();
 }
@@ -47,7 +58,11 @@ fn fig3_loss_sequence() {
     println!("convex on every gap: {}", seq.is_convex_per_gap(1e-7));
     let deriv = seq.first_derivative();
     println!(" kp | L(kp)    | dL");
-    for (p, d) in seq.points.iter().zip(deriv.iter().map(Some).chain(std::iter::once(None))) {
+    for (p, d) in seq
+        .points
+        .iter()
+        .zip(deriv.iter().map(Some).chain(std::iter::once(None)))
+    {
         match p.loss {
             Some(l) => {
                 let dl = d
@@ -63,20 +78,32 @@ fn fig3_loss_sequence() {
     println!("maximum at kp = {k} with loss {l:.4}\n");
 }
 
-/// Figure 4: greedy attack with 10 keys on 90 uniform keys.
+/// Figure 4: greedy attack with 10 keys on 90 uniform keys, mounted
+/// through the unified `Attack` trait.
 fn fig4_greedy() {
     let mut rng = lis::workloads::trial_rng(lis::workloads::DEFAULT_SEED, 4);
     let domain = KeyDomain::up_to(499);
     let clean = lis::workloads::uniform_keys(&mut rng, 90, domain).unwrap();
-    let plan = greedy_poison(&clean, PoisonBudget::keys(10)).unwrap();
+    let attack = lis::poison::GreedyCdfAttack {
+        budget: PoisonBudget::keys(10),
+    };
+    let out = attack.run(&clean).unwrap();
 
     println!("=== Figure 4: greedy multi-point attack (90 keys + 10 poison) ===");
-    println!("clean MSE:    {:.4}", plan.clean_mse);
-    println!("poisoned MSE: {:.4}", plan.final_mse());
-    println!("ratio loss:   {:.1}×  (paper reports 7.4× for its sampled keyset)", plan.ratio_loss());
-    let mut sorted = plan.keys.clone();
+    println!("clean MSE:    {:.4}", out.clean_loss);
+    println!("poisoned MSE: {:.4}", out.poisoned_loss);
+    println!(
+        "ratio loss:   {:.1}×  (paper reports 7.4× for its sampled keyset)",
+        out.ratio_loss()
+    );
+    let mut sorted = out.inserted.clone();
     sorted.sort_unstable();
-    println!("poisoning keys (note the clustering in a dense area): {:?}", sorted);
+    println!(
+        "poisoning keys (note the clustering in a dense area): {:?}",
+        sorted
+    );
+    // The per-insertion loss trace comes from the underlying plan.
+    let plan = greedy_poison(&clean, PoisonBudget::keys(10)).unwrap();
     println!("attack progress (MSE after each insertion):");
     for (i, l) in plan.losses.iter().enumerate() {
         println!("  +{:>2} keys: {l:.4}", i + 1);

@@ -20,13 +20,21 @@ fn main() {
     println!("{num_models} second-stage models × {model_size} keys each\n");
 
     for percent in [1.0, 5.0, 10.0] {
-        let cfg = RmiAttackConfig::new(percent).with_alpha(3.0).with_max_exchanges(2 * num_models);
+        let cfg = RmiAttackConfig::new(percent)
+            .with_alpha(3.0)
+            .with_max_exchanges(2 * num_models);
         let res = rmi_attack(&clean, num_models, &cfg).expect("attack");
         let ratios = res.model_ratios();
         let box_sum = BoxplotSummary::from_samples(&ratios).expect("non-empty");
-        println!("poisoning {percent:>4}%  ({} keys, {} exchanges applied)", res.total_poison, res.exchanges_applied);
+        println!(
+            "poisoning {percent:>4}%  ({} keys, {} exchanges applied)",
+            res.total_poison, res.exchanges_applied
+        );
         println!("  per-model ratio loss: {box_sum}");
-        println!("  worst single model:   {:.1}×", res.models.iter().map(|m| m.ratio()).fold(0.0, f64::max));
+        println!(
+            "  worst single model:   {:.1}×",
+            res.models.iter().map(|m| m.ratio()).fold(0.0, f64::max)
+        );
         println!("  RMI ratio loss:       {:.1}×\n", res.rmi_ratio());
     }
 
@@ -39,7 +47,7 @@ fn main() {
     let clean_rmi = Rmi::build(&clean, &RmiConfig::linear_root(num_models)).expect("build");
     let bad_rmi = Rmi::build(&poisoned, &RmiConfig::linear_root(num_models)).expect("build");
     let mean = |rmi: &Rmi| -> f64 {
-        let total: usize = clean.keys().iter().map(|&k| rmi.lookup(k).comparisons).sum();
+        let total: usize = clean.keys().iter().map(|&k| rmi.lookup(k).cost).sum();
         total as f64 / clean.len() as f64
     };
     println!("mean comparisons per legitimate-key lookup:");

@@ -24,8 +24,8 @@ fn main() {
     );
 
     // Compare lookup costs on the clean index.
-    let rmi_cost: usize = clean.keys().iter().map(|&k| rmi.lookup(k).comparisons).sum();
-    let bt_cost: usize = clean.keys().iter().map(|&k| btree.lookup(k).comparisons).sum();
+    let rmi_cost: usize = clean.keys().iter().map(|&k| rmi.lookup(k).cost).sum();
+    let bt_cost: usize = clean.keys().iter().map(|&k| btree.lookup(k).cost).sum();
     println!(
         "mean comparisons/lookup — RMI: {:.2}, B+-tree: {:.2}",
         rmi_cost as f64 / clean.len() as f64,
@@ -44,8 +44,12 @@ fn main() {
     );
 
     // --- 4. Attack the RMI itself (Algorithm 2) and rebuild -------------
-    let attack = rmi_attack(&clean, 20, &RmiAttackConfig::new(10.0).with_max_exchanges(40))
-        .expect("RMI attack");
+    let attack = rmi_attack(
+        &clean,
+        20,
+        &RmiAttackConfig::new(10.0).with_max_exchanges(40),
+    )
+    .expect("RMI attack");
     let poisoned = attack.poisoned_keyset(&clean).expect("merge");
     let bad_rmi = Rmi::build(&poisoned, &RmiConfig::linear_root(20)).expect("rebuild");
     println!(
@@ -54,13 +58,34 @@ fn main() {
         ratio_loss(bad_rmi.rmi_loss(), rmi.rmi_loss()),
         bad_rmi.max_leaf_error()
     );
-    println!("attack-internal RMI ratio (paper metric): {:.1}×", attack.rmi_ratio());
+    println!(
+        "attack-internal RMI ratio (paper metric): {:.1}×",
+        attack.rmi_ratio()
+    );
 
     // The lookups still succeed — the attack degrades *performance*, not
     // correctness (an availability attack, Section III-C of the paper).
-    let bad_cost: usize = clean.keys().iter().map(|&k| bad_rmi.lookup(k).comparisons).sum();
+    let bad_cost: usize = clean.keys().iter().map(|&k| bad_rmi.lookup(k).cost).sum();
     println!(
         "mean comparisons/lookup on legitimate keys after poisoning: {:.2}",
         bad_cost as f64 / clean.len() as f64
     );
+
+    // --- 5. The same experiment as one pipeline -------------------------
+    // Everything above — workload, attack, victim builds, cost accounting —
+    // is a single fluent chain over the unified trait API. Any registered
+    // index name slots into `.index(...)`; see `lis-cli list-indexes`.
+    let report = Pipeline::new(WorkloadSpec::Uniform {
+        n: 2_000,
+        density: 0.2,
+    })
+    .seed(lis::workloads::DEFAULT_SEED)
+    .attack(lis::poison::GreedyCdfAttack { budget })
+    .index("rmi")
+    .index("btree")
+    .index("pla")
+    .queries(2_000)
+    .run()
+    .expect("pipeline");
+    println!("\n=== pipeline report ===\n{}", report.render());
 }

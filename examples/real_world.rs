@@ -28,17 +28,19 @@ fn attack_dataset(name: &str, keys: &KeySet, model_sizes: &[usize], percents: &[
         let num_models = keys.len() / size;
         println!("\n  [{name}] model size {size} → {num_models} second-stage models");
         for &pct in percents {
-            let cfg = RmiAttackConfig::new(pct)
-                .with_alpha(3.0)
-                .with_max_exchanges(num_models); // cap volume-allocation time
-            let res = rmi_attack(keys, num_models, &cfg).expect("attack");
-            let ratios = res.model_ratios();
-            let summary = BoxplotSummary::from_samples(&ratios).expect("non-empty");
+            // The unified Attack trait: same interface as every other
+            // adversary in the workspace.
+            let attack = lis::poison::RmiPoisonAttack {
+                num_models,
+                cfg: RmiAttackConfig::new(pct)
+                    .with_alpha(3.0)
+                    .with_max_exchanges(num_models), // cap volume-allocation time
+            };
+            let out = attack.run(keys).expect("attack");
             println!(
-                "    {pct:>4}% poison: RMI ratio {:>6.1}×, per-model med {:.1}× / max {:.1}×",
-                res.rmi_ratio(),
-                summary.median,
-                summary.max,
+                "    {pct:>4}% poison: RMI ratio {:>6.1}×, {} keys placed",
+                out.ratio_loss(),
+                out.inserted.len(),
             );
         }
     }

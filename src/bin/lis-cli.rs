@@ -6,13 +6,23 @@
 //! lis-cli attack-regression --dist uniform --keys 1000 --density 0.1 --poison-pct 10
 //! lis-cli attack-rmi --dist lognormal --keys 20000 --density 0.05 --model-size 200 --poison-pct 10 --alpha 3
 //! lis-cli defend --dist uniform --keys 1000 --density 0.1 --poison-pct 10
-//! lis-cli inspect --in keys.txt --model-size 100
+//! lis-cli inspect --in keys.txt --index rmi,btree,pla
+//! lis-cli pipeline --dist lognormal --keys 5000 --attack rmi --defense trim --index rmi,btree
+//! lis-cli list-indexes
 //! ```
 //!
-//! Argument parsing is hand-rolled (the workspace intentionally carries no
-//! CLI dependency); every flag takes the form `--name value`.
+//! Victim structures are resolved by name through the
+//! [`IndexRegistry`]; `list-indexes` prints what is available. Argument
+//! parsing is hand-rolled (the workspace intentionally carries no CLI
+//! dependency); every flag takes the form `--name value`.
 
-use lis::defense::{evaluate_defense, trim_defense, TrimConfig};
+use lis::defense::{
+    evaluate_defense, trim_defense, DensityDefense, IqrDefense, TrimConfig, TrimDefense,
+};
+use lis::pipeline::Pipeline;
+use lis::poison::{
+    DpRmiPoisonAttack, GreedyCdfAttack, MixedAttack, RemovalAttack, RmiPoisonAttack,
+};
 use lis::prelude::*;
 use lis::workloads::realsim;
 use lis::workloads::{domain_for_density, lognormal_keys, normal_keys, trial_rng, uniform_keys};
@@ -33,6 +43,8 @@ fn main() -> ExitCode {
         "attack-removal" => cmd_attack_removal(&flags),
         "defend" => cmd_defend(&flags),
         "inspect" => cmd_inspect(&flags),
+        "pipeline" => cmd_pipeline(&flags),
+        "list-indexes" => cmd_list_indexes(),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -79,7 +91,19 @@ COMMANDS:
 
   inspect             index statistics for a keyset
       --in FILE       keys, one per line (or generate flags)
-      --model-size M  second-stage model size                     [100]
+      --index NAMES   comma-separated registry names       [rmi,btree,pla]
+
+  pipeline            workload -> attack -> defense -> index sweep
+      (generate flags)
+      --index NAMES   comma-separated registry names       [rmi,btree]
+      --attack A      none|greedy|rmi|rmi-dp|removal|mixed      [greedy]
+      --defense D     none|trim|iqr|density                       [none]
+      --poison-pct P  attack budget as a percentage                 [10]
+      --model-size M  keys per second-stage model (rmi attacks)    [100]
+      --alpha A       per-model threshold multiplier                 [3]
+      --queries Q     member-key probes per index                 [2000]
+
+  list-indexes        print the registered index names
 
   help                print this message";
 
@@ -101,15 +125,20 @@ fn parse_args(args: &[String]) -> Option<(String, Flags)> {
 fn flag<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, String> {
     match flags.get(name) {
         None => Ok(default),
-        Some(raw) => raw.parse().map_err(|_| format!("invalid value '{raw}' for --{name}")),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("invalid value '{raw}' for --{name}")),
     }
 }
 
 fn load_or_generate(flags: &Flags) -> Result<KeySet, String> {
     if let Some(path) = flags.get("in") {
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-        let keys: Result<Vec<Key>, _> =
-            text.lines().filter(|l| !l.trim().is_empty()).map(|l| l.trim().parse()).collect();
+        let keys: Result<Vec<Key>, _> = text
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| l.trim().parse())
+            .collect();
         let keys = keys.map_err(|e| format!("parsing {path}: {e}"))?;
         return KeySet::from_keys(keys).map_err(|e| e.to_string());
     }
@@ -179,13 +208,18 @@ fn cmd_attack_rmi(flags: &Flags) -> Result<(), String> {
     let model_size: usize = flag(flags, "model-size", 100)?;
     let alpha: f64 = flag(flags, "alpha", 3.0)?;
     let num_models = (ks.len() / model_size).max(1);
-    let cfg = RmiAttackConfig::new(pct).with_alpha(alpha).with_max_exchanges(num_models.min(64));
+    let cfg = RmiAttackConfig::new(pct)
+        .with_alpha(alpha)
+        .with_max_exchanges(num_models.min(64));
     let res = rmi_attack(&ks, num_models, &cfg).map_err(|e| e.to_string())?;
     let ratios = res.model_ratios();
     let summary = BoxplotSummary::from_samples(&ratios).ok_or("no models")?;
     println!("keyset:            {ks}");
     println!("second stage:      {num_models} models x {model_size} keys");
-    println!("poison placed:     {} ({pct}% requested, alpha {alpha})", res.total_poison);
+    println!(
+        "poison placed:     {} ({pct}% requested, alpha {alpha})",
+        res.total_poison
+    );
     println!("exchanges applied: {}", res.exchanges_applied);
     println!("per-model ratio:   {summary}");
     println!("RMI ratio loss:    {:.2}x", res.rmi_ratio());
@@ -204,7 +238,10 @@ fn cmd_attack_rmi_dp(flags: &Flags) -> Result<(), String> {
     let summary = BoxplotSummary::from_samples(&ratios).ok_or("no models")?;
     println!("keyset:          {ks}");
     println!("second stage:    {num_models} models x {model_size} keys");
-    println!("poison placed:   {} ({pct}% requested, alpha {alpha}, exact DP)", res.total_poison);
+    println!(
+        "poison placed:   {} ({pct}% requested, alpha {alpha}, exact DP)",
+        res.total_poison
+    );
     println!("per-model ratio: {summary}");
     println!("RMI ratio loss:  {:.2}x", res.rmi_ratio());
     Ok(())
@@ -233,32 +270,131 @@ fn cmd_defend(flags: &Flags) -> Result<(), String> {
     println!("attack ratio loss:   {:.2}x", report.ratio_before());
     println!("TRIM iterations:     {}", out.iterations);
     println!("poison recall:       {:.1}%", 100.0 * report.poison_recall);
-    println!("removal precision:   {:.1}%", 100.0 * report.removal_precision);
+    println!(
+        "removal precision:   {:.1}%",
+        100.0 * report.removal_precision
+    );
     println!("legitimate removed:  {}", report.legit_removed);
-    println!("post-defense ratio:  {:.2}x (recovery {:.0}%)", report.ratio_after(), 100.0 * report.recovery());
+    println!(
+        "post-defense ratio:  {:.2}x (recovery {:.0}%)",
+        report.ratio_after(),
+        100.0 * report.recovery()
+    );
     Ok(())
 }
 
 fn cmd_inspect(flags: &Flags) -> Result<(), String> {
     let ks = load_or_generate(flags)?;
-    let model_size: usize = flag(flags, "model-size", 100)?;
-    let num_models = (ks.len() / model_size).max(1);
-    let rmi = Rmi::build(&ks, &RmiConfig::linear_root(num_models)).map_err(|e| e.to_string())?;
-    let btree = lis::core::btree::BPlusTree::build(&ks, 64).map_err(|e| e.to_string())?;
-    let pla = lis::core::pla::PlaIndex::build(&ks, 16).map_err(|e| e.to_string())?;
-    println!("keyset:        {ks}");
-    println!("RMI:           {num_models} models, L_RMI {:.4}, max leaf err {}", rmi.rmi_loss(), rmi.max_leaf_error());
-    println!("B+-tree:       height {}, {} nodes (fanout 64)", btree.height(), btree.node_count());
-    println!("PLA (eps=16):  {} segments", pla.num_segments());
-    let sample: Vec<&Key> = ks.keys().iter().step_by((ks.len() / 64).max(1)).collect();
-    let rmi_cmp: usize = sample.iter().map(|&&k| rmi.lookup(k).comparisons).sum();
-    let bt_cmp: usize = sample.iter().map(|&&k| btree.lookup(k).comparisons).sum();
+    let names = flags
+        .get("index")
+        .cloned()
+        .unwrap_or_else(|| "rmi,btree,pla".into());
+    let registry = IndexRegistry::with_defaults();
+    let probes: Vec<Key> = ks
+        .keys()
+        .iter()
+        .step_by((ks.len() / 256).max(1))
+        .copied()
+        .collect();
+    println!("keyset: {ks}\n");
     println!(
-        "mean lookup comparisons over {} probes: RMI {:.2}, B+-tree {:.2}",
-        sample.len(),
-        rmi_cmp as f64 / sample.len() as f64,
-        bt_cmp as f64 / sample.len() as f64
+        "{:<12} {:>12} {:>12} {:>14}",
+        "index", "loss", "mem_bytes", "mean_cost"
     );
+    for name in names.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let idx = registry.build(name, &ks).map_err(|e| e.to_string())?;
+        let results = idx.lookup_batch(&probes);
+        let mean_cost =
+            results.iter().map(|r| r.cost).sum::<usize>() as f64 / probes.len().max(1) as f64;
+        if let Some(miss) = results.iter().position(|r| !r.found) {
+            return Err(format!("{name} lost member key {}", probes[miss]));
+        }
+        println!(
+            "{:<12} {:>12.4} {:>12} {:>14.2}",
+            idx.name(),
+            idx.loss(),
+            idx.memory_bytes(),
+            mean_cost
+        );
+    }
+    Ok(())
+}
+
+fn cmd_list_indexes() -> Result<(), String> {
+    let registry = IndexRegistry::with_defaults();
+    for name in registry.names() {
+        println!(
+            "{name:<12} {}",
+            registry.description(name).unwrap_or_default()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_pipeline(flags: &Flags) -> Result<(), String> {
+    let ks = load_or_generate(flags)?;
+    let n = ks.len();
+    let seed: u64 = flag(flags, "seed", 42)?;
+    let pct: f64 = flag(flags, "poison-pct", 10.0)?;
+    let model_size: usize = flag(flags, "model-size", 100)?;
+    let alpha: f64 = flag(flags, "alpha", 3.0)?;
+    let queries: usize = flag(flags, "queries", 2_000)?;
+    let num_models = (n / model_size).max(1);
+
+    let mut pipeline = Pipeline::new(WorkloadSpec::Fixed(ks))
+        .seed(seed)
+        .queries(queries);
+
+    let attack = flags.get("attack").map(String::as_str).unwrap_or("greedy");
+    pipeline = match attack {
+        // No attack stage at all: the report then shows a plain clean run
+        // instead of a vacuous null-adversary ground truth.
+        "none" => pipeline,
+        "greedy" => pipeline.attack(GreedyCdfAttack {
+            budget: PoisonBudget::percentage(pct, n).map_err(|e| e.to_string())?,
+        }),
+        "rmi" => pipeline.attack(RmiPoisonAttack {
+            num_models,
+            cfg: RmiAttackConfig::new(pct)
+                .with_alpha(alpha)
+                .with_max_exchanges(num_models.min(64)),
+        }),
+        "rmi-dp" => pipeline.attack(DpRmiPoisonAttack {
+            num_models,
+            poison_percent: pct,
+            alpha,
+        }),
+        "removal" => pipeline.attack(RemovalAttack {
+            count: (pct / 100.0 * n as f64).floor() as usize,
+        }),
+        "mixed" => pipeline.attack(MixedAttack {
+            budget: PoisonBudget::percentage(pct, n).map_err(|e| e.to_string())?,
+        }),
+        other => return Err(format!("unknown attack '{other}'")),
+    };
+
+    let defense = flags.get("defense").map(String::as_str).unwrap_or("none");
+    pipeline = match defense {
+        "none" => pipeline,
+        "trim" => pipeline.defense(TrimDefense::keys(n)),
+        "iqr" => pipeline.defense(IqrDefense { k: 1.5 }),
+        "density" => pipeline.defense(DensityDefense {
+            window: 3,
+            crowd_factor: 3.0,
+        }),
+        other => return Err(format!("unknown defense '{other}'")),
+    };
+
+    let names = flags
+        .get("index")
+        .cloned()
+        .unwrap_or_else(|| "rmi,btree".into());
+    for name in names.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        pipeline = pipeline.index(name);
+    }
+
+    let report = pipeline.run().map_err(|e| e.to_string())?;
+    print!("{}", report.render());
     Ok(())
 }
 

@@ -4,14 +4,20 @@
 //! Index to Your Data: Poisoning Attacks on Learned Index Structures"*
 //! (Kornaropoulos, Ren, Tamassia — SIGMOD 2022).
 //!
-//! Re-exports the four subsystem crates:
+//! Re-exports the four subsystem crates and adds the experiment
+//! [`pipeline`]:
 //!
 //! * [`core`] — the learned-index substrate (CDF regression, RMI,
-//!   B+-tree baseline, record store, metrics);
-//! * [`poison`] — the paper's attacks (optimal single-point,
-//!   greedy multi-point, RMI volume allocation);
-//! * [`defense`] — TRIM adaptation and outlier filters;
-//! * [`workloads`] — synthetic and simulated-real keysets.
+//!   B+-tree baseline, record store, metrics) and the unified
+//!   [`LearnedIndex`](lis_core::index::LearnedIndex) trait layer;
+//! * [`poison`] — the paper's attacks behind the
+//!   [`Attack`](lis_poison::Attack) trait (optimal single-point, greedy
+//!   multi-point, RMI volume allocation, deletion adversaries);
+//! * [`defense`] — TRIM adaptation and outlier filters behind the
+//!   [`Defense`](lis_defense::Defense) trait;
+//! * [`workloads`] — synthetic and simulated-real keysets;
+//! * [`pipeline`] — the workload → attack → defense → index → report
+//!   builder composing all of the above.
 //!
 //! ## End-to-end example
 //!
@@ -43,16 +49,21 @@ pub use lis_defense as defense;
 pub use lis_poison as poison;
 pub use lis_workloads as workloads;
 
+pub mod pipeline;
+
 /// Convenience prelude importing the types used by almost every experiment.
 pub mod prelude {
+    pub use crate::pipeline::{Pipeline, PipelineReport, WorkloadSpec};
     pub use lis_core::btree::BPlusTree;
+    pub use lis_core::index::{DynIndex, IndexRegistry, LearnedIndex, Lookup};
     pub use lis_core::keys::{Key, KeyDomain, KeySet};
     pub use lis_core::linreg::LinearModel;
     pub use lis_core::metrics::{ratio_loss, rmi_ratio_report};
     pub use lis_core::rmi::{Rmi, RmiConfig, Routing};
     pub use lis_core::stats::BoxplotSummary;
+    pub use lis_defense::{Defense, DefenseOutcome};
     pub use lis_poison::{
-        greedy_poison, optimal_single_point, rmi_attack, GreedyPlan, PoisonBudget,
-        RmiAttackConfig, RmiAttackResult,
+        greedy_poison, optimal_single_point, rmi_attack, Attack, AttackOutcome, GreedyPlan,
+        PoisonBudget, RmiAttackConfig, RmiAttackResult,
     };
 }

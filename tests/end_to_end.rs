@@ -16,7 +16,12 @@ fn poisoned_index_still_answers_every_query() {
     let domain = domain_for_density(2_000, 0.15).unwrap();
     let clean = uniform_keys(&mut rng, 2_000, domain).unwrap();
 
-    let res = rmi_attack(&clean, 20, &RmiAttackConfig::new(10.0).with_max_exchanges(16)).unwrap();
+    let res = rmi_attack(
+        &clean,
+        20,
+        &RmiAttackConfig::new(10.0).with_max_exchanges(16),
+    )
+    .unwrap();
     let poisoned = res.poisoned_keyset(&clean).unwrap();
     let rmi = Rmi::build(&poisoned, &RmiConfig::linear_root(20)).unwrap();
 
@@ -33,15 +38,18 @@ fn poisoning_increases_lookup_cost() {
     let domain = domain_for_density(5_000, 0.1).unwrap();
     let clean = uniform_keys(&mut rng, 5_000, domain).unwrap();
 
-    let res = rmi_attack(&clean, 50, &RmiAttackConfig::new(10.0).with_max_exchanges(16)).unwrap();
+    let res = rmi_attack(
+        &clean,
+        50,
+        &RmiAttackConfig::new(10.0).with_max_exchanges(16),
+    )
+    .unwrap();
     let poisoned = res.poisoned_keyset(&clean).unwrap();
 
     let before = Rmi::build(&clean, &RmiConfig::linear_root(50)).unwrap();
     let after = Rmi::build(&poisoned, &RmiConfig::linear_root(50)).unwrap();
 
-    let cost = |rmi: &Rmi| -> usize {
-        clean.keys().iter().map(|&k| rmi.lookup(k).comparisons).sum()
-    };
+    let cost = |rmi: &Rmi| -> usize { clean.keys().iter().map(|&k| rmi.lookup(k).cost).sum() };
     let (c_before, c_after) = (cost(&before), cost(&after));
     assert!(
         c_after > c_before,
@@ -57,18 +65,26 @@ fn rmi_beats_btree_clean_and_loses_ground_poisoned() {
     let btree = BPlusTree::build(&clean, 64).unwrap();
     let rmi = Rmi::build(&clean, &RmiConfig::linear_root(100)).unwrap();
 
-    let rmi_cost: usize = clean.keys().iter().map(|&k| rmi.lookup(k).comparisons).sum();
-    let bt_cost: usize = clean.keys().iter().map(|&k| btree.lookup(k).comparisons).sum();
+    let rmi_cost: usize = clean.keys().iter().map(|&k| rmi.lookup(k).cost).sum();
+    let bt_cost: usize = clean.keys().iter().map(|&k| btree.lookup(k).cost).sum();
     assert!(
         rmi_cost < bt_cost,
         "clean RMI should beat the B+-tree on uniform data: {rmi_cost} vs {bt_cost}"
     );
 
-    let res = rmi_attack(&clean, 100, &RmiAttackConfig::new(10.0).with_max_exchanges(16)).unwrap();
+    let res = rmi_attack(
+        &clean,
+        100,
+        &RmiAttackConfig::new(10.0).with_max_exchanges(16),
+    )
+    .unwrap();
     let poisoned = res.poisoned_keyset(&clean).unwrap();
     let bad = Rmi::build(&poisoned, &RmiConfig::linear_root(100)).unwrap();
-    let bad_cost: usize = clean.keys().iter().map(|&k| bad.lookup(k).comparisons).sum();
-    assert!(bad_cost > rmi_cost, "the poisoned RMI must be slower than the clean one");
+    let bad_cost: usize = clean.keys().iter().map(|&k| bad.lookup(k).cost).sum();
+    assert!(
+        bad_cost > rmi_cost,
+        "the poisoned RMI must be slower than the clean one"
+    );
 }
 
 #[test]
@@ -77,7 +93,12 @@ fn attack_effect_matches_metrics_report() {
     let domain = domain_for_density(3_000, 0.2).unwrap();
     let clean = lognormal_keys(&mut rng, 3_000, domain).unwrap();
 
-    let res = rmi_attack(&clean, 30, &RmiAttackConfig::new(10.0).with_max_exchanges(16)).unwrap();
+    let res = rmi_attack(
+        &clean,
+        30,
+        &RmiAttackConfig::new(10.0).with_max_exchanges(16),
+    )
+    .unwrap();
     // The attack's own accounting must be self-consistent.
     let mean: f64 =
         res.models.iter().map(|m| m.poisoned_loss).sum::<f64>() / res.models.len() as f64;
@@ -100,7 +121,11 @@ fn record_store_serves_learned_positions() {
     for &k in clean.keys().iter().step_by(7) {
         let pos = rmi.lookup(k).pos.unwrap();
         let record = store.record_at(pos).unwrap();
-        assert_eq!(&record[..8], &k.to_le_bytes(), "record payload mismatch for key {k}");
+        assert_eq!(
+            &record[..8],
+            &k.to_le_bytes(),
+            "record payload mismatch for key {k}"
+        );
     }
 }
 

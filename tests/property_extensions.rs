@@ -70,7 +70,7 @@ proptest! {
         for kind in [HashKind::Learned, HashKind::Random] {
             let t = HashIndex::build(&ks, ks.len() * slots_mult, kind).unwrap();
             for &k in ks.keys() {
-                prop_assert!(t.lookup(k).0);
+                prop_assert!(t.lookup(k).found);
             }
             // Chain mass conservation: Σ bucket lens == n.
             let mass: f64 = t.expected_probes() * ks.len() as f64;

@@ -1,0 +1,109 @@
+//! Property tests for the unified index API: every structure the
+//! [`IndexRegistry`] can build must agree with the B+-tree baseline on
+//! membership — and on position, where it reports one — for random
+//! keysets of every workload shape, both before and after poisoning.
+//!
+//! This is the contract the whole experiment pipeline rests on: an
+//! availability attack degrades *cost*, never *answers*, no matter which
+//! victim structure serves the query.
+
+use lis::poison::GreedyCdfAttack;
+use lis::prelude::*;
+use lis::workloads::{domain_for_density, lognormal_keys, normal_keys, trial_rng, uniform_keys};
+use proptest::prelude::*;
+
+const N: usize = 400;
+const DENSITY: f64 = 0.15;
+
+/// Samples one of the paper's three workload shapes.
+fn sample_keyset(dist: usize, seed: u64) -> KeySet {
+    let domain = domain_for_density(N, DENSITY).expect("valid density");
+    let mut rng = trial_rng(seed, 0);
+    match dist {
+        0 => uniform_keys(&mut rng, N, domain),
+        1 => normal_keys(&mut rng, N, domain),
+        _ => lognormal_keys(&mut rng, N, domain),
+    }
+    .expect("sampling")
+}
+
+/// Member probes plus guaranteed-absent probes (gap interiors and keys
+/// beyond the domain).
+fn probe_keys(ks: &KeySet) -> Vec<Key> {
+    let mut probes: Vec<Key> = ks.keys().iter().step_by(3).copied().collect();
+    probes.extend(ks.gaps().iter().take(40).map(|g| g.lo + (g.hi - g.lo) / 2));
+    probes.push(ks.max_key() + 1);
+    probes.push(ks.max_key().saturating_add(10_000));
+    if ks.min_key() > 0 {
+        probes.push(ks.min_key() - 1);
+    }
+    probes
+}
+
+/// The agreement contract for one keyset: every registry index vs the
+/// B+-tree baseline, driven through the batched hot path.
+fn assert_agreement(ks: &KeySet, context: &str) -> Result<(), TestCaseError> {
+    let registry = IndexRegistry::with_defaults();
+    let baseline = registry.build("btree", ks).expect("baseline build");
+    let probes = probe_keys(ks);
+    let expected = baseline.lookup_batch(&probes);
+
+    // The baseline itself must mirror the keyset's ground truth.
+    for (&k, e) in probes.iter().zip(&expected) {
+        prop_assert_eq!(
+            e.found,
+            ks.contains(k),
+            "{} btree membership of {}",
+            context,
+            k
+        );
+        if let Some(pos) = e.pos {
+            prop_assert_eq!(ks.keys()[pos], k, "{} btree position of {}", context, k);
+        }
+    }
+
+    for name in registry.names() {
+        let index = registry.build(name, ks).expect("registry build");
+        prop_assert_eq!(index.len(), ks.len(), "{} {} len", context, name);
+        let results = index.lookup_batch(&probes);
+        prop_assert_eq!(results.len(), probes.len());
+        for ((&k, r), e) in probes.iter().zip(&results).zip(&expected) {
+            prop_assert_eq!(
+                r.found,
+                e.found,
+                "{}: {} disagrees with btree on membership of {}",
+                context,
+                name,
+                k
+            );
+            if let Some(pos) = r.pos {
+                prop_assert_eq!(
+                    Some(pos),
+                    e.pos,
+                    "{}: {} disagrees with btree on position of {}",
+                    context,
+                    name,
+                    k
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn registry_indexes_agree_with_btree_before_and_after_poisoning(
+        seed in 0u64..1_000,
+        dist in 0usize..3,
+    ) {
+        let clean = sample_keyset(dist, seed);
+        assert_agreement(&clean, "clean")?;
+
+        let attack = GreedyCdfAttack {
+            budget: PoisonBudget::percentage(10.0, clean.len()).expect("legal pct"),
+        };
+        let poisoned = attack.run(&clean).expect("attack").poisoned;
+        assert_agreement(&poisoned, "poisoned")?;
+    }
+}
