@@ -4,13 +4,74 @@
 //!
 //! Prints one table per workload (loss ratio, lookup-cost ratio, memory
 //! ratio, membership correctness per index) and writes CSVs under
-//! `target/experiments/`.
+//! `target/experiments/`, then runs the sharded-serving comparison:
+//! `rmi` vs `sharded:rmi:8` on a 10⁶-key uniform workload, reporting
+//! build and batched-lookup wall clock plus the measured speedup
+//! (override the keyset size with `LIS_SHARD_KEYS` for smoke runs).
 
 use lis::pipeline::{Pipeline, WorkloadSpec};
 use lis::poison::{GreedyCdfAttack, PoisonBudget};
 use lis::prelude::*;
 use lis_bench::{banner, timed, Scale};
 use lis_workloads::ResultTable;
+
+/// Sharded vs unsharded serving on a large uniform keyset: equal answers,
+/// measured wall-clock difference on the batched lookup hot path.
+fn sharded_serving_comparison() {
+    let n: usize = std::env::var("LIS_SHARD_KEYS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000);
+    let shards = 8;
+    let sharded_name = format!("sharded:rmi:{shards}");
+    println!("[sharded] rmi vs {sharded_name} on {n} uniform keys");
+
+    let ks = WorkloadSpec::Uniform { n, density: 0.1 }
+        .sample(42, 0)
+        .expect("sample keyset");
+    let probes: Vec<Key> = ks.keys().iter().step_by(5).copied().collect();
+    let registry = IndexRegistry::with_defaults();
+
+    let (plain, plain_build) = timed(|| registry.build("rmi", &ks).expect("build rmi"));
+    let (sharded, sharded_build) =
+        timed(|| registry.build(&sharded_name, &ks).expect("build sharded"));
+    let (plain_hits, plain_lookup) = timed(|| plain.lookup_batch(&probes));
+    let (sharded_hits, sharded_lookup) = timed(|| sharded.lookup_batch(&probes));
+
+    // Correctness first: the sharded composite must answer identically.
+    for ((&k, p), s) in probes.iter().zip(&plain_hits).zip(&sharded_hits) {
+        assert_eq!(p.found, s.found, "sharded membership diverged on {k}");
+        assert_eq!(p.pos, s.pos, "sharded position diverged on {k}");
+        assert!(p.found, "member key {k} lost");
+    }
+
+    let speedup = plain_lookup / sharded_lookup.max(1e-9);
+    let mut table = ResultTable::new(
+        "pipeline_matrix_sharded",
+        &["index", "build_s", "lookup_s", "lookup_speedup"],
+    );
+    table.push_row([
+        "rmi".to_string(),
+        format!("{plain_build:.3}"),
+        format!("{plain_lookup:.3}"),
+        "1.00".to_string(),
+    ]);
+    table.push_row([
+        sharded_name.clone(),
+        format!("{sharded_build:.3}"),
+        format!("{sharded_lookup:.3}"),
+        format!("{speedup:.2}"),
+    ]);
+    table.print();
+    table.write_csv().expect("write csv");
+    println!(
+        "[sharded] batched-lookup speedup over unsharded: {speedup:.2}x \
+         ({} probes, {} shards, {} worker threads)\n",
+        probes.len(),
+        shards,
+        std::thread::available_parallelism().map_or(1, |p| p.get()),
+    );
+}
 
 fn main() {
     let scale = Scale::from_env();
@@ -30,9 +91,13 @@ fn main() {
         WorkloadSpec::Normal { n, density: 0.1 },
         WorkloadSpec::LogNormal { n, density: 0.1 },
     ];
+    // Every registered victim, plus a sharded composite riding the same
+    // harness (resolved implicitly by the registry).
     let index_names: Vec<String> = {
         let registry = IndexRegistry::with_defaults();
-        registry.names().iter().map(|s| s.to_string()).collect()
+        let mut names: Vec<String> = registry.names().iter().map(|s| s.to_string()).collect();
+        names.push("sharded:rmi:8".to_string());
+        names
     };
 
     for workload in workloads {
@@ -98,5 +163,6 @@ fn main() {
             btree.cost_ratio()
         );
     }
+    sharded_serving_comparison();
     println!("pipeline matrix complete.");
 }

@@ -268,14 +268,33 @@ impl IndexRegistry {
     }
 
     /// Builds the index registered under `name` over `ks`.
+    ///
+    /// Besides exact entries, names of the form `sharded:<inner>:<N>`
+    /// resolve implicitly: the registered `<inner>` entry is built once per
+    /// contiguous range shard and served through a
+    /// [`ShardedIndex`](crate::shard::ShardedIndex) (shard builds run on a
+    /// scoped thread pool). See [`crate::shard`].
     pub fn build(&self, name: &str, ks: &KeySet) -> Result<DynIndex> {
-        match self.entries.get(name) {
-            Some(entry) => (entry.builder)(ks),
-            None => Err(LisError::UnknownIndex {
-                name: name.to_string(),
-                available: self.names().join(", "),
-            }),
+        if let Some(entry) = self.entries.get(name) {
+            return (entry.builder)(ks);
         }
+        if let Some((inner, shards)) = crate::shard::parse_sharded_name(name) {
+            let sharded = crate::shard::ShardedIndex::build_with(ks, shards, 0, |part| {
+                self.build(inner, part)
+            })?;
+            return Ok(DynIndex::new(name, sharded));
+        }
+        Err(LisError::UnknownIndex {
+            name: name.to_string(),
+            available: format!("{}, sharded:<name>:<N>", self.names().join(", ")),
+        })
+    }
+
+    /// Whether `name` resolves through [`IndexRegistry::build`] — an exact
+    /// entry or a `sharded:<inner>:<N>` composite over one.
+    pub fn resolves(&self, name: &str) -> bool {
+        self.contains(name)
+            || crate::shard::parse_sharded_name(name).is_some_and(|(inner, _)| self.resolves(inner))
     }
 
     /// Registered names, sorted.
@@ -502,6 +521,18 @@ mod tests {
         let err = reg.build("skiplist", &keyset(10)).unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("skiplist") && msg.contains("btree"), "{msg}");
+    }
+
+    #[test]
+    fn resolves_covers_exact_and_sharded_names() {
+        let reg = IndexRegistry::with_defaults();
+        assert!(reg.resolves("rmi"));
+        assert!(reg.resolves("sharded:rmi:8"));
+        assert!(reg.resolves("sharded:sharded:btree:2:4"));
+        assert!(!reg.resolves("skiplist"));
+        assert!(!reg.resolves("sharded:skiplist:8"));
+        assert!(!reg.resolves("sharded:rmi:0"));
+        assert!(!reg.resolves("sharded:rmi"));
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! * [`index`] — the unified [`LearnedIndex`] trait, the shared [`Lookup`]
 //!   result, the object-safe [`DynIndex`] wrapper, and the string-keyed
 //!   [`IndexRegistry`] every harness builds victims through;
+//! * [`shard`] — range-partitioned sharded serving over any structure
+//!   (`sharded:<name>:<N>` registry names, scoped-thread-pool fan-out);
 //! * [`search`] — exponential/binary local search with comparison counting;
 //! * [`btree`] — a bulk-loaded B+-tree baseline for lookup comparisons;
 //! * [`store`] — the dense sorted record array with logical paging;
@@ -54,6 +56,7 @@ pub mod nn;
 pub mod pla;
 pub mod rmi;
 pub mod search;
+pub mod shard;
 pub mod stats;
 pub mod store;
 
@@ -62,3 +65,4 @@ pub use index::{DynIndex, ErasedIndex, IndexRegistry, LearnedIndex, Lookup};
 pub use keys::{Gap, Key, KeyDomain, KeySet, Rank};
 pub use linreg::LinearModel;
 pub use rmi::{Rmi, RmiConfig, Routing};
+pub use shard::{parse_sharded_name, ShardConfig, ShardedIndex};

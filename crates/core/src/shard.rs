@@ -1,0 +1,463 @@
+//! Sharded serving: a range-partitioned composite over any index structure.
+//!
+//! The paper's experiments build one monolithic structure per keyset; a
+//! serving deployment at the paper's 10⁷-key scale instead splits the key
+//! range into contiguous shards and serves each from its own structure —
+//! the partitioned-learned-structure design ALEX popularized. A
+//! [`ShardedIndex`] does exactly that over *any* victim in the workspace:
+//! it partitions the keyset into `N` contiguous shards (via
+//! [`KeySet::partition`]), builds an inner index per shard, and routes each
+//! query through a fence-key binary search to the owning shard.
+//!
+//! Builds and batched lookups fan out across a scoped thread pool — every
+//! structure in the workspace is `Send + Sync`, so shards can be built and
+//! queried concurrently without copying the keyset.
+//!
+//! Sharded composites register *implicitly* in the
+//! [`IndexRegistry`](crate::index::IndexRegistry): any name of the form
+//! `sharded:<inner>:<N>` (e.g. `sharded:rmi:8`) resolves by building the
+//! registered `<inner>` entry once per shard, so the whole experiment
+//! harness — pipeline, CLI, benches, property tests — serves sharded
+//! fleets with no new plumbing.
+//!
+//! ## Example
+//!
+//! ```
+//! use lis_core::index::IndexRegistry;
+//! use lis_core::keys::KeySet;
+//!
+//! let ks = KeySet::from_keys((0..2_000u64).map(|i| i * 3).collect()).unwrap();
+//! let registry = IndexRegistry::with_defaults();
+//! let sharded = registry.build("sharded:rmi:8", &ks).unwrap();
+//! let plain = registry.build("rmi", &ks).unwrap();
+//! let hit = sharded.lookup(ks.keys()[1_234]);
+//! assert!(hit.found);
+//! assert_eq!(hit.pos, plain.lookup(ks.keys()[1_234]).pos);
+//! ```
+
+use crate::error::{LisError, Result};
+use crate::index::{DynIndex, LearnedIndex, Lookup};
+use crate::keys::{Key, KeySet};
+use std::sync::Arc;
+
+/// Shared per-shard constructor held by a [`ShardConfig`].
+pub type ShardBuilder = Arc<dyn Fn(&KeySet) -> Result<DynIndex> + Send + Sync>;
+
+/// Parses a `sharded:<inner>:<N>` registry name into `(inner, N)`.
+///
+/// The inner name may itself contain colons (so `sharded:sharded:rmi:2:4`
+/// nests), which is why the shard count is taken from the *last* segment.
+/// Returns `None` for names without the prefix, an empty inner name, a
+/// non-numeric count, or a count of zero.
+pub fn parse_sharded_name(name: &str) -> Option<(&str, usize)> {
+    let spec = name.strip_prefix("sharded:")?;
+    let (inner, count) = spec.rsplit_once(':')?;
+    let shards: usize = count.parse().ok()?;
+    if inner.is_empty() || shards == 0 {
+        return None;
+    }
+    Some((inner, shards))
+}
+
+/// Number of worker threads a sharded structure uses when the caller passes
+/// `0` ("pick for me"): the machine's available parallelism.
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Build-time configuration of a [`ShardedIndex`] (the
+/// [`LearnedIndex::Config`] of the composite).
+#[derive(Clone)]
+pub struct ShardConfig {
+    /// Number of contiguous range shards (clamped to the keyset size).
+    pub shards: usize,
+    /// Worker threads for builds and batched lookups; `0` means the
+    /// machine's available parallelism.
+    pub threads: usize,
+    /// Constructor invoked once per shard keyset.
+    pub build_shard: ShardBuilder,
+}
+
+impl ShardConfig {
+    /// Configuration building each shard with `build_shard`.
+    pub fn new<F>(shards: usize, build_shard: F) -> Self
+    where
+        F: Fn(&KeySet) -> Result<DynIndex> + Send + Sync + 'static,
+    {
+        Self {
+            shards,
+            threads: 0,
+            build_shard: Arc::new(build_shard),
+        }
+    }
+
+    /// Overrides the worker-thread count (`0` = available parallelism).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+impl std::fmt::Debug for ShardConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardConfig")
+            .field("shards", &self.shards)
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+/// A range-partitioned composite index: `N` contiguous shards of the
+/// keyset, each served by its own inner structure, with fence-key routing.
+///
+/// Implements [`LearnedIndex`] itself, so a sharded fleet is
+/// indistinguishable from a monolithic victim to every harness: positions
+/// are re-based to the global sorted order, `loss` is the key-weighted mean
+/// of the shard losses, and `memory_bytes` sums the shards plus the
+/// routing tables.
+pub struct ShardedIndex {
+    shards: Vec<DynIndex>,
+    /// Smallest key of each shard, strictly increasing — the routing fence.
+    fences: Vec<Key>,
+    /// Global position of each shard's first key.
+    offsets: Vec<usize>,
+    len: usize,
+    loss: f64,
+    threads: usize,
+    /// Comparisons charged per query for the fence binary search.
+    route_cost: usize,
+}
+
+impl ShardedIndex {
+    /// Builds `shards` contiguous range shards over `ks`, constructing each
+    /// inner index with `build` (in parallel when `threads > 1`).
+    ///
+    /// `shards` is clamped to the keyset size; `threads == 0` selects the
+    /// machine's available parallelism.
+    pub fn build_with<F>(ks: &KeySet, shards: usize, threads: usize, build: F) -> Result<Self>
+    where
+        F: Fn(&KeySet) -> Result<DynIndex> + Sync,
+    {
+        if shards == 0 {
+            return Err(LisError::Invariant(
+                "sharded index needs at least one shard".into(),
+            ));
+        }
+        let shards = shards.min(ks.len());
+        let threads = if threads == 0 {
+            default_threads()
+        } else {
+            threads
+        };
+        let parts = ks.partition(shards)?;
+
+        // At most `threads` workers, each building a contiguous run of
+        // shards — never one thread per shard.
+        let workers = threads.min(shards).max(1);
+        let built: Vec<Result<DynIndex>> = if workers > 1 {
+            let per_worker = shards.div_ceil(workers);
+            std::thread::scope(|s| {
+                let build = &build;
+                let handles: Vec<_> = parts
+                    .chunks(per_worker)
+                    .map(|chunk| s.spawn(move || chunk.iter().map(build).collect::<Vec<_>>()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("shard build thread panicked"))
+                    .collect()
+            })
+        } else {
+            parts.iter().map(&build).collect()
+        };
+
+        let mut inner = Vec::with_capacity(shards);
+        let mut fences = Vec::with_capacity(shards);
+        let mut offsets = Vec::with_capacity(shards);
+        let mut len = 0usize;
+        let mut loss_acc = 0.0f64;
+        for (part, idx) in parts.iter().zip(built) {
+            let idx = idx?;
+            fences.push(part.min_key());
+            offsets.push(len);
+            len += idx.len();
+            loss_acc += idx.loss() * idx.len() as f64;
+            inner.push(idx);
+        }
+        // ceil(log2(shards + 1)) — comparisons of the fence binary search.
+        let route_cost = usize::BITS as usize - shards.leading_zeros() as usize;
+        Ok(Self {
+            shards: inner,
+            fences,
+            offsets,
+            len,
+            loss: if len == 0 { 0.0 } else { loss_acc / len as f64 },
+            threads,
+            route_cost,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard inner indexes, in key order.
+    pub fn shards(&self) -> &[DynIndex] {
+        &self.shards
+    }
+
+    /// Worker threads used by [`ShardedIndex::lookup_batch`].
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Index of the shard owning `key` (keys below the first fence route to
+    /// shard 0, where they correctly miss).
+    fn route(&self, key: Key) -> usize {
+        self.fences.partition_point(|&f| f <= key).saturating_sub(1)
+    }
+
+    fn lookup_one(&self, key: Key) -> Lookup {
+        let s = self.route(key);
+        self.globalize(s, self.shards[s].lookup(key))
+    }
+
+    /// Re-bases a shard-local result to the global view: global rank and
+    /// the fence-routing comparisons on top of the shard's own cost.
+    fn globalize(&self, shard: usize, mut hit: Lookup) -> Lookup {
+        if let Some(pos) = hit.pos {
+            hit.pos = Some(pos + self.offsets[shard]);
+        }
+        hit.cost += self.route_cost;
+        hit
+    }
+
+    /// One shard's share of a batch, through the inner index's own batched
+    /// hot path (a single virtual dispatch for the whole bucket).
+    fn shard_batch(&self, shard: usize, keys: &[Key]) -> Vec<Lookup> {
+        self.shards[shard]
+            .lookup_batch(keys)
+            .into_iter()
+            .map(|hit| self.globalize(shard, hit))
+            .collect()
+    }
+}
+
+impl LearnedIndex for ShardedIndex {
+    type Config = ShardConfig;
+
+    fn build(ks: &KeySet, cfg: &Self::Config) -> Result<Self> {
+        let build_shard = Arc::clone(&cfg.build_shard);
+        Self::build_with(ks, cfg.shards, cfg.threads, move |part| build_shard(part))
+    }
+
+    fn lookup(&self, key: Key) -> Lookup {
+        self.lookup_one(key)
+    }
+
+    /// Scatter-gather over the shards, preserving probe order: every probe
+    /// is routed to its owning shard, each shard serves its bucket through
+    /// the inner index's batched hot path (one virtual dispatch per shard,
+    /// not per key), and buckets run on the scoped thread pool when more
+    /// than one worker is available.
+    fn lookup_batch(&self, keys: &[Key]) -> Vec<Lookup> {
+        if keys.is_empty() || self.shards.len() == 1 {
+            return self.shard_batch(0, keys);
+        }
+        let mut slots: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        let mut buckets: Vec<Vec<Key>> = vec![Vec::new(); self.shards.len()];
+        for (i, &k) in keys.iter().enumerate() {
+            let s = self.route(k);
+            slots[s].push(i);
+            buckets[s].push(k);
+        }
+
+        // At most `threads` workers, each serving a contiguous run of
+        // shard buckets — never one thread per shard.
+        let workers = self.threads.min(self.shards.len()).max(1);
+        let per_shard: Vec<Vec<Lookup>> = if workers <= 1 {
+            buckets
+                .iter()
+                .enumerate()
+                .map(|(s, bucket)| self.shard_batch(s, bucket))
+                .collect()
+        } else {
+            let per_worker = self.shards.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = buckets
+                    .chunks(per_worker)
+                    .enumerate()
+                    .map(|(w, group)| {
+                        scope.spawn(move || {
+                            group
+                                .iter()
+                                .enumerate()
+                                .map(|(i, bucket)| self.shard_batch(w * per_worker + i, bucket))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("shard lookup thread panicked"))
+                    .collect()
+            })
+        };
+
+        let mut out = vec![Lookup::membership(false, 0); keys.len()];
+        for (shard_slots, results) in slots.iter().zip(per_shard) {
+            for (&slot, hit) in shard_slots.iter().zip(results) {
+                out[slot] = hit;
+            }
+        }
+        out
+    }
+
+    fn loss(&self) -> f64 {
+        self.loss
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let routing = (self.fences.len() + self.offsets.len()) * std::mem::size_of::<usize>();
+        self.shards
+            .iter()
+            .map(DynIndex::memory_bytes)
+            .sum::<usize>()
+            + routing
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+impl std::fmt::Debug for ShardedIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedIndex")
+            .field("shards", &self.shards.len())
+            .field("len", &self.len)
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexRegistry;
+
+    fn keyset(n: u64) -> KeySet {
+        KeySet::from_keys((0..n).map(|i| i * 7 + 3).collect()).unwrap()
+    }
+
+    #[test]
+    fn parse_sharded_names() {
+        assert_eq!(parse_sharded_name("sharded:rmi:8"), Some(("rmi", 8)));
+        assert_eq!(
+            parse_sharded_name("sharded:hash-random:2"),
+            Some(("hash-random", 2))
+        );
+        assert_eq!(
+            parse_sharded_name("sharded:sharded:rmi:2:4"),
+            Some(("sharded:rmi:2", 4))
+        );
+        assert_eq!(parse_sharded_name("rmi"), None);
+        assert_eq!(parse_sharded_name("sharded:rmi"), None);
+        assert_eq!(parse_sharded_name("sharded:rmi:0"), None);
+        assert_eq!(parse_sharded_name("sharded::3"), None);
+        assert_eq!(parse_sharded_name("sharded:rmi:eight"), None);
+    }
+
+    #[test]
+    fn sharded_agrees_with_unsharded_on_every_probe() {
+        let ks = keyset(1_000);
+        let registry = IndexRegistry::with_defaults();
+        let plain = registry.build("rmi", &ks).unwrap();
+        let sharded = registry.build("sharded:rmi:8", &ks).unwrap();
+        assert_eq!(sharded.len(), plain.len());
+
+        let mut probes: Vec<Key> = ks.keys().to_vec();
+        probes.extend([0, 1, 5_000, ks.max_key() + 1, Key::MAX]);
+        for &k in &probes {
+            let a = sharded.lookup(k);
+            let b = plain.lookup(k);
+            assert_eq!(a.found, b.found, "membership of {k}");
+            assert_eq!(a.pos, b.pos, "position of {k}");
+        }
+    }
+
+    #[test]
+    fn batch_matches_single_lookups_across_chunking() {
+        let ks = keyset(500);
+        let sharded = ShardedIndex::build_with(&ks, 7, 4, |part| {
+            IndexRegistry::with_defaults().build("btree", part)
+        })
+        .unwrap();
+        let probes: Vec<Key> = (0..4_000u64).map(|i| i * 2).collect();
+        let batch = LearnedIndex::lookup_batch(&sharded, &probes);
+        assert_eq!(batch.len(), probes.len());
+        for (&k, &b) in probes.iter().zip(&batch) {
+            assert_eq!(b, sharded.lookup_one(k), "probe {k}");
+        }
+    }
+
+    #[test]
+    fn shard_count_clamps_to_keyset_size() {
+        let ks = keyset(5);
+        let sharded = ShardedIndex::build_with(&ks, 64, 1, |part| {
+            IndexRegistry::with_defaults().build("btree", part)
+        })
+        .unwrap();
+        assert_eq!(sharded.shard_count(), 5);
+        for &k in ks.keys() {
+            assert!(sharded.lookup_one(k).found);
+        }
+    }
+
+    #[test]
+    fn zero_shards_is_an_invariant_error() {
+        let err = ShardedIndex::build_with(&keyset(10), 0, 1, |part| {
+            IndexRegistry::with_defaults().build("btree", part)
+        });
+        assert!(matches!(err, Err(LisError::Invariant(_))));
+    }
+
+    #[test]
+    fn shard_build_errors_propagate() {
+        let err = ShardedIndex::build_with(&keyset(10), 2, 2, |_| {
+            Err(LisError::Invariant("boom".into()))
+        });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn loss_is_key_weighted_and_memory_sums_shards() {
+        let ks = keyset(900);
+        let cfg = ShardConfig::new(3, |part| IndexRegistry::with_defaults().build("rmi", part));
+        let sharded = ShardedIndex::build(&ks, &cfg).unwrap();
+        let per_shard: f64 = sharded
+            .shards()
+            .iter()
+            .map(|s| s.loss() * s.len() as f64)
+            .sum::<f64>()
+            / ks.len() as f64;
+        assert!((sharded.loss() - per_shard).abs() < 1e-12);
+        let inner_mem: usize = sharded.shards().iter().map(DynIndex::memory_bytes).sum();
+        assert!(sharded.memory_bytes() > inner_mem);
+    }
+
+    #[test]
+    fn nested_sharding_resolves() {
+        let ks = keyset(400);
+        let registry = IndexRegistry::with_defaults();
+        let nested = registry.build("sharded:sharded:btree:2:4", &ks).unwrap();
+        assert_eq!(nested.len(), ks.len());
+        let plain = registry.build("btree", &ks).unwrap();
+        for &k in ks.keys().iter().step_by(17) {
+            assert_eq!(nested.lookup(k).pos, plain.lookup(k).pos);
+        }
+    }
+}

@@ -4,6 +4,11 @@
 //! the poison, (b) spares the legitimate keys, and (c) actually restores
 //! the model's accuracy. [`DefenseReport`] measures all three against
 //! ground truth, quantifying the Section-VI discussion.
+//!
+//! Scoring covers the full adversary space of the paper's future-work
+//! section: insertion-only campaigns ([`evaluate_defense`]) and
+//! deletion/mixed campaigns ([`evaluate_defense_campaign`]), where the
+//! suspect set the defense saw is `(K ∖ removed) ∪ inserted`.
 
 use lis_core::error::Result;
 use lis_core::keys::{Key, KeySet};
@@ -14,12 +19,22 @@ use std::collections::HashSet;
 /// Ground-truth evaluation of a defense run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DefenseReport {
-    /// Fraction of poison keys the defense removed (recall).
+    /// Fraction of poison keys the defense removed (recall). The
+    /// denominator is [`DefenseReport::poison_seen`] — attacker insertions
+    /// that collided with legitimate keys never entered the suspect set and
+    /// are not counted.
     pub poison_recall: f64,
     /// Fraction of removed keys that were actually poison (precision).
     pub removal_precision: f64,
     /// Number of legitimate keys removed (collateral damage).
     pub legit_removed: usize,
+    /// Number of distinct attacker-inserted keys actually present in the
+    /// suspect set — the recall denominator.
+    pub poison_seen: usize,
+    /// Number of legitimate keys the *attacker* deleted (`0` for
+    /// insertion-only campaigns). A defense cannot restore these; they cap
+    /// the achievable recovery.
+    pub attack_removed: usize,
     /// MSE of the regression on the clean keyset.
     pub clean_mse: f64,
     /// MSE on the poisoned keyset (no defense).
@@ -51,23 +66,67 @@ impl DefenseReport {
     }
 }
 
-/// Scores a defense outcome against ground truth.
+/// Scores a defense outcome against an insertion-only campaign.
 ///
 /// * `clean` — the legitimate keyset;
 /// * `poison` — the injected keys;
 /// * `retained` — the keys the defense kept.
+///
+/// Poison keys that duplicate each other or collide with legitimate keys
+/// never entered the suspect set; they are deduplicated *before* scoring so
+/// the recall denominator counts only poison the defense could have caught.
 pub fn evaluate_defense(
     clean: &KeySet,
     poison: &[Key],
     retained: &KeySet,
 ) -> Result<DefenseReport> {
-    let poison_set: HashSet<Key> = poison.iter().copied().collect();
+    evaluate_defense_campaign(clean, poison, &[], retained)
+}
+
+/// Scores a defense outcome against a general insert/delete campaign
+/// (the ROADMAP's deletion/mixed extension of [`evaluate_defense`]).
+///
+/// * `clean` — the legitimate keyset;
+/// * `inserted` — keys the attacker injected;
+/// * `attack_removed` — legitimate keys the attacker deleted;
+/// * `retained` — the keys the defense kept.
+///
+/// The suspect set the defense actually saw is reconstructed as
+/// `(clean ∖ attack_removed) ∪ inserted`; detection metrics are computed
+/// against it, and model-damage metrics compare clean vs suspect vs
+/// retained. Degenerate ground truth is netted out: deletions of keys that
+/// were never legitimate and insertions colliding with surviving
+/// legitimate keys are ignored, and re-inserting a key the attacker itself
+/// deleted cancels the deletion (it is a legitimate key back in place, not
+/// poison) — so the reconstruction matches the attacker's actual output
+/// keyset.
+pub fn evaluate_defense_campaign(
+    clean: &KeySet,
+    inserted: &[Key],
+    attack_removed: &[Key],
+    retained: &KeySet,
+) -> Result<DefenseReport> {
+    let mut suspect = clean.clone();
+    let mut removed_seen: HashSet<Key> = HashSet::new();
+    for &k in attack_removed {
+        if clean.contains(k) && removed_seen.insert(k) {
+            suspect.remove(k)?;
+        }
+    }
+    let mut poison_set: HashSet<Key> = HashSet::new();
+    for &k in inserted {
+        if clean.contains(k) {
+            // Attacker re-inserted a legitimate key it deleted: net no-op.
+            if removed_seen.remove(&k) {
+                suspect.insert(k)?;
+            }
+        } else if poison_set.insert(k) {
+            suspect.insert(k)?;
+        }
+    }
+
     let retained_set: HashSet<Key> = retained.keys().iter().copied().collect();
-
-    let mut poisoned = clean.clone();
-    poisoned.insert_all(poison.iter().copied())?;
-
-    let removed: Vec<Key> = poisoned
+    let removed: Vec<Key> = suspect
         .keys()
         .iter()
         .copied()
@@ -77,14 +136,14 @@ pub fn evaluate_defense(
     let legit_removed = removed.len() - poison_removed;
 
     let clean_mse = LinearModel::fit(clean)?.mse;
-    let poisoned_mse = LinearModel::fit(&poisoned)?.mse;
+    let poisoned_mse = LinearModel::fit(&suspect)?.mse;
     let defended_mse = LinearModel::fit(retained)?.mse;
 
     Ok(DefenseReport {
-        poison_recall: if poison.is_empty() {
+        poison_recall: if poison_set.is_empty() {
             1.0
         } else {
-            poison_removed as f64 / poison.len() as f64
+            poison_removed as f64 / poison_set.len() as f64
         },
         removal_precision: if removed.is_empty() {
             1.0
@@ -92,6 +151,8 @@ pub fn evaluate_defense(
             poison_removed as f64 / removed.len() as f64
         },
         legit_removed,
+        poison_seen: poison_set.len(),
+        attack_removed: removed_seen.len(),
         clean_mse,
         poisoned_mse,
         defended_mse,
@@ -117,6 +178,8 @@ mod tests {
         assert_eq!(report.poison_recall, 1.0);
         assert_eq!(report.removal_precision, 1.0);
         assert_eq!(report.legit_removed, 0);
+        assert_eq!(report.poison_seen, 3);
+        assert_eq!(report.attack_removed, 0);
         assert!((report.recovery() - 1.0).abs() < 1e-9);
     }
 
@@ -137,6 +200,83 @@ mod tests {
         let clean = uniform(20, 5);
         let report = evaluate_defense(&clean, &[], &clean).unwrap();
         assert_eq!(report.poison_recall, 1.0);
+        assert_eq!(report.poison_seen, 0);
+    }
+
+    #[test]
+    fn poison_colliding_with_clean_keys_is_deduplicated_before_scoring() {
+        // Regression test for the recall skew: 3 of the 5 "poison" keys
+        // collide with legitimate keys (and one real poison key is listed
+        // twice), so only 2 distinct keys ever entered the suspect set. A
+        // defense that removes both must score recall 1.0, not 2/5.
+        let clean = uniform(50, 7); // keys 0, 7, 14, ...
+        let poison = vec![3u64, 10, 7, 14, 21, 3]; // 3 & 10 real; rest collide/dup
+        let report = evaluate_defense(&clean, &poison, &clean).unwrap();
+        assert_eq!(report.poison_seen, 2);
+        assert_eq!(report.poison_recall, 1.0);
+        assert_eq!(report.removal_precision, 1.0);
+        assert_eq!(report.legit_removed, 0);
+    }
+
+    #[test]
+    fn deletion_campaign_scores_ground_truth() {
+        let clean = uniform(60, 11);
+        let attack_removed = vec![0u64, 11, 22, 99_999]; // 99999 never existed
+        let mut suspect = clean.clone();
+        for &k in &attack_removed[..3] {
+            suspect.remove(k).unwrap();
+        }
+        // Defense keeps everything it saw: no poison existed, so recall is
+        // vacuously perfect and the damage is entirely the attacker's.
+        let report = evaluate_defense_campaign(&clean, &[], &attack_removed, &suspect).unwrap();
+        assert_eq!(report.attack_removed, 3);
+        assert_eq!(report.poison_seen, 0);
+        assert_eq!(report.poison_recall, 1.0);
+        assert_eq!(report.legit_removed, 0);
+        assert!((report.poisoned_mse - report.defended_mse).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reinserting_an_attacker_deleted_key_nets_out() {
+        // The attacker deletes two legitimate keys, then re-inserts one of
+        // them: the suspect set the defense saw contains that key again, so
+        // it is neither a deletion casualty nor poison.
+        let clean = uniform(40, 10);
+        let inserted = vec![100u64];
+        let attack_removed = vec![100u64, 200];
+        let mut suspect = clean.clone();
+        suspect.remove(200).unwrap();
+        let report =
+            evaluate_defense_campaign(&clean, &inserted, &attack_removed, &suspect).unwrap();
+        assert_eq!(report.attack_removed, 1);
+        assert_eq!(report.poison_seen, 0);
+        assert_eq!(report.legit_removed, 0);
+        assert_eq!(report.poison_recall, 1.0);
+    }
+
+    #[test]
+    fn mixed_campaign_separates_attacker_and_defense_removals() {
+        let clean = uniform(40, 10); // 0, 10, ..., 390
+        let inserted = vec![5u64, 6, 7];
+        let attack_removed = vec![380u64, 390];
+        let mut suspect = clean.clone();
+        for &k in &attack_removed {
+            suspect.remove(k).unwrap();
+        }
+        suspect.insert_all(inserted.iter().copied()).unwrap();
+        // Defense removes the poison plus one legitimate casualty.
+        let mut retained = suspect.clone();
+        for &k in &inserted {
+            retained.remove(k).unwrap();
+        }
+        retained.remove(100).unwrap();
+        let report =
+            evaluate_defense_campaign(&clean, &inserted, &attack_removed, &retained).unwrap();
+        assert_eq!(report.poison_seen, 3);
+        assert_eq!(report.attack_removed, 2);
+        assert_eq!(report.poison_recall, 1.0);
+        assert_eq!(report.legit_removed, 1);
+        assert!((report.removal_precision - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod robust;
 pub mod strategy;
 pub mod trim;
 
-pub use eval::{evaluate_defense, DefenseReport};
+pub use eval::{evaluate_defense, evaluate_defense_campaign, DefenseReport};
 pub use robust::{compare_on_attack, theil_sen, RobustModel};
 pub use strategy::{
     Defense, DefenseOutcome, DensityDefense, IqrDefense, NoDefense, RangeDefense, TrimBudget,

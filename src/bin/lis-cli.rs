@@ -102,6 +102,7 @@ COMMANDS:
       --model-size M  keys per second-stage model (rmi attacks)    [100]
       --alpha A       per-model threshold multiplier                 [3]
       --queries Q     member-key probes per index                 [2000]
+      --shards N      serve each victim as sharded:<name>:N          [1]
 
   list-indexes        print the registered index names
 
@@ -328,6 +329,9 @@ fn cmd_list_indexes() -> Result<(), String> {
             registry.description(name).unwrap_or_default()
         );
     }
+    println!();
+    println!("sharded:<name>:<N>  range-partitioned composite over any entry above,");
+    println!("                    served by a scoped thread pool (e.g. sharded:rmi:8)");
     Ok(())
 }
 
@@ -385,12 +389,29 @@ fn cmd_pipeline(flags: &Flags) -> Result<(), String> {
         other => return Err(format!("unknown defense '{other}'")),
     };
 
+    let shards: usize = flag(flags, "shards", 1)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1 (1 serves unsharded)".into());
+    }
     let names = flags
         .get("index")
         .cloned()
         .unwrap_or_else(|| "rmi,btree".into());
+    let registry = IndexRegistry::with_defaults();
     for name in names.split(',').map(str::trim).filter(|s| !s.is_empty()) {
-        pipeline = pipeline.index(name);
+        let resolved = if shards > 1 {
+            format!("sharded:{name}:{shards}")
+        } else {
+            name.to_string()
+        };
+        // Fail fast on unresolvable names, before sampling and attacking.
+        if !registry.resolves(&resolved) {
+            return Err(format!(
+                "unknown index '{resolved}' (available: {}, sharded:<name>:<N>)",
+                registry.names().join(", ")
+            ));
+        }
+        pipeline = pipeline.index(&resolved);
     }
 
     let report = pipeline.run().map_err(|e| e.to_string())?;
@@ -453,6 +474,17 @@ mod tests {
         let mut flags = Flags::new();
         flags.insert("dist".into(), "zipf".into());
         assert!(load_or_generate(&flags).is_err());
+    }
+
+    #[test]
+    fn pipeline_command_serves_sharded_victims() {
+        let mut flags = Flags::new();
+        flags.insert("keys".into(), "400".into());
+        flags.insert("index".into(), "rmi,btree".into());
+        flags.insert("shards".into(), "4".into());
+        flags.insert("queries".into(), "200".into());
+        cmd_pipeline(&flags).unwrap();
+        cmd_list_indexes().unwrap();
     }
 
     #[test]

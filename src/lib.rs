@@ -53,13 +53,14 @@ pub mod pipeline;
 
 /// Convenience prelude importing the types used by almost every experiment.
 pub mod prelude {
-    pub use crate::pipeline::{Pipeline, PipelineReport, WorkloadSpec};
+    pub use crate::pipeline::{BuildCache, Pipeline, PipelineReport, WorkloadSpec};
     pub use lis_core::btree::BPlusTree;
     pub use lis_core::index::{DynIndex, IndexRegistry, LearnedIndex, Lookup};
     pub use lis_core::keys::{Key, KeyDomain, KeySet};
     pub use lis_core::linreg::LinearModel;
     pub use lis_core::metrics::{ratio_loss, rmi_ratio_report};
     pub use lis_core::rmi::{Rmi, RmiConfig, Routing};
+    pub use lis_core::shard::{ShardConfig, ShardedIndex};
     pub use lis_core::stats::BoxplotSummary;
     pub use lis_defense::{Defense, DefenseOutcome};
     pub use lis_poison::{

@@ -41,13 +41,17 @@ use lis_core::index::{DynIndex, IndexRegistry};
 use lis_core::keys::KeySet;
 use lis_core::metrics::{ratio_loss, LookupCostSummary};
 use lis_core::Key;
-use lis_defense::{Defense, DefenseOutcome, DefenseReport};
+use lis_defense::{evaluate_defense_campaign, Defense, DefenseOutcome, DefenseReport};
 use lis_poison::{Attack, AttackOutcome};
 use lis_workloads::{
     domain_for_density, lognormal_keys, normal_keys, realsim, trial_rng, uniform_keys, ResultTable,
     DEFAULT_SEED,
 };
 use rand::Rng;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Which keyset the pipeline starts from.
 #[derive(Debug, Clone)]
@@ -120,6 +124,138 @@ impl WorkloadSpec {
             Self::Fixed(_) => "fixed",
         }
     }
+
+    /// A string identifying this workload's *sampled keyset* for a given
+    /// parameterization — the workload component of a [`BuildCache`] key.
+    /// Two specs with equal cache keys sample identical keysets under the
+    /// same `(seed, trial)`. Fixed keysets are fingerprinted by content.
+    pub fn cache_key(&self) -> String {
+        match self {
+            Self::Uniform { n, density } => format!("uniform:{n}:{density}"),
+            Self::Normal { n, density } => format!("normal:{n}:{density}"),
+            Self::LogNormal { n, density } => format!("lognormal:{n}:{density}"),
+            Self::MiamiSalaries { n } => format!("miami-salaries:{n}"),
+            Self::OsmLatitudes { n } => format!("osm-latitudes:{n}"),
+            Self::Fixed(ks) => {
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                ks.keys().hash(&mut h);
+                ks.domain().min.hash(&mut h);
+                ks.domain().max.hash(&mut h);
+                format!("fixed:{:016x}", h.finish())
+            }
+        }
+    }
+}
+
+/// Key of one cached clean build: `(workload, seed, trial, index)`.
+type BuildKey = (String, u64, u64, String);
+
+/// A cross-run cache of *clean* index builds, keyed by
+/// `(workload, seed, trial, index)`.
+///
+/// [`Pipeline::run`] builds every victim twice — once on the clean keyset
+/// (the baseline) and once on the final keyset. The clean build depends
+/// only on the workload sample, never on the attack or defense, so sweeps
+/// that vary the adversary, the defense, or repeat trials keep paying for
+/// identical clean rebuilds. Clone one `BuildCache` into each pipeline of a
+/// sweep (clones share storage) and those rebuilds become lookups.
+///
+/// Entries are keyed by the index's registry *name*, not by the registry
+/// that resolved it: every pipeline sharing a cache must resolve each name
+/// to the same structure. When sweeping over different
+/// [`Pipeline::registry`] configurations that reuse a name, give each
+/// registry its own cache (or [`BuildCache::clear`] between sweeps) —
+/// otherwise a stale clean baseline is served silently:
+///
+/// ```
+/// use lis::pipeline::{BuildCache, Pipeline, WorkloadSpec};
+/// use lis::poison::{GreedyCdfAttack, PoisonBudget, RemovalAttack};
+///
+/// let cache = BuildCache::new();
+/// let spec = WorkloadSpec::Uniform { n: 500, density: 0.2 };
+/// for budget in [25, 50] {
+///     Pipeline::new(spec.clone())
+///         .attack(GreedyCdfAttack { budget: PoisonBudget::keys(budget) })
+///         .index("rmi")
+///         .queries(100)
+///         .cache(cache.clone())
+///         .run()
+///         .unwrap();
+/// }
+/// assert_eq!(cache.len(), 1); // one clean rmi build served both runs
+/// assert_eq!(cache.hits(), 1);
+/// ```
+#[derive(Clone, Default)]
+pub struct BuildCache {
+    entries: Arc<Mutex<HashMap<BuildKey, Arc<DynIndex>>>>,
+    hits: Arc<AtomicUsize>,
+    misses: Arc<AtomicUsize>,
+}
+
+impl BuildCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached builds.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("build cache poisoned").len()
+    }
+
+    /// `true` iff nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of lookups served from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to build.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Drops every cached build (e.g. between sweeps over different
+    /// registries).
+    pub fn clear(&self) {
+        self.entries.lock().expect("build cache poisoned").clear();
+    }
+
+    /// Returns the cached build for `key`, constructing and inserting it
+    /// with `build` on a miss. The build runs outside the lock, so
+    /// concurrent victims never serialize on each other's construction.
+    fn get_or_build(
+        &self,
+        key: BuildKey,
+        build: impl FnOnce() -> Result<DynIndex>,
+    ) -> Result<Arc<DynIndex>> {
+        if let Some(hit) = self.entries.lock().expect("build cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        let built = Arc::new(build()?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Ok(Arc::clone(
+            self.entries
+                .lock()
+                .expect("build cache poisoned")
+                .entry(key)
+                .or_insert(built),
+        ))
+    }
+}
+
+impl std::fmt::Debug for BuildCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BuildCache")
+            .field("len", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
 }
 
 /// Per-victim measurements of one pipeline run.
@@ -181,9 +317,9 @@ pub struct PipelineReport {
     pub defense_name: Option<String>,
     /// The defense's outcome, when one ran.
     pub defense: Option<DefenseOutcome>,
-    /// Ground-truth defense scoring — present when a defense ran against a
-    /// purely insertion-based attack (the setting `evaluate_defense`
-    /// models).
+    /// Ground-truth defense scoring — present whenever both an attack and a
+    /// defense ran, covering insertion, deletion, and mixed campaigns (via
+    /// [`evaluate_defense_campaign`]).
     pub defense_report: Option<DefenseReport>,
     /// The keyset the final indexes were built on.
     pub final_keyset: KeySet,
@@ -280,6 +416,7 @@ pub struct Pipeline {
     index_names: Vec<String>,
     registry: IndexRegistry,
     queries: usize,
+    cache: Option<BuildCache>,
 }
 
 impl Pipeline {
@@ -297,6 +434,7 @@ impl Pipeline {
             index_names: Vec::new(),
             registry: IndexRegistry::with_defaults(),
             queries: 2_000,
+            cache: None,
         }
     }
 
@@ -337,22 +475,48 @@ impl Pipeline {
     }
 
     /// Replaces the index registry (to supply custom configurations).
+    ///
+    /// [`BuildCache`] entries are keyed by index *name*: if a custom
+    /// registry redefines a name, do not share a cache with pipelines using
+    /// a different registry (see the [`BuildCache`] docs).
     pub fn registry(mut self, registry: IndexRegistry) -> Self {
         self.registry = registry;
         self
     }
 
-    /// Sets the number of member-key probes per index build.
+    /// Sets the number of member-key probes per index build. Must be
+    /// non-zero — [`Pipeline::run`] rejects a zero-probe pipeline with
+    /// [`LisError::Invariant`] instead of silently probing anyway.
     pub fn queries(mut self, count: usize) -> Self {
         self.queries = count;
         self
     }
 
+    /// Shares a [`BuildCache`] with this run: clean builds are looked up by
+    /// `(workload, seed, trial, index)` and only constructed on a miss.
+    /// Clone the same cache into every pipeline of a sweep — provided they
+    /// all resolve index names through equivalent registries (see the
+    /// [`BuildCache`] docs).
+    pub fn cache(mut self, cache: BuildCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
     /// Runs the composition: sample → attack → defend → build → measure.
+    ///
+    /// Per-victim builds and measurements run concurrently on scoped
+    /// threads (every structure in the workspace is `Send + Sync`); clean
+    /// builds are served from the shared [`BuildCache`] when one is
+    /// mounted.
     pub fn run(self) -> Result<PipelineReport> {
         if self.index_names.is_empty() {
             return Err(LisError::Invariant(
                 "pipeline needs at least one index (call .index(name))".into(),
+            ));
+        }
+        if self.queries == 0 {
+            return Err(LisError::Invariant(
+                "pipeline needs at least one probe (queries(0) measures nothing)".into(),
             ));
         }
         let clean = self.workload.sample(self.seed, self.trial)?;
@@ -376,7 +540,12 @@ impl Pipeline {
             None => (None, None),
         };
         let defense_report = match (&defense_outcome, &attack_outcome) {
-            (Some(d), Some(a)) if a.removed.is_empty() => Some(d.evaluate(&clean, &a.inserted)?),
+            (Some(d), Some(a)) => Some(evaluate_defense_campaign(
+                &clean,
+                &a.inserted,
+                &a.removed,
+                &d.retained,
+            )?),
             _ => None,
         };
         let final_keyset = defense_outcome
@@ -398,18 +567,32 @@ impl Pipeline {
             ));
         }
         let mut rng = trial_rng(self.seed ^ 0x51ED_BEEF, self.trial);
-        let probes: Vec<Key> = (0..self.queries.max(1))
+        let probes: Vec<Key> = (0..self.queries)
             .map(|_| survivors[rng.gen_range(0..survivors.len())])
             .collect();
 
-        // Build and measure every requested victim.
-        let mut indexes = Vec::with_capacity(self.index_names.len());
+        // Build and measure every distinct victim on a bounded scoped
+        // thread pool: repeated names are measured once (builds are
+        // deterministic, so their rows are identical), and at most
+        // available-parallelism workers run — a sharded victim's own
+        // fan-out multiplies per *running* worker, not per requested name.
+        let cache = self.cache.clone().unwrap_or_default();
+        let workload_key = self.workload.cache_key();
+        let mut unique: Vec<&String> = Vec::new();
         for name in &self.index_names {
-            let clean_idx = self.registry.build(name, &clean)?;
+            if !unique.contains(&name) {
+                unique.push(name);
+            }
+        }
+        let measure = |name: &String| -> Result<IndexReport> {
+            let clean_idx = cache.get_or_build(
+                (workload_key.clone(), self.seed, self.trial, name.clone()),
+                || self.registry.build(name, &clean),
+            )?;
             let final_idx = self.registry.build(name, &final_keyset)?;
-            let clean_costs = batch_costs(&clean_idx, &probes);
-            let final_costs = batch_costs(&final_idx, &probes);
-            indexes.push(IndexReport {
+            let clean_costs = batch_costs(&clean_idx, &probes)?;
+            let final_costs = batch_costs(&final_idx, &probes)?;
+            Ok(IndexReport {
                 name: name.clone(),
                 clean_loss: clean_idx.loss(),
                 final_loss: final_idx.loss(),
@@ -418,8 +601,48 @@ impl Pipeline {
                 final_cost: final_costs.0,
                 memory_bytes: final_idx.memory_bytes(),
                 clean_memory_bytes: clean_idx.memory_bytes(),
-            });
+            })
+        };
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(unique.len())
+            .max(1);
+        let measured: Vec<(String, Result<IndexReport>)> = if workers <= 1 {
+            unique
+                .iter()
+                .map(|name| ((*name).clone(), measure(name)))
+                .collect()
+        } else {
+            let per_worker = unique.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                let measure = &measure;
+                let handles: Vec<_> = unique
+                    .chunks(per_worker)
+                    .map(|group| {
+                        scope.spawn(move || {
+                            group
+                                .iter()
+                                .map(|name| ((*name).clone(), measure(name)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("victim build thread panicked"))
+                    .collect()
+            })
+        };
+        let mut by_name = HashMap::with_capacity(measured.len());
+        for (name, report) in measured {
+            by_name.insert(name, report?);
         }
+        let indexes: Vec<IndexReport> = self
+            .index_names
+            .iter()
+            .map(|name| by_name.get(name).expect("measured above").clone())
+            .collect();
 
         Ok(PipelineReport {
             workload: self.workload.label().to_string(),
@@ -437,15 +660,16 @@ impl Pipeline {
 }
 
 /// Batched lookups through the type-erased hot path; returns the cost
-/// summary and whether every probe was found.
-fn batch_costs(index: &DynIndex, probes: &[Key]) -> (LookupCostSummary, bool) {
+/// summary and whether every probe was found. An empty probe set is
+/// propagated as an error rather than asserted away.
+fn batch_costs(index: &DynIndex, probes: &[Key]) -> Result<(LookupCostSummary, bool)> {
     let results = index.lookup_batch(probes);
     let costs: Vec<usize> = results.iter().map(|r| r.cost).collect();
     let all_found = results.iter().all(|r| r.found);
-    (
-        LookupCostSummary::from_counts(&costs).expect("pipeline probes are non-empty"),
-        all_found,
-    )
+    let summary = LookupCostSummary::from_counts(&costs).ok_or_else(|| {
+        LisError::Invariant("lookup batch over an empty probe set has no cost summary".into())
+    })?;
+    Ok((summary, all_found))
 }
 
 #[cfg(test)]
@@ -533,7 +757,7 @@ mod tests {
     }
 
     #[test]
-    fn removal_attack_skips_defense_ground_truth() {
+    fn removal_attack_scores_defense_ground_truth() {
         let report = Pipeline::new(WorkloadSpec::Uniform {
             n: 400,
             density: 0.2,
@@ -545,9 +769,135 @@ mod tests {
         .queries(100)
         .run()
         .unwrap();
-        assert!(report.defense_report.is_none());
+        // A deletion campaign no longer drops the ground truth on the
+        // floor: the report scores the defense against the suspect set the
+        // attacker actually produced.
+        let rep = report
+            .defense_report
+            .expect("deletion campaign + defense => report");
+        assert_eq!(rep.attack_removed, 40);
+        assert_eq!(rep.poison_seen, 0);
+        assert_eq!(rep.poison_recall, 1.0);
         assert_eq!(report.final_keyset.len(), 360);
         assert!(report.index("btree").unwrap().all_members_found);
+    }
+
+    #[test]
+    fn mixed_attack_scores_defense_ground_truth() {
+        use lis_poison::MixedAttack;
+        let n = 500;
+        let report = Pipeline::new(WorkloadSpec::Uniform { n, density: 0.15 })
+            .seed(11)
+            .attack(MixedAttack {
+                budget: PoisonBudget::keys(50),
+            })
+            .defense(TrimDefense::keys(n))
+            .index("rmi")
+            .queries(200)
+            .run()
+            .unwrap();
+        let rep = report.defense_report.expect("mixed campaign => report");
+        let attack = report.attack.as_ref().unwrap();
+        assert_eq!(rep.poison_seen, attack.inserted.len());
+        assert_eq!(rep.attack_removed, attack.removed.len());
+        assert!((0.0..=1.0).contains(&rep.poison_recall));
+        assert!((0.0..=1.0).contains(&rep.removal_precision));
+    }
+
+    #[test]
+    fn zero_queries_is_an_invariant_error() {
+        let err = Pipeline::new(WorkloadSpec::Uniform {
+            n: 200,
+            density: 0.2,
+        })
+        .index("btree")
+        .queries(0)
+        .run();
+        assert!(matches!(err, Err(LisError::Invariant(_))), "{err:?}");
+    }
+
+    #[test]
+    fn sharded_victims_flow_through_the_pipeline() {
+        let report = Pipeline::new(WorkloadSpec::Uniform {
+            n: 1_000,
+            density: 0.2,
+        })
+        .seed(13)
+        .attack(GreedyCdfAttack {
+            budget: PoisonBudget::keys(100),
+        })
+        .index("rmi")
+        .index("sharded:rmi:8")
+        .queries(500)
+        .run()
+        .unwrap();
+        let sharded = report.index("sharded:rmi:8").unwrap();
+        let plain = report.index("rmi").unwrap();
+        assert!(sharded.all_members_found && plain.all_members_found);
+        assert!(sharded.loss_ratio() > 1.0);
+    }
+
+    #[test]
+    fn repeated_index_names_measure_once_but_report_per_request() {
+        let cache = BuildCache::new();
+        let report = Pipeline::new(WorkloadSpec::Uniform {
+            n: 300,
+            density: 0.2,
+        })
+        .index("btree")
+        .index("btree")
+        .queries(100)
+        .cache(cache.clone())
+        .run()
+        .unwrap();
+        assert_eq!(report.indexes.len(), 2);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(report.indexes[0].clean_cost, report.indexes[1].clean_cost);
+    }
+
+    #[test]
+    fn build_cache_yields_identical_reports_across_trials() {
+        let spec = WorkloadSpec::Uniform {
+            n: 600,
+            density: 0.2,
+        };
+        let cache = BuildCache::new();
+        let run = |trial: u64, cache: Option<BuildCache>| {
+            let mut p = Pipeline::new(spec.clone())
+                .seed(21)
+                .trial(trial)
+                .attack(GreedyCdfAttack {
+                    budget: PoisonBudget::keys(60),
+                })
+                .index("rmi")
+                .index("btree")
+                .queries(300);
+            if let Some(c) = cache {
+                p = p.cache(c);
+            }
+            p.run().unwrap()
+        };
+        for trial in 0..3 {
+            let cached = run(trial, Some(cache.clone()));
+            let uncached = run(trial, None);
+            for (a, b) in cached.indexes.iter().zip(&uncached.indexes) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.clean_loss, b.clean_loss, "trial {trial} {}", a.name);
+                assert_eq!(a.final_loss, b.final_loss, "trial {trial} {}", a.name);
+                assert_eq!(a.clean_cost, b.clean_cost, "trial {trial} {}", a.name);
+                assert_eq!(a.final_cost, b.final_cost, "trial {trial} {}", a.name);
+                assert_eq!(a.memory_bytes, b.memory_bytes);
+                assert_eq!(a.clean_memory_bytes, b.clean_memory_bytes);
+            }
+        }
+        // 3 trials x 2 indexes, each built exactly once...
+        assert_eq!(cache.len(), 6);
+        assert_eq!(cache.misses(), 6);
+        // ...and a repeated trial is served entirely from the cache.
+        let before = cache.hits();
+        run(0, Some(cache.clone()));
+        assert_eq!(cache.hits(), before + 2);
+        assert_eq!(cache.len(), 6);
     }
 
     #[test]

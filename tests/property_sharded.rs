@@ -1,0 +1,104 @@
+//! Property tests for sharded serving: a `sharded:<name>:<N>` composite
+//! must return the *same answers* as the unsharded index it partitions —
+//! identical `Lookup.found` and identical global rank (`pos`) — for random
+//! keysets of every workload shape, both before and after poisoning.
+//!
+//! This is the contract that lets sharded fleets slot into every harness
+//! unchanged: partitioning the key range redistributes *work*, never
+//! *answers*.
+
+use lis::poison::GreedyCdfAttack;
+use lis::prelude::*;
+use lis::workloads::{domain_for_density, lognormal_keys, normal_keys, trial_rng, uniform_keys};
+use proptest::prelude::*;
+
+const N: usize = 400;
+const DENSITY: f64 = 0.15;
+
+/// The victims the agreement contract is checked against: positional
+/// (rmi, btree, pla) and membership-only (hash) structures.
+const VICTIMS: [&str; 4] = ["rmi", "btree", "pla", "hash"];
+
+/// Samples one of the paper's three workload shapes.
+fn sample_keyset(dist: usize, seed: u64) -> KeySet {
+    let domain = domain_for_density(N, DENSITY).expect("valid density");
+    let mut rng = trial_rng(seed, 0);
+    match dist {
+        0 => uniform_keys(&mut rng, N, domain),
+        1 => normal_keys(&mut rng, N, domain),
+        _ => lognormal_keys(&mut rng, N, domain),
+    }
+    .expect("sampling")
+}
+
+/// Member probes plus guaranteed-absent probes (gap interiors, keys beyond
+/// the domain, and shard-fence neighbourhoods).
+fn probe_keys(ks: &KeySet) -> Vec<Key> {
+    let mut probes: Vec<Key> = ks.keys().iter().step_by(3).copied().collect();
+    probes.extend(ks.gaps().iter().take(40).map(|g| g.lo + (g.hi - g.lo) / 2));
+    probes.push(ks.max_key() + 1);
+    probes.push(ks.max_key().saturating_add(10_000));
+    if ks.min_key() > 0 {
+        probes.push(ks.min_key() - 1);
+    }
+    probes
+}
+
+/// The agreement contract for one keyset and shard count: every sharded
+/// victim vs its unsharded base, driven through the batched hot path.
+fn assert_sharded_agreement(
+    ks: &KeySet,
+    shards: usize,
+    context: &str,
+) -> Result<(), TestCaseError> {
+    let registry = IndexRegistry::with_defaults();
+    let probes = probe_keys(ks);
+    for name in VICTIMS {
+        let sharded_name = format!("sharded:{name}:{shards}");
+        let base = registry.build(name, ks).expect("base build");
+        let sharded = registry.build(&sharded_name, ks).expect("sharded build");
+        prop_assert_eq!(sharded.len(), base.len(), "{} {} len", context, name);
+        let expected = base.lookup_batch(&probes);
+        let results = sharded.lookup_batch(&probes);
+        prop_assert_eq!(results.len(), expected.len());
+        for ((&k, r), e) in probes.iter().zip(&results).zip(&expected) {
+            prop_assert_eq!(
+                r.found,
+                e.found,
+                "{}: {} disagrees with {} on membership of {}",
+                context,
+                sharded_name,
+                name,
+                k
+            );
+            prop_assert_eq!(
+                r.pos,
+                e.pos,
+                "{}: {} disagrees with {} on rank of {}",
+                context,
+                sharded_name,
+                name,
+                k
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn sharded_indexes_agree_with_unsharded_before_and_after_poisoning(
+        seed in 0u64..1_000,
+        dist in 0usize..3,
+        shards in 1usize..12,
+    ) {
+        let clean = sample_keyset(dist, seed);
+        assert_sharded_agreement(&clean, shards, "clean")?;
+
+        let attack = GreedyCdfAttack {
+            budget: PoisonBudget::percentage(10.0, clean.len()).expect("legal pct"),
+        };
+        let poisoned = attack.run(&clean).expect("attack").poisoned;
+        assert_sharded_agreement(&poisoned, shards, "poisoned")?;
+    }
+}
