@@ -1,0 +1,176 @@
+//! Serving latency under live adversarial traffic: rmi vs `sharded:rmi:8`
+//! vs btree at 0% / 10% / 50% attack ratios.
+//!
+//! The paper's Ratio Loss says poisoning makes the learned model worse;
+//! this harness shows what that means *in flight*: a server built over the
+//! poisoned keyset serves a mixed stream of benign member queries and
+//! live adversary queries replaying the campaign's poison keys. As the
+//! adversarial fraction rises, the RMI's mean lookup cost — and with it
+//! its tail latency — degrades, while the B+-tree baseline barely moves.
+//!
+//! Each (index, ratio) cell runs one serving session through the
+//! `lis_server` front end (bounded queue → micro-batcher → worker pool)
+//! and reports p50/p99/max latency, throughput, mean batch size, and mean
+//! lookup cost. Override the scale for smoke runs:
+//!
+//! * `LIS_SERVE_KEYS` — keyset size (default 200,000);
+//! * `LIS_SERVE_REQUESTS` — requests per cell (default 30,000).
+
+use lis::poison::RmiPoisonAttack;
+use lis::prelude::*;
+use lis::server::drive;
+use lis_workloads::ResultTable;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let n = env_usize("LIS_SERVE_KEYS", 200_000);
+    let requests = env_usize("LIS_SERVE_REQUESTS", 30_000);
+    let clients = 4;
+    let ratios = [0.0, 0.1, 0.5];
+    let indexes = ["rmi", "sharded:rmi:8", "btree"];
+    println!(
+        "serving latency under live adversary traffic — {n} keys, \
+         {requests} requests per cell, {clients} clients\n\
+         (override with LIS_SERVE_KEYS / LIS_SERVE_REQUESTS)\n"
+    );
+
+    let ks = WorkloadSpec::Uniform { n, density: 0.1 }
+        .sample(42, 0)
+        .expect("sample keyset");
+    // Algorithm 2, matched to the registry's ~100-keys-per-leaf victims:
+    // the campaign that inflates second-stage errors (and therefore served
+    // lookup cost), not just the root regression's loss.
+    let outcome = RmiPoisonAttack {
+        num_models: (n / 100).max(1),
+        cfg: RmiAttackConfig::new(10.0).with_max_exchanges(64),
+    }
+    .run(&ks)
+    .expect("rmi campaign");
+    println!(
+        "campaign: {} poison keys inserted, ratio loss {:.1}x\n",
+        outcome.inserted.len(),
+        outcome.ratio_loss()
+    );
+
+    let registry = IndexRegistry::with_defaults();
+    let cfg = ServeConfig::new()
+        .workers(4)
+        .batch(64)
+        .deadline(Duration::from_micros(200));
+
+    let mut table = ResultTable::new(
+        "serving_latency",
+        &[
+            "index",
+            "attack_ratio",
+            "p50_us",
+            "p99_us",
+            "max_us",
+            "kreq_per_s",
+            "mean_batch",
+            "mean_cost",
+        ],
+    );
+    let mut mean_costs: Vec<(String, f64, f64)> = Vec::new();
+    for name in indexes {
+        let index = Arc::new(
+            registry
+                .build(name, &outcome.poisoned)
+                .expect("build victim"),
+        );
+        for ratio in ratios {
+            let server = Server::start(Arc::clone(&index), cfg);
+            let sources: Vec<Box<dyn TrafficSource>> = (0..clients)
+                .map(|c| {
+                    Box::new(MixedSource::new(
+                        BenignSource::new(ks.keys().to_vec(), 42 ^ c as u64).expect("benign pool"),
+                        ReplaySource::new(outcome.inserted.clone()).expect("campaign keys"),
+                        ratio,
+                        0xA77A + c as u64,
+                    )) as Box<dyn TrafficSource>
+                })
+                .collect();
+            let total = drive(&server, sources, requests.div_ceil(clients)).expect("drive traffic");
+            let report = server.shutdown();
+            assert_eq!(report.served, total, "{name} dropped requests");
+            assert!(
+                report.latency.p50() <= report.latency.p99()
+                    && report.latency.p99() <= report.latency.max(),
+                "{name} percentile ordering broken"
+            );
+            table.push_row([
+                name.to_string(),
+                format!("{ratio:.2}"),
+                format!("{:.1}", report.latency.p50() as f64 / 1_000.0),
+                format!("{:.1}", report.latency.p99() as f64 / 1_000.0),
+                format!("{:.1}", report.latency.max() as f64 / 1_000.0),
+                format!("{:.1}", report.throughput() / 1_000.0),
+                format!("{:.1}", report.mean_batch()),
+                format!("{:.2}", report.mean_cost()),
+            ]);
+            mean_costs.push((name.to_string(), ratio, report.mean_cost()));
+        }
+    }
+    table.print();
+    table.write_csv().expect("write csv");
+
+    // The headline claim, measured where the paper puts it: identical
+    // benign traffic served by the clean build vs the poisoned build, end
+    // to end through the same serving front end. (The ratio sweep above
+    // layers the live adversary on top; this isolates what the campaign
+    // alone did to every legitimate client.)
+    let drive_benign = |index: &Arc<DynIndex>| {
+        let server = Server::start(Arc::clone(index), cfg);
+        let sources: Vec<Box<dyn TrafficSource>> = (0..clients)
+            .map(|c| {
+                Box::new(BenignSource::new(ks.keys().to_vec(), 42 ^ c as u64).expect("pool"))
+                    as Box<dyn TrafficSource>
+            })
+            .collect();
+        drive(&server, sources, requests.div_ceil(clients)).expect("drive traffic");
+        server.shutdown()
+    };
+    let clean_rmi = Arc::new(registry.build("rmi", &ks).expect("clean rmi"));
+    let poisoned_rmi = Arc::new(
+        registry
+            .build("rmi", &outcome.poisoned)
+            .expect("poisoned rmi"),
+    );
+    let clean_report = drive_benign(&clean_rmi);
+    let poisoned_report = drive_benign(&poisoned_rmi);
+    let inflation = poisoned_report.mean_cost() / clean_report.mean_cost().max(1e-9);
+    println!(
+        "\nbenign traffic served by rmi — clean build {:.2} mean cost, \
+         poisoned build {:.2} mean cost ({inflation:.2}x inflation in flight)",
+        clean_report.mean_cost(),
+        poisoned_report.mean_cost()
+    );
+    assert!(
+        inflation > 1.0,
+        "the poisoned build should serve benign traffic at inflated cost, got {inflation:.3}x"
+    );
+
+    // And the structural baseline must shrug off even a 50% adversarial
+    // stream (cost units, so the check is hardware-independent).
+    let cost = |name: &str, ratio: f64| {
+        mean_costs
+            .iter()
+            .find(|(n, r, _)| n == name && *r == ratio)
+            .map(|(_, _, c)| *c)
+            .expect("cell measured")
+    };
+    let btree_drift = cost("btree", 0.5) / cost("btree", 0.0);
+    assert!(
+        (btree_drift - 1.0).abs() < 0.1,
+        "the B+-tree's served cost should be flat under attack traffic, got {btree_drift:.3}x"
+    );
+    println!("serving latency harness complete.");
+}

@@ -372,6 +372,69 @@ mod tests {
     }
 
     #[test]
+    fn parse_sharded_name_rejects_zero_and_missing_counts() {
+        // A zero shard count is not a parse, not a later build error.
+        assert_eq!(parse_sharded_name("sharded:rmi:0"), None);
+        assert_eq!(
+            parse_sharded_name("sharded:sharded:rmi:0:4"),
+            Some(("sharded:rmi:0", 4))
+        );
+        // Missing count in every spelling: no colon, trailing colon, bare
+        // prefix.
+        assert_eq!(parse_sharded_name("sharded:rmi"), None);
+        assert_eq!(parse_sharded_name("sharded:rmi:"), None);
+        assert_eq!(parse_sharded_name("sharded:"), None);
+        assert_eq!(parse_sharded_name("sharded"), None);
+        assert_eq!(parse_sharded_name(""), None);
+    }
+
+    #[test]
+    fn parse_sharded_name_does_not_trim_whitespace() {
+        // Whitespace around the count makes the count unparseable...
+        assert_eq!(parse_sharded_name("sharded:rmi: 8"), None);
+        assert_eq!(parse_sharded_name("sharded:rmi:8 "), None);
+        // ...while whitespace in the inner name is preserved verbatim (the
+        // registry, not the parser, decides such a name resolves nowhere).
+        assert_eq!(parse_sharded_name("sharded: rmi:8"), Some((" rmi", 8)));
+        assert!(!IndexRegistry::with_defaults().resolves("sharded: rmi:8"));
+        assert_eq!(parse_sharded_name(" sharded:rmi:8"), None);
+    }
+
+    #[test]
+    fn parse_sharded_name_nests_arbitrarily_deep() {
+        assert_eq!(
+            parse_sharded_name("sharded:sharded:sharded:btree:2:3:4"),
+            Some(("sharded:sharded:btree:2:3", 4))
+        );
+        // Peeling layer by layer terminates at the innermost name.
+        let mut name = "sharded:sharded:sharded:btree:2:3:4";
+        let mut counts = Vec::new();
+        while let Some((inner, n)) = parse_sharded_name(name) {
+            counts.push(n);
+            name = inner;
+        }
+        assert_eq!(name, "btree");
+        assert_eq!(counts, vec![4, 3, 2]);
+        assert!(IndexRegistry::with_defaults().resolves("sharded:sharded:sharded:btree:2:3:4"));
+    }
+
+    #[test]
+    fn parse_sharded_name_handles_numeric_and_huge_counts() {
+        // A numeric inner name parses; resolution is the registry's call.
+        assert_eq!(parse_sharded_name("sharded:42:3"), Some(("42", 3)));
+        // Counts beyond usize fail the parse rather than wrapping.
+        assert_eq!(
+            parse_sharded_name("sharded:rmi:99999999999999999999999999"),
+            None
+        );
+        // `usize::from_str` tolerates a leading plus; minus and decimals
+        // stay rejected.
+        assert_eq!(parse_sharded_name("sharded:rmi:+8"), Some(("rmi", 8)));
+        assert_eq!(parse_sharded_name("sharded:rmi:-8"), None);
+        assert_eq!(parse_sharded_name("sharded:rmi:8.0"), None);
+    }
+
+    #[test]
     fn sharded_agrees_with_unsharded_on_every_probe() {
         let ks = keyset(1_000);
         let registry = IndexRegistry::with_defaults();

@@ -1,0 +1,54 @@
+//! # lis-server — the concurrent serving front end
+//!
+//! The paper attacks learned indexes *as they serve queries*: poisoning
+//! degrades lookup cost under real traffic. This crate supplies the
+//! traffic. It turns any built [`DynIndex`](lis_core::index::DynIndex) —
+//! monolithic or `sharded:<name>:<N>` — into a served system:
+//!
+//! * [`queue`] — a bounded MPSC request queue with backpressure and
+//!   adaptive micro-batch draining (flush on batch size or deadline);
+//! * [`server`] — the worker pool pulling micro-batches through
+//!   `DynIndex::lookup_batch`, per-request latency recording, and the
+//!   [`ServeReport`] (p50/p90/p99/max latency, throughput, mean batch
+//!   size, mean lookup cost);
+//! * [`histogram`] — the HDR-style log-linear [`LatencyHistogram`] behind
+//!   those percentiles;
+//! * [`traffic`] — composable [`TrafficSource`]s: a benign member-key
+//!   stream, a replaying live adversary, and their ratio-controlled mix,
+//!   plus the [`drive`] helper running source fleets on generator threads.
+//!
+//! One serve code path covers both offline experiments (the `lis`
+//! pipeline's batched measurements run through [`Server::serve_all`]) and
+//! the live latency-vs-throughput harness (`lis-cli serve-bench`, the
+//! `serving_latency` bench).
+//!
+//! ## Example
+//!
+//! ```
+//! use lis_core::index::IndexRegistry;
+//! use lis_core::keys::KeySet;
+//! use lis_server::{ServeConfig, Server};
+//! use std::sync::Arc;
+//!
+//! let ks = KeySet::from_keys((0..1_000u64).map(|i| i * 3).collect()).unwrap();
+//! let index = Arc::new(IndexRegistry::with_defaults().build("rmi", &ks).unwrap());
+//! let server = Server::start(Arc::clone(&index), ServeConfig::new());
+//! let served = server.serve_all(ks.keys()).unwrap();
+//! assert_eq!(served, index.lookup_batch(ks.keys()));
+//! let report = server.shutdown();
+//! assert_eq!(report.served, 1_000);
+//! assert!(report.latency.p99() >= report.latency.p50());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod histogram;
+pub mod queue;
+pub mod server;
+pub mod traffic;
+
+pub use histogram::LatencyHistogram;
+pub use queue::{BatchPolicy, BatchQueue};
+pub use server::{ResponseTicket, ServeConfig, ServeReport, Server, ServerHandle};
+pub use traffic::{drive, BenignSource, MixedSource, ReplaySource, TrafficSource};

@@ -1,0 +1,262 @@
+//! The bounded MPSC request queue with adaptive micro-batch draining.
+//!
+//! Producers ([`crate::server::ServerHandle`]s on client threads) push
+//! single requests and block when the queue is full — backpressure, not
+//! unbounded buffering. Consumers (the worker pool) drain *batches*: a
+//! worker blocks for the first request, then keeps gathering until either
+//! the batch-size cap or the flush deadline is hit, whichever comes first.
+//! That is the classic micro-batching trade: under load, batches fill
+//! instantly and lookups amortize the per-batch dispatch; under trickle
+//! traffic, the deadline bounds how long any request waits for company.
+//!
+//! Built on `Mutex` + `Condvar` only — the workspace carries no external
+//! concurrency dependency.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How a drained batch is cut. See [`BatchQueue::pop_batch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Maximum requests per batch (flush when reached).
+    pub max_batch: usize,
+    /// Maximum time a worker waits for the batch to fill after its first
+    /// request arrives (flush when elapsed).
+    pub deadline: Duration,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer queue drained in micro-batches.
+pub struct BatchQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BatchQueue<T> {
+    /// A queue holding at most `capacity` pending requests (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Number of requests currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// `true` iff no requests are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues `item`, blocking while the queue is full. Returns the item
+    /// back as `Err` if the queue has been closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if state.closed {
+                return Err(item);
+            }
+            if state.items.len() < self.capacity {
+                break;
+            }
+            state = self.not_full.wait(state).expect("queue poisoned");
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Drains the next micro-batch: blocks until a first request arrives,
+    /// then gathers until `policy.max_batch` requests are in hand or
+    /// `policy.deadline` has elapsed since the first pop. Returns `None`
+    /// once the queue is closed *and* drained — the worker-shutdown signal.
+    pub fn pop_batch(&self, policy: BatchPolicy) -> Option<Vec<T>> {
+        let max_batch = policy.max_batch.max(1);
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if !state.items.is_empty() {
+                break;
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue poisoned");
+        }
+        let mut batch = Vec::with_capacity(max_batch.min(state.items.len()));
+        let flush_at = Instant::now() + policy.deadline;
+        loop {
+            while batch.len() < max_batch {
+                match state.items.pop_front() {
+                    Some(item) => batch.push(item),
+                    None => break,
+                }
+            }
+            self.not_full.notify_all();
+            if batch.len() >= max_batch || state.closed {
+                break;
+            }
+            let now = Instant::now();
+            if now >= flush_at {
+                break;
+            }
+            let (guard, timeout) = self
+                .not_empty
+                .wait_timeout(state, flush_at - now)
+                .expect("queue poisoned");
+            state = guard;
+            if timeout.timed_out() && state.items.is_empty() {
+                break;
+            }
+        }
+        drop(state);
+        // Another worker may be blocked on `not_empty` for requests that
+        // arrived while we held the lock; wake one if anything remains.
+        if !self.is_empty() {
+            self.not_empty.notify_one();
+        }
+        Some(batch)
+    }
+
+    /// Closes the queue: further pushes fail, blocked producers and workers
+    /// wake, and workers exit once the backlog is drained.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Whether [`BatchQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue poisoned").closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn policy(max_batch: usize, deadline_ms: u64) -> BatchPolicy {
+        BatchPolicy {
+            max_batch,
+            deadline: Duration::from_millis(deadline_ms),
+        }
+    }
+
+    #[test]
+    fn full_batch_flushes_without_waiting_for_deadline() {
+        let q = BatchQueue::new(64);
+        for i in 0..8 {
+            q.push(i).unwrap();
+        }
+        let start = Instant::now();
+        // Deadline is far away; the size cap must cut the batch.
+        let batch = q.pop_batch(policy(8, 10_000)).unwrap();
+        assert_eq!(batch, (0..8).collect::<Vec<_>>());
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "waited on deadline"
+        );
+    }
+
+    #[test]
+    fn deadline_flushes_partial_batch() {
+        let q = BatchQueue::new(64);
+        q.push(1).unwrap();
+        // Batch cap of 8 can never fill: the deadline must flush.
+        let batch = q.pop_batch(policy(8, 20)).unwrap();
+        assert_eq!(batch, vec![1]);
+    }
+
+    #[test]
+    fn oversize_backlog_splits_into_batches() {
+        let q = BatchQueue::new(64);
+        for i in 0..10 {
+            q.push(i).unwrap();
+        }
+        let first = q.pop_batch(policy(4, 0)).unwrap();
+        let second = q.pop_batch(policy(4, 0)).unwrap();
+        assert_eq!(first, vec![0, 1, 2, 3]);
+        assert_eq!(second, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn close_drains_backlog_then_signals_shutdown() {
+        let q = BatchQueue::new(8);
+        q.push(7).unwrap();
+        q.close();
+        assert_eq!(q.push(8), Err(8));
+        assert_eq!(q.pop_batch(policy(4, 1_000)), Some(vec![7]));
+        assert_eq!(q.pop_batch(policy(4, 1_000)), None);
+    }
+
+    #[test]
+    fn push_blocks_on_full_queue_until_drained() {
+        let q = Arc::new(BatchQueue::new(2));
+        q.push(0).unwrap();
+        q.push(1).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(2))
+        };
+        // Give the producer a moment to block on the full queue.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.len(), 2);
+        let batch = q.pop_batch(policy(2, 0)).unwrap();
+        assert_eq!(batch, vec![0, 1]);
+        producer.join().unwrap().unwrap();
+        assert_eq!(q.pop_batch(policy(2, 50)).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing() {
+        let q = Arc::new(BatchQueue::new(16));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        q.push(p * 100 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                while let Some(batch) = q.pop_batch(policy(7, 5)) {
+                    seen.extend(batch);
+                }
+                seen
+            })
+        };
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut seen = consumer.join().unwrap();
+        seen.sort_unstable();
+        let mut expected: Vec<i32> = (0..4)
+            .flat_map(|p| (0..50).map(move |i| p * 100 + i))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(seen, expected);
+    }
+}

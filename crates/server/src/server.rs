@@ -1,0 +1,532 @@
+//! The concurrent serving front end: a worker pool draining micro-batches
+//! through [`DynIndex::lookup_batch`].
+//!
+//! [`Server::start`] takes a built (possibly sharded) index behind an
+//! `Arc<DynIndex>` and spawns `workers` OS threads, all pulling from one
+//! bounded [`BatchQueue`]. Clients submit keys through cloneable
+//! [`ServerHandle`]s and either block per request ([`ServerHandle::lookup`])
+//! or pipeline many in flight ([`ServerHandle::submit`] +
+//! [`ResponseTicket::wait`]). Every response records its
+//! submit-to-completion latency into a shared [`LatencyHistogram`], and the
+//! server counts requests, batches, and lookup cost units, so one
+//! [`ServeReport`] carries p50/p90/p99/max latency, throughput, mean batch
+//! size, and mean per-lookup cost.
+//!
+//! The same object serves two modes:
+//!
+//! * **offline measurement** — [`Server::serve_all`] pushes a probe slice
+//!   through the queue and returns the answers in probe order; the
+//!   experiment pipeline measures lookup cost through this path, so the
+//!   harness and the live front end exercise identical serving code;
+//! * **live traffic** — generator threads (see [`crate::traffic`]) submit
+//!   keys continuously while the histogram tracks tail latency in flight.
+
+use crate::histogram::LatencyHistogram;
+use crate::queue::{BatchPolicy, BatchQueue};
+use lis_core::error::{LisError, Result};
+use lis_core::index::{DynIndex, Lookup};
+use lis_core::keys::Key;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a [`Server`]. Zeros are clamped up to 1 (a server with
+/// no workers or no queue could never answer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Bound on queued (admitted but unserved) requests — producers block
+    /// beyond it.
+    pub queue_depth: usize,
+    /// Maximum requests per micro-batch.
+    pub batch: usize,
+    /// Deadline a worker waits for a partial batch to fill.
+    pub deadline: Duration,
+}
+
+impl ServeConfig {
+    /// Live-serving defaults: 4 workers, 64-request batches, 200µs flush
+    /// deadline, 4096-deep queue.
+    pub fn new() -> Self {
+        Self {
+            workers: 4,
+            queue_depth: 4_096,
+            batch: 64,
+            deadline: Duration::from_micros(200),
+        }
+    }
+
+    /// Offline-measurement defaults used by the experiment pipeline: two
+    /// workers and large batches, so a probe sweep drains at full batch
+    /// width without deadline stalls.
+    pub fn offline() -> Self {
+        Self {
+            workers: 2,
+            queue_depth: 4_096,
+            batch: 1_024,
+            deadline: Duration::from_micros(100),
+        }
+    }
+
+    /// Sets the worker count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the micro-batch size cap.
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Sets the micro-batch flush deadline.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Sets the queue bound.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot response slot a worker fulfills and a client waits on.
+struct ResponseSlot {
+    result: Mutex<Option<Result<Lookup>>>,
+    ready: Condvar,
+}
+
+impl ResponseSlot {
+    fn new() -> Self {
+        Self {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn fulfill(&self, outcome: Result<Lookup>) {
+        *self.result.lock().expect("response slot poisoned") = Some(outcome);
+        self.ready.notify_one();
+    }
+
+    fn wait(&self) -> Result<Lookup> {
+        let mut guard = self.result.lock().expect("response slot poisoned");
+        loop {
+            if let Some(outcome) = guard.take() {
+                return outcome;
+            }
+            guard = self.ready.wait(guard).expect("response slot poisoned");
+        }
+    }
+}
+
+/// A claim on one in-flight request; [`ResponseTicket::wait`] blocks until
+/// a worker has served it.
+pub struct ResponseTicket {
+    slot: Arc<ResponseSlot>,
+}
+
+impl ResponseTicket {
+    /// Blocks until the request is served and returns its [`Lookup`].
+    ///
+    /// Fails with [`LisError::Invariant`] if the serving worker's lookup
+    /// panicked (a bug in the index structure) — the request is answered
+    /// with an error rather than stranding the client forever.
+    pub fn wait(self) -> Result<Lookup> {
+        self.slot.wait()
+    }
+}
+
+/// One queued request: the key, its admission time, and the response slot.
+struct Request {
+    key: Key,
+    submitted: Instant,
+    slot: Arc<ResponseSlot>,
+}
+
+/// Counters and per-worker latency histograms shared with the front end.
+/// Each worker records into its own histogram (uncontended on the hot
+/// path); [`Server::stats`] merges them into one report.
+struct Shared {
+    latency: Vec<Mutex<LatencyHistogram>>,
+    served: AtomicU64,
+    batches: AtomicU64,
+    cost_units: AtomicU64,
+}
+
+/// A cloneable submission endpoint for client threads.
+#[derive(Clone)]
+pub struct ServerHandle {
+    queue: Arc<BatchQueue<Request>>,
+}
+
+impl ServerHandle {
+    /// Enqueues one key, blocking while the queue is full. Fails with
+    /// [`LisError::Invariant`] after the server has shut down.
+    pub fn submit(&self, key: Key) -> Result<ResponseTicket> {
+        let slot = Arc::new(ResponseSlot::new());
+        let request = Request {
+            key,
+            submitted: Instant::now(),
+            slot: Arc::clone(&slot),
+        };
+        self.queue
+            .push(request)
+            .map_err(|_| LisError::Invariant("request submitted to a shut-down server".into()))?;
+        Ok(ResponseTicket { slot })
+    }
+
+    /// Submits one key and blocks for its answer (a closed-loop client).
+    pub fn lookup(&self, key: Key) -> Result<Lookup> {
+        self.submit(key)?.wait()
+    }
+}
+
+/// Final measurements of one serving session.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Registry name of the served index.
+    pub index: String,
+    /// Requests served to completion.
+    pub served: u64,
+    /// Micro-batches dispatched.
+    pub batches: u64,
+    /// Total lookup cost units (comparisons/probes) across all requests.
+    pub cost_units: u64,
+    /// Wall clock from server start to shutdown.
+    pub elapsed: Duration,
+    /// Submit-to-completion latency distribution (nanoseconds).
+    pub latency: LatencyHistogram,
+}
+
+impl ServeReport {
+    /// Requests per second over the session.
+    pub fn throughput(&self) -> f64 {
+        self.served as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Mean requests per dispatched micro-batch.
+    pub fn mean_batch(&self) -> f64 {
+        self.served as f64 / (self.batches as f64).max(1.0)
+    }
+
+    /// Mean lookup cost units per request — the hardware-independent
+    /// quantity poisoning inflates.
+    pub fn mean_cost(&self) -> f64 {
+        self.cost_units as f64 / (self.served as f64).max(1.0)
+    }
+}
+
+/// The serving front end: a bounded queue plus a worker pool over one
+/// index. See the module docs for the serving model.
+pub struct Server {
+    queue: Arc<BatchQueue<Request>>,
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    index_name: String,
+    started: Instant,
+}
+
+impl Server {
+    /// Spawns the worker pool over `index` and starts accepting requests.
+    pub fn start(index: Arc<DynIndex>, cfg: ServeConfig) -> Self {
+        let queue = Arc::new(BatchQueue::new(cfg.queue_depth));
+        let worker_count = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            latency: (0..worker_count)
+                .map(|_| Mutex::new(LatencyHistogram::new()))
+                .collect(),
+            served: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            cost_units: AtomicU64::new(0),
+        });
+        let policy = BatchPolicy {
+            max_batch: cfg.batch.max(1),
+            deadline: cfg.deadline,
+        };
+        let workers = (0..worker_count)
+            .map(|w| {
+                let queue = Arc::clone(&queue);
+                let shared = Arc::clone(&shared);
+                let index = Arc::clone(&index);
+                std::thread::spawn(move || worker_loop(&queue, &shared, w, &index, policy))
+            })
+            .collect();
+        Self {
+            queue,
+            shared,
+            workers,
+            index_name: index.name().to_string(),
+            started: Instant::now(),
+        }
+    }
+
+    /// A new submission endpoint (cheap to clone, one per client thread).
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+
+    /// Serves a whole probe slice through the queue and returns the answers
+    /// in probe order — the offline-measurement path. Requests pipeline
+    /// through the same batcher and workers as live traffic; the caller
+    /// only waits once all probes are admitted.
+    pub fn serve_all(&self, keys: &[Key]) -> Result<Vec<Lookup>> {
+        let handle = self.handle();
+        let mut tickets = Vec::with_capacity(keys.len());
+        for &key in keys {
+            tickets.push(handle.submit(key)?);
+        }
+        tickets.into_iter().map(ResponseTicket::wait).collect()
+    }
+
+    /// Builds a [`ServeReport`] from the current counters, merging the
+    /// per-worker histograms.
+    fn report(&self) -> ServeReport {
+        let mut latency = LatencyHistogram::new();
+        for per_worker in &self.shared.latency {
+            latency.merge(&per_worker.lock().expect("latency histogram poisoned"));
+        }
+        ServeReport {
+            index: self.index_name.clone(),
+            served: self.shared.served.load(Ordering::Relaxed),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            cost_units: self.shared.cost_units.load(Ordering::Relaxed),
+            elapsed: self.started.elapsed(),
+            latency,
+        }
+    }
+
+    /// A snapshot of the running session's measurements.
+    pub fn stats(&self) -> ServeReport {
+        self.report()
+    }
+
+    /// Stops admission, drains the backlog, joins the workers, and returns
+    /// the session's final [`ServeReport`]. Workers survive panicking
+    /// index lookups (those requests fail with [`LisError::Invariant`] at
+    /// the ticket), so the join only fails on a bug in the front end
+    /// itself.
+    pub fn shutdown(mut self) -> ServeReport {
+        self.queue.close();
+        for worker in std::mem::take(&mut self.workers) {
+            worker.join().expect("serving worker panicked");
+        }
+        self.report()
+    }
+}
+
+/// One worker: drain micro-batches, answer them through the index's batched
+/// hot path, fulfill the tickets, record latency and counters. Latencies
+/// land in this worker's own histogram slot, so the hot path never
+/// contends with other workers on a shared lock.
+fn worker_loop(
+    queue: &BatchQueue<Request>,
+    shared: &Shared,
+    worker: usize,
+    index: &DynIndex,
+    policy: BatchPolicy,
+) {
+    let mut keys: Vec<Key> = Vec::with_capacity(policy.max_batch);
+    while let Some(batch) = queue.pop_batch(policy) {
+        if batch.is_empty() {
+            continue;
+        }
+        keys.clear();
+        keys.extend(batch.iter().map(|r| r.key));
+        // A panicking lookup (a bug in the index structure) must not
+        // strand the batch's clients on tickets nobody will fulfill: catch
+        // it, fail every request in the batch, and keep serving.
+        let results =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| index.lookup_batch(&keys)));
+        let results = match results {
+            Ok(results) => results,
+            Err(_) => {
+                for request in batch {
+                    request.slot.fulfill(Err(LisError::Invariant(format!(
+                        "index lookup panicked while serving key {}",
+                        request.key
+                    ))));
+                }
+                continue;
+            }
+        };
+        let cost: usize = results.iter().map(|r| r.cost).sum();
+        let done = Instant::now();
+        let mut latency = shared.latency[worker]
+            .lock()
+            .expect("latency histogram poisoned");
+        for request in &batch {
+            latency.record_duration(done.duration_since(request.submitted));
+        }
+        drop(latency);
+        for (request, hit) in batch.into_iter().zip(results) {
+            request.slot.fulfill(Ok(hit));
+        }
+        shared
+            .served
+            .fetch_add(keys.len() as u64, Ordering::Relaxed);
+        shared.batches.fetch_add(1, Ordering::Relaxed);
+        shared.cost_units.fetch_add(cost as u64, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lis_core::index::IndexRegistry;
+    use lis_core::keys::KeySet;
+
+    fn served_index(n: u64) -> (KeySet, Arc<DynIndex>) {
+        let ks = KeySet::from_keys((0..n).map(|i| i * 7 + 3).collect()).unwrap();
+        let idx = IndexRegistry::with_defaults().build("rmi", &ks).unwrap();
+        (ks, Arc::new(idx))
+    }
+
+    #[test]
+    fn serve_all_matches_direct_batch() {
+        let (ks, idx) = served_index(2_000);
+        let probes: Vec<Key> = ks
+            .keys()
+            .iter()
+            .step_by(3)
+            .copied()
+            .chain([0, 1, 999_999_999])
+            .collect();
+        let direct = idx.lookup_batch(&probes);
+        let server = Server::start(Arc::clone(&idx), ServeConfig::offline());
+        let served = server.serve_all(&probes).unwrap();
+        let report = server.shutdown();
+        assert_eq!(served, direct);
+        assert_eq!(report.served as usize, probes.len());
+        assert_eq!(report.latency.count() as usize, probes.len());
+        assert_eq!(
+            report.cost_units as usize,
+            direct.iter().map(|r| r.cost).sum::<usize>()
+        );
+        assert!(report.throughput() > 0.0);
+        assert!(report.mean_batch() >= 1.0);
+    }
+
+    #[test]
+    fn closed_loop_lookup_answers() {
+        let (ks, idx) = served_index(500);
+        let server = Server::start(idx, ServeConfig::new().workers(2).batch(4));
+        let handle = server.handle();
+        for &k in ks.keys().iter().step_by(50) {
+            assert!(handle.lookup(k).unwrap().found, "lost member {k}");
+        }
+        assert!(!handle.lookup(1).unwrap().found);
+        let report = server.shutdown();
+        assert_eq!(report.served, 11);
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_an_error() {
+        let (_, idx) = served_index(100);
+        let server = Server::start(idx, ServeConfig::offline());
+        let handle = server.handle();
+        server.shutdown();
+        assert!(matches!(handle.submit(42), Err(LisError::Invariant(_))));
+    }
+
+    #[test]
+    fn config_zeros_are_clamped() {
+        let (ks, idx) = served_index(64);
+        let cfg = ServeConfig {
+            workers: 0,
+            queue_depth: 0,
+            batch: 0,
+            deadline: Duration::from_micros(0),
+        };
+        let server = Server::start(idx, cfg);
+        let served = server.serve_all(ks.keys()).unwrap();
+        assert!(served.iter().all(|r| r.found));
+        server.shutdown();
+    }
+
+    #[test]
+    fn panicking_lookup_fails_the_request_without_stranding_clients() {
+        use lis_core::index::LearnedIndex;
+        struct PanickyIndex;
+        impl LearnedIndex for PanickyIndex {
+            type Config = ();
+            fn build(_: &KeySet, _: &()) -> lis_core::error::Result<Self> {
+                Ok(Self)
+            }
+            fn lookup(&self, _: Key) -> Lookup {
+                panic!("intentional lookup bug")
+            }
+            fn loss(&self) -> f64 {
+                0.0
+            }
+            fn memory_bytes(&self) -> usize {
+                1
+            }
+            fn len(&self) -> usize {
+                1
+            }
+        }
+        let index = Arc::new(DynIndex::new("boom", PanickyIndex));
+        let server = Server::start(index, ServeConfig::new().workers(2).batch(4));
+        let handle = server.handle();
+        // Every request gets an answer — an error, not a hang.
+        for key in 0..20 {
+            match handle.lookup(key) {
+                Err(LisError::Invariant(msg)) => assert!(msg.contains("panicked"), "{msg}"),
+                other => panic!("expected Invariant error, got {other:?}"),
+            }
+        }
+        // Workers survived the panics: shutdown joins cleanly and nothing
+        // was counted as served.
+        let report = server.shutdown();
+        assert_eq!(report.served, 0);
+        assert!(report.latency.is_empty());
+    }
+
+    #[test]
+    fn per_worker_histograms_merge_into_one_report() {
+        let (ks, idx) = served_index(1_000);
+        let server = Server::start(Arc::clone(&idx), ServeConfig::new().workers(4).batch(8));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let handle = server.handle();
+                let keys = ks.keys();
+                scope.spawn(move || {
+                    for &k in keys.iter().step_by(10) {
+                        handle.lookup(k).unwrap();
+                    }
+                });
+            }
+        });
+        let report = server.shutdown();
+        // 4 closed-loop clients x 100 requests, all accounted for in the
+        // merged histogram regardless of which worker served them.
+        assert_eq!(report.served, 400);
+        assert_eq!(report.latency.count(), 400);
+    }
+
+    #[test]
+    fn stats_snapshot_while_live() {
+        let (ks, idx) = served_index(300);
+        let server = Server::start(idx, ServeConfig::offline());
+        server.serve_all(ks.keys()).unwrap();
+        let snap = server.stats();
+        assert_eq!(snap.served, 300);
+        assert_eq!(snap.index, "rmi");
+        let report = server.shutdown();
+        assert_eq!(report.served, 300);
+    }
+}

@@ -1,0 +1,285 @@
+//! Composable traffic generators for the serving harness.
+//!
+//! The paper's attacks matter *at serve time*: poison placed in the keyset
+//! makes the dense regions of the learned CDF expensive, so an adversary
+//! who also controls part of the query stream can steer traffic into
+//! exactly those regions and degrade tail latency for everyone sharing the
+//! worker pool. The sources here compose that scenario:
+//!
+//! * [`BenignSource`] — the legitimate workload, sampling member keys
+//!   uniformly (deterministically, from a seed);
+//! * [`ReplaySource`] — the live adversary, cycling through a campaign's
+//!   key list (e.g. [`inserted`](lis_core::keys::Key) poison keys of an
+//!   attack outcome) in order;
+//! * [`MixedSource`] — interleaves any two sources, drawing from the
+//!   adversary with probability `attack_ratio` per request.
+//!
+//! [`drive`] runs one or more sources against a server from generator
+//! threads, keeping a bounded window of requests in flight per client so
+//! the batcher sees sustained concurrent load (open-loop enough to fill
+//! batches, bounded enough to model real clients).
+
+use crate::server::{ResponseTicket, Server};
+use lis_core::error::{LisError, Result};
+use lis_core::keys::Key;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// A stream of query keys. Sources own their RNG/cursor state, so a fleet
+/// of generator threads can each drive an independent source.
+pub trait TrafficSource: Send {
+    /// Short display name for report rows.
+    fn name(&self) -> &str;
+
+    /// The next key to query.
+    fn next_key(&mut self) -> Key;
+}
+
+/// The legitimate query stream: uniform samples from a member-key pool.
+pub struct BenignSource {
+    keys: Vec<Key>,
+    rng: StdRng,
+}
+
+impl BenignSource {
+    /// A source sampling uniformly from `keys` (must be non-empty).
+    pub fn new(keys: Vec<Key>, seed: u64) -> Result<Self> {
+        if keys.is_empty() {
+            return Err(LisError::Invariant(
+                "benign traffic needs a non-empty key pool".into(),
+            ));
+        }
+        Ok(Self {
+            keys,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+}
+
+impl TrafficSource for BenignSource {
+    fn name(&self) -> &str {
+        "benign"
+    }
+
+    fn next_key(&mut self) -> Key {
+        self.keys[self.rng.gen_range(0..self.keys.len())]
+    }
+}
+
+/// The live adversary: replays a campaign's keys in order, wrapping around
+/// when exhausted — the attacker keeps hammering the poisoned regions.
+pub struct ReplaySource {
+    keys: Vec<Key>,
+    cursor: usize,
+}
+
+impl ReplaySource {
+    /// A source cycling through `keys` (must be non-empty).
+    pub fn new(keys: Vec<Key>) -> Result<Self> {
+        if keys.is_empty() {
+            return Err(LisError::Invariant(
+                "replay traffic needs a non-empty campaign".into(),
+            ));
+        }
+        Ok(Self { keys, cursor: 0 })
+    }
+}
+
+impl TrafficSource for ReplaySource {
+    fn name(&self) -> &str {
+        "replay"
+    }
+
+    fn next_key(&mut self) -> Key {
+        let key = self.keys[self.cursor];
+        self.cursor = (self.cursor + 1) % self.keys.len();
+        key
+    }
+}
+
+/// Interleaves an adversarial source into a benign one at a fixed ratio.
+pub struct MixedSource {
+    benign: Box<dyn TrafficSource>,
+    adversary: Box<dyn TrafficSource>,
+    attack_ratio: f64,
+    rng: StdRng,
+    name: String,
+}
+
+impl MixedSource {
+    /// Draws from `adversary` with probability `attack_ratio` (clamped to
+    /// `[0, 1]`) and from `benign` otherwise.
+    pub fn new(
+        benign: impl TrafficSource + 'static,
+        adversary: impl TrafficSource + 'static,
+        attack_ratio: f64,
+        seed: u64,
+    ) -> Self {
+        let attack_ratio = attack_ratio.clamp(0.0, 1.0);
+        let name = format!("mixed:{:.0}%", attack_ratio * 100.0);
+        Self {
+            benign: Box::new(benign),
+            adversary: Box::new(adversary),
+            attack_ratio,
+            rng: StdRng::seed_from_u64(seed),
+            name,
+        }
+    }
+}
+
+impl TrafficSource for MixedSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn next_key(&mut self) -> Key {
+        if self.attack_ratio > 0.0 && self.rng.gen::<f64>() < self.attack_ratio {
+            self.adversary.next_key()
+        } else {
+            self.benign.next_key()
+        }
+    }
+}
+
+/// Requests each generator client keeps in flight before waiting on its
+/// oldest ticket — enough to keep micro-batches full without modelling an
+/// unboundedly patient client.
+pub const CLIENT_WINDOW: usize = 256;
+
+/// Drives `requests_per_client` lookups from each source against `server`
+/// on its own generator thread, windowed to [`CLIENT_WINDOW`] in-flight
+/// requests per client. Returns the total number of requests served.
+///
+/// Fails if the server shuts down mid-drive; results are discarded (the
+/// server's [`ServeReport`](crate::server::ServeReport) carries latency,
+/// throughput, and cost).
+pub fn drive(
+    server: &Server,
+    sources: Vec<Box<dyn TrafficSource>>,
+    requests_per_client: usize,
+) -> Result<u64> {
+    let outcomes: Vec<Result<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = sources
+            .into_iter()
+            .map(|mut source| {
+                let handle = server.handle();
+                scope.spawn(move || -> Result<u64> {
+                    let mut inflight: VecDeque<ResponseTicket> = VecDeque::new();
+                    for _ in 0..requests_per_client {
+                        if inflight.len() >= CLIENT_WINDOW {
+                            inflight.pop_front().expect("non-empty window").wait()?;
+                        }
+                        inflight.push_back(handle.submit(source.next_key())?);
+                    }
+                    for ticket in inflight {
+                        ticket.wait()?;
+                    }
+                    Ok(requests_per_client as u64)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(res) => res,
+                Err(_) => Err(LisError::Invariant(
+                    "traffic generator thread panicked".into(),
+                )),
+            })
+            .collect()
+    });
+    let mut total = 0;
+    for outcome in outcomes {
+        total += outcome?;
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServeConfig;
+    use lis_core::index::IndexRegistry;
+    use lis_core::keys::KeySet;
+    use std::sync::Arc;
+
+    #[test]
+    fn benign_source_samples_members_deterministically() {
+        let pool: Vec<Key> = (0..100).map(|i| i * 3).collect();
+        let mut a = BenignSource::new(pool.clone(), 7).unwrap();
+        let mut b = BenignSource::new(pool.clone(), 7).unwrap();
+        for _ in 0..500 {
+            let k = a.next_key();
+            assert_eq!(k, b.next_key());
+            assert!(pool.contains(&k));
+        }
+        assert!(BenignSource::new(Vec::new(), 0).is_err());
+    }
+
+    #[test]
+    fn replay_source_cycles_in_order() {
+        let mut src = ReplaySource::new(vec![10, 20, 30]).unwrap();
+        let drawn: Vec<Key> = (0..7).map(|_| src.next_key()).collect();
+        assert_eq!(drawn, vec![10, 20, 30, 10, 20, 30, 10]);
+        assert!(ReplaySource::new(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn mixed_ratio_extremes_are_pure_streams() {
+        let benign: Vec<Key> = (0..50).map(|i| i * 2).collect();
+        let poison = vec![1_000_001, 1_000_003];
+        let mut all_benign = MixedSource::new(
+            BenignSource::new(benign.clone(), 1).unwrap(),
+            ReplaySource::new(poison.clone()).unwrap(),
+            0.0,
+            2,
+        );
+        let mut all_attack = MixedSource::new(
+            BenignSource::new(benign.clone(), 1).unwrap(),
+            ReplaySource::new(poison.clone()).unwrap(),
+            1.0,
+            2,
+        );
+        for _ in 0..200 {
+            assert!(benign.contains(&all_benign.next_key()));
+            assert!(poison.contains(&all_attack.next_key()));
+        }
+    }
+
+    #[test]
+    fn mixed_ratio_is_roughly_respected() {
+        let benign: Vec<Key> = (0..50).map(|i| i * 2).collect();
+        let poison = vec![999_999];
+        let mut src = MixedSource::new(
+            BenignSource::new(benign, 3).unwrap(),
+            ReplaySource::new(poison).unwrap(),
+            0.3,
+            4,
+        );
+        let n = 10_000;
+        let attacks = (0..n).filter(|_| src.next_key() == 999_999).count();
+        let ratio = attacks as f64 / n as f64;
+        assert!((ratio - 0.3).abs() < 0.03, "observed attack ratio {ratio}");
+        assert_eq!(src.name(), "mixed:30%");
+    }
+
+    #[test]
+    fn drive_pushes_all_requests_through_the_server() {
+        let ks = KeySet::from_keys((0..800u64).map(|i| i * 5).collect()).unwrap();
+        let idx = Arc::new(IndexRegistry::with_defaults().build("btree", &ks).unwrap());
+        let server = crate::server::Server::start(idx, ServeConfig::new().workers(2).batch(16));
+        let sources: Vec<Box<dyn TrafficSource>> = (0..3)
+            .map(|c| {
+                Box::new(BenignSource::new(ks.keys().to_vec(), c).unwrap())
+                    as Box<dyn TrafficSource>
+            })
+            .collect();
+        let total = drive(&server, sources, 700).unwrap();
+        let report = server.shutdown();
+        assert_eq!(total, 2_100);
+        assert_eq!(report.served, 2_100);
+        assert_eq!(report.latency.count(), 2_100);
+        assert!(report.mean_batch() >= 1.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Live serving under adversarial traffic.
+//!
+//! The paper's attacks matter because learned indexes *serve queries*:
+//! poison placed at build time is paid for at serve time, by every client.
+//! This example stands up the concurrent serving front end — bounded
+//! request queue, adaptive micro-batcher, worker pool — over a poisoned
+//! RMI and drives it with live traffic: benign member queries mixed with
+//! an adversary replaying the campaign's poison keys.
+//!
+//! Run with `cargo run --release --example live_serving`.
+
+use lis::poison::RmiPoisonAttack;
+use lis::prelude::*;
+use lis::server::drive;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    // --- 1. A keyset and the Algorithm-2 campaign against it ------------
+    let n = 50_000;
+    let ks = WorkloadSpec::Uniform { n, density: 0.1 }
+        .sample(7, 0)
+        .expect("sample keyset");
+    let campaign = RmiPoisonAttack {
+        num_models: n / 100,
+        cfg: RmiAttackConfig::new(10.0).with_max_exchanges(64),
+    }
+    .run(&ks)
+    .expect("run campaign");
+    println!(
+        "keyset: {ks}\ncampaign: {} poison keys, ratio loss {:.1}x",
+        campaign.inserted.len(),
+        campaign.ratio_loss()
+    );
+
+    // --- 2. A served system over the poisoned keyset --------------------
+    // Any registry name works here — swap in "sharded:rmi:8" or "btree"
+    // and the front end is identical.
+    let registry = IndexRegistry::with_defaults();
+    let index = Arc::new(
+        registry
+            .build("rmi", &campaign.poisoned)
+            .expect("build victim"),
+    );
+    let cfg = ServeConfig::new()
+        .workers(4)
+        .batch(64)
+        .deadline(Duration::from_micros(200));
+
+    // --- 3. Benign traffic vs a 50% adversarial mix ---------------------
+    let requests_per_client = 5_000;
+    let clients = 4;
+    let mut reports = Vec::new();
+    for attack_ratio in [0.0, 0.5] {
+        let server = Server::start(Arc::clone(&index), cfg);
+        let sources: Vec<Box<dyn TrafficSource>> = (0..clients)
+            .map(|c| {
+                Box::new(MixedSource::new(
+                    BenignSource::new(ks.keys().to_vec(), 7 ^ c).expect("benign pool"),
+                    ReplaySource::new(campaign.inserted.clone()).expect("campaign keys"),
+                    attack_ratio,
+                    100 + c,
+                )) as Box<dyn TrafficSource>
+            })
+            .collect();
+        let total = drive(&server, sources, requests_per_client).expect("drive traffic");
+        let report = server.shutdown();
+        assert_eq!(report.served, total, "server dropped requests");
+        println!(
+            "attack {:>3.0}% — p50 {:>6.1}µs  p99 {:>7.1}µs  max {:>7.1}µs  \
+             {:>6.1} kreq/s  batch {:>4.1}  cost {:.2}",
+            attack_ratio * 100.0,
+            report.latency.p50() as f64 / 1_000.0,
+            report.latency.p99() as f64 / 1_000.0,
+            report.latency.max() as f64 / 1_000.0,
+            report.throughput() / 1_000.0,
+            report.mean_batch(),
+            report.mean_cost(),
+        );
+        reports.push(report);
+    }
+
+    // --- 4. The punchline: the campaign taxes every lookup --------------
+    // Compare against the clean build serving the identical benign stream:
+    // the poison inserted at build time inflates the cost of every served
+    // request — the attack, measured in flight.
+    let clean = Arc::new(registry.build("rmi", &ks).expect("build clean"));
+    let server = Server::start(Arc::clone(&clean), cfg);
+    let sources: Vec<Box<dyn TrafficSource>> = (0..clients)
+        .map(|c| {
+            Box::new(BenignSource::new(ks.keys().to_vec(), 7 ^ c).expect("benign pool"))
+                as Box<dyn TrafficSource>
+        })
+        .collect();
+    drive(&server, sources, requests_per_client).expect("drive traffic");
+    let clean_report = server.shutdown();
+    let inflation = reports[0].mean_cost() / clean_report.mean_cost().max(1e-9);
+    println!(
+        "clean build, same benign stream — cost {:.2}; poisoning inflates served cost {:.2}x",
+        clean_report.mean_cost(),
+        inflation
+    );
+    assert!(
+        inflation > 1.0,
+        "poisoned build should serve at inflated cost ({inflation:.3}x)"
+    );
+}

@@ -8,6 +8,7 @@
 //! lis-cli defend --dist uniform --keys 1000 --density 0.1 --poison-pct 10
 //! lis-cli inspect --in keys.txt --index rmi,btree,pla
 //! lis-cli pipeline --dist lognormal --keys 5000 --attack rmi --defense trim --index rmi,btree
+//! lis-cli serve-bench --keys 100000 --index rmi,btree --attack-ratio 0,0.5 --workers 4
 //! lis-cli list-indexes
 //! ```
 //!
@@ -19,7 +20,7 @@
 use lis::defense::{
     evaluate_defense, trim_defense, DensityDefense, IqrDefense, TrimConfig, TrimDefense,
 };
-use lis::pipeline::Pipeline;
+use lis::pipeline::{BuildCache, Pipeline};
 use lis::poison::{
     DpRmiPoisonAttack, GreedyCdfAttack, MixedAttack, RemovalAttack, RmiPoisonAttack,
 };
@@ -44,6 +45,7 @@ fn main() -> ExitCode {
         "defend" => cmd_defend(&flags),
         "inspect" => cmd_inspect(&flags),
         "pipeline" => cmd_pipeline(&flags),
+        "serve-bench" => cmd_serve_bench(&flags),
         "list-indexes" => cmd_list_indexes(),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -103,6 +105,19 @@ COMMANDS:
       --alpha A       per-model threshold multiplier                 [3]
       --queries Q     member-key probes per index                 [2000]
       --shards N      serve each victim as sharded:<name>:N          [1]
+
+  serve-bench         concurrent serving harness with live adversary traffic
+      (generate flags)
+      --index NAMES       comma-separated registry names     [rmi,btree]
+      --shards N          serve each victim as sharded:<name>:N      [1]
+      --workers W         worker threads draining micro-batches      [4]
+      --batch B           max requests per micro-batch              [64]
+      --deadline-us D     micro-batch flush deadline in µs         [200]
+      --attack-ratio R    comma-separated adversarial fractions [0,0.1,0.5]
+      --requests N        requests per (index, ratio) session    [20000]
+      --clients C         concurrent traffic generator threads       [2]
+      --poison-pct P      RMI-attack budget percentage              [10]
+      --model-size M      keys per second-stage model (campaign)   [100]
 
   list-indexes        print the registered index names
 
@@ -321,6 +336,149 @@ fn cmd_inspect(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve_bench(flags: &Flags) -> Result<(), String> {
+    use lis::server::{drive, BenignSource, MixedSource, ReplaySource, TrafficSource};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let ks = load_or_generate(flags)?;
+    let seed: u64 = flag(flags, "seed", 42)?;
+    let pct: f64 = flag(flags, "poison-pct", 10.0)?;
+    let workers: usize = flag(flags, "workers", 4)?;
+    let batch: usize = flag(flags, "batch", 64)?;
+    let deadline_us: u64 = flag(flags, "deadline-us", 200)?;
+    let requests: usize = flag(flags, "requests", 20_000)?;
+    let clients: usize = flag(flags, "clients", 2)?;
+    let shards: usize = flag(flags, "shards", 1)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1 (1 serves unsharded)".into());
+    }
+    if clients == 0 || requests == 0 {
+        return Err("--clients and --requests must be at least 1".into());
+    }
+    let ratios: Vec<f64> = flags
+        .get("attack-ratio")
+        .map(String::as_str)
+        .unwrap_or("0,0.1,0.5")
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse::<f64>()
+                .map_err(|_| format!("invalid value '{s}' for --attack-ratio"))
+                .and_then(|r| {
+                    if (0.0..=1.0).contains(&r) {
+                        Ok(r)
+                    } else {
+                        Err(format!("--attack-ratio {r} outside [0, 1]"))
+                    }
+                })
+        })
+        .collect::<Result<_, _>>()?;
+    if ratios.is_empty() {
+        return Err("--attack-ratio needs at least one fraction".into());
+    }
+
+    // The live adversary replays the campaign's poison keys; the victims
+    // serve the keyset that campaign already corrupted. Algorithm 2 is the
+    // campaign that inflates second-stage errors — i.e. served lookup
+    // cost — not just the root regression's loss.
+    let model_size: usize = flag(flags, "model-size", 100)?;
+    let num_models = (ks.len() / model_size).max(1);
+    let outcome = RmiPoisonAttack {
+        num_models,
+        cfg: RmiAttackConfig::new(pct).with_max_exchanges(num_models.min(64)),
+    }
+    .run(&ks)
+    .map_err(|e| e.to_string())?;
+    println!(
+        "serve-bench: {} keys, {} poison keys ({pct}%), attack ratio loss {:.1}x",
+        ks.len(),
+        outcome.inserted.len(),
+        outcome.ratio_loss()
+    );
+    println!(
+        "{} workers, batch {batch}, deadline {deadline_us}µs, {clients} clients x {} requests\n",
+        workers,
+        requests.div_ceil(clients)
+    );
+
+    let registry = IndexRegistry::with_defaults();
+    let names = flags
+        .get("index")
+        .cloned()
+        .unwrap_or_else(|| "rmi,btree".into());
+    let cfg = lis::server::ServeConfig::new()
+        .workers(workers)
+        .batch(batch)
+        .deadline(Duration::from_micros(deadline_us));
+
+    let mut table = lis::workloads::ResultTable::new(
+        "serve_bench",
+        &[
+            "index",
+            "attack_ratio",
+            "p50_us",
+            "p90_us",
+            "p99_us",
+            "max_us",
+            "kreq_per_s",
+            "mean_batch",
+            "mean_cost",
+        ],
+    );
+    for name in names.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let resolved = if shards > 1 {
+            format!("sharded:{name}:{shards}")
+        } else {
+            name.to_string()
+        };
+        if !registry.resolves(&resolved) {
+            return Err(format!(
+                "unknown index '{resolved}' (available: {}, sharded:<name>:<N>)",
+                registry.names().join(", ")
+            ));
+        }
+        let index = Arc::new(
+            registry
+                .build(&resolved, &outcome.poisoned)
+                .map_err(|e| e.to_string())?,
+        );
+        for &ratio in &ratios {
+            let server = lis::server::Server::start(Arc::clone(&index), cfg);
+            let sources: Vec<Box<dyn TrafficSource>> = (0..clients)
+                .map(|c| {
+                    let benign = BenignSource::new(ks.keys().to_vec(), seed ^ c as u64)
+                        .map_err(|e| e.to_string())?;
+                    let adversary =
+                        ReplaySource::new(outcome.inserted.clone()).map_err(|e| e.to_string())?;
+                    Ok(Box::new(MixedSource::new(
+                        benign,
+                        adversary,
+                        ratio,
+                        seed.wrapping_add(0xA77A).wrapping_add(c as u64),
+                    )) as Box<dyn TrafficSource>)
+                })
+                .collect::<Result<_, String>>()?;
+            drive(&server, sources, requests.div_ceil(clients)).map_err(|e| e.to_string())?;
+            let report = server.shutdown();
+            table.push_row([
+                resolved.clone(),
+                format!("{ratio:.2}"),
+                format!("{:.1}", report.latency.p50() as f64 / 1_000.0),
+                format!("{:.1}", report.latency.p90() as f64 / 1_000.0),
+                format!("{:.1}", report.latency.p99() as f64 / 1_000.0),
+                format!("{:.1}", report.latency.max() as f64 / 1_000.0),
+                format!("{:.1}", report.throughput() / 1_000.0),
+                format!("{:.1}", report.mean_batch()),
+                format!("{:.2}", report.mean_cost()),
+            ]);
+        }
+    }
+    table.print();
+    Ok(())
+}
+
 fn cmd_list_indexes() -> Result<(), String> {
     let registry = IndexRegistry::with_defaults();
     for name in registry.names() {
@@ -414,8 +572,21 @@ fn cmd_pipeline(flags: &Flags) -> Result<(), String> {
         pipeline = pipeline.index(&resolved);
     }
 
-    let report = pipeline.run().map_err(|e| e.to_string())?;
+    // Mount a cache so its effectiveness is visible in the output even on
+    // a single run (repeated names hit; sweeps wrapping this command see
+    // the same counters programmatically via `Pipeline::cache`).
+    let cache = BuildCache::new();
+    let report = pipeline
+        .cache(cache.clone())
+        .run()
+        .map_err(|e| e.to_string())?;
     print!("{}", report.render());
+    println!(
+        "\nbuild cache: {} clean builds retained — {} hits, {} misses",
+        cache.len(),
+        cache.hits(),
+        cache.misses()
+    );
     Ok(())
 }
 
@@ -485,6 +656,28 @@ mod tests {
         flags.insert("queries".into(), "200".into());
         cmd_pipeline(&flags).unwrap();
         cmd_list_indexes().unwrap();
+    }
+
+    #[test]
+    fn serve_bench_command_runs_two_indexes_two_ratios() {
+        let mut flags = Flags::new();
+        flags.insert("keys".into(), "600".into());
+        flags.insert("index".into(), "rmi,btree".into());
+        flags.insert("attack-ratio".into(), "0,0.5".into());
+        flags.insert("requests".into(), "400".into());
+        flags.insert("workers".into(), "2".into());
+        flags.insert("batch".into(), "16".into());
+        cmd_serve_bench(&flags).unwrap();
+    }
+
+    #[test]
+    fn serve_bench_rejects_bad_ratio() {
+        let mut flags = Flags::new();
+        flags.insert("keys".into(), "200".into());
+        flags.insert("attack-ratio".into(), "1.5".into());
+        assert!(cmd_serve_bench(&flags).is_err());
+        flags.insert("attack-ratio".into(), "abc".into());
+        assert!(cmd_serve_bench(&flags).is_err());
     }
 
     #[test]

@@ -16,8 +16,11 @@
 //! * [`defense`] — TRIM adaptation and outlier filters behind the
 //!   [`Defense`](lis_defense::Defense) trait;
 //! * [`workloads`] — synthetic and simulated-real keysets;
+//! * [`server`] — the concurrent serving front end (bounded request
+//!   queue, adaptive micro-batcher, worker pool, latency histogram, and
+//!   live benign/adversarial traffic sources);
 //! * [`pipeline`] — the workload → attack → defense → index → report
-//!   builder composing all of the above.
+//!   builder composing all of the above, measuring through [`server`].
 //!
 //! ## End-to-end example
 //!
@@ -47,6 +50,7 @@
 pub use lis_core as core;
 pub use lis_defense as defense;
 pub use lis_poison as poison;
+pub use lis_server as server;
 pub use lis_workloads as workloads;
 
 pub mod pipeline;
@@ -66,5 +70,9 @@ pub mod prelude {
     pub use lis_poison::{
         greedy_poison, optimal_single_point, rmi_attack, Attack, AttackOutcome, GreedyPlan,
         PoisonBudget, RmiAttackConfig, RmiAttackResult,
+    };
+    pub use lis_server::{
+        BenignSource, LatencyHistogram, MixedSource, ReplaySource, ServeConfig, ServeReport,
+        Server, TrafficSource,
     };
 }

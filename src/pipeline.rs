@@ -10,9 +10,12 @@
 //! the [`IndexRegistry`], [`Attack`], [`Defense`]), so a new experiment is
 //! a few lines instead of a hand-wired harness.
 //!
-//! Lookups run through [`DynIndex::lookup_batch`], amortizing the virtual
-//! dispatch over the whole probe set — the hot path stays a tight loop over
-//! a concrete structure.
+//! Lookups are measured through the serving front end
+//! ([`lis_server::Server`]): probes flow through the same bounded queue,
+//! micro-batcher, and worker pool that serve live traffic, draining into
+//! [`DynIndex::lookup_batch`] — one serve code path for offline
+//! experiments and the live harness, with the virtual dispatch amortized
+//! over whole batches.
 //!
 //! ## Example
 //!
@@ -43,6 +46,7 @@ use lis_core::metrics::{ratio_loss, LookupCostSummary};
 use lis_core::Key;
 use lis_defense::{evaluate_defense_campaign, Defense, DefenseOutcome, DefenseReport};
 use lis_poison::{Attack, AttackOutcome};
+use lis_server::{ServeConfig, Server};
 use lis_workloads::{
     domain_for_density, lognormal_keys, normal_keys, realsim, trial_rng, uniform_keys, ResultTable,
     DEFAULT_SEED,
@@ -50,6 +54,7 @@ use lis_workloads::{
 use rand::Rng;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -507,7 +512,9 @@ impl Pipeline {
     /// Per-victim builds and measurements run concurrently on scoped
     /// threads (every structure in the workspace is `Send + Sync`); clean
     /// builds are served from the shared [`BuildCache`] when one is
-    /// mounted.
+    /// mounted. Probe measurements flow through the concurrent serving
+    /// front end ([`lis_server::Server`]), and a panicking victim build
+    /// surfaces as [`LisError::Invariant`] instead of crashing the run.
     pub fn run(self) -> Result<PipelineReport> {
         if self.index_names.is_empty() {
             return Err(LisError::Invariant(
@@ -589,9 +596,9 @@ impl Pipeline {
                 (workload_key.clone(), self.seed, self.trial, name.clone()),
                 || self.registry.build(name, &clean),
             )?;
-            let final_idx = self.registry.build(name, &final_keyset)?;
-            let clean_costs = batch_costs(&clean_idx, &probes)?;
-            let final_costs = batch_costs(&final_idx, &probes)?;
+            let final_idx = Arc::new(self.registry.build(name, &final_keyset)?);
+            let clean_costs = served_costs(&clean_idx, &probes)?;
+            let final_costs = served_costs(&final_idx, &probes)?;
             Ok(IndexReport {
                 name: name.clone(),
                 clean_loss: clean_idx.loss(),
@@ -603,34 +610,64 @@ impl Pipeline {
                 clean_memory_bytes: clean_idx.memory_bytes(),
             })
         };
+        // A panicking victim build (a buggy custom registry entry, a bug in
+        // a structure) is reported as `LisError::Invariant` for that name
+        // instead of poisoning the whole run.
+        let measure_caught = |name: &String| -> (String, Result<IndexReport>) {
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| measure(name)))
+                .unwrap_or_else(|payload| {
+                    Err(LisError::Invariant(format!(
+                        "victim build for '{name}' panicked: {}",
+                        panic_message(payload.as_ref())
+                    )))
+                });
+            (name.clone(), result)
+        };
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
             .min(unique.len())
             .max(1);
         let measured: Vec<(String, Result<IndexReport>)> = if workers <= 1 {
-            unique
-                .iter()
-                .map(|name| ((*name).clone(), measure(name)))
-                .collect()
+            unique.iter().map(|name| measure_caught(name)).collect()
         } else {
             let per_worker = unique.len().div_ceil(workers);
             std::thread::scope(|scope| {
-                let measure = &measure;
+                let measure_caught = &measure_caught;
                 let handles: Vec<_> = unique
                     .chunks(per_worker)
                     .map(|group| {
-                        scope.spawn(move || {
+                        let handle = scope.spawn(move || {
                             group
                                 .iter()
-                                .map(|name| ((*name).clone(), measure(name)))
+                                .map(|name| measure_caught(name))
                                 .collect::<Vec<_>>()
-                        })
+                        });
+                        (group, handle)
                     })
                     .collect();
                 handles
                     .into_iter()
-                    .flat_map(|h| h.join().expect("victim build thread panicked"))
+                    .flat_map(|(group, handle)| match handle.join() {
+                        Ok(rows) => rows,
+                        // Panics are caught per victim above; a panic that
+                        // still escapes the worker (e.g. in the harness
+                        // itself) is charged to every name in its group.
+                        Err(payload) => {
+                            let msg = panic_message(payload.as_ref());
+                            group
+                                .iter()
+                                .map(|name| {
+                                    (
+                                        (*name).clone(),
+                                        Err(LisError::Invariant(format!(
+                                            "victim build worker panicked: {msg}"
+                                        ))),
+                                    )
+                                })
+                                .collect()
+                        }
+                    })
                     .collect()
             })
         };
@@ -659,17 +696,31 @@ impl Pipeline {
     }
 }
 
-/// Batched lookups through the type-erased hot path; returns the cost
-/// summary and whether every probe was found. An empty probe set is
-/// propagated as an error rather than asserted away.
-fn batch_costs(index: &DynIndex, probes: &[Key]) -> Result<(LookupCostSummary, bool)> {
-    let results = index.lookup_batch(probes);
+/// Serves the probe set through the concurrent front end — the same
+/// bounded-queue → micro-batcher → worker-pool path live traffic takes —
+/// and returns the cost summary plus whether every probe was found. An
+/// empty probe set is propagated as an error rather than asserted away.
+fn served_costs(index: &Arc<DynIndex>, probes: &[Key]) -> Result<(LookupCostSummary, bool)> {
+    let server = Server::start(Arc::clone(index), ServeConfig::offline());
+    let results = server.serve_all(probes)?;
+    server.shutdown();
     let costs: Vec<usize> = results.iter().map(|r| r.cost).collect();
     let all_found = results.iter().all(|r| r.found);
     let summary = LookupCostSummary::from_counts(&costs).ok_or_else(|| {
         LisError::Invariant("lookup batch over an empty probe set has no cost summary".into())
     })?;
     Ok((summary, all_found))
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -898,6 +949,32 @@ mod tests {
         run(0, Some(cache.clone()));
         assert_eq!(cache.hits(), before + 2);
         assert_eq!(cache.len(), 6);
+    }
+
+    #[test]
+    fn panicking_victim_build_is_an_error_not_a_crash() {
+        let mut registry = IndexRegistry::with_defaults();
+        registry.register("panicker", "always panics", |_| {
+            panic!("intentional build panic")
+        });
+        let err = Pipeline::new(WorkloadSpec::Uniform {
+            n: 200,
+            density: 0.2,
+        })
+        .registry(registry)
+        .index("btree")
+        .index("panicker")
+        .queries(50)
+        .run();
+        match err {
+            Err(LisError::Invariant(msg)) => {
+                assert!(
+                    msg.contains("panicker") && msg.contains("intentional build panic"),
+                    "{msg}"
+                );
+            }
+            other => panic!("expected Invariant error, got {other:?}"),
+        }
     }
 
     #[test]
