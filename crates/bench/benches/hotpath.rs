@@ -1,0 +1,85 @@
+//! The read-hot-path perf baseline: ns/lookup and Mlookups/s for every
+//! serve-path victim, clean vs Algorithm-2-poisoned, through both the
+//! per-key reference path and the optimized sorted-batch path.
+//!
+//! Writes the grid as `BENCH_hotpath.json` at the workspace root — the
+//! machine-readable baseline future PRs diff their numbers against — and
+//! a CSV under `target/experiments/` like every other bench. Override the
+//! scale for smoke runs:
+//!
+//! * `LIS_HOTPATH_KEYS` — keyset size (default 1,000,000);
+//! * `LIS_HOTPATH_BATCH` — probes per batch (default 16,384 — the
+//!   offline-sweep regime where sorted-batch locality pays);
+//! * `LIS_HOTPATH_ROUNDS` — timing rounds, best reported (default 3).
+
+use lis::hotpath::{run_hotpath, HotpathConfig};
+use std::path::Path;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let defaults = HotpathConfig::default();
+    let cfg = HotpathConfig {
+        keys: env_usize("LIS_HOTPATH_KEYS", defaults.keys),
+        batch: env_usize("LIS_HOTPATH_BATCH", defaults.batch),
+        rounds: env_usize("LIS_HOTPATH_ROUNDS", defaults.rounds),
+        ..defaults
+    };
+    println!(
+        "hotpath baseline — {} keys, batch {}, best of {} rounds, {}% Algorithm-2 poison\n\
+         (override with LIS_HOTPATH_KEYS / LIS_HOTPATH_BATCH / LIS_HOTPATH_ROUNDS)\n",
+        cfg.keys, cfg.batch, cfg.rounds, cfg.poison_pct
+    );
+    let report = run_hotpath(&cfg).expect("hotpath grid");
+    println!(
+        "campaign: {} poison keys, ratio loss {:.1}x\n",
+        report.poison_keys, report.ratio_loss
+    );
+    let table = report.table();
+    table.print();
+    table.write_csv().expect("write csv");
+
+    let json_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_hotpath.json");
+    report
+        .write_json(&json_path)
+        .expect("write BENCH_hotpath.json");
+    println!("\nwrote {}", json_path.display());
+
+    // The paper's effect must reproduce in the baseline: poisoning
+    // inflates the learned victims' comparison cost.
+    for name in ["rmi", "deep-rmi"] {
+        let clean = report.cell(name, "clean").expect("cell").mean_cost;
+        let poisoned = report.cell(name, "poisoned").expect("cell").mean_cost;
+        assert!(
+            poisoned > clean,
+            "{name}: poisoning should inflate mean cost ({poisoned:.2} vs {clean:.2})"
+        );
+    }
+
+    // The acceptance gate for this baseline: at full scale (≥10⁶ keys),
+    // the sorted-batch hot path beats the per-key serve path on the RMI.
+    // Smoke runs (smaller LIS_HOTPATH_KEYS) skip the timing assertion —
+    // thread-shared CI runners make small-n wall clocks too noisy.
+    let cell = report.cell("rmi", "clean").expect("rmi clean cell");
+    println!(
+        "\nrmi clean: {:.1} ns/lookup batched vs {:.1} ns/lookup per-key \
+         ({:.2}x speedup, {:.2} Mlookups/s)",
+        cell.ns_per_lookup_batch,
+        cell.ns_per_lookup_per_key,
+        cell.batch_speedup,
+        cell.mlookups_per_s
+    );
+    if report.keys >= 1_000_000 && report.batch >= 8_192 {
+        assert!(
+            cell.batch_speedup > 1.05,
+            "batch path should beat the per-key path at full scale, got {:.3}x",
+            cell.batch_speedup
+        );
+    }
+    println!("hotpath baseline complete.");
+}

@@ -75,6 +75,7 @@ fn main() {
             "p99_us",
             "max_us",
             "kreq_per_s",
+            "mlookups_per_s",
             "mean_batch",
             "mean_cost",
         ],
@@ -113,6 +114,7 @@ fn main() {
                 format!("{:.1}", report.latency.p99() as f64 / 1_000.0),
                 format!("{:.1}", report.latency.max() as f64 / 1_000.0),
                 format!("{:.1}", report.throughput() / 1_000.0),
+                format!("{:.3}", report.mlookups_per_s()),
                 format!("{:.1}", report.mean_batch()),
                 format!("{:.2}", report.mean_cost()),
             ]);

@@ -20,7 +20,9 @@ use crate::error::{LisError, Result};
 use crate::index::{LearnedIndex, Lookup};
 use crate::keys::{Key, KeySet};
 use crate::linreg::LinearModel;
-use crate::search::exponential_search;
+use crate::rmi::scale_to_width;
+use crate::scratch::ScratchPool;
+use crate::search::bounded_search_with_fallback;
 
 /// Configuration: models per stage, root first. The root stage must have
 /// exactly one model; the last stage's models are the leaves.
@@ -72,6 +74,8 @@ pub struct DeepRmi {
     keys: Vec<Key>,
     /// Per-leaf max training error (last-mile radius), leaf-indexed.
     leaf_errors: Vec<usize>,
+    /// Pooled `(key, slot)` permutation buffers for the sorted-batch path.
+    scratch: ScratchPool<Vec<(Key, usize)>>,
 }
 
 impl DeepRmi {
@@ -135,6 +139,7 @@ impl DeepRmi {
             stages,
             keys: ks.keys().to_vec(),
             leaf_errors,
+            scratch: ScratchPool::new(),
         })
     }
 
@@ -171,16 +176,43 @@ impl DeepRmi {
         idx.min(self.num_leaves() - 1)
     }
 
-    /// Predicted global 0-based position for `key`.
-    pub fn predict_pos(&self, key: Key) -> usize {
-        let leaf = self.route(key);
+    /// Predicted global 0-based position for `key` served by `leaf`.
+    fn predict_at_leaf(&self, leaf: usize, key: Key) -> usize {
         let pred = self.stages.last().unwrap()[leaf].predict(key) - 1.0;
         pred.round().clamp(0.0, (self.keys.len() - 1) as f64) as usize
     }
 
-    /// Full lookup with last-mile exponential search.
+    /// Predicted global 0-based position for `key`.
+    pub fn predict_pos(&self, key: Key) -> usize {
+        self.predict_at_leaf(self.route(key), key)
+    }
+
+    /// Lookup served by a known leaf: error-bounded last-mile search with
+    /// the leaf's stored maximum training error as the window radius (+1
+    /// for rounding). Query-time routing replays the training-time
+    /// assignment exactly, so member keys always land within their leaf's
+    /// recorded error; the exponential fallback only fires for absent
+    /// keys predicted out of bound.
+    fn lookup_at_leaf(&self, leaf: usize, key: Key) -> Lookup {
+        let guess = self.predict_at_leaf(leaf, key);
+        let radius = self.leaf_errors[leaf] + 1;
+        bounded_search_with_fallback(&self.keys, key, guess, radius).into()
+    }
+
+    /// Full lookup with error-bounded last-mile search.
     pub fn lookup(&self, key: Key) -> Lookup {
-        exponential_search(&self.keys, key, self.predict_pos(key)).into()
+        self.lookup_at_leaf(self.route(key), key)
+    }
+
+    /// Sorted-batch lookup into a reused buffer: probes sweep the key
+    /// array in sorted order (results restored to probe order), so the
+    /// per-stage model walks and last-mile windows move monotonically
+    /// through memory. Per-probe results are identical to
+    /// [`DeepRmi::lookup`].
+    pub fn lookup_batch_into(&self, keys: &[Key], out: &mut Vec<Lookup>) {
+        crate::index::sorted_batch_into(&self.scratch, keys, out, |k| {
+            self.lookup_at_leaf(self.route(k), k)
+        });
     }
 
     /// Mean MSE over the trained leaf models (untrained leaves excluded) —
@@ -210,6 +242,10 @@ impl LearnedIndex for DeepRmi {
         DeepRmi::lookup(self, key)
     }
 
+    fn lookup_batch_into(&self, keys: &[Key], out: &mut Vec<Lookup>) {
+        DeepRmi::lookup_batch_into(self, keys, out)
+    }
+
     fn loss(&self) -> f64 {
         self.leaf_loss()
     }
@@ -226,10 +262,11 @@ impl LearnedIndex for DeepRmi {
     }
 }
 
-/// Scales a rank prediction over `n` keys to a stage of `width` models.
+/// Scales a rank prediction over `n` keys to a stage of `width` models —
+/// the shared clamped helper ([`crate::rmi::scale_to_width`]), so build
+/// and query routing can never diverge.
 fn scale_to_stage(pred: f64, n: usize, width: usize) -> usize {
-    let frac = ((pred - 1.0) / n as f64).clamp(0.0, 1.0 - f64::EPSILON);
-    (frac * width as f64) as usize
+    scale_to_width(pred, n, width)
 }
 
 #[cfg(test)]
@@ -321,6 +358,39 @@ mod tests {
         let rmi = DeepRmi::build(&ks, &DeepRmiConfig::three_stage(20, 400)).unwrap();
         for (i, &k) in ks.keys().iter().enumerate().step_by(11) {
             assert_eq!(rmi.lookup(k).pos, Some(i));
+        }
+    }
+
+    #[test]
+    fn sorted_batch_matches_single_lookup_exactly() {
+        let ks = skewed(2_500);
+        let rmi = DeepRmi::build(&ks, &DeepRmiConfig::three_stage(8, 120)).unwrap();
+        let mut probes: Vec<Key> = ks.keys().iter().rev().step_by(7).copied().collect();
+        probes.extend([0, 3, ks.max_key() + 1, Key::MAX]);
+        probes.push(probes[1]);
+        let mut out = Vec::new();
+        rmi.lookup_batch_into(&probes, &mut out);
+        assert_eq!(out.len(), probes.len());
+        for (&k, &got) in probes.iter().zip(&out) {
+            assert_eq!(got, rmi.lookup(k), "key {k}");
+        }
+        assert_eq!(rmi.scratch.idle(), 1);
+    }
+
+    #[test]
+    fn bounded_lookup_cost_respects_leaf_error_window() {
+        let ks = uniform(5_000, 9);
+        let rmi = DeepRmi::build(&ks, &DeepRmiConfig::three_stage(5, 50)).unwrap();
+        let radius = rmi.max_leaf_error() + 1;
+        let bound = ((2 * radius + 1) as f64).log2().ceil() as usize + 1;
+        for &k in ks.keys().iter().step_by(61) {
+            let hit = rmi.lookup(k);
+            assert!(hit.found, "member {k} lost");
+            assert!(
+                hit.cost <= bound,
+                "cost {} > window bound {bound}",
+                hit.cost
+            );
         }
     }
 

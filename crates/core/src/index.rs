@@ -31,9 +31,37 @@
 
 use crate::error::{LisError, Result};
 use crate::keys::{Key, KeySet};
+use crate::scratch::ScratchPool;
 use crate::search::SearchResult;
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// Shared scaffolding of the sorted-batch lookup paths (RMI, deep RMI,
+/// PLA): clears `out`, sorts the probes together with their original
+/// slots through a pooled permutation buffer, serves them in ascending
+/// key order through `serve` (which owns any routing cursor state), and
+/// scatters the answers back into probe order. Steady-state calls reuse
+/// the pooled buffer and `out`'s capacity — no heap allocation.
+pub(crate) fn sorted_batch_into(
+    scratch: &ScratchPool<Vec<(Key, usize)>>,
+    keys: &[Key],
+    out: &mut Vec<Lookup>,
+    mut serve: impl FnMut(Key) -> Lookup,
+) {
+    out.clear();
+    if keys.is_empty() {
+        return;
+    }
+    let mut order = scratch.acquire_or(Vec::new);
+    order.clear();
+    order.extend(keys.iter().copied().zip(0..));
+    order.sort_unstable();
+    out.resize(keys.len(), Lookup::membership(false, 0));
+    for &(k, slot) in order.iter() {
+        out[slot] = serve(k);
+    }
+    scratch.release(order);
+}
 
 /// The outcome of a single index lookup, shared by every structure in the
 /// workspace (replacing the former per-structure result types).
@@ -96,15 +124,32 @@ pub trait LearnedIndex: Sized {
     /// Looks up one key.
     fn lookup(&self, key: Key) -> Lookup;
 
-    /// Looks up a batch of keys.
+    /// Looks up a batch of keys into a caller-owned buffer — the
+    /// zero-allocation hot path.
     ///
-    /// The default loops over [`LearnedIndex::lookup`]; implementations
-    /// with per-call overhead worth amortizing (and [`DynIndex`], which
-    /// saves a virtual dispatch per key) override or inherit this as the
-    /// hot path for experiment harnesses.
-    fn lookup_batch(&self, keys: &[Key]) -> Vec<Lookup> {
-        let mut out = Vec::with_capacity(keys.len());
+    /// `out` is cleared and refilled with one [`Lookup`] per probe, in
+    /// probe order; a reused buffer keeps steady-state batches free of
+    /// heap allocation. The default loops over [`LearnedIndex::lookup`];
+    /// structures with batch-level leverage (RMI/PLA sorted-batch
+    /// routing, sharded scatter/gather) override it. Overrides must
+    /// return results identical to per-key [`LearnedIndex::lookup`] —
+    /// `found`, position, *and* `cost` — so batching never changes what
+    /// an experiment measures (`tests/property_hotpath.rs` enforces
+    /// this).
+    fn lookup_batch_into(&self, keys: &[Key], out: &mut Vec<Lookup>) {
+        out.clear();
+        out.reserve(keys.len());
         out.extend(keys.iter().map(|&k| self.lookup(k)));
+    }
+
+    /// Looks up a batch of keys, allocating the result vector.
+    ///
+    /// Convenience wrapper over [`LearnedIndex::lookup_batch_into`];
+    /// hot loops that serve many batches should reuse a buffer through
+    /// that method instead.
+    fn lookup_batch(&self, keys: &[Key]) -> Vec<Lookup> {
+        let mut out = Vec::new();
+        self.lookup_batch_into(keys, &mut out);
         out
     }
 
@@ -130,6 +175,14 @@ pub trait ErasedIndex: Send + Sync {
     fn lookup(&self, key: Key) -> Lookup;
     /// Looks up a batch of keys (one virtual dispatch for the whole batch).
     fn lookup_batch(&self, keys: &[Key]) -> Vec<Lookup>;
+    /// Looks up a batch into a caller-owned buffer (one virtual dispatch,
+    /// no allocation once the buffer is warm).
+    fn lookup_batch_into(&self, keys: &[Key], out: &mut Vec<Lookup>);
+    /// Reference batch path: one virtual dispatch, then a plain per-key
+    /// loop over the concrete [`LearnedIndex::lookup`] — the pre-batching
+    /// serve path, kept callable so benches and property tests can
+    /// compare the optimized batch path against it.
+    fn lookup_each_into(&self, keys: &[Key], out: &mut Vec<Lookup>);
     /// Training loss of the structure's model(s).
     fn loss(&self) -> f64;
     /// Estimated resident memory in bytes.
@@ -149,6 +202,16 @@ impl<T: LearnedIndex + Send + Sync> ErasedIndex for T {
 
     fn lookup_batch(&self, keys: &[Key]) -> Vec<Lookup> {
         LearnedIndex::lookup_batch(self, keys)
+    }
+
+    fn lookup_batch_into(&self, keys: &[Key], out: &mut Vec<Lookup>) {
+        LearnedIndex::lookup_batch_into(self, keys, out)
+    }
+
+    fn lookup_each_into(&self, keys: &[Key], out: &mut Vec<Lookup>) {
+        out.clear();
+        out.reserve(keys.len());
+        out.extend(keys.iter().map(|&k| LearnedIndex::lookup(self, k)));
     }
 
     fn loss(&self) -> f64 {
@@ -192,6 +255,20 @@ impl DynIndex {
     /// Looks up a batch of keys through a single virtual dispatch.
     pub fn lookup_batch(&self, keys: &[Key]) -> Vec<Lookup> {
         self.inner.lookup_batch(keys)
+    }
+
+    /// Looks up a batch into a caller-owned buffer — single virtual
+    /// dispatch, and no heap allocation once `out` (and the index's own
+    /// scratch) are warm. `out` is cleared and refilled in probe order.
+    pub fn lookup_batch_into(&self, keys: &[Key], out: &mut Vec<Lookup>) {
+        self.inner.lookup_batch_into(keys, out)
+    }
+
+    /// Reference per-key batch path (one dispatch, then a plain loop) —
+    /// the pre-sorted-batch serve path, kept for comparison benches and
+    /// equivalence tests.
+    pub fn lookup_each_into(&self, keys: &[Key], out: &mut Vec<Lookup>) {
+        self.inner.lookup_each_into(keys, out)
     }
 
     /// Training loss of the wrapped index.
@@ -512,6 +589,31 @@ mod tests {
             for (&k, &b) in probes.iter().zip(&batch) {
                 assert_eq!(b, idx.lookup(k), "{name} key {k}");
             }
+        }
+    }
+
+    #[test]
+    fn lookup_batch_into_reuses_buffer_and_matches_all_paths() {
+        let ks = keyset(500);
+        let reg = IndexRegistry::with_defaults();
+        let probes: Vec<Key> = ks
+            .keys()
+            .iter()
+            .step_by(11)
+            .copied()
+            .chain([1, 2, 10_000])
+            .collect();
+        let mut out = Vec::new();
+        let mut each = Vec::new();
+        for name in reg.names() {
+            let idx = reg.build(name, &ks).unwrap();
+            idx.lookup_batch_into(&probes, &mut out);
+            idx.lookup_each_into(&probes, &mut each);
+            assert_eq!(out, each, "{name}: batch vs per-key path");
+            assert_eq!(out, idx.lookup_batch(&probes), "{name}: wrapper");
+            // A dirty reused buffer must be cleared, not appended to.
+            idx.lookup_batch_into(&probes[..5], &mut out);
+            assert_eq!(out.len(), 5, "{name}: buffer not cleared");
         }
     }
 

@@ -20,7 +20,11 @@
 //!   [`IndexRegistry`] every harness builds victims through;
 //! * [`shard`] — range-partitioned sharded serving over any structure
 //!   (`sharded:<name>:<N>` registry names, scoped-thread-pool fan-out);
-//! * [`search`] — exponential/binary local search with comparison counting;
+//! * [`search`] — exponential/binary/branchless local search with
+//!   comparison counting, including the error-bounded window search the
+//!   lookup hot path runs;
+//! * [`scratch`] — pooled scratch buffers keeping batched lookups free of
+//!   per-batch heap allocation;
 //! * [`btree`] — a bulk-loaded B+-tree baseline for lookup comparisons;
 //! * [`store`] — the dense sorted record array with logical paging;
 //! * [`metrics`] — Ratio Loss and the reporting types behind the paper's
@@ -55,6 +59,7 @@ pub mod metrics;
 pub mod nn;
 pub mod pla;
 pub mod rmi;
+pub mod scratch;
 pub mod search;
 pub mod shard;
 pub mod stats;
@@ -65,4 +70,5 @@ pub use index::{DynIndex, ErasedIndex, IndexRegistry, LearnedIndex, Lookup};
 pub use keys::{Gap, Key, KeyDomain, KeySet, Rank};
 pub use linreg::LinearModel;
 pub use rmi::{Rmi, RmiConfig, Routing};
+pub use scratch::ScratchPool;
 pub use shard::{parse_sharded_name, ShardConfig, ShardedIndex};

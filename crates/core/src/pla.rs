@@ -19,7 +19,8 @@
 use crate::error::{LisError, Result};
 use crate::index::{LearnedIndex, Lookup};
 use crate::keys::{Key, KeySet};
-use crate::search::bounded_search;
+use crate::scratch::ScratchPool;
+use crate::search::bounded_search_with_fallback;
 
 /// Build configuration for [`PlaIndex`] under the [`LearnedIndex`] API.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +67,8 @@ pub struct PlaIndex {
     segments: Vec<Segment>,
     keys: Vec<Key>,
     epsilon: usize,
+    /// Pooled `(key, slot)` permutation buffers for the sorted-batch path.
+    scratch: ScratchPool<Vec<(Key, usize)>>,
 }
 
 impl PlaIndex {
@@ -128,6 +131,7 @@ impl PlaIndex {
             segments,
             keys,
             epsilon,
+            scratch: ScratchPool::new(),
         })
     }
 
@@ -156,14 +160,19 @@ impl PlaIndex {
         self.keys.is_empty()
     }
 
-    /// The segment responsible for `key`.
-    pub fn segment_for(&self, key: Key) -> &Segment {
-        let idx = match self.segments.binary_search_by(|s| s.first_key.cmp(&key)) {
+    /// Index of the segment responsible for `key` (last segment whose
+    /// `first_key ≤ key`, or `0`).
+    fn segment_index_for(&self, key: Key) -> usize {
+        match self.segments.binary_search_by(|s| s.first_key.cmp(&key)) {
             Ok(i) => i,
             Err(0) => 0,
             Err(i) => i - 1,
-        };
-        &self.segments[idx]
+        }
+    }
+
+    /// The segment responsible for `key`.
+    pub fn segment_for(&self, key: Key) -> &Segment {
+        &self.segments[self.segment_index_for(key)]
     }
 
     /// Predicted global 0-based position of `key`.
@@ -171,11 +180,34 @@ impl PlaIndex {
         self.segment_for(key).predict_pos(key, self.keys.len())
     }
 
+    /// Lookup served by a known segment: local model prediction, then
+    /// `epsilon`-bounded branchless search. Member keys are in-window by
+    /// the build-time bound; absent keys predicted out of bound fall back
+    /// to galloping so a miss is always a proven global absence.
+    fn lookup_in_segment(&self, seg: usize, key: Key) -> Lookup {
+        let guess = self.segments[seg].predict_pos(key, self.keys.len());
+        bounded_search_with_fallback(&self.keys, key, guess, self.epsilon + 1).into()
+    }
+
     /// Full lookup: segment route, local model, `epsilon`-bounded binary
     /// search. Membership hits are guaranteed by the build-time bound.
     pub fn lookup(&self, key: Key) -> Lookup {
-        let guess = self.predict_pos(key);
-        bounded_search(&self.keys, key, guess, self.epsilon + 1).into()
+        self.lookup_in_segment(self.segment_index_for(key), key)
+    }
+
+    /// Sorted-batch lookup into a reused buffer: probes are swept in key
+    /// order, so segment routing advances a cursor monotonically (no
+    /// per-probe binary search over segments) and the bounded windows
+    /// stream through the key array; results return in probe order and
+    /// are identical to [`PlaIndex::lookup`] per probe.
+    pub fn lookup_batch_into(&self, keys: &[Key], out: &mut Vec<Lookup>) {
+        let mut seg = 0usize;
+        crate::index::sorted_batch_into(&self.scratch, keys, out, |k| {
+            // Monotone `segment_for`: last segment with `first_key ≤ k`,
+            // galloping forward from the cursor.
+            seg = crate::search::monotone_route_by(&self.segments, seg, k, |s| s.first_key);
+            self.lookup_in_segment(seg, k)
+        });
     }
 
     /// Largest prediction error over the training keys (must be ≤
@@ -199,6 +231,10 @@ impl LearnedIndex for PlaIndex {
 
     fn lookup(&self, key: Key) -> Lookup {
         PlaIndex::lookup(self, key)
+    }
+
+    fn lookup_batch_into(&self, keys: &[Key], out: &mut Vec<Lookup>) {
+        PlaIndex::lookup_batch_into(self, keys, out)
     }
 
     /// Mean squared prediction error over the training keys. Bounded by
@@ -324,5 +360,35 @@ mod tests {
         let pla = PlaIndex::build(&ks, 2).unwrap();
         assert_eq!(pla.num_segments(), 1);
         assert_eq!(pla.lookup(5).pos, Some(0));
+    }
+
+    #[test]
+    fn sorted_batch_matches_single_lookup_exactly() {
+        let ks = KeySet::from_keys((1..2500u64).map(|i| i * i / 9 + i).collect()).unwrap();
+        let pla = PlaIndex::build(&ks, 8).unwrap();
+        assert!(pla.num_segments() > 1);
+        let mut probes: Vec<Key> = ks.keys().iter().rev().step_by(5).copied().collect();
+        probes.extend([0, 2, ks.max_key() + 1, Key::MAX]);
+        probes.push(probes[0]);
+        let mut out = Vec::new();
+        pla.lookup_batch_into(&probes, &mut out);
+        assert_eq!(out.len(), probes.len());
+        for (&k, &got) in probes.iter().zip(&out) {
+            assert_eq!(got, pla.lookup(k), "key {k}");
+        }
+        assert_eq!(pla.scratch.idle(), 1);
+    }
+
+    #[test]
+    fn member_lookup_cost_stays_within_epsilon_window() {
+        let ks = KeySet::from_keys((1..4000u64).map(|i| i * i / 3).collect()).unwrap();
+        let eps = 16usize;
+        let pla = PlaIndex::build(&ks, eps).unwrap();
+        let bound = ((2 * (eps + 1) + 1) as f64).log2().ceil() as usize + 1;
+        for (i, &k) in ks.keys().iter().enumerate().step_by(37) {
+            let hit = pla.lookup(k);
+            assert_eq!(hit.pos, Some(i));
+            assert!(hit.cost <= bound, "cost {} > {bound}", hit.cost);
+        }
     }
 }

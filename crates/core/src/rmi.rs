@@ -22,7 +22,8 @@ use crate::index::{LearnedIndex, Lookup};
 use crate::keys::{Key, KeySet};
 use crate::linreg::LinearModel;
 use crate::nn::{NeuralNet, NnConfig};
-use crate::search::exponential_search;
+use crate::scratch::ScratchPool;
+use crate::search::bounded_search_with_fallback;
 
 /// Which model family serves as the RMI root.
 #[derive(Debug, Clone)]
@@ -101,6 +102,12 @@ impl RmiConfig {
 /// One second-stage model: a linear regression over a contiguous key
 /// partition, together with the partition's global-rank offset and its
 /// maximum training error (the last-mile search radius).
+///
+/// This is the *inspection view* of a leaf — attacks and tests reason
+/// about whole leaves. The index itself stores leaves flattened into
+/// parallel arrays (see [`LeafTable`]) so the lookup hot path streams
+/// through contiguous slope/intercept/offset/error memory instead of
+/// chasing struct padding.
 #[derive(Debug, Clone)]
 pub struct Leaf {
     /// The fitted regression (on *local* ranks `1..=len`).
@@ -122,15 +129,66 @@ impl Leaf {
     }
 }
 
+/// Structure-of-arrays leaf storage: the `i`-th leaf is
+/// `(slope[i], intercept[i], start[i], len[i], max_err[i], mse[i])`.
+/// The lookup hot path touches `slope`/`intercept`/`start`/`max_err`
+/// only — four dense arrays instead of a pointer-width-padded
+/// struct-per-leaf — which is what makes monotone sorted-batch sweeps
+/// cache-resident.
+#[derive(Debug, Clone, Default)]
+struct LeafTable {
+    slope: Vec<f64>,
+    intercept: Vec<f64>,
+    start: Vec<usize>,
+    len: Vec<usize>,
+    max_err: Vec<usize>,
+    mse: Vec<f64>,
+}
+
+impl LeafTable {
+    fn push(&mut self, model: &LinearModel, start: usize, len: usize, max_err: usize) {
+        self.slope.push(model.w);
+        self.intercept.push(model.b);
+        self.start.push(start);
+        self.len.push(len);
+        self.max_err.push(max_err);
+        self.mse.push(model.mse);
+    }
+
+    fn len(&self) -> usize {
+        self.start.len()
+    }
+
+    fn view(&self, i: usize) -> Leaf {
+        Leaf {
+            model: LinearModel {
+                w: self.slope[i],
+                b: self.intercept[i],
+                mse: self.mse[i],
+                n: self.len[i],
+            },
+            start: self.start[i],
+            len: self.len[i],
+            max_err: self.max_err[i],
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.len() * (3 * std::mem::size_of::<f64>() + 3 * std::mem::size_of::<usize>())
+    }
+}
+
 /// A trained two-stage recursive model index.
 #[derive(Debug, Clone)]
 pub struct Rmi {
     root: RootModel,
-    leaves: Vec<Leaf>,
+    table: LeafTable,
     /// First key of each partition, for oracle routing.
     boundaries: Vec<Key>,
     keys: Vec<Key>,
     routing: Routing,
+    /// Pooled `(key, slot)` permutation buffers for the sorted-batch path.
+    scratch: ScratchPool<Vec<(Key, usize)>>,
 }
 
 impl Rmi {
@@ -157,34 +215,30 @@ impl Rmi {
             RootModelKind::Neural(nn_cfg) => RootModel::Neural(NeuralNet::fit(ks, nn_cfg)?),
         };
 
-        let mut leaves = Vec::with_capacity(partitions.len());
+        let mut table = LeafTable::default();
         let mut boundaries = Vec::with_capacity(partitions.len());
         let mut start = 0usize;
         for part in &partitions {
             let model = fit_leaf(part)?;
             let max_err = model.max_abs_error(part).ceil() as usize;
             boundaries.push(part.min_key());
-            leaves.push(Leaf {
-                model,
-                start,
-                len: part.len(),
-                max_err,
-            });
+            table.push(&model, start, part.len(), max_err);
             start += part.len();
         }
 
         Ok(Self {
             root,
-            leaves,
+            table,
             boundaries,
             keys: ks.keys().to_vec(),
             routing: cfg.routing,
+            scratch: ScratchPool::new(),
         })
     }
 
     /// Number of second-stage models.
     pub fn num_leaves(&self) -> usize {
-        self.leaves.len()
+        self.table.len()
     }
 
     /// Total number of indexed keys.
@@ -197,9 +251,10 @@ impl Rmi {
         self.keys.is_empty()
     }
 
-    /// The second-stage models.
-    pub fn leaves(&self) -> &[Leaf] {
-        &self.leaves
+    /// The second-stage models, materialized from the flat leaf table
+    /// (inspection/attack path — the hot path reads the table directly).
+    pub fn leaves(&self) -> Vec<Leaf> {
+        (0..self.table.len()).map(|i| self.table.view(i)).collect()
     }
 
     /// The trained root model.
@@ -225,52 +280,99 @@ impl Rmi {
     }
 
     fn route_by_root(&self, key: Key) -> usize {
-        let pred = self.root.predict(key);
-        let n = self.keys.len() as f64;
-        let frac = ((pred - 1.0) / n).clamp(0.0, 1.0 - f64::EPSILON);
-        (frac * self.leaves.len() as f64) as usize
+        scale_to_width(self.root.predict(key), self.keys.len(), self.table.len())
+    }
+
+    /// Predicted global 0-based position of `key` served by `leaf`.
+    fn predict_at_leaf(&self, leaf: usize, key: Key) -> usize {
+        // Inlined `Leaf::predict_global_pos` over the flat table: local
+        // prediction, shifted by the partition offset, rounded and clamped.
+        let local = self.table.slope[leaf] * key as f64 + self.table.intercept[leaf] - 1.0;
+        let global = local + self.table.start[leaf] as f64;
+        global.round().clamp(0.0, (self.keys.len() - 1) as f64) as usize
     }
 
     /// Predicted global 0-based position of `key`.
     pub fn predict_pos(&self, key: Key) -> usize {
-        let leaf = &self.leaves[self.route(key)];
-        leaf.predict_global_pos(key, self.keys.len())
+        self.predict_at_leaf(self.route(key), key)
     }
 
-    /// Full lookup: route, predict, last-mile search. Returns the key's
-    /// global position and the comparison count, falling back to
-    /// neighbouring leaves when root routing mispredicts.
+    /// Lookup served by a known leaf: predict, then error-bounded
+    /// last-mile search with the leaf's stored `max_err` as the window
+    /// radius (+1 for prediction rounding). Member keys served by their
+    /// training leaf are found inside the window by construction; absent
+    /// keys and root-routing mispredicts fall back to galloping only when
+    /// the miss lands out of bound.
+    fn lookup_at_leaf(&self, leaf: usize, key: Key) -> Lookup {
+        let guess = self.predict_at_leaf(leaf, key);
+        let radius = self.table.max_err[leaf] + 1;
+        bounded_search_with_fallback(&self.keys, key, guess, radius).into()
+    }
+
+    /// Full lookup: route, predict, error-bounded last-mile search.
+    /// Returns the key's global position and the comparison count.
     pub fn lookup(&self, key: Key) -> Lookup {
-        let guess = self.predict_pos(key);
-        // Root routing may land in a neighbouring partition, but the global
-        // exponential search covers the whole array, so a miss here is a
-        // true absence under either routing mode.
-        exponential_search(&self.keys, key, guess).into()
+        self.lookup_at_leaf(self.route(key), key)
+    }
+
+    /// Sorted-batch lookup into a reused buffer: probes are sorted (with
+    /// their original slots), swept in key order — so oracle routing
+    /// advances monotonically through the boundary array and the last-mile
+    /// searches walk the key array left to right — and results land back
+    /// in probe order. Per-probe results (`found`, position, cost) are
+    /// identical to [`Rmi::lookup`]; only locality changes.
+    pub fn lookup_batch_into(&self, keys: &[Key], out: &mut Vec<Lookup>) {
+        let mut leaf = 0usize;
+        crate::index::sorted_batch_into(&self.scratch, keys, out, |k| {
+            match self.routing {
+                Routing::Oracle => {
+                    // Monotone routing: identical to `route_oracle` (last
+                    // boundary ≤ key), galloping forward from the cursor —
+                    // a probe or two when batches are dense, O(log gap)
+                    // when they are sparse.
+                    leaf = crate::search::monotone_route_by(&self.boundaries, leaf, k, |&b| b);
+                }
+                Routing::Root => leaf = self.route_by_root(k),
+            }
+            self.lookup_at_leaf(leaf, k)
+        });
     }
 
     /// Mean squared error of leaf `i` on its training partition (the
     /// quantity whose poisoned/clean ratio Figure 6 plots per model).
     pub fn leaf_losses(&self) -> Vec<f64> {
-        self.leaves.iter().map(|l| l.model.mse).collect()
+        self.table.mse.clone()
     }
 
     /// The RMI loss `L_RMI = (1/N)·Σ L_i` (Section V).
     pub fn rmi_loss(&self) -> f64 {
-        if self.leaves.is_empty() {
+        if self.table.len() == 0 {
             return 0.0;
         }
-        self.leaves.iter().map(|l| l.model.mse).sum::<f64>() / self.leaves.len() as f64
+        self.table.mse.iter().sum::<f64>() / self.table.len() as f64
     }
 
     /// Largest last-mile search radius across leaves.
     pub fn max_leaf_error(&self) -> usize {
-        self.leaves.iter().map(|l| l.max_err).max().unwrap_or(0)
+        self.table.max_err.iter().copied().max().unwrap_or(0)
     }
 
     /// The sorted key array backing the index.
     pub fn keys(&self) -> &[Key] {
         &self.keys
     }
+}
+
+/// Scales a (1-based, fractional) rank prediction over `n` keys to a model
+/// index in a stage of `width ≥ 1` models: `⌊width·(pred − 1)/n⌋`, with
+/// the fraction clamped to `[0, 1)` *and* the resulting index clamped to
+/// `width − 1`. The index clamp matters: for astronomically wide stages
+/// `(1 − ε)·width` can round up to `width` in `f64`, and a pathological
+/// root predicting far beyond `n` must still route to the last model, not
+/// one past it.
+pub(crate) fn scale_to_width(pred: f64, n: usize, width: usize) -> usize {
+    let frac = ((pred - 1.0) / n as f64).clamp(0.0, 1.0 - f64::EPSILON);
+    ((frac * width as f64) as usize).min(width - 1)
 }
 
 impl LearnedIndex for Rmi {
@@ -284,6 +386,10 @@ impl LearnedIndex for Rmi {
         Rmi::lookup(self, key)
     }
 
+    fn lookup_batch_into(&self, keys: &[Key], out: &mut Vec<Lookup>) {
+        Rmi::lookup_batch_into(self, keys, out)
+    }
+
     fn loss(&self) -> f64 {
         self.rmi_loss()
     }
@@ -292,7 +398,7 @@ impl LearnedIndex for Rmi {
         std::mem::size_of::<Self>()
             + self.keys.len() * std::mem::size_of::<Key>()
             + self.boundaries.len() * std::mem::size_of::<Key>()
-            + self.leaves.len() * std::mem::size_of::<Leaf>()
+            + self.table.memory_bytes()
     }
 
     fn len(&self) -> usize {
@@ -350,9 +456,9 @@ mod tests {
     fn oracle_routing_is_exact() {
         let ks = uniform_keys(1000, 5);
         let rmi = Rmi::build(&ks, &RmiConfig::linear_root(10)).unwrap();
+        let leaves = rmi.leaves();
         for (i, &k) in ks.keys().iter().enumerate() {
-            let leaf = rmi.route(k);
-            let l = &rmi.leaves()[leaf];
+            let l = &leaves[rmi.route(k)];
             assert!(
                 i >= l.start && i < l.start + l.len,
                 "key {k} routed to wrong leaf"
@@ -475,6 +581,116 @@ mod tests {
         assert_eq!(rmi.num_leaves(), 7);
         for (i, &k) in ks.keys().iter().enumerate() {
             assert_eq!(rmi.lookup(k).pos, Some(i));
+        }
+    }
+
+    #[test]
+    fn leaves_view_round_trips_the_flat_table() {
+        let ks = KeySet::from_keys((1..900u64).map(|i| i * i / 5 + i).collect()).unwrap();
+        let rmi = Rmi::build(&ks, &RmiConfig::linear_root(9)).unwrap();
+        let leaves = rmi.leaves();
+        assert_eq!(leaves.len(), 9);
+        let mut start = 0usize;
+        for (i, l) in leaves.iter().enumerate() {
+            assert_eq!(l.start, start, "leaf {i} offset");
+            start += l.len;
+            // View predictions must equal the hot-path predictions.
+            let mid_key = ks.keys()[l.start + l.len / 2];
+            assert_eq!(
+                l.predict_global_pos(mid_key, ks.len()),
+                rmi.predict_at_leaf(i, mid_key)
+            );
+            assert_eq!(l.model.mse, rmi.leaf_losses()[i]);
+        }
+        assert_eq!(start, ks.len());
+    }
+
+    #[test]
+    fn sorted_batch_matches_single_lookup_exactly() {
+        for routing in [Routing::Oracle, Routing::Root] {
+            let ks = KeySet::from_keys((1..1200u64).map(|i| i * i / 3 + 2 * i).collect()).unwrap();
+            let cfg = RmiConfig {
+                num_leaves: 24,
+                root: RootModelKind::Linear,
+                routing,
+            };
+            let rmi = Rmi::build(&ks, &cfg).unwrap();
+            // Members (unsorted order), absents, duplicates, extremes.
+            let mut probes: Vec<Key> = ks.keys().iter().rev().step_by(3).copied().collect();
+            probes.extend([0, 1, 7, ks.max_key() + 1, Key::MAX]);
+            probes.push(probes[0]);
+            let mut out = Vec::new();
+            rmi.lookup_batch_into(&probes, &mut out);
+            assert_eq!(out.len(), probes.len());
+            for (&k, &got) in probes.iter().zip(&out) {
+                assert_eq!(got, rmi.lookup(k), "{routing:?} key {k}");
+            }
+            // The scratch buffer was returned to the pool for reuse.
+            assert_eq!(rmi.scratch.idle(), 1);
+            rmi.lookup_batch_into(&probes, &mut out);
+            assert_eq!(rmi.scratch.idle(), 1);
+        }
+    }
+
+    #[test]
+    fn bounded_lookup_cost_tracks_leaf_error_radius() {
+        // Clean near-linear data: tiny windows, tiny costs bounded by
+        // log2 of the error window, not log2(n).
+        let ks = uniform_keys(10_000, 7);
+        let rmi = Rmi::build(&ks, &RmiConfig::linear_root(100)).unwrap();
+        let radius = rmi.max_leaf_error() + 1;
+        let window = 2 * radius + 1;
+        let bound = (window as f64).log2().ceil() as usize + 1;
+        for &k in ks.keys().iter().step_by(97) {
+            let hit = rmi.lookup(k);
+            assert!(hit.found);
+            assert!(
+                hit.cost <= bound,
+                "member lookup cost {} exceeds window bound {bound}",
+                hit.cost
+            );
+        }
+    }
+
+    #[test]
+    fn route_by_root_clamps_pathological_predictions() {
+        // A root fitted on quadratic data extrapolates wildly for extreme
+        // query keys: predictions far beyond n (and far below 1) must
+        // still route to a valid leaf and answer correctly.
+        let ks = KeySet::from_keys((1..800u64).map(|i| i * i).collect()).unwrap();
+        let cfg = RmiConfig {
+            num_leaves: 16,
+            root: RootModelKind::Linear,
+            routing: Routing::Root,
+        };
+        let rmi = Rmi::build(&ks, &cfg).unwrap();
+        for k in [0u64, 1, ks.max_key(), ks.max_key() + 1, Key::MAX] {
+            let leaf = rmi.route(k);
+            assert!(leaf < rmi.num_leaves(), "key {k} routed to leaf {leaf}");
+            let hit = rmi.lookup(k);
+            assert_eq!(hit.found, ks.contains(k), "key {k}");
+        }
+    }
+
+    #[test]
+    fn scale_to_width_never_indexes_out_of_bounds() {
+        // In-range predictions land proportionally.
+        assert_eq!(scale_to_width(1.0, 100, 10), 0);
+        assert_eq!(scale_to_width(51.0, 100, 10), 5);
+        assert_eq!(scale_to_width(100.0, 100, 10), 9);
+        // Out-of-range predictions clamp to the edge models.
+        assert_eq!(scale_to_width(-1e18, 100, 10), 0);
+        assert_eq!(scale_to_width(1e18, 100, 10), 9);
+        assert_eq!(scale_to_width(f64::NAN, 100, 10), 0);
+        // Pathologically wide stages: `(1 − ε)·width` rounds up to
+        // `width` in f64 for widths beyond 2^52 — the explicit index
+        // clamp keeps the result in bounds where the cast alone would
+        // not.
+        for width in [usize::MAX, 1 << 60, (1 << 53) + 1, 3, 2, 1] {
+            for pred in [f64::INFINITY, 1e300, -1e300, 0.0, 1.5] {
+                let i = scale_to_width(pred, 100, width);
+                assert!(i < width, "pred {pred} width {width} gave {i}");
+            }
         }
     }
 }

@@ -7,6 +7,15 @@
 //! search* outward from the prediction followed by binary search on the
 //! bracketed range, and count key comparisons so experiments can report the
 //! search cost that poisoning inflates.
+//!
+//! The hot path is [`bounded_search_with_fallback`]: indexes that store a
+//! per-model maximum training error (`max_err`) search only the
+//! `±(max_err + 1)` window around the prediction with a branchless binary
+//! search, and gallop outward *only* when a miss lands on a window edge
+//! (out-of-bound prediction — absent keys or root-routing mispredicts).
+//! Every function reports `comparisons` as exactly the number of key
+//! comparisons performed, so `Lookup.cost` keeps the paper's
+//! comparison-count semantics no matter which search strategy answered.
 
 use crate::keys::Key;
 
@@ -45,29 +54,41 @@ pub fn exponential_search(keys: &[Key], key: Key, guess: usize) -> SearchResult 
     // Gallop in the direction of the key.
     let (lo, hi): (usize, usize);
     if keys[guess] < key {
+        // `keys[guess] < key` with nothing to the right: proven absent.
+        if guess == keys.len() - 1 {
+            return SearchResult {
+                pos: None,
+                comparisons,
+            };
+        }
         let mut next_lo = guess + 1;
         let mut step = 1usize;
         let found_hi: usize;
         loop {
-            let probe = guess.saturating_add(step);
-            if probe >= keys.len() - 1 {
-                found_hi = keys.len() - 1;
-                break;
-            }
+            // Clamp the probe instead of breaking early: comparing the
+            // clamped probe either closes the bracket at a *proven* bound
+            // or proves the key exceeds the largest key — the old
+            // unproven `keys.len() - 1` widening paid a full binary
+            // search for every beyond-max miss.
+            let probe = guess.saturating_add(step).min(keys.len() - 1);
             comparisons += 1;
             if keys[probe] >= key {
                 found_hi = probe;
                 break;
             }
+            if probe == keys.len() - 1 {
+                // The largest key compares below `key`: absent, and the
+                // bracket is empty.
+                return SearchResult {
+                    pos: None,
+                    comparisons,
+                };
+            }
             next_lo = probe + 1;
             step <<= 1;
         }
         lo = next_lo;
-        hi = if found_hi < lo {
-            keys.len() - 1
-        } else {
-            found_hi
-        };
+        hi = found_hi;
     } else {
         let mut next_hi = guess.saturating_sub(1);
         let mut step = 1usize;
@@ -101,7 +122,7 @@ pub fn exponential_search(keys: &[Key], key: Key, guess: usize) -> SearchResult 
     }
 
     // Binary search on [lo, hi].
-    let (pos, cmp) = binary_search_counted(&keys[lo..=hi.min(keys.len() - 1)], key);
+    let (pos, cmp) = binary_search_counted(&keys[lo..=hi], key);
     SearchResult {
         pos: pos.map(|p| p + lo),
         comparisons: comparisons + cmp,
@@ -138,11 +159,157 @@ pub fn bounded_search(keys: &[Key], key: Key, center: usize, radius: usize) -> S
     }
     let center = center.min(keys.len() - 1);
     let lo = center.saturating_sub(radius);
-    let hi = (center + radius).min(keys.len() - 1);
+    let hi = center.saturating_add(radius).min(keys.len() - 1);
     let (pos, comparisons) = binary_search_counted(&keys[lo..=hi], key);
     SearchResult {
         pos: pos.map(|p| p + lo),
         comparisons,
+    }
+}
+
+/// Branchless lower bound over a sorted slice: index of the *last* element
+/// `≤ key`, or `0` when every element exceeds `key`, plus the comparison
+/// count. The loop body has no data-dependent branch (the comparison feeds
+/// an index increment the compiler lowers to a conditional move), so the
+/// comparison count is exactly `⌈log₂ n⌉` regardless of the data — the
+/// right shape for the short, bracketed ranges of error-bounded search.
+fn branchless_lower_bound(keys: &[Key], key: Key) -> (usize, usize) {
+    let mut base = 0usize;
+    let mut size = keys.len();
+    let mut comparisons = 0usize;
+    while size > 1 {
+        let half = size / 2;
+        comparisons += 1;
+        base += usize::from(keys[base + half] <= key) * half;
+        size -= half;
+    }
+    (base, comparisons)
+}
+
+/// The branchless probe shared by [`branchless_search_counted`] and
+/// [`bounded_search_with_fallback`]: lower bound plus one final three-way
+/// comparison. Returns `(base, keys[base] ⋄ key, comparisons)`; callers
+/// interpret the ordering (`Equal` → hit at `base`, `Less`/`Greater` →
+/// which side of the slice the key fell off). Requires a non-empty slice.
+fn branchless_probe(keys: &[Key], key: Key) -> (usize, std::cmp::Ordering, usize) {
+    let (base, comparisons) = branchless_lower_bound(keys, key);
+    (base, keys[base].cmp(&key), comparisons + 1)
+}
+
+/// Branchless counterpart of [`binary_search_counted`] for bracketed
+/// ranges: same contract, but the comparison count is data-independent
+/// (`⌈log₂ n⌉ + 1` for any non-empty slice — no early exit on equality).
+/// This is the window search the error-bounded lookup hot path runs
+/// (through [`bounded_search_with_fallback`], which shares the probe).
+pub fn branchless_search_counted(keys: &[Key], key: Key) -> (Option<usize>, usize) {
+    if keys.is_empty() {
+        return (None, 0);
+    }
+    let (base, ordering, comparisons) = branchless_probe(keys, key);
+    if ordering == std::cmp::Ordering::Equal {
+        (Some(base), comparisons)
+    } else {
+        (None, comparisons)
+    }
+}
+
+/// Monotone routing step for sorted-batch sweeps: the largest index `i`
+/// with `bound(items[i]) ≤ key`, searched *forward* from `from` (`0` when
+/// every bound exceeds `key`). Requires `bound(items[from]) ≤ key` or
+/// `from == 0` — exactly the invariant a cursor over ascending probes
+/// maintains. Gallops then binary-searches the bracket, so one step costs
+/// `O(log gap)`: dense batches advance in a probe or two, sparse batches
+/// degrade gracefully to binary-search cost instead of scanning every
+/// entry in between.
+pub(crate) fn monotone_route_by<T>(
+    items: &[T],
+    from: usize,
+    key: Key,
+    bound: impl Fn(&T) -> Key,
+) -> usize {
+    let n = items.len();
+    let mut lo = from;
+    let mut step = 1usize;
+    loop {
+        let probe = lo.saturating_add(step);
+        if probe >= n || bound(&items[probe]) > key {
+            break;
+        }
+        lo = probe;
+        step <<= 1;
+    }
+    let hi = lo.saturating_add(step).min(n);
+    let within = items[lo..hi].partition_point(|item| bound(item) <= key);
+    lo + within.saturating_sub(1)
+}
+
+/// Error-bounded last-mile search: branchless binary search on the window
+/// `[center − radius, center + radius]` (clamped), falling back to
+/// [`exponential_search`] only when the miss is *out of bound* — the key
+/// compares beyond the window edge, so the window provably cannot decide
+/// absence. For member keys whose prediction error is within `radius`
+/// (the invariant `max_err` storage provides) the fallback never fires;
+/// for in-window misses absence is proven without it.
+///
+/// Cost semantics are unchanged: `comparisons` is exactly the number of
+/// key comparisons performed, including any fallback galloping.
+pub fn bounded_search_with_fallback(
+    keys: &[Key],
+    key: Key,
+    center: usize,
+    radius: usize,
+) -> SearchResult {
+    if keys.is_empty() {
+        return SearchResult {
+            pos: None,
+            comparisons: 0,
+        };
+    }
+    let center = center.min(keys.len() - 1);
+    let lo = center.saturating_sub(radius);
+    let hi = center.saturating_add(radius).min(keys.len() - 1);
+    let window = &keys[lo..=hi];
+    let (base, ordering, comparisons) = branchless_probe(window, key);
+    match ordering {
+        std::cmp::Ordering::Equal => SearchResult {
+            pos: Some(lo + base),
+            comparisons,
+        },
+        // `key` exceeds the window's lower bound element. If that element
+        // is the window's last and the array continues, the key may lie
+        // beyond the window: gallop right from the edge. Otherwise the
+        // next window element exceeds `key` and absence is proven.
+        std::cmp::Ordering::Less => {
+            if base == window.len() - 1 && hi + 1 < keys.len() {
+                let fb = exponential_search(keys, key, hi);
+                SearchResult {
+                    pos: fb.pos,
+                    comparisons: comparisons + fb.comparisons,
+                }
+            } else {
+                SearchResult {
+                    pos: None,
+                    comparisons,
+                }
+            }
+        }
+        // Every window element exceeds `key` (lower-bound property ⇒
+        // `base == 0`): out of bound on the left unless the window starts
+        // the array.
+        std::cmp::Ordering::Greater => {
+            if lo > 0 {
+                let fb = exponential_search(keys, key, lo);
+                SearchResult {
+                    pos: fb.pos,
+                    comparisons: comparisons + fb.comparisons,
+                }
+            } else {
+                SearchResult {
+                    pos: None,
+                    comparisons,
+                }
+            }
+        }
     }
 }
 
@@ -229,5 +396,162 @@ mod tests {
             let (pos, _) = binary_search_counted(&ks, k);
             assert_eq!(pos, ks.binary_search(&k).ok());
         }
+    }
+
+    #[test]
+    fn beyond_max_gallop_proves_absence_cheaply() {
+        // Regression test for the upward-gallop fallback: a key beyond the
+        // largest element used to widen the bracket to `keys.len() - 1`
+        // and binary-search a range already proven empty. The tightened
+        // gallop returns as soon as the largest key compares below the
+        // probe: comparison cost is the gallop alone (≤ log₂(n) + 2),
+        // with no binary-search tail.
+        let ks = keys(); // 1000 keys, max 2997
+        let r = exponential_search(&ks, 5_000, 0);
+        assert_eq!(r.pos, None);
+        let gallop_only = (1000f64.log2().ceil() as usize) + 2;
+        assert!(
+            r.comparisons <= gallop_only,
+            "beyond-max miss should cost only the gallop, got {}",
+            r.comparisons
+        );
+        // From the last slot the very first comparison settles it.
+        let r = exponential_search(&ks, 5_000, 999);
+        assert_eq!(r.pos, None);
+        assert_eq!(r.comparisons, 1);
+    }
+
+    #[test]
+    fn tightened_gallop_still_finds_every_key() {
+        let ks = keys();
+        for (i, &k) in ks.iter().enumerate() {
+            for guess in [0usize, i.saturating_sub(1), i, (i + 37).min(999), 999] {
+                let r = exponential_search(&ks, k, guess);
+                assert_eq!(r.pos, Some(i), "key {k} guess {guess}");
+            }
+        }
+    }
+
+    #[test]
+    fn branchless_matches_binary_search() {
+        let ks = keys();
+        for k in [0u64, 3, 4, 300, 1500, 2996, 2997, 5_000] {
+            let (pos, _) = branchless_search_counted(&ks, k);
+            assert_eq!(pos, ks.binary_search(&k).ok(), "key {k}");
+        }
+        assert_eq!(branchless_search_counted(&[], 5), (None, 0));
+        assert_eq!(branchless_search_counted(&[7], 7), (Some(0), 1));
+        assert_eq!(branchless_search_counted(&[7], 8), (None, 1));
+    }
+
+    #[test]
+    fn branchless_comparison_count_is_data_independent() {
+        let ks = keys();
+        for width in [1usize, 2, 3, 7, 64, 100, 1000] {
+            let expected = (width as f64).log2().ceil() as usize + 1;
+            let mut counts = std::collections::BTreeSet::new();
+            for k in [0u64, ks[width / 2], ks[width - 1], 10_000] {
+                let (_, c) = branchless_search_counted(&ks[..width], k);
+                counts.insert(c);
+                assert_eq!(c, expected, "width {width} key {k}");
+            }
+            assert_eq!(counts.len(), 1, "width {width} count varied");
+        }
+    }
+
+    #[test]
+    fn bounded_fallback_finds_members_within_radius_without_galloping() {
+        let ks = keys();
+        for (i, &k) in ks.iter().enumerate().step_by(13) {
+            for radius in [1usize, 4, 16] {
+                let r = bounded_search_with_fallback(&ks, k, i, radius);
+                assert_eq!(r.pos, Some(i), "key {k} radius {radius}");
+                let window = 2 * radius + 1;
+                let bound = (window as f64).log2().ceil() as usize + 1;
+                assert!(
+                    r.comparisons <= bound,
+                    "in-window hit cost {} > {bound}",
+                    r.comparisons
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_fallback_recovers_out_of_window_keys() {
+        let ks = keys();
+        // Prediction off by far more than the radius, both directions.
+        let r = bounded_search_with_fallback(&ks, ks[900], 10, 4);
+        assert_eq!(r.pos, Some(900));
+        let r = bounded_search_with_fallback(&ks, ks[10], 900, 4);
+        assert_eq!(r.pos, Some(10));
+        // Window pinned at the array edges: no fallback possible.
+        let r = bounded_search_with_fallback(&ks, 1, 0, 2);
+        assert_eq!(r.pos, None);
+        let r = bounded_search_with_fallback(&ks, 5_000, 999, 2);
+        assert_eq!(r.pos, None);
+    }
+
+    #[test]
+    fn bounded_fallback_proves_in_window_absence_without_galloping() {
+        let ks = keys(); // multiples of 3
+                         // 301 sits between ks[100] = 300 and ks[101] = 303: a window
+                         // containing both proves absence at window cost.
+        let r = bounded_search_with_fallback(&ks, 301, 100, 4);
+        assert_eq!(r.pos, None);
+        let bound = (9f64).log2().ceil() as usize + 1;
+        assert!(r.comparisons <= bound, "cost {}", r.comparisons);
+    }
+
+    #[test]
+    fn bounded_fallback_agrees_with_exponential_everywhere() {
+        let ks = keys();
+        let probes: Vec<Key> = (0..3_100u64).collect();
+        for &k in &probes {
+            let expected = ks.binary_search(&k).ok();
+            for center in [0usize, 250, 999] {
+                for radius in [0usize, 1, 8, 2_000] {
+                    let r = bounded_search_with_fallback(&ks, k, center, radius);
+                    assert_eq!(r.pos, expected, "key {k} center {center} radius {radius}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_route_matches_global_lower_bound_from_any_cursor() {
+        let bounds: Vec<Key> = (0..500u64).map(|i| i * 10 + 5).collect();
+        let global =
+            |key: Key| -> usize { bounds.partition_point(|&b| b <= key).saturating_sub(1) };
+        for key in [0u64, 4, 5, 6, 123, 2_500, 4_994, 4_995, 9_999] {
+            let expected = global(key);
+            // Any valid cursor (bound ≤ key, or 0) must reach the same
+            // index the global search finds.
+            for from in [0usize, expected / 2, expected] {
+                if from > 0 && bounds[from] > key {
+                    continue;
+                }
+                let got = monotone_route_by(&bounds, from, key, |&b| b);
+                assert_eq!(got, expected, "key {key} from {from}");
+            }
+        }
+        // A full ascending sweep with a running cursor equals per-key
+        // global routing everywhere.
+        let mut cursor = 0usize;
+        for key in 0..5_200u64 {
+            cursor = monotone_route_by(&bounds, cursor, key, |&b| b);
+            assert_eq!(cursor, global(key), "sweep key {key}");
+        }
+    }
+
+    #[test]
+    fn bounded_fallback_empty_and_overflowing_radius() {
+        assert_eq!(bounded_search_with_fallback(&[], 5, 0, 3).pos, None);
+        let ks = keys();
+        // A radius near usize::MAX must clamp, not overflow.
+        let r = bounded_search_with_fallback(&ks, ks[123], 500, usize::MAX);
+        assert_eq!(r.pos, Some(123));
+        let r = bounded_search(&ks, ks[123], 500, usize::MAX);
+        assert_eq!(r.pos, Some(123));
     }
 }

@@ -38,7 +38,15 @@
 use crate::error::{LisError, Result};
 use crate::index::{DynIndex, LearnedIndex, Lookup};
 use crate::keys::{Key, KeySet};
+use crate::scratch::ScratchPool;
 use std::sync::Arc;
+
+/// Batches at or below this many probes are served on the calling thread:
+/// serving micro-batches (tens to ~thousands of keys) lose more to
+/// spawning scoped threads than shard parallelism returns, and the serial
+/// path reuses pooled scratch so steady-state serving allocates nothing.
+/// Larger offline sweeps still fan out across the thread pool.
+pub const PARALLEL_BATCH_THRESHOLD: usize = 4_096;
 
 /// Shared per-shard constructor held by a [`ShardConfig`].
 pub type ShardBuilder = Arc<dyn Fn(&KeySet) -> Result<DynIndex> + Send + Sync>;
@@ -128,6 +136,40 @@ pub struct ShardedIndex {
     threads: usize,
     /// Comparisons charged per query for the fence binary search.
     route_cost: usize,
+    /// Pooled scatter/gather buffers for the batched fan-out.
+    scratch: ScratchPool<ShardScratch>,
+}
+
+/// Per-batch scatter/gather working memory: for each shard, the probe
+/// slots routed to it, the probe keys, and the shard's answers. Pooled in
+/// the owning [`ShardedIndex`] so steady-state batches reuse warmed
+/// buffers instead of allocating three vectors per shard per batch.
+struct ShardScratch {
+    slots: Vec<Vec<usize>>,
+    buckets: Vec<Vec<Key>>,
+    results: Vec<Vec<Lookup>>,
+}
+
+impl ShardScratch {
+    fn new(shards: usize) -> Self {
+        Self {
+            slots: vec![Vec::new(); shards],
+            buckets: vec![Vec::new(); shards],
+            results: vec![Vec::new(); shards],
+        }
+    }
+
+    /// Clears the per-shard buffers, keeping their capacity.
+    fn reset(&mut self) {
+        for v in &mut self.slots {
+            v.clear();
+        }
+        for v in &mut self.buckets {
+            v.clear();
+        }
+        // `results` vectors are refilled through `lookup_batch_into`,
+        // which clears them itself.
+    }
 }
 
 impl ShardedIndex {
@@ -196,6 +238,7 @@ impl ShardedIndex {
             loss: if len == 0 { 0.0 } else { loss_acc / len as f64 },
             threads,
             route_cost,
+            scratch: ScratchPool::new(),
         })
     }
 
@@ -209,7 +252,8 @@ impl ShardedIndex {
         &self.shards
     }
 
-    /// Worker threads used by [`ShardedIndex::lookup_batch`].
+    /// Worker threads used by the batched fan-out
+    /// ([`LearnedIndex::lookup_batch_into`]) for oversize batches.
     pub fn threads(&self) -> usize {
         self.threads
     }
@@ -234,16 +278,6 @@ impl ShardedIndex {
         hit.cost += self.route_cost;
         hit
     }
-
-    /// One shard's share of a batch, through the inner index's own batched
-    /// hot path (a single virtual dispatch for the whole bucket).
-    fn shard_batch(&self, shard: usize, keys: &[Key]) -> Vec<Lookup> {
-        self.shards[shard]
-            .lookup_batch(keys)
-            .into_iter()
-            .map(|hit| self.globalize(shard, hit))
-            .collect()
-    }
 }
 
 impl LearnedIndex for ShardedIndex {
@@ -261,14 +295,31 @@ impl LearnedIndex for ShardedIndex {
     /// Scatter-gather over the shards, preserving probe order: every probe
     /// is routed to its owning shard, each shard serves its bucket through
     /// the inner index's batched hot path (one virtual dispatch per shard,
-    /// not per key), and buckets run on the scoped thread pool when more
-    /// than one worker is available.
-    fn lookup_batch(&self, keys: &[Key]) -> Vec<Lookup> {
-        if keys.is_empty() || self.shards.len() == 1 {
-            return self.shard_batch(0, keys);
+    /// not per key). Scatter slots, buckets, and per-shard answers live in
+    /// pooled scratch, so steady-state batches allocate nothing; batches
+    /// larger than [`PARALLEL_BATCH_THRESHOLD`] fan out across the scoped
+    /// thread pool, serving-sized micro-batches run on the calling thread.
+    fn lookup_batch_into(&self, keys: &[Key], out: &mut Vec<Lookup>) {
+        out.clear();
+        if keys.is_empty() {
+            return;
         }
-        let mut slots: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
-        let mut buckets: Vec<Vec<Key>> = vec![Vec::new(); self.shards.len()];
+        if self.shards.len() == 1 {
+            self.shards[0].lookup_batch_into(keys, out);
+            for hit in out.iter_mut() {
+                *hit = self.globalize(0, *hit);
+            }
+            return;
+        }
+        let mut scratch = self
+            .scratch
+            .acquire_or(|| ShardScratch::new(self.shards.len()));
+        scratch.reset();
+        let ShardScratch {
+            slots,
+            buckets,
+            results,
+        } = &mut scratch;
         for (i, &k) in keys.iter().enumerate() {
             let s = self.route(k);
             slots[s].push(i);
@@ -276,44 +327,43 @@ impl LearnedIndex for ShardedIndex {
         }
 
         // At most `threads` workers, each serving a contiguous run of
-        // shard buckets — never one thread per shard.
-        let workers = self.threads.min(self.shards.len()).max(1);
-        let per_shard: Vec<Vec<Lookup>> = if workers <= 1 {
-            buckets
-                .iter()
-                .enumerate()
-                .map(|(s, bucket)| self.shard_batch(s, bucket))
-                .collect()
+        // shard buckets — never one thread per shard, and none at all for
+        // micro-batches.
+        let workers = if keys.len() > PARALLEL_BATCH_THRESHOLD {
+            self.threads.min(self.shards.len()).max(1)
+        } else {
+            1
+        };
+        if workers <= 1 {
+            for (s, (bucket, result)) in buckets.iter().zip(results.iter_mut()).enumerate() {
+                self.shards[s].lookup_batch_into(bucket, result);
+            }
         } else {
             let per_worker = self.shards.len().div_ceil(workers);
             std::thread::scope(|scope| {
-                let handles: Vec<_> = buckets
+                for (w, (bucket_group, result_group)) in buckets
                     .chunks(per_worker)
+                    .zip(results.chunks_mut(per_worker))
                     .enumerate()
-                    .map(|(w, group)| {
-                        scope.spawn(move || {
-                            group
-                                .iter()
-                                .enumerate()
-                                .map(|(i, bucket)| self.shard_batch(w * per_worker + i, bucket))
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("shard lookup thread panicked"))
-                    .collect()
-            })
-        };
+                {
+                    scope.spawn(move || {
+                        for (i, (bucket, result)) in
+                            bucket_group.iter().zip(result_group.iter_mut()).enumerate()
+                        {
+                            self.shards[w * per_worker + i].lookup_batch_into(bucket, result);
+                        }
+                    });
+                }
+            });
+        }
 
-        let mut out = vec![Lookup::membership(false, 0); keys.len()];
-        for (shard_slots, results) in slots.iter().zip(per_shard) {
-            for (&slot, hit) in shard_slots.iter().zip(results) {
-                out[slot] = hit;
+        out.resize(keys.len(), Lookup::membership(false, 0));
+        for (s, (shard_slots, shard_results)) in slots.iter().zip(results.iter()).enumerate() {
+            for (&slot, &hit) in shard_slots.iter().zip(shard_results) {
+                out[slot] = self.globalize(s, hit);
             }
         }
-        out
+        self.scratch.release(scratch);
     }
 
     fn loss(&self) -> f64 {
@@ -459,10 +509,35 @@ mod tests {
             IndexRegistry::with_defaults().build("btree", part)
         })
         .unwrap();
-        let probes: Vec<Key> = (0..4_000u64).map(|i| i * 2).collect();
-        let batch = LearnedIndex::lookup_batch(&sharded, &probes);
-        assert_eq!(batch.len(), probes.len());
-        for (&k, &b) in probes.iter().zip(&batch) {
+        // 4,000 probes stay below PARALLEL_BATCH_THRESHOLD (serial,
+        // pooled-scratch path); 6,000 exceed it (scoped-thread fan-out).
+        for n in [4_000u64, 6_000] {
+            let probes: Vec<Key> = (0..n).map(|i| i * 2).collect();
+            let batch = LearnedIndex::lookup_batch(&sharded, &probes);
+            assert_eq!(batch.len(), probes.len());
+            for (&k, &b) in probes.iter().zip(&batch) {
+                assert_eq!(b, sharded.lookup_one(k), "probe {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_scratch_is_pooled_and_reused() {
+        let ks = keyset(600);
+        let sharded = ShardedIndex::build_with(&ks, 5, 1, |part| {
+            IndexRegistry::with_defaults().build("rmi", part)
+        })
+        .unwrap();
+        assert_eq!(sharded.scratch.idle(), 0);
+        let probes: Vec<Key> = ks.keys().iter().step_by(3).copied().collect();
+        let mut out = Vec::new();
+        LearnedIndex::lookup_batch_into(&sharded, &probes, &mut out);
+        assert_eq!(sharded.scratch.idle(), 1);
+        // A second batch reuses the pooled scratch rather than growing
+        // the pool, and still answers identically.
+        LearnedIndex::lookup_batch_into(&sharded, &probes, &mut out);
+        assert_eq!(sharded.scratch.idle(), 1);
+        for (&k, &b) in probes.iter().zip(&out) {
             assert_eq!(b, sharded.lookup_one(k), "probe {k}");
         }
     }

@@ -86,7 +86,26 @@ impl<T> BatchQueue<T> {
     /// then gathers until `policy.max_batch` requests are in hand or
     /// `policy.deadline` has elapsed since the first pop. Returns `None`
     /// once the queue is closed *and* drained — the worker-shutdown signal.
+    ///
+    /// Allocating convenience wrapper over [`BatchQueue::pop_batch_into`];
+    /// worker loops should reuse a batch buffer through that method.
     pub fn pop_batch(&self, policy: BatchPolicy) -> Option<Vec<T>> {
+        let mut batch = Vec::new();
+        if self.pop_batch_into(policy, &mut batch) {
+            Some(batch)
+        } else {
+            None
+        }
+    }
+
+    /// Drains the next micro-batch into a caller-owned buffer (cleared
+    /// first), with the same blocking/batching semantics as
+    /// [`BatchQueue::pop_batch`]. Returns `false` once the queue is closed
+    /// *and* drained — the worker-shutdown signal. A worker that reuses
+    /// one buffer across iterations pops batches without any per-batch
+    /// heap allocation once the buffer has grown to the batch cap.
+    pub fn pop_batch_into(&self, policy: BatchPolicy, batch: &mut Vec<T>) -> bool {
+        batch.clear();
         let max_batch = policy.max_batch.max(1);
         let mut state = self.state.lock().expect("queue poisoned");
         loop {
@@ -94,11 +113,10 @@ impl<T> BatchQueue<T> {
                 break;
             }
             if state.closed {
-                return None;
+                return false;
             }
             state = self.not_empty.wait(state).expect("queue poisoned");
         }
-        let mut batch = Vec::with_capacity(max_batch.min(state.items.len()));
         let flush_at = Instant::now() + policy.deadline;
         loop {
             while batch.len() < max_batch {
@@ -130,7 +148,7 @@ impl<T> BatchQueue<T> {
         if !self.is_empty() {
             self.not_empty.notify_one();
         }
-        Some(batch)
+        true
     }
 
     /// Closes the queue: further pushes fail, blocked producers and workers
@@ -194,6 +212,27 @@ mod tests {
         let second = q.pop_batch(policy(4, 0)).unwrap();
         assert_eq!(first, vec![0, 1, 2, 3]);
         assert_eq!(second, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn pop_batch_into_reuses_buffer_and_signals_shutdown() {
+        let q = BatchQueue::new(64);
+        for i in 0..10 {
+            q.push(i).unwrap();
+        }
+        let mut batch = Vec::new();
+        assert!(q.pop_batch_into(policy(4, 0), &mut batch));
+        assert_eq!(batch, vec![0, 1, 2, 3]);
+        let cap = batch.capacity();
+        // The next pop clears the stale contents and reuses the capacity.
+        assert!(q.pop_batch_into(policy(4, 0), &mut batch));
+        assert_eq!(batch, vec![4, 5, 6, 7]);
+        assert_eq!(batch.capacity(), cap);
+        assert!(q.pop_batch_into(policy(4, 10), &mut batch));
+        assert_eq!(batch, vec![8, 9]);
+        q.close();
+        assert!(!q.pop_batch_into(policy(4, 0), &mut batch));
+        assert!(batch.is_empty(), "shutdown pop must leave the buffer empty");
     }
 
     #[test]

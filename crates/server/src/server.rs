@@ -226,6 +226,13 @@ impl ServeReport {
     pub fn mean_cost(&self) -> f64 {
         self.cost_units as f64 / (self.served as f64).max(1.0)
     }
+
+    /// Millions of lookups per second over the session, from the shared
+    /// served counter — the unit the `hotpath` microbench reports, so
+    /// served throughput and raw index throughput compare directly.
+    pub fn mlookups_per_s(&self) -> f64 {
+        self.throughput() / 1e6
+    }
 }
 
 /// The serving front end: a bounded queue plus a worker pool over one
@@ -331,7 +338,10 @@ impl Server {
 /// One worker: drain micro-batches, answer them through the index's batched
 /// hot path, fulfill the tickets, record latency and counters. Latencies
 /// land in this worker's own histogram slot, so the hot path never
-/// contends with other workers on a shared lock.
+/// contends with other workers on a shared lock — and the batch, key, and
+/// response buffers are all worker-owned and reused, so a steady-state
+/// batch performs no heap allocation on the response path (the
+/// `zero_alloc` integration test pins this down).
 fn worker_loop(
     queue: &BatchQueue<Request>,
     shared: &Shared,
@@ -339,8 +349,10 @@ fn worker_loop(
     index: &DynIndex,
     policy: BatchPolicy,
 ) {
+    let mut batch: Vec<Request> = Vec::with_capacity(policy.max_batch);
     let mut keys: Vec<Key> = Vec::with_capacity(policy.max_batch);
-    while let Some(batch) = queue.pop_batch(policy) {
+    let mut results: Vec<Lookup> = Vec::with_capacity(policy.max_batch);
+    while queue.pop_batch_into(policy, &mut batch) {
         if batch.is_empty() {
             continue;
         }
@@ -349,35 +361,32 @@ fn worker_loop(
         // A panicking lookup (a bug in the index structure) must not
         // strand the batch's clients on tickets nobody will fulfill: catch
         // it, fail every request in the batch, and keep serving.
-        let results =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| index.lookup_batch(&keys)));
-        let results = match results {
-            Ok(results) => results,
-            Err(_) => {
-                for request in batch {
-                    request.slot.fulfill(Err(LisError::Invariant(format!(
-                        "index lookup panicked while serving key {}",
-                        request.key
-                    ))));
-                }
-                continue;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            index.lookup_batch_into(&keys, &mut results)
+        }));
+        if outcome.is_err() {
+            for request in batch.drain(..) {
+                request.slot.fulfill(Err(LisError::Invariant(format!(
+                    "index lookup panicked while serving key {}",
+                    request.key
+                ))));
             }
-        };
+            continue;
+        }
         let cost: usize = results.iter().map(|r| r.cost).sum();
         let done = Instant::now();
         let mut latency = shared.latency[worker]
             .lock()
             .expect("latency histogram poisoned");
-        for request in &batch {
+        for request in batch.iter() {
             latency.record_duration(done.duration_since(request.submitted));
         }
         drop(latency);
-        for (request, hit) in batch.into_iter().zip(results) {
-            request.slot.fulfill(Ok(hit));
+        let served = batch.len() as u64;
+        for (request, hit) in batch.drain(..).zip(results.iter()) {
+            request.slot.fulfill(Ok(*hit));
         }
-        shared
-            .served
-            .fetch_add(keys.len() as u64, Ordering::Relaxed);
+        shared.served.fetch_add(served, Ordering::Relaxed);
         shared.batches.fetch_add(1, Ordering::Relaxed);
         shared.cost_units.fetch_add(cost as u64, Ordering::Relaxed);
     }

@@ -1,0 +1,123 @@
+//! Allocation regression gate for the serving hot path.
+//!
+//! A counting global allocator (debug tooling — this test binary only)
+//! measures heap allocations across two windows:
+//!
+//! 1. **Index batch path, strict**: once an index's scratch pools and the
+//!    caller's result buffer are warm, `DynIndex::lookup_batch_into` must
+//!    perform *zero* allocations per batch — for the monolithic victims
+//!    and for the sharded composite's serial scatter/gather path alike.
+//! 2. **Server response path, bounded**: steady-state serving allocates
+//!    only on request admission (one `Arc<ResponseSlot>` per request,
+//!    client-side). The workers' pop/lookup/fulfill cycle reuses pooled
+//!    buffers, so total allocations over `R` requests must stay near `R`
+//!    — the pre-refactor per-batch `Vec` churn (`pop_batch` + response
+//!    vector per micro-batch) pushed this well above the asserted bound.
+//!
+//! Everything runs inside one `#[test]` so no concurrent test pollutes
+//! the global counter (integration tests get their own process).
+
+use lis_core::index::{DynIndex, IndexRegistry};
+use lis_core::keys::{Key, KeySet};
+use lis_server::{ServeConfig, Server};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+/// Mildly non-linear strictly increasing keys (so RMI windows are
+/// non-trivial) without pulling the workloads crate into lis-server.
+fn keyset(n: u64) -> KeySet {
+    KeySet::from_keys((0..n).map(|i| i * 13 + (i % 7)).collect()).unwrap()
+}
+
+fn assert_batch_path_allocation_free(name: &str, index: &DynIndex, probes: &[Key]) {
+    let mut out = Vec::new();
+    // Warm: grows `out`, the index's pooled scratch, and any lazy state.
+    for chunk in probes.chunks(512) {
+        index.lookup_batch_into(chunk, &mut out);
+    }
+    index.lookup_batch_into(probes, &mut out);
+    let before = allocations();
+    for _ in 0..25 {
+        for chunk in probes.chunks(512) {
+            index.lookup_batch_into(chunk, &mut out);
+        }
+    }
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "{name}: warmed lookup_batch_into allocated {delta} times"
+    );
+    assert!(out.iter().all(|r| r.found), "{name} lost member probes");
+}
+
+#[test]
+fn steady_state_serving_performs_no_per_batch_allocation() {
+    let ks = keyset(60_000);
+    let registry = IndexRegistry::with_defaults();
+    let probes: Vec<Key> = ks.keys().iter().step_by(29).copied().collect();
+
+    // Window 1: the index batch hot path is allocation-free once warm.
+    for name in ["rmi", "deep-rmi", "pla", "btree", "sharded:rmi:8"] {
+        let index = registry.build(name, &ks).unwrap();
+        assert_batch_path_allocation_free(name, &index, &probes);
+    }
+
+    // Window 2: the served response path. Per admitted request the client
+    // side allocates once (the shared response slot); the worker side —
+    // batch pop, lookup, ticket fulfillment, latency recording — must
+    // reuse its buffers. Small batches maximize the old per-batch churn,
+    // so a regression to per-batch allocation trips the bound hard
+    // (~R + 3·R/8 for the pre-refactor code vs ~R now).
+    let index = Arc::new(registry.build("rmi", &ks).unwrap());
+    let server = Server::start(Arc::clone(&index), ServeConfig::new().workers(2).batch(8));
+    let warm: Vec<Key> = probes.iter().copied().take(512).collect();
+    for _ in 0..3 {
+        server.serve_all(&warm).unwrap();
+    }
+    let requests = probes.len() as u64;
+    let before = allocations();
+    let served = server.serve_all(&probes).unwrap();
+    let delta = allocations() - before;
+    assert_eq!(served.len(), probes.len());
+    let bound = requests + requests / 8 + 64;
+    assert!(
+        delta <= bound,
+        "served {requests} requests with {delta} allocations (bound {bound}): \
+         the response path is allocating per batch again"
+    );
+    let report = server.shutdown();
+    assert!(report.mlookups_per_s() > 0.0);
+}

@@ -46,6 +46,7 @@ fn main() -> ExitCode {
         "inspect" => cmd_inspect(&flags),
         "pipeline" => cmd_pipeline(&flags),
         "serve-bench" => cmd_serve_bench(&flags),
+        "bench-hotpath" => cmd_bench_hotpath(&flags),
         "list-indexes" => cmd_list_indexes(),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -118,6 +119,16 @@ COMMANDS:
       --clients C         concurrent traffic generator threads       [2]
       --poison-pct P      RMI-attack budget percentage              [10]
       --model-size M      keys per second-stage model (campaign)   [100]
+
+  bench-hotpath       read-hot-path microbench: ns/lookup + Mlookups/s grid
+      --keys N            keyset size                            [1000000]
+      --batch B           probes per batch                         [16384]
+      --rounds R          timing rounds (best reported)                [3]
+      --poison-pct P      Algorithm-2 poison budget percentage        [10]
+      --seed S            workload/attack RNG seed                    [42]
+      --index NAMES       comma-separated registry names
+                                     [rmi,deep-rmi,pla,btree,sharded:rmi:8]
+      --out FILE          JSON baseline path          [BENCH_hotpath.json]
 
   list-indexes        print the registered index names
 
@@ -423,6 +434,7 @@ fn cmd_serve_bench(flags: &Flags) -> Result<(), String> {
             "p99_us",
             "max_us",
             "kreq_per_s",
+            "mlookups_per_s",
             "mean_batch",
             "mean_cost",
         ],
@@ -470,12 +482,58 @@ fn cmd_serve_bench(flags: &Flags) -> Result<(), String> {
                 format!("{:.1}", report.latency.p99() as f64 / 1_000.0),
                 format!("{:.1}", report.latency.max() as f64 / 1_000.0),
                 format!("{:.1}", report.throughput() / 1_000.0),
+                format!("{:.3}", report.mlookups_per_s()),
                 format!("{:.1}", report.mean_batch()),
                 format!("{:.2}", report.mean_cost()),
             ]);
         }
     }
     table.print();
+    Ok(())
+}
+
+fn cmd_bench_hotpath(flags: &Flags) -> Result<(), String> {
+    use lis::hotpath::{run_hotpath, HotpathConfig};
+
+    let defaults = HotpathConfig::default();
+    let indexes: Vec<String> = match flags.get("index") {
+        Some(names) => names
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(String::from)
+            .collect(),
+        None => defaults.indexes.clone(),
+    };
+    if indexes.is_empty() {
+        return Err("--index needs at least one registry name".into());
+    }
+    let cfg = HotpathConfig {
+        keys: flag(flags, "keys", defaults.keys)?,
+        batch: flag(flags, "batch", defaults.batch)?,
+        rounds: flag(flags, "rounds", defaults.rounds)?,
+        poison_pct: flag(flags, "poison-pct", defaults.poison_pct)?,
+        seed: flag(flags, "seed", defaults.seed)?,
+        indexes,
+    };
+    println!(
+        "hotpath: {} keys, batch {}, best of {} rounds, {}% poison",
+        cfg.keys, cfg.batch, cfg.rounds, cfg.poison_pct
+    );
+    let report = run_hotpath(&cfg).map_err(|e| e.to_string())?;
+    println!(
+        "campaign: {} poison keys, ratio loss {:.1}x\n",
+        report.poison_keys, report.ratio_loss
+    );
+    report.table().print();
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_hotpath.json".into());
+    report
+        .write_json(std::path::Path::new(&out))
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!("\nwrote {out}");
     Ok(())
 }
 
@@ -678,6 +736,27 @@ mod tests {
         assert!(cmd_serve_bench(&flags).is_err());
         flags.insert("attack-ratio".into(), "abc".into());
         assert!(cmd_serve_bench(&flags).is_err());
+    }
+
+    #[test]
+    fn bench_hotpath_writes_json_baseline() {
+        let dir = std::env::temp_dir().join("lis_cli_hotpath_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH_hotpath.json").to_string_lossy().to_string();
+        let mut flags = Flags::new();
+        flags.insert("keys".into(), "3000".into());
+        flags.insert("batch".into(), "256".into());
+        flags.insert("rounds".into(), "1".into());
+        flags.insert("index".into(), "rmi,btree".into());
+        flags.insert("out".into(), out.clone());
+        cmd_bench_hotpath(&flags).unwrap();
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.contains("\"bench\": \"hotpath\""));
+        assert_eq!(json.matches("\"index\"").count(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        flags.insert("index".into(), " ".into());
+        assert!(cmd_bench_hotpath(&flags).is_err());
     }
 
     #[test]

@@ -1,0 +1,372 @@
+//! The read-hot-path microbenchmark engine behind the `hotpath` bench and
+//! `lis-cli bench-hotpath` — the repo's machine-readable perf baseline.
+//!
+//! The paper's entire attack surface is lookup cost, so the first-class
+//! performance artifact of this repo is a durable measurement of the
+//! serve hot path: nanoseconds per lookup and Mlookups/s for each victim
+//! structure, over the clean keyset and over an Algorithm-2-poisoned one,
+//! through two code paths:
+//!
+//! * **per-key** — one batch-level virtual dispatch, then a plain loop
+//!   over single-key lookups. This is exactly what `lookup_batch` did
+//!   before the sorted-batch refactor, kept callable as
+//!   [`DynIndex::lookup_each_into`], so the speedup of the optimized
+//!   path stays measurable forever;
+//! * **batch** — the optimized [`DynIndex::lookup_batch_into`] hot path
+//!   (sorted-batch monotone routing, SoA leaf tables, pooled scratch,
+//!   zero steady-state allocation).
+//!
+//! [`HotpathReport::to_json`] renders the whole grid as JSON; the bench
+//! writes it to `BENCH_hotpath.json` at the workspace root so every
+//! future PR can diff ns/lookup against this baseline (the SOSD
+//! benchmarking methodology, scaled to this repo).
+
+use lis_core::error::{LisError, Result};
+use lis_core::index::{DynIndex, IndexRegistry};
+use lis_core::keys::Key;
+use lis_core::Lookup;
+use lis_poison::{rmi_attack, RmiAttackConfig};
+use lis_workloads::{domain_for_density, trial_rng, uniform_keys, ResultTable};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Scale and shape of one hotpath run.
+#[derive(Debug, Clone)]
+pub struct HotpathConfig {
+    /// Keyset size (the acceptance baseline uses 10⁶ uniform keys).
+    pub keys: usize,
+    /// Probes per batch on the batched path.
+    pub batch: usize,
+    /// Timing rounds; the best round is reported (first rounds warm
+    /// caches and scratch pools).
+    pub rounds: usize,
+    /// Algorithm-2 poison budget, percent of the keyset.
+    pub poison_pct: f64,
+    /// Workload/attack RNG seed.
+    pub seed: u64,
+    /// Registry names to measure.
+    pub indexes: Vec<String>,
+}
+
+impl Default for HotpathConfig {
+    fn default() -> Self {
+        Self {
+            keys: 1_000_000,
+            // Large offline batches are where sorted-batch locality pays:
+            // at 16k probes per batch over 10⁶ keys, consecutive sorted
+            // probes land ~60 positions apart, so leaf tables and search
+            // windows stream through cache. (Serving micro-batches are
+            // smaller; they keep the zero-allocation and monotone-routing
+            // wins, and the galloping cursor never regresses below
+            // per-key binary-search routing.)
+            batch: 16_384,
+            rounds: 3,
+            poison_pct: 10.0,
+            seed: 42,
+            indexes: ["rmi", "deep-rmi", "pla", "btree", "sharded:rmi:8"]
+                .map(String::from)
+                .to_vec(),
+        }
+    }
+}
+
+/// One measured (index, dataset) grid cell.
+#[derive(Debug, Clone)]
+pub struct HotpathCell {
+    /// Registry name of the victim.
+    pub index: String,
+    /// `"clean"` or `"poisoned"`.
+    pub dataset: String,
+    /// Best-round ns/lookup through the optimized batch path.
+    pub ns_per_lookup_batch: f64,
+    /// Best-round ns/lookup through the per-key reference path.
+    pub ns_per_lookup_per_key: f64,
+    /// Millions of lookups per second through the batch path.
+    pub mlookups_per_s: f64,
+    /// `per_key / batch` — the batch path's speedup over the old serve
+    /// path on identical probes.
+    pub batch_speedup: f64,
+    /// Mean lookup cost units (comparisons/probes) per probe — the
+    /// hardware-independent number the paper's figures use.
+    pub mean_cost: f64,
+}
+
+/// The full measured grid plus its configuration.
+#[derive(Debug, Clone)]
+pub struct HotpathReport {
+    /// Keyset size measured.
+    pub keys: usize,
+    /// Batch size of the batched path.
+    pub batch: usize,
+    /// Timing rounds per cell.
+    pub rounds: usize,
+    /// Poison budget (percent).
+    pub poison_pct: f64,
+    /// Poison keys the campaign actually placed.
+    pub poison_keys: usize,
+    /// Campaign ratio loss (poisoned/clean RMI loss).
+    pub ratio_loss: f64,
+    /// All measured cells, in (index, dataset) order.
+    pub cells: Vec<HotpathCell>,
+}
+
+impl HotpathReport {
+    /// The cell for `(index, dataset)`, if measured.
+    pub fn cell(&self, index: &str, dataset: &str) -> Option<&HotpathCell> {
+        self.cells
+            .iter()
+            .find(|c| c.index == index && c.dataset == dataset)
+    }
+
+    /// Renders the grid as a printable/CSV-exportable [`ResultTable`].
+    pub fn table(&self) -> ResultTable {
+        let mut table = ResultTable::new(
+            "hotpath",
+            &[
+                "index",
+                "dataset",
+                "ns_batch",
+                "ns_per_key",
+                "mlookups_per_s",
+                "batch_speedup",
+                "mean_cost",
+            ],
+        );
+        for c in &self.cells {
+            table.push_row([
+                c.index.clone(),
+                c.dataset.clone(),
+                format!("{:.1}", c.ns_per_lookup_batch),
+                format!("{:.1}", c.ns_per_lookup_per_key),
+                format!("{:.2}", c.mlookups_per_s),
+                format!("{:.2}", c.batch_speedup),
+                format!("{:.2}", c.mean_cost),
+            ]);
+        }
+        table
+    }
+
+    /// Machine-readable JSON for `BENCH_hotpath.json` (hand-rendered; the
+    /// workspace carries no serialization dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"bench\": \"hotpath\",");
+        let _ = writeln!(
+            out,
+            "  \"units\": {{\"ns_per_lookup\": \"nanoseconds\", \"mlookups_per_s\": \"1e6 lookups/s\", \"mean_cost\": \"key comparisons\"}},"
+        );
+        let _ = writeln!(out, "  \"keys\": {},", self.keys);
+        let _ = writeln!(out, "  \"batch\": {},", self.batch);
+        let _ = writeln!(out, "  \"rounds\": {},", self.rounds);
+        let _ = writeln!(out, "  \"poison_pct\": {},", self.poison_pct);
+        let _ = writeln!(out, "  \"poison_keys\": {},", self.poison_keys);
+        let _ = writeln!(out, "  \"ratio_loss\": {:.4},", self.ratio_loss);
+        let _ = writeln!(out, "  \"cells\": [");
+        for (i, c) in self.cells.iter().enumerate() {
+            let comma = if i + 1 < self.cells.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"index\": \"{}\", \"dataset\": \"{}\", \
+                 \"ns_per_lookup_batch\": {:.2}, \"ns_per_lookup_per_key\": {:.2}, \
+                 \"mlookups_per_s\": {:.3}, \"batch_speedup\": {:.3}, \
+                 \"mean_cost\": {:.3}}}{comma}",
+                c.index,
+                c.dataset,
+                c.ns_per_lookup_batch,
+                c.ns_per_lookup_per_key,
+                c.mlookups_per_s,
+                c.batch_speedup,
+                c.mean_cost
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Writes [`HotpathReport::to_json`] to `path`.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Times one (index, probe-stream) pair through both paths: returns
+/// `(ns_per_key, ns_batch, mean_cost)` with best-of-`rounds` timing and a
+/// membership sanity check on the final round.
+fn measure(index: &DynIndex, probes: &[Key], batch: usize, rounds: usize) -> (f64, f64, f64) {
+    let mut out: Vec<Lookup> = Vec::new();
+    let mut best_per_key = f64::INFINITY;
+    let mut best_batch = f64::INFINITY;
+    let mut total_cost = 0usize;
+    for _ in 0..rounds.max(1) {
+        // Per-key reference path (the pre-batching serve loop).
+        let start = Instant::now();
+        for chunk in probes.chunks(batch) {
+            index.lookup_each_into(black_box(chunk), &mut out);
+            black_box(&out);
+        }
+        best_per_key = best_per_key.min(start.elapsed().as_nanos() as f64 / probes.len() as f64);
+
+        // Optimized batch path.
+        let start = Instant::now();
+        let mut cost = 0usize;
+        let mut found = 0usize;
+        for chunk in probes.chunks(batch) {
+            index.lookup_batch_into(black_box(chunk), &mut out);
+            black_box(&out);
+            cost += out.iter().map(|r| r.cost).sum::<usize>();
+            found += out.iter().filter(|r| r.found).count();
+        }
+        best_batch = best_batch.min(start.elapsed().as_nanos() as f64 / probes.len() as f64);
+        total_cost = cost;
+        // Fast-but-wrong must never be recorded as a speedup: every probe
+        // is a member key, so every lookup must hit.
+        assert_eq!(found, probes.len(), "{}: member probe missed", index.name());
+    }
+    (
+        best_per_key,
+        best_batch,
+        total_cost as f64 / probes.len() as f64,
+    )
+}
+
+/// Runs the full hotpath grid: every configured index × {clean, poisoned},
+/// probing the clean member keys in a shuffled (cache-unfriendly) order.
+pub fn run_hotpath(cfg: &HotpathConfig) -> Result<HotpathReport> {
+    if cfg.keys < 2 || cfg.batch == 0 {
+        return Err(LisError::Invariant(
+            "hotpath needs at least 2 keys and a non-zero batch".into(),
+        ));
+    }
+    let mut rng = trial_rng(cfg.seed, 0);
+    let domain = domain_for_density(cfg.keys, 0.1)?;
+    let clean = uniform_keys(&mut rng, cfg.keys, domain)?;
+
+    // Algorithm 2 against the registry's ~100-keys-per-leaf victims: the
+    // campaign that inflates second-stage error radii, i.e. served cost.
+    let num_models = (cfg.keys / 100).max(1);
+    let attack = rmi_attack(
+        &clean,
+        num_models,
+        &RmiAttackConfig::new(cfg.poison_pct).with_max_exchanges(num_models.min(64)),
+    )?;
+    let poisoned = attack.poisoned_keyset(&clean)?;
+
+    // Shuffled member probes: every probe is a clean key (also present in
+    // the poisoned keyset — the attack only inserts), so `found` must hold
+    // everywhere and clean/poisoned cells measure identical traffic.
+    let mut probes: Vec<Key> = clean.keys().to_vec();
+    let len = probes.len();
+    for i in 0..len {
+        let j = (lis_workloads::rng::splitmix64(cfg.seed ^ i as u64) % len as u64) as usize;
+        probes.swap(i, j);
+    }
+
+    let registry = IndexRegistry::with_defaults();
+    let mut cells = Vec::new();
+    for name in &cfg.indexes {
+        if !registry.resolves(name) {
+            return Err(LisError::UnknownIndex {
+                name: name.clone(),
+                available: format!("{}, sharded:<name>:<N>", registry.names().join(", ")),
+            });
+        }
+        for (dataset, ks) in [("clean", &clean), ("poisoned", &poisoned)] {
+            let index = registry.build(name, ks)?;
+            let (ns_per_key, ns_batch, mean_cost) = measure(&index, &probes, cfg.batch, cfg.rounds);
+            cells.push(HotpathCell {
+                index: name.clone(),
+                dataset: dataset.to_string(),
+                ns_per_lookup_batch: ns_batch,
+                ns_per_lookup_per_key: ns_per_key,
+                mlookups_per_s: 1_000.0 / ns_batch,
+                batch_speedup: ns_per_key / ns_batch,
+                mean_cost,
+            });
+        }
+    }
+    Ok(HotpathReport {
+        keys: cfg.keys,
+        batch: cfg.batch,
+        rounds: cfg.rounds,
+        poison_pct: cfg.poison_pct,
+        poison_keys: attack.total_poison,
+        ratio_loss: attack.rmi_ratio(),
+        cells,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_config() -> HotpathConfig {
+        HotpathConfig {
+            keys: 4_000,
+            batch: 256,
+            rounds: 1,
+            poison_pct: 10.0,
+            seed: 7,
+            indexes: vec!["rmi".into(), "btree".into(), "sharded:rmi:4".into()],
+        }
+    }
+
+    #[test]
+    fn grid_covers_every_index_and_dataset() {
+        let report = run_hotpath(&smoke_config()).unwrap();
+        assert_eq!(report.cells.len(), 6);
+        for name in ["rmi", "btree", "sharded:rmi:4"] {
+            for dataset in ["clean", "poisoned"] {
+                let cell = report.cell(name, dataset).expect("cell measured");
+                assert!(cell.ns_per_lookup_batch > 0.0);
+                assert!(cell.ns_per_lookup_per_key > 0.0);
+                assert!(cell.mlookups_per_s > 0.0);
+                assert!(cell.mean_cost > 0.0);
+            }
+        }
+        assert!(report.poison_keys > 0);
+    }
+
+    #[test]
+    fn poisoning_inflates_rmi_cost() {
+        // (The btree-barely-moves claim is scale-sensitive — at smoke
+        // scale bulk-load boundary effects dominate its log factor — so
+        // the full-scale bench, not this unit test, asserts it.)
+        let report = run_hotpath(&smoke_config()).unwrap();
+        let rmi_clean = report.cell("rmi", "clean").unwrap().mean_cost;
+        let rmi_poisoned = report.cell("rmi", "poisoned").unwrap().mean_cost;
+        assert!(
+            rmi_poisoned > rmi_clean,
+            "poisoned rmi cost {rmi_poisoned} vs clean {rmi_clean}"
+        );
+    }
+
+    #[test]
+    fn json_is_well_formed_enough_to_grep() {
+        let report = run_hotpath(&smoke_config()).unwrap();
+        let json = report.to_json();
+        assert!(json.starts_with("{\n"));
+        assert!(json.trim_end().ends_with('}'));
+        assert_eq!(json.matches("\"index\"").count(), 6);
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert!(json.contains("\"bench\": \"hotpath\""));
+        let table = report.table();
+        assert_eq!(table.rows.len(), 6);
+    }
+
+    #[test]
+    fn rejects_degenerate_configs_and_unknown_indexes() {
+        let mut cfg = smoke_config();
+        cfg.keys = 1;
+        assert!(run_hotpath(&cfg).is_err());
+        let mut cfg = smoke_config();
+        cfg.indexes = vec!["skiplist".into()];
+        assert!(run_hotpath(&cfg).is_err());
+    }
+}

@@ -20,7 +20,9 @@
 //!   queue, adaptive micro-batcher, worker pool, latency histogram, and
 //!   live benign/adversarial traffic sources);
 //! * [`pipeline`] — the workload → attack → defense → index → report
-//!   builder composing all of the above, measuring through [`server`].
+//!   builder composing all of the above, measuring through [`server`];
+//! * [`hotpath`] — the read-hot-path microbenchmark engine producing the
+//!   repo's machine-readable perf baseline (`BENCH_hotpath.json`).
 //!
 //! ## End-to-end example
 //!
@@ -53,10 +55,12 @@ pub use lis_poison as poison;
 pub use lis_server as server;
 pub use lis_workloads as workloads;
 
+pub mod hotpath;
 pub mod pipeline;
 
 /// Convenience prelude importing the types used by almost every experiment.
 pub mod prelude {
+    pub use crate::hotpath::{run_hotpath, HotpathConfig, HotpathReport};
     pub use crate::pipeline::{BuildCache, Pipeline, PipelineReport, WorkloadSpec};
     pub use lis_core::btree::BPlusTree;
     pub use lis_core::index::{DynIndex, IndexRegistry, LearnedIndex, Lookup};

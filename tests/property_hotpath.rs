@@ -1,0 +1,93 @@
+//! Property tests for the batched hot path: for every registry index (and
+//! a sharded composite), `lookup_batch_into` — the sorted-batch,
+//! scratch-pooled serve path — must return results *identical* to per-key
+//! `lookup` on every probe: same `found`, same rank, and same `cost`.
+//!
+//! This is the contract that lets the serving front end batch freely: the
+//! optimized path may reorder work for locality, but it must never change
+//! what an experiment measures. Checked on all three workload shapes,
+//! clean and poisoned, with reused (dirty) output buffers.
+
+use lis::poison::GreedyCdfAttack;
+use lis::prelude::*;
+use lis::workloads::{domain_for_density, lognormal_keys, normal_keys, trial_rng, uniform_keys};
+use proptest::prelude::*;
+
+const N: usize = 400;
+const DENSITY: f64 = 0.15;
+
+fn sample_keyset(dist: usize, seed: u64) -> KeySet {
+    let domain = domain_for_density(N, DENSITY).expect("valid density");
+    let mut rng = trial_rng(seed, 0);
+    match dist {
+        0 => uniform_keys(&mut rng, N, domain),
+        1 => normal_keys(&mut rng, N, domain),
+        _ => lognormal_keys(&mut rng, N, domain),
+    }
+    .expect("sampling")
+}
+
+/// Member probes in shuffled order, duplicates, gap interiors, and keys
+/// beyond the domain — everything the serve path can encounter.
+fn probe_keys(ks: &KeySet) -> Vec<Key> {
+    let mut probes: Vec<Key> = ks.keys().iter().rev().step_by(3).copied().collect();
+    probes.extend(ks.gaps().iter().take(30).map(|g| g.lo + (g.hi - g.lo) / 2));
+    probes.push(ks.max_key() + 1);
+    probes.push(Key::MAX);
+    if ks.min_key() > 0 {
+        probes.push(ks.min_key() - 1);
+    }
+    probes.push(probes[0]);
+    probes.push(probes[1]);
+    probes
+}
+
+/// One keyset's contract: batch ≡ per-key on (found, rank, cost) for every
+/// index, through a deliberately reused dirty buffer.
+fn assert_batch_equivalence(ks: &KeySet, context: &str) -> Result<(), TestCaseError> {
+    let registry = IndexRegistry::with_defaults();
+    let probes = probe_keys(ks);
+    let mut out: Vec<Lookup> = vec![Lookup::membership(true, 999); 7];
+    let mut names: Vec<String> = registry.names().iter().map(|s| s.to_string()).collect();
+    names.push("sharded:rmi:5".into());
+    for name in &names {
+        let index = registry.build(name, ks).expect("registry build");
+        index.lookup_batch_into(&probes, &mut out);
+        prop_assert_eq!(out.len(), probes.len(), "{}: {} length", context, name);
+        for (&k, &got) in probes.iter().zip(&out) {
+            let expected = index.lookup(k);
+            prop_assert_eq!(
+                got,
+                expected,
+                "{}: {} batch result for key {} diverged from lookup",
+                context,
+                name,
+                k
+            );
+        }
+        // The allocating wrapper and the per-key reference path agree too.
+        let wrapper = index.lookup_batch(&probes);
+        prop_assert_eq!(&wrapper, &out, "{}: {} wrapper diverged", context, name);
+        let mut each = Vec::new();
+        index.lookup_each_into(&probes, &mut each);
+        prop_assert_eq!(&each, &out, "{}: {} per-key path diverged", context, name);
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn batched_lookups_equal_per_key_lookups_exactly(
+        seed in 0u64..1_000,
+        dist in 0usize..3,
+    ) {
+        let clean = sample_keyset(dist, seed);
+        assert_batch_equivalence(&clean, "clean")?;
+
+        let attack = GreedyCdfAttack {
+            budget: PoisonBudget::percentage(10.0, clean.len()).expect("legal pct"),
+        };
+        let poisoned = attack.run(&clean).expect("attack").poisoned;
+        assert_batch_equivalence(&poisoned, "poisoned")?;
+    }
+}
