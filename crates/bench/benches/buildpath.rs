@@ -1,0 +1,122 @@
+//! The build-plane perf baseline: ns/key per index through the reference,
+//! serial-optimized, and parallel-optimized build paths (verified
+//! output-identical before timing), and ns/poison-point per campaign
+//! engine at full and quarter scale.
+//!
+//! Writes the grid as `BENCH_build.json` at the workspace root — the
+//! machine-readable baseline future PRs diff their numbers against — and
+//! a CSV under `target/experiments/` like every other bench. Override the
+//! scale for smoke runs:
+//!
+//! * `LIS_BUILD_KEYS` — keyset size (default 1,000,000);
+//! * `LIS_BUILD_ROUNDS` — timing rounds per build variant (default 3);
+//! * `LIS_BUILD_POINTS` — large campaign budget (default 232).
+
+use lis::buildpath::{run_buildpath, BuildpathConfig, CAMPAIGN_P_SMALL};
+use std::path::Path;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let defaults = BuildpathConfig::default();
+    let cfg = BuildpathConfig {
+        keys: env_usize("LIS_BUILD_KEYS", defaults.keys),
+        rounds: env_usize("LIS_BUILD_ROUNDS", defaults.rounds),
+        campaign_points: env_usize("LIS_BUILD_POINTS", defaults.campaign_points),
+        ..defaults
+    };
+    println!(
+        "buildpath baseline — {} keys (campaigns also at {}), best of {} rounds, \
+         campaign budgets {}/{}\n\
+         (override with LIS_BUILD_KEYS / LIS_BUILD_ROUNDS / LIS_BUILD_POINTS)\n",
+        cfg.keys,
+        cfg.keys / 4,
+        cfg.rounds,
+        CAMPAIGN_P_SMALL,
+        cfg.campaign_points
+    );
+    let report = run_buildpath(&cfg).expect("buildpath grid");
+    let table = report.table();
+    table.print();
+    table.write_csv().expect("write csv");
+
+    let json_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_build.json");
+    report
+        .write_json(&json_path)
+        .expect("write BENCH_build.json");
+    println!("\nwrote {}", json_path.display());
+
+    let rmi = report.build_cell("rmi").expect("rmi build cell");
+    println!(
+        "rmi build: {:.1} ns/key reference vs {:.1} ns/key parallel \
+         ({:.2}x build speedup, {:.2}x from threads)",
+        rmi.ns_per_key_reference, rmi.ns_per_key_parallel, rmi.build_speedup, rmi.thread_speedup
+    );
+    let lazy_scaling = report.marginal_scaling("greedy-lazy").expect("lazy cells");
+    let reference_scaling = report
+        .marginal_scaling("greedy-reference")
+        .expect("reference cells");
+    println!(
+        "campaign marginal scaling over 4x keys (linear = 4.0): \
+         reference {reference_scaling:.2}, lazy {lazy_scaling:.2}"
+    );
+
+    // Acceptance gates, full scale only — small-n smoke runs on shared CI
+    // runners are too noisy for wall-clock assertions (the output-identity
+    // checks inside `run_buildpath` always run at every scale).
+    if report.keys >= 1_000_000 {
+        assert!(
+            rmi.build_speedup > 1.3,
+            "rmi build plane should beat the reference by >1.3x at full scale, got {:.3}x",
+            rmi.build_speedup
+        );
+        let pla = report.build_cell("pla").expect("pla build cell");
+        assert!(
+            pla.build_speedup > 1.3,
+            "pla build+loss plane should beat the reference by >1.3x, got {:.3}x",
+            pla.build_speedup
+        );
+        let deep = report.build_cell("deep-rmi").expect("deep-rmi build cell");
+        assert!(
+            deep.build_speedup > 1.0,
+            "deep-rmi build plane must never regress below the reference, got {:.3}x",
+            deep.build_speedup
+        );
+
+        // The campaign asymptotics: the lazy engine's marginal per-point
+        // must not scale linearly with n (reference sits near 4.0 here),
+        // and at full scale it must sit far below the exact engine's
+        // linear scan.
+        let lazy_full = report
+            .campaign_cell("greedy-lazy", report.keys)
+            .expect("lazy full cell");
+        let lazy_quarter = report
+            .campaign_cell("greedy-lazy", report.keys / 4)
+            .expect("lazy quarter cell");
+        let exact_full = report
+            .campaign_cell("greedy-exact", report.keys)
+            .expect("exact full cell");
+        assert!(
+            lazy_full.marginal_ns_per_point
+                < (2.5 * lazy_quarter.marginal_ns_per_point)
+                    .max(0.05 * exact_full.marginal_ns_per_point),
+            "lazy campaign marginal scaled linearly: {} ns/pt at {} keys vs {} ns/pt at {} keys",
+            lazy_full.marginal_ns_per_point,
+            report.keys,
+            lazy_quarter.marginal_ns_per_point,
+            report.keys / 4
+        );
+        assert!(
+            lazy_full.marginal_ns_per_point < exact_full.marginal_ns_per_point / 10.0,
+            "lazy marginal {} ns/pt should be >=10x below the exact scan's {} ns/pt",
+            lazy_full.marginal_ns_per_point,
+            exact_full.marginal_ns_per_point
+        );
+    }
+    println!("buildpath baseline complete.");
+}

@@ -20,9 +20,11 @@ use crate::error::{LisError, Result};
 use crate::index::{LearnedIndex, Lookup};
 use crate::keys::{Key, KeySet};
 use crate::linreg::LinearModel;
+use crate::par;
 use crate::rmi::scale_to_width;
 use crate::scratch::ScratchPool;
 use crate::search::bounded_search_with_fallback;
+use crate::stats::{midpoint_shift, CdfMoments};
 
 /// Configuration: models per stage, root first. The root stage must have
 /// exactly one model; the last stage's models are the leaves.
@@ -79,8 +81,138 @@ pub struct DeepRmi {
 }
 
 impl DeepRmi {
-    /// Trains the hierarchy top-down over `ks`.
+    /// Trains the hierarchy top-down over `ks`, fanning per-stage model
+    /// fits and routing passes out across the machine's available
+    /// parallelism.
     pub fn build(ks: &KeySet, cfg: &DeepRmiConfig) -> Result<Self> {
+        Self::build_with_threads(ks, cfg, 0)
+    }
+
+    /// [`DeepRmi::build`] with an explicit worker cap (`0` = available
+    /// parallelism, `1` = fully serial). Output is identical for every
+    /// thread count *and* to [`DeepRmi::build_reference`]: training-set
+    /// gathering is a stable counting sort over key indices (so every
+    /// model sees its keys in the same order the reference's bucket
+    /// pushes produced), each model's fit is sequential, and routing is
+    /// embarrassingly per-key.
+    pub fn build_with_threads(ks: &KeySet, cfg: &DeepRmiConfig, threads: usize) -> Result<Self> {
+        if cfg.stage_widths.is_empty() || cfg.stage_widths[0] != 1 {
+            return Err(LisError::InvalidRmiConfig(
+                "stage_widths must start with a single root model".into(),
+            ));
+        }
+        if cfg.stage_widths.contains(&0) {
+            return Err(LisError::InvalidRmiConfig("zero-width stage".into()));
+        }
+        let keys = ks.keys();
+        let n = keys.len();
+
+        let mut stages: Vec<Vec<StageModel>> = Vec::with_capacity(cfg.stage_widths.len());
+        // Assignment of every key to a model of the current stage.
+        let mut assignment: Vec<u32> = vec![0; n];
+        // Reused counting-sort scratch: per-model key-index groups.
+        let mut order: Vec<u32> = vec![0; n];
+        let mut offsets: Vec<usize> = Vec::new();
+
+        for (depth, &width) in cfg.stage_widths.iter().enumerate() {
+            // Gather: a stable counting sort of key indices by model —
+            // two O(n) passes and one reused index array instead of the
+            // reference path's per-model pair buckets.
+            offsets.clear();
+            offsets.resize(width + 1, 0);
+            for &a in &assignment {
+                offsets[(a as usize).min(width - 1) + 1] += 1;
+            }
+            for m in 0..width {
+                offsets[m + 1] += offsets[m];
+            }
+            let mut cursor = offsets[..width].to_vec();
+            for (i, &a) in assignment.iter().enumerate() {
+                let m = (a as usize).min(width - 1);
+                order[cursor[m]] = i as u32;
+                cursor[m] += 1;
+            }
+
+            // Fit this stage's models over their (zero-copy) groups, in
+            // parallel across models.
+            let workers = par::effective_workers(threads, width);
+            let stage: Vec<StageModel> = par::map_chunks(width, workers, |range| {
+                range
+                    .map(|m| {
+                        let group = &order[offsets[m]..offsets[m + 1]];
+                        let fallback = ((m as f64 + 0.5) / width as f64) * n as f64;
+                        let model = if group.len() >= 2 {
+                            Some(fit_group(keys, group))
+                        } else {
+                            None
+                        };
+                        StageModel { model, fallback }
+                    })
+                    .collect()
+            });
+
+            // Route every key through this stage to compute the next
+            // assignment (skip after the last stage), in parallel across
+            // contiguous key chunks.
+            if depth + 1 < cfg.stage_widths.len() {
+                let next_width = cfg.stage_widths[depth + 1];
+                let routed: Vec<u32> =
+                    par::map_chunks(n, par::effective_workers(threads, n), |range| {
+                        range
+                            .map(|i| {
+                                let m = (assignment[i] as usize).min(width - 1);
+                                let pred = stage[m].predict(keys[i]);
+                                scale_to_stage(pred, n, next_width) as u32
+                            })
+                            .collect()
+                    });
+                assignment = routed;
+            }
+            stages.push(stage);
+        }
+
+        // Leaf error bounds from the final assignment: per-chunk partial
+        // maxima merged by `max` (order-independent, so thread count
+        // cannot change the result).
+        let leaf_width = *cfg.stage_widths.last().unwrap();
+        let leaves = stages.last().unwrap();
+        let workers = par::effective_workers(threads, n);
+        let chunk = n.div_ceil(workers).max(1);
+        let partials: Vec<Vec<usize>> = par::map_chunks(n.div_ceil(chunk), workers, |range| {
+            range
+                .map(|c| {
+                    let mut local = vec![0usize; leaf_width];
+                    for i in c * chunk..((c + 1) * chunk).min(n) {
+                        let leaf = (assignment[i] as usize).min(leaf_width - 1);
+                        let err = (leaves[leaf].predict(keys[i]) - (i + 1) as f64)
+                            .abs()
+                            .ceil() as usize;
+                        local[leaf] = local[leaf].max(err);
+                    }
+                    local
+                })
+                .collect()
+        });
+        let mut leaf_errors = vec![0usize; leaf_width];
+        for local in partials {
+            for (e, l) in leaf_errors.iter_mut().zip(local) {
+                *e = (*e).max(l);
+            }
+        }
+
+        Ok(Self {
+            stages,
+            keys: keys.to_vec(),
+            leaf_errors,
+            scratch: ScratchPool::new(),
+        })
+    }
+
+    /// The pre-optimization training pass — per-model pair buckets cloned
+    /// from a materialized CDF, serial fits — kept callable as the
+    /// `buildpath` bench's reference. Produces the same index as
+    /// [`DeepRmi::build`] bit for bit.
+    pub fn build_reference(ks: &KeySet, cfg: &DeepRmiConfig) -> Result<Self> {
         if cfg.stage_widths.is_empty() || cfg.stage_widths[0] != 1 {
             return Err(LisError::InvalidRmiConfig(
                 "stage_widths must start with a single root model".into(),
@@ -269,6 +401,24 @@ fn scale_to_stage(pred: f64, n: usize, width: usize) -> usize {
     scale_to_width(pred, n, width)
 }
 
+/// Fits one stage model over its routed key-index group without cloning
+/// CDF pairs. Replicates [`LinearModel::fit_pairs`] exactly: the group is
+/// in ascending key order (stable counting sort), so its first/last
+/// entries are the reference path's `min`/`max`, the shift matches, and
+/// the moment accumulation runs over the same pairs in the same order —
+/// bit-identical models.
+fn fit_group(keys: &[Key], group: &[u32]) -> LinearModel {
+    debug_assert!(group.len() >= 2);
+    let lo = keys[group[0] as usize];
+    let hi = keys[group[group.len() - 1] as usize];
+    let shift = midpoint_shift(lo, hi);
+    let m = CdfMoments::from_pairs_shifted(
+        group.iter().map(|&i| (keys[i as usize], i as usize + 1)),
+        shift,
+    );
+    LinearModel::from_moments(&m)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -358,6 +508,43 @@ mod tests {
         let rmi = DeepRmi::build(&ks, &DeepRmiConfig::three_stage(20, 400)).unwrap();
         for (i, &k) in ks.keys().iter().enumerate().step_by(11) {
             assert_eq!(rmi.lookup(k).pos, Some(i));
+        }
+    }
+
+    #[test]
+    fn optimized_and_parallel_builds_match_reference_bitwise() {
+        for ks in [skewed(2_200), uniform(1_800, 9)] {
+            let cfg = DeepRmiConfig::three_stage(9, 110);
+            let reference = DeepRmi::build_reference(&ks, &cfg).unwrap();
+            for threads in [1usize, 2, 5] {
+                let built = DeepRmi::build_with_threads(&ks, &cfg, threads).unwrap();
+                assert_eq!(
+                    built.leaf_loss().to_bits(),
+                    reference.leaf_loss().to_bits(),
+                    "{threads} threads"
+                );
+                assert_eq!(built.leaf_errors, reference.leaf_errors);
+                assert_eq!(built.num_models(), reference.num_models());
+                for (sa, sb) in built.stages.iter().zip(&reference.stages) {
+                    for (ma, mb) in sa.iter().zip(sb) {
+                        assert_eq!(ma.fallback.to_bits(), mb.fallback.to_bits());
+                        match (&ma.model, &mb.model) {
+                            (None, None) => {}
+                            (Some(a), Some(b)) => {
+                                assert_eq!(a.w.to_bits(), b.w.to_bits());
+                                assert_eq!(a.b.to_bits(), b.b.to_bits());
+                                assert_eq!(a.mse.to_bits(), b.mse.to_bits());
+                            }
+                            other => panic!("model presence diverged: {other:?}"),
+                        }
+                    }
+                }
+                let mut probes: Vec<Key> = ks.keys().iter().step_by(17).copied().collect();
+                probes.extend([0, 3, ks.max_key() + 5]);
+                for k in probes {
+                    assert_eq!(built.lookup(k), reference.lookup(k), "key {k}");
+                }
+            }
         }
     }
 

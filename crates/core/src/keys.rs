@@ -125,9 +125,16 @@ impl KeySet {
     ///
     /// Keys are sorted and deduplicated. Errors if any key falls outside
     /// `domain` or if the resulting set is empty.
+    ///
+    /// Already strictly-sorted input (workload generators on the dense
+    /// path, files written by `lis-cli generate`, partition slices) is
+    /// detected in one `O(n)` scan and skips the sort and dedup entirely —
+    /// the common build-plane case pays no re-sorting tax.
     pub fn new(mut keys: Vec<Key>, domain: KeyDomain) -> Result<Self> {
-        keys.sort_unstable();
-        keys.dedup();
+        if !keys.windows(2).all(|w| w[0] < w[1]) {
+            keys.sort_unstable();
+            keys.dedup();
+        }
         if keys.is_empty() {
             return Err(LisError::EmptyKeySet);
         }
@@ -335,6 +342,26 @@ impl KeySet {
     /// The first `n % parts` partitions receive one extra key. Each returned
     /// keyset keeps the parent domain restricted to its own key span.
     pub fn partition(&self, parts: usize) -> Result<Vec<KeySet>> {
+        Ok(self
+            .partition_bounds(parts)?
+            .into_iter()
+            .map(|range| {
+                let slice = &self.keys[range];
+                KeySet {
+                    keys: slice.to_vec(),
+                    domain: KeyDomain {
+                        min: slice[0],
+                        max: *slice.last().unwrap(),
+                    },
+                }
+            })
+            .collect())
+    }
+
+    /// The index ranges of [`KeySet::partition`] without copying any keys —
+    /// the zero-copy partition view the parallel build plane trains on.
+    /// Range `i` covers partition `i`'s keys in [`KeySet::keys`].
+    pub fn partition_bounds(&self, parts: usize) -> Result<Vec<std::ops::Range<usize>>> {
         if parts == 0 || parts > self.keys.len() {
             return Err(LisError::InvalidPartition {
                 parts,
@@ -348,14 +375,7 @@ impl KeySet {
         let mut start = 0;
         for i in 0..parts {
             let len = base + usize::from(i < extra);
-            let slice = &self.keys[start..start + len];
-            out.push(KeySet {
-                keys: slice.to_vec(),
-                domain: KeyDomain {
-                    min: slice[0],
-                    max: *slice.last().unwrap(),
-                },
-            });
+            out.push(start..start + len);
             start += len;
         }
         Ok(out)
@@ -497,6 +517,42 @@ mod tests {
         assert_eq!(parts[2].len(), 3);
         let merged: Vec<_> = parts.iter().flat_map(|p| p.keys().to_vec()).collect();
         assert_eq!(merged, ks.keys());
+    }
+
+    #[test]
+    fn new_accepts_presorted_input_without_resorting() {
+        // Strictly sorted input takes the no-sort fast path and must be
+        // indistinguishable from the sorting path.
+        let sorted: Vec<Key> = (0..500).map(|i| i * 3 + 1).collect();
+        let fast = KeySet::new(sorted.clone(), KeyDomain::up_to(2_000)).unwrap();
+        let mut shuffled = sorted.clone();
+        shuffled.reverse();
+        shuffled.swap(3, 250);
+        let slow = KeySet::new(shuffled, KeyDomain::up_to(2_000)).unwrap();
+        assert_eq!(fast, slow);
+        assert_eq!(fast.keys(), &sorted[..]);
+        // Sorted-but-duplicated input still deduplicates.
+        let dups = KeySet::new(vec![1, 2, 2, 3], KeyDomain::up_to(10)).unwrap();
+        assert_eq!(dups.keys(), &[1, 2, 3]);
+        // Non-decreasing-but-not-strict never sneaks past the check.
+        let eq_pair = KeySet::new(vec![5, 5], KeyDomain::up_to(10)).unwrap();
+        assert_eq!(eq_pair.keys(), &[5]);
+    }
+
+    #[test]
+    fn partition_bounds_match_partition() {
+        let ks = KeySet::from_keys((0..103).map(|i| i * 7 + 2).collect()).unwrap();
+        for parts in [1usize, 3, 10, 103] {
+            let bounds = ks.partition_bounds(parts).unwrap();
+            let owned = ks.partition(parts).unwrap();
+            assert_eq!(bounds.len(), owned.len());
+            for (range, part) in bounds.iter().zip(&owned) {
+                assert_eq!(&ks.keys()[range.clone()], part.keys());
+            }
+            assert_eq!(bounds.last().unwrap().end, ks.len());
+        }
+        assert!(ks.partition_bounds(0).is_err());
+        assert!(ks.partition_bounds(104).is_err());
     }
 
     #[test]

@@ -25,6 +25,9 @@
 //!   lookup hot path runs;
 //! * [`scratch`] — pooled scratch buffers keeping batched lookups free of
 //!   per-batch heap allocation;
+//! * [`par`] — the scoped-thread fan-out discipline the build plane
+//!   shares (contiguous chunks, capped workers, bit-identical output
+//!   regardless of thread count);
 //! * [`btree`] — a bulk-loaded B+-tree baseline for lookup comparisons;
 //! * [`store`] — the dense sorted record array with logical paging;
 //! * [`metrics`] — Ratio Loss and the reporting types behind the paper's
@@ -57,6 +60,7 @@ pub mod keys;
 pub mod linreg;
 pub mod metrics;
 pub mod nn;
+pub mod par;
 pub mod pla;
 pub mod rmi;
 pub mod scratch;

@@ -14,7 +14,7 @@
 
 use crate::error::{LisError, Result};
 use crate::keys::{Key, KeySet};
-use crate::stats::CdfMoments;
+use crate::stats::{midpoint_shift, rank_sq_sum, rank_sum, CdfMoments};
 
 /// A fitted line `rank ≈ w·key + b` with its training loss.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -121,6 +121,73 @@ impl LinearModel {
             .map(|(k, r)| self.residual(k, r).abs())
             .fold(0.0, f64::max)
     }
+
+    /// [`LinearModel::max_abs_error`] over a raw sorted slice with local
+    /// ranks `1..=len` — the zero-copy twin used by the optimized build
+    /// plane. Residual arithmetic is identical, so the result matches the
+    /// keyset path bit for bit.
+    pub fn max_abs_error_slice(&self, keys: &[Key]) -> f64 {
+        keys.iter()
+            .enumerate()
+            .map(|(i, &k)| self.residual(k, i + 1).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Fits the regression on a contiguous slice of strictly-sorted keys with
+/// local ranks `1..=len`, without constructing a [`KeySet`] — the
+/// zero-copy leaf-fit path of the parallel build plane.
+///
+/// Returns the model together with the raw [`CdfMoments`] (local midpoint
+/// shift, local ranks) so a caller can assemble a parent model's moments
+/// from its partitions via [`CdfMoments::rebase`] / [`CdfMoments::merge`]
+/// instead of re-reading every key.
+///
+/// Arithmetic equivalence with [`LinearModel::fit`]: the key sums
+/// (`Σx`, `Σx²`, `Σxr`) accumulate in the same order with the same
+/// expressions, and the rank sums use the closed forms
+/// [`rank_sum`]/[`rank_sq_sum`] — exactly equal to the accumulated sums
+/// while the intermediate integers stay below 2⁵³ (every leaf-sized
+/// partition; beyond that only the reported `mse` can differ in final
+/// ulps, never `w` or `b`, which are rank-square-free).
+pub fn fit_sorted_slice(keys: &[Key]) -> Result<(LinearModel, CdfMoments)> {
+    if keys.is_empty() {
+        return Err(LisError::DegenerateRegression { n: 0 });
+    }
+    let n = keys.len();
+    let shift = midpoint_shift(keys[0], keys[n - 1]);
+    let mut sum_x = 0.0;
+    let mut sum_xx = 0.0;
+    let mut sum_xr = 0.0;
+    for (i, &k) in keys.iter().enumerate() {
+        let x = k as f64 - shift;
+        sum_x += x;
+        sum_xx += x * x;
+        sum_xr += x * (i + 1) as f64;
+    }
+    let m = CdfMoments {
+        n,
+        shift,
+        sum_x,
+        sum_xx,
+        sum_r: rank_sum(n),
+        sum_rr: rank_sq_sum(n),
+        sum_xr,
+    };
+    if n < 2 {
+        // Single-point partitions are legal for the RMI's tail leaves: the
+        // constant model through rank 1, zero loss (mirrors `fit_leaf`).
+        return Ok((
+            LinearModel {
+                w: 0.0,
+                b: 1.0,
+                mse: 0.0,
+                n: 1,
+            },
+            m,
+        ));
+    }
+    Ok((LinearModel::from_moments(&m), m))
 }
 
 /// Optimal MSE from moments: `Var_R − Cov²_KR / Var_K` (corrected Theorem 1).
@@ -232,6 +299,38 @@ mod tests {
             assert!(model.residual(k, r).abs() <= bound + 1e-12);
         }
         assert!(bound > 0.0);
+    }
+
+    #[test]
+    fn fit_sorted_slice_is_bitwise_identical_to_keyset_fit() {
+        // The zero-copy path must be indistinguishable from the KeySet
+        // path — same shift, same accumulation order, closed-form rank
+        // sums exact at these sizes.
+        for keys in [
+            vec![2u64, 6, 7, 12],
+            (0..1000u64).map(|i| i * 7 + 3).collect::<Vec<_>>(),
+            (1..500u64).map(|i| i * i).collect::<Vec<_>>(),
+            vec![5u64],
+        ] {
+            let (slice_model, m) = fit_sorted_slice(&keys).unwrap();
+            assert_eq!(m.n, keys.len());
+            if keys.len() >= 2 {
+                let ks = KeySet::from_keys(keys.clone()).unwrap();
+                let ks_model = LinearModel::fit(&ks).unwrap();
+                assert_eq!(slice_model.w.to_bits(), ks_model.w.to_bits());
+                assert_eq!(slice_model.b.to_bits(), ks_model.b.to_bits());
+                assert_eq!(slice_model.mse.to_bits(), ks_model.mse.to_bits());
+                assert_eq!(
+                    slice_model.max_abs_error_slice(&keys).to_bits(),
+                    ks_model.max_abs_error(&ks).to_bits()
+                );
+            } else {
+                assert_eq!(slice_model.w, 0.0);
+                assert_eq!(slice_model.b, 1.0);
+                assert_eq!(slice_model.mse, 0.0);
+            }
+        }
+        assert!(fit_sorted_slice(&[]).is_err());
     }
 
     #[test]

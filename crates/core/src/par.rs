@@ -1,0 +1,203 @@
+//! Scoped-thread fan-out for the build plane, shared by every structure
+//! that trains independent sub-models (RMI leaves, deep-RMI stages,
+//! sharded composites, pipeline victims).
+//!
+//! The discipline mirrors [`crate::shard::ShardedIndex`]: at most
+//! `workers` scoped threads, each owning one *contiguous* chunk of the
+//! job range — never one thread per job — and results concatenated in
+//! job order, so the output is **bit-identical** regardless of the
+//! worker count. Parallelism only changes which thread runs a chunk;
+//! every chunk's internal computation is sequential and deterministic.
+//! That invariant is what lets `tests/property_buildpath.rs` pin
+//! `parallel build ≡ serial build` exactly.
+
+/// The machine's available parallelism (the default worker cap).
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Resolves a caller-requested thread count against a job count:
+/// `0` means "pick for me" (available parallelism), and the result is
+/// clamped to `[1, jobs]` so short job lists never over-spawn.
+pub fn effective_workers(threads: usize, jobs: usize) -> usize {
+    let requested = if threads == 0 {
+        available_workers()
+    } else {
+        threads
+    };
+    requested.min(jobs).max(1)
+}
+
+/// Maps `f` over the job indices `0..jobs`, fanning contiguous chunks
+/// out across at most `workers` scoped threads, and returns the per-job
+/// results concatenated in job order.
+///
+/// `f` receives a contiguous `Range<usize>` of job indices and returns
+/// one result per index, in order. With `workers <= 1` (or a single
+/// job) everything runs on the calling thread — the serial and parallel
+/// paths execute the same per-chunk code, so their outputs are
+/// identical. A panicking job propagates the panic to the caller.
+///
+/// Fan-outs do **not** nest: a `map_chunks` call from inside another
+/// fan-out's worker (a sharded build constructing its inner indexes, a
+/// pipeline victim training its leaves) runs serially on that worker.
+/// The outer fan-out already owns the machine's parallelism budget —
+/// nesting would multiply thread counts quadratically and trade the
+/// build plane's speedup for context-switch contention. Since chunk
+/// outputs are thread-placement-independent, this changes scheduling
+/// only, never results.
+pub fn map_chunks<R, F>(jobs: usize, workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> Vec<R> + Sync,
+{
+    if jobs == 0 {
+        return Vec::new();
+    }
+    let workers = if in_fanout_worker() {
+        1
+    } else {
+        workers.min(jobs).max(1)
+    };
+    if workers <= 1 {
+        let out = f(0..jobs);
+        debug_assert_eq!(out.len(), jobs, "chunk must yield one result per job");
+        return out;
+    }
+    let per_worker = jobs.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..jobs)
+            .step_by(per_worker)
+            .map(|start| {
+                let end = (start + per_worker).min(jobs);
+                scope.spawn(move || {
+                    let _guard = enter_fanout_worker();
+                    f(start..end)
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(jobs);
+        for h in handles {
+            out.extend(h.join().expect("build worker panicked"));
+        }
+        debug_assert_eq!(out.len(), jobs, "chunks must yield one result per job");
+        out
+    })
+}
+
+thread_local! {
+    /// Whether the current thread is a worker of an active fan-out.
+    static IN_FANOUT: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// `true` when called from inside a fan-out worker (either a
+/// [`map_chunks`] worker or a thread that called
+/// [`enter_fanout_worker`]); nested fan-outs then run serially.
+pub fn in_fanout_worker() -> bool {
+    IN_FANOUT.with(|f| f.get())
+}
+
+/// Marks the current thread as a fan-out worker until the returned guard
+/// drops. Harnesses that spawn their own worker threads (e.g. the
+/// pipeline's per-victim fan-out) call this inside each worker so the
+/// builds they invoke don't spawn a second layer of parallelism.
+pub fn enter_fanout_worker() -> FanoutGuard {
+    let prev = IN_FANOUT.with(|f| f.replace(true));
+    FanoutGuard { prev }
+}
+
+/// RAII token of [`enter_fanout_worker`]; restores the previous marking.
+pub struct FanoutGuard {
+    prev: bool,
+}
+
+impl Drop for FanoutGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_FANOUT.with(|f| f.set(prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workers_resolve_sanely() {
+        assert!(available_workers() >= 1);
+        assert_eq!(effective_workers(0, 100).max(1), effective_workers(0, 100));
+        assert_eq!(effective_workers(4, 2), 2);
+        assert_eq!(effective_workers(4, 100), 4);
+        assert_eq!(effective_workers(1, 0), 1);
+    }
+
+    #[test]
+    fn map_chunks_preserves_job_order() {
+        for workers in [1usize, 2, 3, 7, 64] {
+            let out = map_chunks(23, workers, |range| {
+                range.map(|i| i * i).collect::<Vec<_>>()
+            });
+            assert_eq!(
+                out,
+                (0..23).map(|i| i * i).collect::<Vec<_>>(),
+                "{workers} workers"
+            );
+        }
+        assert!(map_chunks(0, 4, |r| r.collect::<Vec<_>>()).is_empty());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_bitwise_on_float_work() {
+        // Each job's computation is internally sequential, so float
+        // results cannot depend on the worker count.
+        let work = |range: std::ops::Range<usize>| {
+            range
+                .map(|i| (0..100).map(|j| ((i * 100 + j) as f64).sqrt()).sum::<f64>())
+                .collect::<Vec<f64>>()
+        };
+        let serial = map_chunks(17, 1, work);
+        let parallel = map_chunks(17, 5, work);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn nested_fanouts_run_serially_without_changing_results() {
+        // An inner map_chunks inside a fan-out worker must not spawn —
+        // and must still produce identical results.
+        let nested = map_chunks(4, 4, |outer| {
+            outer
+                .map(|i| {
+                    assert!(in_fanout_worker(), "worker not marked");
+                    map_chunks(5, 4, |inner| inner.map(|j| i * 10 + j).collect::<Vec<_>>())
+                })
+                .collect()
+        });
+        let flat = map_chunks(4, 1, |outer| {
+            outer
+                .map(|i| map_chunks(5, 4, |inner| inner.map(|j| i * 10 + j).collect::<Vec<_>>()))
+                .collect()
+        });
+        assert_eq!(nested, flat);
+        assert!(!in_fanout_worker(), "marking leaked to the caller");
+        // Manual guard for hand-rolled worker threads.
+        {
+            let _guard = enter_fanout_worker();
+            assert!(in_fanout_worker());
+        }
+        assert!(!in_fanout_worker());
+    }
+
+    #[test]
+    #[should_panic(expected = "build worker panicked")]
+    fn worker_panic_propagates() {
+        map_chunks(8, 4, |range| {
+            if range.contains(&5) {
+                panic!("job 5 exploded");
+            }
+            range.map(|_| 0u8).collect()
+        });
+    }
+}

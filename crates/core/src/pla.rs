@@ -67,6 +67,10 @@ pub struct PlaIndex {
     segments: Vec<Segment>,
     keys: Vec<Key>,
     epsilon: usize,
+    /// Mean squared training error, computed once at build time.
+    training_loss: f64,
+    /// Largest training prediction error, computed once at build time.
+    max_train_err: usize,
     /// Pooled `(key, slot)` permutation buffers for the sorted-batch path.
     scratch: ScratchPool<Vec<(Key, usize)>>,
 }
@@ -77,8 +81,66 @@ impl PlaIndex {
     /// Uses the standard shrinking-cone construction: extend the current
     /// segment while some line through the segment origin stays within
     /// `±epsilon` of every covered rank; cut a new segment when the cone
-    /// closes. One pass, `O(n)`.
+    /// closes. One pass, `O(n)` — and the training statistics
+    /// ([`PlaIndex::loss`]/[`PlaIndex::max_training_error`]) stream out of
+    /// a second `O(n)` sweep over the freshly-cut segments at build time,
+    /// so reading them later costs nothing (the pipeline reads the loss
+    /// of every victim it builds; the old implementation re-routed every
+    /// key through a per-key binary search on every call).
     pub fn build(ks: &KeySet, epsilon: usize) -> Result<Self> {
+        let (segments, keys) = Self::cut_segments(ks, epsilon)?;
+        // Streaming stats: segments tile the keyset in order, so each
+        // key's responsible segment is the one covering its range — the
+        // same segment `segment_for` routes to — and the sweep touches
+        // keys in exactly the order the routed reference path does,
+        // keeping the sums bit-identical.
+        let total = keys.len();
+        let mut sum_sq = 0.0f64;
+        let mut max_err = 0usize;
+        for seg in &segments {
+            for (i, &k) in keys[seg.start..seg.start + seg.len].iter().enumerate() {
+                let e = seg.predict_pos(k, total).abs_diff(seg.start + i);
+                max_err = max_err.max(e);
+                let e = e as f64;
+                sum_sq += e * e;
+            }
+        }
+        Ok(Self {
+            segments,
+            keys,
+            epsilon,
+            training_loss: if total == 0 {
+                0.0
+            } else {
+                sum_sq / total as f64
+            },
+            max_train_err: max_err,
+            scratch: ScratchPool::new(),
+        })
+    }
+
+    /// The pre-optimization build path, kept callable as the `buildpath`
+    /// bench's reference: the same cone construction, but training
+    /// statistics computed the way the old `loss()` did on every call —
+    /// each key re-routed through the per-key segment binary search.
+    /// Produces an index identical to [`PlaIndex::build`].
+    pub fn build_reference(ks: &KeySet, epsilon: usize) -> Result<Self> {
+        let (segments, keys) = Self::cut_segments(ks, epsilon)?;
+        let mut out = Self {
+            segments,
+            keys,
+            epsilon,
+            training_loss: 0.0,
+            max_train_err: 0,
+            scratch: ScratchPool::new(),
+        };
+        out.training_loss = out.loss_recomputed();
+        out.max_train_err = out.max_training_error_recomputed();
+        Ok(out)
+    }
+
+    /// The shrinking-cone segmentation shared by both build paths.
+    fn cut_segments(ks: &KeySet, epsilon: usize) -> Result<(Vec<Segment>, Vec<Key>)> {
         if epsilon == 0 {
             return Err(LisError::Invariant("PLA epsilon must be ≥ 1".into()));
         }
@@ -127,12 +189,7 @@ impl PlaIndex {
             });
             start = end;
         }
-        Ok(Self {
-            segments,
-            keys,
-            epsilon,
-            scratch: ScratchPool::new(),
-        })
+        Ok((segments, keys))
     }
 
     /// Number of segments — the memory-footprint proxy the attack inflates.
@@ -212,13 +269,40 @@ impl PlaIndex {
 
     /// Largest prediction error over the training keys (must be ≤
     /// `epsilon + 1` rounding slack; exposed for tests and diagnostics).
+    /// Precomputed at build time; `O(1)`.
     pub fn max_training_error(&self) -> usize {
+        self.max_train_err
+    }
+
+    /// Recomputes [`PlaIndex::max_training_error`] from scratch through
+    /// per-key segment routing — the reference implementation backing the
+    /// stored value (tests pin stored ≡ recomputed).
+    pub fn max_training_error_recomputed(&self) -> usize {
         self.keys
             .iter()
             .enumerate()
             .map(|(i, &k)| self.predict_pos(k).abs_diff(i))
             .max()
             .unwrap_or(0)
+    }
+
+    /// Recomputes the training MSE from scratch through per-key segment
+    /// routing — the reference implementation backing the stored
+    /// [`LearnedIndex::loss`] value.
+    pub fn loss_recomputed(&self) -> f64 {
+        if self.keys.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| {
+                let e = self.predict_pos(k).abs_diff(i) as f64;
+                e * e
+            })
+            .sum();
+        sum / self.keys.len() as f64
     }
 }
 
@@ -240,20 +324,9 @@ impl LearnedIndex for PlaIndex {
     /// Mean squared prediction error over the training keys. Bounded by
     /// `epsilon²` at build time — poisoning a PLA shows up in
     /// [`LearnedIndex::memory_bytes`] (segment count), not here.
+    /// Precomputed during the build's streaming stats sweep; `O(1)`.
     fn loss(&self) -> f64 {
-        if self.keys.is_empty() {
-            return 0.0;
-        }
-        let sum: f64 = self
-            .keys
-            .iter()
-            .enumerate()
-            .map(|(i, &k)| {
-                let e = self.predict_pos(k).abs_diff(i) as f64;
-                e * e
-            })
-            .sum();
-        sum / self.keys.len() as f64
+        self.training_loss
     }
 
     fn memory_bytes(&self) -> usize {
@@ -360,6 +433,36 @@ mod tests {
         let pla = PlaIndex::build(&ks, 2).unwrap();
         assert_eq!(pla.num_segments(), 1);
         assert_eq!(pla.lookup(5).pos, Some(0));
+    }
+
+    #[test]
+    fn stored_training_stats_match_recomputation_and_reference_build() {
+        for keys in [
+            (1..3500u64).map(|i| i * i / 7 + i).collect::<Vec<_>>(),
+            (0..2000u64).map(|i| i * 11).collect::<Vec<_>>(),
+            vec![5u64],
+        ] {
+            let ks = KeySet::from_keys(keys).unwrap();
+            for eps in [1usize, 8, 32] {
+                let pla = PlaIndex::build(&ks, eps).unwrap();
+                assert_eq!(
+                    LearnedIndex::loss(&pla).to_bits(),
+                    pla.loss_recomputed().to_bits(),
+                    "eps {eps}"
+                );
+                assert_eq!(
+                    pla.max_training_error(),
+                    pla.max_training_error_recomputed()
+                );
+                let reference = PlaIndex::build_reference(&ks, eps).unwrap();
+                assert_eq!(pla.segments(), reference.segments());
+                assert_eq!(
+                    LearnedIndex::loss(&pla).to_bits(),
+                    LearnedIndex::loss(&reference).to_bits()
+                );
+                assert_eq!(pla.max_training_error(), reference.max_training_error());
+            }
+        }
     }
 
     #[test]

@@ -20,10 +20,12 @@ use crate::cubic::CubicModel;
 use crate::error::{LisError, Result};
 use crate::index::{LearnedIndex, Lookup};
 use crate::keys::{Key, KeySet};
-use crate::linreg::LinearModel;
+use crate::linreg::{fit_sorted_slice, LinearModel};
 use crate::nn::{NeuralNet, NnConfig};
+use crate::par;
 use crate::scratch::ScratchPool;
 use crate::search::bounded_search_with_fallback;
+use crate::stats::{midpoint_shift, CdfMoments};
 
 /// Which model family serves as the RMI root.
 #[derive(Debug, Clone)]
@@ -108,7 +110,7 @@ impl RmiConfig {
 /// parallel arrays (see [`LeafTable`]) so the lookup hot path streams
 /// through contiguous slope/intercept/offset/error memory instead of
 /// chasing struct padding.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Leaf {
     /// The fitted regression (on *local* ranks `1..=len`).
     pub model: LinearModel,
@@ -192,11 +194,109 @@ pub struct Rmi {
 }
 
 impl Rmi {
-    /// Builds the index over `ks` according to `cfg`.
+    /// Builds the index over `ks` according to `cfg`, fanning leaf
+    /// training out across the machine's available parallelism.
     ///
     /// Partitioning follows the paper: `N` contiguous partitions of
     /// (near-)equal size in rank order.
     pub fn build(ks: &KeySet, cfg: &RmiConfig) -> Result<Self> {
+        Self::build_with_threads(ks, cfg, 0)
+    }
+
+    /// [`Rmi::build`] with an explicit worker cap (`0` = available
+    /// parallelism, `1` = fully serial). The output is **identical for
+    /// every thread count**: leaves are fitted independently over
+    /// zero-copy partition slices ([`fit_sorted_slice`]), each leaf's
+    /// computation is sequential, and assembly runs in leaf order — the
+    /// worker count only decides which thread fits which contiguous run
+    /// of leaves (`tests/property_buildpath.rs` pins this exactly).
+    ///
+    /// A linear root is not refitted over the keys at all: the leaf fits
+    /// already produced every partition's [`CdfMoments`], and the global
+    /// regression's moments are their rebased sum
+    /// ([`CdfMoments::rebase`]/[`CdfMoments::merge`]) — `O(N)` instead of
+    /// an `O(n)` second pass. Cubic and neural roots keep their own
+    /// training passes.
+    pub fn build_with_threads(ks: &KeySet, cfg: &RmiConfig, threads: usize) -> Result<Self> {
+        if cfg.num_leaves == 0 {
+            return Err(LisError::InvalidRmiConfig("num_leaves must be > 0".into()));
+        }
+        if cfg.num_leaves > ks.len() {
+            return Err(LisError::InvalidRmiConfig(format!(
+                "num_leaves {} exceeds key count {}",
+                cfg.num_leaves,
+                ks.len()
+            )));
+        }
+        let bounds = ks.partition_bounds(cfg.num_leaves)?;
+        let keys = ks.keys();
+
+        struct FittedLeaf {
+            model: LinearModel,
+            max_err: usize,
+            moments: CdfMoments,
+        }
+        let workers = par::effective_workers(threads, bounds.len());
+        let fitted: Vec<FittedLeaf> = par::map_chunks(bounds.len(), workers, |range| {
+            range
+                .map(|i| {
+                    let slice = &keys[bounds[i].clone()];
+                    let (model, moments) =
+                        fit_sorted_slice(slice).expect("partitions are non-empty");
+                    let max_err = model.max_abs_error_slice(slice).ceil() as usize;
+                    FittedLeaf {
+                        model,
+                        max_err,
+                        moments,
+                    }
+                })
+                .collect()
+        });
+
+        let mut table = LeafTable::default();
+        let mut boundaries = Vec::with_capacity(bounds.len());
+        for (bound, leaf) in bounds.iter().zip(&fitted) {
+            boundaries.push(keys[bound.start]);
+            table.push(&leaf.model, bound.start, bound.len(), leaf.max_err);
+        }
+
+        let root = match &cfg.root {
+            RootModelKind::Linear => {
+                let shift = midpoint_shift(ks.min_key(), ks.max_key());
+                let mut acc: Option<CdfMoments> = None;
+                for (bound, leaf) in bounds.iter().zip(&fitted) {
+                    let lifted = leaf.moments.rebase(shift, bound.start);
+                    acc = Some(match acc {
+                        None => lifted,
+                        Some(m) => m.merge(&lifted),
+                    });
+                }
+                RootModel::Linear(LinearModel::from_moments(
+                    &acc.expect("num_leaves > 0 was validated"),
+                ))
+            }
+            RootModelKind::Cubic => RootModel::Cubic(CubicModel::fit(ks)?),
+            RootModelKind::Neural(nn_cfg) => RootModel::Neural(NeuralNet::fit(ks, nn_cfg)?),
+        };
+
+        Ok(Self {
+            root,
+            table,
+            boundaries,
+            keys: keys.to_vec(),
+            routing: cfg.routing,
+            scratch: ScratchPool::new(),
+        })
+    }
+
+    /// The pre-optimization build path — partition copies, per-leaf
+    /// [`KeySet`] fits, a dedicated root training pass — kept callable as
+    /// the `buildpath` bench's reference, so the optimized plane's
+    /// speedup stays measurable forever (the build-plane analogue of
+    /// `lookup_each_into`). Leaf tables, boundaries, and lookups are
+    /// identical to [`Rmi::build`]; only the linear root's `w`/`b` may
+    /// differ in final ulps (direct fit vs. rebased-moment assembly).
+    pub fn build_reference(ks: &KeySet, cfg: &RmiConfig) -> Result<Self> {
         if cfg.num_leaves == 0 {
             return Err(LisError::InvalidRmiConfig("num_leaves must be > 0".into()));
         }
@@ -603,6 +703,77 @@ mod tests {
             assert_eq!(l.model.mse, rmi.leaf_losses()[i]);
         }
         assert_eq!(start, ks.len());
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_serial() {
+        for routing in [Routing::Oracle, Routing::Root] {
+            let ks = KeySet::from_keys((1..3000u64).map(|i| i * i / 5 + i).collect()).unwrap();
+            let cfg = RmiConfig {
+                num_leaves: 37,
+                root: RootModelKind::Linear,
+                routing,
+            };
+            let serial = Rmi::build_with_threads(&ks, &cfg, 1).unwrap();
+            for threads in [2usize, 4, 16] {
+                let parallel = Rmi::build_with_threads(&ks, &cfg, threads).unwrap();
+                assert_eq!(serial.leaves(), parallel.leaves(), "{threads} threads");
+                assert_eq!(
+                    serial.rmi_loss().to_bits(),
+                    parallel.rmi_loss().to_bits(),
+                    "{threads} threads"
+                );
+                assert_eq!(serial.boundaries, parallel.boundaries);
+                if let (RootModel::Linear(a), RootModel::Linear(b)) =
+                    (serial.root(), parallel.root())
+                {
+                    assert_eq!(a.w.to_bits(), b.w.to_bits());
+                    assert_eq!(a.b.to_bits(), b.b.to_bits());
+                }
+                for &k in ks.keys().iter().step_by(13) {
+                    assert_eq!(serial.lookup(k), parallel.lookup(k), "key {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_build_matches_reference_build() {
+        // The zero-copy parallel plane must produce the same index as the
+        // pre-optimization path: identical leaf tables (bitwise), losses,
+        // and lookups; the derived linear root may differ only in ulps.
+        let ks = KeySet::from_keys((1..4000u64).map(|i| i * i / 3 + 2 * i).collect()).unwrap();
+        for leaves in [1usize, 7, 40] {
+            let cfg = RmiConfig::linear_root(leaves);
+            let optimized = Rmi::build(&ks, &cfg).unwrap();
+            let reference = Rmi::build_reference(&ks, &cfg).unwrap();
+            assert_eq!(optimized.leaves(), reference.leaves(), "{leaves} leaves");
+            assert_eq!(
+                optimized.rmi_loss().to_bits(),
+                reference.rmi_loss().to_bits()
+            );
+            let (RootModel::Linear(a), RootModel::Linear(b)) = (optimized.root(), reference.root())
+            else {
+                panic!("linear roots expected")
+            };
+            assert!(
+                (a.w - b.w).abs() <= 1e-9 * b.w.abs().max(1.0),
+                "{} vs {}",
+                a.w,
+                b.w
+            );
+            assert!(
+                (a.b - b.b).abs() <= 1e-6 * b.b.abs().max(1.0),
+                "{} vs {}",
+                a.b,
+                b.b
+            );
+            let mut probes: Vec<Key> = ks.keys().iter().step_by(11).copied().collect();
+            probes.extend([0, 5, ks.max_key() + 9]);
+            for k in probes {
+                assert_eq!(optimized.lookup(k), reference.lookup(k), "key {k}");
+            }
+        }
     }
 
     #[test]

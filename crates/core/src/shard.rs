@@ -196,24 +196,13 @@ impl ShardedIndex {
         let parts = ks.partition(shards)?;
 
         // At most `threads` workers, each building a contiguous run of
-        // shards — never one thread per shard.
+        // shards — never one thread per shard. Shares the build plane's
+        // fan-out helper, so sharded builds and model training follow
+        // one worker-cap discipline.
         let workers = threads.min(shards).max(1);
-        let built: Vec<Result<DynIndex>> = if workers > 1 {
-            let per_worker = shards.div_ceil(workers);
-            std::thread::scope(|s| {
-                let build = &build;
-                let handles: Vec<_> = parts
-                    .chunks(per_worker)
-                    .map(|chunk| s.spawn(move || chunk.iter().map(build).collect::<Vec<_>>()))
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("shard build thread panicked"))
-                    .collect()
-            })
-        } else {
-            parts.iter().map(&build).collect()
-        };
+        let built: Vec<Result<DynIndex>> = crate::par::map_chunks(parts.len(), workers, |range| {
+            range.map(|i| build(&parts[i])).collect()
+        });
 
         let mut inner = Vec::with_capacity(shards);
         let mut fences = Vec::with_capacity(shards);

@@ -102,6 +102,50 @@ impl CdfMoments {
     pub fn mean_key(&self) -> f64 {
         self.mean_x() + self.shift
     }
+
+    /// Re-expresses the moments under a different key shift and a rank
+    /// offset, in `O(1)`.
+    ///
+    /// With `d = shift_old − shift_new` (so `x' = x + d`) and ranks
+    /// lifted by `t` (`r' = r + t`), every sum follows from the binomial
+    /// expansion — the algebra that lets a parent model's moments be
+    /// assembled from independently-fitted child partitions (leaf fits
+    /// keep their local midpoint shift and ranks `1..=len`; the root
+    /// wants the global shift and global ranks) without touching the
+    /// keys again.
+    pub fn rebase(&self, new_shift: f64, rank_offset: usize) -> CdfMoments {
+        let n = self.n as f64;
+        let d = self.shift - new_shift;
+        let t = rank_offset as f64;
+        CdfMoments {
+            n: self.n,
+            shift: new_shift,
+            sum_x: self.sum_x + n * d,
+            sum_xx: self.sum_xx + 2.0 * d * self.sum_x + n * d * d,
+            sum_r: self.sum_r + n * t,
+            sum_rr: self.sum_rr + 2.0 * t * self.sum_r + n * t * t,
+            sum_xr: self.sum_xr + d * self.sum_r + t * self.sum_x + n * d * t,
+        }
+    }
+
+    /// Sums two moment sets over disjoint data. Both must already share
+    /// the same `shift` (use [`CdfMoments::rebase`] first).
+    pub fn merge(&self, other: &CdfMoments) -> CdfMoments {
+        debug_assert_eq!(
+            self.shift.to_bits(),
+            other.shift.to_bits(),
+            "merging moments under different shifts"
+        );
+        CdfMoments {
+            n: self.n + other.n,
+            shift: self.shift,
+            sum_x: self.sum_x + other.sum_x,
+            sum_xx: self.sum_xx + other.sum_xx,
+            sum_r: self.sum_r + other.sum_r,
+            sum_rr: self.sum_rr + other.sum_rr,
+            sum_xr: self.sum_xr + other.sum_xr,
+        }
+    }
 }
 
 /// Midpoint of `[lo, hi]` as the canonical key shift.
@@ -233,6 +277,43 @@ mod tests {
         assert!((a.var_x() - b.var_x()).abs() < 1e-9);
         assert!((a.cov_xr() - b.cov_xr()).abs() < 1e-9);
         assert!((a.mean_key() - b.mean_key()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rebase_and_merge_reassemble_global_moments() {
+        // Split a keyset, compute per-part moments with local shifts and
+        // local ranks, rebase them onto the global frame, merge, and
+        // compare against directly-computed global moments.
+        let ks = KeySet::from_keys((1..400u64).map(|i| i * i / 3 + i).collect()).unwrap();
+        let direct = CdfMoments::from_keyset(&ks);
+        let parts = ks.partition(7).unwrap();
+        let mut merged: Option<CdfMoments> = None;
+        let mut rank_offset = 0usize;
+        for part in &parts {
+            let local = CdfMoments::from_keyset(part);
+            let lifted = local.rebase(direct.shift, rank_offset);
+            merged = Some(match merged {
+                None => lifted,
+                Some(acc) => acc.merge(&lifted),
+            });
+            rank_offset += part.len();
+        }
+        let merged = merged.unwrap();
+        assert_eq!(merged.n, direct.n);
+        for (got, want, name) in [
+            (merged.sum_x, direct.sum_x, "sum_x"),
+            (merged.sum_xx, direct.sum_xx, "sum_xx"),
+            (merged.sum_r, direct.sum_r, "sum_r"),
+            (merged.sum_rr, direct.sum_rr, "sum_rr"),
+            (merged.sum_xr, direct.sum_xr, "sum_xr"),
+        ] {
+            assert!(
+                (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+                "{name}: {got} vs {want}"
+            );
+        }
+        assert!((merged.var_x() - direct.var_x()).abs() <= 1e-9 * direct.var_x().max(1.0));
+        assert!((merged.cov_xr() - direct.cov_xr()).abs() <= 1e-9 * direct.cov_xr().abs().max(1.0));
     }
 
     #[test]

@@ -12,11 +12,14 @@
 //!
 //! * [`attack`] — the unified [`Attack`] trait and wrappers, so harnesses
 //!   sweep every adversary through one interface;
-//! * [`oracle`] — O(1)-per-candidate poisoned-loss evaluation;
+//! * [`oracle`] — O(1)-per-candidate poisoned-loss evaluation, both the
+//!   immutable precomputed form and the incremental form whose moments
+//!   stay valid under insert/remove (no per-step rebuilds);
 //! * [`single`] — the optimal single-point attack (gap endpoints, O(n));
 //! * [`loss_sequence`] — the full `L(kp)` sequence and its discrete
 //!   derivative (Figure 3, Theorem 2);
-//! * [`greedy`] — greedy multi-point poisoning (Algorithm 1);
+//! * [`greedy`] — greedy multi-point poisoning (Algorithm 1), with exact,
+//!   lazy-heap, and kept-callable reference engines;
 //! * [`bruteforce`] — exhaustive baselines used for validation;
 //! * [`rmi_attack`](mod@rmi_attack) — the two-stage RMI attack with greedy volume
 //!   allocation and CHANGELOSS neighbour exchanges (Algorithm 2).
@@ -53,9 +56,12 @@ pub use attack::{
     RemovalAttack, RmiPoisonAttack,
 };
 pub use blackbox::{blackbox_rmi_attack, infer_leaf_models, BlackboxOutcome};
-pub use greedy::{greedy_poison, GreedyPlan, PoisonBudget};
+pub use greedy::{
+    greedy_poison, greedy_poison_lazy, greedy_poison_reference, greedy_poison_sorted, GreedyPlan,
+    PoisonBudget,
+};
 pub use loss_sequence::LossSequence;
-pub use oracle::PoisonOracle;
+pub use oracle::{IncrementalOracle, PoisonOracle};
 pub use removal::{greedy_mixed, greedy_removal, optimal_single_removal};
 pub use rmi_attack::{rmi_attack, RmiAttackConfig, RmiAttackResult};
 pub use single::{optimal_single_point, SinglePointPlan};

@@ -19,7 +19,15 @@
 //! the insertion rank, as the gap walk does). This is algebraically
 //! equivalent to the paper's discrete-derivative recurrences but evaluates
 //! each candidate independently, avoiding accumulated floating-point drift.
+//!
+//! [`PoisonOracle`] is immutable: a campaign that *commits* points used to
+//! rebuild it from scratch per step, which is what made the greedy CDF
+//! attack `O(p·n)`. [`IncrementalOracle`] removes that rebuild — the same
+//! moments kept valid under `insert`/`remove` in `O(1)` algebra per
+//! mutation (plus sorted-block bookkeeping for the rank/suffix queries) —
+//! and is what the campaign engines in [`crate::greedy`] run on.
 
+use lis_core::error::{LisError, Result};
 use lis_core::keys::{Key, KeySet};
 use lis_core::linreg::optimal_mse;
 use lis_core::stats::{midpoint_shift, rank_sq_sum, rank_sum, CdfMoments};
@@ -135,6 +143,339 @@ impl PoisonOracle {
     }
 }
 
+/// Smallest sorted-block length the [`IncrementalOracle`]'s key store
+/// targets; the actual target grows as `√n` so both the per-block scans
+/// and the cross-block scans stay `O(√n)` — sublinear rank/suffix queries
+/// without a balanced tree. Blocks split at twice the target (splits
+/// recompute their sums from scratch, bounding float drift).
+const BLOCK_TARGET_MIN: usize = 256;
+
+/// Block-length target for a store of `n` keys: `max(√n, BLOCK_TARGET_MIN)`.
+fn block_target(n: usize) -> usize {
+    ((n as f64).sqrt().ceil() as usize).max(BLOCK_TARGET_MIN)
+}
+
+/// One sorted run of keys with its cached shifted-key sum.
+#[derive(Debug, Clone)]
+struct Block {
+    keys: Vec<Key>,
+    sum_x: f64,
+}
+
+/// A [`PoisonOracle`] that survives mutation: the sufficient statistics
+/// (`Σx`, `Σx²`, `Σxr` over shifted keys; `Σr`, `Σr²` are closed-form in
+/// `n`) are maintained **incrementally** under [`IncrementalOracle::insert`]
+/// / [`IncrementalOracle::remove`], so a campaign evaluating and committing
+/// poison points pays `O(1)` moment algebra per accepted point instead of
+/// the `O(n)` oracle rebuild the old greedy loop performed.
+///
+/// The keys themselves live in `~√n`-sized sorted blocks (see
+/// [`block_target`]; a classic sorted-list decomposition): rank and
+/// suffix-sum queries cost `O(√n)`, inserts and removals `O(√n)`
+/// amortized. Inserting a key updates the cross
+/// moment with the *compound effect* — every key above the insertion gains
+/// one rank, adding the block-tracked suffix sum — and removal mirrors it.
+///
+/// `tests/property_incremental_oracle.rs` pins every query against a
+/// from-scratch refit after arbitrary interleaved insert/remove sequences.
+#[derive(Debug, Clone)]
+pub struct IncrementalOracle {
+    shift: f64,
+    n: usize,
+    sum_x: f64,
+    sum_xx: f64,
+    sum_xr: f64,
+    clean_mse: f64,
+    blocks: Vec<Block>,
+    /// First key of each block, parallel to `blocks` (block routing).
+    firsts: Vec<Key>,
+    /// Block split threshold is `2 × target` (≈ `2√n` at construction).
+    target: usize,
+}
+
+impl IncrementalOracle {
+    /// Builds the oracle over a keyset in `O(n)`.
+    pub fn new(ks: &KeySet) -> Self {
+        Self::from_sorted_keys(ks.keys())
+    }
+
+    /// Builds the oracle over an already-sorted, duplicate-free slice in
+    /// `O(n)` — the zero-copy entry the per-leaf attack loops use.
+    pub fn from_sorted_keys(keys: &[Key]) -> Self {
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be sorted");
+        debug_assert!(!keys.is_empty(), "oracle needs at least one key");
+        let n = keys.len();
+        let shift = midpoint_shift(keys[0], keys[n - 1]);
+        let mut sum_x = 0.0;
+        let mut sum_xx = 0.0;
+        let mut sum_xr = 0.0;
+        for (i, &k) in keys.iter().enumerate() {
+            let x = k as f64 - shift;
+            sum_x += x;
+            sum_xx += x * x;
+            sum_xr += x * (i + 1) as f64;
+        }
+        let target = block_target(n);
+        let mut blocks = Vec::with_capacity(n.div_ceil(target));
+        let mut firsts = Vec::with_capacity(blocks.capacity());
+        for chunk in keys.chunks(target) {
+            firsts.push(chunk[0]);
+            blocks.push(Block {
+                keys: chunk.to_vec(),
+                sum_x: chunk.iter().map(|&k| k as f64 - shift).sum(),
+            });
+        }
+        let clean_mse = if n >= 2 {
+            optimal_mse(&CdfMoments {
+                n,
+                shift,
+                sum_x,
+                sum_xx,
+                sum_r: rank_sum(n),
+                sum_rr: rank_sq_sum(n),
+                sum_xr,
+            })
+        } else {
+            0.0
+        };
+        Self {
+            shift,
+            n,
+            sum_x,
+            sum_xx,
+            sum_xr,
+            clean_mse,
+            blocks,
+            firsts,
+            target,
+        }
+    }
+
+    /// Number of keys currently tracked.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` iff every key has been removed.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The fixed key shift chosen at construction (callers maintaining
+    /// their own shifted suffix sums must agree on it).
+    pub fn shift(&self) -> f64 {
+        self.shift
+    }
+
+    /// MSE of the regression on the keyset the oracle was built over.
+    pub fn clean_mse(&self) -> f64 {
+        self.clean_mse
+    }
+
+    /// MSE of the optimal regression on the *current* (mutated) keyset,
+    /// from the maintained moments in `O(1)`.
+    pub fn current_mse(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        optimal_mse(&self.moments())
+    }
+
+    fn moments(&self) -> CdfMoments {
+        CdfMoments {
+            n: self.n,
+            shift: self.shift,
+            sum_x: self.sum_x,
+            sum_xx: self.sum_xx,
+            sum_r: rank_sum(self.n),
+            sum_rr: rank_sq_sum(self.n),
+            sum_xr: self.sum_xr,
+        }
+    }
+
+    /// Index of the block that may contain `key` (last block whose first
+    /// key is ≤ `key`, clamped to block 0).
+    fn block_for(&self, key: Key) -> usize {
+        self.firsts.partition_point(|&f| f <= key).saturating_sub(1)
+    }
+
+    /// Whether `key` is currently present.
+    pub fn contains(&self, key: Key) -> bool {
+        if self.n == 0 {
+            return false;
+        }
+        let b = self.block_for(key);
+        self.blocks[b].keys.binary_search(&key).is_ok()
+    }
+
+    /// Number of keys strictly below `key` — the 0-based insertion index.
+    pub fn rank_below(&self, key: Key) -> usize {
+        if self.n == 0 {
+            return 0;
+        }
+        let b = self.block_for(key);
+        self.blocks[..b]
+            .iter()
+            .map(|blk| blk.keys.len())
+            .sum::<usize>()
+            + self.blocks[b].keys.partition_point(|&k| k < key)
+    }
+
+    /// Sum of shifted keys strictly greater than `key` — the compound
+    /// effect's cross-moment contribution.
+    pub fn suffix_sum_above(&self, key: Key) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let b = self.block_for(key);
+        let block = &self.blocks[b];
+        let pos = block.keys.partition_point(|&k| k <= key);
+        let mut sum: f64 = block.keys[pos..]
+            .iter()
+            .map(|&k| k as f64 - self.shift)
+            .sum();
+        for blk in &self.blocks[b + 1..] {
+            sum += blk.sum_x;
+        }
+        sum
+    }
+
+    /// Loss of the regression refit on the current set ∪ `{kp}` when the
+    /// caller already knows `kp`'s insertion index and the suffix sum of
+    /// shifted keys above it — pure `O(1)` algebra (the campaign engines
+    /// maintain both per gap).
+    pub fn loss_insert_with(&self, kp: Key, idx: usize, suffix_above: f64) -> f64 {
+        debug_assert!(idx <= self.n);
+        let n1 = self.n + 1;
+        let xp = kp as f64 - self.shift;
+        let rp = (idx + 1) as f64;
+        optimal_mse(&CdfMoments {
+            n: n1,
+            shift: self.shift,
+            sum_x: self.sum_x + xp,
+            sum_xx: self.sum_xx + xp * xp,
+            sum_r: rank_sum(n1),
+            sum_rr: rank_sq_sum(n1),
+            // Compound effect: every key above kp gains one rank, adding
+            // its shifted value to the cross moment once.
+            sum_xr: self.sum_xr + suffix_above + xp * rp,
+        })
+    }
+
+    /// Loss of the regression refit on the current set ∪ `{kp}`;
+    /// `O(#blocks)` for the rank/suffix queries. `kp` must be absent.
+    pub fn loss_insert(&self, kp: Key) -> f64 {
+        debug_assert!(!self.contains(kp), "poisoning key {kp} collides");
+        self.loss_insert_with(kp, self.rank_below(kp), self.suffix_sum_above(kp))
+    }
+
+    /// Loss of the regression refit on the current set ∖ `{k}`;
+    /// `O(#blocks)`. `k` must be present and the remainder must keep ≥ 2
+    /// keys.
+    pub fn loss_remove(&self, k: Key) -> f64 {
+        debug_assert!(self.contains(k), "removal key {k} not present");
+        let n1 = self.n - 1;
+        if n1 < 2 {
+            return 0.0;
+        }
+        let idx = self.rank_below(k);
+        let x = k as f64 - self.shift;
+        let r = (idx + 1) as f64;
+        optimal_mse(&CdfMoments {
+            n: n1,
+            shift: self.shift,
+            sum_x: self.sum_x - x,
+            sum_xx: self.sum_xx - x * x,
+            sum_r: rank_sum(n1),
+            sum_rr: rank_sq_sum(n1),
+            // Mirrored compound effect: every key above k loses one rank.
+            sum_xr: self.sum_xr - x * r - self.suffix_sum_above(k),
+        })
+    }
+
+    /// Commits an insertion: `O(1)` moment updates plus the sorted-block
+    /// bookkeeping (`O(log #blocks + block)` amortized). Errors on
+    /// duplicates.
+    pub fn insert(&mut self, kp: Key) -> Result<()> {
+        if self.n == 0 {
+            let xp = kp as f64 - self.shift;
+            self.blocks.push(Block {
+                keys: vec![kp],
+                sum_x: xp,
+            });
+            self.firsts.push(kp);
+            self.n = 1;
+            self.sum_x = xp;
+            self.sum_xx = xp * xp;
+            self.sum_xr = xp;
+            return Ok(());
+        }
+        let b = self.block_for(kp);
+        let pos = match self.blocks[b].keys.binary_search(&kp) {
+            Ok(_) => return Err(LisError::DuplicateKey(kp)),
+            Err(pos) => pos,
+        };
+        let xp = kp as f64 - self.shift;
+        let rp = (self.rank_below(kp) + 1) as f64;
+        // Moments first (they need the pre-insert suffix sum).
+        self.sum_xr += self.suffix_sum_above(kp) + xp * rp;
+        self.sum_x += xp;
+        self.sum_xx += xp * xp;
+        self.n += 1;
+        // Structure second.
+        self.blocks[b].keys.insert(pos, kp);
+        self.blocks[b].sum_x += xp;
+        if pos == 0 {
+            self.firsts[b] = kp;
+        }
+        if self.blocks[b].keys.len() > 2 * self.target {
+            let tail = self.blocks[b].keys.split_off(self.target);
+            // Recompute both halves' sums from their keys: splits bound
+            // the incremental float drift of the per-block sums.
+            let shift = self.shift;
+            self.blocks[b].sum_x = self.blocks[b].keys.iter().map(|&k| k as f64 - shift).sum();
+            let tail_sum: f64 = tail.iter().map(|&k| k as f64 - shift).sum();
+            self.firsts.insert(b + 1, tail[0]);
+            self.blocks.insert(
+                b + 1,
+                Block {
+                    keys: tail,
+                    sum_x: tail_sum,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Commits a removal: the mirror of [`IncrementalOracle::insert`].
+    /// Errors when `k` is absent.
+    pub fn remove(&mut self, k: Key) -> Result<()> {
+        if self.n == 0 {
+            return Err(LisError::KeyNotFound(k));
+        }
+        let b = self.block_for(k);
+        let pos = match self.blocks[b].keys.binary_search(&k) {
+            Ok(pos) => pos,
+            Err(_) => return Err(LisError::KeyNotFound(k)),
+        };
+        let x = k as f64 - self.shift;
+        let r = (self.rank_below(k) + 1) as f64;
+        self.sum_xr -= x * r + self.suffix_sum_above(k);
+        self.sum_x -= x;
+        self.sum_xx -= x * x;
+        self.n -= 1;
+        self.blocks[b].keys.remove(pos);
+        self.blocks[b].sum_x -= x;
+        if self.blocks[b].keys.is_empty() {
+            self.blocks.remove(b);
+            self.firsts.remove(b);
+        } else if pos == 0 {
+            self.firsts[b] = self.blocks[b].keys[0];
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +535,79 @@ mod tests {
             assert!(
                 ((fast - slow) / denom).abs() < 1e-6,
                 "kp={kp}: {fast} vs {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_oracle_matches_static_oracle_before_mutation() {
+        let ks = KeySet::from_keys((0..3000u64).map(|i| i * 7 + (i % 5)).collect()).unwrap();
+        let inc = IncrementalOracle::new(&ks);
+        let stat = PoisonOracle::new(&ks);
+        assert_eq!(inc.len(), ks.len());
+        assert_eq!(inc.clean_mse().to_bits(), stat.clean_mse().to_bits());
+        for kp in [3u64, 500, 10_000, ks.max_key() - 1] {
+            if ks.contains(kp) {
+                continue;
+            }
+            let a = inc.loss_insert(kp);
+            let b = stat.loss(kp);
+            assert!(
+                (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+                "kp={kp}: {a} vs {b}"
+            );
+            assert_eq!(inc.rank_below(kp), ks.insertion_rank(kp) - 1);
+        }
+    }
+
+    #[test]
+    fn incremental_mutations_track_refit_across_block_splits() {
+        // Enough inserts to force block splits (BLOCK_TARGET boundary) and
+        // removals that empty blocks; every step checked against a
+        // from-scratch refit.
+        let mut ks = KeySet::from_keys((0..1500u64).map(|i| i * 4).collect()).unwrap();
+        let mut inc = IncrementalOracle::new(&ks);
+        for step in 0..900u64 {
+            if step % 3 == 2 {
+                let victim = ks.keys()[(step as usize * 7) % ks.len()];
+                inc.remove(victim).unwrap();
+                ks.remove(victim).unwrap();
+            } else {
+                let kp = step * 6 + 1;
+                if ks.contains(kp) || !ks.domain().contains(kp) {
+                    continue;
+                }
+                inc.insert(kp).unwrap();
+                ks.insert(kp).unwrap();
+            }
+            if step % 97 == 0 {
+                let refit = lis_core::linreg::LinearModel::fit(&ks).unwrap().mse;
+                let fast = inc.current_mse();
+                assert!(
+                    (fast - refit).abs() <= 1e-6 * refit.abs().max(1.0),
+                    "step {step}: {fast} vs {refit}"
+                );
+                assert_eq!(inc.len(), ks.len());
+            }
+        }
+        // Structural errors are reported, not silently absorbed.
+        let existing = ks.keys()[10];
+        assert!(inc.insert(existing).is_err());
+        assert!(inc.remove(existing + 1).is_err() || ks.contains(existing + 1));
+    }
+
+    #[test]
+    fn loss_remove_matches_refit_without_key() {
+        let ks = KeySet::from_keys(vec![2, 6, 7, 12, 19, 31, 40, 55]).unwrap();
+        let inc = IncrementalOracle::new(&ks);
+        for &k in ks.keys() {
+            let mut without = ks.clone();
+            without.remove(k).unwrap();
+            let refit = lis_core::linreg::LinearModel::fit(&without).unwrap().mse;
+            let fast = inc.loss_remove(k);
+            assert!(
+                (fast - refit).abs() <= 1e-9 * refit.abs().max(1.0),
+                "k={k}: {fast} vs {refit}"
             );
         }
     }

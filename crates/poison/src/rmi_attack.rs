@@ -19,10 +19,10 @@
 //! CHANGELOSS entries that mention the two touched models, which the
 //! algorithm recomputes in `O(n/N)` per entry.
 
-use crate::greedy::{greedy_poison, PoisonBudget};
+use crate::greedy::{greedy_poison_sorted, PoisonBudget};
 use lis_core::error::{LisError, Result};
 use lis_core::keys::{Key, KeySet};
-use lis_core::linreg::LinearModel;
+use lis_core::linreg::fit_sorted_slice;
 use lis_core::metrics::ratio_loss;
 
 /// Parameters of the RMI attack.
@@ -305,38 +305,29 @@ pub fn rmi_attack(
 }
 
 /// Loss of a regression trained on a contiguous legit slice (0 when the
-/// slice is too small to fit).
+/// slice is too small to fit) — fitted zero-copy via [`fit_sorted_slice`].
 fn slice_loss(slice: &[Key]) -> f64 {
     if slice.len() < 2 {
         return 0.0;
     }
-    let ks = KeySet::from_sorted_unchecked(
-        slice.to_vec(),
-        lis_core::keys::KeyDomain {
-            min: slice[0],
-            max: slice[slice.len() - 1],
-        },
-    );
-    LinearModel::fit(&ks).map(|m| m.mse).unwrap_or(0.0)
+    fit_sorted_slice(slice).map(|(m, _)| m.mse).unwrap_or(0.0)
 }
 
 /// Runs the key-allocation subproblem: greedy CDF poisoning of one model's
 /// partition with the given volume. Returns the poisoned loss and keys.
+///
+/// This is Algorithm 2's inner loop, re-entered for every candidate
+/// exchange; it runs entirely on the zero-copy slice paths
+/// ([`fit_sorted_slice`], [`greedy_poison_sorted`]) so no interim
+/// [`KeySet`] is cloned per evaluation.
 fn eval_model(slice: &[Key], volume: usize) -> Result<(f64, Vec<Key>)> {
     if slice.len() < 2 {
         return Ok((0.0, Vec::new()));
     }
-    let ks = KeySet::from_sorted_unchecked(
-        slice.to_vec(),
-        lis_core::keys::KeyDomain {
-            min: slice[0],
-            max: slice[slice.len() - 1],
-        },
-    );
     if volume == 0 {
-        return Ok((LinearModel::fit(&ks)?.mse, Vec::new()));
+        return Ok((fit_sorted_slice(slice)?.0.mse, Vec::new()));
     }
-    let plan = greedy_poison(&ks, PoisonBudget::keys(volume))?;
+    let plan = greedy_poison_sorted(slice, PoisonBudget::keys(volume))?;
     Ok((plan.final_mse(), plan.keys))
 }
 

@@ -9,6 +9,7 @@
 //! lis-cli inspect --in keys.txt --index rmi,btree,pla
 //! lis-cli pipeline --dist lognormal --keys 5000 --attack rmi --defense trim --index rmi,btree
 //! lis-cli serve-bench --keys 100000 --index rmi,btree --attack-ratio 0,0.5 --workers 4
+//! lis-cli bench-build --keys 1000000 --index rmi,deep-rmi,pla,btree
 //! lis-cli list-indexes
 //! ```
 //!
@@ -47,6 +48,7 @@ fn main() -> ExitCode {
         "pipeline" => cmd_pipeline(&flags),
         "serve-bench" => cmd_serve_bench(&flags),
         "bench-hotpath" => cmd_bench_hotpath(&flags),
+        "bench-build" => cmd_bench_build(&flags),
         "list-indexes" => cmd_list_indexes(),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -129,6 +131,14 @@ COMMANDS:
       --index NAMES       comma-separated registry names
                                      [rmi,deep-rmi,pla,btree,sharded:rmi:8]
       --out FILE          JSON baseline path          [BENCH_hotpath.json]
+
+  bench-build         build-plane microbench: index training + campaign generation
+      --keys N            keyset size (campaigns also run at N/4)  [1000000]
+      --rounds R          timing rounds per build variant (best)        [3]
+      --seed S            workload RNG seed                            [42]
+      --points P          large campaign budget (marginal vs 32)      [232]
+      --index NAMES       comma-separated names      [rmi,deep-rmi,pla,btree]
+      --out FILE          JSON baseline path            [BENCH_build.json]
 
   list-indexes        print the registered index names
 
@@ -537,6 +547,58 @@ fn cmd_bench_hotpath(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_bench_build(flags: &Flags) -> Result<(), String> {
+    use lis::buildpath::{run_buildpath, BuildpathConfig};
+
+    let defaults = BuildpathConfig::default();
+    let indexes: Vec<String> = match flags.get("index") {
+        Some(names) => names
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(String::from)
+            .collect(),
+        None => defaults.indexes.clone(),
+    };
+    if indexes.is_empty() {
+        return Err("--index needs at least one name".into());
+    }
+    let cfg = BuildpathConfig {
+        keys: flag(flags, "keys", defaults.keys)?,
+        rounds: flag(flags, "rounds", defaults.rounds)?,
+        seed: flag(flags, "seed", defaults.seed)?,
+        campaign_points: flag(flags, "points", defaults.campaign_points)?,
+        indexes,
+    };
+    println!(
+        "buildpath: {} keys (campaigns also at {}), best of {} rounds, budgets 32/{}",
+        cfg.keys,
+        cfg.keys / 4,
+        cfg.rounds,
+        cfg.campaign_points
+    );
+    let report = run_buildpath(&cfg).map_err(|e| e.to_string())?;
+    report.table().print();
+    if let (Some(lazy), Some(reference)) = (
+        report.marginal_scaling("greedy-lazy"),
+        report.marginal_scaling("greedy-reference"),
+    ) {
+        println!(
+            "\ncampaign marginal scaling over 4x keys (linear = 4.0): \
+             reference {reference:.2}, lazy {lazy:.2}"
+        );
+    }
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_build.json".into());
+    report
+        .write_json(std::path::Path::new(&out))
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!("\nwrote {out}");
+    Ok(())
+}
+
 fn cmd_list_indexes() -> Result<(), String> {
     let registry = IndexRegistry::with_defaults();
     for name in registry.names() {
@@ -757,6 +819,28 @@ mod tests {
 
         flags.insert("index".into(), " ".into());
         assert!(cmd_bench_hotpath(&flags).is_err());
+    }
+
+    #[test]
+    fn bench_build_writes_json_baseline() {
+        let dir = std::env::temp_dir().join("lis_cli_buildpath_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH_build.json").to_string_lossy().to_string();
+        let mut flags = Flags::new();
+        flags.insert("keys".into(), "6000".into());
+        flags.insert("rounds".into(), "1".into());
+        flags.insert("points".into(), "48".into());
+        flags.insert("index".into(), "rmi,btree".into());
+        flags.insert("out".into(), out.clone());
+        cmd_bench_build(&flags).unwrap();
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.contains("\"bench\": \"buildpath\""));
+        assert!(json.contains("\"build_speedup\""));
+        assert!(json.contains("\"marginal_ns_per_point\""));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        flags.insert("index".into(), " ".into());
+        assert!(cmd_bench_build(&flags).is_err());
     }
 
     #[test]

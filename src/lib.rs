@@ -22,7 +22,10 @@
 //! * [`pipeline`] — the workload → attack → defense → index → report
 //!   builder composing all of the above, measuring through [`server`];
 //! * [`hotpath`] — the read-hot-path microbenchmark engine producing the
-//!   repo's machine-readable perf baseline (`BENCH_hotpath.json`).
+//!   repo's machine-readable read-path baseline (`BENCH_hotpath.json`);
+//! * [`buildpath`] — its build-plane sibling: index-training and
+//!   campaign-generation timings, with output-identity verification,
+//!   producing `BENCH_build.json`.
 //!
 //! ## End-to-end example
 //!
@@ -55,11 +58,13 @@ pub use lis_poison as poison;
 pub use lis_server as server;
 pub use lis_workloads as workloads;
 
+pub mod buildpath;
 pub mod hotpath;
 pub mod pipeline;
 
 /// Convenience prelude importing the types used by almost every experiment.
 pub mod prelude {
+    pub use crate::buildpath::{run_buildpath, BuildpathConfig, BuildpathReport};
     pub use crate::hotpath::{run_hotpath, HotpathConfig, HotpathReport};
     pub use crate::pipeline::{BuildCache, Pipeline, PipelineReport, WorkloadSpec};
     pub use lis_core::btree::BPlusTree;
@@ -72,8 +77,8 @@ pub mod prelude {
     pub use lis_core::stats::BoxplotSummary;
     pub use lis_defense::{Defense, DefenseOutcome};
     pub use lis_poison::{
-        greedy_poison, optimal_single_point, rmi_attack, Attack, AttackOutcome, GreedyPlan,
-        PoisonBudget, RmiAttackConfig, RmiAttackResult,
+        greedy_poison, greedy_poison_lazy, optimal_single_point, rmi_attack, Attack, AttackOutcome,
+        GreedyPlan, IncrementalOracle, PoisonBudget, RmiAttackConfig, RmiAttackResult,
     };
     pub use lis_server::{
         BenignSource, LatencyHistogram, MixedSource, ReplaySource, ServeConfig, ServeReport,

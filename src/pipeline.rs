@@ -229,26 +229,30 @@ impl BuildCache {
         self.entries.lock().expect("build cache poisoned").clear();
     }
 
-    /// Returns the cached build for `key`, constructing and inserting it
-    /// with `build` on a miss. The build runs outside the lock, so
-    /// concurrent victims never serialize on each other's construction.
+    /// Returns the cached build for `key` (and whether it was a hit),
+    /// constructing and inserting it with `build` on a miss. The build
+    /// runs outside the lock, so concurrent victims never serialize on
+    /// each other's construction.
     fn get_or_build(
         &self,
         key: BuildKey,
         build: impl FnOnce() -> Result<DynIndex>,
-    ) -> Result<Arc<DynIndex>> {
+    ) -> Result<(Arc<DynIndex>, bool)> {
         if let Some(hit) = self.entries.lock().expect("build cache poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(hit));
+            return Ok((Arc::clone(hit), true));
         }
         let built = Arc::new(build()?);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        Ok(Arc::clone(
-            self.entries
-                .lock()
-                .expect("build cache poisoned")
-                .entry(key)
-                .or_insert(built),
+        Ok((
+            Arc::clone(
+                self.entries
+                    .lock()
+                    .expect("build cache poisoned")
+                    .entry(key)
+                    .or_insert(built),
+            ),
+            false,
         ))
     }
 }
@@ -283,6 +287,16 @@ pub struct IndexReport {
     pub clean_memory_bytes: usize,
     /// Whether every probed member key was found in both builds.
     pub all_members_found: bool,
+    /// Wall-clock nanoseconds spent building the final (attacked/defended)
+    /// index — the build-plane cost this victim paid in this run.
+    pub final_build_ns: u64,
+    /// Wall-clock nanoseconds spent obtaining the clean baseline build: a
+    /// cold build's full training time, or the (near-zero) cache lookup
+    /// when [`BuildCache`] served it.
+    pub clean_build_ns: u64,
+    /// Whether the clean baseline came out of the shared [`BuildCache`]
+    /// (so `clean_build_ns` measured a lookup, not a build).
+    pub clean_build_cached: bool,
 }
 
 impl IndexReport {
@@ -353,6 +367,8 @@ impl PipelineReport {
                 "final_cost",
                 "cost_ratio",
                 "mem_ratio",
+                "build_ms",
+                "clean_build",
                 "members_ok",
             ],
         );
@@ -366,6 +382,12 @@ impl PipelineReport {
                 format!("{:.2}", r.final_cost.mean),
                 format!("{:.2}", r.cost_ratio()),
                 format!("{:.2}", r.memory_ratio()),
+                format!("{:.2}", r.final_build_ns as f64 / 1e6),
+                if r.clean_build_cached {
+                    "cached".to_string()
+                } else {
+                    format!("{:.2}ms", r.clean_build_ns as f64 / 1e6)
+                },
                 r.all_members_found.to_string(),
             ]);
         }
@@ -510,9 +532,12 @@ impl Pipeline {
     /// Runs the composition: sample → attack → defend → build → measure.
     ///
     /// Per-victim builds and measurements run concurrently on scoped
-    /// threads (every structure in the workspace is `Send + Sync`); clean
-    /// builds are served from the shared [`BuildCache`] when one is
-    /// mounted. Probe measurements flow through the concurrent serving
+    /// threads (every structure in the workspace is `Send + Sync`), and
+    /// *within* each victim the model-based builds fan their own training
+    /// out too (RMI leaf fits, deep-RMI stage fits — see
+    /// [`lis_core::par`]); clean builds are served from the shared
+    /// [`BuildCache`] when one is mounted, and per-victim build times and
+    /// cache hits are reported in each [`IndexReport`]. Probe measurements flow through the concurrent serving
     /// front end ([`lis_server::Server`]), and a panicking victim build
     /// surfaces as [`LisError::Invariant`] instead of crashing the run.
     pub fn run(self) -> Result<PipelineReport> {
@@ -592,11 +617,15 @@ impl Pipeline {
             }
         }
         let measure = |name: &String| -> Result<IndexReport> {
-            let clean_idx = cache.get_or_build(
+            let clean_started = std::time::Instant::now();
+            let (clean_idx, clean_cached) = cache.get_or_build(
                 (workload_key.clone(), self.seed, self.trial, name.clone()),
                 || self.registry.build(name, &clean),
             )?;
+            let clean_build_ns = clean_started.elapsed().as_nanos() as u64;
+            let final_started = std::time::Instant::now();
             let final_idx = Arc::new(self.registry.build(name, &final_keyset)?);
+            let final_build_ns = final_started.elapsed().as_nanos() as u64;
             let clean_costs = served_costs(&clean_idx, &probes)?;
             let final_costs = served_costs(&final_idx, &probes)?;
             Ok(IndexReport {
@@ -608,6 +637,9 @@ impl Pipeline {
                 final_cost: final_costs.0,
                 memory_bytes: final_idx.memory_bytes(),
                 clean_memory_bytes: clean_idx.memory_bytes(),
+                final_build_ns,
+                clean_build_ns,
+                clean_build_cached: clean_cached,
             })
         };
         // A panicking victim build (a buggy custom registry entry, a bug in
@@ -638,6 +670,11 @@ impl Pipeline {
                     .chunks(per_worker)
                     .map(|group| {
                         let handle = scope.spawn(move || {
+                            // The victim fan-out owns the parallelism
+                            // budget here: builds running on this worker
+                            // (RMI leaf fits, sharded shard builds) must
+                            // not spawn a second layer of workers.
+                            let _guard = lis_core::par::enter_fanout_worker();
                             group
                                 .iter()
                                 .map(|name| measure_caught(name))
@@ -904,6 +941,38 @@ mod tests {
         assert_eq!(report.indexes.len(), 2);
         assert_eq!(cache.misses(), 1);
         assert_eq!(report.indexes[0].clean_cost, report.indexes[1].clean_cost);
+    }
+
+    #[test]
+    fn build_times_and_cache_hits_are_reported_per_victim() {
+        let spec = WorkloadSpec::Uniform {
+            n: 400,
+            density: 0.2,
+        };
+        let cache = BuildCache::new();
+        let run = || {
+            Pipeline::new(spec.clone())
+                .seed(17)
+                .index("rmi")
+                .queries(100)
+                .cache(cache.clone())
+                .run()
+                .unwrap()
+        };
+        let cold = run();
+        let rmi = cold.index("rmi").unwrap();
+        assert!(rmi.final_build_ns > 0);
+        assert!(rmi.clean_build_ns > 0);
+        assert!(!rmi.clean_build_cached, "first run must build cold");
+        let warm = run();
+        let rmi = warm.index("rmi").unwrap();
+        assert!(
+            rmi.clean_build_cached,
+            "second run must serve the clean baseline from the cache"
+        );
+        let rendered = warm.table().render();
+        assert!(rendered.contains("build_ms"), "{rendered}");
+        assert!(rendered.contains("cached"), "{rendered}");
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! Property tests pinning the [`IncrementalOracle`] against from-scratch
+//! refits: after *arbitrary interleaved insert/remove sequences*, its
+//! maintained moments, candidate-insertion losses, and removal losses
+//! must agree with a regression refit on the mutated keyset.
+
+use lis::prelude::*;
+use lis_core::linreg::LinearModel;
+use proptest::collection::{btree_set, vec};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn initial_keys() -> impl Strategy<Value = BTreeSet<u64>> {
+    btree_set(0u64..5_000, 8..100)
+}
+
+/// One mutation, packed into a single draw: the low bit selects insert
+/// (0) / remove (1), the rest picks the key (insert) or the index of an
+/// existing key (remove).
+fn actions() -> impl Strategy<Value = Vec<(usize, u64)>> {
+    vec(0u64..10_000, 1..80).prop_map(|raws| {
+        raws.into_iter()
+            .map(|raw| ((raw & 1) as usize, raw >> 1))
+            .collect()
+    })
+}
+
+/// Refits the regression on the mirror set (`None` below 2 keys).
+fn refit_mse(mirror: &BTreeSet<u64>) -> Option<f64> {
+    if mirror.len() < 2 {
+        return None;
+    }
+    let ks = KeySet::from_keys(mirror.iter().copied().collect()).ok()?;
+    Some(LinearModel::fit(&ks).ok()?.mse)
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * b.abs().max(1.0)
+}
+
+proptest! {
+    #[test]
+    fn incremental_oracle_tracks_refit_under_interleaved_mutations(
+        initial in initial_keys(),
+        script in actions(),
+    ) {
+        let mut mirror = initial.clone();
+        let ks = KeySet::from_keys(initial.iter().copied().collect()).unwrap();
+        let mut oracle = IncrementalOracle::new(&ks);
+
+        for (step, &(op, raw)) in script.iter().enumerate() {
+            if op == 0 {
+                // Insert a fresh key (skip the action on collision —
+                // collisions must also be *reported*, not absorbed).
+                if mirror.contains(&raw) {
+                    prop_assert!(oracle.insert(raw).is_err(), "step {step}: dup accepted");
+                    continue;
+                }
+                oracle.insert(raw).unwrap();
+                mirror.insert(raw);
+            } else {
+                // Remove an existing key, picked by index so the strategy
+                // cannot miss; keep at least 2 keys alive.
+                if mirror.len() <= 2 {
+                    continue;
+                }
+                let victim = *mirror
+                    .iter()
+                    .nth(raw as usize % mirror.len())
+                    .expect("non-empty");
+                oracle.remove(victim).unwrap();
+                mirror.remove(&victim);
+            }
+            prop_assert_eq!(oracle.len(), mirror.len(), "step {}", step);
+
+            // Maintained moments ≡ from-scratch refit.
+            let refit = refit_mse(&mirror).expect("≥ 2 keys maintained");
+            let fast = oracle.current_mse();
+            prop_assert!(
+                close(fast, refit),
+                "step {}: incremental mse {} vs refit {}", step, fast, refit
+            );
+        }
+
+        // Candidate queries after the whole script: insertion and removal
+        // losses against explicit refits.
+        let snapshot = KeySet::from_keys(mirror.iter().copied().collect()).unwrap();
+        for probe in [3u64, 977, 2_501, 4_999] {
+            if mirror.contains(&probe) {
+                continue;
+            }
+            let fast = oracle.loss_insert(probe);
+            // Build the augmented set from raw keys: the oracle (unlike
+            // `KeySet::with_key`) has no domain restriction, and probes
+            // may fall outside the mutated set's [min, max] span.
+            let mut augmented: Vec<u64> = mirror.iter().copied().collect();
+            augmented.push(probe);
+            let slow = LinearModel::fit(&KeySet::from_keys(augmented).unwrap())
+                .unwrap()
+                .mse;
+            prop_assert!(
+                close(fast, slow),
+                "insert probe {}: {} vs {}", probe, fast, slow
+            );
+            prop_assert_eq!(
+                oracle.rank_below(probe),
+                snapshot.insertion_rank(probe) - 1,
+                "probe {}", probe
+            );
+        }
+        if mirror.len() > 3 {
+            let victim = *mirror.iter().nth(mirror.len() / 2).unwrap();
+            let mut without = snapshot.clone();
+            without.remove(victim).unwrap();
+            let fast = oracle.loss_remove(victim);
+            let slow = LinearModel::fit(&without).unwrap().mse;
+            prop_assert!(
+                close(fast, slow),
+                "remove probe {}: {} vs {}", victim, fast, slow
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_oracle_membership_mirrors_the_keyset(
+        initial in initial_keys(),
+        probes in vec(0u64..5_000, 10..40),
+    ) {
+        let ks = KeySet::from_keys(initial.iter().copied().collect()).unwrap();
+        let oracle = IncrementalOracle::new(&ks);
+        for p in probes {
+            prop_assert_eq!(oracle.contains(p), initial.contains(&p), "probe {}", p);
+        }
+    }
+}
