@@ -1,0 +1,127 @@
+//! The online attack plane baseline: live Algorithm-2 poisoning through
+//! the serve path against benign, undefended, and admission-defended
+//! servers, with the per-window drift time series.
+//!
+//! Writes `BENCH_online.json` at the workspace root — the committed
+//! evidence that (a) benign write churn leaves serving cost flat, (b) an
+//! undefended campaign drifts the victim's mean lookup cost, and (c) at
+//! least one admission defense claws most of that back at bounded benign
+//! collateral. Override the scale for smoke runs:
+//!
+//! * `LIS_ONLINE_KEYS` — victim keyset size (default 200,000);
+//! * `LIS_ONLINE_REQUESTS` — benign reads per pre/post phase;
+//! * `LIS_ONLINE_BENIGN_WRITES` — benign inserts during the campaign.
+
+use lis::online::{run_online, OnlineConfig};
+use std::path::Path;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let defaults = OnlineConfig::default();
+    let cfg = OnlineConfig {
+        keys: env_usize("LIS_ONLINE_KEYS", defaults.keys),
+        probe_requests: env_usize("LIS_ONLINE_REQUESTS", defaults.probe_requests),
+        benign_writes: env_usize("LIS_ONLINE_BENIGN_WRITES", defaults.benign_writes),
+        ..defaults
+    };
+    println!(
+        "online serving — {} keys ({}), {}% campaign, {} benign writes, {} probes/phase\n\
+         (override with LIS_ONLINE_KEYS / LIS_ONLINE_REQUESTS / LIS_ONLINE_BENIGN_WRITES)\n",
+        cfg.keys, cfg.index, cfg.poison_percent, cfg.benign_writes, cfg.probe_requests
+    );
+    let report = run_online(&cfg).expect("online sweep");
+    println!(
+        "{:<22} {:>9} {:>8} {:>8} {:>10} {:>9} {:>7}",
+        "scenario", "drift", "recall", "collat", "applied", "rejected", "epochs"
+    );
+    for s in &report.scenarios {
+        println!(
+            "{:<22} {:>8.3}x {:>8.3} {:>8.3} {:>10} {:>9} {:>7}",
+            s.name,
+            s.drift(),
+            s.recall(),
+            s.collateral(),
+            s.serve.writes_applied,
+            s.serve.writes_rejected,
+            s.serve.epochs
+        );
+    }
+
+    let json_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_online.json");
+    report
+        .write_json(&json_path)
+        .expect("write BENCH_online.json");
+    println!("\nwrote {}", json_path.display());
+
+    // Structural gates hold at every scale: the campaign plans a budget,
+    // an undefended server applies it, and each defense rejects poison.
+    let benign = report.scenario("benign").expect("benign scenario");
+    let undefended = report.scenario("undefended").expect("undefended scenario");
+    assert_eq!(benign.poison_submitted, 0);
+    assert_eq!(
+        benign.benign_rejected, 0,
+        "admit-all rejected benign writes"
+    );
+    assert!(undefended.poison_planned > 0);
+    assert!(
+        undefended.poison_applied as f64 >= 0.9 * undefended.poison_planned as f64,
+        "undefended campaign should land its budget: {}/{}",
+        undefended.poison_applied,
+        undefended.poison_planned
+    );
+    let mut defense_won = false;
+    for name in ["defended:rate-limit", "defended:density"] {
+        let s = report.scenario(name).expect("defended scenario");
+        assert!(
+            s.collateral() < 0.2,
+            "{name}: benign collateral too high: {:.3}",
+            s.collateral()
+        );
+        if s.recall() > 0.5 && s.poison_applied < undefended.poison_applied / 2 {
+            defense_won = true;
+        }
+    }
+    assert!(
+        defense_won,
+        "at least one admission defense should deny most of the campaign"
+    );
+
+    // The drift gates need full scale — at smoke sizes the index is too
+    // small for the campaign to move mean cost reliably.
+    if report.config.keys >= 100_000 {
+        assert!(
+            benign.drift() < 1.05,
+            "benign churn should leave serving flat, drift {:.3}",
+            benign.drift()
+        );
+        assert!(
+            undefended.drift() > benign.drift() + 0.01,
+            "undefended campaign should drift serving cost: {:.4} vs benign {:.4}",
+            undefended.drift(),
+            benign.drift()
+        );
+        let best_defended = ["defended:rate-limit", "defended:density"]
+            .iter()
+            .map(|n| report.scenario(n).unwrap().drift())
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            best_defended < undefended.drift(),
+            "some defense should claw back drift: best defended {:.4} vs undefended {:.4}",
+            best_defended,
+            undefended.drift()
+        );
+        println!(
+            "\ndrift: benign {:.4}, undefended {:.4}, best defended {:.4}",
+            benign.drift(),
+            undefended.drift(),
+            best_defended
+        );
+    }
+    println!("online serving baseline complete.");
+}

@@ -220,6 +220,26 @@ impl AlexIndex {
         Ok(())
     }
 
+    /// Removes `key`; errors with [`LisError::KeyNotFound`] when absent.
+    ///
+    /// The slot is simply vacated — a gapped array treats a removal as one
+    /// more gap, so no shifting or retraining is needed. A leaf boundary
+    /// may go stale (the routing key of a leaf whose minimum was removed),
+    /// which is harmless: it still routes every remaining key to the same
+    /// leaf, and lookups of the removed key correctly miss there.
+    pub fn remove(&mut self, key: Key) -> Result<()> {
+        let leaf_idx = self.route(key);
+        let leaf = &mut self.leaves[leaf_idx];
+        let (found, probes) = leaf.find(key);
+        self.stats.insert_probes += probes;
+        if !found {
+            return Err(LisError::KeyNotFound(key));
+        }
+        leaf.remove(key);
+        self.len -= 1;
+        Ok(())
+    }
+
     fn split(&mut self, leaf_idx: usize) {
         let keys = self.leaves[leaf_idx].occupied();
         let mid = keys.len() / 2;
@@ -255,6 +275,16 @@ impl LearnedIndex for AlexIndex {
 
     fn lookup(&self, key: Key) -> Lookup {
         AlexIndex::lookup(self, key)
+    }
+
+    /// Native in-place insert — the write-plane fast path (no rebuild).
+    fn try_insert(&mut self, key: Key) -> Result<()> {
+        AlexIndex::insert(self, key)
+    }
+
+    /// Native in-place remove — the write-plane fast path (no rebuild).
+    fn try_remove(&mut self, key: Key) -> Result<()> {
+        AlexIndex::remove(self, key)
     }
 
     /// The gapped-array leaves track no regression loss; zero by definition.
@@ -355,6 +385,17 @@ impl Leaf {
             }
         }
         (false, probes)
+    }
+
+    /// Vacates the slot holding `key` (which must be present).
+    fn remove(&mut self, key: Key) {
+        let slot = self
+            .slots
+            .iter()
+            .position(|s| *s == Some(key))
+            .expect("remove() called for a key find() reported present");
+        self.slots[slot] = None;
+        self.len -= 1;
     }
 
     /// Inserts `key` near its predicted slot: locates the sorted insertion
@@ -471,6 +512,37 @@ mod tests {
         for k in [5u64, 15, 25, 1995, 999, 1004] {
             assert!(idx.contains(k));
         }
+    }
+
+    #[test]
+    fn remove_vacates_slots_and_keeps_order() {
+        let ks = uniform(300, 10);
+        let mut idx = AlexIndex::build(&ks, AlexConfig::default()).unwrap();
+        // Remove a spread of keys, including a leaf minimum (key 1).
+        for k in [1u64, 501, 1001, 2991] {
+            idx.remove(k).unwrap();
+            assert!(!idx.contains(k), "removed key {k} still found");
+        }
+        assert_eq!(idx.len(), 296);
+        assert!(matches!(idx.remove(1), Err(LisError::KeyNotFound(1))));
+        let keys = idx.keys();
+        assert_eq!(keys.len(), 296);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys out of order");
+        // Reinsert into the vacated region; everything stays consistent.
+        idx.insert(1).unwrap();
+        assert!(idx.contains(1));
+        assert_eq!(idx.len(), 297);
+    }
+
+    #[test]
+    fn write_surface_routes_to_native_ops() {
+        use crate::index::LearnedIndex;
+        let ks = uniform(100, 10);
+        let mut idx = AlexIndex::build(&ks, AlexConfig::default()).unwrap();
+        LearnedIndex::try_insert(&mut idx, 5).unwrap();
+        assert!(idx.contains(5));
+        LearnedIndex::try_remove(&mut idx, 5).unwrap();
+        assert!(!idx.contains(5));
     }
 
     #[test]

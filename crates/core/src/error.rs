@@ -59,6 +59,11 @@ pub enum LisError {
         /// Comma-separated list of registered names.
         available: String,
     },
+    /// Operation the structure does not support (e.g. in-place writes on a
+    /// statically trained index — rebuild per epoch instead).
+    Unsupported(String),
+    /// A blocking wait gave up after the given duration.
+    Timeout(std::time::Duration),
     /// Generic invariant breach with context.
     Invariant(String),
 }
@@ -94,6 +99,8 @@ impl fmt::Display for LisError {
             Self::UnknownIndex { name, available } => {
                 write!(f, "unknown index '{name}' (available: {available})")
             }
+            Self::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+            Self::Timeout(waited) => write!(f, "timed out after {waited:?}"),
             Self::Invariant(msg) => write!(f, "invariant violated: {msg}"),
         }
     }

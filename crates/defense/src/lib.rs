@@ -11,17 +11,23 @@
 //! * [`eval`] — ground-truth scoring: poison recall, removal precision,
 //!   collateral damage, and post-defense ratio loss;
 //! * [`strategy`] — the unified [`Defense`] trait and wrappers, the
-//!   counterpart of `lis_poison::attack::Attack`.
+//!   counterpart of `lis_poison::attack::Attack`;
+//! * [`admission`] — the same statistics recast as *streaming* screens on
+//!   the server's write queue ([`SourceRateLimit`], [`DensityScreen`],
+//!   [`TrustedFence`]), calibrated on a trusted bootstrap snapshot so the
+//!   attacker cannot shift the envelope they are judged against.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod admission;
 pub mod eval;
 pub mod outlier;
 pub mod robust;
 pub mod strategy;
 pub mod trim;
 
+pub use admission::{DensityScreen, SourceRateLimit, TrustedFence};
 pub use eval::{evaluate_defense, evaluate_defense_campaign, DefenseReport};
 pub use robust::{compare_on_attack, theil_sen, RobustModel};
 pub use strategy::{

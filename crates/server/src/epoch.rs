@@ -1,0 +1,85 @@
+//! The epoch-managed index slot: readers always serve one consistent
+//! snapshot, writers publish new epochs by swapping an `Arc`.
+//!
+//! The slot holds the currently served `Arc<DynIndex>` plus a monotonically
+//! increasing epoch counter. Workers cache the `Arc` and re-read the slot
+//! *only when the counter changes*, so the steady-state lookup hot path
+//! takes no lock at all — the mutex here guards nothing but the O(1)
+//! pointer swap and is never held across index work. Readers therefore
+//! never block on writers: a rebuild happens entirely on the writer thread
+//! against its private shadow copy, and publication is one swap.
+//!
+//! The counter is bumped *inside* the swap's critical section: a worker
+//! that observes the new epoch and reloads must acquire the same mutex,
+//! which orders its read after the writer's store. A worker that still
+//! sees the old epoch serves at most one more batch from the previous
+//! snapshot — snapshots are immutable, so every batch is internally
+//! consistent either way.
+
+use lis_core::index::DynIndex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Shared slot holding the served snapshot and its epoch number.
+pub(crate) struct EpochSlot {
+    current: Mutex<Arc<DynIndex>>,
+    epoch: AtomicU64,
+}
+
+impl EpochSlot {
+    /// A slot serving `front` as epoch 0.
+    pub(crate) fn new(front: Arc<DynIndex>) -> Self {
+        Self {
+            current: Mutex::new(front),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// The current epoch number (0 until the first publish).
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Clones the currently served snapshot. Cheap (one `Arc` clone under a
+    /// momentary lock); workers call this only when [`EpochSlot::epoch`]
+    /// has moved.
+    pub(crate) fn load(&self) -> Arc<DynIndex> {
+        Arc::clone(&self.current.lock().expect("epoch slot poisoned"))
+    }
+
+    /// Publishes `next` as the served snapshot, bumps the epoch, and
+    /// returns the previous snapshot (the writer recovers it as the next
+    /// shadow copy once in-flight readers release it).
+    pub(crate) fn publish(&self, next: Arc<DynIndex>) -> Arc<DynIndex> {
+        let mut current = self.current.lock().expect("epoch slot poisoned");
+        let old = std::mem::replace(&mut *current, next);
+        self.epoch.fetch_add(1, Ordering::Release);
+        old
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lis_core::index::IndexRegistry;
+    use lis_core::keys::KeySet;
+
+    #[test]
+    fn publish_swaps_snapshot_and_bumps_epoch() {
+        let ks = KeySet::from_keys((0..200u64).map(|i| i * 3).collect()).unwrap();
+        let reg = IndexRegistry::with_defaults();
+        let slot = EpochSlot::new(Arc::new(reg.build("btree", &ks).unwrap()));
+        assert_eq!(slot.epoch(), 0);
+        let reader = slot.load();
+        assert_eq!(reader.len(), 200);
+
+        let grown = ks.with_key(1).unwrap();
+        let old = slot.publish(Arc::new(reg.build("btree", &grown).unwrap()));
+        assert_eq!(slot.epoch(), 1);
+        assert_eq!(old.len(), 200);
+        // The pinned reader still serves its epoch-0 snapshot; a reload
+        // sees the new one.
+        assert!(!reader.lookup(1).found);
+        assert!(slot.load().lookup(1).found);
+    }
+}

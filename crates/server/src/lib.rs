@@ -15,7 +15,12 @@
 //!   those percentiles;
 //! * [`traffic`] — composable [`TrafficSource`]s: a benign member-key
 //!   stream, a replaying live adversary, and their ratio-controlled mix,
-//!   plus the [`drive`] helper running source fleets on generator threads.
+//!   plus the [`drive`] helper running source fleets on generator threads;
+//! * [`write`] — the online write plane: [`WriteOp`] requests drain a
+//!   dedicated bounded queue into a writer thread that mutates the
+//!   authoritative keyset and publishes epoch-swapped snapshots (readers
+//!   never block on writers), screened by pluggable [`AdmissionPolicy`]
+//!   filters — the hook where poisoning defenses meet live traffic.
 //!
 //! One serve code path covers both offline experiments (the `lis`
 //! pipeline's batched measurements run through [`Server::serve_all`]) and
@@ -43,12 +48,19 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod epoch;
 pub mod histogram;
 pub mod queue;
 pub mod server;
 pub mod traffic;
+pub mod write;
 
 pub use histogram::LatencyHistogram;
 pub use queue::{BatchPolicy, BatchQueue};
-pub use server::{ResponseTicket, ServeConfig, ServeReport, Server, ServerHandle};
+pub use server::{
+    IndexBuild, ResponseTicket, ServeConfig, ServeReport, Server, ServerHandle, WindowStats,
+};
 pub use traffic::{drive, BenignSource, MixedSource, ReplaySource, TrafficSource};
+pub use write::{
+    Admission, AdmissionChain, AdmissionPolicy, AdmitAll, WriteOp, WriteStatus, WriteTicket,
+};

@@ -1,5 +1,5 @@
 //! The concurrent serving front end: a worker pool draining micro-batches
-//! through [`DynIndex::lookup_batch`].
+//! through [`DynIndex::lookup_batch`], plus the epoch-swapped write plane.
 //!
 //! [`Server::start`] takes a built (possibly sharded) index behind an
 //! `Arc<DynIndex>` and spawns `workers` OS threads, all pulling from one
@@ -10,26 +10,46 @@
 //! submit-to-completion latency into a shared [`LatencyHistogram`], and the
 //! server counts requests, batches, and lookup cost units, so one
 //! [`ServeReport`] carries p50/p90/p99/max latency, throughput, mean batch
-//! size, and mean per-lookup cost.
+//! size, mean per-lookup cost, and a windowed [`WindowStats`] time series.
 //!
-//! The same object serves two modes:
+//! [`Server::start_online`] additionally opens the **write plane**: a
+//! dedicated bounded write queue drains into one writer thread that owns
+//! the authoritative [`KeySet`] and a mutable shadow index. Every drained
+//! write micro-batch is validated, screened by an
+//! [`AdmissionPolicy`](crate::write::AdmissionPolicy), applied to the
+//! shadow (natively via [`DynIndex::try_insert`]/[`DynIndex::try_remove`]
+//! when the structure supports in-place writes, else by rebuilding from
+//! the keyset), and published as one new epoch through the
+//! [`EpochSlot`](crate::epoch) — an `Arc` swap, so readers never block on
+//! writers and the lookup hot path stays lock-free between epochs.
+//!
+//! The same object serves three modes:
 //!
 //! * **offline measurement** — [`Server::serve_all`] pushes a probe slice
 //!   through the queue and returns the answers in probe order; the
 //!   experiment pipeline measures lookup cost through this path, so the
 //!   harness and the live front end exercise identical serving code;
 //! * **live traffic** — generator threads (see [`crate::traffic`]) submit
-//!   keys continuously while the histogram tracks tail latency in flight.
+//!   keys continuously while the histogram tracks tail latency in flight;
+//! * **online mutation** — write campaigns (see `lis_online`) poison the
+//!   served keyset *while* benign traffic measures the drift.
 
+use crate::epoch::EpochSlot;
 use crate::histogram::LatencyHistogram;
 use crate::queue::{BatchPolicy, BatchQueue};
+use crate::write::{Admission, AdmissionPolicy, WriteOp, WriteRequest, WriteStatus, WriteTicket};
 use lis_core::error::{LisError, Result};
 use lis_core::index::{DynIndex, Lookup};
-use lis_core::keys::Key;
+use lis_core::keys::{Key, KeySet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Hard cap on tracked time-series windows; later samples merge into the
+/// last window so an unexpectedly long session degrades gracefully instead
+/// of growing without bound.
+const MAX_WINDOWS: usize = 4_096;
 
 /// Tuning knobs of a [`Server`]. Zeros are clamped up to 1 (a server with
 /// no workers or no queue could never answer).
@@ -44,17 +64,31 @@ pub struct ServeConfig {
     pub batch: usize,
     /// Deadline a worker waits for a partial batch to fill.
     pub deadline: Duration,
+    /// Bound on queued writes (online servers only).
+    pub write_queue_depth: usize,
+    /// Maximum writes applied per epoch — each drained write micro-batch
+    /// publishes one new epoch.
+    pub write_batch: usize,
+    /// Deadline the writer waits for a partial write batch to fill.
+    pub write_deadline: Duration,
+    /// Width of one [`WindowStats`] time-series bucket.
+    pub window: Duration,
 }
 
 impl ServeConfig {
     /// Live-serving defaults: 4 workers, 64-request batches, 200µs flush
-    /// deadline, 4096-deep queue.
+    /// deadline, 4096-deep queue; write plane: 1024-deep queue, 64 writes
+    /// per epoch, 500µs flush deadline; 100ms time-series windows.
     pub fn new() -> Self {
         Self {
             workers: 4,
             queue_depth: 4_096,
             batch: 64,
             deadline: Duration::from_micros(200),
+            write_queue_depth: 1_024,
+            write_batch: 64,
+            write_deadline: Duration::from_micros(500),
+            window: Duration::from_millis(100),
         }
     }
 
@@ -67,6 +101,7 @@ impl ServeConfig {
             queue_depth: 4_096,
             batch: 1_024,
             deadline: Duration::from_micros(100),
+            ..Self::new()
         }
     }
 
@@ -93,6 +128,30 @@ impl ServeConfig {
         self.queue_depth = depth;
         self
     }
+
+    /// Sets the write-queue bound.
+    pub fn write_queue_depth(mut self, depth: usize) -> Self {
+        self.write_queue_depth = depth;
+        self
+    }
+
+    /// Sets the writes-per-epoch cap.
+    pub fn write_batch(mut self, batch: usize) -> Self {
+        self.write_batch = batch;
+        self
+    }
+
+    /// Sets the write micro-batch flush deadline.
+    pub fn write_deadline(mut self, deadline: Duration) -> Self {
+        self.write_deadline = deadline;
+        self
+    }
+
+    /// Sets the time-series window width.
+    pub fn window(mut self, window: Duration) -> Self {
+        self.window = window;
+        self
+    }
 }
 
 impl Default for ServeConfig {
@@ -102,25 +161,25 @@ impl Default for ServeConfig {
 }
 
 /// One-shot response slot a worker fulfills and a client waits on.
-struct ResponseSlot {
-    result: Mutex<Option<Result<Lookup>>>,
+pub(crate) struct ResponseSlot<T> {
+    result: Mutex<Option<Result<T>>>,
     ready: Condvar,
 }
 
-impl ResponseSlot {
-    fn new() -> Self {
+impl<T> ResponseSlot<T> {
+    pub(crate) fn new() -> Self {
         Self {
             result: Mutex::new(None),
             ready: Condvar::new(),
         }
     }
 
-    fn fulfill(&self, outcome: Result<Lookup>) {
+    pub(crate) fn fulfill(&self, outcome: Result<T>) {
         *self.result.lock().expect("response slot poisoned") = Some(outcome);
         self.ready.notify_one();
     }
 
-    fn wait(&self) -> Result<Lookup> {
+    pub(crate) fn wait(&self) -> Result<T> {
         let mut guard = self.result.lock().expect("response slot poisoned");
         loop {
             if let Some(outcome) = guard.take() {
@@ -129,12 +188,31 @@ impl ResponseSlot {
             guard = self.ready.wait(guard).expect("response slot poisoned");
         }
     }
+
+    pub(crate) fn wait_timeout(&self, timeout: Duration) -> Result<T> {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.result.lock().expect("response slot poisoned");
+        loop {
+            if let Some(outcome) = guard.take() {
+                return outcome;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(LisError::Timeout(timeout));
+            }
+            guard = self
+                .ready
+                .wait_timeout(guard, deadline - now)
+                .expect("response slot poisoned")
+                .0;
+        }
+    }
 }
 
 /// A claim on one in-flight request; [`ResponseTicket::wait`] blocks until
 /// a worker has served it.
 pub struct ResponseTicket {
-    slot: Arc<ResponseSlot>,
+    slot: Arc<ResponseSlot<Lookup>>,
 }
 
 impl ResponseTicket {
@@ -146,29 +224,88 @@ impl ResponseTicket {
     pub fn wait(self) -> Result<Lookup> {
         self.slot.wait()
     }
+
+    /// Like [`ResponseTicket::wait`] but gives up with
+    /// [`LisError::Timeout`] once `timeout` elapses without an answer, so
+    /// a stalled or backlogged server cannot hang the client forever. The
+    /// request itself stays in flight; its eventual answer is discarded
+    /// with the ticket.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Lookup> {
+        self.slot.wait_timeout(timeout)
+    }
 }
 
 /// One queued request: the key, its admission time, and the response slot.
 struct Request {
     key: Key,
     submitted: Instant,
-    slot: Arc<ResponseSlot>,
+    slot: Arc<ResponseSlot<Lookup>>,
 }
 
-/// Counters and per-worker latency histograms shared with the front end.
-/// Each worker records into its own histogram (uncontended on the hot
-/// path); [`Server::stats`] merges them into one report.
+/// One time-series bucket accumulated by a worker.
+#[derive(Clone)]
+struct WindowAccum {
+    latency: LatencyHistogram,
+    served: u64,
+    cost_units: u64,
+}
+
+impl WindowAccum {
+    fn new() -> Self {
+        Self {
+            latency: LatencyHistogram::new(),
+            served: 0,
+            cost_units: 0,
+        }
+    }
+}
+
+/// Per-worker stats: the session histogram plus the windowed time series,
+/// both behind one worker-owned lock (uncontended on the hot path).
+struct WorkerStats {
+    latency: LatencyHistogram,
+    windows: Vec<WindowAccum>,
+}
+
+/// One time-series bucket accumulated by the writer thread.
+#[derive(Debug, Clone, Copy, Default)]
+struct WriterWindow {
+    epochs: u64,
+    applied: u64,
+    rejected: u64,
+    failed: u64,
+}
+
+/// Counters and per-worker stats shared with the front end. Each worker
+/// records into its own slot (uncontended on the hot path);
+/// [`Server::stats`] merges them into one report.
 struct Shared {
-    latency: Vec<Mutex<LatencyHistogram>>,
+    workers: Vec<Mutex<WorkerStats>>,
     served: AtomicU64,
     batches: AtomicU64,
     cost_units: AtomicU64,
+    writes_applied: AtomicU64,
+    writes_rejected: AtomicU64,
+    writes_failed: AtomicU64,
+    writer_windows: Mutex<Vec<WriterWindow>>,
+    started: Instant,
+    window: Duration,
+}
+
+impl Shared {
+    /// Index of the time-series window containing `now` (capped).
+    fn window_index(&self, now: Instant) -> usize {
+        let nanos = now.duration_since(self.started).as_nanos();
+        let width = self.window.as_nanos().max(1);
+        ((nanos / width) as usize).min(MAX_WINDOWS - 1)
+    }
 }
 
 /// A cloneable submission endpoint for client threads.
 #[derive(Clone)]
 pub struct ServerHandle {
     queue: Arc<BatchQueue<Request>>,
+    write_queue: Option<Arc<BatchQueue<WriteRequest>>>,
 }
 
 impl ServerHandle {
@@ -191,6 +328,66 @@ impl ServerHandle {
     pub fn lookup(&self, key: Key) -> Result<Lookup> {
         self.submit(key)?.wait()
     }
+
+    /// Enqueues one write on the dedicated write queue, blocking while it
+    /// is full. `source` is the submitting client's claimed identity —
+    /// what per-source admission filters key on. Fails with
+    /// [`LisError::Unsupported`] on a read-only server (started via
+    /// [`Server::start`]) and [`LisError::Invariant`] after shutdown.
+    pub fn submit_write(&self, op: WriteOp, source: u64) -> Result<WriteTicket> {
+        let queue = self.write_queue.as_ref().ok_or_else(|| {
+            LisError::Unsupported(
+                "write submitted to a read-only server (Server::start_online enables writes)"
+                    .into(),
+            )
+        })?;
+        let slot = Arc::new(ResponseSlot::new());
+        let request = WriteRequest {
+            op,
+            source,
+            slot: Arc::clone(&slot),
+        };
+        queue
+            .push(request)
+            .map_err(|_| LisError::Invariant("write submitted to a shut-down server".into()))?;
+        Ok(WriteTicket { slot })
+    }
+
+    /// Submits one write and blocks for its [`WriteStatus`].
+    pub fn write(&self, op: WriteOp, source: u64) -> Result<WriteStatus> {
+        self.submit_write(op, source)?.wait()
+    }
+}
+
+/// One row of the windowed serving time series: what the server did during
+/// `[start_ms, start_ms + window)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowStats {
+    /// Window start offset from server start, in milliseconds.
+    pub start_ms: u64,
+    /// Requests served to completion within the window.
+    pub served: u64,
+    /// Lookup cost units accumulated within the window.
+    pub cost_units: u64,
+    /// p50 submit-to-completion latency (nanoseconds; 0 when idle).
+    pub p50_ns: u64,
+    /// p99 submit-to-completion latency (nanoseconds; 0 when idle).
+    pub p99_ns: u64,
+    /// Epochs published within the window.
+    pub epochs: u64,
+    /// Writes applied within the window.
+    pub writes_applied: u64,
+    /// Writes rejected by admission control within the window.
+    pub writes_rejected: u64,
+    /// Writes failed on validation within the window.
+    pub writes_failed: u64,
+}
+
+impl WindowStats {
+    /// Mean lookup cost units per request in this window.
+    pub fn mean_cost(&self) -> f64 {
+        self.cost_units as f64 / (self.served as f64).max(1.0)
+    }
 }
 
 /// Final measurements of one serving session.
@@ -208,6 +405,18 @@ pub struct ServeReport {
     pub elapsed: Duration,
     /// Submit-to-completion latency distribution (nanoseconds).
     pub latency: LatencyHistogram,
+    /// Epochs published by the write plane (0 on read-only servers).
+    pub epochs: u64,
+    /// Writes applied to the authoritative keyset.
+    pub writes_applied: u64,
+    /// Writes rejected by admission control.
+    pub writes_rejected: u64,
+    /// Writes failed on validation (duplicates, absent removes, domain).
+    pub writes_failed: u64,
+    /// Width of one time-series window.
+    pub window: Duration,
+    /// The windowed time series — a campaign's lifetime as a curve.
+    pub timeline: Vec<WindowStats>,
 }
 
 impl ServeReport {
@@ -235,28 +444,102 @@ impl ServeReport {
     }
 }
 
+/// Constructor the writer thread uses to rebuild the shadow index from the
+/// authoritative keyset when in-place writes are unsupported.
+pub type IndexBuild = Box<dyn Fn(&KeySet) -> Result<DynIndex> + Send>;
+
 /// The serving front end: a bounded queue plus a worker pool over one
-/// index. See the module docs for the serving model.
+/// epoch-managed index. See the module docs for the serving model.
 pub struct Server {
     queue: Arc<BatchQueue<Request>>,
+    write_queue: Option<Arc<BatchQueue<WriteRequest>>>,
     shared: Arc<Shared>,
+    slot: Arc<EpochSlot>,
     workers: Vec<JoinHandle<()>>,
+    writer: Option<JoinHandle<()>>,
     index_name: String,
-    started: Instant,
 }
 
 impl Server {
-    /// Spawns the worker pool over `index` and starts accepting requests.
+    /// Spawns the worker pool over a fixed `index` and starts accepting
+    /// read requests. The write plane stays closed: [`ServerHandle`]
+    /// write submissions fail with [`LisError::Unsupported`].
     pub fn start(index: Arc<DynIndex>, cfg: ServeConfig) -> Self {
+        let name = index.name().to_string();
+        let slot = Arc::new(EpochSlot::new(index));
+        Self::start_inner(slot, name, None, cfg)
+    }
+
+    /// Spawns a server whose index is *mutable online*: reads serve the
+    /// current epoch's snapshot, writes drain through a dedicated bounded
+    /// queue into a writer thread owning the authoritative `keyset` and a
+    /// shadow index.
+    ///
+    /// Per write micro-batch the writer validates each operation against
+    /// the keyset, consults `admission` (see
+    /// [`AdmissionPolicy`](crate::write::AdmissionPolicy)), applies the
+    /// admitted ops, and publishes one new epoch: in-place via
+    /// [`DynIndex::try_insert`]/[`DynIndex::try_remove`] when the
+    /// structure supports them (ALEX), else by rebuilding from the keyset
+    /// with `build`. Readers never block on any of this — publication is
+    /// an `Arc` swap (see [`crate::epoch`]).
+    ///
+    /// `build` is called twice up front (the served snapshot and the
+    /// shadow), so it must be deterministic for the two copies to agree.
+    pub fn start_online<F>(
+        keyset: KeySet,
+        build: F,
+        admission: Box<dyn AdmissionPolicy>,
+        cfg: ServeConfig,
+    ) -> Result<Self>
+    where
+        F: Fn(&KeySet) -> Result<DynIndex> + Send + 'static,
+    {
+        let front = build(&keyset)?;
+        let back = build(&keyset)?;
+        let name = front.name().to_string();
+        let slot = Arc::new(EpochSlot::new(Arc::new(front)));
+        let state = WriterState {
+            keyset,
+            back: Some(back),
+            front_lag: Vec::new(),
+            back_lag: Vec::new(),
+            build: Box::new(build),
+            admission,
+        };
+        Ok(Self::start_inner(slot, name, Some(state), cfg))
+    }
+
+    fn start_inner(
+        slot: Arc<EpochSlot>,
+        index_name: String,
+        writer_state: Option<WriterState>,
+        cfg: ServeConfig,
+    ) -> Self {
         let queue = Arc::new(BatchQueue::new(cfg.queue_depth));
         let worker_count = cfg.workers.max(1);
         let shared = Arc::new(Shared {
-            latency: (0..worker_count)
-                .map(|_| Mutex::new(LatencyHistogram::new()))
+            workers: (0..worker_count)
+                .map(|_| {
+                    Mutex::new(WorkerStats {
+                        latency: LatencyHistogram::new(),
+                        windows: Vec::new(),
+                    })
+                })
                 .collect(),
             served: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             cost_units: AtomicU64::new(0),
+            writes_applied: AtomicU64::new(0),
+            writes_rejected: AtomicU64::new(0),
+            writes_failed: AtomicU64::new(0),
+            writer_windows: Mutex::new(Vec::new()),
+            started: Instant::now(),
+            window: if cfg.window.is_zero() {
+                Duration::from_millis(100)
+            } else {
+                cfg.window
+            },
         });
         let policy = BatchPolicy {
             max_batch: cfg.batch.max(1),
@@ -266,16 +549,37 @@ impl Server {
             .map(|w| {
                 let queue = Arc::clone(&queue);
                 let shared = Arc::clone(&shared);
-                let index = Arc::clone(&index);
-                std::thread::spawn(move || worker_loop(&queue, &shared, w, &index, policy))
+                let slot = Arc::clone(&slot);
+                std::thread::spawn(move || worker_loop(&queue, &shared, w, &slot, policy))
             })
             .collect();
+        let (write_queue, writer) = match writer_state {
+            Some(state) => {
+                let write_queue = Arc::new(BatchQueue::new(cfg.write_queue_depth));
+                let write_policy = BatchPolicy {
+                    max_batch: cfg.write_batch.max(1),
+                    deadline: cfg.write_deadline,
+                };
+                let writer = {
+                    let queue = Arc::clone(&write_queue);
+                    let shared = Arc::clone(&shared);
+                    let slot = Arc::clone(&slot);
+                    std::thread::spawn(move || {
+                        writer_loop(&queue, &shared, &slot, state, write_policy)
+                    })
+                };
+                (Some(write_queue), Some(writer))
+            }
+            None => (None, None),
+        };
         Self {
             queue,
+            write_queue,
             shared,
+            slot,
             workers,
-            index_name: index.name().to_string(),
-            started: Instant::now(),
+            writer,
+            index_name,
         }
     }
 
@@ -283,7 +587,13 @@ impl Server {
     pub fn handle(&self) -> ServerHandle {
         ServerHandle {
             queue: Arc::clone(&self.queue),
+            write_queue: self.write_queue.as_ref().map(Arc::clone),
         }
+    }
+
+    /// The epoch currently served (0 until the first write is published).
+    pub fn epoch(&self) -> u64 {
+        self.slot.epoch()
     }
 
     /// Serves a whole probe slice through the queue and returns the answers
@@ -300,19 +610,60 @@ impl Server {
     }
 
     /// Builds a [`ServeReport`] from the current counters, merging the
-    /// per-worker histograms.
+    /// per-worker histograms and time-series windows.
     fn report(&self) -> ServeReport {
         let mut latency = LatencyHistogram::new();
-        for per_worker in &self.shared.latency {
-            latency.merge(&per_worker.lock().expect("latency histogram poisoned"));
+        let mut windows: Vec<WindowAccum> = Vec::new();
+        for per_worker in &self.shared.workers {
+            let stats = per_worker.lock().expect("worker stats poisoned");
+            latency.merge(&stats.latency);
+            if windows.len() < stats.windows.len() {
+                windows.resize(stats.windows.len(), WindowAccum::new());
+            }
+            for (acc, w) in windows.iter_mut().zip(stats.windows.iter()) {
+                acc.latency.merge(&w.latency);
+                acc.served += w.served;
+                acc.cost_units += w.cost_units;
+            }
         }
+        let writer_windows = self
+            .shared
+            .writer_windows
+            .lock()
+            .expect("writer windows poisoned")
+            .clone();
+        let rows = windows.len().max(writer_windows.len());
+        let window = self.shared.window;
+        let timeline = (0..rows)
+            .map(|i| {
+                let read = windows.get(i);
+                let write = writer_windows.get(i).copied().unwrap_or_default();
+                WindowStats {
+                    start_ms: (window.as_millis() as u64).saturating_mul(i as u64),
+                    served: read.map_or(0, |w| w.served),
+                    cost_units: read.map_or(0, |w| w.cost_units),
+                    p50_ns: read.map_or(0, |w| w.latency.p50()),
+                    p99_ns: read.map_or(0, |w| w.latency.p99()),
+                    epochs: write.epochs,
+                    writes_applied: write.applied,
+                    writes_rejected: write.rejected,
+                    writes_failed: write.failed,
+                }
+            })
+            .collect();
         ServeReport {
             index: self.index_name.clone(),
             served: self.shared.served.load(Ordering::Relaxed),
             batches: self.shared.batches.load(Ordering::Relaxed),
             cost_units: self.shared.cost_units.load(Ordering::Relaxed),
-            elapsed: self.started.elapsed(),
+            elapsed: self.shared.started.elapsed(),
             latency,
+            epochs: self.slot.epoch(),
+            writes_applied: self.shared.writes_applied.load(Ordering::Relaxed),
+            writes_rejected: self.shared.writes_rejected.load(Ordering::Relaxed),
+            writes_failed: self.shared.writes_failed.load(Ordering::Relaxed),
+            window,
+            timeline,
         }
     }
 
@@ -321,41 +672,67 @@ impl Server {
         self.report()
     }
 
-    /// Stops admission, drains the backlog, joins the workers, and returns
-    /// the session's final [`ServeReport`]. Workers survive panicking
-    /// index lookups (those requests fail with [`LisError::Invariant`] at
-    /// the ticket), so the join only fails on a bug in the front end
-    /// itself.
+    /// Stops admission on both queues, drains the backlogs, joins the
+    /// workers and the writer, and returns the session's final
+    /// [`ServeReport`]. Workers survive panicking index lookups (those
+    /// requests fail with [`LisError::Invariant`] at the ticket), so the
+    /// join only fails on a bug in the front end itself.
     pub fn shutdown(mut self) -> ServeReport {
         self.queue.close();
+        if let Some(write_queue) = &self.write_queue {
+            write_queue.close();
+        }
         for worker in std::mem::take(&mut self.workers) {
             worker.join().expect("serving worker panicked");
+        }
+        if let Some(writer) = self.writer.take() {
+            writer.join().expect("writer thread panicked");
         }
         self.report()
     }
 }
 
-/// One worker: drain micro-batches, answer them through the index's batched
-/// hot path, fulfill the tickets, record latency and counters. Latencies
-/// land in this worker's own histogram slot, so the hot path never
+/// One worker: drain micro-batches, answer them through the current
+/// epoch's snapshot, fulfill the tickets, record latency and counters.
+/// Latencies land in this worker's own stats slot, so the hot path never
 /// contends with other workers on a shared lock — and the batch, key, and
 /// response buffers are all worker-owned and reused, so a steady-state
 /// batch performs no heap allocation on the response path (the
-/// `zero_alloc` integration test pins this down).
+/// `zero_alloc` integration test pins this down). The epoch snapshot is
+/// cached and re-read only when the epoch counter moves, so lookups take
+/// no lock while the write plane is idle *or* busy — readers never block
+/// on writers.
 fn worker_loop(
     queue: &BatchQueue<Request>,
     shared: &Shared,
     worker: usize,
-    index: &DynIndex,
+    slot: &EpochSlot,
     policy: BatchPolicy,
 ) {
     let mut batch: Vec<Request> = Vec::with_capacity(policy.max_batch);
     let mut keys: Vec<Key> = Vec::with_capacity(policy.max_batch);
     let mut results: Vec<Lookup> = Vec::with_capacity(policy.max_batch);
-    while queue.pop_batch_into(policy, &mut batch) {
+    let mut epoch = slot.epoch();
+    let mut index: Option<Arc<DynIndex>> = None;
+    loop {
+        if queue.is_empty() {
+            // About to park: drop the cached snapshot so the writer can
+            // reclaim a retired epoch as its next shadow instead of
+            // timing out against an idle reader and rebuilding.
+            index = None;
+        }
+        if !queue.pop_batch_into(policy, &mut batch) {
+            break;
+        }
         if batch.is_empty() {
             continue;
         }
+        let current = slot.epoch();
+        if current != epoch || index.is_none() {
+            index = Some(slot.load());
+            epoch = current;
+        }
+        let index = index.as_ref().expect("snapshot loaded above");
         keys.clear();
         keys.extend(batch.iter().map(|r| r.key));
         // A panicking lookup (a bug in the index structure) must not
@@ -375,13 +752,21 @@ fn worker_loop(
         }
         let cost: usize = results.iter().map(|r| r.cost).sum();
         let done = Instant::now();
-        let mut latency = shared.latency[worker]
+        let widx = shared.window_index(done);
+        let mut stats = shared.workers[worker]
             .lock()
-            .expect("latency histogram poisoned");
-        for request in batch.iter() {
-            latency.record_duration(done.duration_since(request.submitted));
+            .expect("worker stats poisoned");
+        if stats.windows.len() <= widx {
+            stats.windows.resize(widx + 1, WindowAccum::new());
         }
-        drop(latency);
+        for request in batch.iter() {
+            let latency = done.duration_since(request.submitted);
+            stats.latency.record_duration(latency);
+            stats.windows[widx].latency.record_duration(latency);
+        }
+        stats.windows[widx].served += batch.len() as u64;
+        stats.windows[widx].cost_units += cost as u64;
+        drop(stats);
         let served = batch.len() as u64;
         for (request, hit) in batch.drain(..).zip(results.iter()) {
             request.slot.fulfill(Ok(*hit));
@@ -392,9 +777,186 @@ fn worker_loop(
     }
 }
 
+/// The writer thread's private state: the authoritative keyset, the
+/// mutable shadow index, and the op logs that keep the double-buffer
+/// scheme consistent.
+///
+/// Invariants between flushes: the *published* front equals the keyset
+/// minus `front_lag`; the shadow `back` (when present) equals the keyset
+/// minus `back_lag`.
+struct WriterState {
+    keyset: KeySet,
+    back: Option<DynIndex>,
+    front_lag: Vec<WriteOp>,
+    back_lag: Vec<WriteOp>,
+    build: IndexBuild,
+    admission: Box<dyn AdmissionPolicy>,
+}
+
+/// Replays `ops` in submission order against the shadow through the
+/// fallible write surface; any error (including
+/// [`LisError::Unsupported`] from statically trained structures) aborts so
+/// the caller falls back to a rebuild.
+fn apply_native(index: &mut DynIndex, ops: &[WriteOp]) -> Result<()> {
+    for op in ops {
+        match *op {
+            WriteOp::Insert(k) => index.try_insert(k)?,
+            WriteOp::Remove(k) => index.try_remove(k)?,
+        }
+    }
+    Ok(())
+}
+
+/// Reclaims the previous front as the next shadow once in-flight readers
+/// release it. Workers hold the `Arc` only for the duration of one batch,
+/// so a bounded wait suffices; on expiry the caller rebuilds instead —
+/// the writer may wait on readers, never the other way around.
+fn recover(mut arc: Arc<DynIndex>) -> Option<DynIndex> {
+    for _ in 0..200 {
+        match Arc::try_unwrap(arc) {
+            Ok(index) => return Some(index),
+            Err(still_shared) => {
+                arc = still_shared;
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+    }
+    None
+}
+
+/// The writer thread: drain write micro-batches, validate + screen +
+/// apply them, publish one epoch per batch, and account the outcome.
+fn writer_loop(
+    queue: &BatchQueue<WriteRequest>,
+    shared: &Shared,
+    slot: &EpochSlot,
+    mut state: WriterState,
+    policy: BatchPolicy,
+) {
+    let mut batch: Vec<WriteRequest> = Vec::with_capacity(policy.max_batch);
+    let mut pending: Vec<Arc<ResponseSlot<WriteStatus>>> = Vec::new();
+    let mut applied_ops: Vec<WriteOp> = Vec::new();
+    while queue.pop_batch_into(policy, &mut batch) {
+        if batch.is_empty() {
+            continue;
+        }
+        pending.clear();
+        applied_ops.clear();
+        let mut rejected = 0u64;
+        let mut failed = 0u64;
+        for request in batch.drain(..) {
+            let status = match request.op {
+                WriteOp::Insert(k) if state.keyset.contains(k) => Some(WriteStatus::Failed {
+                    reason: format!("duplicate key {k}"),
+                }),
+                WriteOp::Remove(k) if !state.keyset.contains(k) => Some(WriteStatus::Failed {
+                    reason: format!("key {k} not present"),
+                }),
+                op => match state.admission.admit(&op, request.source, &state.keyset) {
+                    Admission::Reject(filter) => Some(WriteStatus::Rejected { filter }),
+                    Admission::Admit => {
+                        let outcome = match op {
+                            WriteOp::Insert(k) => state.keyset.insert(k),
+                            WriteOp::Remove(k) => state.keyset.remove(k),
+                        };
+                        match outcome {
+                            Ok(()) => None,
+                            Err(e) => Some(WriteStatus::Failed {
+                                reason: e.to_string(),
+                            }),
+                        }
+                    }
+                },
+            };
+            match status {
+                Some(terminal) => {
+                    if matches!(terminal, WriteStatus::Rejected { .. }) {
+                        rejected += 1;
+                    } else {
+                        failed += 1;
+                    }
+                    request.slot.fulfill(Ok(terminal));
+                }
+                None => {
+                    applied_ops.push(request.op);
+                    pending.push(request.slot);
+                }
+            }
+        }
+        let mut epochs_published = 0u64;
+        if !applied_ops.is_empty() {
+            state.front_lag.extend_from_slice(&applied_ops);
+            state.back_lag.extend_from_slice(&applied_ops);
+            // Bring the shadow up to the authoritative keyset: native
+            // in-place writes when the structure supports them, else a
+            // full rebuild (the static-structure path).
+            let native_ok = match state.back.as_mut() {
+                Some(back) => apply_native(back, &state.back_lag).is_ok(),
+                None => false,
+            };
+            if !native_ok {
+                state.back = (state.build)(&state.keyset).ok();
+            }
+            match state.back.take() {
+                Some(next) => {
+                    state.back_lag.clear();
+                    let old = slot.publish(Arc::new(next));
+                    epochs_published = 1;
+                    let epoch = slot.epoch();
+                    for response in pending.drain(..) {
+                        response.fulfill(Ok(WriteStatus::Applied { epoch }));
+                    }
+                    // The old front becomes the next shadow; it is missing
+                    // exactly the ops applied since it was last published.
+                    match recover(old) {
+                        Some(index) => {
+                            state.back = Some(index);
+                            state.back_lag = state.front_lag.clone();
+                        }
+                        None => {
+                            state.back = None;
+                            state.back_lag.clear();
+                        }
+                    }
+                    state.front_lag.clear();
+                }
+                None => {
+                    // No publishable shadow (rebuild failed, e.g. the
+                    // keyset shrank below a builder's minimum): the writes
+                    // are authoritative in the keyset, the served snapshot
+                    // lags, and the lag logs retry on the next flush.
+                    let epoch = slot.epoch();
+                    for response in pending.drain(..) {
+                        response.fulfill(Ok(WriteStatus::Applied { epoch }));
+                    }
+                }
+            }
+        }
+        let applied = applied_ops.len() as u64;
+        shared.writes_applied.fetch_add(applied, Ordering::Relaxed);
+        shared
+            .writes_rejected
+            .fetch_add(rejected, Ordering::Relaxed);
+        shared.writes_failed.fetch_add(failed, Ordering::Relaxed);
+        let widx = shared.window_index(Instant::now());
+        let mut windows = shared
+            .writer_windows
+            .lock()
+            .expect("writer windows poisoned");
+        if windows.len() <= widx {
+            windows.resize(widx + 1, WriterWindow::default());
+        }
+        windows[widx].epochs += epochs_published;
+        windows[widx].applied += applied;
+        windows[widx].rejected += rejected;
+        windows[widx].failed += failed;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::write::AdmitAll;
     use lis_core::index::IndexRegistry;
     use lis_core::keys::KeySet;
 
@@ -402,6 +964,20 @@ mod tests {
         let ks = KeySet::from_keys((0..n).map(|i| i * 7 + 3).collect()).unwrap();
         let idx = IndexRegistry::with_defaults().build("rmi", &ks).unwrap();
         (ks, Arc::new(idx))
+    }
+
+    fn online_server(n: u64, index: &'static str) -> (KeySet, Server) {
+        let domain = lis_core::keys::KeyDomain::new(0, 100_000_000).unwrap();
+        let ks = KeySet::new((0..n).map(|i| i * 7 + 3).collect(), domain).unwrap();
+        let registry = IndexRegistry::with_defaults();
+        let server = Server::start_online(
+            ks.clone(),
+            move |ks| registry.build(index, ks),
+            Box::new(AdmitAll),
+            ServeConfig::offline().workers(2).write_batch(8),
+        )
+        .unwrap();
+        (ks, server)
     }
 
     #[test]
@@ -427,6 +1003,15 @@ mod tests {
         );
         assert!(report.throughput() > 0.0);
         assert!(report.mean_batch() >= 1.0);
+        // The timeline accounts for every served request and cost unit.
+        assert_eq!(
+            report.timeline.iter().map(|w| w.served).sum::<u64>(),
+            report.served
+        );
+        assert_eq!(
+            report.timeline.iter().map(|w| w.cost_units).sum::<u64>(),
+            report.cost_units
+        );
     }
 
     #[test]
@@ -459,6 +1044,10 @@ mod tests {
             queue_depth: 0,
             batch: 0,
             deadline: Duration::from_micros(0),
+            write_queue_depth: 0,
+            write_batch: 0,
+            write_deadline: Duration::from_micros(0),
+            window: Duration::from_micros(0),
         };
         let server = Server::start(idx, cfg);
         let served = server.serve_all(ks.keys()).unwrap();
@@ -537,5 +1126,197 @@ mod tests {
         assert_eq!(snap.index, "rmi");
         let report = server.shutdown();
         assert_eq!(report.served, 300);
+    }
+
+    #[test]
+    fn wait_timeout_gives_up_on_a_stalled_server() {
+        use lis_core::index::LearnedIndex;
+        struct SlowIndex;
+        impl LearnedIndex for SlowIndex {
+            type Config = ();
+            fn build(_: &KeySet, _: &()) -> lis_core::error::Result<Self> {
+                Ok(Self)
+            }
+            fn lookup(&self, _: Key) -> Lookup {
+                std::thread::sleep(Duration::from_millis(250));
+                Lookup::membership(true, 1)
+            }
+            fn loss(&self) -> f64 {
+                0.0
+            }
+            fn memory_bytes(&self) -> usize {
+                1
+            }
+            fn len(&self) -> usize {
+                1
+            }
+        }
+        let index = Arc::new(DynIndex::new("slow", SlowIndex));
+        let server = Server::start(index, ServeConfig::new().workers(1).batch(1));
+        let handle = server.handle();
+        let ticket = handle.submit(1).unwrap();
+        match ticket.wait_timeout(Duration::from_millis(10)) {
+            Err(LisError::Timeout(waited)) => {
+                assert_eq!(waited, Duration::from_millis(10));
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        // A patient ticket on the same stalled server still gets served —
+        // the timeout abandoned one ticket, not the request plane.
+        let patient = handle.submit(2).unwrap();
+        assert!(patient.wait_timeout(Duration::from_secs(30)).unwrap().found);
+        server.shutdown();
+    }
+
+    #[test]
+    fn writes_to_read_only_server_are_unsupported() {
+        let (_, idx) = served_index(100);
+        let server = Server::start(idx, ServeConfig::offline());
+        let handle = server.handle();
+        assert!(matches!(
+            handle.write(WriteOp::Insert(1), 0),
+            Err(LisError::Unsupported(_))
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn online_rmi_serves_writes_through_epoch_rebuilds() {
+        let (ks, server) = online_server(2_000, "rmi");
+        let handle = server.handle();
+        // A fresh key is invisible, then visible after its epoch lands.
+        assert!(!handle.lookup(1).unwrap().found);
+        let status = handle.write(WriteOp::Insert(1), 7).unwrap();
+        let epoch = match status {
+            WriteStatus::Applied { epoch } => epoch,
+            other => panic!("expected Applied, got {other:?}"),
+        };
+        assert!(epoch >= 1);
+        assert!(handle.lookup(1).unwrap().found, "epoch swap lost the write");
+        // Removal takes effect the same way.
+        let victim = ks.keys()[100];
+        assert!(handle.lookup(victim).unwrap().found);
+        assert!(handle
+            .write(WriteOp::Remove(victim), 7)
+            .unwrap()
+            .is_applied());
+        assert!(!handle.lookup(victim).unwrap().found);
+        // Validation failures are terminal and do not bump the epoch.
+        let before = server.epoch();
+        assert!(matches!(
+            handle.write(WriteOp::Insert(1), 7).unwrap(),
+            WriteStatus::Failed { .. }
+        ));
+        assert!(matches!(
+            handle.write(WriteOp::Remove(999_999_999), 7).unwrap(),
+            WriteStatus::Failed { .. }
+        ));
+        assert_eq!(server.epoch(), before);
+        let report = server.shutdown();
+        assert_eq!(report.writes_applied, 2);
+        assert_eq!(report.writes_failed, 2);
+        assert!(report.epochs >= 2);
+        assert_eq!(
+            report.timeline.iter().map(|w| w.epochs).sum::<u64>(),
+            report.epochs
+        );
+    }
+
+    #[test]
+    fn online_alex_takes_the_native_write_path() {
+        let (ks, server) = online_server(3_000, "alex");
+        let handle = server.handle();
+        for (i, k) in [1u64, 2, 4, 5, 9_000_000].into_iter().enumerate() {
+            assert!(handle
+                .write(WriteOp::Insert(k), i as u64)
+                .unwrap()
+                .is_applied());
+        }
+        for k in [1u64, 2, 4, 5, 9_000_000] {
+            assert!(handle.lookup(k).unwrap().found, "lost write {k}");
+        }
+        for &k in ks.keys().iter().step_by(211) {
+            assert!(handle.lookup(k).unwrap().found, "lost member {k}");
+        }
+        let report = server.shutdown();
+        assert_eq!(report.writes_applied, 5);
+        assert!(report.epochs >= 1);
+    }
+
+    #[test]
+    fn admission_policy_rejects_and_is_reported() {
+        struct OddOnly;
+        impl AdmissionPolicy for OddOnly {
+            fn name(&self) -> &str {
+                "odd-only"
+            }
+            fn admit(&mut self, op: &WriteOp, _source: u64, _ks: &KeySet) -> Admission {
+                if op.key() % 2 == 1 {
+                    Admission::Admit
+                } else {
+                    Admission::Reject("odd-only".into())
+                }
+            }
+        }
+        let ks = KeySet::from_keys((0..500u64).map(|i| i * 7 + 3).collect()).unwrap();
+        let registry = IndexRegistry::with_defaults();
+        let server = Server::start_online(
+            ks,
+            move |ks| registry.build("btree", ks),
+            Box::new(OddOnly),
+            ServeConfig::offline().workers(1),
+        )
+        .unwrap();
+        let handle = server.handle();
+        assert!(handle.write(WriteOp::Insert(11), 0).unwrap().is_applied());
+        match handle.write(WriteOp::Insert(12), 0).unwrap() {
+            WriteStatus::Rejected { filter } => assert_eq!(filter, "odd-only"),
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+        assert!(handle.lookup(11).unwrap().found);
+        assert!(!handle.lookup(12).unwrap().found);
+        let report = server.shutdown();
+        assert_eq!(report.writes_applied, 1);
+        assert_eq!(report.writes_rejected, 1);
+        assert_eq!(
+            report
+                .timeline
+                .iter()
+                .map(|w| w.writes_rejected)
+                .sum::<u64>(),
+            1
+        );
+    }
+
+    #[test]
+    fn concurrent_reads_survive_a_write_burst() {
+        let (ks, server) = online_server(4_000, "rmi");
+        let members: Vec<Key> = ks.keys().to_vec();
+        std::thread::scope(|scope| {
+            let write_handle = server.handle();
+            scope.spawn(move || {
+                for i in 0..400u64 {
+                    let status = write_handle.write(WriteOp::Insert(i * 7 + 4), 1).unwrap();
+                    assert!(status.is_applied(), "write {i} not applied: {status:?}");
+                }
+            });
+            for _ in 0..2 {
+                let handle = server.handle();
+                let members = &members;
+                scope.spawn(move || {
+                    // Original members stay found through every epoch swap
+                    // (the campaign only inserts).
+                    for _ in 0..5 {
+                        for &k in members.iter().step_by(17) {
+                            assert!(handle.lookup(k).unwrap().found, "lost member {k}");
+                        }
+                    }
+                });
+            }
+        });
+        let report = server.shutdown();
+        assert_eq!(report.writes_applied, 400);
+        assert!(report.epochs >= 1);
+        assert!(report.served > 0);
     }
 }

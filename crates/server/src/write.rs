@@ -1,0 +1,230 @@
+//! The server's write plane: write requests, tickets, and the pluggable
+//! admission-control surface.
+//!
+//! Writes travel a dedicated bounded [`BatchQueue`](crate::queue::BatchQueue)
+//! (backpressure independent of the read queue) into a single writer
+//! thread that owns the authoritative keyset and a mutable shadow index.
+//! Each drained micro-batch is validated against the keyset, screened by
+//! an [`AdmissionPolicy`], applied, and published as one new epoch — see
+//! [`crate::epoch`] and `Server::start_online`.
+//!
+//! Admission control is where online defenses plug in: a policy sees every
+//! candidate write together with its source id and the *current*
+//! authoritative keyset, and either admits it or names the filter that
+//! rejected it. Concrete filters (per-source rate limiting, streaming
+//! density screens) live in `lis_defense::admission`; this module defines
+//! only the trait, the pass-through [`AdmitAll`], and the first-reject-wins
+//! [`AdmissionChain`], so the server carries no dependency on the defense
+//! crate.
+
+use crate::server::ResponseSlot;
+use lis_core::error::Result;
+use lis_core::keys::{Key, KeySet};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One mutation of the served keyset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOp {
+    /// Insert a new key.
+    Insert(Key),
+    /// Remove an existing key.
+    Remove(Key),
+}
+
+impl WriteOp {
+    /// The key the operation targets.
+    pub fn key(&self) -> Key {
+        match *self {
+            WriteOp::Insert(k) | WriteOp::Remove(k) => k,
+        }
+    }
+}
+
+/// Terminal outcome of one submitted write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteStatus {
+    /// The write landed in the authoritative keyset; `epoch` is the epoch
+    /// whose published snapshot first reflects it.
+    Applied {
+        /// Epoch number serving the write.
+        epoch: u64,
+    },
+    /// An admission filter turned the write away.
+    Rejected {
+        /// Name of the rejecting filter.
+        filter: String,
+    },
+    /// The write was invalid against the authoritative keyset (duplicate
+    /// insert, remove of an absent key, out-of-domain key).
+    Failed {
+        /// Human-readable failure reason.
+        reason: String,
+    },
+}
+
+impl WriteStatus {
+    /// `true` iff the write was applied.
+    pub fn is_applied(&self) -> bool {
+        matches!(self, WriteStatus::Applied { .. })
+    }
+
+    /// `true` iff an admission filter rejected the write.
+    pub fn is_rejected(&self) -> bool {
+        matches!(self, WriteStatus::Rejected { .. })
+    }
+}
+
+/// A claim on one in-flight write; resolves to a [`WriteStatus`].
+pub struct WriteTicket {
+    pub(crate) slot: Arc<ResponseSlot<WriteStatus>>,
+}
+
+impl WriteTicket {
+    /// Blocks until the writer thread has decided the write's fate.
+    pub fn wait(self) -> Result<WriteStatus> {
+        self.slot.wait()
+    }
+
+    /// Like [`WriteTicket::wait`] but gives up with
+    /// [`LisError::Timeout`](lis_core::error::LisError::Timeout) after
+    /// `timeout` — a backlogged write queue cannot hang the client.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<WriteStatus> {
+        self.slot.wait_timeout(timeout)
+    }
+}
+
+/// One queued write: the operation, its claimed source, and the slot the
+/// writer thread fulfills.
+pub(crate) struct WriteRequest {
+    pub(crate) op: WriteOp,
+    pub(crate) source: u64,
+    pub(crate) slot: Arc<ResponseSlot<WriteStatus>>,
+}
+
+/// An admission filter's verdict on one write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Admission {
+    /// Let the write through (to the next filter, then the keyset).
+    Admit,
+    /// Turn it away; the string names the rejecting filter and lands in
+    /// [`WriteStatus::Rejected`].
+    Reject(String),
+}
+
+/// A pluggable screen on the write queue.
+///
+/// `admit` runs on the writer thread with the write already validated
+/// (no duplicates, no absent-key removes reach it), the submitting
+/// client's source id, and the current authoritative keyset — enough for
+/// rate limiting, envelope checks, and density screens. Policies are
+/// stateful (`&mut self`): one policy instance sees the whole write stream
+/// in admission order.
+pub trait AdmissionPolicy: Send {
+    /// Short display name (used in reports and rejection reasons).
+    fn name(&self) -> &str;
+
+    /// Decides one write against the current authoritative keyset.
+    fn admit(&mut self, op: &WriteOp, source: u64, keyset: &KeySet) -> Admission;
+}
+
+/// The no-defense policy: every validated write is admitted.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdmitAll;
+
+impl AdmissionPolicy for AdmitAll {
+    fn name(&self) -> &str {
+        "admit-all"
+    }
+
+    fn admit(&mut self, _op: &WriteOp, _source: u64, _keyset: &KeySet) -> Admission {
+        Admission::Admit
+    }
+}
+
+/// Composes filters; the first rejection wins and later filters never see
+/// the write (their state only tracks admitted-or-earlier-screened
+/// traffic, like a real filter stack).
+#[derive(Default)]
+pub struct AdmissionChain {
+    filters: Vec<Box<dyn AdmissionPolicy>>,
+}
+
+impl AdmissionChain {
+    /// An empty chain (admits everything).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a filter (builder style).
+    pub fn with(mut self, filter: impl AdmissionPolicy + 'static) -> Self {
+        self.filters.push(Box::new(filter));
+        self
+    }
+
+    /// Number of filters in the chain.
+    pub fn len(&self) -> usize {
+        self.filters.len()
+    }
+
+    /// `true` iff the chain holds no filters.
+    pub fn is_empty(&self) -> bool {
+        self.filters.is_empty()
+    }
+}
+
+impl AdmissionPolicy for AdmissionChain {
+    fn name(&self) -> &str {
+        "chain"
+    }
+
+    fn admit(&mut self, op: &WriteOp, source: u64, keyset: &KeySet) -> Admission {
+        for filter in &mut self.filters {
+            if let Admission::Reject(by) = filter.admit(op, source, keyset) {
+                return Admission::Reject(by);
+            }
+        }
+        Admission::Admit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct RejectOver(Key);
+
+    impl AdmissionPolicy for RejectOver {
+        fn name(&self) -> &str {
+            "reject-over"
+        }
+
+        fn admit(&mut self, op: &WriteOp, _source: u64, _keyset: &KeySet) -> Admission {
+            if op.key() > self.0 {
+                Admission::Reject("reject-over".into())
+            } else {
+                Admission::Admit
+            }
+        }
+    }
+
+    #[test]
+    fn chain_applies_first_reject() {
+        let ks = KeySet::from_keys(vec![1, 5, 9]).unwrap();
+        let mut chain = AdmissionChain::new().with(AdmitAll).with(RejectOver(100));
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain.admit(&WriteOp::Insert(7), 0, &ks), Admission::Admit);
+        assert_eq!(
+            chain.admit(&WriteOp::Insert(101), 0, &ks),
+            Admission::Reject("reject-over".into())
+        );
+    }
+
+    #[test]
+    fn write_op_reports_its_key() {
+        assert_eq!(WriteOp::Insert(7).key(), 7);
+        assert_eq!(WriteOp::Remove(9).key(), 9);
+        assert!(WriteStatus::Applied { epoch: 3 }.is_applied());
+        assert!(WriteStatus::Rejected { filter: "x".into() }.is_rejected());
+    }
+}

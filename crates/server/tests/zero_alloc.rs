@@ -19,7 +19,7 @@
 
 use lis_core::index::{DynIndex, IndexRegistry};
 use lis_core::keys::{Key, KeySet};
-use lis_server::{ServeConfig, Server};
+use lis_server::{AdmitAll, ServeConfig, Server, WriteOp};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -120,4 +120,61 @@ fn steady_state_serving_performs_no_per_batch_allocation() {
     );
     let report = server.shutdown();
     assert!(report.mlookups_per_s() > 0.0);
+
+    // Window 3: the read path keeps the same per-request bound with the
+    // write plane active. An online alex server (native write path)
+    // absorbs a write burst so several epochs have been published, then
+    // serves the identical probe load while a trickle of writes lands
+    // concurrently. Writes pay their own bounded cost (client slot,
+    // keyset/lag bookkeeping, occasional leaf splits) — the read side
+    // must not start allocating per batch because epochs now move.
+    let online = Server::start_online(
+        keyset(60_000),
+        |ks| IndexRegistry::with_defaults().build("alex", ks),
+        Box::new(AdmitAll),
+        ServeConfig::new().workers(2).batch(8),
+    )
+    .unwrap();
+    let handle = online.handle();
+    let keys = ks.keys();
+    let midpoint = |i: usize| {
+        let (a, b) = (keys[i], keys[i + 1]);
+        a + (b - a) / 2
+    };
+    for j in 0..200 {
+        let status = handle
+            .write(WriteOp::Insert(midpoint(10_000 + j * 5)), 0)
+            .unwrap();
+        assert!(status.is_applied(), "burst write failed: {status:?}");
+    }
+    for _ in 0..3 {
+        online.serve_all(&warm).unwrap();
+    }
+    let before = allocations();
+    std::thread::scope(|scope| {
+        let trickle = scope.spawn(|| {
+            for j in 0..8 {
+                let key = midpoint(40_000 + j * 5);
+                let status = handle.write(WriteOp::Insert(key), 1).unwrap();
+                assert!(status.is_applied(), "trickle write failed: {status:?}");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        });
+        let served = online.serve_all(&probes).unwrap();
+        assert_eq!(served.len(), probes.len());
+        trickle.join().unwrap();
+    });
+    let delta = allocations() - before;
+    let bound = requests + requests / 8 + 2_048;
+    assert!(
+        delta <= bound,
+        "served {requests} requests under live writes with {delta} allocations \
+         (bound {bound}): the write plane is leaking allocation into the read path"
+    );
+    let report = online.shutdown();
+    assert_eq!(report.writes_applied, 208);
+    assert!(
+        report.epochs > 0,
+        "native writes should still publish epochs"
+    );
 }

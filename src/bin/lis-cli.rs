@@ -47,6 +47,7 @@ fn main() -> ExitCode {
         "inspect" => cmd_inspect(&flags),
         "pipeline" => cmd_pipeline(&flags),
         "serve-bench" => cmd_serve_bench(&flags),
+        "serve-online" => cmd_serve_online(&flags),
         "bench-hotpath" => cmd_bench_hotpath(&flags),
         "bench-build" => cmd_bench_build(&flags),
         "list-indexes" => cmd_list_indexes(),
@@ -121,6 +122,18 @@ COMMANDS:
       --clients C         concurrent traffic generator threads       [2]
       --poison-pct P      RMI-attack budget percentage              [10]
       --model-size M      keys per second-stage model (campaign)   [100]
+
+  serve-online        online attack plane: live poisoning + admission defenses
+      --keys N            victim keyset size                      [200000]
+      --density F         keyset density in (0, 1]                   [0.1]
+      --index NAME        victim registry name                       [rmi]
+      --poison-pct P      campaign budget percentage                  [10]
+      --benign-writes N   benign inserts trickled during campaign   [2000]
+      --requests N        benign reads per pre/post phase          [60000]
+      --readers R         concurrent benign reader threads             [2]
+      --workers W         serving worker threads                       [2]
+      --seed S            workload RNG seed                           [42]
+      --out FILE          JSON report path            [BENCH_online.json]
 
   bench-hotpath       read-hot-path microbench: ns/lookup + Mlookups/s grid
       --keys N            keyset size                            [1000000]
@@ -547,6 +560,53 @@ fn cmd_bench_hotpath(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve_online(flags: &Flags) -> Result<(), String> {
+    use lis::online::{run_online, OnlineConfig};
+
+    let defaults = OnlineConfig::default();
+    let cfg = OnlineConfig {
+        keys: flag(flags, "keys", defaults.keys)?,
+        density: flag(flags, "density", defaults.density)?,
+        index: flags.get("index").cloned().unwrap_or(defaults.index),
+        poison_percent: flag(flags, "poison-pct", defaults.poison_percent)?,
+        benign_writes: flag(flags, "benign-writes", defaults.benign_writes)?,
+        probe_requests: flag(flags, "requests", defaults.probe_requests)?,
+        readers: flag(flags, "readers", defaults.readers)?,
+        workers: flag(flags, "workers", defaults.workers)?,
+        seed: flag(flags, "seed", defaults.seed)?,
+    };
+    println!(
+        "serve-online: {} keys ({}), {}% campaign, {} benign writes, {} probes/phase\n",
+        cfg.keys, cfg.index, cfg.poison_percent, cfg.benign_writes, cfg.probe_requests
+    );
+    let report = run_online(&cfg).map_err(|e| e.to_string())?;
+    println!(
+        "{:<22} {:>9} {:>8} {:>8} {:>10} {:>9} {:>7}",
+        "scenario", "drift", "recall", "collat", "applied", "rejected", "epochs"
+    );
+    for s in &report.scenarios {
+        println!(
+            "{:<22} {:>8.3}x {:>8.3} {:>8.3} {:>10} {:>9} {:>7}",
+            s.name,
+            s.drift(),
+            s.recall(),
+            s.collateral(),
+            s.serve.writes_applied,
+            s.serve.writes_rejected,
+            s.serve.epochs
+        );
+    }
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_online.json".into());
+    report
+        .write_json(std::path::Path::new(&out))
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!("\nwrote {out}");
+    Ok(())
+}
+
 fn cmd_bench_build(flags: &Flags) -> Result<(), String> {
     use lis::buildpath::{run_buildpath, BuildpathConfig};
 
@@ -798,6 +858,26 @@ mod tests {
         assert!(cmd_serve_bench(&flags).is_err());
         flags.insert("attack-ratio".into(), "abc".into());
         assert!(cmd_serve_bench(&flags).is_err());
+    }
+
+    #[test]
+    fn serve_online_writes_json_report() {
+        let dir = std::env::temp_dir().join("lis_cli_online_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH_online.json").to_string_lossy().to_string();
+        let mut flags = Flags::new();
+        flags.insert("keys".into(), "3000".into());
+        flags.insert("benign-writes".into(), "60".into());
+        flags.insert("requests".into(), "1500".into());
+        flags.insert("readers".into(), "1".into());
+        flags.insert("workers".into(), "2".into());
+        flags.insert("out".into(), out.clone());
+        cmd_serve_online(&flags).unwrap();
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.contains("\"bench\": \"online_serving\""));
+        assert!(json.contains("\"name\": \"undefended\""));
+        assert!(json.contains("\"name\": \"defended:density\""));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

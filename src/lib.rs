@@ -17,8 +17,12 @@
 //!   [`Defense`](lis_defense::Defense) trait;
 //! * [`workloads`] — synthetic and simulated-real keysets;
 //! * [`server`] — the concurrent serving front end (bounded request
-//!   queue, adaptive micro-batcher, worker pool, latency histogram, and
-//!   live benign/adversarial traffic sources);
+//!   queue, adaptive micro-batcher, worker pool, latency histogram, live
+//!   benign/adversarial traffic sources, and the epoch-swapped write
+//!   plane with pluggable admission control);
+//! * [`online`] — the online attack plane: live Algorithm-2 poisoning
+//!   campaigns through the serve path, plus the benign / undefended /
+//!   defended harness behind `BENCH_online.json`;
 //! * [`pipeline`] — the workload → attack → defense → index → report
 //!   builder composing all of the above, measuring through [`server`];
 //! * [`hotpath`] — the read-hot-path microbenchmark engine producing the
@@ -54,6 +58,7 @@
 
 pub use lis_core as core;
 pub use lis_defense as defense;
+pub use lis_online as online;
 pub use lis_poison as poison;
 pub use lis_server as server;
 pub use lis_workloads as workloads;
@@ -76,12 +81,14 @@ pub mod prelude {
     pub use lis_core::shard::{ShardConfig, ShardedIndex};
     pub use lis_core::stats::BoxplotSummary;
     pub use lis_defense::{Defense, DefenseOutcome};
+    pub use lis_defense::{DensityScreen, SourceRateLimit, TrustedFence};
+    pub use lis_online::{run_campaign, run_online, Campaign, CampaignConfig, OnlineConfig};
     pub use lis_poison::{
         greedy_poison, greedy_poison_lazy, optimal_single_point, rmi_attack, Attack, AttackOutcome,
         GreedyPlan, IncrementalOracle, PoisonBudget, RmiAttackConfig, RmiAttackResult,
     };
     pub use lis_server::{
-        BenignSource, LatencyHistogram, MixedSource, ReplaySource, ServeConfig, ServeReport,
-        Server, TrafficSource,
+        AdmissionChain, AdmissionPolicy, AdmitAll, BenignSource, LatencyHistogram, MixedSource,
+        ReplaySource, ServeConfig, ServeReport, Server, TrafficSource, WriteOp, WriteStatus,
     };
 }

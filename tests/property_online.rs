@@ -1,0 +1,243 @@
+//! Property tests for the online write plane.
+//!
+//! The contract that makes live poisoning measurements meaningful: an
+//! index mutated *online* through the serve path (epoch-swapped writes)
+//! must answer exactly like an index built *offline* from the same final
+//! keyset — for every victim structure, whether the write stream is
+//! benign churn or an Algorithm-2 campaign. Plus the adjacent write-plane
+//! surfaces: the registry-wide fallible write API, and the traffic mixer's
+//! realized adversarial ratio.
+
+use lis::online::{run_campaign, Campaign, CampaignConfig};
+use lis::prelude::*;
+use lis::server::{AdmitAll, WriteOp};
+use lis::workloads::{domain_for_density, trial_rng, uniform_keys};
+use proptest::prelude::*;
+use rand::Rng;
+use std::collections::BTreeSet;
+
+const N: usize = 600;
+const DENSITY: f64 = 0.15;
+
+fn sample_keyset(seed: u64) -> KeySet {
+    let domain = domain_for_density(N, DENSITY).expect("valid density");
+    let mut rng = trial_rng(seed, 0);
+    uniform_keys(&mut rng, N, domain).expect("sampling")
+}
+
+/// A deterministic benign write stream: inserts into gap midpoints and
+/// removes of scattered members, interleaved.
+fn benign_ops(ks: &KeySet, seed: u64, writes: usize) -> Vec<WriteOp> {
+    let mut rng = trial_rng(seed, 1);
+    let keys = ks.keys().to_vec();
+    let mut present: BTreeSet<Key> = keys.iter().copied().collect();
+    let mut ops = Vec::with_capacity(writes);
+    while ops.len() < writes {
+        if rng.gen::<f64>() < 0.7 {
+            let i = rng.gen_range(0..keys.len() - 1);
+            let (a, b) = (keys[i], keys[i + 1]);
+            if b - a >= 2 {
+                let mid = a + (b - a) / 2;
+                if present.insert(mid) {
+                    ops.push(WriteOp::Insert(mid));
+                }
+            }
+        } else {
+            let i = rng.gen_range(0..keys.len());
+            if present.remove(&keys[i]) {
+                ops.push(WriteOp::Remove(keys[i]));
+            }
+        }
+    }
+    ops
+}
+
+/// Applies `ops` through a live online server, then checks every probe
+/// against an index built offline from the same final keyset.
+fn assert_online_matches_offline(
+    name: &'static str,
+    ks: &KeySet,
+    ops: &[WriteOp],
+) -> Result<(), TestCaseError> {
+    let registry = IndexRegistry::with_defaults();
+    let server = Server::start_online(
+        ks.clone(),
+        move |ks| IndexRegistry::with_defaults().build(name, ks),
+        Box::new(AdmitAll),
+        ServeConfig::offline().workers(2).write_batch(16),
+    )
+    .expect("online server");
+    let handle = server.handle();
+    let mut final_keys: BTreeSet<Key> = ks.keys().iter().copied().collect();
+    for (i, &op) in ops.iter().enumerate() {
+        let status = handle.write(op, i as u64 % 4).expect("write path");
+        prop_assert!(
+            status.is_applied(),
+            "{}: benign op {:?} not applied: {:?}",
+            name,
+            op,
+            status
+        );
+        match op {
+            WriteOp::Insert(k) => final_keys.insert(k),
+            WriteOp::Remove(k) => final_keys.remove(&k),
+        };
+    }
+
+    // Probes: everything ever seen (members, inserted, removed) plus gap
+    // interiors.
+    let mut probes: Vec<Key> = final_keys.iter().copied().step_by(2).collect();
+    probes.extend(ops.iter().map(|op| op.key()));
+    probes.extend(ks.gaps().iter().take(30).map(|g| g.lo + (g.hi - g.lo) / 2));
+
+    let offline_ks =
+        KeySet::new(final_keys.into_iter().collect(), ks.domain()).expect("final keyset");
+    let offline = registry.build(name, &offline_ks).expect("offline build");
+    let expected = offline.lookup_batch(&probes);
+    let online = server.serve_all(&probes).expect("online serve");
+    for ((&k, got), want) in probes.iter().zip(&online).zip(&expected) {
+        prop_assert_eq!(
+            got.found,
+            want.found,
+            "{}: online/offline disagree on membership of {}",
+            name,
+            k
+        );
+        prop_assert_eq!(
+            got.found,
+            offline_ks.contains(k),
+            "{}: online membership of {} wrong vs ground truth",
+            name,
+            k
+        );
+        if let (Some(gp), Some(wp)) = (got.pos, want.pos) {
+            prop_assert_eq!(gp, wp, "{}: online/offline disagree on rank of {}", name, k);
+        }
+    }
+    let report = server.shutdown();
+    prop_assert_eq!(report.writes_applied as usize, ops.len());
+    prop_assert!(report.epochs >= 1);
+    Ok(())
+}
+
+proptest! {
+    /// Benign online mutation ≡ offline rebuild, for a static structure
+    /// (rmi — rebuild-per-epoch path), a natively writable one (alex),
+    /// and the baseline (btree).
+    #[test]
+    fn online_mutation_matches_offline_build(seed in 0u64..500) {
+        let ks = sample_keyset(seed);
+        let ops = benign_ops(&ks, seed, 60);
+        for name in ["rmi", "alex", "btree"] {
+            assert_online_matches_offline(name, &ks, &ops)?;
+        }
+    }
+
+    /// A live Algorithm-2 campaign through the serve path leaves the
+    /// victim answering exactly like an offline build over the poisoned
+    /// keyset — poisoning degrades cost, never answers, online included.
+    #[test]
+    fn online_campaign_matches_offline_poisoned_build(seed in 0u64..200) {
+        let ks = sample_keyset(seed);
+        let name = if seed % 2 == 0 { "rmi" } else { "alex" };
+        let server = Server::start_online(
+            ks.clone(),
+            move |ks| IndexRegistry::with_defaults().build(name, ks),
+            Box::new(AdmitAll),
+            ServeConfig::offline().workers(2).write_batch(16),
+        ).expect("online server");
+        let mut campaign = Campaign::plan(&ks, &CampaignConfig {
+            poison_percent: 5.0,
+            ..CampaignConfig::default()
+        }).expect("plan");
+        run_campaign(&server.handle(), &mut campaign, 99, 8).expect("campaign");
+        prop_assert!(campaign.applied() > 0, "campaign landed nothing");
+
+        let mut poisoned = ks.clone();
+        for &k in campaign.applied_keys() {
+            poisoned.insert(k).expect("poison key valid");
+        }
+        let offline = IndexRegistry::with_defaults()
+            .build(name, &poisoned)
+            .expect("offline poisoned build");
+        let mut probes: Vec<Key> = poisoned.keys().iter().step_by(3).copied().collect();
+        probes.extend(campaign.applied_keys());
+        let expected = offline.lookup_batch(&probes);
+        let online = server.serve_all(&probes).expect("online serve");
+        for ((&k, got), want) in probes.iter().zip(&online).zip(&expected) {
+            prop_assert_eq!(
+                got.found, want.found,
+                "{}: poisoned online/offline disagree on {}", name, k
+            );
+        }
+        server.shutdown();
+    }
+
+    /// The fallible write surface is total over the registry: every index
+    /// either applies an insert/remove pair faithfully or reports
+    /// `Unsupported` leaving itself untouched.
+    #[test]
+    fn registry_write_surface_is_total(seed in 0u64..500) {
+        let ks = sample_keyset(seed);
+        let registry = IndexRegistry::with_defaults();
+        let fresh = ks.gaps().first().map(|g| g.lo + (g.hi - g.lo) / 2)
+            .expect("keyset has gaps");
+        let member = ks.keys()[ks.len() / 2];
+        for name in registry.names() {
+            let mut index = registry.build(name, &ks).expect("build");
+            let before = index.len();
+            match index.try_insert(fresh) {
+                Ok(()) => {
+                    prop_assert!(
+                        index.lookup(fresh).found,
+                        "{}: applied insert of {} not found", name, fresh
+                    );
+                    prop_assert_eq!(index.len(), before + 1, "{} len after insert", name);
+                    prop_assert!(index.try_remove(fresh).is_ok(), "{} remove", name);
+                    prop_assert!(!index.lookup(fresh).found, "{} key back after remove", name);
+                    prop_assert_eq!(index.len(), before, "{} len after remove", name);
+                }
+                Err(lis::core::error::LisError::Unsupported(_)) => {
+                    prop_assert_eq!(index.len(), before, "{} len changed on Unsupported", name);
+                    prop_assert!(!index.lookup(fresh).found, "{} inserted despite Unsupported", name);
+                    // The remove side must refuse the same way.
+                    prop_assert!(
+                        matches!(
+                            index.try_remove(member),
+                            Err(lis::core::error::LisError::Unsupported(_))
+                        ),
+                        "{}: try_remove should be Unsupported too", name
+                    );
+                }
+                Err(e) => prop_assert!(false, "{}: unexpected error {:?}", name, e),
+            }
+        }
+    }
+
+    /// The traffic mixer's realized adversarial ratio converges to the
+    /// configured ratio.
+    #[test]
+    fn mixed_source_ratio_converges(ratio in 0.05f64..0.95, seed in 0u64..1_000) {
+        let benign_keys: Vec<Key> = (0..100u64).map(|i| i * 2).collect();
+        let attack_keys: Vec<Key> = (0..100u64).map(|i| i * 2 + 1).collect();
+        let attack_set: BTreeSet<Key> = attack_keys.iter().copied().collect();
+        let mut mixed = MixedSource::new(
+            BenignSource::new(benign_keys, seed).expect("benign"),
+            ReplaySource::new(attack_keys).expect("replay"),
+            ratio,
+            seed ^ 0x9E37_79B9,
+        );
+        let draws = 4_000;
+        let adversarial = (0..draws)
+            .filter(|_| attack_set.contains(&mixed.next_key()))
+            .count();
+        let realized = adversarial as f64 / draws as f64;
+        // Binomial tolerance: ~4 standard deviations plus slack.
+        let tol = 4.0 * (ratio * (1.0 - ratio) / draws as f64).sqrt() + 0.01;
+        prop_assert!(
+            (realized - ratio).abs() <= tol,
+            "realized {:.4} vs configured {:.4} (tol {:.4})",
+            realized, ratio, tol
+        );
+    }
+}
