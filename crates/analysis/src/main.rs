@@ -1,0 +1,10 @@
+//! CLI entry point: lints the workspace rooted at the manifest dir's
+//! grandparent (or the first CLI argument) and writes the JSON report.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    lis_analysis::cli_main()
+}

@@ -1,0 +1,390 @@
+//! Line-level source model behind the lint rules.
+//!
+//! This is deliberately *not* a Rust parser: the rules are syntactic
+//! policies, and a line scanner that separates code from comments,
+//! blanks out string/char literals, tracks brace depth, and classifies
+//! blocks (`while`/`loop`/`for` bodies, `#[cfg(test)]` modules) is
+//! enough to enforce them with zero dependencies. The scanner is
+//! conservative where it must guess: an unterminated argument list at
+//! end-of-line is treated as matching, and allow-comments are honored
+//! from the flagged line or the contiguous comment block above it.
+
+/// One scanned source line plus its lexical context.
+#[derive(Debug, Clone)]
+pub struct LineInfo {
+    /// 1-based line number.
+    pub number: usize,
+    /// Code with comments removed and string/char literal *contents*
+    /// blanked (quotes preserved), so token matches never fire inside
+    /// literals or comments.
+    pub code: String,
+    /// Brace depth at the start of the line.
+    pub depth: usize,
+    /// Inside a `#[cfg(test)]`/`#[test]`-gated block.
+    pub in_test: bool,
+    /// Inside a `while`/`loop`/`for` body (at any enclosing level).
+    pub in_loop: bool,
+    /// Inside a declared zero-alloc zone (file marker or begin/end
+    /// region).
+    pub in_zero_alloc_zone: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockKind {
+    Loop,
+    Test,
+    Other,
+}
+
+/// A scanned file: per-line context plus the allow-comment map.
+#[derive(Debug)]
+pub struct FileScan {
+    lines: Vec<LineInfo>,
+    /// Rules allowed per line (from `lis-analysis: allow(<rule>)`).
+    allows: Vec<Vec<String>>,
+    /// Lines that are comment-only (eligible to carry allows for the
+    /// code line below them).
+    comment_only: Vec<bool>,
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Whether `text` contains `word` as a standalone token.
+fn has_word(text: &str, word: &str) -> bool {
+    let mut from = 0;
+    while let Some(i) = text[from..].find(word) {
+        let at = from + i;
+        let before_ok = at == 0 || !text[..at].chars().next_back().is_some_and(is_ident_char);
+        let after = at + word.len();
+        let after_ok =
+            after >= text.len() || !text[after..].chars().next().is_some_and(is_ident_char);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = after;
+    }
+    false
+}
+
+/// Splits one raw line into (code-with-literals-blanked, comment-text),
+/// updating the cross-line block-comment state.
+fn split_line(raw: &str, in_block_comment: &mut bool) -> (String, String) {
+    let mut code = String::with_capacity(raw.len());
+    let mut comment = String::new();
+    let chars: Vec<char> = raw.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if *in_block_comment {
+            if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                *in_block_comment = false;
+                i += 2;
+            } else {
+                comment.push(chars[i]);
+                i += 1;
+            }
+            continue;
+        }
+        let c = chars[i];
+        match c {
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                // Line comment: the rest of the line is comment text.
+                comment.extend(&chars[i + 2..]);
+                break;
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                *in_block_comment = true;
+                i += 2;
+            }
+            '"' => {
+                // String literal: keep the quotes, blank the contents.
+                code.push('"');
+                i += 1;
+                while i < chars.len() {
+                    match chars[i] {
+                        '\\' => i += 2,
+                        '"' => {
+                            code.push('"');
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            'r' if chars.get(i + 1) == Some(&'"')
+                || (chars.get(i + 1) == Some(&'#')
+                    && matches!(chars.get(i + 2), Some(&'"') | Some(&'#'))) =>
+            {
+                // Raw string r"..." / r#"..."# (up to a few hashes).
+                let mut hashes = 0;
+                let mut j = i + 1;
+                while chars.get(j) == Some(&'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if chars.get(j) == Some(&'"') {
+                    code.push('"');
+                    j += 1;
+                    'raw: while j < chars.len() {
+                        if chars[j] == '"' {
+                            let mut k = 0;
+                            while k < hashes && chars.get(j + 1 + k) == Some(&'#') {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                code.push('"');
+                                j += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        j += 1;
+                    }
+                    i = j;
+                } else {
+                    code.push('r');
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // Char literal vs lifetime: a literal is '\x' or 'c'.
+                let is_char_lit =
+                    chars.get(i + 1) == Some(&'\\') || chars.get(i + 2) == Some(&'\'');
+                if is_char_lit {
+                    code.push('\'');
+                    i += 1;
+                    while i < chars.len() {
+                        match chars[i] {
+                            '\\' => i += 2,
+                            '\'' => {
+                                code.push('\'');
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                } else {
+                    code.push('\'');
+                    i += 1;
+                }
+            }
+            c => {
+                code.push(c);
+                i += 1;
+            }
+        }
+    }
+    (code, comment)
+}
+
+fn parse_allows(comment: &str, out: &mut Vec<String>) {
+    let mut from = 0;
+    while let Some(i) = comment[from..].find("lis-analysis: allow(") {
+        let start = from + i + "lis-analysis: allow(".len();
+        if let Some(end) = comment[start..].find(')') {
+            out.push(comment[start..start + end].trim().to_string());
+            from = start + end;
+        } else {
+            break;
+        }
+    }
+}
+
+impl FileScan {
+    /// Scans `text` into per-line context.
+    pub fn new(text: &str) -> Self {
+        let mut lines = Vec::new();
+        let mut allows = Vec::new();
+        let mut comment_only = Vec::new();
+
+        let mut in_block_comment = false;
+        let mut depth = 0usize;
+        let mut stack: Vec<BlockKind> = Vec::new();
+        let mut stmt_buffer = String::new();
+        let mut pending_test_attr = false;
+        let mut file_zone = false;
+        let mut region_zone = false;
+
+        for (idx, raw) in text.lines().enumerate() {
+            let (code, comment) = split_line(raw, &mut in_block_comment);
+
+            // Zone markers live in comments and must be the *whole*
+            // comment (so prose that merely mentions a marker — e.g. the
+            // linter's own docs — does not open a zone).
+            let marker = comment.trim();
+            if marker == "lis-analysis: zone(zero-alloc)" {
+                file_zone = true;
+            }
+            if marker == "lis-analysis: begin(zero-alloc)" {
+                region_zone = true;
+            }
+
+            let mut line_allows = Vec::new();
+            parse_allows(&comment, &mut line_allows);
+
+            let trimmed = code.trim();
+            let info = LineInfo {
+                number: idx + 1,
+                code: code.clone(),
+                depth,
+                in_test: stack.contains(&BlockKind::Test),
+                in_loop: stack.contains(&BlockKind::Loop),
+                in_zero_alloc_zone: file_zone || region_zone,
+            };
+            comment_only.push(trimmed.is_empty() && !comment.trim().is_empty());
+            allows.push(line_allows);
+            lines.push(info);
+
+            if marker == "lis-analysis: end(zero-alloc)" {
+                region_zone = false;
+            }
+
+            // Track test attributes: `#[cfg(test)]`, `#[cfg(all(test,
+            // ...))]`, `#[test]` arm the next opened block.
+            if trimmed.starts_with("#[") && has_word(trimmed, "test") {
+                pending_test_attr = true;
+            }
+
+            // Update depth / block stack from the code part.
+            for c in code.chars() {
+                match c {
+                    '{' => {
+                        let kind = if has_word(&stmt_buffer, "while")
+                            || has_word(&stmt_buffer, "loop")
+                            || has_word(&stmt_buffer, "for")
+                        {
+                            BlockKind::Loop
+                        } else if pending_test_attr
+                            && (has_word(&stmt_buffer, "mod") || has_word(&stmt_buffer, "fn"))
+                        {
+                            pending_test_attr = false;
+                            BlockKind::Test
+                        } else {
+                            BlockKind::Other
+                        };
+                        stack.push(kind);
+                        depth += 1;
+                        stmt_buffer.clear();
+                    }
+                    '}' => {
+                        stack.pop();
+                        depth = depth.saturating_sub(1);
+                        stmt_buffer.clear();
+                    }
+                    ';' => stmt_buffer.clear(),
+                    c => stmt_buffer.push(c),
+                }
+            }
+            stmt_buffer.push(' ');
+        }
+
+        FileScan {
+            lines,
+            allows,
+            comment_only,
+        }
+    }
+
+    /// The scanned lines, in order.
+    pub fn lines(&self) -> &[LineInfo] {
+        &self.lines
+    }
+
+    /// Whether `rule` is allowed at 1-based `line` — by an allow on the
+    /// line itself or in the contiguous comment block directly above.
+    pub fn is_allowed(&self, line: usize, rule: &str) -> bool {
+        if line == 0 || line > self.lines.len() {
+            return false;
+        }
+        let idx = line - 1;
+        if self.allows[idx].iter().any(|r| r == rule) {
+            return true;
+        }
+        let mut i = idx;
+        while i > 0 && self.comment_only[i - 1] {
+            i -= 1;
+            if self.allows[i].iter().any(|r| r == rule) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let scan = FileScan::new("let x = \"a { b\"; // brace { in comment\n");
+        assert_eq!(scan.lines()[0].code, "let x = \"\"; ");
+        assert_eq!(scan.lines()[0].depth, 0);
+    }
+
+    #[test]
+    fn loop_blocks_are_classified() {
+        let src = "fn f() {\n    while x {\n        wait();\n    }\n    wait();\n}\n";
+        let scan = FileScan::new(src);
+        assert!(scan.lines()[2].in_loop);
+        assert!(!scan.lines()[4].in_loop);
+    }
+
+    #[test]
+    fn test_mods_are_tracked() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn x() {}\n}\nfn y() {}\n";
+        let scan = FileScan::new(src);
+        assert!(scan.lines()[2].in_test);
+        assert!(!scan.lines()[4].in_test);
+    }
+
+    #[test]
+    fn cfg_all_test_feature_is_a_test_mod() {
+        let src = "#[cfg(all(test, feature = \"check\"))]\nmod model_tests {\n    fn x() {}\n}\n";
+        let scan = FileScan::new(src);
+        assert!(scan.lines()[2].in_test);
+    }
+
+    #[test]
+    fn allows_apply_from_line_and_comment_block_above() {
+        let src = "\
+// Justification for the exception below.
+// lis-analysis: allow(serve-no-panic)
+let a = x.unwrap();
+let b = y.unwrap(); // lis-analysis: allow(serve-no-panic)
+let c = z.unwrap();
+";
+        let scan = FileScan::new(src);
+        assert!(scan.is_allowed(3, "serve-no-panic"));
+        assert!(scan.is_allowed(4, "serve-no-panic"));
+        assert!(!scan.is_allowed(5, "serve-no-panic"));
+        assert!(!scan.is_allowed(3, "zero-alloc"));
+    }
+
+    #[test]
+    fn zone_markers_scope_regions() {
+        let src = "\
+let a = Vec::new();
+// lis-analysis: begin(zero-alloc)
+let b = 1 + 2;
+// lis-analysis: end(zero-alloc)
+let c = Vec::new();
+";
+        let scan = FileScan::new(src);
+        assert!(!scan.lines()[0].in_zero_alloc_zone);
+        assert!(scan.lines()[2].in_zero_alloc_zone);
+        assert!(!scan.lines()[4].in_zero_alloc_zone);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_do_not_derail() {
+        let src = "fn f<'a>(x: &'a str) -> char { let b = '{'; b }\n";
+        let scan = FileScan::new(src);
+        assert_eq!(scan.lines().len(), 1);
+        // The '{' literal must not have opened a block.
+        let scan2 = FileScan::new("let b = '{';\nlet c = 1;\n");
+        assert_eq!(scan2.lines()[1].depth, 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Mutation self-test for the lint suite: a deliberately violating
+//! source tree must trip every rule, inline allows must suppress, and
+//! the real workspace must scan clean (the CI gate this crate exists
+//! to hold).
+
+use lis_analysis::{analyze, RULES};
+use std::path::{Path, PathBuf};
+
+/// A scratch "workspace" under the target dir (unique per test so the
+/// suites can run in parallel).
+fn scratch_root(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/lis-analysis-selftest")
+        .join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write(root: &Path, rel: &str, text: &str) {
+    let path = root.join(rel);
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    std::fs::write(path, text).unwrap();
+}
+
+const VIOLATING_SERVER_FILE: &str = r#"
+// lis-analysis: zone(zero-alloc)
+pub fn hot(xs: &[u64]) -> Vec<u64> {
+    let mut out = Vec::new();
+    for x in xs {
+        out.push(*x + 1);
+    }
+    out
+}
+
+pub fn wait_without_loop(cv: &std::sync::Condvar, m: &std::sync::Mutex<bool>) {
+    let guard = m.lock().unwrap();
+    let _guard = cv.wait(guard).unwrap();
+}
+
+pub fn spawn_somewhere() {
+    std::thread::spawn(|| {}).join().unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let x: Option<u32> = Some(1);
+        x.unwrap();
+    }
+}
+"#;
+
+#[test]
+fn violating_tree_trips_every_rule() {
+    let root = scratch_root("violating");
+    write(&root, "src/lib.rs", "pub fn ok() {}\n");
+    write(&root, "crates/server/src/bad.rs", VIOLATING_SERVER_FILE);
+    write(
+        &root,
+        "crates/core/src/index.rs",
+        "pub fn with_defaults() {\n    let _ = Registered::new();\n}\n",
+    );
+    write(
+        &root,
+        "crates/core/src/orphan.rs",
+        "impl LearnedIndex for Orphan {}\nimpl LearnedIndex for Registered {}\n",
+    );
+
+    let report = analyze(&root);
+    let hit: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
+    for rule in RULES {
+        assert!(
+            hit.contains(&rule),
+            "rule `{rule}` not tripped by the violating tree; report: {:#?}",
+            report.violations
+        );
+    }
+
+    // The serve-path file trips zero-alloc (2 alloc sites), serve-no-panic
+    // (unwraps outside the test mod only), condvar-predicate, and
+    // thread-discipline.
+    let in_bad = |rule: &str| {
+        report
+            .violations
+            .iter()
+            .filter(|v| v.rule == rule && v.file.ends_with("bad.rs"))
+            .count()
+    };
+    assert_eq!(in_bad("zero-alloc"), 2);
+    assert_eq!(in_bad("condvar-predicate"), 1);
+    assert_eq!(in_bad("thread-discipline"), 1);
+    assert!(in_bad("serve-no-panic") >= 3);
+    assert!(
+        !report
+            .violations
+            .iter()
+            .any(|v| v.file.ends_with("bad.rs") && v.line >= 24),
+        "the #[cfg(test)] module must be exempt"
+    );
+
+    // The orphan index type is flagged; the registered one is not.
+    let registry: Vec<&str> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == "registry-complete")
+        .map(|v| v.message.as_str())
+        .collect();
+    assert_eq!(registry.len(), 1);
+    assert!(registry[0].contains("`Orphan`"));
+
+    // Machine-readable report: valid shape, counts match.
+    let json = report.to_json();
+    assert!(json.contains("\"violation_count\""));
+    assert!(json.contains("\"rule\": \"zero-alloc\""));
+}
+
+#[test]
+fn allows_suppress_and_are_counted() {
+    let root = scratch_root("allowed");
+    write(
+        &root,
+        "crates/server/src/excused.rs",
+        r#"
+pub fn teardown(h: std::thread::JoinHandle<()>) {
+    // Justified: shutdown path, the panic is the report of record.
+    // lis-analysis: allow(serve-no-panic)
+    h.join().unwrap();
+}
+
+pub fn sanctioned_spawn() {
+    // lis-analysis: allow(thread-discipline) — test fixture.
+    std::thread::spawn(|| {}); // lis-analysis: allow(serve-no-panic)
+}
+"#,
+    );
+    let report = analyze(&root);
+    assert!(
+        report.is_clean(),
+        "allows must suppress: {:#?}",
+        report.violations
+    );
+    assert_eq!(report.allowed, 2);
+}
+
+/// The acceptance gate: the real workspace scans clean. This is the same
+/// pass CI's `analyze` job runs; keeping it as a test means `cargo test`
+/// alone catches a policy regression.
+#[test]
+fn real_workspace_is_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = analyze(&root);
+    assert!(
+        report.files_scanned > 50,
+        "workspace walk found too few files"
+    );
+    assert!(
+        report.is_clean(),
+        "workspace must pass its own lint suite: {:#?}",
+        report.violations
+    );
+}

@@ -1,0 +1,283 @@
+//! Schedule exploration: bounded-preemption depth-first search plus
+//! seeded-random exploration, failure reporting, and replay.
+
+use crate::rt::{self, Aborted, RunOutcome, Scheduler};
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Exploration knobs for [`check`]/[`try_check`].
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// Maximum preemptions per schedule in the exhaustive DFS phase. A
+    /// preemption is a decision that switches away from a thread that
+    /// could have continued; most concurrency bugs surface within 2.
+    pub preemption_bound: usize,
+    /// Distinct-schedule target: exploration continues (DFS first, then
+    /// seeded-random) until at least this many *distinct* schedules have
+    /// run, the bounded space is exhausted, or random exploration
+    /// saturates. Overridden by the `LIS_CHECK_ITERS` env var.
+    pub min_schedules: usize,
+    /// Hard cap on total runs (DFS + random), protecting wall clock.
+    pub max_total_runs: usize,
+    /// Per-run yield-point bound; a run exceeding it fails as a
+    /// suspected livelock.
+    pub max_steps: usize,
+    /// Seed for the random phase (deterministic across runs).
+    pub seed: u64,
+}
+
+impl CheckConfig {
+    /// The default budget: preemption bound 2, ≥10k distinct schedules
+    /// (or `LIS_CHECK_ITERS`), 20k steps per run.
+    pub fn new() -> Self {
+        let min_schedules = std::env::var("LIS_CHECK_ITERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(10_000)
+            .max(1);
+        Self {
+            preemption_bound: 2,
+            min_schedules,
+            max_total_runs: min_schedules.saturating_mul(4).max(50_000),
+            max_steps: 20_000,
+            seed: 0x5EED_CAFE,
+        }
+    }
+
+    /// A reduced budget for doctests and tiny smoke checks.
+    pub fn small() -> Self {
+        Self {
+            min_schedules: 16,
+            max_total_runs: 64,
+            ..Self::new()
+        }
+    }
+
+    /// Sets the distinct-schedule target (builder style).
+    pub fn min_schedules(mut self, n: usize) -> Self {
+        self.min_schedules = n.max(1);
+        self.max_total_runs = self.max_total_runs.max(n.saturating_mul(4));
+        self
+    }
+
+    /// Sets the DFS preemption bound (builder style).
+    pub fn preemption_bound(mut self, bound: usize) -> Self {
+        self.preemption_bound = bound;
+        self
+    }
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// What an exploration did.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Total schedules executed.
+    pub schedules: usize,
+    /// Distinct schedules executed (by decision-sequence hash).
+    pub distinct: usize,
+    /// Whether the preemption-bounded DFS space was fully exhausted.
+    pub exhausted: bool,
+}
+
+/// A failing schedule: the cause, the step trace, and how to replay it.
+#[derive(Debug, Clone)]
+pub struct CheckFailure {
+    /// Human-readable cause (assertion, deadlock, lost wakeup, livelock).
+    pub message: String,
+    /// Step-by-step trace of the failing schedule.
+    pub trace: String,
+    /// Value for `LIS_CHECK_REPLAY` to re-run exactly this schedule.
+    pub replay: String,
+    /// Schedules executed before the failure was found.
+    pub schedules: usize,
+}
+
+impl std::fmt::Display for CheckFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "cause: {}", self.message)?;
+        writeln!(f, "schedules explored before failure: {}", self.schedules)?;
+        writeln!(f, "failing schedule trace:")?;
+        write!(f, "{}", self.trace)?;
+        writeln!(f, "replay: LIS_CHECK_REPLAY=\"{}\"", self.replay)
+    }
+}
+
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Executes one schedule: `prefix` forces the first decisions, the rest
+/// follow the default policy (or the seeded RNG when `rng_seed` is set).
+fn run_once<F: Fn()>(
+    prefix: &[usize],
+    rng_seed: Option<u64>,
+    max_steps: usize,
+    f: &F,
+) -> RunOutcome {
+    rt::install_quiet_abort_hook();
+    let sched = Arc::new(Scheduler::new(prefix.to_vec(), rng_seed, max_steps));
+    rt::set_ctx(&sched, 0);
+    let result = catch_unwind(AssertUnwindSafe(f));
+    match result {
+        Ok(()) => {
+            // Normal completion: cooperatively wait for every spawned
+            // model thread (may itself surface a deadlock and abort).
+            let _ = catch_unwind(AssertUnwindSafe(|| sched.join_all(0)));
+        }
+        Err(payload) => {
+            if payload.downcast_ref::<Aborted>().is_none() {
+                sched.fail_external(format!(
+                    "main model thread panicked: {}",
+                    rt::panic_message(payload.as_ref())
+                ));
+            } else {
+                // Teardown panic: the failure is already recorded.
+                sched.fail_external("model run aborted".to_string());
+            }
+        }
+    }
+    rt::clear_ctx();
+    sched.join_real_threads();
+    sched.outcome()
+}
+
+/// The deepest backtrack of `decisions` whose next alternative stays
+/// within `bound` preemptions; `None` when the bounded space around this
+/// run is exhausted.
+fn next_prefix(decisions: &[crate::rt::Decision], bound: usize) -> Option<Vec<usize>> {
+    let mut preempts = vec![0usize; decisions.len() + 1];
+    for (i, d) in decisions.iter().enumerate() {
+        preempts[i + 1] = preempts[i] + usize::from(d.preemptive(d.chosen));
+    }
+    for k in (0..decisions.len()).rev() {
+        let d = &decisions[k];
+        for alt in d.chosen + 1..d.choices.len() {
+            let cost = preempts[k] + usize::from(d.preemptive(alt));
+            if cost <= bound {
+                let mut prefix: Vec<usize> =
+                    decisions[..k].iter().map(|prev| prev.chosen).collect();
+                prefix.push(alt);
+                return Some(prefix);
+            }
+        }
+    }
+    None
+}
+
+fn render_trace(outcome: &RunOutcome) -> String {
+    let mut out = String::new();
+    for (i, step) in outcome.trace.iter().enumerate() {
+        let name = outcome
+            .thread_names
+            .get(step.tid)
+            .map(String::as_str)
+            .unwrap_or("?");
+        out.push_str(&format!("  {i:4}. t{} [{name}] {}\n", step.tid, step.desc));
+    }
+    out
+}
+
+fn failure_from(outcome: &RunOutcome, message: String, schedules: usize) -> CheckFailure {
+    CheckFailure {
+        message,
+        trace: render_trace(outcome),
+        replay: outcome.replay_string(),
+        schedules,
+    }
+}
+
+/// Explores `f` under `cfg` and returns the report, or the first failing
+/// schedule. `LIS_CHECK_REPLAY="i,j,k"` skips exploration and runs
+/// exactly that schedule.
+pub fn try_check<F: Fn()>(name: &str, cfg: CheckConfig, f: F) -> Result<CheckReport, CheckFailure> {
+    if let Ok(replay) = std::env::var("LIS_CHECK_REPLAY") {
+        let prefix: Vec<usize> = replay
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(|s| {
+                s.trim()
+                    .parse::<usize>()
+                    .expect("bad LIS_CHECK_REPLAY entry")
+            })
+            .collect();
+        let outcome = run_once(&prefix, None, cfg.max_steps, &f);
+        eprintln!("lis_check[{name}] replaying {} decisions:", prefix.len());
+        eprintln!("{}", render_trace(&outcome));
+        return match outcome.failure.clone() {
+            Some(msg) => Err(failure_from(&outcome, msg, 1)),
+            None => Ok(CheckReport {
+                schedules: 1,
+                distinct: 1,
+                exhausted: false,
+            }),
+        };
+    }
+
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut schedules = 0usize;
+    let mut exhausted = false;
+
+    // Phase 1: exhaustive DFS within the preemption bound.
+    let mut prefix: Vec<usize> = Vec::new();
+    loop {
+        let outcome = run_once(&prefix, None, cfg.max_steps, &f);
+        schedules += 1;
+        seen.insert(outcome.schedule_hash());
+        if let Some(msg) = outcome.failure.clone() {
+            return Err(failure_from(&outcome, msg, schedules));
+        }
+        match next_prefix(&outcome.decisions, cfg.preemption_bound) {
+            Some(next) => prefix = next,
+            None => {
+                exhausted = true;
+                break;
+            }
+        }
+        if schedules >= cfg.min_schedules || schedules >= cfg.max_total_runs {
+            break;
+        }
+    }
+
+    // Phase 2: seeded-random exploration beyond the preemption bound,
+    // until the distinct target is met or new schedules dry up.
+    let mut seed = cfg.seed;
+    let mut stale = 0usize;
+    const STALE_CAP: usize = 500;
+    while seen.len() < cfg.min_schedules && schedules < cfg.max_total_runs && stale < STALE_CAP {
+        seed = splitmix(seed);
+        let outcome = run_once(&[], Some(seed), cfg.max_steps, &f);
+        schedules += 1;
+        if let Some(msg) = outcome.failure.clone() {
+            return Err(failure_from(&outcome, msg, schedules));
+        }
+        if seen.insert(outcome.schedule_hash()) {
+            stale = 0;
+        } else {
+            stale += 1;
+        }
+    }
+
+    Ok(CheckReport {
+        schedules,
+        distinct: seen.len(),
+        exhausted,
+    })
+}
+
+/// Like [`try_check`] but panics with the full trace and replay string
+/// on failure — the test-facing entry point.
+pub fn check<F: Fn()>(name: &str, cfg: CheckConfig, f: F) -> CheckReport {
+    match try_check(name, cfg, f) {
+        Ok(report) => report,
+        Err(failure) => panic!("lis_check failure in '{name}'\n{failure}"),
+    }
+}

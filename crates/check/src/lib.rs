@@ -1,0 +1,173 @@
+//! # lis_check — deterministic concurrency model checking
+//!
+//! The serving plane's safety claims (readers never block on writers,
+//! retired epoch fronts are reclaimed exactly once, no ticket is stranded
+//! on shutdown) are concurrency properties. Ordinary `#[test]`s exercise
+//! only whatever interleavings the host scheduler happens to produce —
+//! on a single-core CI container, usually the same few. This crate makes
+//! the schedule a *controlled input*:
+//!
+//! * [`sync`] is a facade over `std::sync` (`Mutex`, `Condvar`, `Arc`,
+//!   atomics). With the `check` feature **off** (the default) it
+//!   re-exports std verbatim — zero cost, zero behavior change. With
+//!   `check` **on**, the primitives are instrumented: every lock,
+//!   unlock, wait, notify, and atomic access becomes a *yield point*
+//!   where a central scheduler decides which thread runs next.
+//! * [`thread`] is the matching facade over `std::thread` (`spawn`,
+//!   `sleep`, `yield_now`): under `check`, spawned threads register with
+//!   the active scheduler and `sleep` is a pure yield point (no wall
+//!   clock).
+//! * [`check`]/[`try_check`] run a closure under exploration: exhaustive
+//!   depth-first search over scheduling decisions up to a bounded number
+//!   of preemptions, then seeded-random exploration beyond the bound,
+//!   until at least [`CheckConfig::min_schedules`] *distinct* schedules
+//!   have run (override with `LIS_CHECK_ITERS`).
+//!
+//! Detected failures:
+//!
+//! * **assertion failures / panics** in the model code, under the exact
+//!   schedule that triggered them;
+//! * **deadlocks** — no thread is runnable and none can time out;
+//! * **lost wakeups** — a deadlock in which some thread sits in
+//!   `Condvar::wait` with its notify already spent (the classic missed
+//!   predicate-loop bug) is reported as such;
+//! * **livelocks** — a run exceeding [`CheckConfig::max_steps`] yield
+//!   points.
+//!
+//! Every failure panics with the full step trace *and* a replay string;
+//! `LIS_CHECK_REPLAY="<string>"` re-runs exactly that schedule for
+//! debugging.
+//!
+//! ## Model
+//!
+//! The checker explores interleavings under **sequential consistency**:
+//! exactly one model thread runs between yield points, so atomic
+//! orderings are taken at their strongest. It does not model weak-memory
+//! reorderings — it is an interleaving checker in the spirit of loom's
+//! exhaustive mode, not a weak-memory simulator. Condvar semantics match
+//! std: `notify_one` wakes the longest-waiting thread, notifies with no
+//! waiter are lost (which is exactly how lost-wakeup bugs arise), and
+//! `wait_timeout` may "time out" at any scheduling decision — the
+//! scheduler owns the clock, so timeout races are explored, not timed.
+//!
+//! ## Example
+//!
+//! ```
+//! use lis_check::sync::{Arc, Mutex};
+//!
+//! // With the `check` feature off this runs the closure once; with it
+//! // on, it explores interleavings (here there is only one thread, so
+//! // exploration terminates immediately).
+//! let report = lis_check::check("counter", lis_check::CheckConfig::small(), || {
+//!     let m = Arc::new(Mutex::new(0u64));
+//!     *m.lock().unwrap() += 1;
+//!     assert_eq!(*m.lock().unwrap(), 1);
+//! });
+//! assert!(report.schedules >= 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "check")]
+mod explore;
+#[cfg(feature = "check")]
+mod rt;
+
+pub mod sync;
+pub mod thread;
+
+#[cfg(feature = "check")]
+pub use explore::{check, try_check, CheckConfig, CheckFailure, CheckReport};
+
+#[cfg(not(feature = "check"))]
+mod stub {
+    /// Exploration knobs. Without the `check` feature these are inert:
+    /// [`check`](crate::check) runs the closure once on the host
+    /// scheduler.
+    #[derive(Debug, Clone)]
+    pub struct CheckConfig {
+        /// Maximum preemptions per explored schedule (unused in stub mode).
+        pub preemption_bound: usize,
+        /// Minimum distinct schedules to explore (unused in stub mode).
+        pub min_schedules: usize,
+        /// Per-run yield-point bound (unused in stub mode).
+        pub max_steps: usize,
+        /// Seed for the random-exploration phase (unused in stub mode).
+        pub seed: u64,
+    }
+
+    impl CheckConfig {
+        /// The default exploration budget.
+        pub fn new() -> Self {
+            Self {
+                preemption_bound: 2,
+                min_schedules: 10_000,
+                max_steps: 20_000,
+                seed: 0x5EED_CAFE,
+            }
+        }
+
+        /// A reduced budget for doctests and smoke runs.
+        pub fn small() -> Self {
+            Self {
+                min_schedules: 16,
+                ..Self::new()
+            }
+        }
+    }
+
+    impl Default for CheckConfig {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    /// What an exploration did. In stub mode: one schedule, one run.
+    #[derive(Debug, Clone)]
+    pub struct CheckReport {
+        /// Total schedules executed.
+        pub schedules: usize,
+        /// Distinct schedules executed.
+        pub distinct: usize,
+        /// Whether the bounded-DFS phase exhausted the schedule space.
+        pub exhausted: bool,
+    }
+
+    /// A failing schedule (never produced in stub mode; the closure's
+    /// own panic propagates instead).
+    #[derive(Debug, Clone)]
+    pub struct CheckFailure {
+        /// Human-readable cause.
+        pub message: String,
+        /// Step-by-step schedule trace.
+        pub trace: String,
+        /// Replay string for `LIS_CHECK_REPLAY`.
+        pub replay: String,
+        /// Schedules executed before the failure.
+        pub schedules: usize,
+    }
+
+    /// Runs `f` once (the `check` feature is off, so there is no
+    /// scheduler to explore with). Enable `--features check` to explore.
+    pub fn check<F: Fn()>(_name: &str, _cfg: CheckConfig, f: F) -> CheckReport {
+        f();
+        CheckReport {
+            schedules: 1,
+            distinct: 1,
+            exhausted: false,
+        }
+    }
+
+    /// Runs `f` once; a panic propagates rather than being captured.
+    pub fn try_check<F: Fn()>(
+        name: &str,
+        cfg: CheckConfig,
+        f: F,
+    ) -> Result<CheckReport, CheckFailure> {
+        Ok(check(name, cfg, f))
+    }
+}
+
+#[cfg(not(feature = "check"))]
+pub use stub::{check, try_check, CheckConfig, CheckFailure, CheckReport};

@@ -1,0 +1,765 @@
+//! The exploring scheduler runtime (compiled only with the `check`
+//! feature).
+//!
+//! One model execution = one set of real OS threads, but with exactly
+//! **one** of them runnable at any moment: every instrumented operation
+//! parks the calling thread inside [`Scheduler::park`] until the
+//! scheduler hands it the execution token. Which thread the token goes
+//! to at each *decision point* is the input the explorer controls — a
+//! forced `prefix` of choices (depth-first search / replay), a seeded
+//! RNG (random exploration), or the deterministic default (continue the
+//! current thread; no preemption).
+//!
+//! The runtime itself synchronizes through one real `Mutex` +
+//! `Condvar` pair (the meta level is allowed to use `std::sync`
+//! directly — it is the level *under test* that goes through the
+//! facade).
+
+use std::cell::RefCell;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, Weak};
+
+/// Panic payload used to tear down model threads once a run has failed
+/// (deadlock, assertion, step bound). Recognized and swallowed by the
+/// spawn wrappers and the run driver.
+pub(crate) struct Aborted;
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+#[derive(Clone)]
+struct Ctx {
+    sched: Weak<Scheduler>,
+    tid: usize,
+}
+
+/// The active scheduler + model thread id of the calling thread, if the
+/// thread is registered with a live model run.
+pub(crate) fn current() -> Option<(Arc<Scheduler>, usize)> {
+    CTX.with(|c| {
+        c.borrow()
+            .as_ref()
+            .and_then(|ctx| ctx.sched.upgrade().map(|s| (s, ctx.tid)))
+    })
+}
+
+pub(crate) fn set_ctx(sched: &Arc<Scheduler>, tid: usize) {
+    CTX.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            sched: Arc::downgrade(sched),
+            tid,
+        })
+    });
+}
+
+pub(crate) fn clear_ctx() {
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// How a model thread is currently blocked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Block {
+    /// Waiting to acquire a model mutex.
+    Lock(usize),
+    /// Parked in `Condvar::wait`; `timeout` marks `wait_timeout` (the
+    /// scheduler may fire the timeout as a decision).
+    CondWait {
+        cv: usize,
+        mutex: usize,
+        timeout: bool,
+    },
+    /// Waiting for one specific thread to finish.
+    Join(usize),
+    /// Waiting for every other thread to finish (main's implicit join).
+    JoinAll,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    Blocked(Block),
+    Finished,
+}
+
+/// How a condvar waiter was released.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Wake {
+    Notified,
+    TimedOut,
+}
+
+struct ThreadInfo {
+    status: Status,
+    wake: Option<Wake>,
+    name: String,
+}
+
+#[derive(Default)]
+struct MutexState {
+    owner: Option<usize>,
+}
+
+#[derive(Default)]
+struct CondvarState {
+    waiters: Vec<usize>,
+    lost_notifies: usize,
+}
+
+/// One scheduling alternative at a decision point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum Choice {
+    /// Hand the token to a runnable thread.
+    Run(usize),
+    /// Fire the timeout of a thread parked in `wait_timeout`.
+    Timeout(usize),
+}
+
+/// One recorded decision point: the alternatives that existed, which was
+/// taken, and which alternative (if any) would have continued the
+/// yielding thread without a preemption.
+#[derive(Debug, Clone)]
+pub(crate) struct Decision {
+    pub(crate) choices: Vec<Choice>,
+    pub(crate) chosen: usize,
+    /// Index into `choices` of `Run(from)` when the yielding thread was
+    /// itself still runnable; any other choice is a preemption.
+    pub(crate) continuation: Option<usize>,
+}
+
+impl Decision {
+    /// Whether taking alternative `idx` preempts a still-runnable thread.
+    pub(crate) fn preemptive(&self, idx: usize) -> bool {
+        matches!(self.continuation, Some(c) if c != idx)
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct TraceStep {
+    pub(crate) tid: usize,
+    pub(crate) desc: String,
+}
+
+/// Everything one run produced: the decision log (for backtracking and
+/// replay), the step trace (for failure reports), and the failure cause.
+pub(crate) struct RunOutcome {
+    pub(crate) decisions: Vec<Decision>,
+    pub(crate) trace: Vec<TraceStep>,
+    pub(crate) failure: Option<String>,
+    pub(crate) thread_names: Vec<String>,
+}
+
+impl RunOutcome {
+    /// Order-sensitive hash of the decision sequence — two runs with the
+    /// same hash took the same schedule.
+    pub(crate) fn schedule_hash(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        for d in &self.decisions {
+            d.chosen.hash(&mut h);
+            d.choices.hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// The replay string: the chosen alternative at every decision point.
+    pub(crate) fn replay_string(&self) -> String {
+        let parts: Vec<String> = self
+            .decisions
+            .iter()
+            .map(|d| d.chosen.to_string())
+            .collect();
+        parts.join(",")
+    }
+}
+
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+struct SchedState {
+    threads: Vec<ThreadInfo>,
+    mutexes: Vec<MutexState>,
+    condvars: Vec<CondvarState>,
+    handles: Vec<Option<std::thread::JoinHandle<()>>>,
+    current: usize,
+    prefix: Vec<usize>,
+    decisions: Vec<Decision>,
+    trace: Vec<TraceStep>,
+    rng: Option<SplitMix64>,
+    max_steps: usize,
+    abort: bool,
+    failure: Option<String>,
+}
+
+/// The per-run scheduler. See the module docs for the protocol.
+pub(crate) struct Scheduler {
+    state: StdMutex<SchedState>,
+    cv: StdCondvar,
+}
+
+fn abort_panic() -> ! {
+    std::panic::panic_any(Aborted)
+}
+
+impl Scheduler {
+    pub(crate) fn new(prefix: Vec<usize>, rng_seed: Option<u64>, max_steps: usize) -> Self {
+        Self {
+            state: StdMutex::new(SchedState {
+                threads: vec![ThreadInfo {
+                    status: Status::Runnable,
+                    wake: None,
+                    name: "main".into(),
+                }],
+                mutexes: Vec::new(),
+                condvars: Vec::new(),
+                handles: vec![None],
+                current: 0,
+                prefix,
+                decisions: Vec::new(),
+                trace: Vec::new(),
+                rng: rng_seed.map(SplitMix64),
+                max_steps,
+                abort: false,
+                failure: None,
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, SchedState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Records a failure (first cause wins) and tears the run down.
+    fn fail(&self, st: &mut SchedState, message: String) {
+        if st.failure.is_none() {
+            st.failure = Some(message);
+        }
+        st.abort = true;
+        self.cv.notify_all();
+    }
+
+    /// Parks the calling thread until it holds the execution token.
+    /// Panics with [`Aborted`] if the run is torn down meanwhile.
+    fn park<'a>(
+        &'a self,
+        mut st: std::sync::MutexGuard<'a, SchedState>,
+        tid: usize,
+    ) -> std::sync::MutexGuard<'a, SchedState> {
+        while !st.abort && st.current != tid {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        if st.abort {
+            drop(st);
+            abort_panic();
+        }
+        st
+    }
+
+    fn push_trace(&self, st: &mut SchedState, tid: usize, desc: String) {
+        st.trace.push(TraceStep { tid, desc });
+        if st.trace.len() > st.max_steps && st.failure.is_none() {
+            let cap = st.max_steps;
+            self.fail(
+                st,
+                format!("step bound exceeded ({cap} yield points) — livelock or unbounded loop"),
+            );
+        }
+    }
+
+    /// The scheduling decision: gathers the runnable/timeout-able
+    /// alternatives, picks one (prefix, RNG, or non-preemptive default),
+    /// records it, and hands over the token. Detects deadlock when no
+    /// alternative exists.
+    fn schedule(&self, st: &mut SchedState, from: usize) {
+        if st.abort {
+            return;
+        }
+        let mut choices = Vec::new();
+        for (i, t) in st.threads.iter().enumerate() {
+            match t.status {
+                Status::Runnable => choices.push(Choice::Run(i)),
+                Status::Blocked(Block::CondWait { timeout: true, .. }) => {
+                    choices.push(Choice::Timeout(i))
+                }
+                _ => {}
+            }
+        }
+        if choices.is_empty() {
+            if st.threads.iter().all(|t| t.status == Status::Finished) {
+                st.current = usize::MAX;
+                return;
+            }
+            let msg = Self::deadlock_message(st);
+            self.fail(st, msg);
+            return;
+        }
+        let idx = if choices.len() == 1 {
+            0
+        } else {
+            let continuation = choices.iter().position(|c| *c == Choice::Run(from));
+            let d = st.decisions.len();
+            let idx = if d < st.prefix.len() {
+                let want = st.prefix[d];
+                if want >= choices.len() {
+                    let n = choices.len();
+                    self.fail(
+                        st,
+                        format!(
+                            "replay divergence at decision {d}: schedule wants alternative \
+                             {want} but only {n} exist"
+                        ),
+                    );
+                    return;
+                }
+                want
+            } else if let Some(rng) = st.rng.as_mut() {
+                (rng.next() % choices.len() as u64) as usize
+            } else {
+                continuation.unwrap_or(0)
+            };
+            st.decisions.push(Decision {
+                choices: choices.clone(),
+                chosen: idx,
+                continuation,
+            });
+            idx
+        };
+        match choices[idx] {
+            Choice::Run(t) => st.current = t,
+            Choice::Timeout(t) => {
+                if let Status::Blocked(Block::CondWait { cv, .. }) = st.threads[t].status {
+                    st.condvars[cv].waiters.retain(|&w| w != t);
+                    st.threads[t].wake = Some(Wake::TimedOut);
+                    st.threads[t].status = Status::Runnable;
+                    let name = st.threads[t].name.clone();
+                    self.push_trace(
+                        st,
+                        t,
+                        format!("Condvar#{cv}.wait_timeout fires (scheduler) [{name}]"),
+                    );
+                }
+                st.current = t;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    fn deadlock_message(st: &SchedState) -> String {
+        let mut parts = Vec::new();
+        let mut lost_hint = Vec::new();
+        for (i, t) in st.threads.iter().enumerate() {
+            let name = &t.name;
+            match t.status {
+                Status::Blocked(Block::Lock(m)) => {
+                    parts.push(format!("t{i} [{name}] blocked acquiring Mutex#{m}"))
+                }
+                Status::Blocked(Block::CondWait { cv, mutex, timeout }) => {
+                    let kind = if timeout { "wait_timeout" } else { "wait" };
+                    parts.push(format!(
+                        "t{i} [{name}] parked in Condvar#{cv}.{kind} (mutex #{mutex})"
+                    ));
+                    if !timeout {
+                        let lost = st.condvars[cv].lost_notifies;
+                        lost_hint.push(format!(
+                            "t{i} waits on Condvar#{cv} which lost {lost} earlier \
+                             notif{} — possible lost wakeup (is the wait inside a \
+                             predicate loop?)",
+                            if lost == 1 { "y" } else { "ies" }
+                        ));
+                    }
+                }
+                Status::Blocked(Block::Join(j)) => {
+                    parts.push(format!("t{i} [{name}] blocked joining t{j}"))
+                }
+                Status::Blocked(Block::JoinAll) => {
+                    parts.push(format!("t{i} [{name}] blocked joining all threads"))
+                }
+                _ => {}
+            }
+        }
+        let mut msg = format!("deadlock: {}", parts.join("; "));
+        if !lost_hint.is_empty() {
+            msg.push_str("\nlost-wakeup analysis: ");
+            msg.push_str(&lost_hint.join("; "));
+        }
+        msg
+    }
+
+    /// The universal yield point: record the op, offer a scheduling
+    /// decision, park until rescheduled.
+    pub(crate) fn op(&self, tid: usize, desc: String) {
+        let mut st = self.lock_state();
+        if st.abort {
+            drop(st);
+            if std::thread::panicking() {
+                return;
+            }
+            abort_panic();
+        }
+        self.push_trace(&mut st, tid, desc);
+        self.schedule(&mut st, tid);
+        let st = self.park(st, tid);
+        drop(st);
+    }
+
+    /// Registers a model mutex; returns its id.
+    pub(crate) fn register_mutex(&self) -> usize {
+        let mut st = self.lock_state();
+        st.mutexes.push(MutexState::default());
+        st.mutexes.len() - 1
+    }
+
+    /// Registers a model condvar; returns its id.
+    pub(crate) fn register_condvar(&self) -> usize {
+        let mut st = self.lock_state();
+        st.condvars.push(CondvarState::default());
+        st.condvars.len() - 1
+    }
+
+    /// Model-acquires mutex `mid` for `tid`, blocking (in model time)
+    /// while another thread owns it. One yield point before acquisition.
+    pub(crate) fn mutex_lock(&self, tid: usize, mid: usize) {
+        self.op(tid, format!("Mutex#{mid}.lock"));
+        let mut st = self.lock_state();
+        loop {
+            if st.abort {
+                drop(st);
+                abort_panic();
+            }
+            if st.mutexes[mid].owner.is_none() {
+                st.mutexes[mid].owner = Some(tid);
+                break;
+            }
+            st.threads[tid].status = Status::Blocked(Block::Lock(mid));
+            self.schedule(&mut st, tid);
+            st = self.park(st, tid);
+        }
+        drop(st);
+    }
+
+    /// Model-releases mutex `mid`, waking threads blocked on it. A yield
+    /// point *unless* the caller is unwinding (guard drops during a
+    /// panic must not park).
+    pub(crate) fn mutex_unlock(&self, tid: usize, mid: usize) {
+        let mut st = self.lock_state();
+        if st.abort {
+            return;
+        }
+        if st.mutexes[mid].owner == Some(tid) {
+            st.mutexes[mid].owner = None;
+        }
+        for t in st.threads.iter_mut() {
+            if t.status == Status::Blocked(Block::Lock(mid)) {
+                t.status = Status::Runnable;
+            }
+        }
+        self.push_trace(&mut st, tid, format!("Mutex#{mid}.unlock"));
+        if std::thread::panicking() {
+            self.cv.notify_all();
+            return;
+        }
+        self.schedule(&mut st, tid);
+        let st = self.park(st, tid);
+        drop(st);
+    }
+
+    /// Model `Condvar::wait`/`wait_timeout`: atomically releases the
+    /// mutex and parks as a waiter; on wake (notify or scheduler-fired
+    /// timeout) re-acquires the mutex before returning.
+    pub(crate) fn cond_wait(&self, tid: usize, cvid: usize, mid: usize, timeout: bool) -> Wake {
+        let mut st = self.lock_state();
+        if st.abort {
+            drop(st);
+            abort_panic();
+        }
+        let kind = if timeout { "wait_timeout" } else { "wait" };
+        self.push_trace(
+            &mut st,
+            tid,
+            format!("Condvar#{cvid}.{kind} (releases Mutex#{mid})"),
+        );
+        if st.mutexes[mid].owner != Some(tid) {
+            self.fail(
+                &mut st,
+                format!("t{tid} called Condvar#{cvid}.{kind} without owning Mutex#{mid}"),
+            );
+            drop(st);
+            abort_panic();
+        }
+        st.mutexes[mid].owner = None;
+        for t in st.threads.iter_mut() {
+            if t.status == Status::Blocked(Block::Lock(mid)) {
+                t.status = Status::Runnable;
+            }
+        }
+        st.condvars[cvid].waiters.push(tid);
+        st.threads[tid].status = Status::Blocked(Block::CondWait {
+            cv: cvid,
+            mutex: mid,
+            timeout,
+        });
+        self.schedule(&mut st, tid);
+        st = self.park(st, tid);
+        let wake = st.threads[tid].wake.take().unwrap_or(Wake::Notified);
+        // Re-acquire the mutex before returning to the caller.
+        loop {
+            if st.abort {
+                drop(st);
+                abort_panic();
+            }
+            if st.mutexes[mid].owner.is_none() {
+                st.mutexes[mid].owner = Some(tid);
+                break;
+            }
+            st.threads[tid].status = Status::Blocked(Block::Lock(mid));
+            self.schedule(&mut st, tid);
+            st = self.park(st, tid);
+        }
+        drop(st);
+        wake
+    }
+
+    /// Model notify: wakes the longest-waiting (FIFO) waiter, or all.
+    /// A notify with no waiter is *lost* — counted per condvar and
+    /// surfaced by the lost-wakeup analysis on deadlock.
+    pub(crate) fn notify(&self, tid: usize, cvid: usize, all: bool) {
+        let mut st = self.lock_state();
+        if st.abort {
+            drop(st);
+            if std::thread::panicking() {
+                return;
+            }
+            abort_panic();
+        }
+        let kind = if all { "notify_all" } else { "notify_one" };
+        let woken = if st.condvars[cvid].waiters.is_empty() {
+            st.condvars[cvid].lost_notifies += 1;
+            self.push_trace(
+                &mut st,
+                tid,
+                format!("Condvar#{cvid}.{kind} — LOST (no waiter)"),
+            );
+            0
+        } else {
+            let n = if all {
+                st.condvars[cvid].waiters.len()
+            } else {
+                1
+            };
+            for _ in 0..n {
+                let w = st.condvars[cvid].waiters.remove(0);
+                st.threads[w].wake = Some(Wake::Notified);
+                st.threads[w].status = Status::Runnable;
+            }
+            self.push_trace(&mut st, tid, format!("Condvar#{cvid}.{kind} wakes {n}"));
+            n
+        };
+        let _ = woken;
+        self.schedule(&mut st, tid);
+        let st = self.park(st, tid);
+        drop(st);
+    }
+
+    /// Registers and launches a model thread running `f`. The child
+    /// parks until first scheduled; the parent hits a yield point right
+    /// after, so child-first interleavings are explored.
+    pub(crate) fn spawn_model(
+        self: &Arc<Self>,
+        parent: usize,
+        name: String,
+        f: impl FnOnce() + Send + 'static,
+    ) -> usize {
+        let tid = {
+            let mut st = self.lock_state();
+            st.threads.push(ThreadInfo {
+                status: Status::Runnable,
+                wake: None,
+                name,
+            });
+            st.handles.push(None);
+            st.threads.len() - 1
+        };
+        let sched = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("lis_check-t{tid}"))
+            .spawn(move || {
+                set_ctx(&sched, tid);
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    sched.first_park(tid);
+                    f();
+                }));
+                match result {
+                    Ok(()) => sched.thread_finish(tid),
+                    Err(payload) => {
+                        if payload.downcast_ref::<Aborted>().is_none() {
+                            let msg = panic_message(payload.as_ref());
+                            let mut st = sched.lock_state();
+                            st.threads[tid].status = Status::Finished;
+                            sched.fail(&mut st, format!("model thread t{tid} panicked: {msg}"));
+                        } else {
+                            let mut st = sched.lock_state();
+                            st.threads[tid].status = Status::Finished;
+                        }
+                    }
+                }
+                clear_ctx();
+            })
+            .expect("failed to spawn model thread");
+        {
+            let mut st = self.lock_state();
+            st.handles[tid] = Some(handle);
+        }
+        self.op(parent, format!("spawn t{tid}"));
+        tid
+    }
+
+    fn first_park(&self, tid: usize) {
+        let st = self.lock_state();
+        let st = self.park(st, tid);
+        drop(st);
+    }
+
+    /// Marks `tid` finished, wakes its joiners, and hands the token on.
+    fn thread_finish(&self, tid: usize) {
+        let mut st = self.lock_state();
+        if st.abort {
+            return;
+        }
+        st.threads[tid].status = Status::Finished;
+        self.push_trace(&mut st, tid, "finishes".into());
+        self.wake_joiners(&mut st);
+        self.schedule(&mut st, tid);
+    }
+
+    fn wake_joiners(&self, st: &mut SchedState) {
+        let statuses: Vec<Status> = st.threads.iter().map(|t| t.status).collect();
+        for (i, t) in st.threads.iter_mut().enumerate() {
+            match t.status {
+                Status::Blocked(Block::Join(target)) if statuses[target] == Status::Finished => {
+                    t.status = Status::Runnable;
+                }
+                Status::Blocked(Block::JoinAll)
+                    if statuses
+                        .iter()
+                        .enumerate()
+                        .all(|(j, s)| j == i || *s == Status::Finished) =>
+                {
+                    t.status = Status::Runnable;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Cooperative join: parks `tid` until `target` finishes.
+    pub(crate) fn join(&self, tid: usize, target: usize) {
+        self.op(tid, format!("join t{target}"));
+        let mut st = self.lock_state();
+        loop {
+            if st.abort {
+                drop(st);
+                abort_panic();
+            }
+            if st.threads[target].status == Status::Finished {
+                break;
+            }
+            st.threads[tid].status = Status::Blocked(Block::Join(target));
+            self.schedule(&mut st, tid);
+            st = self.park(st, tid);
+        }
+        drop(st);
+    }
+
+    /// Main's implicit end-of-run join: parks until every other model
+    /// thread has finished (an un-joined straggler is part of the model).
+    pub(crate) fn join_all(&self, tid: usize) {
+        let mut st = self.lock_state();
+        loop {
+            if st.abort {
+                drop(st);
+                abort_panic();
+            }
+            let all_done = st
+                .threads
+                .iter()
+                .enumerate()
+                .all(|(i, t)| i == tid || t.status == Status::Finished);
+            if all_done {
+                break;
+            }
+            st.threads[tid].status = Status::Blocked(Block::JoinAll);
+            self.schedule(&mut st, tid);
+            st = self.park(st, tid);
+        }
+        st.threads[tid].status = Status::Finished;
+        st.current = usize::MAX;
+        drop(st);
+    }
+
+    /// Records a failure raised outside the scheduler (e.g. the main
+    /// closure panicking) and tears the run down.
+    pub(crate) fn fail_external(&self, message: String) {
+        let mut st = self.lock_state();
+        self.fail(&mut st, message);
+    }
+
+    /// Joins every real OS thread of the run (they have exited or are
+    /// unwinding on the abort flag). Swallows [`Aborted`] panics.
+    pub(crate) fn join_real_threads(&self) {
+        let handles: Vec<std::thread::JoinHandle<()>> = {
+            let mut st = self.lock_state();
+            st.handles.iter_mut().filter_map(Option::take).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Clones the run's outputs out of the scheduler.
+    pub(crate) fn outcome(&self) -> RunOutcome {
+        let st = self.lock_state();
+        RunOutcome {
+            decisions: st.decisions.clone(),
+            trace: st.trace.clone(),
+            failure: st.failure.clone(),
+            thread_names: st.threads.iter().map(|t| t.name.clone()).collect(),
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Installs (once, process-wide) a panic hook that suppresses the noisy
+/// default output for [`Aborted`] teardown panics while delegating
+/// everything else to the previous hook.
+pub(crate) fn install_quiet_abort_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<Aborted>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}

@@ -1,0 +1,100 @@
+//! The `std::thread` facade.
+//!
+//! Without the `check` feature this re-exports `std::thread`'s spawn /
+//! sleep / yield / join surface verbatim. With it, [`spawn`] registers
+//! the new thread with the active model run (so the scheduler controls
+//! when it runs), [`sleep`] is a pure yield point (model time has no
+//! wall clock), and [`JoinHandle::join`] is a cooperative model join.
+//! Outside a model run everything passes through to std.
+
+#[cfg(not(feature = "check"))]
+pub use std::thread::{sleep, spawn, yield_now, JoinHandle};
+
+#[cfg(feature = "check")]
+pub use instrumented::{sleep, spawn, yield_now, JoinHandle};
+
+#[cfg(feature = "check")]
+mod instrumented {
+    use crate::rt;
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    enum Inner<T> {
+        /// Spawned inside a model run: result slot + model thread id.
+        Model {
+            result: Arc<Mutex<Option<T>>>,
+            tid: usize,
+        },
+        /// Spawned outside any model run: a real std handle.
+        Std(std::thread::JoinHandle<T>),
+    }
+
+    /// Handle to a spawned thread; model-aware [`join`](Self::join).
+    pub struct JoinHandle<T>(Inner<T>);
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish and returns its result.
+        ///
+        /// Under the model this is a cooperative join: the scheduler
+        /// explores interleavings where the joined thread has and has
+        /// not yet run. A model thread that panicked tears the whole
+        /// run down, so the error arm of the returned result is only
+        /// populated in passthrough mode.
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.0 {
+                Inner::Model { result, tid } => {
+                    let (sched, me) = rt::current().expect("model join outside model run");
+                    sched.join(me, tid);
+                    let value = result
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .take()
+                        .expect("joined model thread produced no result");
+                    Ok(value)
+                }
+                Inner::Std(handle) => handle.join(),
+            }
+        }
+    }
+
+    /// Spawns a thread. Inside a model run the thread is registered
+    /// with the scheduler and starts parked; otherwise this is
+    /// `std::thread::spawn`.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match rt::current() {
+            Some((sched, me)) => {
+                let result = Arc::new(Mutex::new(None));
+                let slot = Arc::clone(&result);
+                let tid = sched.spawn_model(me, format!("spawned-by-t{me}"), move || {
+                    let value = f();
+                    *slot
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(value);
+                });
+                JoinHandle(Inner::Model { result, tid })
+            }
+            None => JoinHandle(Inner::Std(std::thread::spawn(f))),
+        }
+    }
+
+    /// Sleeps. Under the model this is a pure yield point — model time
+    /// has no wall clock, so the duration only labels the trace.
+    pub fn sleep(dur: Duration) {
+        match rt::current() {
+            Some((sched, me)) => sched.op(me, format!("sleep({dur:?}) [yield]")),
+            None => std::thread::sleep(dur),
+        }
+    }
+
+    /// Yields. Under the model this is an explicit scheduling decision.
+    pub fn yield_now() {
+        match rt::current() {
+            Some((sched, me)) => sched.op(me, "yield_now".to_string()),
+            None => std::thread::yield_now(),
+        }
+    }
+}

@@ -17,6 +17,11 @@
 //! comparisons performed, so `Lookup.cost` keeps the paper's
 //! comparison-count semantics no matter which search strategy answered.
 
+// lis-analysis: zone(zero-alloc)
+// Every routine in this file runs per-probe inside the serve loop; the
+// zero-alloc gate (crates/server/tests/zero_alloc.rs) counts on none of
+// them touching the allocator.
+
 use crate::keys::Key;
 
 /// Outcome of a last-mile search.

@@ -269,6 +269,9 @@ impl ShardedIndex {
     }
 }
 
+// lis-analysis: allow(registry-complete) — ShardedIndex is not a fixed
+// registry row: it is resolved dynamically from `sharded:<name>:<N>`
+// specs, wrapping any registered inner structure.
 impl LearnedIndex for ShardedIndex {
     type Config = ShardConfig;
 
@@ -329,6 +332,10 @@ impl LearnedIndex for ShardedIndex {
             }
         } else {
             let per_worker = self.shards.len().div_ceil(workers);
+            // lis-analysis: allow(thread-discipline) — shard batches are
+            // routed into per-shard buckets first, so the fan-out runs
+            // over uneven borrowed (bucket, result) pairs that
+            // `par::map_chunks`'s uniform-chunk contract cannot express.
             std::thread::scope(|scope| {
                 for (w, (bucket_group, result_group)) in buckets
                     .chunks(per_worker)

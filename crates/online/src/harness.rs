@@ -323,6 +323,10 @@ fn run_scenario(scenario: &str, cfg: &OnlineConfig) -> Result<ScenarioReport> {
     let stop = AtomicBool::new(false);
     let mut benign_applied = 0usize;
     let mut benign_rejected = 0usize;
+    // lis-analysis: allow(thread-discipline) — the live harness runs
+    // heterogeneous roles (benign readers + an adversarial writer)
+    // concurrently against one server; that is role-parallelism, not the
+    // data-parallelism `par::map_chunks` provides.
     std::thread::scope(|scope| -> Result<()> {
         // Benign readers measure while the writes land.
         for r in 0..cfg.readers {

@@ -292,6 +292,75 @@ mod tests {
     }
 
     #[test]
+    fn merge_of_two_empties_stays_empty() {
+        let mut a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        a.merge(&b);
+        assert!(a.is_empty());
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.min(), 0, "empty merge must not leak the MAX sentinel");
+        assert_eq!(a.max(), 0);
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.p50(), 0);
+        assert_eq!(a.p99(), 0);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut full = LatencyHistogram::new();
+        for v in [7u64, 88, 9_999] {
+            full.record(v);
+        }
+        let snapshot = full.clone();
+
+        // full ⊕ empty: nothing changes.
+        full.merge(&LatencyHistogram::new());
+        assert_eq!(full.count(), snapshot.count());
+        assert_eq!(full.min(), snapshot.min());
+        assert_eq!(full.max(), snapshot.max());
+        assert_eq!(full.mean(), snapshot.mean());
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(full.value_at_quantile(q), snapshot.value_at_quantile(q));
+        }
+
+        // empty ⊕ full: the min sentinel (u64::MAX) must lose to the
+        // donor's true min instead of surviving the merge.
+        let mut empty = LatencyHistogram::new();
+        empty.merge(&full);
+        assert_eq!(empty.count(), 3);
+        assert_eq!(empty.min(), 7);
+        assert_eq!(empty.max(), 9_999);
+        assert_eq!(empty.mean(), full.mean());
+        assert_eq!(empty.p50(), full.p50());
+    }
+
+    #[test]
+    fn merge_saturating_max_bucket_keeps_exact_extremes() {
+        // u64::MAX lands in the last (saturating) bucket, whose nominal
+        // high is u64::MAX; quantiles must clamp to the exact observed
+        // max, and merging two histograms that both hit the last bucket
+        // must accumulate its count without overflow artifacts.
+        let mut a = LatencyHistogram::new();
+        a.record(u64::MAX);
+        a.record(u64::MAX - 1);
+        let mut b = LatencyHistogram::new();
+        b.record(u64::MAX);
+        b.record(1);
+
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), u64::MAX);
+        assert_eq!(a.value_at_quantile(1.0), u64::MAX);
+        // Three of four samples sit in the top bucket: p90 already
+        // resolves there and must report the clamped exact max rather
+        // than the bucket's nominal upper bound overshooting count.
+        assert_eq!(a.p90(), u64::MAX);
+        // The mean uses the u128 sum: two u64::MAX samples must not wrap.
+        assert!(a.mean() > (u64::MAX / 2) as f64);
+    }
+
+    #[test]
     fn duration_recording_saturates() {
         let mut h = LatencyHistogram::new();
         h.record_duration(std::time::Duration::from_micros(3));

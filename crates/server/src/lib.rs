@@ -52,6 +52,7 @@ mod epoch;
 pub mod histogram;
 pub mod queue;
 pub mod server;
+mod sync;
 pub mod traffic;
 pub mod write;
 

@@ -12,8 +12,8 @@
 //! Built on `Mutex` + `Condvar` only — the workspace carries no external
 //! concurrency dependency.
 
+use crate::sync::{lock, wait, wait_timeout, Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// How a drained batch is cut. See [`BatchQueue::pop_batch`].
@@ -55,7 +55,7 @@ impl<T> BatchQueue<T> {
 
     /// Number of requests currently queued.
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue poisoned").items.len()
+        lock(&self.state).items.len()
     }
 
     /// `true` iff no requests are queued.
@@ -66,7 +66,7 @@ impl<T> BatchQueue<T> {
     /// Enqueues `item`, blocking while the queue is full. Returns the item
     /// back as `Err` if the queue has been closed.
     pub fn push(&self, item: T) -> Result<(), T> {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = lock(&self.state);
         loop {
             if state.closed {
                 return Err(item);
@@ -74,7 +74,7 @@ impl<T> BatchQueue<T> {
             if state.items.len() < self.capacity {
                 break;
             }
-            state = self.not_full.wait(state).expect("queue poisoned");
+            state = wait(&self.not_full, state);
         }
         state.items.push_back(item);
         drop(state);
@@ -105,9 +105,10 @@ impl<T> BatchQueue<T> {
     /// one buffer across iterations pops batches without any per-batch
     /// heap allocation once the buffer has grown to the batch cap.
     pub fn pop_batch_into(&self, policy: BatchPolicy, batch: &mut Vec<T>) -> bool {
+        // lis-analysis: begin(zero-alloc)
         batch.clear();
         let max_batch = policy.max_batch.max(1);
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = lock(&self.state);
         loop {
             if !state.items.is_empty() {
                 break;
@@ -115,17 +116,25 @@ impl<T> BatchQueue<T> {
             if state.closed {
                 return false;
             }
-            state = self.not_empty.wait(state).expect("queue poisoned");
+            state = wait(&self.not_empty, state);
         }
         let flush_at = Instant::now() + policy.deadline;
+        // Producers woken since the last drain; notified only when slots
+        // actually opened, and — on the final drain — after the lock is
+        // released, so woken producers don't immediately collide with it.
+        let mut undrained_wakeup = 0usize;
         loop {
+            let before = batch.len();
             while batch.len() < max_batch {
                 match state.items.pop_front() {
+                    // lis-analysis: allow(zero-alloc) — pushes into the
+                    // worker's reusable buffer; at or beyond capacity
+                    // `max_batch` after the first few drains.
                     Some(item) => batch.push(item),
                     None => break,
                 }
             }
-            self.not_full.notify_all();
+            undrained_wakeup += batch.len() - before;
             if batch.len() >= max_batch || state.closed {
                 break;
             }
@@ -133,35 +142,42 @@ impl<T> BatchQueue<T> {
             if now >= flush_at {
                 break;
             }
-            let (guard, timeout) = self
-                .not_empty
-                .wait_timeout(state, flush_at - now)
-                .expect("queue poisoned");
+            // About to park for the rest of the deadline: open the freed
+            // slots to blocked producers now rather than after the wait.
+            if undrained_wakeup > 0 {
+                undrained_wakeup = 0;
+                self.not_full.notify_all();
+            }
+            let (guard, timeout) = wait_timeout(&self.not_empty, state, flush_at - now);
             state = guard;
             if timeout.timed_out() && state.items.is_empty() {
                 break;
             }
         }
         drop(state);
+        if undrained_wakeup > 0 {
+            self.not_full.notify_all();
+        }
         // Another worker may be blocked on `not_empty` for requests that
         // arrived while we held the lock; wake one if anything remains.
         if !self.is_empty() {
             self.not_empty.notify_one();
         }
         true
+        // lis-analysis: end(zero-alloc)
     }
 
     /// Closes the queue: further pushes fail, blocked producers and workers
     /// wake, and workers exit once the backlog is drained.
     pub fn close(&self) {
-        self.state.lock().expect("queue poisoned").closed = true;
+        lock(&self.state).closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
 
     /// Whether [`BatchQueue::close`] has been called.
     pub fn is_closed(&self) -> bool {
-        self.state.lock().expect("queue poisoned").closed
+        lock(&self.state).closed
     }
 }
 
@@ -297,5 +313,110 @@ mod tests {
             .collect();
         expected.sort_unstable();
         assert_eq!(seen, expected);
+    }
+}
+
+/// Model-checking tests: `lis_check` explores push/pop/close
+/// interleavings over the real `BatchQueue` code. Deadlines are pinned
+/// to 0 or far-future so model runs stay deterministic (the scheduler
+/// owns condvar timeouts; `Instant` comparisons must not flip mid-run).
+#[cfg(all(test, feature = "check"))]
+mod model_tests {
+    use super::*;
+    use lis_check::{thread, try_check, CheckConfig};
+    use std::sync::Arc;
+
+    fn cfg() -> CheckConfig {
+        CheckConfig::new().min_schedules(500)
+    }
+
+    /// A producer pushing through a full queue races a draining consumer
+    /// and a close: no item may be lost and no thread may strand.
+    #[test]
+    fn push_pop_close_strands_nothing() {
+        let report = try_check("queue-push-pop-close", cfg(), || {
+            let q = Arc::new(BatchQueue::new(2));
+            let qp = Arc::clone(&q);
+            let producer = thread::spawn(move || {
+                for i in 0..3 {
+                    qp.push(i).unwrap();
+                }
+            });
+            let qc = Arc::clone(&q);
+            let consumer = thread::spawn(move || {
+                let mut seen = Vec::new();
+                let mut batch = Vec::new();
+                let policy = BatchPolicy {
+                    max_batch: 2,
+                    deadline: Duration::ZERO,
+                };
+                while qc.pop_batch_into(policy, &mut batch) {
+                    seen.append(&mut batch);
+                }
+                seen
+            });
+            producer.join().unwrap();
+            q.close();
+            let mut seen = consumer.join().unwrap();
+            seen.sort_unstable();
+            assert_eq!(seen, vec![0, 1, 2], "an enqueued request was lost");
+        })
+        .expect("queue push/pop/close must strand nothing");
+        assert!(report.distinct >= 100 || report.exhausted);
+    }
+
+    /// Close must wake a producer blocked on a full queue and hand its
+    /// item back — a blocked producer is a stranded ticket otherwise.
+    #[test]
+    fn close_wakes_blocked_producer() {
+        try_check("queue-close-wakes-producer", cfg(), || {
+            let q = Arc::new(BatchQueue::new(1));
+            q.push(0u32).unwrap();
+            let qp = Arc::clone(&q);
+            let producer = thread::spawn(move || qp.push(1));
+            q.close();
+            assert_eq!(
+                producer.join().unwrap(),
+                Err(1),
+                "close must bounce the blocked push"
+            );
+            // The backlog stays drainable after close.
+            let batch = q.pop_batch(BatchPolicy {
+                max_batch: 4,
+                deadline: Duration::ZERO,
+            });
+            assert_eq!(batch, Some(vec![0]));
+        })
+        .expect("close must wake blocked producers");
+    }
+
+    /// With a far-future deadline the scheduler explores the condvar
+    /// timeout firing at any point against pushes and close; the batch
+    /// accounting must stay exact either way.
+    #[test]
+    fn deadline_wait_races_with_close() {
+        try_check("queue-deadline-vs-close", cfg(), || {
+            let q = Arc::new(BatchQueue::new(4));
+            let qp = Arc::clone(&q);
+            let producer = thread::spawn(move || {
+                qp.push(1u32).unwrap();
+                qp.push(2u32).unwrap();
+                qp.close();
+            });
+            let mut seen = Vec::new();
+            let mut batch = Vec::new();
+            let policy = BatchPolicy {
+                max_batch: 8,
+                deadline: Duration::from_secs(3600),
+            };
+            while q.pop_batch_into(policy, &mut batch) {
+                assert!(!batch.is_empty() || q.is_closed());
+                seen.append(&mut batch);
+            }
+            producer.join().unwrap();
+            seen.sort_unstable();
+            assert_eq!(seen, vec![1, 2], "drained batch accounting is off");
+        })
+        .expect("deadline waits must be safe against close");
     }
 }

@@ -37,12 +37,13 @@
 use crate::epoch::EpochSlot;
 use crate::histogram::LatencyHistogram;
 use crate::queue::{BatchPolicy, BatchQueue};
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{lock, wait, wait_timeout, Condvar, Mutex};
 use crate::write::{Admission, AdmissionPolicy, WriteOp, WriteRequest, WriteStatus, WriteTicket};
 use lis_core::error::{LisError, Result};
 use lis_core::index::{DynIndex, Lookup};
 use lis_core::keys::{Key, KeySet};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -175,23 +176,23 @@ impl<T> ResponseSlot<T> {
     }
 
     pub(crate) fn fulfill(&self, outcome: Result<T>) {
-        *self.result.lock().expect("response slot poisoned") = Some(outcome);
+        *lock(&self.result) = Some(outcome);
         self.ready.notify_one();
     }
 
     pub(crate) fn wait(&self) -> Result<T> {
-        let mut guard = self.result.lock().expect("response slot poisoned");
+        let mut guard = lock(&self.result);
         loop {
             if let Some(outcome) = guard.take() {
                 return outcome;
             }
-            guard = self.ready.wait(guard).expect("response slot poisoned");
+            guard = wait(&self.ready, guard);
         }
     }
 
     pub(crate) fn wait_timeout(&self, timeout: Duration) -> Result<T> {
         let deadline = Instant::now() + timeout;
-        let mut guard = self.result.lock().expect("response slot poisoned");
+        let mut guard = lock(&self.result);
         loop {
             if let Some(outcome) = guard.take() {
                 return outcome;
@@ -200,11 +201,7 @@ impl<T> ResponseSlot<T> {
             if now >= deadline {
                 return Err(LisError::Timeout(timeout));
             }
-            guard = self
-                .ready
-                .wait_timeout(guard, deadline - now)
-                .expect("response slot poisoned")
-                .0;
+            guard = wait_timeout(&self.ready, guard, deadline - now).0;
         }
     }
 }
@@ -454,7 +451,7 @@ pub struct Server {
     queue: Arc<BatchQueue<Request>>,
     write_queue: Option<Arc<BatchQueue<WriteRequest>>>,
     shared: Arc<Shared>,
-    slot: Arc<EpochSlot>,
+    slot: Arc<EpochSlot<DynIndex>>,
     workers: Vec<JoinHandle<()>>,
     writer: Option<JoinHandle<()>>,
     index_name: String,
@@ -511,7 +508,7 @@ impl Server {
     }
 
     fn start_inner(
-        slot: Arc<EpochSlot>,
+        slot: Arc<EpochSlot<DynIndex>>,
         index_name: String,
         writer_state: Option<WriterState>,
         cfg: ServeConfig,
@@ -615,7 +612,7 @@ impl Server {
         let mut latency = LatencyHistogram::new();
         let mut windows: Vec<WindowAccum> = Vec::new();
         for per_worker in &self.shared.workers {
-            let stats = per_worker.lock().expect("worker stats poisoned");
+            let stats = lock(per_worker);
             latency.merge(&stats.latency);
             if windows.len() < stats.windows.len() {
                 windows.resize(stats.windows.len(), WindowAccum::new());
@@ -626,12 +623,7 @@ impl Server {
                 acc.cost_units += w.cost_units;
             }
         }
-        let writer_windows = self
-            .shared
-            .writer_windows
-            .lock()
-            .expect("writer windows poisoned")
-            .clone();
+        let writer_windows = lock(&self.shared.writer_windows).clone();
         let rows = windows.len().max(writer_windows.len());
         let window = self.shared.window;
         let timeline = (0..rows)
@@ -683,9 +675,13 @@ impl Server {
             write_queue.close();
         }
         for worker in std::mem::take(&mut self.workers) {
+            // lis-analysis: allow(serve-no-panic) — shutdown teardown:
+            // a panicked worker already failed its in-flight tickets, and
+            // surfacing the panic to the caller is the report of record.
             worker.join().expect("serving worker panicked");
         }
         if let Some(writer) = self.writer.take() {
+            // lis-analysis: allow(serve-no-panic) — see the worker join.
             writer.join().expect("writer thread panicked");
         }
         self.report()
@@ -706,7 +702,7 @@ fn worker_loop(
     queue: &BatchQueue<Request>,
     shared: &Shared,
     worker: usize,
-    slot: &EpochSlot,
+    slot: &EpochSlot<DynIndex>,
     policy: BatchPolicy,
 ) {
     let mut batch: Vec<Request> = Vec::with_capacity(policy.max_batch);
@@ -732,6 +728,9 @@ fn worker_loop(
             index = Some(slot.load());
             epoch = current;
         }
+        // lis-analysis: allow(serve-no-panic) — unreachable by
+        // construction: the branch above populates `index` whenever it is
+        // `None` before this line.
         let index = index.as_ref().expect("snapshot loaded above");
         keys.clear();
         keys.extend(batch.iter().map(|r| r.key));
@@ -753,9 +752,7 @@ fn worker_loop(
         let cost: usize = results.iter().map(|r| r.cost).sum();
         let done = Instant::now();
         let widx = shared.window_index(done);
-        let mut stats = shared.workers[worker]
-            .lock()
-            .expect("worker stats poisoned");
+        let mut stats = lock(&shared.workers[worker]);
         if stats.windows.len() <= widx {
             stats.windows.resize(widx + 1, WindowAccum::new());
         }
@@ -829,7 +826,7 @@ fn recover(mut arc: Arc<DynIndex>) -> Option<DynIndex> {
 fn writer_loop(
     queue: &BatchQueue<WriteRequest>,
     shared: &Shared,
-    slot: &EpochSlot,
+    slot: &EpochSlot<DynIndex>,
     mut state: WriterState,
     policy: BatchPolicy,
 ) {
@@ -939,10 +936,7 @@ fn writer_loop(
             .fetch_add(rejected, Ordering::Relaxed);
         shared.writes_failed.fetch_add(failed, Ordering::Relaxed);
         let widx = shared.window_index(Instant::now());
-        let mut windows = shared
-            .writer_windows
-            .lock()
-            .expect("writer windows poisoned");
+        let mut windows = lock(&shared.writer_windows);
         if windows.len() <= widx {
             windows.resize(widx + 1, WriterWindow::default());
         }

@@ -1,0 +1,52 @@
+//! Synchronization facade for the serving plane.
+//!
+//! Every lock, condvar, and atomic on the serve path comes through this
+//! module instead of `std::sync` directly. In normal builds that is a
+//! zero-cost re-export of std (via `lis_check`'s passthrough facade);
+//! with `--features check` the primitives are instrumented and the
+//! `lis_check` scheduler explores thread interleavings over the *real*
+//! `EpochSlot` / `BatchQueue` / `ResponseSlot` code.
+//!
+//! The `lock`/`wait`/`wait_timeout` helpers centralize the serving
+//! plane's poison policy: a poisoned lock means another serving thread
+//! panicked while holding it, and the only sound response is to
+//! propagate that panic rather than serve from state of unknown
+//! integrity. Keeping the `expect`s here (and nowhere else) is what
+//! lets the serve-no-panic lint hold for the rest of the crate.
+
+pub(crate) use lis_check::sync::atomic;
+pub(crate) use lis_check::sync::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+
+use std::time::Duration;
+
+/// Acquires `m`, propagating a poisoning panic from another serving
+/// thread.
+pub(crate) fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    // lis-analysis: allow(serve-no-panic) — poisoning means a peer
+    // serving thread already panicked while holding this lock;
+    // propagating is the only sound response and this helper is the one
+    // sanctioned place for it.
+    m.lock().expect("serving-plane lock poisoned")
+}
+
+/// Blocks on `cv`, releasing and re-acquiring the guard's mutex;
+/// propagates poisoning. Callers must re-check their predicate in a
+/// loop around this (the condvar-predicate lint enforces it).
+pub(crate) fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    // lis-analysis: allow(serve-no-panic) — see `lock`.
+    // lis-analysis: allow(condvar-predicate) — this *is* the wait
+    // primitive; predicate loops are enforced at its call sites.
+    cv.wait(guard).expect("serving-plane lock poisoned")
+}
+
+/// Like [`wait`] but with a timeout; propagates poisoning.
+pub(crate) fn wait_timeout<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    // lis-analysis: allow(condvar-predicate) — see `wait`.
+    cv.wait_timeout(guard, timeout)
+        // lis-analysis: allow(serve-no-panic) — see `lock`.
+        .expect("serving-plane lock poisoned")
+}

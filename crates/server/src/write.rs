@@ -228,3 +228,127 @@ mod tests {
         assert!(WriteStatus::Rejected { filter: "x".into() }.is_rejected());
     }
 }
+
+#[cfg(test)]
+mod ticket_tests {
+    use super::*;
+    use lis_core::error::LisError;
+
+    /// A ticket whose timeout expires concurrently with the writer
+    /// fulfilling it must resolve to exactly one outcome — either the
+    /// status or a timeout error, never a hang, never both.
+    #[test]
+    fn wait_timeout_races_fulfillment_to_one_outcome() {
+        for spin in 0..64u32 {
+            let slot = Arc::new(ResponseSlot::new());
+            let ticket = WriteTicket {
+                slot: Arc::clone(&slot),
+            };
+            let fulfiller = std::thread::spawn(move || {
+                // Vary the fulfiller's arrival around the tiny timeout so
+                // repeated runs land on both sides of the race.
+                for _ in 0..spin * 100 {
+                    std::hint::spin_loop();
+                }
+                slot.fulfill(Ok(WriteStatus::Applied { epoch: 1 }));
+            });
+            match ticket.wait_timeout(Duration::from_micros(u64::from(spin) * 10)) {
+                Ok(WriteStatus::Applied { epoch }) => assert_eq!(epoch, 1),
+                Err(LisError::Timeout(_)) => {}
+                other => panic!("expected Applied or Timeout, got {other:?}"),
+            }
+            fulfiller.join().unwrap();
+        }
+    }
+
+    /// A pre-fulfilled ticket resolves immediately even with a zero
+    /// timeout — fulfillment is never lost to an already-expired deadline.
+    #[test]
+    fn fulfilled_ticket_beats_zero_timeout() {
+        let slot = Arc::new(ResponseSlot::new());
+        slot.fulfill(Ok(WriteStatus::Applied { epoch: 7 }));
+        let ticket = WriteTicket { slot };
+        assert_eq!(
+            ticket.wait_timeout(Duration::ZERO).unwrap(),
+            WriteStatus::Applied { epoch: 7 }
+        );
+    }
+}
+
+/// Model-checking tests: `lis_check` explores the fulfill-vs-expiry race
+/// over the real `ResponseSlot`/`WriteTicket` code. A zero timeout keeps
+/// model runs deterministic (the expiry branch never consults a condvar,
+/// so the only race is whether the fulfiller ran first) while still
+/// exercising both resolutions across schedules.
+#[cfg(all(test, feature = "check"))]
+mod model_tests {
+    use super::*;
+    use lis_check::{thread, try_check, CheckConfig};
+    use lis_core::error::LisError;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fulfill_vs_expiry_resolves_exactly_once() {
+        let fulfilled = Arc::new(AtomicUsize::new(0));
+        let expired = Arc::new(AtomicUsize::new(0));
+        let (f, e) = (Arc::clone(&fulfilled), Arc::clone(&expired));
+        try_check(
+            "write-ticket-timeout",
+            CheckConfig::new().min_schedules(300),
+            move || {
+                let slot = Arc::new(ResponseSlot::new());
+                let ticket = WriteTicket {
+                    slot: Arc::clone(&slot),
+                };
+                let writer = thread::spawn(move || {
+                    slot.fulfill(Ok(WriteStatus::Applied { epoch: 1 }));
+                });
+                match ticket.wait_timeout(Duration::ZERO) {
+                    Ok(WriteStatus::Applied { epoch: 1 }) => {
+                        f.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Err(LisError::Timeout(_)) => {
+                        e.fetch_add(1, Ordering::SeqCst);
+                    }
+                    other => panic!("expected Applied or Timeout, got {other:?}"),
+                }
+                writer.join().unwrap();
+            },
+        )
+        .expect("ticket race must resolve to exactly one outcome");
+        assert!(
+            fulfilled.load(Ordering::SeqCst) > 0,
+            "exploration never saw the fulfiller win"
+        );
+        assert!(
+            expired.load(Ordering::SeqCst) > 0,
+            "exploration never saw the expiry win"
+        );
+    }
+
+    /// The blocking `wait` against a fulfiller: no schedule may strand
+    /// the waiting client.
+    #[test]
+    fn wait_is_never_stranded_by_fulfill_order() {
+        try_check(
+            "write-ticket-wait",
+            CheckConfig::new().min_schedules(300),
+            || {
+                let slot = Arc::new(ResponseSlot::new());
+                let ticket = WriteTicket {
+                    slot: Arc::clone(&slot),
+                };
+                let writer = thread::spawn(move || {
+                    slot.fulfill(Ok(WriteStatus::Applied { epoch: 2 }));
+                });
+                assert_eq!(
+                    ticket.wait().unwrap(),
+                    WriteStatus::Applied { epoch: 2 },
+                    "fulfillment lost"
+                );
+                writer.join().unwrap();
+            },
+        )
+        .expect("wait must see the fulfillment under every schedule");
+    }
+}

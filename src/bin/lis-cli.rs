@@ -18,6 +18,8 @@
 //! parsing is hand-rolled (the workspace intentionally carries no CLI
 //! dependency); every flag takes the form `--name value`.
 
+#![forbid(unsafe_code)]
+
 use lis::defense::{
     evaluate_defense, trim_defense, DensityDefense, IqrDefense, TrimConfig, TrimDefense,
 };

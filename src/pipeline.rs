@@ -664,6 +664,10 @@ impl Pipeline {
             unique.iter().map(|name| measure_caught(name)).collect()
         } else {
             let per_worker = unique.len().div_ceil(workers);
+            // lis-analysis: allow(thread-discipline) — index *training*
+            // fan-out: each worker owns a group of whole index builds
+            // returning owned reports, outside `par::map_chunks`'s
+            // borrowed-slice mapping shape.
             std::thread::scope(|scope| {
                 let measure_caught = &measure_caught;
                 let handles: Vec<_> = unique
