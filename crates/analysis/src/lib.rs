@@ -321,11 +321,13 @@ fn push_violation(
 }
 
 /// Files where `std::thread::spawn`/`scope` is sanctioned: the fan-out
-/// module, the server's worker/writer entry points, and the model
-/// checker's own runtime (which drives real threads by design).
+/// module (scoped fallback when no pool is installed), the serving
+/// plane's worker pool (the one spawn site for pooled workers and
+/// dedicated serving loops), and the model checker's own runtime (which
+/// drives real threads by design).
 fn thread_discipline_allowlisted(relpath: &str) -> bool {
     relpath == "crates/core/src/par.rs"
-        || relpath == "crates/server/src/server.rs"
+        || relpath == "crates/server/src/pool.rs"
         || relpath.starts_with("crates/check/src/")
 }
 

@@ -67,12 +67,16 @@ fn main() {
     // thread-shared CI runners make small-n wall clocks too noisy.
     let cell = report.cell("rmi", "clean").expect("rmi clean cell");
     println!(
-        "\nrmi clean: {:.1} ns/lookup batched vs {:.1} ns/lookup per-key \
-         ({:.2}x speedup, {:.2} Mlookups/s)",
+        "\nrmi clean: {:.1} ns/lookup batched (depth 1) vs {:.1} ns/lookup \
+         vectorized vs {:.1} ns/lookup per-key \
+         ({:.2}x batch, {:.2}x pipeline, {:.2} Mlookups/s, pool {} threads)",
         cell.ns_per_lookup_batch,
+        cell.ns_per_lookup_vectorized,
         cell.ns_per_lookup_per_key,
         cell.batch_speedup,
-        cell.mlookups_per_s
+        cell.pipeline_speedup,
+        cell.mlookups_per_s,
+        report.pool_threads
     );
     if report.keys >= 1_000_000 && report.batch >= 8_192 {
         assert!(
@@ -80,6 +84,33 @@ fn main() {
             "batch path should beat the per-key path at full scale, got {:.3}x",
             cell.batch_speedup
         );
+        // Single-core vectorization gate: the lane kernel + prefetch
+        // pipeline must beat the pre-vectorization sorted-batch baseline
+        // (113.08 ns/lookup, BENCH_hotpath.json at the previous PR) by
+        // ≥ 1.25x on the clean RMI.
+        let gate_ns = 113.08 / 1.25;
+        assert!(
+            cell.ns_per_lookup_vectorized <= gate_ns,
+            "vectorized rmi serve path must come in under {gate_ns:.1} ns/lookup \
+             (1.25x over the 113.08 ns pre-vectorization baseline), got {:.1}",
+            cell.ns_per_lookup_vectorized
+        );
+        // Multi-core gate: with ≥ 4 workers, the pooled sharded fan-out
+        // must push batched throughput to ≥ 3x the single-core 8.843
+        // Mlookups/s baseline. Conditional on real parallelism so
+        // single-core runners measure without failing.
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cores >= 4 && report.pool_threads >= 4 {
+            let sharded = report
+                .cell("sharded:rmi:8", "clean")
+                .expect("sharded clean cell");
+            assert!(
+                sharded.mlookups_per_s >= 3.0 * 8.843,
+                "pooled sharded fan-out on {cores} cores should reach 3x the \
+                 8.843 Mlookups/s single-core baseline, got {:.2}",
+                sharded.mlookups_per_s
+            );
+        }
     }
     println!("hotpath baseline complete.");
 }

@@ -104,7 +104,11 @@ impl DeepRmi {
         if cfg.stage_widths.contains(&0) {
             return Err(LisError::InvalidRmiConfig("zero-width stage".into()));
         }
-        let keys = ks.keys();
+        // Fan-out captures are `Arc`-shared (the persistent pool's workers
+        // are `'static`) and recovered between stages with `try_unwrap` —
+        // sound because every backend drops its task clones before
+        // completing.
+        let keys = std::sync::Arc::new(ks.keys().to_vec());
         let n = keys.len();
 
         let mut stages: Vec<Vec<StageModel>> = Vec::with_capacity(cfg.stage_widths.len());
@@ -136,28 +140,42 @@ impl DeepRmi {
             // Fit this stage's models over their (zero-copy) groups, in
             // parallel across models.
             let workers = par::effective_workers(threads, width);
-            let stage: Vec<StageModel> = par::map_chunks(width, workers, |range| {
-                range
-                    .map(|m| {
-                        let group = &order[offsets[m]..offsets[m + 1]];
-                        let fallback = ((m as f64 + 0.5) / width as f64) * n as f64;
-                        let model = if group.len() >= 2 {
-                            Some(fit_group(keys, group))
-                        } else {
-                            None
-                        };
-                        StageModel { model, fallback }
-                    })
-                    .collect()
-            });
+            let shared_order = std::sync::Arc::new(order);
+            let shared_offsets = std::sync::Arc::new(offsets);
+            let stage: Vec<StageModel> = {
+                let keys = std::sync::Arc::clone(&keys);
+                let order = std::sync::Arc::clone(&shared_order);
+                let offsets = std::sync::Arc::clone(&shared_offsets);
+                par::map_chunks(width, workers, move |range| {
+                    range
+                        .map(|m| {
+                            let group = &order[offsets[m]..offsets[m + 1]];
+                            let fallback = ((m as f64 + 0.5) / width as f64) * n as f64;
+                            let model = if group.len() >= 2 {
+                                Some(fit_group(&keys, group))
+                            } else {
+                                None
+                            };
+                            StageModel { model, fallback }
+                        })
+                        .collect()
+                })
+            };
+            order = std::sync::Arc::try_unwrap(shared_order).expect("fan-out released order");
+            offsets = std::sync::Arc::try_unwrap(shared_offsets).expect("fan-out released offsets");
 
             // Route every key through this stage to compute the next
             // assignment (skip after the last stage), in parallel across
             // contiguous key chunks.
             if depth + 1 < cfg.stage_widths.len() {
                 let next_width = cfg.stage_widths[depth + 1];
-                let routed: Vec<u32> =
-                    par::map_chunks(n, par::effective_workers(threads, n), |range| {
+                let shared_stage = std::sync::Arc::new(stage);
+                let shared_assignment = std::sync::Arc::new(assignment);
+                let routed: Vec<u32> = {
+                    let keys = std::sync::Arc::clone(&keys);
+                    let stage = std::sync::Arc::clone(&shared_stage);
+                    let assignment = std::sync::Arc::clone(&shared_assignment);
+                    par::map_chunks(n, par::effective_workers(threads, n), move |range| {
                         range
                             .map(|i| {
                                 let m = (assignment[i] as usize).min(width - 1);
@@ -165,34 +183,48 @@ impl DeepRmi {
                                 scale_to_stage(pred, n, next_width) as u32
                             })
                             .collect()
-                    });
+                    })
+                };
                 assignment = routed;
+                drop(shared_assignment);
+                stages.push(
+                    std::sync::Arc::try_unwrap(shared_stage).expect("fan-out released the stage"),
+                );
+            } else {
+                stages.push(stage);
             }
-            stages.push(stage);
         }
 
         // Leaf error bounds from the final assignment: per-chunk partial
         // maxima merged by `max` (order-independent, so thread count
         // cannot change the result).
         let leaf_width = *cfg.stage_widths.last().unwrap();
-        let leaves = stages.last().unwrap();
+        let leaves = std::sync::Arc::new(stages.pop().expect("stage_widths is non-empty"));
+        let shared_assignment = std::sync::Arc::new(assignment);
         let workers = par::effective_workers(threads, n);
         let chunk = n.div_ceil(workers).max(1);
-        let partials: Vec<Vec<usize>> = par::map_chunks(n.div_ceil(chunk), workers, |range| {
-            range
-                .map(|c| {
-                    let mut local = vec![0usize; leaf_width];
-                    for i in c * chunk..((c + 1) * chunk).min(n) {
-                        let leaf = (assignment[i] as usize).min(leaf_width - 1);
-                        let err = (leaves[leaf].predict(keys[i]) - (i + 1) as f64)
-                            .abs()
-                            .ceil() as usize;
-                        local[leaf] = local[leaf].max(err);
-                    }
-                    local
-                })
-                .collect()
-        });
+        let partials: Vec<Vec<usize>> = {
+            let keys = std::sync::Arc::clone(&keys);
+            let leaves = std::sync::Arc::clone(&leaves);
+            let assignment = std::sync::Arc::clone(&shared_assignment);
+            par::map_chunks(n.div_ceil(chunk), workers, move |range| {
+                range
+                    .map(|c| {
+                        let mut local = vec![0usize; leaf_width];
+                        for i in c * chunk..((c + 1) * chunk).min(n) {
+                            let leaf = (assignment[i] as usize).min(leaf_width - 1);
+                            let err = (leaves[leaf].predict(keys[i]) - (i + 1) as f64)
+                                .abs()
+                                .ceil() as usize;
+                            local[leaf] = local[leaf].max(err);
+                        }
+                        local
+                    })
+                    .collect()
+            })
+        };
+        drop(shared_assignment);
+        stages.push(std::sync::Arc::try_unwrap(leaves).expect("fan-out released the leaves"));
         let mut leaf_errors = vec![0usize; leaf_width];
         for local in partials {
             for (e, l) in leaf_errors.iter_mut().zip(local) {
@@ -202,7 +234,7 @@ impl DeepRmi {
 
         Ok(Self {
             stages,
-            keys: keys.to_vec(),
+            keys: std::sync::Arc::try_unwrap(keys).expect("fan-out released the keys"),
             leaf_errors,
             scratch: ScratchPool::new(),
         })
@@ -339,12 +371,29 @@ impl DeepRmi {
     /// Sorted-batch lookup into a reused buffer: probes sweep the key
     /// array in sorted order (results restored to probe order), so the
     /// per-stage model walks and last-mile windows move monotonically
-    /// through memory. Per-probe results are identical to
-    /// [`DeepRmi::lookup`].
+    /// through memory. The sweep is software-pipelined — the multi-stage
+    /// route and prediction run ahead of the window searches, prefetching
+    /// each probe's leaf window. Per-probe results are identical to
+    /// [`DeepRmi::lookup`] at every pipeline depth.
     pub fn lookup_batch_into(&self, keys: &[Key], out: &mut Vec<Lookup>) {
-        crate::index::sorted_batch_into(&self.scratch, keys, out, |k| {
-            self.lookup_at_leaf(self.route(k), k)
-        });
+        let last = self.keys.len().saturating_sub(1);
+        crate::index::sorted_batch_pipelined(
+            &self.scratch,
+            keys,
+            out,
+            |k| {
+                let leaf = self.route(k);
+                let guess = self.predict_at_leaf(leaf, k);
+                let radius = self.leaf_errors[leaf] + 1;
+                crate::search::prefetch_window(
+                    &self.keys,
+                    guess.saturating_sub(radius),
+                    guess.saturating_add(radius).min(last),
+                );
+                (guess, radius)
+            },
+            |k, (guess, radius)| bounded_search_with_fallback(&self.keys, k, guess, radius).into(),
+        );
     }
 
     /// Mean MSE over the trained leaf models (untrained leaves excluded) —
@@ -569,7 +618,7 @@ mod tests {
         let ks = uniform(5_000, 9);
         let rmi = DeepRmi::build(&ks, &DeepRmiConfig::three_stage(5, 50)).unwrap();
         let radius = rmi.max_leaf_error() + 1;
-        let bound = ((2 * radius + 1) as f64).log2().ceil() as usize + 1;
+        let bound = crate::search::lane_window_cost_bound(2 * radius + 1);
         for &k in ks.keys().iter().step_by(61) {
             let hit = rmi.lookup(k);
             assert!(hit.found, "member {k} lost");

@@ -1,15 +1,36 @@
-//! Scoped-thread fan-out for the build plane, shared by every structure
+//! Fan-out for the build and batch planes, shared by every structure
 //! that trains independent sub-models (RMI leaves, deep-RMI stages,
-//! sharded composites, pipeline victims).
+//! sharded composites, pipeline victims) or serves oversize batches
+//! across shards.
 //!
 //! The discipline mirrors [`crate::shard::ShardedIndex`]: at most
-//! `workers` scoped threads, each owning one *contiguous* chunk of the
+//! `workers` execution lanes, each owning one *contiguous* chunk of the
 //! job range — never one thread per job — and results concatenated in
 //! job order, so the output is **bit-identical** regardless of the
 //! worker count. Parallelism only changes which thread runs a chunk;
 //! every chunk's internal computation is sequential and deterministic.
 //! That invariant is what lets `tests/property_buildpath.rs` pin
 //! `parallel build ≡ serial build` exactly.
+//!
+//! ## Execution backends
+//!
+//! Work is described as a [`FanoutTask`] — a shared job whose `run(i)`
+//! units are independent — and executed by a [`Fanout`] backend:
+//!
+//! * **installed pool** — `lis_server`'s persistent work-stealing pool
+//!   registers itself once via [`install_fanout`]; from then on every
+//!   fan-out (builds, sharded oversize batches, nested training) reuses
+//!   its threads instead of spawning. Pool fan-outs *compose*: a nested
+//!   [`map_chunks`] submits sub-units to the same fixed-width pool and
+//!   helps drain them, so parallelism never multiplies.
+//! * **scoped fallback** — without a pool (plain `lis-core` users), a
+//!   fan-out spawns at most `workers` scoped threads, and *nested*
+//!   fan-outs run serially on their worker: the outer fan-out already
+//!   owns the machine's parallelism budget, and nesting would multiply
+//!   thread counts quadratically.
+
+use std::ops::Range;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// The machine's available parallelism (the default worker cap).
 pub fn available_workers() -> usize {
@@ -30,9 +51,116 @@ pub fn effective_workers(threads: usize, jobs: usize) -> usize {
     requested.min(jobs).max(1)
 }
 
+/// A shared fan-out job: `run(idx)` is invoked exactly once for every
+/// index in `0..n`, possibly concurrently from many threads, with no
+/// ordering between units. Units communicate results through the task's
+/// own interior-mutable slots (each unit touching only its own), which
+/// is what keeps executions thread-placement-independent.
+pub trait FanoutTask: Send + Sync {
+    /// Executes unit `idx`.
+    fn run(&self, idx: usize);
+}
+
+/// An executor of [`FanoutTask`]s: `run` returns once every unit in
+/// `0..n` has completed. A panic inside any unit must propagate to the
+/// caller as a panic whose payload contains `"build worker panicked"`.
+pub trait Fanout: Send + Sync {
+    /// Runs `task.run(i)` exactly once for every `i` in `0..n`.
+    fn run(&self, task: &Arc<dyn FanoutTask>, n: usize);
+}
+
+static FANOUT: OnceLock<&'static dyn Fanout> = OnceLock::new();
+
+/// Registers the process-wide fan-out executor (the serving plane's
+/// persistent pool). First call wins and returns `true`; later calls
+/// are ignored and return `false`. Once installed, every [`fanout`] /
+/// [`map_chunks`] with `workers > 1` runs on the pool instead of
+/// spawning scoped threads.
+pub fn install_fanout(pool: &'static dyn Fanout) -> bool {
+    FANOUT.set(pool).is_ok()
+}
+
+/// The installed executor, if any.
+pub fn installed_fanout() -> Option<&'static dyn Fanout> {
+    FANOUT.get().copied()
+}
+
+/// Runs `task.run(i)` for every `i` in `0..n` across up to `workers`
+/// execution lanes, returning once all units completed. Dispatches to
+/// the installed pool when one is registered; otherwise falls back to
+/// scoped threads (serial inside a fan-out worker — see the module
+/// docs on nesting).
+pub fn fanout(task: &Arc<dyn FanoutTask>, n: usize, workers: usize) {
+    if n == 0 {
+        return;
+    }
+    let workers = workers.min(n).max(1);
+    if workers > 1 {
+        if let Some(pool) = installed_fanout() {
+            pool.run(task, n);
+            return;
+        }
+    }
+    if workers <= 1 || in_fanout_worker() {
+        let _guard = enter_fanout_worker();
+        for i in 0..n {
+            task.run(i);
+        }
+        return;
+    }
+    let per_worker = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .step_by(per_worker)
+            .map(|start| {
+                let end = (start + per_worker).min(n);
+                let task = Arc::clone(task);
+                scope.spawn(move || {
+                    let _guard = enter_fanout_worker();
+                    for i in start..end {
+                        task.run(i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("build worker panicked");
+        }
+    });
+}
+
+/// The [`FanoutTask`] behind [`map_chunks`]: unit `c` maps the `c`-th
+/// contiguous job chunk through `f` into its own slot.
+struct MapChunksTask<R, F> {
+    f: F,
+    jobs: usize,
+    per_chunk: usize,
+    slots: Vec<Mutex<Vec<R>>>,
+}
+
+impl<R, F> FanoutTask for MapChunksTask<R, F>
+where
+    R: Send + 'static,
+    F: Fn(Range<usize>) -> Vec<R> + Send + Sync + 'static,
+{
+    fn run(&self, chunk: usize) {
+        let start = chunk * self.per_chunk;
+        let end = (start + self.per_chunk).min(self.jobs);
+        let out = (self.f)(start..end);
+        debug_assert_eq!(
+            out.len(),
+            end - start,
+            "chunk must yield one result per job"
+        );
+        *self.slots[chunk]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = out;
+    }
+}
+
 /// Maps `f` over the job indices `0..jobs`, fanning contiguous chunks
-/// out across at most `workers` scoped threads, and returns the per-job
-/// results concatenated in job order.
+/// out across at most `workers` execution lanes, and returns the
+/// per-job results concatenated in job order.
 ///
 /// `f` receives a contiguous `Range<usize>` of job indices and returns
 /// one result per index, in order. With `workers <= 1` (or a single
@@ -40,23 +168,30 @@ pub fn effective_workers(threads: usize, jobs: usize) -> usize {
 /// paths execute the same per-chunk code, so their outputs are
 /// identical. A panicking job propagates the panic to the caller.
 ///
-/// Fan-outs do **not** nest: a `map_chunks` call from inside another
-/// fan-out's worker (a sharded build constructing its inner indexes, a
-/// pipeline victim training its leaves) runs serially on that worker.
-/// The outer fan-out already owns the machine's parallelism budget —
-/// nesting would multiply thread counts quadratically and trade the
-/// build plane's speedup for context-switch contention. Since chunk
-/// outputs are thread-placement-independent, this changes scheduling
-/// only, never results.
+/// `f` must be `'static` (captures are `Arc`-shared, not borrowed): the
+/// persistent pool's workers outlive any one call, and safe Rust cannot
+/// lend them borrowed state. Call sites wrap their inputs in `Arc`s and
+/// recover them with `Arc::try_unwrap` after the fan-out returns —
+/// sound because every backend drops its task clones *before*
+/// completing, so the caller's `Arc` is unique again.
+///
+/// Nesting composes **through the pool**: a `map_chunks` call from
+/// inside another fan-out's worker submits its chunks to the same
+/// fixed-width pool (and helps drain them), so a sharded build
+/// constructing inner indexes that themselves train leaves in parallel
+/// saturates the pool without oversubscribing the machine. Without a
+/// pool, nested calls run serially on their worker, exactly as before.
+/// Since chunk outputs are thread-placement-independent, the backend
+/// choice changes scheduling only, never results.
 pub fn map_chunks<R, F>(jobs: usize, workers: usize, f: F) -> Vec<R>
 where
-    R: Send,
-    F: Fn(std::ops::Range<usize>) -> Vec<R> + Sync,
+    R: Send + 'static,
+    F: Fn(Range<usize>) -> Vec<R> + Send + Sync + 'static,
 {
     if jobs == 0 {
         return Vec::new();
     }
-    let workers = if in_fanout_worker() {
+    let workers = if in_fanout_worker() && installed_fanout().is_none() {
         1
     } else {
         workers.min(jobs).max(1)
@@ -66,26 +201,24 @@ where
         debug_assert_eq!(out.len(), jobs, "chunk must yield one result per job");
         return out;
     }
-    let per_worker = jobs.div_ceil(workers);
-    std::thread::scope(|scope| {
-        let f = &f;
-        let handles: Vec<_> = (0..jobs)
-            .step_by(per_worker)
-            .map(|start| {
-                let end = (start + per_worker).min(jobs);
-                scope.spawn(move || {
-                    let _guard = enter_fanout_worker();
-                    f(start..end)
-                })
-            })
-            .collect();
-        let mut out = Vec::with_capacity(jobs);
-        for h in handles {
-            out.extend(h.join().expect("build worker panicked"));
-        }
-        debug_assert_eq!(out.len(), jobs, "chunks must yield one result per job");
-        out
-    })
+    let per_chunk = jobs.div_ceil(workers);
+    let chunks = jobs.div_ceil(per_chunk);
+    let task = Arc::new(MapChunksTask {
+        f,
+        jobs,
+        per_chunk,
+        slots: (0..chunks).map(|_| Mutex::new(Vec::new())).collect(),
+    });
+    let shared: Arc<dyn FanoutTask> = Arc::clone(&task) as Arc<dyn FanoutTask>;
+    fanout(&shared, chunks, workers);
+    drop(shared);
+    let task = Arc::into_inner(task).expect("fan-out backend leaked its task clone");
+    let mut out = Vec::with_capacity(jobs);
+    for slot in task.slots {
+        out.extend(slot.into_inner().unwrap_or_else(PoisonError::into_inner));
+    }
+    debug_assert_eq!(out.len(), jobs, "chunks must yield one result per job");
+    out
 }
 
 thread_local! {
@@ -95,7 +228,8 @@ thread_local! {
 
 /// `true` when called from inside a fan-out worker (either a
 /// [`map_chunks`] worker or a thread that called
-/// [`enter_fanout_worker`]); nested fan-outs then run serially.
+/// [`enter_fanout_worker`]); without an installed pool, nested fan-outs
+/// then run serially.
 pub fn in_fanout_worker() -> bool {
     IN_FANOUT.with(|f| f.get())
 }
@@ -165,19 +299,27 @@ mod tests {
 
     #[test]
     fn nested_fanouts_run_serially_without_changing_results() {
-        // An inner map_chunks inside a fan-out worker must not spawn —
-        // and must still produce identical results.
+        // Without an installed pool, an inner map_chunks inside a
+        // fan-out worker must not spawn — and must still produce
+        // identical results. (With a pool the inner call submits to it
+        // instead; `lis-server`'s pool tests pin that composition.)
         let nested = map_chunks(4, 4, |outer| {
             outer
                 .map(|i| {
                     assert!(in_fanout_worker(), "worker not marked");
-                    map_chunks(5, 4, |inner| inner.map(|j| i * 10 + j).collect::<Vec<_>>())
+                    map_chunks(5, 4, move |inner| {
+                        inner.map(|j| i * 10 + j).collect::<Vec<_>>()
+                    })
                 })
                 .collect()
         });
         let flat = map_chunks(4, 1, |outer| {
             outer
-                .map(|i| map_chunks(5, 4, |inner| inner.map(|j| i * 10 + j).collect::<Vec<_>>()))
+                .map(|i| {
+                    map_chunks(5, 4, move |inner| {
+                        inner.map(|j| i * 10 + j).collect::<Vec<_>>()
+                    })
+                })
                 .collect()
         });
         assert_eq!(nested, flat);
@@ -188,6 +330,34 @@ mod tests {
             assert!(in_fanout_worker());
         }
         assert!(!in_fanout_worker());
+    }
+
+    #[test]
+    fn fanout_runs_every_unit_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct Count(Vec<AtomicUsize>);
+        impl FanoutTask for Count {
+            fn run(&self, idx: usize) {
+                self.0[idx].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        for workers in [1usize, 3, 8] {
+            let task = Arc::new(Count((0..13).map(|_| AtomicUsize::new(0)).collect()));
+            let shared: Arc<dyn FanoutTask> = Arc::clone(&task) as Arc<dyn FanoutTask>;
+            fanout(&shared, 13, workers);
+            drop(shared);
+            let task = Arc::into_inner(task).expect("backend must drop task clones");
+            for (i, c) in task.0.iter().enumerate() {
+                assert_eq!(
+                    c.load(Ordering::Relaxed),
+                    1,
+                    "unit {i} with {workers} workers"
+                );
+            }
+        }
+        // n == 0 is a no-op.
+        let empty: Arc<dyn FanoutTask> = Arc::new(Count(Vec::new()));
+        fanout(&empty, 0, 4);
     }
 
     #[test]

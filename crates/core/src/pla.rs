@@ -256,15 +256,32 @@ impl PlaIndex {
     /// order, so segment routing advances a cursor monotonically (no
     /// per-probe binary search over segments) and the bounded windows
     /// stream through the key array; results return in probe order and
-    /// are identical to [`PlaIndex::lookup`] per probe.
+    /// are identical to [`PlaIndex::lookup`] per probe. Like the RMI's
+    /// batch path, the sweep is software-pipelined: segment routing and
+    /// prediction run ahead of the `epsilon`-bounded window searches,
+    /// prefetching each probe's window so cache misses overlap.
     pub fn lookup_batch_into(&self, keys: &[Key], out: &mut Vec<Lookup>) {
         let mut seg = 0usize;
-        crate::index::sorted_batch_into(&self.scratch, keys, out, |k| {
-            // Monotone `segment_for`: last segment with `first_key ≤ k`,
-            // galloping forward from the cursor.
-            seg = crate::search::monotone_route_by(&self.segments, seg, k, |s| s.first_key);
-            self.lookup_in_segment(seg, k)
-        });
+        let radius = self.epsilon + 1;
+        let last = self.keys.len().saturating_sub(1);
+        crate::index::sorted_batch_pipelined(
+            &self.scratch,
+            keys,
+            out,
+            |k| {
+                // Monotone `segment_for`: last segment with
+                // `first_key ≤ k`, galloping forward from the cursor.
+                seg = crate::search::monotone_route_by(&self.segments, seg, k, |s| s.first_key);
+                let guess = self.segments[seg].predict_pos(k, self.keys.len());
+                crate::search::prefetch_window(
+                    &self.keys,
+                    guess.saturating_sub(radius),
+                    guess.saturating_add(radius).min(last),
+                );
+                guess
+            },
+            |k, guess| bounded_search_with_fallback(&self.keys, k, guess, radius).into(),
+        );
     }
 
     /// Largest prediction error over the training keys (must be ≤
@@ -487,7 +504,7 @@ mod tests {
         let ks = KeySet::from_keys((1..4000u64).map(|i| i * i / 3).collect()).unwrap();
         let eps = 16usize;
         let pla = PlaIndex::build(&ks, eps).unwrap();
-        let bound = ((2 * (eps + 1) + 1) as f64).log2().ceil() as usize + 1;
+        let bound = crate::search::lane_window_cost_bound(2 * (eps + 1) + 1);
         for (i, &k) in ks.keys().iter().enumerate().step_by(37) {
             let hit = pla.lookup(k);
             assert_eq!(hit.pos, Some(i));

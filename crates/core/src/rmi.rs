@@ -228,8 +228,11 @@ impl Rmi {
                 ks.len()
             )));
         }
-        let bounds = ks.partition_bounds(cfg.num_leaves)?;
-        let keys = ks.keys();
+        // The fan-out's captures are `Arc`-shared (the persistent pool's
+        // workers are `'static`) and recovered afterwards — the backend
+        // drops its clones before completing, so `try_unwrap` succeeds.
+        let bounds = std::sync::Arc::new(ks.partition_bounds(cfg.num_leaves)?);
+        let keys = std::sync::Arc::new(ks.keys().to_vec());
 
         struct FittedLeaf {
             model: LinearModel,
@@ -237,21 +240,27 @@ impl Rmi {
             moments: CdfMoments,
         }
         let workers = par::effective_workers(threads, bounds.len());
-        let fitted: Vec<FittedLeaf> = par::map_chunks(bounds.len(), workers, |range| {
-            range
-                .map(|i| {
-                    let slice = &keys[bounds[i].clone()];
-                    let (model, moments) =
-                        fit_sorted_slice(slice).expect("partitions are non-empty");
-                    let max_err = model.max_abs_error_slice(slice).ceil() as usize;
-                    FittedLeaf {
-                        model,
-                        max_err,
-                        moments,
-                    }
-                })
-                .collect()
-        });
+        let fitted: Vec<FittedLeaf> = {
+            let keys = std::sync::Arc::clone(&keys);
+            let bounds = std::sync::Arc::clone(&bounds);
+            par::map_chunks(bounds.len(), workers, move |range| {
+                range
+                    .map(|i| {
+                        let slice = &keys[bounds[i].clone()];
+                        let (model, moments) =
+                            fit_sorted_slice(slice).expect("partitions are non-empty");
+                        let max_err = model.max_abs_error_slice(slice).ceil() as usize;
+                        FittedLeaf {
+                            model,
+                            max_err,
+                            moments,
+                        }
+                    })
+                    .collect()
+            })
+        };
+        let bounds = std::sync::Arc::try_unwrap(bounds).expect("fan-out released its captures");
+        let keys = std::sync::Arc::try_unwrap(keys).expect("fan-out released its captures");
 
         let mut table = LeafTable::default();
         let mut boundaries = Vec::with_capacity(bounds.len());
@@ -283,7 +292,7 @@ impl Rmi {
             root,
             table,
             boundaries,
-            keys: keys.to_vec(),
+            keys,
             routing: cfg.routing,
             scratch: ScratchPool::new(),
         })
@@ -419,23 +428,41 @@ impl Rmi {
     /// their original slots), swept in key order — so oracle routing
     /// advances monotonically through the boundary array and the last-mile
     /// searches walk the key array left to right — and results land back
-    /// in probe order. Per-probe results (`found`, position, cost) are
-    /// identical to [`Rmi::lookup`]; only locality changes.
+    /// in probe order. The sweep is software-pipelined: routing and
+    /// prediction run [`pipeline_depth`](crate::search::pipeline_depth)
+    /// probes ahead of the window searches, prefetching each probe's leaf
+    /// window so DRAM misses overlap instead of serializing. Per-probe
+    /// results (`found`, position, cost) are identical to [`Rmi::lookup`]
+    /// at every depth; only locality and memory-level parallelism change.
     pub fn lookup_batch_into(&self, keys: &[Key], out: &mut Vec<Lookup>) {
         let mut leaf = 0usize;
-        crate::index::sorted_batch_into(&self.scratch, keys, out, |k| {
-            match self.routing {
-                Routing::Oracle => {
-                    // Monotone routing: identical to `route_oracle` (last
-                    // boundary ≤ key), galloping forward from the cursor —
-                    // a probe or two when batches are dense, O(log gap)
-                    // when they are sparse.
-                    leaf = crate::search::monotone_route_by(&self.boundaries, leaf, k, |&b| b);
+        let last = self.keys.len() - 1;
+        crate::index::sorted_batch_pipelined(
+            &self.scratch,
+            keys,
+            out,
+            |k| {
+                match self.routing {
+                    Routing::Oracle => {
+                        // Monotone routing: identical to `route_oracle`
+                        // (last boundary ≤ key), galloping forward from
+                        // the cursor — a probe or two when batches are
+                        // dense, O(log gap) when they are sparse.
+                        leaf = crate::search::monotone_route_by(&self.boundaries, leaf, k, |&b| b);
+                    }
+                    Routing::Root => leaf = self.route_by_root(k),
                 }
-                Routing::Root => leaf = self.route_by_root(k),
-            }
-            self.lookup_at_leaf(leaf, k)
-        });
+                let guess = self.predict_at_leaf(leaf, k);
+                let radius = self.table.max_err[leaf] + 1;
+                crate::search::prefetch_window(
+                    &self.keys,
+                    guess.saturating_sub(radius),
+                    guess.saturating_add(radius).min(last),
+                );
+                (guess, radius)
+            },
+            |k, (guess, radius)| bounded_search_with_fallback(&self.keys, k, guess, radius).into(),
+        );
     }
 
     /// Mean squared error of leaf `i` on its training partition (the
@@ -805,13 +832,13 @@ mod tests {
 
     #[test]
     fn bounded_lookup_cost_tracks_leaf_error_radius() {
-        // Clean near-linear data: tiny windows, tiny costs bounded by
-        // log2 of the error window, not log2(n).
+        // Clean near-linear data: tiny windows, tiny costs bounded by the
+        // lane kernel's exact in-window cost of the error window — a
+        // function of the window, not of n.
         let ks = uniform_keys(10_000, 7);
         let rmi = Rmi::build(&ks, &RmiConfig::linear_root(100)).unwrap();
         let radius = rmi.max_leaf_error() + 1;
-        let window = 2 * radius + 1;
-        let bound = (window as f64).log2().ceil() as usize + 1;
+        let bound = crate::search::lane_window_cost_bound(2 * radius + 1);
         for &k in ks.keys().iter().step_by(97) {
             let hit = rmi.lookup(k);
             assert!(hit.found);

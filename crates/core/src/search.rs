@@ -10,12 +10,22 @@
 //!
 //! The hot path is [`bounded_search_with_fallback`]: indexes that store a
 //! per-model maximum training error (`max_err`) search only the
-//! `±(max_err + 1)` window around the prediction with a branchless binary
-//! search, and gallop outward *only* when a miss lands on a window edge
-//! (out-of-bound prediction — absent keys or root-routing mispredicts).
+//! `±(max_err + 1)` window around the prediction, and gallop outward
+//! *only* when a miss lands on a window edge (out-of-bound prediction —
+//! absent keys or root-routing mispredicts). The window probe is the
+//! *lane kernel*: branchless binary halving while the candidate range
+//! exceeds two lanes, then a count of the `≤ key` prefix over the final
+//! window in explicit [`LANE`]-wide chunks the compiler autovectorizes.
 //! Every function reports `comparisons` as exactly the number of key
-//! comparisons performed, so `Lookup.cost` keeps the paper's
-//! comparison-count semantics no matter which search strategy answered.
+//! comparisons performed — lane work is **counted, not estimated** (a
+//! processed lane charges one comparison per element) — so `Lookup.cost`
+//! keeps the paper's comparison-count semantics no matter which search
+//! strategy answered.
+//!
+//! [`set_scalar_kernel`] swaps the lane tail for an element-at-a-time
+//! scalar loop with bit-identical results *and* comparison counts: the
+//! executable oracle behind the `vectorized ≡ scalar` identity tests and
+//! the scalar baseline column of the hotpath bench.
 
 // lis-analysis: zone(zero-alloc)
 // Every routine in this file runs per-probe inside the serve loop; the
@@ -191,14 +201,212 @@ fn branchless_lower_bound(keys: &[Key], key: Key) -> (usize, usize) {
     (base, comparisons)
 }
 
-/// The branchless probe shared by [`branchless_search_counted`] and
-/// [`bounded_search_with_fallback`]: lower bound plus one final three-way
-/// comparison. Returns `(base, keys[base] ⋄ key, comparisons)`; callers
-/// interpret the ordering (`Equal` → hit at `base`, `Less`/`Greater` →
-/// which side of the slice the key fell off). Requires a non-empty slice.
+/// The branchless probe behind [`branchless_search_counted`]: lower bound
+/// plus one final three-way comparison. Returns `(base, keys[base] ⋄ key,
+/// comparisons)`; callers interpret the ordering (`Equal` → hit at `base`,
+/// `Less`/`Greater` → which side of the slice the key fell off). Requires
+/// a non-empty slice.
 fn branchless_probe(keys: &[Key], key: Key) -> (usize, std::cmp::Ordering, usize) {
     let (base, comparisons) = branchless_lower_bound(keys, key);
     (base, keys[base].cmp(&key), comparisons + 1)
+}
+
+/// Lane width of the vectorized last-mile kernel: the final window is
+/// compared in chunks of this many keys per step (8 × u64 = one 64-byte
+/// cache line, two AVX2 / one AVX-512 vector).
+pub const LANE: usize = 8;
+
+/// Candidate-range size at which the halving descent hands over to the
+/// lane scan. Two lanes, so the tail holds at least one full [`LANE`]
+/// chunk whenever the window was bigger than a lane to begin with.
+const LANE_TAIL: usize = 2 * LANE;
+
+/// When `true`, the window kernel runs its scalar-equivalent tail
+/// (element-at-a-time, identical counting) instead of the lane-chunked
+/// one. Results and comparison counts are bit-identical by construction —
+/// flipping this mid-flight can never change an answer — so a plain
+/// relaxed global is safe even with concurrent lookups.
+static SCALAR_KERNEL: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Whether the scalar-equivalent window kernel is selected.
+pub fn scalar_kernel() -> bool {
+    SCALAR_KERNEL.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Selects the scalar-equivalent window kernel (`true`) or the lane
+/// kernel (`false`); returns the previous selection. Both produce
+/// identical `found`/`rank`/`cost` — this exists for the identity tests
+/// and the hotpath bench's scalar baseline column.
+pub fn set_scalar_kernel(on: bool) -> bool {
+    SCALAR_KERNEL.swap(on, std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Lane-chunked lower bound: branchless halving while the candidate range
+/// exceeds [`LANE_TAIL`], then a count of the `≤ key` prefix over the
+/// remaining window in explicit [`LANE`]-wide chunks (plus a scalar
+/// remainder). Same contract as [`branchless_lower_bound`] — index of the
+/// last element `≤ key`, or `0` — but the comparison count is `descent
+/// steps + tail length`: every element of a processed lane is charged,
+/// honestly, as one comparison. The count is data-independent for a given
+/// window length ([`lane_window_cost`] computes it in closed form).
+fn lane_lower_bound(keys: &[Key], key: Key) -> (usize, usize) {
+    let mut base = 0usize;
+    let mut size = keys.len();
+    let mut comparisons = 0usize;
+    while size > LANE_TAIL {
+        let half = size / 2;
+        comparisons += 1;
+        base += usize::from(keys[base + half] <= key) * half;
+        size -= half;
+    }
+    let window = &keys[base..base + size];
+    let mut le = 0usize;
+    let mut chunks = window.chunks_exact(LANE);
+    for chunk in &mut chunks {
+        // Fixed-width, branch-free reduction over one lane: the shape the
+        // autovectorizer lowers to a packed compare + horizontal add.
+        let mut lanes = 0usize;
+        for &x in chunk {
+            lanes += usize::from(x <= key);
+        }
+        le += lanes;
+    }
+    for &x in chunks.remainder() {
+        le += usize::from(x <= key);
+    }
+    comparisons += size;
+    // Sortedness makes the `≤ key` window elements a prefix; elements
+    // before `base` are `≤ key` whenever `base > 0` (each descent step
+    // only advances onto a `≤ key` element), so `le == 0` implies
+    // `base == 0`: every element exceeds `key` and the lower bound pins
+    // at the front, exactly as in `branchless_lower_bound`.
+    (base + le.saturating_sub(1), comparisons)
+}
+
+/// Scalar-equivalent twin of [`lane_lower_bound`]: the same halving
+/// descent and the same full-tail counting, one element at a time with no
+/// chunk structure. Identical result and identical comparison count for
+/// every input — the executable oracle the `vectorized ≡ scalar` identity
+/// tests compare against.
+fn lane_lower_bound_scalar(keys: &[Key], key: Key) -> (usize, usize) {
+    let mut base = 0usize;
+    let mut size = keys.len();
+    let mut comparisons = 0usize;
+    while size > LANE_TAIL {
+        let half = size / 2;
+        comparisons += 1;
+        base += usize::from(keys[base + half] <= key) * half;
+        size -= half;
+    }
+    let mut le = 0usize;
+    for &x in &keys[base..base + size] {
+        le += usize::from(x <= key);
+    }
+    comparisons += size;
+    (base + le.saturating_sub(1), comparisons)
+}
+
+/// The exact, data-independent comparison count of an in-window probe of
+/// `window_len` keys under the lane kernel: halving-descent steps, plus
+/// the final tail length, plus the one concluding three-way comparison.
+/// Cost-bound tests use this where they previously used `⌈log₂ w⌉ + 1`.
+pub fn lane_window_cost(window_len: usize) -> usize {
+    if window_len == 0 {
+        return 0;
+    }
+    let mut size = window_len;
+    let mut steps = 0usize;
+    while size > LANE_TAIL {
+        size -= size / 2;
+        steps += 1;
+    }
+    steps + size + 1
+}
+
+/// The worst in-window probe cost over every window length up to
+/// `max_len`. [`lane_window_cost`] is *not* monotone in the window length
+/// (a shorter window can stop the descent earlier and pay a longer tail),
+/// so cost-bound tests over windows that clamp at the array edges bound
+/// with this instead.
+pub fn lane_window_cost_bound(max_len: usize) -> usize {
+    (1..=max_len).map(lane_window_cost).max().unwrap_or(0)
+}
+
+/// The lane-kernel window probe behind [`bounded_search_with_fallback`]:
+/// lower bound (lane or scalar-equivalent tail, per [`scalar_kernel`])
+/// plus one final three-way comparison. Requires a non-empty slice.
+fn lane_probe(keys: &[Key], key: Key) -> (usize, std::cmp::Ordering, usize) {
+    let (base, comparisons) = if scalar_kernel() {
+        lane_lower_bound_scalar(keys, key)
+    } else {
+        lane_lower_bound(keys, key)
+    };
+    (base, keys[base].cmp(&key), comparisons + 1)
+}
+
+/// Best-effort software prefetch of `keys[idx]`'s cache line, used by the
+/// pipelined sorted-batch paths to issue the *next* probes' window loads
+/// while the current probe is still being served.
+///
+/// The workspace carries `#![forbid(unsafe_code)]`, which puts the
+/// `core::arch` prefetch intrinsics (`_mm_prefetch` and friends — all
+/// `unsafe fn`) out of reach; on 64-bit targets this instead issues a
+/// bounds-checked demand load pinned by `black_box`, which the
+/// out-of-order window overlaps with younger probes' work — the same
+/// memory-level-parallelism effect, expressed safely. On other targets it
+/// is a no-op (the cfg fallback).
+#[inline(always)]
+pub fn prefetch_key(keys: &[Key], idx: usize) {
+    #[cfg(target_pointer_width = "64")]
+    if let Some(&k) = keys.get(idx) {
+        std::hint::black_box(k);
+    }
+    #[cfg(not(target_pointer_width = "64"))]
+    {
+        let _ = (keys, idx);
+    }
+}
+
+/// Prefetches the span `[lo, hi]` of `keys` at three points — both edges
+/// and the midpoint the halving descent probes first — covering the lines
+/// an error-bounded window search touches.
+#[inline(always)]
+pub fn prefetch_window(keys: &[Key], lo: usize, hi: usize) {
+    prefetch_key(keys, lo);
+    prefetch_key(keys, lo + (hi - lo) / 2);
+    prefetch_key(keys, hi);
+}
+
+/// Deepest supported sorted-batch pipeline: how many probes may be
+/// in flight (planned + prefetched, not yet served) per worker.
+pub const MAX_PIPELINE_DEPTH: usize = 16;
+
+/// Default number of in-flight probes per worker in the sorted-batch
+/// pipeline: deep enough to overlap several DRAM misses, shallow enough
+/// that prefetched lines are still resident when their probe is served.
+pub const DEFAULT_PIPELINE_DEPTH: usize = 8;
+
+/// Configured pipeline depth (`0` = use the default).
+static PIPELINE_DEPTH: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// The number of probes the sorted-batch paths keep in flight. Depth 1
+/// serves each probe immediately after planning it (no overlap) — every
+/// depth produces bit-identical results; only memory-level parallelism
+/// changes.
+pub fn pipeline_depth() -> usize {
+    match PIPELINE_DEPTH.load(std::sync::atomic::Ordering::Relaxed) {
+        0 => DEFAULT_PIPELINE_DEPTH,
+        d => d,
+    }
+}
+
+/// Sets the sorted-batch pipeline depth (clamped to
+/// `[1, MAX_PIPELINE_DEPTH]`; `0` restores the default) and returns the
+/// previous raw setting. Results are depth-independent by construction;
+/// the hotpath bench uses depth 1 as its unpipelined baseline.
+pub fn set_pipeline_depth(depth: usize) -> usize {
+    let clamped = depth.min(MAX_PIPELINE_DEPTH);
+    PIPELINE_DEPTH.swap(clamped, std::sync::atomic::Ordering::Relaxed)
 }
 
 /// Branchless counterpart of [`binary_search_counted`] for bracketed
@@ -248,7 +456,7 @@ pub(crate) fn monotone_route_by<T>(
     lo + within.saturating_sub(1)
 }
 
-/// Error-bounded last-mile search: branchless binary search on the window
+/// Error-bounded last-mile search: lane-kernel search on the window
 /// `[center − radius, center + radius]` (clamped), falling back to
 /// [`exponential_search`] only when the miss is *out of bound* — the key
 /// compares beyond the window edge, so the window provably cannot decide
@@ -256,8 +464,10 @@ pub(crate) fn monotone_route_by<T>(
 /// (the invariant `max_err` storage provides) the fallback never fires;
 /// for in-window misses absence is proven without it.
 ///
-/// Cost semantics are unchanged: `comparisons` is exactly the number of
-/// key comparisons performed, including any fallback galloping.
+/// Cost semantics are unchanged in kind: `comparisons` is exactly the
+/// number of key comparisons performed — descent steps, every compared
+/// lane element, and any fallback galloping. In-window probes cost
+/// exactly [`lane_window_cost`] of the clamped window length.
 pub fn bounded_search_with_fallback(
     keys: &[Key],
     key: Key,
@@ -274,7 +484,7 @@ pub fn bounded_search_with_fallback(
     let lo = center.saturating_sub(radius);
     let hi = center.saturating_add(radius).min(keys.len() - 1);
     let window = &keys[lo..=hi];
-    let (base, ordering, comparisons) = branchless_probe(window, key);
+    let (base, ordering, comparisons) = lane_probe(window, key);
     match ordering {
         std::cmp::Ordering::Equal => SearchResult {
             pos: Some(lo + base),
@@ -471,12 +681,14 @@ mod tests {
             for radius in [1usize, 4, 16] {
                 let r = bounded_search_with_fallback(&ks, k, i, radius);
                 assert_eq!(r.pos, Some(i), "key {k} radius {radius}");
-                let window = 2 * radius + 1;
-                let bound = (window as f64).log2().ceil() as usize + 1;
-                assert!(
-                    r.comparisons <= bound,
-                    "in-window hit cost {} > {bound}",
-                    r.comparisons
+                // The window clamps at the array edges; an in-window hit
+                // costs exactly the lane cost of the clamped window.
+                let window =
+                    i.saturating_add(radius).min(ks.len() - 1) - i.saturating_sub(radius) + 1;
+                assert_eq!(
+                    r.comparisons,
+                    lane_window_cost(window),
+                    "in-window hit cost off for key {k} radius {radius}"
                 );
             }
         }
@@ -504,7 +716,7 @@ mod tests {
                          // containing both proves absence at window cost.
         let r = bounded_search_with_fallback(&ks, 301, 100, 4);
         assert_eq!(r.pos, None);
-        let bound = (9f64).log2().ceil() as usize + 1;
+        let bound = lane_window_cost(9);
         assert!(r.comparisons <= bound, "cost {}", r.comparisons);
     }
 
@@ -547,6 +759,142 @@ mod tests {
             cursor = monotone_route_by(&bounds, cursor, key, |&b| b);
             assert_eq!(cursor, global(key), "sweep key {key}");
         }
+    }
+
+    /// A scoped guard flipping the kernel to scalar mode and restoring it
+    /// on drop, so identity tests cannot leak the flag.
+    struct ScalarGuard(bool);
+    impl ScalarGuard {
+        fn on() -> Self {
+            ScalarGuard(set_scalar_kernel(true))
+        }
+    }
+    impl Drop for ScalarGuard {
+        fn drop(&mut self) {
+            set_scalar_kernel(self.0);
+        }
+    }
+
+    #[test]
+    fn lane_lower_bound_matches_branchless_everywhere() {
+        // The lane kernel and the pure branchless descent must agree on
+        // the rank for every window shape: shorter than one lane, exactly
+        // one lane, straddling the descent threshold, and large.
+        let ks = keys();
+        for width in [1usize, 2, 3, 7, 8, 9, 15, 16, 17, 31, 33, 64, 100, 1000] {
+            let w = &ks[..width];
+            for k in [
+                0u64,
+                1,
+                3,
+                ks[width / 2],
+                ks[width - 1],
+                ks[width - 1] + 1,
+                10_000,
+            ] {
+                let (lane, _) = lane_lower_bound(w, k);
+                let (scalar, _) = lane_lower_bound_scalar(w, k);
+                let (branchless, _) = branchless_lower_bound(w, k);
+                assert_eq!(lane, branchless, "width {width} key {k}");
+                assert_eq!(scalar, branchless, "width {width} key {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_and_scalar_kernels_are_cost_identical() {
+        let ks = keys();
+        for width in [1usize, 5, 8, 13, 16, 21, 64, 511] {
+            let w = &ks[..width];
+            for k in [0u64, 2, ks[width / 3], ks[width - 1], 9_999] {
+                let lane = lane_lower_bound(w, k);
+                let scalar = lane_lower_bound_scalar(w, k);
+                assert_eq!(lane, scalar, "width {width} key {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_window_cost_is_exact_and_data_independent() {
+        let ks = keys();
+        for width in [1usize, 2, 7, 8, 9, 16, 17, 33, 100, 257, 1000] {
+            let expected = lane_window_cost(width);
+            let mut counts = std::collections::BTreeSet::new();
+            for k in [0u64, 1, ks[width / 2], ks[width - 1], 10_000] {
+                // An in-window probe at full radius never gallops: cost
+                // is exactly the closed form.
+                let r = bounded_search_with_fallback(&ks[..width], k, width / 2, width);
+                counts.insert(r.comparisons);
+                assert_eq!(r.comparisons, expected, "width {width} key {k}");
+            }
+            assert_eq!(counts.len(), 1, "width {width} cost varied with data");
+        }
+        assert_eq!(lane_window_cost(0), 0);
+    }
+
+    #[test]
+    fn scalar_mode_is_bit_identical_to_lane_mode() {
+        let ks = keys();
+        let probes: Vec<Key> = (0..3_100u64).step_by(7).collect();
+        let mut lane_results = Vec::new();
+        for &k in &probes {
+            lane_results.push(bounded_search_with_fallback(&ks, k, 500, 20));
+        }
+        let _guard = ScalarGuard::on();
+        for (&k, lane) in probes.iter().zip(&lane_results) {
+            let scalar = bounded_search_with_fallback(&ks, k, 500, 20);
+            assert_eq!(&scalar, lane, "key {k}");
+        }
+    }
+
+    #[test]
+    fn lane_kernel_degenerate_shapes() {
+        // Single-element windows (radius 0), windows shorter than a lane,
+        // and duplicate-heavy slices.
+        let ks = keys();
+        for (i, &k) in ks.iter().enumerate().step_by(101) {
+            let r = bounded_search_with_fallback(&ks, k, i, 0);
+            assert_eq!(r.pos, Some(i), "radius-0 exact guess");
+            assert_eq!(r.comparisons, lane_window_cost(1));
+        }
+        let tiny: Vec<Key> = (0..5u64).map(|i| i * 2).collect();
+        for k in 0..12u64 {
+            let r = bounded_search_with_fallback(&tiny, k, 2, 10);
+            assert_eq!(r.pos, tiny.binary_search(&k).ok(), "tiny key {k}");
+        }
+        let dup: Vec<Key> = [3u64; 20]
+            .into_iter()
+            .chain([5u64; 20])
+            .chain([9u64; 3])
+            .collect();
+        for k in [0u64, 3, 4, 5, 7, 9, 10] {
+            let (lane, lc) = lane_lower_bound(&dup, k);
+            let (branchless, _) = branchless_lower_bound(&dup, k);
+            let (scalar, sc) = lane_lower_bound_scalar(&dup, k);
+            assert_eq!(lane, branchless, "dup key {k}");
+            assert_eq!((lane, lc), (scalar, sc), "dup key {k}");
+        }
+    }
+
+    #[test]
+    fn pipeline_depth_knob_clamps_and_restores() {
+        assert!((1..=MAX_PIPELINE_DEPTH).contains(&pipeline_depth()));
+        let prev = set_pipeline_depth(3);
+        assert_eq!(pipeline_depth(), 3);
+        set_pipeline_depth(MAX_PIPELINE_DEPTH + 100);
+        assert_eq!(pipeline_depth(), MAX_PIPELINE_DEPTH);
+        set_pipeline_depth(prev);
+    }
+
+    #[test]
+    fn prefetch_is_a_semantic_noop() {
+        let ks = keys();
+        prefetch_key(&ks, 0);
+        prefetch_key(&ks, ks.len() - 1);
+        prefetch_key(&ks, ks.len() + 10); // out of range: must not panic
+        prefetch_window(&ks, 10, 50);
+        prefetch_window(&ks, 999, 999);
+        prefetch_window(&[], 0, 0);
     }
 
     #[test]

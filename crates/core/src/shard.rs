@@ -38,8 +38,9 @@
 use crate::error::{LisError, Result};
 use crate::index::{DynIndex, LearnedIndex, Lookup};
 use crate::keys::{Key, KeySet};
+use crate::par;
 use crate::scratch::ScratchPool;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Batches at or below this many probes are served on the calling thread:
 /// serving micro-batches (tens to ~thousands of keys) lose more to
@@ -126,7 +127,9 @@ impl std::fmt::Debug for ShardConfig {
 /// of the shard losses, and `memory_bytes` sums the shards plus the
 /// routing tables.
 pub struct ShardedIndex {
-    shards: Vec<DynIndex>,
+    /// `Arc`-shared so the pooled fan-out job can hold a `'static` view
+    /// of the shard fleet (the persistent pool's workers cannot borrow).
+    shards: Arc<Vec<DynIndex>>,
     /// Smallest key of each shard, strictly increasing — the routing fence.
     fences: Vec<Key>,
     /// Global position of each shard's first key.
@@ -141,21 +144,28 @@ pub struct ShardedIndex {
 }
 
 /// Per-batch scatter/gather working memory: for each shard, the probe
-/// slots routed to it, the probe keys, and the shard's answers. Pooled in
-/// the owning [`ShardedIndex`] so steady-state batches reuse warmed
-/// buffers instead of allocating three vectors per shard per batch.
+/// slots routed to it, the probe keys, and the shard's answers — plus
+/// the shared fan-out job oversize batches run on the persistent pool.
+/// Pooled in the owning [`ShardedIndex`] so steady-state batches reuse
+/// warmed buffers instead of allocating per shard per batch.
 struct ShardScratch {
     slots: Vec<Vec<usize>>,
     buckets: Vec<Vec<Key>>,
     results: Vec<Vec<Lookup>>,
+    job: Arc<ShardFanJob>,
 }
 
 impl ShardScratch {
-    fn new(shards: usize) -> Self {
+    fn new(shards: &Arc<Vec<DynIndex>>) -> Self {
+        let n = shards.len();
         Self {
-            slots: vec![Vec::new(); shards],
-            buckets: vec![Vec::new(); shards],
-            results: vec![Vec::new(); shards],
+            slots: vec![Vec::new(); n],
+            buckets: vec![Vec::new(); n],
+            results: vec![Vec::new(); n],
+            job: Arc::new(ShardFanJob {
+                shards: Arc::clone(shards),
+                lanes: (0..n).map(|_| Mutex::new(ShardLane::default())).collect(),
+            }),
         }
     }
 
@@ -172,6 +182,34 @@ impl ShardScratch {
     }
 }
 
+/// The pooled fan-out job of an oversize sharded batch: unit `s` serves
+/// shard `s`'s bucket through the inner index's batched hot path. The
+/// caller swaps each shard's scattered bucket (and answer buffer) into
+/// lane `s` before the fan-out and back out after — two `O(1)` swaps per
+/// shard — so the job itself is `'static` shared state the persistent
+/// pool's workers can run, while the warmed path allocates nothing.
+struct ShardFanJob {
+    shards: Arc<Vec<DynIndex>>,
+    lanes: Vec<Mutex<ShardLane>>,
+}
+
+#[derive(Default)]
+struct ShardLane {
+    bucket: Vec<Key>,
+    result: Vec<Lookup>,
+}
+
+impl par::FanoutTask for ShardFanJob {
+    fn run(&self, s: usize) {
+        // Uncontended by construction (the fan-out hands every lane to
+        // exactly one unit); recover from poison rather than mask the
+        // panic that caused it — the fan-out is already propagating it.
+        let mut lane = self.lanes[s].lock().unwrap_or_else(PoisonError::into_inner);
+        let ShardLane { bucket, result } = &mut *lane;
+        self.shards[s].lookup_batch_into(bucket, result);
+    }
+}
+
 impl ShardedIndex {
     /// Builds `shards` contiguous range shards over `ks`, constructing each
     /// inner index with `build` (in parallel when `threads > 1`).
@@ -180,7 +218,7 @@ impl ShardedIndex {
     /// machine's available parallelism.
     pub fn build_with<F>(ks: &KeySet, shards: usize, threads: usize, build: F) -> Result<Self>
     where
-        F: Fn(&KeySet) -> Result<DynIndex> + Sync,
+        F: Fn(&KeySet) -> Result<DynIndex> + Send + Sync + 'static,
     {
         if shards == 0 {
             return Err(LisError::Invariant(
@@ -193,16 +231,24 @@ impl ShardedIndex {
         } else {
             threads
         };
-        let parts = ks.partition(shards)?;
+        // `Arc`-shared for the fan-out ('static captures), recovered
+        // right after — the backend drops its clones before completing.
+        let parts = Arc::new(ks.partition(shards)?);
 
         // At most `threads` workers, each building a contiguous run of
         // shards — never one thread per shard. Shares the build plane's
         // fan-out helper, so sharded builds and model training follow
-        // one worker-cap discipline.
+        // one worker-cap discipline (and compose through the persistent
+        // pool when one is installed: inner indexes training their own
+        // leaves in parallel submit to the same fixed-width pool).
         let workers = threads.min(shards).max(1);
-        let built: Vec<Result<DynIndex>> = crate::par::map_chunks(parts.len(), workers, |range| {
-            range.map(|i| build(&parts[i])).collect()
-        });
+        let built: Vec<Result<DynIndex>> = {
+            let parts = Arc::clone(&parts);
+            crate::par::map_chunks(parts.len(), workers, move |range| {
+                range.map(|i| build(&parts[i])).collect()
+            })
+        };
+        let parts = Arc::try_unwrap(parts).expect("fan-out released the partitions");
 
         let mut inner = Vec::with_capacity(shards);
         let mut fences = Vec::with_capacity(shards);
@@ -220,7 +266,7 @@ impl ShardedIndex {
         // ceil(log2(shards + 1)) — comparisons of the fence binary search.
         let route_cost = usize::BITS as usize - shards.leading_zeros() as usize;
         Ok(Self {
-            shards: inner,
+            shards: Arc::new(inner),
             fences,
             offsets,
             len,
@@ -289,8 +335,10 @@ impl LearnedIndex for ShardedIndex {
     /// the inner index's batched hot path (one virtual dispatch per shard,
     /// not per key). Scatter slots, buckets, and per-shard answers live in
     /// pooled scratch, so steady-state batches allocate nothing; batches
-    /// larger than [`PARALLEL_BATCH_THRESHOLD`] fan out across the scoped
-    /// thread pool, serving-sized micro-batches run on the calling thread.
+    /// larger than [`PARALLEL_BATCH_THRESHOLD`] fan out through
+    /// [`par::fanout`] — the persistent worker pool when one is installed,
+    /// scoped threads otherwise — while serving-sized micro-batches run on
+    /// the calling thread.
     fn lookup_batch_into(&self, keys: &[Key], out: &mut Vec<Lookup>) {
         out.clear();
         if keys.is_empty() {
@@ -303,14 +351,13 @@ impl LearnedIndex for ShardedIndex {
             }
             return;
         }
-        let mut scratch = self
-            .scratch
-            .acquire_or(|| ShardScratch::new(self.shards.len()));
+        let mut scratch = self.scratch.acquire_or(|| ShardScratch::new(&self.shards));
         scratch.reset();
         let ShardScratch {
             slots,
             buckets,
             results,
+            job,
         } = &mut scratch;
         for (i, &k) in keys.iter().enumerate() {
             let s = self.route(k);
@@ -318,9 +365,8 @@ impl LearnedIndex for ShardedIndex {
             buckets[s].push(k);
         }
 
-        // At most `threads` workers, each serving a contiguous run of
-        // shard buckets — never one thread per shard, and none at all for
-        // micro-batches.
+        // At most `threads` fan-out lanes, each serving one shard bucket —
+        // and none at all for micro-batches.
         let workers = if keys.len() > PARALLEL_BATCH_THRESHOLD {
             self.threads.min(self.shards.len()).max(1)
         } else {
@@ -331,26 +377,30 @@ impl LearnedIndex for ShardedIndex {
                 self.shards[s].lookup_batch_into(bucket, result);
             }
         } else {
-            let per_worker = self.shards.len().div_ceil(workers);
-            // lis-analysis: allow(thread-discipline) — shard batches are
-            // routed into per-shard buckets first, so the fan-out runs
-            // over uneven borrowed (bucket, result) pairs that
-            // `par::map_chunks`'s uniform-chunk contract cannot express.
-            std::thread::scope(|scope| {
-                for (w, (bucket_group, result_group)) in buckets
-                    .chunks(per_worker)
-                    .zip(results.chunks_mut(per_worker))
-                    .enumerate()
-                {
-                    scope.spawn(move || {
-                        for (i, (bucket, result)) in
-                            bucket_group.iter().zip(result_group.iter_mut()).enumerate()
-                        {
-                            self.shards[w * per_worker + i].lookup_batch_into(bucket, result);
-                        }
-                    });
-                }
-            });
+            // Move the scattered buckets (and answer buffers) into the
+            // job's lanes, run one unit per shard, and move them back —
+            // two O(1) swaps per shard, no copies, no allocation.
+            for (lane, (bucket, result)) in job
+                .lanes
+                .iter()
+                .zip(buckets.iter_mut().zip(results.iter_mut()))
+            {
+                let mut lane = lane.lock().unwrap_or_else(PoisonError::into_inner);
+                std::mem::swap(&mut lane.bucket, bucket);
+                std::mem::swap(&mut lane.result, result);
+            }
+            let task: Arc<dyn par::FanoutTask> = Arc::clone(job) as Arc<dyn par::FanoutTask>;
+            par::fanout(&task, self.shards.len(), workers);
+            drop(task);
+            for (lane, (bucket, result)) in job
+                .lanes
+                .iter()
+                .zip(buckets.iter_mut().zip(results.iter_mut()))
+            {
+                let mut lane = lane.lock().unwrap_or_else(PoisonError::into_inner);
+                std::mem::swap(&mut lane.bucket, bucket);
+                std::mem::swap(&mut lane.result, result);
+            }
         }
 
         out.resize(keys.len(), Lookup::membership(false, 0));

@@ -50,6 +50,7 @@
 
 mod epoch;
 pub mod histogram;
+pub mod pool;
 pub mod queue;
 pub mod server;
 mod sync;

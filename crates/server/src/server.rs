@@ -40,11 +40,11 @@ use crate::queue::{BatchPolicy, BatchQueue};
 use crate::sync::atomic::{AtomicU64, Ordering};
 use crate::sync::{lock, wait, wait_timeout, Condvar, Mutex};
 use crate::write::{Admission, AdmissionPolicy, WriteOp, WriteRequest, WriteStatus, WriteTicket};
+use lis_check::thread::JoinHandle;
 use lis_core::error::{LisError, Result};
 use lis_core::index::{DynIndex, Lookup};
 use lis_core::keys::{Key, KeySet};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Hard cap on tracked time-series windows; later samples merge into the
@@ -513,6 +513,10 @@ impl Server {
         writer_state: Option<WriterState>,
         cfg: ServeConfig,
     ) -> Self {
+        // Bring up the process-wide worker pool and register it as the
+        // core fan-out backend: sharded oversize batches served below run
+        // on pooled threads instead of per-batch scoped spawns.
+        crate::pool::shared();
         let queue = Arc::new(BatchQueue::new(cfg.queue_depth));
         let worker_count = cfg.workers.max(1);
         let shared = Arc::new(Shared {
@@ -547,7 +551,7 @@ impl Server {
                 let queue = Arc::clone(&queue);
                 let shared = Arc::clone(&shared);
                 let slot = Arc::clone(&slot);
-                std::thread::spawn(move || worker_loop(&queue, &shared, w, &slot, policy))
+                crate::pool::spawn_dedicated(move || worker_loop(&queue, &shared, w, &slot, policy))
             })
             .collect();
         let (write_queue, writer) = match writer_state {
@@ -561,7 +565,7 @@ impl Server {
                     let queue = Arc::clone(&write_queue);
                     let shared = Arc::clone(&shared);
                     let slot = Arc::clone(&slot);
-                    std::thread::spawn(move || {
+                    crate::pool::spawn_dedicated(move || {
                         writer_loop(&queue, &shared, &slot, state, write_policy)
                     })
                 };

@@ -177,4 +177,43 @@ fn steady_state_serving_performs_no_per_batch_allocation() {
         report.epochs > 0,
         "native writes should still publish epochs"
     );
+
+    // Window 4: the persistent worker pool. Starting a server above
+    // already installed the shared pool as the core fan-out backend, so
+    // oversize sharded batches (> PARALLEL_BATCH_THRESHOLD probes) now
+    // scatter across pooled workers instead of scoped spawns. Once the
+    // pool's unit deques and completion records, the shard fan-out
+    // lanes, and the caller's buffers are warm, each pooled fan-out
+    // batch must allocate *nothing*: submission is Arc refcounts plus
+    // O(1) bucket swaps, and park/unpark is futex traffic, not heap.
+    let pool = lis_server::pool::shared();
+    assert!(pool.threads() >= 1);
+    assert!(
+        lis_core::par::installed_fanout().is_some(),
+        "serving startup should have installed the shared pool"
+    );
+    let sharded = lis_core::ShardedIndex::build_with(&ks, 8, 4, |part| {
+        IndexRegistry::with_defaults().build("rmi", part)
+    })
+    .unwrap();
+    let sharded = DynIndex::new("sharded:rmi:8", sharded);
+    let oversize: Vec<Key> = ks.keys().iter().step_by(7).copied().collect();
+    assert!(
+        oversize.len() > lis_core::shard::PARALLEL_BATCH_THRESHOLD,
+        "window 4 needs an oversize batch to trigger the pooled fan-out"
+    );
+    let mut out = Vec::new();
+    for _ in 0..4 {
+        sharded.lookup_batch_into(&oversize, &mut out);
+    }
+    let before = allocations();
+    for _ in 0..25 {
+        sharded.lookup_batch_into(&oversize, &mut out);
+    }
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "warmed pooled fan-out allocated {delta} times across 25 oversize batches"
+    );
+    assert!(out.iter().all(|r| r.found), "pooled fan-out lost probes");
 }

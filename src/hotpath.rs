@@ -5,16 +5,20 @@
 //! performance artifact of this repo is a durable measurement of the
 //! serve hot path: nanoseconds per lookup and Mlookups/s for each victim
 //! structure, over the clean keyset and over an Algorithm-2-poisoned one,
-//! through two code paths:
+//! through three code paths:
 //!
 //! * **per-key** — one batch-level virtual dispatch, then a plain loop
 //!   over single-key lookups. This is exactly what `lookup_batch` did
 //!   before the sorted-batch refactor, kept callable as
 //!   [`DynIndex::lookup_each_into`], so the speedup of the optimized
 //!   path stays measurable forever;
-//! * **batch** — the optimized [`DynIndex::lookup_batch_into`] hot path
-//!   (sorted-batch monotone routing, SoA leaf tables, pooled scratch,
-//!   zero steady-state allocation).
+//! * **batch** — the sorted-batch hot path (monotone routing, SoA leaf
+//!   tables, pooled scratch, zero steady-state allocation) pinned to
+//!   pipeline depth 1: each probe is served as soon as it is planned;
+//! * **vectorized** — the same path at the default pipeline depth: the
+//!   lane-kernel window search plus software-prefetched multi-probe
+//!   pipelining, so several probes' cache misses overlap. This is the
+//!   serving plane's actual configuration.
 //!
 //! [`HotpathReport::to_json`] renders the whole grid as JSON; the bench
 //! writes it to `BENCH_hotpath.json` at the workspace root so every
@@ -24,6 +28,7 @@
 use lis_core::error::{LisError, Result};
 use lis_core::index::{DynIndex, IndexRegistry};
 use lis_core::keys::Key;
+use lis_core::search::set_pipeline_depth;
 use lis_core::Lookup;
 use lis_poison::{rmi_attack, RmiAttackConfig};
 use lis_workloads::{domain_for_density, trial_rng, uniform_keys, ResultTable};
@@ -78,15 +83,25 @@ pub struct HotpathCell {
     pub index: String,
     /// `"clean"` or `"poisoned"`.
     pub dataset: String,
-    /// Best-round ns/lookup through the optimized batch path.
+    /// Best-round ns/lookup through the sorted-batch path at pipeline
+    /// depth 1 — monotone routing and the lane kernel, but each probe
+    /// served immediately after planning (no memory-level parallelism).
     pub ns_per_lookup_batch: f64,
+    /// Best-round ns/lookup through the full vectorized serve path:
+    /// the lane kernel plus the default-depth prefetch pipeline keeping
+    /// several probes' windows in flight per worker. This is what the
+    /// serving plane actually runs.
+    pub ns_per_lookup_vectorized: f64,
     /// Best-round ns/lookup through the per-key reference path.
     pub ns_per_lookup_per_key: f64,
-    /// Millions of lookups per second through the batch path.
+    /// Millions of lookups per second through the vectorized path.
     pub mlookups_per_s: f64,
-    /// `per_key / batch` — the batch path's speedup over the old serve
-    /// path on identical probes.
+    /// `per_key / batch` — the depth-1 sorted-batch path's speedup over
+    /// the old serve path on identical probes.
     pub batch_speedup: f64,
+    /// `batch / vectorized` — what prefetch pipelining adds on top of
+    /// the sorted-batch path.
+    pub pipeline_speedup: f64,
     /// Mean lookup cost units (comparisons/probes) per probe — the
     /// hardware-independent number the paper's figures use.
     pub mean_cost: f64,
@@ -107,6 +122,10 @@ pub struct HotpathReport {
     pub poison_keys: usize,
     /// Campaign ratio loss (poisoned/clean RMI loss).
     pub ratio_loss: f64,
+    /// Worker threads of the persistent pool the run installed
+    /// (`LIS_POOL_THREADS` override or available parallelism) — the
+    /// fan-out width behind sharded oversize batches and index builds.
+    pub pool_threads: usize,
     /// All measured cells, in (index, dataset) order.
     pub cells: Vec<HotpathCell>,
 }
@@ -127,9 +146,11 @@ impl HotpathReport {
                 "index",
                 "dataset",
                 "ns_batch",
+                "ns_vectorized",
                 "ns_per_key",
                 "mlookups_per_s",
                 "batch_speedup",
+                "pipeline_speedup",
                 "mean_cost",
             ],
         );
@@ -138,9 +159,11 @@ impl HotpathReport {
                 c.index.clone(),
                 c.dataset.clone(),
                 format!("{:.1}", c.ns_per_lookup_batch),
+                format!("{:.1}", c.ns_per_lookup_vectorized),
                 format!("{:.1}", c.ns_per_lookup_per_key),
                 format!("{:.2}", c.mlookups_per_s),
                 format!("{:.2}", c.batch_speedup),
+                format!("{:.2}", c.pipeline_speedup),
                 format!("{:.2}", c.mean_cost),
             ]);
         }
@@ -163,21 +186,25 @@ impl HotpathReport {
         let _ = writeln!(out, "  \"poison_pct\": {},", self.poison_pct);
         let _ = writeln!(out, "  \"poison_keys\": {},", self.poison_keys);
         let _ = writeln!(out, "  \"ratio_loss\": {:.4},", self.ratio_loss);
+        let _ = writeln!(out, "  \"pool_threads\": {},", self.pool_threads);
         let _ = writeln!(out, "  \"cells\": [");
         for (i, c) in self.cells.iter().enumerate() {
             let comma = if i + 1 < self.cells.len() { "," } else { "" };
             let _ = writeln!(
                 out,
                 "    {{\"index\": \"{}\", \"dataset\": \"{}\", \
-                 \"ns_per_lookup_batch\": {:.2}, \"ns_per_lookup_per_key\": {:.2}, \
+                 \"ns_per_lookup_batch\": {:.2}, \"ns_per_lookup_vectorized\": {:.2}, \
+                 \"ns_per_lookup_per_key\": {:.2}, \
                  \"mlookups_per_s\": {:.3}, \"batch_speedup\": {:.3}, \
-                 \"mean_cost\": {:.3}}}{comma}",
+                 \"pipeline_speedup\": {:.3}, \"mean_cost\": {:.3}}}{comma}",
                 c.index,
                 c.dataset,
                 c.ns_per_lookup_batch,
+                c.ns_per_lookup_vectorized,
                 c.ns_per_lookup_per_key,
                 c.mlookups_per_s,
                 c.batch_speedup,
+                c.pipeline_speedup,
                 c.mean_cost
             );
         }
@@ -192,14 +219,26 @@ impl HotpathReport {
     }
 }
 
-/// Times one (index, probe-stream) pair through both paths: returns
-/// `(ns_per_key, ns_batch, mean_cost)` with best-of-`rounds` timing and a
+/// Best-of-rounds timings of one (index, probe-stream) pair through the
+/// three serve paths, plus the mean comparison cost.
+struct PathTimings {
+    per_key: f64,
+    batch_depth1: f64,
+    vectorized: f64,
+    mean_cost: f64,
+}
+
+/// Times one (index, probe-stream) pair through the per-key reference
+/// path, the sorted-batch path at pipeline depth 1, and the full
+/// vectorized default-depth pipeline, with best-of-`rounds` timing and a
 /// membership sanity check on the final round.
-fn measure(index: &DynIndex, probes: &[Key], batch: usize, rounds: usize) -> (f64, f64, f64) {
+fn measure(index: &DynIndex, probes: &[Key], batch: usize, rounds: usize) -> PathTimings {
     let mut out: Vec<Lookup> = Vec::new();
     let mut best_per_key = f64::INFINITY;
     let mut best_batch = f64::INFINITY;
+    let mut best_vectorized = f64::INFINITY;
     let mut total_cost = 0usize;
+    let prev_depth = set_pipeline_depth(0);
     for _ in 0..rounds.max(1) {
         // Per-key reference path (the pre-batching serve loop).
         let start = Instant::now();
@@ -209,7 +248,18 @@ fn measure(index: &DynIndex, probes: &[Key], batch: usize, rounds: usize) -> (f6
         }
         best_per_key = best_per_key.min(start.elapsed().as_nanos() as f64 / probes.len() as f64);
 
-        // Optimized batch path.
+        // Sorted-batch path, pipeline depth 1: serve each probe as soon
+        // as it is planned — the pre-pipelining baseline.
+        set_pipeline_depth(1);
+        let start = Instant::now();
+        for chunk in probes.chunks(batch) {
+            index.lookup_batch_into(black_box(chunk), &mut out);
+            black_box(&out);
+        }
+        best_batch = best_batch.min(start.elapsed().as_nanos() as f64 / probes.len() as f64);
+
+        // Full vectorized serve path: default-depth prefetch pipeline.
+        set_pipeline_depth(0);
         let start = Instant::now();
         let mut cost = 0usize;
         let mut found = 0usize;
@@ -219,17 +269,20 @@ fn measure(index: &DynIndex, probes: &[Key], batch: usize, rounds: usize) -> (f6
             cost += out.iter().map(|r| r.cost).sum::<usize>();
             found += out.iter().filter(|r| r.found).count();
         }
-        best_batch = best_batch.min(start.elapsed().as_nanos() as f64 / probes.len() as f64);
+        best_vectorized =
+            best_vectorized.min(start.elapsed().as_nanos() as f64 / probes.len() as f64);
         total_cost = cost;
         // Fast-but-wrong must never be recorded as a speedup: every probe
         // is a member key, so every lookup must hit.
         assert_eq!(found, probes.len(), "{}: member probe missed", index.name());
     }
-    (
-        best_per_key,
-        best_batch,
-        total_cost as f64 / probes.len() as f64,
-    )
+    set_pipeline_depth(prev_depth);
+    PathTimings {
+        per_key: best_per_key,
+        batch_depth1: best_batch,
+        vectorized: best_vectorized,
+        mean_cost: total_cost as f64 / probes.len() as f64,
+    }
 }
 
 /// Runs the full hotpath grid: every configured index × {clean, poisoned},
@@ -264,6 +317,11 @@ pub fn run_hotpath(cfg: &HotpathConfig) -> Result<HotpathReport> {
         probes.swap(i, j);
     }
 
+    // Bring up the persistent pool before any build or measurement:
+    // index training fans out on it, and oversize sharded batches
+    // scatter across its workers instead of spawning scoped threads.
+    let pool_threads = lis_server::pool::shared().threads();
+
     let registry = IndexRegistry::with_defaults();
     let mut cells = Vec::new();
     for name in &cfg.indexes {
@@ -275,15 +333,17 @@ pub fn run_hotpath(cfg: &HotpathConfig) -> Result<HotpathReport> {
         }
         for (dataset, ks) in [("clean", &clean), ("poisoned", &poisoned)] {
             let index = registry.build(name, ks)?;
-            let (ns_per_key, ns_batch, mean_cost) = measure(&index, &probes, cfg.batch, cfg.rounds);
+            let t = measure(&index, &probes, cfg.batch, cfg.rounds);
             cells.push(HotpathCell {
                 index: name.clone(),
                 dataset: dataset.to_string(),
-                ns_per_lookup_batch: ns_batch,
-                ns_per_lookup_per_key: ns_per_key,
-                mlookups_per_s: 1_000.0 / ns_batch,
-                batch_speedup: ns_per_key / ns_batch,
-                mean_cost,
+                ns_per_lookup_batch: t.batch_depth1,
+                ns_per_lookup_vectorized: t.vectorized,
+                ns_per_lookup_per_key: t.per_key,
+                mlookups_per_s: 1_000.0 / t.vectorized,
+                batch_speedup: t.per_key / t.batch_depth1,
+                pipeline_speedup: t.batch_depth1 / t.vectorized,
+                mean_cost: t.mean_cost,
             });
         }
     }
@@ -294,6 +354,7 @@ pub fn run_hotpath(cfg: &HotpathConfig) -> Result<HotpathReport> {
         poison_pct: cfg.poison_pct,
         poison_keys: attack.total_poison,
         ratio_loss: attack.rmi_ratio(),
+        pool_threads,
         cells,
     })
 }
@@ -321,12 +382,15 @@ mod tests {
             for dataset in ["clean", "poisoned"] {
                 let cell = report.cell(name, dataset).expect("cell measured");
                 assert!(cell.ns_per_lookup_batch > 0.0);
+                assert!(cell.ns_per_lookup_vectorized > 0.0);
                 assert!(cell.ns_per_lookup_per_key > 0.0);
                 assert!(cell.mlookups_per_s > 0.0);
+                assert!(cell.pipeline_speedup > 0.0);
                 assert!(cell.mean_cost > 0.0);
             }
         }
         assert!(report.poison_keys > 0);
+        assert!(report.pool_threads >= 1, "the run must install the pool");
     }
 
     #[test]
@@ -356,6 +420,8 @@ mod tests {
             "unbalanced braces"
         );
         assert!(json.contains("\"bench\": \"hotpath\""));
+        assert_eq!(json.matches("\"ns_per_lookup_vectorized\"").count(), 6);
+        assert!(json.contains("\"pool_threads\""));
         let table = report.table();
         assert_eq!(table.rows.len(), 6);
     }
