@@ -20,6 +20,11 @@
 //! * **`serve-no-panic`** — no `unwrap`/`expect`/`panic!` family calls in
 //!   `crates/server/src` outside test modules: a panicking serve path
 //!   strands client tickets.
+//! * **`ticket-definite-outcome`** — no `let _ =` discard of a
+//!   `.wait(`/`.wait_timeout(` result in `crates/server/src`: a ticket
+//!   wait resolves to a value *or* a timeout/shutdown error, and
+//!   discarding the result silently swallows that outcome instead of
+//!   handling (or propagating) it.
 //! * **`registry-complete`** — every `impl LearnedIndex for T` in
 //!   `lis-core` has its type constructed in
 //!   `IndexRegistry::with_defaults`, so new structures are reachable by
@@ -74,11 +79,12 @@ pub struct AnalysisReport {
 }
 
 /// The rule slugs this pass enforces, in report order.
-pub const RULES: [&str; 6] = [
+pub const RULES: [&str; 7] = [
     "zero-alloc",
     "thread-discipline",
     "condvar-predicate",
     "serve-no-panic",
+    "ticket-definite-outcome",
     "registry-complete",
     "forbid-unsafe",
 ];
@@ -436,6 +442,25 @@ fn run_line_rules(
                     break;
                 }
             }
+        }
+
+        // ticket-definite-outcome: a discarded wait result swallows the
+        // timeout/shutdown outcome a ticket is contractually given.
+        if serve_path
+            && code.trim_start().starts_with("let _ =")
+            && (code.contains(".wait(") || code.contains(".wait_timeout("))
+        {
+            push_violation(
+                scan,
+                violations,
+                allowed,
+                "ticket-definite-outcome",
+                relpath,
+                lineno,
+                "`let _ =` discards a wait result — handle (or propagate) the \
+                 timeout/shutdown arms instead of swallowing them"
+                    .to_string(),
+            );
         }
 
         // serve-no-panic: panicking calls on the serve path.

@@ -52,11 +52,29 @@ mod tests {
 }
 "#;
 
+/// Ticket waits whose outcome is discarded — the definite-outcome
+/// contract violation — in its own file so `bad.rs` line assertions
+/// stay stable.
+const VIOLATING_TICKET_FILE: &str = r#"
+pub fn swallow(t: crate::ResponseTicket) {
+    let _ = t.wait();
+}
+
+pub fn swallow_timed(t: crate::ResponseTicket, d: std::time::Duration) {
+    let _ = t.wait_timeout(d);
+}
+"#;
+
 #[test]
 fn violating_tree_trips_every_rule() {
     let root = scratch_root("violating");
     write(&root, "src/lib.rs", "pub fn ok() {}\n");
     write(&root, "crates/server/src/bad.rs", VIOLATING_SERVER_FILE);
+    write(
+        &root,
+        "crates/server/src/ticket_bad.rs",
+        VIOLATING_TICKET_FILE,
+    );
     write(
         &root,
         "crates/core/src/index.rs",
@@ -99,6 +117,18 @@ fn violating_tree_trips_every_rule() {
             .any(|v| v.file.ends_with("bad.rs") && v.line >= 24),
         "the #[cfg(test)] module must be exempt"
     );
+
+    // Both discarded ticket waits are flagged, and only those lines.
+    let ticket: Vec<usize> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == "ticket-definite-outcome")
+        .map(|v| {
+            assert!(v.file.ends_with("ticket_bad.rs"), "{v:?}");
+            v.line
+        })
+        .collect();
+    assert_eq!(ticket.len(), 2);
 
     // The orphan index type is flagged; the registered one is not.
     let registry: Vec<&str> = report

@@ -1,0 +1,86 @@
+//! The robustness baseline: the full chaos scenario ladder (see
+//! `lis::chaos`) at committed scale, with its structural gates asserted.
+//!
+//! Writes `BENCH_chaos.json` at the workspace root — availability,
+//! retries, shed/restart/rollback counters, p99 latency, and recovery
+//! time per fault class — the machine-readable robustness baseline
+//! future PRs diff against. Override the scale for smoke runs:
+//!
+//! * `LIS_CHAOS_KEYS` — victim keyset size (default 100,000);
+//! * `LIS_CHAOS_REQUESTS` — benign reads per scenario (default 40,000);
+//! * `LIS_CHAOS_WRITES` — benign writes in the write-plane scenarios
+//!   (default 512);
+//! * `LIS_CHAOS_SEED` — the fault-schedule seed (every scenario's
+//!   schedule derives from it, so one value reproduces a whole run).
+//!
+//! The correctness gates (zero mismatches, zero lost writes, zero
+//! recovery failures, bounded recovery) hold at any scale; the
+//! statistical gates (availability ≥ 99%, per-scenario fault engagement,
+//! rollback restoring cost to ≤ 1.01× baseline) arm at full scale — see
+//! `ChaosScenarioReport::violations`.
+
+use lis::chaos::{run_chaos, ChaosConfig};
+use std::path::Path;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let defaults = ChaosConfig::default();
+    let cfg = ChaosConfig {
+        keys: env_usize("LIS_CHAOS_KEYS", defaults.keys),
+        requests: env_usize("LIS_CHAOS_REQUESTS", defaults.requests),
+        writes: env_usize("LIS_CHAOS_WRITES", defaults.writes),
+        ..defaults
+    };
+    println!(
+        "chaos ladder — {} keys ({}), {} requests, {} writes, seed {:#x}\n\
+         (override with LIS_CHAOS_KEYS / LIS_CHAOS_REQUESTS / LIS_CHAOS_WRITES / LIS_CHAOS_SEED)\n",
+        cfg.keys, cfg.index, cfg.requests, cfg.writes, cfg.seed
+    );
+    let report = run_chaos(&cfg).expect("chaos ladder");
+
+    println!(
+        "{:<18} {:>8} {:>8} {:>8} {:>7} {:>6} {:>9} {:>9} {:>10}",
+        "scenario",
+        "avail%",
+        "retries",
+        "faults",
+        "shed",
+        "resp",
+        "p99_us",
+        "recov_ms",
+        "rollbacks"
+    );
+    for s in &report.scenarios {
+        println!(
+            "{:<18} {:>8.3} {:>8} {:>8} {:>7} {:>6} {:>9.1} {:>9.1} {:>10}",
+            s.name,
+            100.0 * s.availability(),
+            s.retries,
+            s.faults_fired,
+            s.serve.shed,
+            s.serve.workers_restarted + s.serve.writer_restarts,
+            s.serve.latency.p99() as f64 / 1_000.0,
+            s.recovery_ms,
+            s.serve.rollbacks
+        );
+    }
+
+    let json_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_chaos.json");
+    report
+        .write_json(&json_path)
+        .expect("write BENCH_chaos.json");
+    println!("\nwrote {}", json_path.display());
+
+    // The ladder's claims are gates, not prose: a fault class that stops
+    // engaging, an availability regression, or a rollback that fails to
+    // restore pre-campaign cost fails the bench.
+    let violations = report.violations();
+    assert!(violations.is_empty(), "chaos gates failed: {violations:#?}");
+    println!("all chaos gates hold");
+}

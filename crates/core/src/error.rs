@@ -64,8 +64,34 @@ pub enum LisError {
     Unsupported(String),
     /// A blocking wait gave up after the given duration.
     Timeout(std::time::Duration),
+    /// Admission refused under load: the estimated queue wait exceeds the
+    /// request's deadline. The request was shed, not enqueued — retry
+    /// after backoff or relax the deadline.
+    Overloaded {
+        /// Estimated time the request would have waited in the queue.
+        estimated_wait: std::time::Duration,
+        /// The deadline the caller attached to the request.
+        deadline: std::time::Duration,
+    },
+    /// The server shut down: the request was either refused at submission
+    /// or in flight when its serving thread stopped. Retryable against a
+    /// live server, unlike [`LisError::Invariant`].
+    Shutdown(String),
     /// Generic invariant breach with context.
     Invariant(String),
+}
+
+impl LisError {
+    /// `true` for transient serving-infrastructure outcomes a client may
+    /// meaningfully retry — shed under load, a timed-out wait, a request
+    /// caught in a shutdown or worker death. Validation errors and
+    /// invariant breaches are deterministic and must surface instead.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            Self::Overloaded { .. } | Self::Timeout(_) | Self::Shutdown(_)
+        )
+    }
 }
 
 impl fmt::Display for LisError {
@@ -101,6 +127,16 @@ impl fmt::Display for LisError {
             }
             Self::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
             Self::Timeout(waited) => write!(f, "timed out after {waited:?}"),
+            Self::Overloaded {
+                estimated_wait,
+                deadline,
+            } => {
+                write!(
+                    f,
+                    "overloaded: estimated wait {estimated_wait:?} exceeds deadline {deadline:?}"
+                )
+            }
+            Self::Shutdown(msg) => write!(f, "server shut down: {msg}"),
             Self::Invariant(msg) => write!(f, "invariant violated: {msg}"),
         }
     }
@@ -120,6 +156,23 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("42") && s.contains("[0, 10]"));
+    }
+
+    #[test]
+    fn retryable_classifies_transient_vs_deterministic() {
+        let transient = [
+            LisError::Timeout(std::time::Duration::from_millis(1)),
+            LisError::Overloaded {
+                estimated_wait: std::time::Duration::from_millis(5),
+                deadline: std::time::Duration::from_millis(1),
+            },
+            LisError::Shutdown("worker died".into()),
+        ];
+        for e in &transient {
+            assert!(e.is_retryable(), "{e} must be retryable");
+        }
+        assert!(!LisError::Invariant("bug".into()).is_retryable());
+        assert!(!LisError::DuplicateKey(7).is_retryable());
     }
 
     #[test]

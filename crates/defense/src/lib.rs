@@ -15,12 +15,17 @@
 //! * [`admission`] — the same statistics recast as *streaming* screens on
 //!   the server's write queue ([`SourceRateLimit`], [`DensityScreen`],
 //!   [`TrustedFence`]), calibrated on a trusted bootstrap snapshot so the
-//!   attacker cannot shift the envelope they are judged against.
+//!   attacker cannot shift the envelope they are judged against;
+//! * [`drift`] — the recovery backstop behind those screens: a windowed
+//!   mean-lookup-cost monitor ([`CostDriftMonitor`]) that detects a
+//!   campaign which slipped past admission and triggers the server's
+//!   epoch rollback to the trusted checkpoint.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod admission;
+pub mod drift;
 pub mod eval;
 pub mod outlier;
 pub mod robust;
@@ -28,6 +33,7 @@ pub mod strategy;
 pub mod trim;
 
 pub use admission::{DensityScreen, SourceRateLimit, TrustedFence};
+pub use drift::CostDriftMonitor;
 pub use eval::{evaluate_defense, evaluate_defense_campaign, DefenseReport};
 pub use robust::{compare_on_attack, theil_sen, RobustModel};
 pub use strategy::{

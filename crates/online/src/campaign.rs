@@ -14,9 +14,12 @@
 //! Rejections feed back: a key turned away by admission control is banned
 //! and the campaign moves to its next-best candidate in that model's
 //! region, so a defense is scored against an *adaptive* adversary, not a
-//! replayed trace. A region whose candidates are exhausted forfeits its
-//! remaining budget — the defender's win shows up as unspent budget plus
-//! rejected writes.
+//! replayed trace. A region whose candidates are exhausted does not
+//! forfeit: its remaining budget is *redistributed* to the surviving
+//! regions, highest-loss candidates first, so walling off one model only
+//! concentrates the attack elsewhere. The budget is lost only when every
+//! region is exhausted — the defender's win shows up as unspent budget
+//! plus rejected writes, and must be earned across the whole key space.
 
 use lis_core::error::Result;
 use lis_core::keys::{Key, KeySet};
@@ -108,6 +111,8 @@ pub struct Campaign {
     applied: usize,
     rejected: usize,
     failed: usize,
+    /// Poison keys moved from exhausted regions to viable ones.
+    redistributed: usize,
     max_attempts: usize,
     applied_keys: Vec<Key>,
 }
@@ -146,49 +151,100 @@ impl Campaign {
             applied: 0,
             rejected: 0,
             failed: 0,
+            redistributed: 0,
             max_attempts: planned.saturating_mul(cfg.attempt_factor.max(1)),
             applied_keys: Vec::with_capacity(planned),
         })
     }
 
     /// Picks the next poison key: round-robin over regions with budget
-    /// left, best-loss candidate within the region. Returns `None` when
-    /// the campaign is spent (budget filled, candidates exhausted, or
-    /// attempt cap hit) — callers must later [`Campaign::ack`] every key
-    /// taken.
+    /// left, best-loss candidate within the region. A region whose every
+    /// candidate is banned re-plans instead of forfeiting: its remaining
+    /// budget moves to the regions that can still place keys (see
+    /// [`Campaign::redistribute`]). Returns `None` when the campaign is
+    /// spent (budget filled, every region exhausted, or attempt cap hit)
+    /// — callers must later [`Campaign::ack`] every key taken.
     pub fn next_key(&mut self) -> Option<Key> {
         if self.submitted >= self.max_attempts || self.regions.is_empty() {
             return None;
         }
         let n = self.regions.len();
-        for step in 0..n {
-            let idx = (self.cursor + step) % n;
-            let region = &mut self.regions[idx];
-            if region.remaining == 0 {
-                continue;
-            }
-            match region.best_candidate(&self.inflight) {
-                Some(key) => {
-                    self.cursor = (idx + 1) % n;
-                    self.inflight.insert(key, idx);
-                    self.submitted += 1;
-                    return Some(key);
+        // Each sweep either yields a key, or moves budget out of newly
+        // exhausted regions and sweeps again. Bans never change inside
+        // this call and budget only lands on regions with an open
+        // candidate, so a productive sweep strictly shrinks the set of
+        // budget-holding exhausted regions — the loop terminates.
+        loop {
+            let mut moved = false;
+            for step in 0..n {
+                let idx = (self.cursor + step) % n;
+                let region = &mut self.regions[idx];
+                if region.remaining == 0 {
+                    continue;
                 }
-                None => {
-                    // Only gap endpoints are ever candidates; if every one
-                    // is banned (not merely in flight), the region can
-                    // make no progress — forfeit its remaining budget.
-                    let exhausted = region.keys.windows(2).all(|w| {
-                        let (a, b) = (w[0], w[1]);
-                        b - a < 2 || [a + 1, b - 1].iter().all(|c| region.banned.contains(c))
-                    });
-                    if exhausted {
-                        region.remaining = 0;
+                match region.best_candidate(&self.inflight) {
+                    Some(key) => {
+                        self.cursor = (idx + 1) % n;
+                        self.inflight.insert(key, idx);
+                        self.submitted += 1;
+                        return Some(key);
+                    }
+                    None => {
+                        // Only gap endpoints are ever candidates; if every
+                        // one is banned (not merely in flight), the region
+                        // can make no progress — move its budget to the
+                        // regions that still can.
+                        let exhausted = region.keys.windows(2).all(|w| {
+                            let (a, b) = (w[0], w[1]);
+                            b - a < 2 || [a + 1, b - 1].iter().all(|c| region.banned.contains(c))
+                        });
+                        if exhausted {
+                            let forfeit = std::mem::take(&mut region.remaining);
+                            if forfeit > 0 && self.redistribute(idx, forfeit) {
+                                moved = true;
+                            }
+                        }
                     }
                 }
             }
+            if !moved {
+                return None;
+            }
         }
-        None
+    }
+
+    /// Splits `budget` keys forfeited by exhausted region `from` across
+    /// the regions that can still place a candidate, evenly, with the
+    /// remainder going to the highest-loss regions first — the defender
+    /// walling off one model concentrates the attack where it still
+    /// hurts most. Returns `false` (budget genuinely lost) when no
+    /// region can absorb it.
+    fn redistribute(&mut self, from: usize, budget: usize) -> bool {
+        let mut viable: Vec<(f64, usize)> = Vec::new();
+        for (i, region) in self.regions.iter().enumerate() {
+            if i == from {
+                continue;
+            }
+            if let Some(key) = region.best_candidate(&self.inflight) {
+                viable.push((region.oracle.loss_insert(key), i));
+            }
+        }
+        if viable.is_empty() {
+            return false;
+        }
+        viable.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        let share = budget / viable.len();
+        let mut extra = budget % viable.len();
+        for &(_, i) in &viable {
+            let mut grant = share;
+            if extra > 0 {
+                grant += 1;
+                extra -= 1;
+            }
+            self.regions[i].remaining += grant;
+        }
+        self.redistributed += budget;
+        true
     }
 
     /// Feeds back the server's verdict on a key from [`Campaign::next_key`].
@@ -243,6 +299,12 @@ impl Campaign {
     /// Writes that failed validation.
     pub fn failed(&self) -> usize {
         self.failed
+    }
+
+    /// Poison keys whose home region was exhausted and whose budget was
+    /// re-planned onto other regions instead of forfeited.
+    pub fn redistributed(&self) -> usize {
+        self.redistributed
     }
 
     /// The poison keys the server accepted, in application order.
@@ -330,6 +392,43 @@ mod tests {
                 None => break,
             }
         }
+    }
+
+    #[test]
+    fn exhausted_region_redistributes_budget_instead_of_forfeiting() {
+        let ks = uniform(1_000, 10);
+        let cfg = CampaignConfig {
+            attempt_factor: 30,
+            ..CampaignConfig::default()
+        };
+        let mut campaign = Campaign::plan(&ks, &cfg).unwrap();
+        let planned = campaign.planned();
+        assert!(planned > 0);
+        // A defense that walls off the lower half of the key space: every
+        // candidate below the midpoint is rejected until those regions
+        // exhaust; everything above is admitted.
+        while let Some(key) = campaign.next_key() {
+            if key < 5_000 {
+                campaign.ack(
+                    key,
+                    &WriteStatus::Rejected {
+                        filter: "walled-region".into(),
+                    },
+                );
+            } else {
+                campaign.ack(key, &WriteStatus::Applied { epoch: 1 });
+            }
+        }
+        assert!(campaign.done());
+        assert!(
+            campaign.redistributed() > 0,
+            "walled region forfeited instead of re-planning"
+        );
+        assert!(campaign.rejected() > 0, "the wall never engaged");
+        // The walled regions' budget landed elsewhere: the campaign still
+        // spends its full planned volume, just not where the wall stood.
+        assert_eq!(campaign.applied(), planned);
+        assert!(campaign.applied_keys().iter().all(|&k| k >= 5_000));
     }
 
     #[test]

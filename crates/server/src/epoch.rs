@@ -20,6 +20,13 @@
 //! with [`DynIndex`](lis_core::index::DynIndex); the model-checking tests
 //! instantiate it with small value types so `lis_check` can explore
 //! publish/reload/reclaim interleavings without building real indexes.
+//!
+//! **Rollback is a forward publish.** Attack-triggered epoch rollback
+//! (see [`crate::write::RollbackPolicy`]) does not rewind the counter:
+//! the writer rebuilds a snapshot from last-good *content* and publishes
+//! it as the next epoch. Epoch numbers stay monotonic, so the
+//! cache-on-counter-change protocol above is untouched by recovery —
+//! workers pick up a rollback exactly as they pick up any other write.
 
 use crate::sync::atomic::{AtomicU64, Ordering};
 use crate::sync::{lock, Mutex};

@@ -20,7 +20,16 @@
 //!   dedicated bounded queue into a writer thread that mutates the
 //!   authoritative keyset and publishes epoch-swapped snapshots (readers
 //!   never block on writers), screened by pluggable [`AdmissionPolicy`]
-//!   filters — the hook where poisoning defenses meet live traffic.
+//!   filters — the hook where poisoning defenses meet live traffic;
+//! * [`fault`] — the chaos plane: seeded deterministic fault injection
+//!   (worker death, latency spikes, writer stall/crash, delayed epoch
+//!   publish) threaded through the serve and write paths, plus the
+//!   [`RetryPolicy`] clients use to ride out transient faults with
+//!   bounded deterministic backoff. Disabled injectors are a no-op on
+//!   the hot path; degradation machinery — deadline-aware load shedding,
+//!   worker supervision/respawn, writer-crash recovery, and
+//!   attack-triggered epoch rollback via [`RollbackPolicy`] — lives in
+//!   [`server`] and is driven through [`Server::builder`].
 //!
 //! One serve code path covers both offline experiments (the `lis`
 //! pipeline's batched measurements run through [`Server::serve_all`]) and
@@ -49,6 +58,7 @@
 #![forbid(unsafe_code)]
 
 mod epoch;
+pub mod fault;
 pub mod histogram;
 pub mod pool;
 pub mod queue;
@@ -57,12 +67,15 @@ mod sync;
 pub mod traffic;
 pub mod write;
 
+pub use fault::{seed_from_env, FaultConfig, FaultInjector, FaultSite, RetryPolicy, FAULT_SITES};
 pub use histogram::LatencyHistogram;
-pub use queue::{BatchPolicy, BatchQueue};
+pub use queue::{BatchPolicy, BatchQueue, PopTick};
 pub use server::{
-    IndexBuild, ResponseTicket, ServeConfig, ServeReport, Server, ServerHandle, WindowStats,
+    IndexBuild, ResponseTicket, ServeConfig, ServeReport, Server, ServerBuilder, ServerHandle,
+    WindowStats,
 };
 pub use traffic::{drive, BenignSource, MixedSource, ReplaySource, TrafficSource};
 pub use write::{
-    Admission, AdmissionChain, AdmissionPolicy, AdmitAll, WriteOp, WriteStatus, WriteTicket,
+    Admission, AdmissionChain, AdmissionPolicy, AdmitAll, DriftVerdict, RollbackPolicy, WriteOp,
+    WriteStatus, WriteTicket, TRANSIENT_FAILURE_PREFIX,
 };

@@ -33,7 +33,10 @@
 //! Long-running serving loops (server workers, the writer) are *not*
 //! fan-out units — they occupy a thread for the server's lifetime — so
 //! they get dedicated threads via [`spawn_dedicated`], keeping this
-//! module the one sanctioned spawn site of the serving plane.
+//! module the one sanctioned spawn site of the serving plane. Worker
+//! supervision uses the same door: when a supervised worker dies to an
+//! injected fault, its replacement is respawned through
+//! [`spawn_dedicated`], never via an ad-hoc `std::thread::spawn`.
 
 use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use crate::sync::{lock, wait, Condvar, Mutex};

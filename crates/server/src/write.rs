@@ -63,6 +63,12 @@ pub enum WriteStatus {
     },
 }
 
+/// Reason prefix of [`WriteStatus::Failed`] outcomes caused by serving
+/// infrastructure (a crashed writer) rather than validation. Writes
+/// failing with this prefix are worth resubmitting; validation failures
+/// are deterministic and are not.
+pub const TRANSIENT_FAILURE_PREFIX: &str = "writer crashed";
+
 impl WriteStatus {
     /// `true` iff the write was applied.
     pub fn is_applied(&self) -> bool {
@@ -72,6 +78,13 @@ impl WriteStatus {
     /// `true` iff an admission filter rejected the write.
     pub fn is_rejected(&self) -> bool {
         matches!(self, WriteStatus::Rejected { .. })
+    }
+
+    /// `true` iff the write failed for a transient infrastructure reason
+    /// (the writer crashed while it was queued) rather than validation —
+    /// the client may resubmit it against the recovered writer.
+    pub fn is_transient_failure(&self) -> bool {
+        matches!(self, WriteStatus::Failed { reason } if reason.starts_with(TRANSIENT_FAILURE_PREFIX))
     }
 }
 
@@ -188,6 +201,43 @@ impl AdmissionPolicy for AdmissionChain {
     }
 }
 
+/// A [`RollbackPolicy`]'s verdict on one completed read window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftVerdict {
+    /// Not enough signal yet (baseline still forming, or too few reads
+    /// landed in the window to trust its mean).
+    Calibrating,
+    /// Mean lookup cost is within the healthy envelope.
+    Healthy,
+    /// Mean lookup cost crossed the degradation threshold — the writer
+    /// should quarantine recent writes and republish the last-good epoch.
+    Degraded,
+}
+
+/// A drift monitor the writer thread consults between flushes: it
+/// observes each *completed* read window's mean lookup cost and decides
+/// whether the served index has degraded enough to warrant an epoch
+/// rollback. Like [`AdmissionPolicy`], the trait lives here so the
+/// server carries no dependency on the defense crate; the concrete
+/// monitor (`CostDriftMonitor`) lives in `lis_defense::drift`.
+///
+/// On `Degraded` the writer resets the authoritative keyset to its last
+/// checkpoint, rebuilds, republishes (see `Server::builder`), and then
+/// calls [`RollbackPolicy::rolled_back`] so the monitor can clear
+/// transient state while keeping its baseline.
+pub trait RollbackPolicy: Send {
+    /// Short display name (for reports and logs).
+    fn name(&self) -> &str;
+
+    /// Classifies one completed read window: its start offset, the
+    /// requests served in it, and their mean lookup cost.
+    fn observe(&mut self, start_ms: u64, served: u64, mean_cost: f64) -> DriftVerdict;
+
+    /// Notification that the writer rolled back in response to a
+    /// `Degraded` verdict.
+    fn rolled_back(&mut self) {}
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,6 +276,19 @@ mod tests {
         assert_eq!(WriteOp::Remove(9).key(), 9);
         assert!(WriteStatus::Applied { epoch: 3 }.is_applied());
         assert!(WriteStatus::Rejected { filter: "x".into() }.is_rejected());
+    }
+
+    #[test]
+    fn transient_failures_are_distinguished_from_validation() {
+        let crash = WriteStatus::Failed {
+            reason: format!("{TRANSIENT_FAILURE_PREFIX} mid-batch (injected fault)"),
+        };
+        assert!(crash.is_transient_failure());
+        let validation = WriteStatus::Failed {
+            reason: "duplicate key 7".into(),
+        };
+        assert!(!validation.is_transient_failure());
+        assert!(!WriteStatus::Applied { epoch: 1 }.is_transient_failure());
     }
 }
 

@@ -10,6 +10,7 @@
 //! lis-cli pipeline --dist lognormal --keys 5000 --attack rmi --defense trim --index rmi,btree
 //! lis-cli serve-bench --keys 100000 --index rmi,btree --attack-ratio 0,0.5 --workers 4
 //! lis-cli bench-build --keys 1000000 --index rmi,deep-rmi,pla,btree
+//! lis-cli chaos --keys 100000 --scenario worker-panic --seed 7
 //! lis-cli list-indexes
 //! ```
 //!
@@ -50,6 +51,7 @@ fn main() -> ExitCode {
         "pipeline" => cmd_pipeline(&flags),
         "serve-bench" => cmd_serve_bench(&flags),
         "serve-online" => cmd_serve_online(&flags),
+        "chaos" => cmd_chaos(&flags),
         "bench-hotpath" => cmd_bench_hotpath(&flags),
         "bench-build" => cmd_bench_build(&flags),
         "list-indexes" => cmd_list_indexes(),
@@ -136,6 +138,21 @@ COMMANDS:
       --workers W         serving worker threads                       [2]
       --seed S            workload RNG seed                           [42]
       --out FILE          JSON report path            [BENCH_online.json]
+
+  chaos               robustness ladder: seeded fault injection vs the live server
+      --keys N            victim keyset size                      [100000]
+      --density F         keyset density in (0, 1]                   [0.1]
+      --index NAME        victim registry name                       [rmi]
+      --requests N        benign reads per scenario                [40000]
+      --writes N          benign writes (write-plane scenarios)      [512]
+      --clients C         closed-loop client threads                   [4]
+      --workers W         serving worker threads                       [2]
+      --seed S            fault-schedule seed (or LIS_CHAOS_SEED)
+      --poison-pct P      rollback-scenario campaign budget           [10]
+      --scenario NAME     run one rung instead of the whole ladder
+                          (baseline | worker-panic | queue-saturation |
+                           delayed-publish | writer-crash | rollback)
+      --out FILE          JSON report path             [BENCH_chaos.json]
 
   bench-hotpath       read-hot-path microbench: ns/lookup + Mlookups/s grid
       --keys N            keyset size                            [1000000]
@@ -609,6 +626,79 @@ fn cmd_serve_online(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_chaos(flags: &Flags) -> Result<(), String> {
+    use lis::chaos::{run_chaos, run_chaos_scenario, ChaosConfig};
+
+    let defaults = ChaosConfig::default();
+    let cfg = ChaosConfig {
+        keys: flag(flags, "keys", defaults.keys)?,
+        density: flag(flags, "density", defaults.density)?,
+        index: flags.get("index").cloned().unwrap_or(defaults.index),
+        requests: flag(flags, "requests", defaults.requests)?,
+        writes: flag(flags, "writes", defaults.writes)?,
+        clients: flag(flags, "clients", defaults.clients)?,
+        workers: flag(flags, "workers", defaults.workers)?,
+        seed: flag(flags, "seed", defaults.seed)?,
+        poison_percent: flag(flags, "poison-pct", defaults.poison_percent)?,
+    };
+    println!(
+        "chaos: {} keys ({}), {} requests, {} writes, seed {:#x}\n",
+        cfg.keys, cfg.index, cfg.requests, cfg.writes, cfg.seed
+    );
+    let report = match flags.get("scenario") {
+        Some(name) => run_chaos_scenario(name, &cfg).map_err(|e| e.to_string())?,
+        None => run_chaos(&cfg).map_err(|e| e.to_string())?,
+    };
+    println!(
+        "{:<18} {:>7} {:>8} {:>8} {:>7} {:>6} {:>9} {:>9} {:>10}",
+        "scenario",
+        "avail%",
+        "retries",
+        "faults",
+        "shed",
+        "resp",
+        "p99_us",
+        "recov_ms",
+        "rollbacks"
+    );
+    for s in &report.scenarios {
+        println!(
+            "{:<18} {:>7.3} {:>8} {:>8} {:>7} {:>6} {:>9.1} {:>9.1} {:>10}",
+            s.name,
+            100.0 * s.availability(),
+            s.retries,
+            s.faults_fired,
+            s.serve.shed,
+            s.serve.workers_restarted + s.serve.writer_restarts,
+            s.serve.latency.p99() as f64 / 1_000.0,
+            s.recovery_ms,
+            s.serve.rollbacks
+        );
+    }
+    let violations = report.violations();
+    if violations.is_empty() {
+        println!("\nall chaos gates hold");
+    } else {
+        println!("\ngate violations:");
+        for v in &violations {
+            println!("  {v}");
+        }
+    }
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_chaos.json".into());
+    report
+        .write_json(std::path::Path::new(&out))
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!("\nwrote {out}");
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{} chaos gate violation(s)", violations.len()))
+    }
+}
+
 fn cmd_bench_build(flags: &Flags) -> Result<(), String> {
     use lis::buildpath::{run_buildpath, BuildpathConfig};
 
@@ -880,6 +970,29 @@ mod tests {
         assert!(json.contains("\"name\": \"undefended\""));
         assert!(json.contains("\"name\": \"defended:density\""));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_command_runs_one_rung_and_writes_json() {
+        let dir = std::env::temp_dir().join("lis_cli_chaos_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH_chaos.json").to_string_lossy().to_string();
+        let mut flags = Flags::new();
+        flags.insert("keys".into(), "3000".into());
+        flags.insert("requests".into(), "800".into());
+        flags.insert("writes".into(), "32".into());
+        flags.insert("clients".into(), "2".into());
+        flags.insert("scenario".into(), "worker-panic".into());
+        flags.insert("seed".into(), "51966".into());
+        flags.insert("out".into(), out.clone());
+        cmd_chaos(&flags).unwrap();
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.contains("\"bench\": \"chaos\""));
+        assert!(json.contains("\"name\": \"worker-panic\""));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        flags.insert("scenario".into(), "nope".into());
+        assert!(cmd_chaos(&flags).is_err());
     }
 
     #[test]

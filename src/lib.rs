@@ -29,7 +29,11 @@
 //!   repo's machine-readable read-path baseline (`BENCH_hotpath.json`);
 //! * [`buildpath`] — its build-plane sibling: index-training and
 //!   campaign-generation timings, with output-identity verification,
-//!   producing `BENCH_build.json`.
+//!   producing `BENCH_build.json`;
+//! * [`chaos`] — the robustness ladder: deterministic fault injection
+//!   (see [`lis_server::fault`]) against the live server, scored on
+//!   availability, correctness under faults, recovery time, and
+//!   attack-triggered epoch rollback, producing `BENCH_chaos.json`.
 //!
 //! ## End-to-end example
 //!
@@ -64,12 +68,16 @@ pub use lis_server as server;
 pub use lis_workloads as workloads;
 
 pub mod buildpath;
+pub mod chaos;
 pub mod hotpath;
 pub mod pipeline;
 
 /// Convenience prelude importing the types used by almost every experiment.
 pub mod prelude {
     pub use crate::buildpath::{run_buildpath, BuildpathConfig, BuildpathReport};
+    pub use crate::chaos::{
+        run_chaos, run_chaos_scenario, ChaosConfig, ChaosReport, ChaosScenarioReport,
+    };
     pub use crate::hotpath::{run_hotpath, HotpathConfig, HotpathReport};
     pub use crate::pipeline::{BuildCache, Pipeline, PipelineReport, WorkloadSpec};
     pub use lis_core::btree::BPlusTree;
