@@ -25,6 +25,11 @@
 //!   wait resolves to a value *or* a timeout/shutdown error, and
 //!   discarding the result silently swallows that outcome instead of
 //!   handling (or propagating) it.
+//! * **`durability-ack-order`** — in any `crates/server/src` file that
+//!   acks an applied write (`fulfill(Ok(WriteStatus::Applied`), the WAL
+//!   append (`.log_batch(`) must come first in the file: an ack the
+//!   durable log has not seen is a write the client trusts but a crash
+//!   forgets.
 //! * **`registry-complete`** — every `impl LearnedIndex for T` in
 //!   `lis-core` has its type constructed in
 //!   `IndexRegistry::with_defaults`, so new structures are reachable by
@@ -79,12 +84,13 @@ pub struct AnalysisReport {
 }
 
 /// The rule slugs this pass enforces, in report order.
-pub const RULES: [&str; 7] = [
+pub const RULES: [&str; 8] = [
     "zero-alloc",
     "thread-discipline",
     "condvar-predicate",
     "serve-no-panic",
     "ticket-definite-outcome",
+    "durability-ack-order",
     "registry-complete",
     "forbid-unsafe",
 ];
@@ -292,6 +298,7 @@ pub fn analyze(root: &Path) -> AnalysisReport {
         let relpath = rel(root, path);
         run_line_rules(root, &relpath, scan, &mut violations, &mut allowed);
     }
+    run_ack_order_rule(root, &scans, &mut violations, &mut allowed);
     run_registry_rule(root, &scans, &mut violations, &mut allowed);
     run_forbid_unsafe_rule(root, &mut violations, &mut allowed);
 
@@ -488,6 +495,56 @@ fn run_line_rules(
                     );
                     break;
                 }
+            }
+        }
+    }
+}
+
+/// durability-ack-order: within any serve-path file that acks an applied
+/// write, the WAL append must precede every such ack in file order. The
+/// writer's drain is straight-line — validate, append, publish, fulfill —
+/// so file order is a faithful proxy for program order there, and an ack
+/// site appearing before the first `.log_batch(` (or in a file with
+/// none at all) is a write acknowledged outside the durability contract.
+fn run_ack_order_rule(
+    root: &Path,
+    scans: &[(PathBuf, FileScan)],
+    violations: &mut Vec<Violation>,
+    allowed: &mut usize,
+) {
+    for (path, scan) in scans {
+        let relpath = rel(root, path);
+        if !relpath.starts_with("crates/server/src/") {
+            continue;
+        }
+        let first_append = scan
+            .lines()
+            .iter()
+            .find(|l| !l.in_test && l.code.contains(".log_batch("))
+            .map(|l| l.number);
+        for line in scan.lines() {
+            if line.in_test || !line.code.contains("fulfill(Ok(WriteStatus::Applied") {
+                continue;
+            }
+            let durable = first_append.is_some_and(|append| append < line.number);
+            if !durable {
+                push_violation(
+                    scan,
+                    violations,
+                    allowed,
+                    "durability-ack-order",
+                    &relpath,
+                    line.number,
+                    match first_append {
+                        Some(append) => format!(
+                            "applied-write ack precedes the WAL append at line {append} — \
+                             a crash after this ack forgets a write the client trusts"
+                        ),
+                        None => "applied-write ack in a file with no `.log_batch(` WAL \
+                                 append — the ack is outside the durability contract"
+                            .to_string(),
+                    },
+                );
             }
         }
     }

@@ -65,6 +65,20 @@ pub fn swallow_timed(t: crate::ResponseTicket, d: std::time::Duration) {
 }
 "#;
 
+/// An applied-write ack that comes *before* the file's WAL append, plus a
+/// compliant ack after it — the durability-ack-order violation in its own
+/// file so line assertions stay stable.
+const VIOLATING_ACK_FILE: &str = r#"
+pub fn eager_ack(slot: crate::ResponseSlot, store: &mut crate::Store, ops: &[u8]) {
+    slot.fulfill(Ok(WriteStatus::Applied { epoch: 1 }));
+    store.log_batch(ops, 1, false, false);
+}
+
+pub fn durable_ack(slot: crate::ResponseSlot) {
+    slot.fulfill(Ok(WriteStatus::Applied { epoch: 2 }));
+}
+"#;
+
 #[test]
 fn violating_tree_trips_every_rule() {
     let root = scratch_root("violating");
@@ -75,6 +89,7 @@ fn violating_tree_trips_every_rule() {
         "crates/server/src/ticket_bad.rs",
         VIOLATING_TICKET_FILE,
     );
+    write(&root, "crates/server/src/ack_bad.rs", VIOLATING_ACK_FILE);
     write(
         &root,
         "crates/core/src/index.rs",
@@ -129,6 +144,26 @@ fn violating_tree_trips_every_rule() {
         })
         .collect();
     assert_eq!(ticket.len(), 2);
+
+    // Only the ack preceding the WAL append is flagged; the ack after it
+    // is compliant (the append at line 3 covers line 8).
+    let acks: Vec<usize> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == "durability-ack-order")
+        .map(|v| {
+            assert!(v.file.ends_with("ack_bad.rs"), "{v:?}");
+            v.line
+        })
+        .collect();
+    assert_eq!(acks.len(), 1);
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.rule == "durability-ack-order" && v.message.contains("precedes")),
+        "the eager ack must cite the append it precedes"
+    );
 
     // The orphan index type is flagged; the registered one is not.
     let registry: Vec<&str> = report

@@ -1,0 +1,86 @@
+//! The durability baseline: the WAL fsync-level grid plus the
+//! kill-and-recover acceptance cell (see `lis::durability`) at committed
+//! scale, with its structural gates asserted.
+//!
+//! Writes `BENCH_durability.json` at the workspace root — acked-write
+//! throughput per fsync level, recovery time, WAL replay throughput, and
+//! the kill cell's zero-loss verdict — the machine-readable durability
+//! baseline future PRs diff against. Override the scale for smoke runs:
+//!
+//! * `LIS_DURABILITY_KEYS` — base keyset size (default 100,000);
+//! * `LIS_DURABILITY_WRITES` — durable inserts per cell (default 2,048);
+//! * `LIS_CHAOS_SEED` — the kill-schedule seed (shared with the chaos
+//!   ladder so one value reproduces both planes).
+//!
+//! The correctness gates (recovered ≡ live, zero acked writes lost,
+//! recovery under 5 s, checkpoint cadence engaged) hold at any scale;
+//! the kill-engagement gate arms at full scale — see
+//! `DurabilityReport::violations`.
+
+use lis::durability::{run_durability, DurabilityBenchConfig};
+use std::path::Path;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let defaults = DurabilityBenchConfig::default();
+    let cfg = DurabilityBenchConfig {
+        keys: env_usize("LIS_DURABILITY_KEYS", defaults.keys),
+        writes: env_usize("LIS_DURABILITY_WRITES", defaults.writes),
+        ..defaults
+    };
+    println!(
+        "durability grid — {} keys ({}), {} writes per cell, seed {:#x}\n\
+         (override with LIS_DURABILITY_KEYS / LIS_DURABILITY_WRITES / LIS_CHAOS_SEED)\n",
+        cfg.keys, cfg.index, cfg.writes, cfg.seed
+    );
+    let report = run_durability(&cfg).expect("durability grid");
+
+    println!(
+        "{:<8} {:>7} {:>10} {:>9} {:>8} {:>12} {:>10} {:>7} {:>6}",
+        "cell",
+        "acked",
+        "writes/s",
+        "recov_ms",
+        "replayed",
+        "replay_ops/s",
+        "wal_bytes",
+        "killed",
+        "lost"
+    );
+    for c in &report.cells {
+        println!(
+            "{:<8} {:>7} {:>10.1} {:>9.2} {:>8} {:>12.1} {:>10} {:>7} {:>6}",
+            c.name,
+            c.writes_acked,
+            c.writes_per_s(),
+            c.recover_ms,
+            c.replayed_ops,
+            c.replay_ops_per_s(),
+            c.wal_bytes,
+            c.killed,
+            c.lost_acked
+        );
+    }
+
+    let json_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_durability.json");
+    report
+        .write_json(&json_path)
+        .expect("write BENCH_durability.json");
+    println!("\nwrote {}", json_path.display());
+
+    // The grid's claims are gates, not prose: a lost acked write, a
+    // divergent recovery, or a kill schedule that stops engaging fails
+    // the bench.
+    let violations = report.violations();
+    assert!(
+        violations.is_empty(),
+        "durability gates failed: {violations:#?}"
+    );
+    println!("all durability gates hold");
+}

@@ -77,6 +77,22 @@ pub enum LisError {
     /// or in flight when its serving thread stopped. Retryable against a
     /// live server, unlike [`LisError::Invariant`].
     Shutdown(String),
+    /// A storage-layer I/O operation failed (open, append, fsync, rename).
+    /// Transient by classification: the medium may recover, so
+    /// [`LisError::is_retryable`] returns `true` — unlike
+    /// [`LisError::Corruption`], which no retry can repair.
+    Io {
+        /// What the durability plane was doing when the I/O failed.
+        context: String,
+    },
+    /// Durable state failed validation: a checksum mismatch, an LSN gap,
+    /// or an op the authoritative keyset refuses to replay. Never
+    /// retryable — retrying re-reads the same damaged bytes; the caller
+    /// must surface the error (and the operator restore from a snapshot).
+    Corruption {
+        /// Where in the log or snapshot the damage was found.
+        context: String,
+    },
     /// Generic invariant breach with context.
     Invariant(String),
 }
@@ -89,7 +105,7 @@ impl LisError {
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            Self::Overloaded { .. } | Self::Timeout(_) | Self::Shutdown(_)
+            Self::Overloaded { .. } | Self::Timeout(_) | Self::Shutdown(_) | Self::Io { .. }
         )
     }
 }
@@ -137,6 +153,10 @@ impl fmt::Display for LisError {
                 )
             }
             Self::Shutdown(msg) => write!(f, "server shut down: {msg}"),
+            Self::Io { context } => write!(f, "storage I/O failed: {context}"),
+            Self::Corruption { context } => {
+                write!(f, "durable state corrupted: {context}")
+            }
             Self::Invariant(msg) => write!(f, "invariant violated: {msg}"),
         }
     }
@@ -167,12 +187,22 @@ mod tests {
                 deadline: std::time::Duration::from_millis(1),
             },
             LisError::Shutdown("worker died".into()),
+            LisError::Io {
+                context: "fsync wal".into(),
+            },
         ];
         for e in &transient {
             assert!(e.is_retryable(), "{e} must be retryable");
         }
         assert!(!LisError::Invariant("bug".into()).is_retryable());
         assert!(!LisError::DuplicateKey(7).is_retryable());
+        assert!(
+            !LisError::Corruption {
+                context: "wal record 3 crc mismatch".into()
+            }
+            .is_retryable(),
+            "corruption must never be retried"
+        );
     }
 
     #[test]

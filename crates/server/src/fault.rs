@@ -26,7 +26,13 @@
 //!   the writer unwinds, and the supervisor rebuilds its shadow from
 //!   the authoritative keyset;
 //! * **delayed publish** — the epoch swap lags the keyset mutation,
-//!   stretching the window where readers serve the previous snapshot.
+//!   stretching the window where readers serve the previous snapshot;
+//! * **storage faults** (durable servers only) — process death before or
+//!   after the WAL append (`CrashBeforeAppend` / `CrashAfterAppend`), a
+//!   torn append (`TornWrite`), and silent media corruption (`BitFlip`).
+//!   The crash sites unwind with [`ProcessKill`]: the supervisor shuts
+//!   the write plane down instead of restarting, modelling SIGKILL so
+//!   the chaos harness can exercise `durability::recover`.
 //!
 //! All counters and flags route through [`crate::sync`] so instrumented
 //! (`--features check`) builds stay schedulable; sleeps use the same
@@ -62,15 +68,33 @@ pub enum FaultSite {
     WriterCrash,
     /// The writer sleeps between mutating the keyset and publishing.
     DelayedPublish,
+    /// Process death before the WAL append: the drained batch is neither
+    /// durable nor acked. Recovery must show none of it.
+    CrashBeforeAppend,
+    /// Process death after the WAL append but before any ticket is
+    /// fulfilled: the batch is durable but never acked. Recovery must
+    /// replay it whole (durable-but-unacked is the allowed direction).
+    CrashAfterAppend,
+    /// A torn write: only a prefix of the WAL record reaches the disk
+    /// before process death. Recovery must truncate the torn tail.
+    TornWrite,
+    /// Silent media corruption: one bit of the appended record flips on
+    /// the way to disk. Recovery must refuse with a checksum error once
+    /// later records make the damage mid-log.
+    BitFlip,
 }
 
 /// Every site, for iterating counters in reports and tests.
-pub const FAULT_SITES: [FaultSite; 5] = [
+pub const FAULT_SITES: [FaultSite; 9] = [
     FaultSite::WorkerPanic,
     FaultSite::SlowBatch,
     FaultSite::WriterStall,
     FaultSite::WriterCrash,
     FaultSite::DelayedPublish,
+    FaultSite::CrashBeforeAppend,
+    FaultSite::CrashAfterAppend,
+    FaultSite::TornWrite,
+    FaultSite::BitFlip,
 ];
 
 impl FaultSite {
@@ -81,6 +105,10 @@ impl FaultSite {
             FaultSite::WriterStall => 2,
             FaultSite::WriterCrash => 3,
             FaultSite::DelayedPublish => 4,
+            FaultSite::CrashBeforeAppend => 5,
+            FaultSite::CrashAfterAppend => 6,
+            FaultSite::TornWrite => 7,
+            FaultSite::BitFlip => 8,
         }
     }
 
@@ -114,6 +142,14 @@ pub struct FaultConfig {
     pub delayed_publish: f64,
     /// How long a delayed publish sleeps.
     pub publish_delay: Duration,
+    /// Probability the process dies before a flush's WAL append.
+    pub crash_before_append: f64,
+    /// Probability the process dies after the append, before the acks.
+    pub crash_after_append: f64,
+    /// Probability a WAL append tears mid-record (and the process dies).
+    pub torn_write: f64,
+    /// Probability one bit of a WAL record flips on the way to disk.
+    pub bit_flip: f64,
 }
 
 impl FaultConfig {
@@ -129,6 +165,10 @@ impl FaultConfig {
             writer_crash: 0.0,
             delayed_publish: 0.0,
             publish_delay: Duration::from_millis(2),
+            crash_before_append: 0.0,
+            crash_after_append: 0.0,
+            torn_write: 0.0,
+            bit_flip: 0.0,
         }
     }
 
@@ -165,6 +205,30 @@ impl FaultConfig {
         self
     }
 
+    /// Sets the crash-before-append probability.
+    pub fn crash_before_append(mut self, p: f64) -> Self {
+        self.crash_before_append = p;
+        self
+    }
+
+    /// Sets the crash-after-append (before-ack) probability.
+    pub fn crash_after_append(mut self, p: f64) -> Self {
+        self.crash_after_append = p;
+        self
+    }
+
+    /// Sets the torn-write probability.
+    pub fn torn_write(mut self, p: f64) -> Self {
+        self.torn_write = p;
+        self
+    }
+
+    /// Sets the bit-flip probability.
+    pub fn bit_flip(mut self, p: f64) -> Self {
+        self.bit_flip = p;
+        self
+    }
+
     fn probability(&self, site: FaultSite) -> f64 {
         match site {
             FaultSite::WorkerPanic => self.worker_panic,
@@ -172,6 +236,10 @@ impl FaultConfig {
             FaultSite::WriterStall => self.writer_stall,
             FaultSite::WriterCrash => self.writer_crash,
             FaultSite::DelayedPublish => self.delayed_publish,
+            FaultSite::CrashBeforeAppend => self.crash_before_append,
+            FaultSite::CrashAfterAppend => self.crash_after_append,
+            FaultSite::TornWrite => self.torn_write,
+            FaultSite::BitFlip => self.bit_flip,
         }
     }
 }
@@ -179,7 +247,7 @@ impl FaultConfig {
 struct FaultState {
     cfg: FaultConfig,
     armed: AtomicBool,
-    fired: [AtomicU64; 5],
+    fired: [AtomicU64; FAULT_SITES.len()],
 }
 
 /// A cloneable handle deciding, deterministically, whether fault number
@@ -300,6 +368,27 @@ impl FaultInjector {
             None
         }
     }
+
+    /// Whether the process dies before flush `flush`'s WAL append.
+    pub(crate) fn crash_before_append(&self, flush: u64) -> bool {
+        self.fires(FaultSite::CrashBeforeAppend, 0, flush)
+    }
+
+    /// Whether the process dies after flush `flush`'s append, pre-ack.
+    pub(crate) fn crash_after_append(&self, flush: u64) -> bool {
+        self.fires(FaultSite::CrashAfterAppend, 0, flush)
+    }
+
+    /// Whether flush `flush`'s WAL append tears mid-record.
+    pub(crate) fn torn_write(&self, flush: u64) -> bool {
+        self.fires(FaultSite::TornWrite, 0, flush)
+    }
+
+    /// Whether flush `flush`'s WAL record takes a bit flip on the way to
+    /// disk.
+    pub(crate) fn bit_flip(&self, flush: u64) -> bool {
+        self.fires(FaultSite::BitFlip, 0, flush)
+    }
 }
 
 /// Marker payload an injected panic unwinds with. Carrying a zero-sized
@@ -307,6 +396,13 @@ impl FaultInjector {
 /// the test harness's panic hook and lets supervisors assert the panic
 /// was injected rather than a bug.
 pub(crate) struct InjectedFault;
+
+/// Marker payload a SIGKILL-equivalent storage fault unwinds with. The
+/// writer supervisor treats it as process death: it does NOT restart the
+/// writer — it fails everything still queued and closes the write plane,
+/// so the chaos harness can `recover()` the durable directory into a
+/// fresh server, exactly as an operator would after a real kill.
+pub(crate) struct ProcessKill;
 
 /// Reads the chaos seed from `LIS_CHAOS_SEED`, falling back to `default`
 /// when unset or unparsable.
@@ -428,6 +524,10 @@ mod tests {
             assert!(!f.writer_crash(event));
             assert!(f.writer_stall(event).is_none());
             assert!(f.delayed_publish(event).is_none());
+            assert!(!f.crash_before_append(event));
+            assert!(!f.crash_after_append(event));
+            assert!(!f.torn_write(event));
+            assert!(!f.bit_flip(event));
         }
         assert_eq!(f.total_fired(), 0);
     }
@@ -468,6 +568,23 @@ mod tests {
         let panics: Vec<bool> = (0..256).map(|e| f.worker_panic(0, e)).collect();
         let crashes: Vec<bool> = (0..256).map(|e| f.writer_crash(e)).collect();
         assert_ne!(panics, crashes, "sites share a decision stream");
+    }
+
+    #[test]
+    fn storage_sites_draw_independent_streams() {
+        let cfg = FaultConfig::new(5)
+            .crash_before_append(0.5)
+            .crash_after_append(0.5)
+            .torn_write(0.5)
+            .bit_flip(0.5);
+        let f = FaultInjector::seeded(cfg);
+        let before: Vec<bool> = (0..256).map(|e| f.crash_before_append(e)).collect();
+        let after: Vec<bool> = (0..256).map(|e| f.crash_after_append(e)).collect();
+        let torn: Vec<bool> = (0..256).map(|e| f.torn_write(e)).collect();
+        let flip: Vec<bool> = (0..256).map(|e| f.bit_flip(e)).collect();
+        assert_ne!(before, after, "crash sites share a decision stream");
+        assert_ne!(torn, flip, "corruption sites share a decision stream");
+        assert!(f.total_fired() > 0);
     }
 
     #[test]

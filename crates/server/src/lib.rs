@@ -21,6 +21,11 @@
 //!   authoritative keyset and publishes epoch-swapped snapshots (readers
 //!   never block on writers), screened by pluggable [`AdmissionPolicy`]
 //!   filters — the hook where poisoning defenses meet live traffic;
+//! * [`durability`] — the durability plane: a length-prefixed,
+//!   CRC-checksummed write-ahead log appended before any write ticket is
+//!   acked, periodic checksummed snapshots with WAL truncation, and
+//!   [`recover`] replaying the tail across full process restarts
+//!   (torn final records truncated, mid-log corruption refused);
 //! * [`fault`] — the chaos plane: seeded deterministic fault injection
 //!   (worker death, latency spikes, writer stall/crash, delayed epoch
 //!   publish) threaded through the serve and write paths, plus the
@@ -57,6 +62,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod durability;
 mod epoch;
 pub mod fault;
 pub mod histogram;
@@ -67,6 +73,7 @@ mod sync;
 pub mod traffic;
 pub mod write;
 
+pub use durability::{recover, Durability, DurabilityLevel, DurableStore, Recovered};
 pub use fault::{seed_from_env, FaultConfig, FaultInjector, FaultSite, RetryPolicy, FAULT_SITES};
 pub use histogram::LatencyHistogram;
 pub use queue::{BatchPolicy, BatchQueue, PopTick};

@@ -34,8 +34,9 @@
 //! * **online mutation** — write campaigns (see `lis_online`) poison the
 //!   served keyset *while* benign traffic measures the drift.
 
+use crate::durability::{Durability, DurableStore};
 use crate::epoch::EpochSlot;
-use crate::fault::{FaultInjector, InjectedFault, RetryPolicy};
+use crate::fault::{FaultInjector, InjectedFault, ProcessKill, RetryPolicy};
 use crate::histogram::LatencyHistogram;
 use crate::queue::{BatchPolicy, BatchQueue, PopTick};
 use crate::sync::atomic::{AtomicU64, Ordering};
@@ -599,6 +600,7 @@ pub struct ServerBuilder {
     cfg: ServeConfig,
     faults: FaultInjector,
     rollback: Option<Box<dyn RollbackPolicy>>,
+    durability: Durability,
 }
 
 impl ServerBuilder {
@@ -606,6 +608,18 @@ impl ServerBuilder {
     /// [`FaultInjector::disabled`] — a no-op on every check site.
     pub fn faults(mut self, faults: FaultInjector) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Installs the durability plane (see [`crate::durability`]): the
+    /// writer appends every validated micro-batch to a write-ahead log
+    /// *before* fulfilling its tickets and checkpoints the keyset into
+    /// snapshots. The default, [`Durability::in_memory`], keeps the
+    /// authoritative keyset writer-local — existing servers and the
+    /// zero-alloc read gate are untouched. Only meaningful with
+    /// [`ServerBuilder::start_online`].
+    pub fn durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
         self
     }
 
@@ -648,6 +662,15 @@ impl ServerBuilder {
             quarantined: 0,
             next_window: 0,
         });
+        // Bootstrap the durable store (snapshot of the starting keyset +
+        // fresh WAL) before the writer takes over; the fsync window
+        // mirrors the serve-window normalization in `start_inner`.
+        let fsync_window = if self.cfg.window.is_zero() {
+            Duration::from_millis(100)
+        } else {
+            self.cfg.window
+        };
+        let store = self.durability.open(&keyset, fsync_window)?;
         let state = WriterState {
             keyset,
             back: Some(back),
@@ -656,7 +679,8 @@ impl ServerBuilder {
             build: Box::new(build),
             admission,
             rollback,
-            flushes: 0,
+            flushes: self.durability.resume_flushes(),
+            store,
         };
         Ok(Server::start_inner(
             slot,
@@ -677,6 +701,7 @@ impl Server {
             cfg,
             faults: FaultInjector::disabled(),
             rollback: None,
+            durability: Durability::in_memory(),
         }
     }
 
@@ -1115,8 +1140,14 @@ struct WriterState {
     /// Monotonic flush sequence used as the fault-schedule event index.
     /// Lives in the state (which outlives writer crashes) so a restarted
     /// writer continues the schedule instead of replaying it from event
-    /// 0 — a replay would either never fire or crash-loop forever.
+    /// 0 — a replay would either never fire or crash-loop forever. The
+    /// durable snapshot header persists it for the same reason one level
+    /// up: a server resumed after a *process* kill continues the
+    /// schedule too (see [`crate::durability`]).
     flushes: u64,
+    /// The durability plane, when configured: the open WAL and the
+    /// checkpoint cadence. `None` is the in-memory default.
+    store: Option<DurableStore>,
 }
 
 /// Attack-triggered epoch rollback, owned by the writer thread. The
@@ -1247,6 +1278,27 @@ fn supervised_writer(
         match outcome {
             // Clean exit: the write queue closed.
             Ok(()) => break,
+            Err(payload) if payload.downcast_ref::<ProcessKill>().is_some() => {
+                // SIGKILL-equivalent storage fault: NO restart — the
+                // "process" is dead and only `recover` on the durable
+                // directory brings the write plane back. Close the queue
+                // and fail everything still buffered so no client blocks
+                // on a ticket nothing will ever fulfill; the read plane
+                // keeps serving the last published epoch.
+                queue.close();
+                let mut stranded: Vec<WriteRequest> = Vec::with_capacity(policy.max_batch);
+                while queue.pop_batch_into(policy, &mut stranded) {
+                    shared
+                        .writes_failed
+                        .fetch_add(stranded.len() as u64, Ordering::Relaxed);
+                    for request in stranded.drain(..) {
+                        request.slot.fulfill(Err(LisError::Shutdown(
+                            "write plane closed: writer killed by injected storage fault".into(),
+                        )));
+                    }
+                }
+                break;
+            }
             Err(_) => {
                 shared.writer_restarts.fetch_add(1, Ordering::Relaxed);
                 state.back = None;
@@ -1286,7 +1338,15 @@ fn writer_loop(
             PopTick::Closed
         };
         match tick {
-            PopTick::Closed => break,
+            PopTick::Closed => {
+                // Clean shutdown: a final checkpoint makes recovery of a
+                // cleanly stopped server replay nothing. An I/O failure
+                // here is survivable — the WAL still holds the tail.
+                if let Some(store) = state.store.as_mut() {
+                    let _ = store.snapshot(&state.keyset, state.flushes);
+                }
+                break;
+            }
             PopTick::Idle => {
                 state.maintain_rollback(shared, slot);
                 continue;
@@ -1357,6 +1417,41 @@ fn writer_loop(
                 None => {
                     applied_ops.push(request.op);
                     pending.push(request.slot);
+                }
+            }
+        }
+        // Durability: the WAL append lands *before* any ticket below is
+        // fulfilled `Applied` (group commit — one fsync per drained batch
+        // at `DurabilityLevel::Batch`); the `durability-ack-order` lint
+        // polices exactly this ordering. The storage fault sites model
+        // process death around the append: before it (the batch is
+        // neither logged nor acked), torn inside it (a prefix is on disk,
+        // nothing acked), or after it (logged and recoverable, but the
+        // acks never went out — recovery may legitimately hold writes the
+        // client saw fail, never the reverse).
+        if !applied_ops.is_empty() {
+            if let Some(store) = state.store.as_mut() {
+                if faults.crash_before_append(state.flushes) {
+                    kill_write_plane(&mut pending, shared);
+                }
+                let tear = faults.torn_write(state.flushes);
+                let flip = faults.bit_flip(state.flushes);
+                match store.log_batch(&applied_ops, state.flushes, tear, flip) {
+                    Ok(_lsn) => {}
+                    Err(e) => {
+                        // The batch never reached the log: un-apply it so
+                        // the authoritative keyset matches durable state,
+                        // and fail the tickets retryably.
+                        undo_ops(&mut state.keyset, &applied_ops);
+                        applied_ops.clear();
+                        failed += pending.len() as u64;
+                        for response in pending.drain(..) {
+                            response.fulfill(Err(e.clone()));
+                        }
+                    }
+                }
+                if tear || faults.crash_after_append(state.flushes) {
+                    kill_write_plane(&mut pending, shared);
                 }
             }
         }
@@ -1434,8 +1529,47 @@ fn writer_loop(
         if let Some(rb) = state.rollback.as_mut() {
             rb.quarantined += applied as usize;
         }
+        if applied > 0 {
+            if let Some(store) = state.store.as_mut() {
+                // Checkpoint cadence. An I/O failure here is non-fatal:
+                // the WAL still holds the tail and the next flush retries.
+                let _ = store.maybe_snapshot(&state.keyset, state.flushes);
+            }
+        }
         state.maintain_rollback(shared, slot);
     }
+}
+
+/// Reverse-applies `ops` to the keyset after a failed WAL append: the
+/// batch was validated and applied in submission order, so undoing it in
+/// reverse order with inverse ops restores the pre-batch state exactly.
+/// The inverses cannot fail against that history; a failure anyway would
+/// mean the keyset diverged mid-batch, which the validation loop rules
+/// out, so errors are ignored rather than unwound.
+fn undo_ops(keyset: &mut KeySet, ops: &[WriteOp]) {
+    for op in ops.iter().rev() {
+        let _ = match *op {
+            WriteOp::Insert(k) => keyset.remove(k),
+            WriteOp::Remove(k) => keyset.insert(k),
+        };
+    }
+}
+
+/// SIGKILL-equivalent exit from the writer: resolve the batch's
+/// outstanding tickets first (a real kill leaves those clients with dead
+/// connections; here the tickets must still resolve so no client blocks
+/// forever), then unwind with [`ProcessKill`] so the supervisor shuts the
+/// write plane down instead of restarting it.
+fn kill_write_plane(pending: &mut Vec<Arc<ResponseSlot<WriteStatus>>>, shared: &Shared) -> ! {
+    shared
+        .writes_failed
+        .fetch_add(pending.len() as u64, Ordering::Relaxed);
+    for response in pending.drain(..) {
+        response.fulfill(Err(LisError::Shutdown(
+            "writer killed by injected storage fault".into(),
+        )));
+    }
+    std::panic::resume_unwind(Box::new(ProcessKill));
 }
 
 #[cfg(test)]
@@ -2015,5 +2149,119 @@ mod tests {
         let report = server.shutdown();
         assert!(report.rollbacks >= 1);
         assert!(report.writes_quarantined >= 1);
+    }
+
+    fn scratch_dir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("lis-server-dur-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// End-to-end durable path: acked writes survive a clean shutdown,
+    /// and a server resumed from `recover` continues the timeline (new
+    /// LSNs, new writes, the persisted fault-schedule counter).
+    #[test]
+    fn durable_server_persists_acked_writes_across_restart() {
+        let dir = scratch_dir("restart");
+        let domain = lis_core::keys::KeyDomain::new(0, 100_000_000).unwrap();
+        let ks = KeySet::new((0..500u64).map(|i| i * 7 + 3).collect(), domain).unwrap();
+        let registry = IndexRegistry::with_defaults();
+        let server = Server::builder(ServeConfig::offline().workers(1).write_batch(8))
+            .durability(Durability::dir(&dir).snapshot_every(64))
+            .start_online(
+                ks.clone(),
+                move |ks| registry.build("btree", ks),
+                Box::new(AdmitAll),
+            )
+            .unwrap();
+        let handle = server.handle();
+        let mut acked = Vec::new();
+        for i in 0..40u64 {
+            let key = i * 7 + 4;
+            assert!(handle.write(WriteOp::Insert(key), 1).unwrap().is_applied());
+            acked.push(key);
+        }
+        let removed = ks.keys()[0];
+        assert!(handle
+            .write(WriteOp::Remove(removed), 1)
+            .unwrap()
+            .is_applied());
+        server.shutdown();
+
+        let rec = crate::durability::recover(&dir).unwrap();
+        let mut expect = ks.clone();
+        for &k in &acked {
+            expect.insert(k).unwrap();
+        }
+        expect.remove(removed).unwrap();
+        assert_eq!(rec.keyset.keys(), expect.keys(), "recovered != live");
+        // Clean shutdown checkpointed, so the tail replays nothing.
+        assert_eq!(rec.replayed_records, 0);
+
+        // Resume the timeline under the same directory.
+        let registry = IndexRegistry::with_defaults();
+        let resumed = Server::builder(ServeConfig::offline().workers(1).write_batch(8))
+            .durability(Durability::resume(&dir, &rec))
+            .start_online(
+                rec.keyset.clone(),
+                move |ks| registry.build("btree", ks),
+                Box::new(AdmitAll),
+            )
+            .unwrap();
+        let handle = resumed.handle();
+        for &k in &acked {
+            assert!(handle.lookup(k).unwrap().found, "lost acked write {k}");
+        }
+        assert!(!handle.lookup(removed).unwrap().found);
+        assert!(handle
+            .write(WriteOp::Insert(99_999_999), 1)
+            .unwrap()
+            .is_applied());
+        resumed.shutdown();
+        let rec2 = crate::durability::recover(&dir).unwrap();
+        assert!(rec2.keyset.contains(99_999_999));
+        assert!(rec2.last_lsn > rec.last_lsn, "resumed LSNs must advance");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A storage kill (`crash_after_append` at p=1) is NOT a writer
+    /// restart: the write plane closes, queued tickets resolve with a
+    /// retryable error, reads keep serving, and recovery from the
+    /// directory holds everything the log captured.
+    #[test]
+    fn storage_kill_closes_write_plane_without_restart() {
+        use crate::fault::FaultConfig;
+        let dir = scratch_dir("kill");
+        let domain = lis_core::keys::KeyDomain::new(0, 100_000_000).unwrap();
+        let ks = KeySet::new((0..400u64).map(|i| i * 7 + 3).collect(), domain).unwrap();
+        let registry = IndexRegistry::with_defaults();
+        let faults = FaultInjector::seeded(FaultConfig::new(0xD0D0).crash_after_append(1.0));
+        let server = Server::builder(ServeConfig::offline().workers(1).write_batch(4))
+            .durability(Durability::dir(&dir))
+            .faults(faults)
+            .start_online(
+                ks.clone(),
+                move |ks| registry.build("btree", ks),
+                Box::new(AdmitAll),
+            )
+            .unwrap();
+        let handle = server.handle();
+        let err = handle.write(WriteOp::Insert(11), 1).unwrap_err();
+        assert!(matches!(err, LisError::Shutdown(_)), "got {err:?}");
+        assert!(err.is_retryable());
+        // The write plane is closed for good — no restart loop.
+        let follow_up = handle.write(WriteOp::Insert(12), 1);
+        assert!(follow_up.is_err(), "write plane must stay closed");
+        // Reads still serve the last published epoch.
+        assert!(handle.lookup(ks.keys()[0]).unwrap().found);
+        // The kill fired *after* the append: the un-acked write is on
+        // disk. Recovery holding writes the client saw fail is
+        // legitimate; the reverse direction (acked but lost) never is.
+        let rec = crate::durability::recover(&dir).unwrap();
+        assert!(rec.keyset.contains(11), "appended batch lost");
+        let report = server.shutdown();
+        assert_eq!(report.writer_restarts, 0, "kill must not restart");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -11,6 +11,7 @@
 //! lis-cli serve-bench --keys 100000 --index rmi,btree --attack-ratio 0,0.5 --workers 4
 //! lis-cli bench-build --keys 1000000 --index rmi,deep-rmi,pla,btree
 //! lis-cli chaos --keys 100000 --scenario worker-panic --seed 7
+//! lis-cli durability --keys 100000 --writes 2048 --seed 7
 //! lis-cli list-indexes
 //! ```
 //!
@@ -52,6 +53,7 @@ fn main() -> ExitCode {
         "serve-bench" => cmd_serve_bench(&flags),
         "serve-online" => cmd_serve_online(&flags),
         "chaos" => cmd_chaos(&flags),
+        "durability" => cmd_durability(&flags),
         "bench-hotpath" => cmd_bench_hotpath(&flags),
         "bench-build" => cmd_bench_build(&flags),
         "list-indexes" => cmd_list_indexes(),
@@ -151,8 +153,18 @@ COMMANDS:
       --poison-pct P      rollback-scenario campaign budget           [10]
       --scenario NAME     run one rung instead of the whole ladder
                           (baseline | worker-panic | queue-saturation |
-                           delayed-publish | writer-crash | rollback)
+                           delayed-publish | writer-crash | rollback |
+                           kill-recover | torn-tail)
       --out FILE          JSON report path             [BENCH_chaos.json]
+
+  durability          WAL fsync-level grid + kill-and-recover acceptance
+      --keys N            base keyset size                        [100000]
+      --density F         keyset density in (0, 1]                   [0.1]
+      --index NAME        served registry name                       [rmi]
+      --writes N          durable inserts per cell                  [2048]
+      --workers W         serving worker threads                       [2]
+      --seed S            kill-schedule seed (or LIS_CHAOS_SEED)
+      --out FILE          JSON report path        [BENCH_durability.json]
 
   bench-hotpath       read-hot-path microbench: ns/lookup + Mlookups/s grid
       --keys N            keyset size                            [1000000]
@@ -699,6 +711,73 @@ fn cmd_chaos(flags: &Flags) -> Result<(), String> {
     }
 }
 
+fn cmd_durability(flags: &Flags) -> Result<(), String> {
+    use lis::durability::{run_durability, DurabilityBenchConfig};
+
+    let defaults = DurabilityBenchConfig::default();
+    let cfg = DurabilityBenchConfig {
+        keys: flag(flags, "keys", defaults.keys)?,
+        density: flag(flags, "density", defaults.density)?,
+        index: flags.get("index").cloned().unwrap_or(defaults.index),
+        writes: flag(flags, "writes", defaults.writes)?,
+        workers: flag(flags, "workers", defaults.workers)?,
+        seed: flag(flags, "seed", defaults.seed)?,
+    };
+    println!(
+        "durability: {} keys ({}), {} writes per cell, seed {:#x}\n",
+        cfg.keys, cfg.index, cfg.writes, cfg.seed
+    );
+    let report = run_durability(&cfg).map_err(|e| e.to_string())?;
+    println!(
+        "{:<8} {:>7} {:>10} {:>9} {:>8} {:>12} {:>10} {:>7} {:>6}",
+        "cell",
+        "acked",
+        "writes/s",
+        "recov_ms",
+        "replayed",
+        "replay_ops/s",
+        "wal_bytes",
+        "killed",
+        "lost"
+    );
+    for c in &report.cells {
+        println!(
+            "{:<8} {:>7} {:>10.1} {:>9.2} {:>8} {:>12.1} {:>10} {:>7} {:>6}",
+            c.name,
+            c.writes_acked,
+            c.writes_per_s(),
+            c.recover_ms,
+            c.replayed_ops,
+            c.replay_ops_per_s(),
+            c.wal_bytes,
+            c.killed,
+            c.lost_acked
+        );
+    }
+    let violations = report.violations();
+    if violations.is_empty() {
+        println!("\nall durability gates hold");
+    } else {
+        println!("\ngate violations:");
+        for v in &violations {
+            println!("  {v}");
+        }
+    }
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_durability.json".into());
+    report
+        .write_json(std::path::Path::new(&out))
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!("\nwrote {out}");
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{} durability gate violation(s)", violations.len()))
+    }
+}
+
 fn cmd_bench_build(flags: &Flags) -> Result<(), String> {
     use lis::buildpath::{run_buildpath, BuildpathConfig};
 
@@ -993,6 +1072,28 @@ mod tests {
 
         flags.insert("scenario".into(), "nope".into());
         assert!(cmd_chaos(&flags).is_err());
+    }
+
+    #[test]
+    fn durability_command_runs_the_grid_and_writes_json() {
+        let dir = std::env::temp_dir().join("lis_cli_durability_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir
+            .join("BENCH_durability.json")
+            .to_string_lossy()
+            .to_string();
+        let mut flags = Flags::new();
+        flags.insert("keys".into(), "3000".into());
+        flags.insert("writes".into(), "96".into());
+        flags.insert("workers".into(), "2".into());
+        flags.insert("seed".into(), "61453".into()); // 0xF00D
+        flags.insert("out".into(), out.clone());
+        cmd_durability(&flags).unwrap();
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.contains("\"bench\": \"durability\""));
+        assert!(json.contains("\"name\": \"kill\""));
+        assert!(json.contains("\"recovered_matches_live\": true"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

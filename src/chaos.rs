@@ -20,10 +20,16 @@
 //! (injected latency spikes engage deadline-aware load shedding),
 //! `delayed-publish` (epoch publication stalls; readers pin the previous
 //! epoch), `writer-crash` (the writer dies with writes queued and
-//! rebuilds from the authoritative keyset), and `rollback` (an
+//! rebuilds from the authoritative keyset), `rollback` (an
 //! Algorithm-2 poisoning campaign degrades serving cost until the
 //! [`CostDriftMonitor`](lis_defense::CostDriftMonitor) triggers epoch
-//! rollback to the trusted checkpoint).
+//! rollback to the trusted checkpoint), `kill-recover` (a
+//! SIGKILL-equivalent storage fault drops the durable write plane
+//! mid-load; the server is shut down and *recovered from disk* into a
+//! fresh server — every acked write must survive, no un-acked write may
+//! half-apply), and `torn-tail` (the process dies inside a WAL append:
+//! recovery truncates the torn record and keeps the acked prefix, and a
+//! mid-log bit flip is *refused* as corruption rather than replayed).
 //!
 //! Every schedule derives from one seed (`LIS_CHAOS_SEED` overrides it),
 //! so a failing ladder run reproduces exactly. The `chaos` bench commits
@@ -39,8 +45,8 @@ use lis_defense::CostDriftMonitor;
 use lis_online::{run_campaign, Campaign, CampaignConfig};
 use lis_server::fault::FaultConfig;
 use lis_server::{
-    AdmitAll, FaultInjector, RetryPolicy, ServeConfig, ServeReport, Server, ServerHandle, WriteOp,
-    WriteStatus, WriteTicket,
+    AdmitAll, Durability, FaultInjector, RetryPolicy, ServeConfig, ServeReport, Server,
+    ServerHandle, WriteOp, WriteStatus, WriteTicket,
 };
 use lis_workloads::{domain_for_density, trial_rng, uniform_keys};
 use rand::Rng;
@@ -49,13 +55,15 @@ use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 /// The scenario ladder, in run order.
-pub const SCENARIOS: [&str; 6] = [
+pub const SCENARIOS: [&str; 8] = [
     "baseline",
     "worker-panic",
     "queue-saturation",
     "delayed-publish",
     "writer-crash",
     "rollback",
+    "kill-recover",
+    "torn-tail",
 ];
 
 /// Source id the rollback scenario's campaign writes under.
@@ -140,6 +148,18 @@ pub struct ChaosScenarioReport {
     pub pre_mean_cost: f64,
     /// Mean lookup cost after recovery (rollback scenario only).
     pub post_mean_cost: f64,
+    /// WAL ops replayed on top of the snapshot during recovery (durable
+    /// scenarios only).
+    pub replayed_ops: usize,
+    /// Torn-tail bytes recovery truncated (durable scenarios only).
+    pub truncated_bytes: u64,
+    /// Whether the recovered state matched the live timeline exactly:
+    /// base ∪ acked ⊆ recovered ⊆ base ∪ submitted, deterministically
+    /// across repeated recoveries (`true` for non-durable scenarios).
+    pub recovered_ok: bool,
+    /// Whether recovery *refused* the injected mid-log bit flip with a
+    /// corruption error (torn-tail scenario only).
+    pub corruption_detected: bool,
     /// The server's own final report (shed/restart/rollback counters,
     /// latency, timeline).
     pub serve: ServeReport,
@@ -199,6 +219,15 @@ impl ChaosScenarioReport {
                 "{}: recovery took {:.0}ms (bound 5000ms)",
                 self.name, self.recovery_ms
             ));
+        }
+        if matches!(self.name.as_str(), "kill-recover" | "torn-tail") && !self.recovered_ok {
+            out.push(format!(
+                "{}: recovered state diverges from the live timeline",
+                self.name
+            ));
+        }
+        if self.name == "torn-tail" && !self.corruption_detected {
+            out.push("torn-tail: mid-log bit-flip corruption was not refused".into());
         }
         let at_scale = cfg.requests >= 10_000 && cfg.keys >= 100_000;
         if at_scale {
@@ -320,6 +349,14 @@ impl ChaosReport {
             );
             let _ = writeln!(out, "      \"recovery_ms\": {:.3},", s.recovery_ms);
             let _ = writeln!(out, "      \"recovery_failures\": {},", s.recovery_failures);
+            let _ = writeln!(out, "      \"replayed_ops\": {},", s.replayed_ops);
+            let _ = writeln!(out, "      \"truncated_bytes\": {},", s.truncated_bytes);
+            let _ = writeln!(out, "      \"recovered_ok\": {},", s.recovered_ok);
+            let _ = writeln!(
+                out,
+                "      \"corruption_detected\": {},",
+                s.corruption_detected
+            );
             let _ = writeln!(out, "      \"pre_mean_cost\": {:.4},", s.pre_mean_cost);
             let _ = writeln!(out, "      \"post_mean_cost\": {:.4},", s.post_mean_cost);
             let _ = writeln!(out, "      \"rollback_ratio\": {:.4},", s.rollback_ratio());
@@ -532,6 +569,69 @@ fn measured_sweep(server: &Server, probes: &[Key]) -> Result<f64> {
         / ((after.served - before.served) as f64).max(1.0))
 }
 
+/// Deterministic probe stream plus its fault-free reference answers:
+/// mostly members (found) with a salting of misses (not found). The
+/// misses are `member + 1`, which never collides with the mid-gap keys
+/// [`benign_insert_keys`] produces (those sit ≥ 3 above a member).
+fn probe_stream(ks: &KeySet, requests: usize, seed: u64) -> (Vec<Key>, Vec<bool>) {
+    let members = ks.keys();
+    let mut probe_rng = trial_rng(seed, 19);
+    let mut probes = Vec::with_capacity(requests);
+    let mut expected = Vec::with_capacity(requests);
+    for _ in 0..requests {
+        if probe_rng.gen_range(0..16usize) == 0 {
+            let miss = members[probe_rng.gen_range(0..members.len())] + 1;
+            probes.push(miss);
+            expected.push(ks.contains(miss));
+        } else {
+            let member = members[probe_rng.gen_range(0..members.len())];
+            probes.push(member);
+            expected.push(true);
+        }
+    }
+    (probes, expected)
+}
+
+/// What the kill-aware write driver observed.
+#[derive(Debug, Default, Clone)]
+struct DurableWriteDrive {
+    submitted: usize,
+    acked_keys: Vec<Key>,
+    lost: usize,
+    halted: bool,
+}
+
+/// Sequential write driver for the *durable* rungs: one write per flush
+/// (maximizing storage fault events), and a retryable error or closed
+/// queue means the write plane was killed — the driver halts there
+/// instead of counting the remainder as lost, because from the kill
+/// onward the contract under test is recovery, not availability. The
+/// acked keys are the durability obligation: every one must survive
+/// `recover`.
+fn drive_writes_durable(handle: &ServerHandle, keys: &[Key]) -> DurableWriteDrive {
+    let mut drive = DurableWriteDrive::default();
+    for &key in keys {
+        drive.submitted += 1;
+        let ticket = match handle.submit_write(WriteOp::Insert(key), key % 16) {
+            Ok(ticket) => ticket,
+            Err(_) => {
+                drive.halted = true;
+                break;
+            }
+        };
+        match ticket.wait() {
+            Ok(WriteStatus::Applied { .. }) => drive.acked_keys.push(key),
+            Ok(_) => drive.lost += 1,
+            Err(e) if e.is_retryable() => {
+                drive.halted = true;
+                break;
+            }
+            Err(_) => drive.lost += 1,
+        }
+    }
+    drive
+}
+
 /// The fault schedule of one scenario, derived from the master seed so
 /// each scenario's stream is independent but reproducible.
 fn faults_for(scenario: &str, seed: u64) -> FaultInjector {
@@ -550,20 +650,37 @@ fn faults_for(scenario: &str, seed: u64) -> FaultInjector {
         // micro-batches), so the per-event probability is high to get a
         // handful of crashes per run.
         "writer-crash" => FaultInjector::seeded(cfg.writer_crash(0.5)),
+        // The durable rungs drive writes sequentially (one flush per
+        // write), so per-flush probabilities are low: the kill should
+        // land mid-load with a meaningful acked prefix already on disk,
+        // not on the first append.
+        "kill-recover" => {
+            FaultInjector::seeded(cfg.crash_after_append(0.006).crash_before_append(0.003))
+        }
+        "torn-tail" => FaultInjector::seeded(cfg.torn_write(0.01)),
         _ => FaultInjector::disabled(),
     }
 }
 
+/// A fresh scratch directory for one durable scenario, unique per
+/// process and seed so parallel test runs never collide.
+fn chaos_dir(seed: u64, scenario: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "lis-chaos-{}-{seed:016x}-{scenario}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
 /// Runs one scenario end to end. See the module docs for the phases.
 fn run_scenario(scenario: &str, cfg: &ChaosConfig) -> Result<ChaosScenarioReport> {
+    if matches!(scenario, "kill-recover" | "torn-tail") {
+        return run_durable_scenario(scenario, cfg);
+    }
     let domain = domain_for_density(cfg.keys, cfg.density)?;
     let mut rng = trial_rng(cfg.seed, 17);
     let ks = uniform_keys(&mut rng, cfg.keys, domain)?;
-    let members = ks.keys();
-
-    // Deterministic probe stream plus its fault-free reference answers:
-    // mostly members (found) with a salting of misses (not found).
-    let mut probe_rng = trial_rng(cfg.seed, 19);
     let scenario_requests = if scenario == "queue-saturation" {
         // Saturation runs orders of magnitude slower by design (every
         // batch risks a 5ms spike on a single worker); a shorter stream
@@ -573,19 +690,7 @@ fn run_scenario(scenario: &str, cfg: &ChaosConfig) -> Result<ChaosScenarioReport
     } else {
         cfg.requests
     };
-    let mut probes = Vec::with_capacity(scenario_requests);
-    let mut expected = Vec::with_capacity(scenario_requests);
-    for _ in 0..scenario_requests {
-        if probe_rng.gen_range(0..16usize) == 0 {
-            let miss = members[probe_rng.gen_range(0..members.len())] + 1;
-            probes.push(miss);
-            expected.push(ks.contains(miss));
-        } else {
-            let member = members[probe_rng.gen_range(0..members.len())];
-            probes.push(member);
-            expected.push(true);
-        }
-    }
+    let (probes, expected) = probe_stream(&ks, scenario_requests, cfg.seed);
 
     let faults = faults_for(scenario, cfg.seed);
     let online = matches!(scenario, "delayed-publish" | "writer-crash" | "rollback");
@@ -734,6 +839,174 @@ fn run_scenario(scenario: &str, cfg: &ChaosConfig) -> Result<ChaosScenarioReport
         recovery_failures,
         pre_mean_cost,
         post_mean_cost,
+        replayed_ops: 0,
+        truncated_bytes: 0,
+        recovered_ok: true,
+        corruption_detected: false,
+        serve,
+    })
+}
+
+/// The durable rungs (7 and 8): a storage fault kills the write plane
+/// mid-load, the server is torn down, and the authoritative state is
+/// recovered *from disk* into a fresh server.
+///
+/// Phases, both scenarios:
+/// 1. **Drive** — an online durable server under the storage fault
+///    schedule: a benign read fleet rides alongside a sequential write
+///    driver that halts when the kill lands (reads keep serving — the
+///    read plane survives the write plane's death).
+/// 2. **Recover** — shut the (possibly half-dead) server down, then
+///    `recover(dir)` twice (determinism check) and resume a fresh server
+///    from the recovered state. `recovery_ms` is recover + rebuild.
+/// 3. **Verify** — `recovered_ok` requires base ∪ acked ⊆ recovered ⊆
+///    base ∪ submitted: every acked write survived, nothing half-applied,
+///    and only driven keys appeared. A clean sweep on the resumed server
+///    counts `recovery_failures`.
+///
+/// `torn-tail` adds phase 4: resume the same directory under
+/// `bit_flip(1.0)`, ack a handful of writes (every record flipped on
+/// disk), and require `recover` on the live directory to *refuse* with a
+/// corruption error — then a clean shutdown checkpoints past the damage
+/// and a final recovery must hold those acked writes too.
+fn run_durable_scenario(scenario: &str, cfg: &ChaosConfig) -> Result<ChaosScenarioReport> {
+    let domain = domain_for_density(cfg.keys, cfg.density)?;
+    let mut rng = trial_rng(cfg.seed, 17);
+    let ks = uniform_keys(&mut rng, cfg.keys, domain)?;
+    let (probes, expected) = probe_stream(&ks, cfg.requests, cfg.seed);
+    let dir = chaos_dir(cfg.seed, scenario);
+    let faults = faults_for(scenario, cfg.seed);
+    let serve_cfg = ServeConfig::new()
+        .workers(cfg.workers)
+        .batch(64)
+        .deadline(Duration::from_micros(200))
+        .write_batch(WRITE_WINDOW)
+        .window(Duration::from_millis(25));
+    let policy = RetryPolicy::new(16).seed(cfg.seed);
+    let index_name = cfg.index.clone();
+    let registry = IndexRegistry::with_defaults();
+    let server = Server::builder(serve_cfg)
+        .faults(faults.clone())
+        .durability(Durability::dir(&dir).snapshot_every((cfg.writes as u64 / 4).max(8)))
+        .start_online(
+            ks.clone(),
+            move |k| registry.build(&index_name, k),
+            Box::new(AdmitAll),
+        )?;
+    let handle = server.handle();
+    let insert_keys = benign_insert_keys(&ks, cfg.writes, cfg.seed);
+    let mut write_drive = DurableWriteDrive::default();
+    let mut read_drive = ReadDrive::default();
+    // lis-analysis: allow(thread-discipline) — role parallelism: one
+    // write driver and a read fleet against one server.
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(|| drive_writes_durable(&handle, &insert_keys));
+        read_drive = drive_reads(&server, &probes, &expected, cfg.clients, &policy);
+        // lis-analysis: allow(serve-no-panic) — harness aggregation.
+        write_drive = writer.join().expect("chaos write driver panicked");
+    });
+    faults.disarm();
+    let faults_fired = faults.total_fired();
+    let serve = server.shutdown();
+
+    // Recovery. The determinism re-check runs *before* the resumed
+    // server bootstraps (bootstrap checkpoints and truncates the WAL).
+    let started = Instant::now();
+    let rec = lis_server::recover(&dir)?;
+    let rec_again = lis_server::recover(&dir)?;
+    let deterministic = rec.keyset.keys() == rec_again.keyset.keys();
+    let index_name = cfg.index.clone();
+    let registry = IndexRegistry::with_defaults();
+    let resumed = Server::builder(serve_cfg)
+        .durability(Durability::resume(&dir, &rec))
+        .start_online(
+            rec.keyset.clone(),
+            move |k| registry.build(&index_name, k),
+            Box::new(AdmitAll),
+        )?;
+    let recovery = started.elapsed();
+
+    let submitted: std::collections::BTreeSet<Key> = insert_keys.iter().copied().collect();
+    let writes_missing = write_drive
+        .acked_keys
+        .iter()
+        .filter(|&&k| !rec.keyset.contains(k))
+        .count();
+    let base_survives = ks.keys().iter().all(|&k| rec.keyset.contains(k));
+    let nothing_foreign = rec
+        .keyset
+        .keys()
+        .iter()
+        .all(|&k| ks.contains(k) || submitted.contains(&k));
+    let mut recovered_ok = deterministic && base_survives && nothing_foreign;
+    let (_, recovery_failures) = recovery_sweep(&resumed, &probes);
+
+    let mut corruption_detected = false;
+    let mut writes_submitted = write_drive.submitted;
+    let mut writes_acked = write_drive.acked_keys.len();
+    if scenario == "torn-tail" {
+        // Phase 4: silent media corruption. Every WAL record written from
+        // here on is bit-flipped after its checksum was computed;
+        // recovery against the live directory must refuse to replay the
+        // damage (with ≥ 2 records the first flip is mid-log — the
+        // deterministic refusal path, any seed).
+        resumed.shutdown();
+        let rec2 = lis_server::recover(&dir)?;
+        let flip_faults =
+            FaultInjector::seeded(FaultConfig::new(cfg.seed ^ scenario.len() as u64).bit_flip(1.0));
+        let index_name = cfg.index.clone();
+        let registry = IndexRegistry::with_defaults();
+        let flipped = Server::builder(serve_cfg)
+            .faults(flip_faults)
+            .durability(Durability::resume(&dir, &rec2))
+            .start_online(
+                rec2.keyset.clone(),
+                move |k| registry.build(&index_name, k),
+                Box::new(AdmitAll),
+            )?;
+        let flip_handle = flipped.handle();
+        let flip_keys = benign_insert_keys(&rec2.keyset, 4, cfg.seed ^ 0xF11F);
+        let mut flip_acked = Vec::new();
+        for &key in &flip_keys {
+            writes_submitted += 1;
+            if flip_handle.write(WriteOp::Insert(key), 2)?.is_applied() {
+                writes_acked += 1;
+                flip_acked.push(key);
+            }
+        }
+        corruption_detected = matches!(lis_server::recover(&dir), Err(LisError::Corruption { .. }));
+        // A clean shutdown checkpoints the authoritative keyset past the
+        // damaged log; the directory must be recoverable again, acked
+        // flips included.
+        flipped.shutdown();
+        let after = lis_server::recover(&dir)?;
+        let flips_survive = flip_acked.iter().all(|&k| after.keyset.contains(k));
+        let tail_intact = rec2.keyset.keys().iter().all(|&k| after.keyset.contains(k));
+        let exact = after.keyset.len() == rec2.keyset.len() + flip_acked.len();
+        recovered_ok = recovered_ok && flips_survive && tail_intact && exact;
+    } else {
+        resumed.shutdown();
+    }
+
+    Ok(ChaosScenarioReport {
+        name: scenario.to_string(),
+        requests: probes.len(),
+        answered: read_drive.answered,
+        mismatches: read_drive.mismatches,
+        retries: read_drive.retries,
+        writes_submitted,
+        writes_acked,
+        writes_lost: write_drive.lost,
+        writes_missing,
+        faults_fired,
+        recovery_ms: recovery.as_secs_f64() * 1_000.0,
+        recovery_failures,
+        pre_mean_cost: 0.0,
+        post_mean_cost: 0.0,
+        replayed_ops: rec.replayed_ops,
+        truncated_bytes: rec.truncated_bytes,
+        recovered_ok,
+        corruption_detected,
         serve,
     })
 }
@@ -818,6 +1091,44 @@ mod tests {
         assert_eq!(s.writes_missing, 0);
         assert_eq!(s.mismatches, 0);
         assert!(s.serve.writer_restarts >= 1, "crash schedule never fired");
+        assert!(report.violations().is_empty(), "{:?}", report.violations());
+    }
+
+    #[test]
+    fn kill_recover_scenario_loses_no_acked_write() {
+        // Smoke scale drives few flushes; this seed's schedule is known
+        // to kill the write plane mid-drive.
+        let cfg = ChaosConfig {
+            seed: 0xBEEF,
+            ..smoke_config()
+        };
+        let report = run_chaos_scenario("kill-recover", &cfg).unwrap();
+        let s = report.scenario("kill-recover").unwrap();
+        assert!(s.faults_fired >= 1, "kill schedule never fired");
+        assert_eq!(s.serve.writer_restarts, 0, "a kill must not restart");
+        assert_eq!(s.writes_missing, 0, "acked write lost across recovery");
+        assert_eq!(s.mismatches, 0);
+        assert_eq!(s.recovery_failures, 0);
+        assert!(s.recovered_ok, "recovered state diverged");
+        assert!(report.violations().is_empty(), "{:?}", report.violations());
+    }
+
+    #[test]
+    fn torn_tail_scenario_truncates_and_refuses_corruption() {
+        let cfg = ChaosConfig {
+            seed: 0xBEEF,
+            ..smoke_config()
+        };
+        let report = run_chaos_scenario("torn-tail", &cfg).unwrap();
+        let s = report.scenario("torn-tail").unwrap();
+        assert!(s.faults_fired >= 1, "torn-write schedule never fired");
+        assert!(s.truncated_bytes > 0, "no torn tail was truncated");
+        assert!(s.recovered_ok, "recovered state diverged");
+        assert!(
+            s.corruption_detected,
+            "mid-log bit flip must be refused as corruption"
+        );
+        assert_eq!(s.writes_missing, 0);
         assert!(report.violations().is_empty(), "{:?}", report.violations());
     }
 

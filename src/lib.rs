@@ -33,7 +33,11 @@
 //! * [`chaos`] — the robustness ladder: deterministic fault injection
 //!   (see [`lis_server::fault`]) against the live server, scored on
 //!   availability, correctness under faults, recovery time, and
-//!   attack-triggered epoch rollback, producing `BENCH_chaos.json`.
+//!   attack-triggered epoch rollback, producing `BENCH_chaos.json`;
+//! * [`durability`] — the durability grid: the write-ahead-log fsync
+//!   levels (see [`lis_server::durability`]) under identical load, plus
+//!   a kill-and-recover cell, scored on acked-write survival, recovery
+//!   time, and replay throughput, producing `BENCH_durability.json`.
 //!
 //! ## End-to-end example
 //!
@@ -69,6 +73,7 @@ pub use lis_workloads as workloads;
 
 pub mod buildpath;
 pub mod chaos;
+pub mod durability;
 pub mod hotpath;
 pub mod pipeline;
 
@@ -77,6 +82,9 @@ pub mod prelude {
     pub use crate::buildpath::{run_buildpath, BuildpathConfig, BuildpathReport};
     pub use crate::chaos::{
         run_chaos, run_chaos_scenario, ChaosConfig, ChaosReport, ChaosScenarioReport,
+    };
+    pub use crate::durability::{
+        run_durability, DurabilityBenchConfig, DurabilityCellReport, DurabilityReport,
     };
     pub use crate::hotpath::{run_hotpath, HotpathConfig, HotpathReport};
     pub use crate::pipeline::{BuildCache, Pipeline, PipelineReport, WorkloadSpec};

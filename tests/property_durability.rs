@@ -1,0 +1,136 @@
+//! Property tests for the durability plane (see `lis_server::durability`).
+//!
+//! The recovery contract, quantified over arbitrary write histories: for
+//! any interleaved insert/remove script, with a crash injected after
+//! every prefix of WAL appends — at a record boundary (a clean kill) or
+//! mid-record (a torn final append) — `recover()` yields *exactly* the
+//! state as of the last complete append. The acked prefix survives in
+//! full, the torn suffix vanishes in full, and no batch ever
+//! half-applies.
+
+use lis::prelude::*;
+use lis::server::{recover, DurabilityLevel, DurableStore, WriteOp};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Ops per WAL append — small so scripts cross many record boundaries.
+const BATCH: usize = 3;
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+/// A unique scratch directory per generated case (cases run within one
+/// process; a fixed name would interleave their files).
+fn scratch(tag: &str) -> PathBuf {
+    let case = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("lis-prop-dur-{}-{tag}-{case}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Copies a durable directory so each crash point replays from its own
+/// untouched copy (recovery truncates torn tails physically).
+fn clone_dir(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).expect("create clone dir");
+    for entry in std::fs::read_dir(src).expect("read durable dir").flatten() {
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).expect("copy durable file");
+    }
+}
+
+fn base_keyset() -> KeySet {
+    let domain = KeyDomain::new(0, 1_000_000).expect("valid domain");
+    KeySet::new((0..200u64).map(|i| i * 11 + 5).collect(), domain).expect("valid keyset")
+}
+
+/// Interprets one raw script value against the reference keyset the way
+/// the writer's validation loop would: a key already present is removed,
+/// an absent one inserted — every produced op is applicable by
+/// construction, mirroring the writer logging only *validated* batches.
+fn op_for(reference: &mut KeySet, raw: u64) -> WriteOp {
+    let key = 5 + (raw % 3_000) * 7;
+    if reference.contains(key) {
+        reference.remove(key).expect("validated remove");
+        WriteOp::Remove(key)
+    } else {
+        reference.insert(key).expect("validated insert");
+        WriteOp::Insert(key)
+    }
+}
+
+proptest! {
+    /// Crash after every record boundary: recovery is exactly the acked
+    /// prefix, for every prefix.
+    #[test]
+    fn recovery_is_exactly_the_acked_prefix(
+        script in proptest::collection::vec(0u64..30_000, 1..48)
+    ) {
+        let live = scratch("live");
+        let mut reference = base_keyset();
+        let mut store = DurableStore::bootstrap(
+            &live,
+            &reference,
+            0,
+            0,
+            DurabilityLevel::None,
+            u64::MAX,
+            Duration::from_millis(50),
+        ).expect("bootstrap");
+
+        // `states[i]` is the reference keyset after i complete appends;
+        // `offsets[i]` the WAL byte length at that point.
+        let mut states = vec![reference.keys().to_vec()];
+        let mut offsets = vec![store.wal_bytes()];
+        let mut flush = 0u64;
+        for chunk in script.chunks(BATCH) {
+            let ops: Vec<WriteOp> = chunk.iter().map(|&raw| op_for(&mut reference, raw)).collect();
+            flush += 1;
+            store.log_batch(&ops, flush, false, false).expect("append");
+            states.push(reference.keys().to_vec());
+            offsets.push(store.wal_bytes());
+        }
+
+        for i in 0..offsets.len() {
+            // Clean kill at the boundary: exactly i appends survive.
+            let crash = scratch("cut");
+            clone_dir(&live, &crash);
+            let wal = crash.join("wal.log");
+            let file = std::fs::OpenOptions::new().write(true).open(&wal).expect("open wal");
+            file.set_len(offsets[i]).expect("truncate");
+            drop(file);
+            let rec = recover(&crash).expect("recover at boundary");
+            prop_assert_eq!(
+                rec.keyset.keys(), states[i].as_slice(),
+                "crash after {} appends recovered a different state", i
+            );
+            prop_assert_eq!(rec.replayed_records, i);
+            prop_assert_eq!(rec.truncated_bytes, 0);
+            std::fs::remove_dir_all(&crash).expect("cleanup");
+
+            // Torn kill inside the next record: the half-written append
+            // must vanish in full — never half-apply.
+            if i + 1 < offsets.len() {
+                let torn = scratch("torn");
+                clone_dir(&live, &torn);
+                let wal = torn.join("wal.log");
+                let cut = offsets[i] + (offsets[i + 1] - offsets[i]) / 2;
+                let file = std::fs::OpenOptions::new().write(true).open(&wal).expect("open wal");
+                file.set_len(cut).expect("truncate");
+                drop(file);
+                let rec = recover(&torn).expect("recover torn tail");
+                prop_assert_eq!(
+                    rec.keyset.keys(), states[i].as_slice(),
+                    "torn append {} half-applied", i + 1
+                );
+                prop_assert!(rec.truncated_bytes > 0, "torn tail not truncated");
+                // The truncation is physical: recovering again is clean.
+                let again = recover(&torn).expect("recover after truncation");
+                prop_assert_eq!(again.truncated_bytes, 0);
+                prop_assert_eq!(again.keyset.keys(), states[i].as_slice());
+                std::fs::remove_dir_all(&torn).expect("cleanup");
+            }
+        }
+        std::fs::remove_dir_all(&live).expect("cleanup");
+    }
+}
